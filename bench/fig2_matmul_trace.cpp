@@ -1,0 +1,57 @@
+// Reproduces the paper's Figure 2: "Exploration outcomes evolution for
+// Matrix Multiplication (10x10)" — ΔPower, ΔComp.Time and ΔAccuracy at every
+// exploration step, with OLS trend lines. The paper shows the three series
+// trending upward as the agent learns to sit in the rewarding region.
+//
+// Flags: --steps=N (default 10000), --seed=S (default 1), --stride=K
+//        (default 250, print every K-th step), --csv=PATH (dump full trace).
+
+#include <cstdio>
+#include <fstream>
+
+#include "dse/explorer.hpp"
+#include "report/figures.hpp"
+#include "util/cli.hpp"
+#include "workloads/matmul_kernel.hpp"
+
+int main(int argc, char** argv) {
+  using namespace axdse;
+  const util::CliArgs args(argc, argv);
+
+  const workloads::MatMulKernel kernel(
+      10, workloads::MatMulGranularity::kPerMatrix, 2023);
+  dse::ExplorerConfig config;
+  config.max_steps = static_cast<std::size_t>(args.GetInt("steps", 10000));
+  config.max_cumulative_reward = args.GetDouble("reward-cap", 500.0);
+  config.agent.alpha = 0.15;
+  config.agent.gamma = 0.95;
+  config.agent.epsilon =
+      rl::EpsilonSchedule::Linear(1.0, 0.05, config.max_steps * 3 / 4);
+  config.seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+
+  std::printf("Exploring %s (%zu steps max)...\n", kernel.Name().c_str(),
+              config.max_steps);
+  const dse::ExplorationResult result = dse::ExploreKernel(kernel, config);
+
+  const std::size_t stride =
+      static_cast<std::size_t>(args.GetInt("stride", 250));
+  std::printf("%s\n",
+              report::RenderExplorationFigure(
+                  "Fig. 2 — Exploration outcomes evolution, Matrix "
+                  "Multiplication (10x10)",
+                  result.trace, stride)
+                  .c_str());
+  std::printf(
+      "Paper shape: all three trend lines slope toward larger savings as "
+      "the agent learns\n(positive Power/Comp.Time slopes), unlike FIR "
+      "(Fig. 3). Steps executed: %zu, stop: %s.\n",
+      result.steps, rl::ToString(result.stop_reason));
+
+  if (args.Has("csv")) {
+    const std::string path = args.GetString("csv", "fig2_trace.csv");
+    std::ofstream out(path);
+    report::WriteTraceCsv(out, result.trace);
+    std::printf("Full trace written to %s\n", path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces the paper's Figure 4: "Average reward evolution for the Matrix
+// multiplication (10x10) and FIR (100 samples)" — mean reward over every
+// 100-step bin, side by side. The paper's claim: MatMul's average reward
+// improves steadily (the agent learns), FIR's does not.
+//
+// Flags: --steps=N (default 10000), --seed=S (default 1), --bin=B (100).
+
+#include <cstdio>
+
+#include "dse/explorer.hpp"
+#include "report/figures.hpp"
+#include "util/cli.hpp"
+#include "util/linear_regression.hpp"
+#include "util/statistics.hpp"
+#include "workloads/fir_kernel.hpp"
+#include "workloads/matmul_kernel.hpp"
+
+int main(int argc, char** argv) {
+  using namespace axdse;
+  const util::CliArgs args(argc, argv);
+
+  dse::ExplorerConfig config;
+  config.max_steps = static_cast<std::size_t>(args.GetInt("steps", 10000));
+  config.max_cumulative_reward = 1e18;  // watch learning for the full run
+  config.agent.alpha = 0.15;
+  config.agent.gamma = 0.95;
+  config.agent.epsilon =
+      rl::EpsilonSchedule::Linear(1.0, 0.05, config.max_steps * 3 / 4);
+  config.seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  config.record_trace = false;
+
+  const workloads::MatMulKernel matmul(
+      10, workloads::MatMulGranularity::kPerMatrix, 2023);
+  const workloads::FirKernel fir(100, 2023);
+
+  std::printf("Exploring %s ...\n", matmul.Name().c_str());
+  const dse::ExplorationResult matmul_result =
+      dse::ExploreKernel(matmul, config);
+  std::printf("Exploring %s ...\n", fir.Name().c_str());
+  const dse::ExplorationResult fir_result = dse::ExploreKernel(fir, config);
+
+  const std::size_t bin = static_cast<std::size_t>(args.GetInt("bin", 100));
+  std::printf("%s\n",
+              report::RenderRewardFigure(
+                  "Fig. 4 — Average reward per " + std::to_string(bin) +
+                      "-step bin",
+                  {{"Matrix multiplication (10x10)", matmul_result.rewards},
+                   {"FIR (100 samples)", fir_result.rewards}},
+                  bin)
+                  .c_str());
+
+  const auto matmul_bins = util::BinnedMeans(matmul_result.rewards, bin);
+  const auto fir_bins = util::BinnedMeans(fir_result.rewards, bin);
+  const util::LinearFit matmul_fit = util::FitLineIndexed(matmul_bins);
+  const util::LinearFit fir_fit = util::FitLineIndexed(fir_bins);
+  std::printf(
+      "Learning-trend slopes (avg reward per bin): MatMul %+0.4f, FIR "
+      "%+0.4f.\nPaper shape: MatMul improves markedly; FIR does not follow "
+      "a continuous improvement.\n",
+      matmul_fit.slope, fir_fit.slope);
+  return 0;
+}

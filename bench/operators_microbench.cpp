@@ -1,0 +1,100 @@
+// google-benchmark microbenchmarks of the behavioral operator models:
+// throughput of every catalog adder/multiplier plus the instrumented-context
+// dispatch overhead. These are software-model costs (the *hardware* costs
+// come from the published characterization in the catalog) — they bound the
+// exploration wall-clock, not the reported Δpower/Δtime.
+
+#include <benchmark/benchmark.h>
+
+#include "axc/catalog.hpp"
+#include "instrument/approx_context.hpp"
+#include "util/rng.hpp"
+#include "workloads/matmul_kernel.hpp"
+
+namespace {
+
+using namespace axdse;
+
+std::vector<std::uint64_t> MakeOperands(int bits, std::size_t n,
+                                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.UniformBelow(1ULL << bits);
+  return v;
+}
+
+void BM_Adder(benchmark::State& state, const axc::AdderSpec& spec) {
+  const auto a = MakeOperands(spec.bits, 4096, 1);
+  const auto b = MakeOperands(spec.bits, 4096, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec.model->Add(a[i & 4095], b[i & 4095]));
+    ++i;
+  }
+}
+
+void BM_Multiplier(benchmark::State& state, const axc::MultiplierSpec& spec) {
+  const auto a = MakeOperands(spec.bits, 4096, 3);
+  const auto b = MakeOperands(spec.bits, 4096, 4);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec.model->Multiply(a[i & 4095], b[i & 4095]));
+    ++i;
+  }
+}
+
+void BM_ContextDispatch(benchmark::State& state) {
+  const auto set = axc::EvoApproxCatalog::Instance().MatMulSet();
+  instrument::ApproxContext ctx(set, 4);
+  instrument::ApproxSelection sel(4);
+  sel.SetMultiplierIndex(3);
+  sel.SetVariable(1, true);
+  ctx.Configure(sel);
+  std::int64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.Mul(123, 45, {0, 1}));
+    benchmark::DoNotOptimize(ctx.Add(x, 77, {2}));
+    ++x;
+  }
+}
+
+void BM_MatMulKernelRun(benchmark::State& state) {
+  const workloads::MatMulKernel kernel(
+      static_cast<std::size_t>(state.range(0)),
+      workloads::MatMulGranularity::kPerMatrix, 7);
+  auto ctx = kernel.MakeContext();
+  instrument::ApproxSelection sel(kernel.NumVariables());
+  sel.SetMultiplierIndex(4);
+  sel.SetVariable(0, true);
+  sel.SetVariable(1, true);
+  ctx.Configure(sel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.Run(ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(0) * state.range(0));
+}
+
+const int kRegistered = [] {
+  const auto& catalog = axc::EvoApproxCatalog::Instance();
+  for (const auto& spec : catalog.Adders8())
+    benchmark::RegisterBenchmark(("adder8/" + spec.type_code).c_str(),
+                                 BM_Adder, spec);
+  for (const auto& spec : catalog.Adders16())
+    benchmark::RegisterBenchmark(("adder16/" + spec.type_code).c_str(),
+                                 BM_Adder, spec);
+  for (const auto& spec : catalog.Multipliers8())
+    benchmark::RegisterBenchmark(("mul8/" + spec.type_code).c_str(),
+                                 BM_Multiplier, spec);
+  for (const auto& spec : catalog.Multipliers32())
+    benchmark::RegisterBenchmark(("mul32/" + spec.type_code).c_str(),
+                                 BM_Multiplier, spec);
+  benchmark::RegisterBenchmark("instrument/context_dispatch",
+                               BM_ContextDispatch);
+  benchmark::RegisterBenchmark("kernel/matmul_run", BM_MatMulKernelRun)
+      ->Arg(10)
+      ->Arg(25);
+  return 0;
+}();
+
+}  // namespace

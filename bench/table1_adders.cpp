@@ -1,0 +1,54 @@
+// Reproduces the paper's TABLE I ("Selected adders from EvoApproxLib"):
+// operator, type, MRED, power, computation time — published values from the
+// paper, plus the measured MRED of our calibrated behavioral substitutes
+// (8-bit: exhaustive over all 2^16 operand pairs; 16-bit: seeded sampling).
+//
+// Flags: --samples16=N (default 4194304), --seed=S (default 7).
+
+#include <cstdio>
+#include <vector>
+
+#include "axc/catalog.hpp"
+#include "axc/characterization.hpp"
+#include "report/tables.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace axdse;
+  const util::CliArgs args(argc, argv);
+  const std::size_t samples16 =
+      static_cast<std::size_t>(args.GetInt("samples16", 4194304));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.GetInt("seed", 7));
+
+  const auto& catalog = axc::EvoApproxCatalog::Instance();
+
+  std::vector<axc::Characterization> measured8;
+  for (const axc::AdderSpec& spec : catalog.Adders8())
+    measured8.push_back(
+        axc::CharacterizeAdder(*spec.model, 8, std::size_t{1} << 16, seed));
+  std::printf("%s\n",
+              report::RenderAdderTable(
+                  "TABLE I (paper) — selected 8-bit adders, published "
+                  "vs measured MRED (exhaustive 2^16 pairs)",
+                  catalog.Adders8(), measured8)
+                  .c_str());
+
+  std::vector<axc::Characterization> measured16;
+  for (const axc::AdderSpec& spec : catalog.Adders16())
+    measured16.push_back(
+        axc::CharacterizeAdder(*spec.model, 16, samples16, seed));
+  std::printf("%s\n",
+              report::RenderAdderTable(
+                  "TABLE I (paper) — selected 16-bit adders, published "
+                  "vs measured MRED (sampled)",
+                  catalog.Adders16(), measured16)
+                  .c_str());
+
+  std::printf(
+      "Notes: published MRED/power/time are the paper's Table I values "
+      "(EvoApproxLib characterization);\nmeasured MRED is the behavioral "
+      "stand-in evaluated on uniform operands. Ordering is preserved "
+      "exactly;\nmagnitudes are within the calibration band asserted in "
+      "tests/axc_catalog_test.cpp.\n");
+  return 0;
+}

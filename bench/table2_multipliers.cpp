@@ -1,0 +1,51 @@
+// Reproduces the paper's TABLE II ("Selected multipliers from EvoApproxLib"):
+// published MRED/power/time plus measured MRED of the behavioral substitutes
+// (8-bit: exhaustive; 32-bit: seeded sampling).
+//
+// Flags: --samples32=N (default 4194304), --seed=S (default 7).
+
+#include <cstdio>
+#include <vector>
+
+#include "axc/catalog.hpp"
+#include "axc/characterization.hpp"
+#include "report/tables.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace axdse;
+  const util::CliArgs args(argc, argv);
+  const std::size_t samples32 =
+      static_cast<std::size_t>(args.GetInt("samples32", 4194304));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.GetInt("seed", 7));
+
+  const auto& catalog = axc::EvoApproxCatalog::Instance();
+
+  std::vector<axc::Characterization> measured8;
+  for (const axc::MultiplierSpec& spec : catalog.Multipliers8())
+    measured8.push_back(axc::CharacterizeMultiplier(
+        *spec.model, 8, std::size_t{1} << 16, seed));
+  std::printf("%s\n",
+              report::RenderMultiplierTable(
+                  "TABLE II (paper) — selected 8-bit multipliers, published "
+                  "vs measured MRED (exhaustive 2^16 pairs)",
+                  catalog.Multipliers8(), measured8)
+                  .c_str());
+
+  std::vector<axc::Characterization> measured32;
+  for (const axc::MultiplierSpec& spec : catalog.Multipliers32())
+    measured32.push_back(
+        axc::CharacterizeMultiplier(*spec.model, 32, samples32, seed));
+  std::printf("%s\n",
+              report::RenderMultiplierTable(
+                  "TABLE II (paper) — selected 32-bit multipliers, published "
+                  "vs measured MRED (sampled)",
+                  catalog.Multipliers32(), measured32)
+                  .c_str());
+
+  std::printf(
+      "Notes: GTR's published computation time (1.46 ns) exceeds the exact "
+      "multiplier's (1.43 ns) — the\nsource of negative delta-time "
+      "observations during exploration, reproduced faithfully.\n");
+  return 0;
+}

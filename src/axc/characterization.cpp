@@ -1,0 +1,73 @@
+#include "axc/characterization.hpp"
+
+#include "util/rng.hpp"
+
+namespace axdse::axc {
+
+namespace {
+
+Characterization FromAccumulator(const metrics::ErrorAccumulator& acc,
+                                 bool exhaustive) {
+  Characterization c;
+  c.mred = acc.Mred();
+  c.mae = acc.Mae();
+  c.error_rate = acc.ErrorRate();
+  c.worst_case = acc.WorstCase();
+  c.mean_error = acc.MeanError();
+  c.samples = acc.Count();
+  c.exhaustive = exhaustive;
+  return c;
+}
+
+bool DomainFits(int bits, std::size_t max_samples) {
+  if (bits > 20) return false;  // 4^bits would overflow any practical budget
+  const std::size_t domain = std::size_t{1} << (2 * bits);
+  return domain <= max_samples;
+}
+
+}  // namespace
+
+Characterization CharacterizeAdder(const Adder& adder, int bits,
+                                   std::size_t max_samples,
+                                   std::uint64_t seed) {
+  metrics::ErrorAccumulator acc;
+  const std::uint64_t limit = bits >= 64 ? 0 : (1ULL << bits);
+  if (DomainFits(bits, max_samples)) {
+    for (std::uint64_t a = 0; a < limit; ++a)
+      for (std::uint64_t b = 0; b < limit; ++b)
+        acc.Add(static_cast<double>(a + b),
+                static_cast<double>(adder.Add(a, b)));
+    return FromAccumulator(acc, /*exhaustive=*/true);
+  }
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < max_samples; ++i) {
+    const std::uint64_t a = rng.UniformBelow(limit);
+    const std::uint64_t b = rng.UniformBelow(limit);
+    acc.Add(static_cast<double>(a + b), static_cast<double>(adder.Add(a, b)));
+  }
+  return FromAccumulator(acc, /*exhaustive=*/false);
+}
+
+Characterization CharacterizeMultiplier(const Multiplier& multiplier, int bits,
+                                        std::size_t max_samples,
+                                        std::uint64_t seed) {
+  metrics::ErrorAccumulator acc;
+  const std::uint64_t limit = bits >= 64 ? 0 : (1ULL << bits);
+  if (DomainFits(bits, max_samples)) {
+    for (std::uint64_t a = 0; a < limit; ++a)
+      for (std::uint64_t b = 0; b < limit; ++b)
+        acc.Add(static_cast<double>(a * b),
+                static_cast<double>(multiplier.Multiply(a, b)));
+    return FromAccumulator(acc, /*exhaustive=*/true);
+  }
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < max_samples; ++i) {
+    const std::uint64_t a = rng.UniformBelow(limit);
+    const std::uint64_t b = rng.UniformBelow(limit);
+    acc.Add(static_cast<double>(a * b),
+            static_cast<double>(multiplier.Multiply(a, b)));
+  }
+  return FromAccumulator(acc, /*exhaustive=*/false);
+}
+
+}  // namespace axdse::axc

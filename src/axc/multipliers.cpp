@@ -1,0 +1,306 @@
+#include "axc/multipliers.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace axdse::axc {
+
+namespace {
+
+constexpr std::uint64_t LowMask(int bits) noexcept {
+  return bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+}
+
+/// Index of the most significant set bit; precondition v != 0.
+constexpr int MsbIndex(std::uint64_t v) noexcept {
+  return 63 - std::countl_zero(v);
+}
+
+void CheckOperandBits(int operand_bits) {
+  if (operand_bits < 1 || operand_bits > 32)
+    throw std::invalid_argument("multiplier: operand_bits must be in [1,32]");
+}
+
+}  // namespace
+
+std::int64_t Multiplier::MultiplySigned(std::int64_t a,
+                                        std::int64_t b) const noexcept {
+  const bool negative = (a < 0) != (b < 0);
+  const std::uint64_t ma = static_cast<std::uint64_t>(a < 0 ? -a : a);
+  const std::uint64_t mb = static_cast<std::uint64_t>(b < 0 ? -b : b);
+  const std::int64_t mag = static_cast<std::int64_t>(Multiply(ma, mb));
+  return negative ? -mag : mag;
+}
+
+ExactMultiplier::ExactMultiplier(int operand_bits)
+    : operand_bits_(operand_bits) {
+  CheckOperandBits(operand_bits);
+}
+
+std::string ExactMultiplier::Describe() const { return "Exact"; }
+
+std::uint64_t ExactMultiplier::Multiply(std::uint64_t a,
+                                        std::uint64_t b) const noexcept {
+  return a * b;
+}
+
+PpTruncatedMultiplier::PpTruncatedMultiplier(int operand_bits, int cut_column)
+    : operand_bits_(operand_bits), cut_column_(cut_column) {
+  CheckOperandBits(operand_bits);
+  if (cut_column < 1 || cut_column > 2 * operand_bits - 1)
+    throw std::invalid_argument(
+        "multiplier: cut_column must be in [1, 2*operand_bits-1]");
+}
+
+std::string PpTruncatedMultiplier::Describe() const {
+  return "PPTrunc(c=" + std::to_string(cut_column_) + ")";
+}
+
+std::uint64_t PpTruncatedMultiplier::Multiply(std::uint64_t a,
+                                              std::uint64_t b) const noexcept {
+  // Sum partial products a_i * (b_j << (i+j)) keeping only columns >= cut.
+  // For each set bit i of a, the kept bits of b are those with j >= cut - i.
+  std::uint64_t acc = 0;
+  std::uint64_t bits = a;
+  while (bits != 0) {
+    const int i = std::countr_zero(bits);
+    bits &= bits - 1;
+    const int min_j = cut_column_ - i;
+    const std::uint64_t kept_b = min_j <= 0 ? b : (b & ~LowMask(min_j));
+    acc += kept_b << i;
+  }
+  return acc;
+}
+
+OperandTruncatedMultiplier::OperandTruncatedMultiplier(int operand_bits,
+                                                       int trunc_bits)
+    : operand_bits_(operand_bits), trunc_bits_(trunc_bits) {
+  CheckOperandBits(operand_bits);
+  if (trunc_bits < 1 || trunc_bits >= operand_bits)
+    throw std::invalid_argument(
+        "multiplier: trunc_bits must be in [1, operand_bits)");
+}
+
+std::string OperandTruncatedMultiplier::Describe() const {
+  return "OpTrunc(k=" + std::to_string(trunc_bits_) + ")";
+}
+
+std::uint64_t OperandTruncatedMultiplier::Multiply(
+    std::uint64_t a, std::uint64_t b) const noexcept {
+  const std::uint64_t mask = ~LowMask(trunc_bits_);
+  return (a & mask) * (b & mask);
+}
+
+MitchellLogMultiplier::MitchellLogMultiplier(int operand_bits)
+    : operand_bits_(operand_bits) {
+  CheckOperandBits(operand_bits);
+}
+
+std::string MitchellLogMultiplier::Describe() const { return "Mitchell"; }
+
+std::uint64_t MitchellLogMultiplier::Multiply(std::uint64_t a,
+                                              std::uint64_t b) const noexcept {
+  if (a == 0 || b == 0) return 0;
+  // log2(x) ~= msb(x) + frac(x), frac in [0,1) with F fractional bits.
+  constexpr int kFracBits = 30;
+  const int ka = MsbIndex(a);
+  const int kb = MsbIndex(b);
+  // frac = (x - 2^k) / 2^k in fixed point. Shift x so the mantissa occupies
+  // kFracBits bits: for k <= kFracBits shift left, otherwise right.
+  const auto mantissa = [](std::uint64_t x, int k) -> std::uint64_t {
+    const std::uint64_t frac_part = x - (1ULL << k);  // k < 64 guaranteed
+    if (k <= kFracBits) return frac_part << (kFracBits - k);
+    return frac_part >> (k - kFracBits);
+  };
+  const std::uint64_t fa = mantissa(a, ka);
+  const std::uint64_t fb = mantissa(b, kb);
+  const std::uint64_t fsum = fa + fb;  // in [0, 2) fixed point
+  const int ksum = ka + kb;
+  // Antilog per Mitchell: 2^(ksum) * (1 + fsum) if fsum < 1,
+  // else 2^(ksum+1) * (fsum)  [fsum has an implicit integer bit].
+  std::uint64_t mant;  // value scaled by 2^kFracBits
+  int exponent;
+  if (fsum < (1ULL << kFracBits)) {
+    mant = (1ULL << kFracBits) + fsum;
+    exponent = ksum;
+  } else {
+    mant = fsum;
+    exponent = ksum + 1;
+  }
+  if (exponent >= kFracBits) return mant << (exponent - kFracBits);
+  return mant >> (kFracBits - exponent);
+}
+
+DrumMultiplier::DrumMultiplier(int operand_bits, int kept_bits)
+    : operand_bits_(operand_bits), kept_bits_(kept_bits) {
+  CheckOperandBits(operand_bits);
+  if (kept_bits < 2 || kept_bits > operand_bits)
+    throw std::invalid_argument(
+        "multiplier: kept_bits must be in [2, operand_bits]");
+}
+
+std::string DrumMultiplier::Describe() const {
+  return "DRUM(k=" + std::to_string(kept_bits_) + ")";
+}
+
+std::uint64_t DrumMultiplier::Multiply(std::uint64_t a,
+                                       std::uint64_t b) const noexcept {
+  const auto reduce = [this](std::uint64_t v, int& shift) -> std::uint64_t {
+    shift = 0;
+    if (v < (1ULL << kept_bits_)) return v;  // already fits: exact
+    const int msb = MsbIndex(v);
+    shift = msb - kept_bits_ + 1;
+    std::uint64_t kept = v >> shift;
+    kept |= 1;  // force LSB to 1: expected-value compensation (unbiasing)
+    return kept;
+  };
+  int sa = 0;
+  int sb = 0;
+  const std::uint64_t ra = reduce(a, sa);
+  const std::uint64_t rb = reduce(b, sb);
+  return (ra * rb) << (sa + sb);
+}
+
+LeadingOneMultiplier::LeadingOneMultiplier(int operand_bits, int msb_bits)
+    : operand_bits_(operand_bits), msb_bits_(msb_bits) {
+  CheckOperandBits(operand_bits);
+  if (msb_bits < 1 || msb_bits > operand_bits)
+    throw std::invalid_argument(
+        "multiplier: msb_bits must be in [1, operand_bits]");
+}
+
+std::string LeadingOneMultiplier::Describe() const {
+  return "LeadOne(m=" + std::to_string(msb_bits_) + ")";
+}
+
+std::uint64_t LeadingOneMultiplier::Multiply(std::uint64_t a,
+                                             std::uint64_t b) const noexcept {
+  const auto round_down = [this](std::uint64_t v) -> std::uint64_t {
+    if (v < (1ULL << msb_bits_)) return v;
+    const int msb = MsbIndex(v);
+    const int drop = msb - msb_bits_ + 1;
+    return (v >> drop) << drop;
+  };
+  return round_down(a) * round_down(b);
+}
+
+KulkarniMultiplier::KulkarniMultiplier(int operand_bits)
+    : operand_bits_(operand_bits) {
+  CheckOperandBits(operand_bits);
+}
+
+std::string KulkarniMultiplier::Describe() const { return "Kulkarni2x2"; }
+
+namespace {
+
+/// Kulkarni base block: exact 2x2 product except 3*3 -> 7.
+constexpr std::uint64_t Kulkarni2x2(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a == 3 && b == 3) ? 7 : a * b;
+}
+
+/// Recursive composition: split each operand in half, multiply the four
+/// cross terms approximately, and combine with exact shifted additions.
+std::uint64_t KulkarniRecursive(std::uint64_t a, std::uint64_t b,
+                                int width) noexcept {
+  if (width <= 2) return Kulkarni2x2(a & 0x3, b & 0x3);
+  const int half = width / 2;
+  const std::uint64_t mask = (1ULL << half) - 1;
+  const std::uint64_t al = a & mask;
+  const std::uint64_t ah = a >> half;
+  const std::uint64_t bl = b & mask;
+  const std::uint64_t bh = b >> half;
+  const std::uint64_t ll = KulkarniRecursive(al, bl, half);
+  const std::uint64_t lh = KulkarniRecursive(al, bh, half);
+  const std::uint64_t hl = KulkarniRecursive(ah, bl, half);
+  const std::uint64_t hh = KulkarniRecursive(ah, bh, half);
+  return (hh << width) + ((lh + hl) << half) + ll;
+}
+
+/// Smallest power-of-two width that covers the operand.
+int CoveringPow2Width(std::uint64_t v) noexcept {
+  int width = 2;
+  while (width < 64 && (v >> width) != 0) width *= 2;
+  return width;
+}
+
+}  // namespace
+
+std::uint64_t KulkarniMultiplier::Multiply(std::uint64_t a,
+                                           std::uint64_t b) const noexcept {
+  // The block decomposition targets <=32-bit datapaths; wider operands
+  // (legal as long as the product fits 64 bits) fall back to exact.
+  if ((a >> 32) != 0 || (b >> 32) != 0) return a * b;
+  const int wa = CoveringPow2Width(a);
+  const int wb = CoveringPow2Width(b);
+  return KulkarniRecursive(a, b, wa > wb ? wa : wb);
+}
+
+RobaMultiplier::RobaMultiplier(int operand_bits) : operand_bits_(operand_bits) {
+  CheckOperandBits(operand_bits);
+}
+
+std::string RobaMultiplier::Describe() const { return "ROBA"; }
+
+std::uint64_t RobaMultiplier::RoundToNearestPowerOfTwo(
+    std::uint64_t v) noexcept {
+  if (v == 0) return 0;
+  const int p = MsbIndex(v);
+  const std::uint64_t down = 1ULL << p;
+  if (v == down || p >= 62) return down;
+  const std::uint64_t up = down << 1;
+  return (v - down < up - v) ? down : up;  // ties round up
+}
+
+std::uint64_t RobaMultiplier::Multiply(std::uint64_t a,
+                                       std::uint64_t b) const noexcept {
+  if (a == 0 || b == 0) return 0;
+  // ROBA computes ra*b + rb*a - ra*rb, which equals a*b - (a-ra)*(b-rb):
+  // the exact product minus the dropped rounding-residue term. The residues
+  // are bounded by a third of each operand, so their product fits in a
+  // signed 64-bit value for all 32-bit datapaths.
+  const std::int64_t da =
+      static_cast<std::int64_t>(a) -
+      static_cast<std::int64_t>(RoundToNearestPowerOfTwo(a));
+  const std::int64_t db =
+      static_cast<std::int64_t>(b) -
+      static_cast<std::int64_t>(RoundToNearestPowerOfTwo(b));
+  return a * b - static_cast<std::uint64_t>(da * db);
+}
+
+std::shared_ptr<const Multiplier> MakeExactMultiplier(int operand_bits) {
+  return std::make_shared<ExactMultiplier>(operand_bits);
+}
+
+std::shared_ptr<const Multiplier> MakePpTruncatedMultiplier(int operand_bits,
+                                                            int cut_column) {
+  return std::make_shared<PpTruncatedMultiplier>(operand_bits, cut_column);
+}
+
+std::shared_ptr<const Multiplier> MakeOperandTruncatedMultiplier(
+    int operand_bits, int trunc_bits) {
+  return std::make_shared<OperandTruncatedMultiplier>(operand_bits, trunc_bits);
+}
+
+std::shared_ptr<const Multiplier> MakeMitchellLogMultiplier(int operand_bits) {
+  return std::make_shared<MitchellLogMultiplier>(operand_bits);
+}
+
+std::shared_ptr<const Multiplier> MakeDrumMultiplier(int operand_bits,
+                                                     int kept_bits) {
+  return std::make_shared<DrumMultiplier>(operand_bits, kept_bits);
+}
+
+std::shared_ptr<const Multiplier> MakeLeadingOneMultiplier(int operand_bits,
+                                                           int msb_bits) {
+  return std::make_shared<LeadingOneMultiplier>(operand_bits, msb_bits);
+}
+
+std::shared_ptr<const Multiplier> MakeKulkarniMultiplier(int operand_bits) {
+  return std::make_shared<KulkarniMultiplier>(operand_bits);
+}
+
+std::shared_ptr<const Multiplier> MakeRobaMultiplier(int operand_bits) {
+  return std::make_shared<RobaMultiplier>(operand_bits);
+}
+
+}  // namespace axdse::axc

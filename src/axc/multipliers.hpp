@@ -1,0 +1,181 @@
+#pragma once
+// Behavioral models of approximate multipliers (EvoApproxLib substitutes; see
+// DESIGN.md §1). Families:
+//
+//  * ExactMultiplier            — golden reference.
+//  * PpTruncatedMultiplier(c)   — drops every partial-product bit in columns
+//                                 below c (fixed-width truncated array mult).
+//  * OperandTruncatedMultiplier(k) — clears the low k bits of both operands
+//                                 before an exact multiply (broken-array-like).
+//  * MitchellLogMultiplier      — Mitchell's 1962 logarithmic multiplier;
+//                                 always underestimates, max rel. error ~11.1%.
+//  * DrumMultiplier(k)          — DRUM-style dynamic-range unbiased
+//                                 multiplier: keeps the k leading bits of each
+//                                 operand (LSB of kept slice forced to 1 for
+//                                 unbiasing), multiplies, shifts back.
+//  * LeadingOneMultiplier(m)    — rounds each operand down to its m most
+//                                 significant bits (m=1: nearest lower power
+//                                 of two); extremely aggressive.
+//
+// All models operate on arbitrary 64-bit unsigned operands whose product must
+// fit in 64 bits (true for all catalog widths: 8x8 and 32x32). Signed use goes
+// through MultiplySigned() with sign-magnitude semantics.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace axdse::axc {
+
+/// Interface for (approximate) integer multipliers. Stateless, reentrant.
+class Multiplier {
+ public:
+  virtual ~Multiplier() = default;
+
+  /// Nominal hardware operand width in bits (characterization domain).
+  virtual int OperandBits() const noexcept = 0;
+
+  /// Family identifier, e.g. "DRUM(k=6)".
+  virtual std::string Describe() const = 0;
+
+  /// Approximate unsigned multiplication. Precondition: the exact product
+  /// a*b fits in 64 bits.
+  virtual std::uint64_t Multiply(std::uint64_t a,
+                                 std::uint64_t b) const noexcept = 0;
+
+  /// Signed multiplication via sign-magnitude: approximates |a|*|b| and
+  /// reapplies the sign.
+  std::int64_t MultiplySigned(std::int64_t a, std::int64_t b) const noexcept;
+};
+
+/// Golden exact multiplier.
+class ExactMultiplier final : public Multiplier {
+ public:
+  explicit ExactMultiplier(int operand_bits);
+  int OperandBits() const noexcept override { return operand_bits_; }
+  std::string Describe() const override;
+  std::uint64_t Multiply(std::uint64_t a, std::uint64_t b) const noexcept override;
+
+ private:
+  int operand_bits_;
+};
+
+/// Truncated-array multiplier: partial-product columns below `cut_column`
+/// are omitted.
+class PpTruncatedMultiplier final : public Multiplier {
+ public:
+  /// `cut_column` must be in [1, 2*operand_bits-1].
+  PpTruncatedMultiplier(int operand_bits, int cut_column);
+  int OperandBits() const noexcept override { return operand_bits_; }
+  int CutColumn() const noexcept { return cut_column_; }
+  std::string Describe() const override;
+  std::uint64_t Multiply(std::uint64_t a, std::uint64_t b) const noexcept override;
+
+ private:
+  int operand_bits_;
+  int cut_column_;
+};
+
+/// Clears the low `trunc_bits` of both operands before an exact multiply.
+class OperandTruncatedMultiplier final : public Multiplier {
+ public:
+  OperandTruncatedMultiplier(int operand_bits, int trunc_bits);
+  int OperandBits() const noexcept override { return operand_bits_; }
+  int TruncBits() const noexcept { return trunc_bits_; }
+  std::string Describe() const override;
+  std::uint64_t Multiply(std::uint64_t a, std::uint64_t b) const noexcept override;
+
+ private:
+  int operand_bits_;
+  int trunc_bits_;
+};
+
+/// Mitchell's logarithmic multiplier (fixed-point, 30 fractional bits).
+class MitchellLogMultiplier final : public Multiplier {
+ public:
+  explicit MitchellLogMultiplier(int operand_bits);
+  int OperandBits() const noexcept override { return operand_bits_; }
+  std::string Describe() const override;
+  std::uint64_t Multiply(std::uint64_t a, std::uint64_t b) const noexcept override;
+
+ private:
+  int operand_bits_;
+};
+
+/// DRUM-style dynamic-range unbiased multiplier with k kept bits.
+class DrumMultiplier final : public Multiplier {
+ public:
+  /// `kept_bits` must be in [2, operand_bits].
+  DrumMultiplier(int operand_bits, int kept_bits);
+  int OperandBits() const noexcept override { return operand_bits_; }
+  int KeptBits() const noexcept { return kept_bits_; }
+  std::string Describe() const override;
+  std::uint64_t Multiply(std::uint64_t a, std::uint64_t b) const noexcept override;
+
+ private:
+  int operand_bits_;
+  int kept_bits_;
+};
+
+/// Rounds each operand down to its `msb_bits` leading bits before multiplying.
+class LeadingOneMultiplier final : public Multiplier {
+ public:
+  /// `msb_bits` must be in [1, operand_bits].
+  LeadingOneMultiplier(int operand_bits, int msb_bits);
+  int OperandBits() const noexcept override { return operand_bits_; }
+  int MsbBits() const noexcept { return msb_bits_; }
+  std::string Describe() const override;
+  std::uint64_t Multiply(std::uint64_t a, std::uint64_t b) const noexcept override;
+
+ private:
+  int operand_bits_;
+  int msb_bits_;
+};
+
+/// Kulkarni-style underdesigned multiplier: a 2x2 approximate block
+/// (3 x 3 = 7 instead of 9, every other entry exact) composed recursively to
+/// the operand width. Classic MRED ~3.3% at 8 bits.
+class KulkarniMultiplier final : public Multiplier {
+ public:
+  explicit KulkarniMultiplier(int operand_bits);
+  int OperandBits() const noexcept override { return operand_bits_; }
+  std::string Describe() const override;
+  std::uint64_t Multiply(std::uint64_t a, std::uint64_t b) const noexcept override;
+
+ private:
+  int operand_bits_;
+};
+
+/// ROBA-style rounding-based multiplier: rounds each operand to the nearest
+/// power of two (r) and computes a*b ~= ra*b + rb*a - ra*rb, i.e. it drops
+/// only the (a-ra)*(b-rb) term. Unlike LeadingOne it can overestimate, and
+/// it is exact whenever either operand is a power of two.
+class RobaMultiplier final : public Multiplier {
+ public:
+  explicit RobaMultiplier(int operand_bits);
+  int OperandBits() const noexcept override { return operand_bits_; }
+  std::string Describe() const override;
+  std::uint64_t Multiply(std::uint64_t a, std::uint64_t b) const noexcept override;
+
+  /// Nearest power of two (ties round up); 0 maps to 0. Exposed for tests.
+  static std::uint64_t RoundToNearestPowerOfTwo(std::uint64_t v) noexcept;
+
+ private:
+  int operand_bits_;
+};
+
+/// Factory helpers returning shared, immutable model instances.
+std::shared_ptr<const Multiplier> MakeExactMultiplier(int operand_bits);
+std::shared_ptr<const Multiplier> MakePpTruncatedMultiplier(int operand_bits,
+                                                            int cut_column);
+std::shared_ptr<const Multiplier> MakeOperandTruncatedMultiplier(
+    int operand_bits, int trunc_bits);
+std::shared_ptr<const Multiplier> MakeMitchellLogMultiplier(int operand_bits);
+std::shared_ptr<const Multiplier> MakeDrumMultiplier(int operand_bits,
+                                                     int kept_bits);
+std::shared_ptr<const Multiplier> MakeLeadingOneMultiplier(int operand_bits,
+                                                           int msb_bits);
+std::shared_ptr<const Multiplier> MakeKulkarniMultiplier(int operand_bits);
+std::shared_ptr<const Multiplier> MakeRobaMultiplier(int operand_bits);
+
+}  // namespace axdse::axc

@@ -1,0 +1,241 @@
+#include "dse/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace axdse::dse {
+
+double BaselineObjective(const RewardConfig& reward,
+                         const instrument::Measurement& m) {
+  if (m.delta_acc > reward.acc_threshold) {
+    const double scale =
+        reward.acc_threshold > 0.0 ? reward.acc_threshold : 1.0;
+    return -1.0 - (m.delta_acc - reward.acc_threshold) / scale;
+  }
+  const double power_norm =
+      m.precise_power_mw > 0.0 ? m.delta_power_mw / m.precise_power_mw : 0.0;
+  const double time_norm =
+      m.precise_time_ns > 0.0 ? m.delta_time_ns / m.precise_time_ns : 0.0;
+  return power_norm + time_norm;
+}
+
+namespace {
+
+/// Shared bookkeeping: evaluates a configuration and keeps the running best.
+class BestTracker {
+ public:
+  BestTracker(Evaluator& evaluator, const RewardConfig& reward,
+              std::string name)
+      : evaluator_(&evaluator), reward_(&reward) {
+    result_.name = std::move(name);
+  }
+
+  /// Evaluates and scores `config`, updating the best-so-far.
+  double Score(const Configuration& config) {
+    const instrument::Measurement m = evaluator_->Evaluate(config);
+    ++result_.evaluations;
+    const double objective = BaselineObjective(*reward_, m);
+    if (result_.evaluations == 1 || objective > result_.best_objective) {
+      result_.best = config;
+      result_.best_measurement = m;
+      result_.best_objective = objective;
+      result_.feasible_found = m.delta_acc <= reward_->acc_threshold;
+      result_.evaluations_to_best = result_.evaluations;
+    }
+    return objective;
+  }
+
+  std::size_t Evaluations() const noexcept { return result_.evaluations; }
+  BaselineResult Take() { return std::move(result_); }
+
+ private:
+  Evaluator* evaluator_;
+  const RewardConfig* reward_;
+  BaselineResult result_;
+};
+
+void CheckBudget(std::size_t budget) {
+  if (budget == 0)
+    throw std::invalid_argument("baseline explorer: budget == 0");
+}
+
+}  // namespace
+
+BaselineResult RandomSearch(Evaluator& evaluator, const RewardConfig& reward,
+                            std::size_t budget, std::uint64_t seed) {
+  CheckBudget(budget);
+  util::Rng rng(seed);
+  const SpaceShape& shape = evaluator.Shape();
+  BestTracker tracker(evaluator, reward, "random-search");
+  tracker.Score(InitialConfiguration(shape));
+  while (tracker.Evaluations() < budget)
+    tracker.Score(RandomConfiguration(shape, rng));
+  return tracker.Take();
+}
+
+BaselineResult HillClimb(Evaluator& evaluator, const RewardConfig& reward,
+                         std::size_t budget, std::uint64_t seed,
+                         std::size_t patience) {
+  CheckBudget(budget);
+  util::Rng rng(seed);
+  const SpaceShape& shape = evaluator.Shape();
+  BestTracker tracker(evaluator, reward, "hill-climb");
+
+  Configuration current = InitialConfiguration(shape);
+  double current_score = tracker.Score(current);
+  std::size_t rejections = 0;
+  while (tracker.Evaluations() < budget) {
+    Configuration candidate = current;
+    RandomNeighborMove(candidate, shape, rng);
+    const double candidate_score = tracker.Score(candidate);
+    if (candidate_score >= current_score) {
+      current = std::move(candidate);
+      current_score = candidate_score;
+      rejections = 0;
+    } else if (++rejections >= patience) {
+      if (tracker.Evaluations() >= budget) break;
+      current = RandomConfiguration(shape, rng);
+      current_score = tracker.Score(current);
+      rejections = 0;
+    }
+  }
+  return tracker.Take();
+}
+
+BaselineResult SimulatedAnnealing(Evaluator& evaluator,
+                                  const RewardConfig& reward,
+                                  std::size_t budget, std::uint64_t seed,
+                                  const AnnealingSchedule& schedule) {
+  CheckBudget(budget);
+  if (!(schedule.cooling_rate > 0.0 && schedule.cooling_rate < 1.0))
+    throw std::invalid_argument(
+        "SimulatedAnnealing: cooling_rate must be in (0,1)");
+  util::Rng rng(seed);
+  const SpaceShape& shape = evaluator.Shape();
+  BestTracker tracker(evaluator, reward, "simulated-annealing");
+
+  Configuration current = InitialConfiguration(shape);
+  double current_score = tracker.Score(current);
+  double temperature = schedule.initial_temperature;
+  while (tracker.Evaluations() < budget) {
+    Configuration candidate = current;
+    RandomNeighborMove(candidate, shape, rng);
+    const double candidate_score = tracker.Score(candidate);
+    const double delta = candidate_score - current_score;
+    const bool accept =
+        delta >= 0.0 ||
+        rng.UniformReal() < std::exp(delta / std::max(temperature, 1e-12));
+    if (accept) {
+      current = std::move(candidate);
+      current_score = candidate_score;
+    }
+    temperature =
+        std::max(schedule.min_temperature, temperature * schedule.cooling_rate);
+  }
+  return tracker.Take();
+}
+
+BaselineResult ExhaustiveSearch(Evaluator& evaluator,
+                                const RewardConfig& reward,
+                                std::size_t max_configurations) {
+  const SpaceShape& shape = evaluator.Shape();
+  if (shape.num_variables >= 40)
+    throw std::invalid_argument("ExhaustiveSearch: variable space too large");
+  const std::size_t mask_count = std::size_t{1} << shape.num_variables;
+  const std::size_t total =
+      shape.num_adders * shape.num_multipliers * mask_count;
+  if (total > max_configurations)
+    throw std::invalid_argument(
+        "ExhaustiveSearch: space exceeds max_configurations");
+
+  BestTracker tracker(evaluator, reward, "exhaustive");
+  Configuration config(shape.num_variables);
+  for (std::uint32_t a = 0; a < shape.num_adders; ++a) {
+    config.SetAdderIndex(a);
+    for (std::uint32_t m = 0; m < shape.num_multipliers; ++m) {
+      config.SetMultiplierIndex(m);
+      for (std::size_t mask = 0; mask < mask_count; ++mask) {
+        for (std::size_t v = 0; v < shape.num_variables; ++v)
+          config.SetVariable(v, (mask >> v) & 1u);
+        tracker.Score(config);
+      }
+    }
+  }
+  return tracker.Take();
+}
+
+BaselineResult GeneticSearch(Evaluator& evaluator, const RewardConfig& reward,
+                             std::size_t budget, std::uint64_t seed,
+                             const GeneticOptions& options) {
+  CheckBudget(budget);
+  if (options.population < 2)
+    throw std::invalid_argument("GeneticSearch: population < 2");
+  if (options.elites >= options.population)
+    throw std::invalid_argument("GeneticSearch: elites >= population");
+  util::Rng rng(seed);
+  const SpaceShape& shape = evaluator.Shape();
+  BestTracker tracker(evaluator, reward, "genetic");
+
+  struct Individual {
+    Configuration config;
+    double fitness = 0.0;
+  };
+
+  std::vector<Individual> population;
+  population.reserve(options.population);
+  population.push_back({InitialConfiguration(shape), 0.0});
+  while (population.size() < options.population)
+    population.push_back({RandomConfiguration(shape, rng), 0.0});
+  for (Individual& ind : population) {
+    if (tracker.Evaluations() >= budget) break;
+    ind.fitness = tracker.Score(ind.config);
+  }
+
+  const auto tournament_pick = [&](const std::vector<Individual>& pool) {
+    std::size_t best = rng.PickIndex(pool.size());
+    for (std::size_t i = 1; i < options.tournament; ++i) {
+      const std::size_t challenger = rng.PickIndex(pool.size());
+      if (pool[challenger].fitness > pool[best].fitness) best = challenger;
+    }
+    return best;
+  };
+
+  while (tracker.Evaluations() < budget) {
+    std::sort(population.begin(), population.end(),
+              [](const Individual& a, const Individual& b) {
+                return a.fitness > b.fitness;
+              });
+    std::vector<Individual> next(population.begin(),
+                                 population.begin() +
+                                     static_cast<std::ptrdiff_t>(options.elites));
+    while (next.size() < options.population &&
+           tracker.Evaluations() < budget) {
+      const Individual& pa = population[tournament_pick(population)];
+      const Individual& pb = population[tournament_pick(population)];
+      Configuration child = pa.config;
+      if (rng.Bernoulli(options.crossover_rate)) {
+        if (rng.Bernoulli(0.5)) child.SetAdderIndex(pb.config.AdderIndex());
+        if (rng.Bernoulli(0.5))
+          child.SetMultiplierIndex(pb.config.MultiplierIndex());
+        for (std::size_t v = 0; v < shape.num_variables; ++v)
+          if (rng.Bernoulli(0.5))
+            child.SetVariable(v, pb.config.VariableSelected(v));
+      }
+      // Mutation: operator indices random-walk, variable bits flip.
+      if (rng.Bernoulli(options.mutation_rate))
+        (rng.Bernoulli(0.5) ? NextAdder : PrevAdder)(child, shape);
+      if (rng.Bernoulli(options.mutation_rate))
+        (rng.Bernoulli(0.5) ? NextMultiplier : PrevMultiplier)(child, shape);
+      for (std::size_t v = 0; v < shape.num_variables; ++v)
+        if (rng.Bernoulli(options.mutation_rate)) child.ToggleVariable(v);
+      Individual offspring{std::move(child), 0.0};
+      offspring.fitness = tracker.Score(offspring.config);
+      next.push_back(std::move(offspring));
+    }
+    population = std::move(next);
+  }
+  return tracker.Take();
+}
+
+}  // namespace axdse::dse

@@ -1,0 +1,78 @@
+#pragma once
+// Non-RL explorers over the same configuration space, used by the ablation
+// bench to test the paper's implicit claim (via Wu et al. [4]) that RL-based
+// DSE beats classic heuristics like simulated annealing and genetic search.
+//
+// All baselines optimize the same scalar objective: infeasible configurations
+// (accuracy loss above threshold) are penalized below every feasible one;
+// feasible configurations score the normalized power+time savings.
+
+#include <string>
+
+#include "dse/configuration.hpp"
+#include "dse/evaluator.hpp"
+#include "dse/reward.hpp"
+
+namespace axdse::dse {
+
+/// Scalarized exploration objective (higher is better):
+///  * infeasible: -1 - (Δacc - acc_th)/acc_th   (always < any feasible score)
+///  * feasible:   Δpower/precise_power + Δtime/precise_time   (in [~0, 2])
+double BaselineObjective(const RewardConfig& reward,
+                         const instrument::Measurement& measurement);
+
+/// Result of one baseline run.
+struct BaselineResult {
+  std::string name;
+  Configuration best;
+  instrument::Measurement best_measurement;
+  double best_objective = 0.0;
+  bool feasible_found = false;
+  std::size_t evaluations = 0;          ///< Evaluate() calls issued
+  std::size_t evaluations_to_best = 0;  ///< eval index when best was found
+};
+
+/// Uniform random sampling of the space.
+BaselineResult RandomSearch(Evaluator& evaluator, const RewardConfig& reward,
+                            std::size_t budget, std::uint64_t seed);
+
+/// Stochastic hill climbing with random restarts: accepts a random neighbor
+/// move iff it does not decrease the objective; restarts from a random
+/// configuration after `patience` consecutive rejections.
+BaselineResult HillClimb(Evaluator& evaluator, const RewardConfig& reward,
+                         std::size_t budget, std::uint64_t seed,
+                         std::size_t patience = 50);
+
+/// Simulated annealing with geometric cooling.
+struct AnnealingSchedule {
+  double initial_temperature = 1.0;
+  double cooling_rate = 0.995;  ///< multiplied in after every evaluation
+  double min_temperature = 1e-4;
+};
+BaselineResult SimulatedAnnealing(Evaluator& evaluator,
+                                  const RewardConfig& reward,
+                                  std::size_t budget, std::uint64_t seed,
+                                  const AnnealingSchedule& schedule = {});
+
+/// Exhaustive enumeration of the whole configuration space — the oracle for
+/// small spaces (e.g. program-variable granularity: 6 x 6 x 2^3 = 288
+/// configurations). Throws std::invalid_argument if the space exceeds
+/// `max_configurations`.
+BaselineResult ExhaustiveSearch(Evaluator& evaluator,
+                                const RewardConfig& reward,
+                                std::size_t max_configurations = 1u << 20);
+
+/// Generational genetic algorithm: tournament selection, uniform crossover
+/// over (adder, multiplier, variable mask), per-gene mutation.
+struct GeneticOptions {
+  std::size_t population = 24;
+  std::size_t tournament = 3;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.05;  ///< per variable bit; operators mutate +-1
+  std::size_t elites = 2;
+};
+BaselineResult GeneticSearch(Evaluator& evaluator, const RewardConfig& reward,
+                             std::size_t budget, std::uint64_t seed,
+                             const GeneticOptions& options = {});
+
+}  // namespace axdse::dse

@@ -1,0 +1,81 @@
+#include "dse/configuration.hpp"
+
+#include <cmath>
+
+namespace axdse::dse {
+
+double SpaceShape::Log2Size() const noexcept {
+  if (num_adders == 0 || num_multipliers == 0) return 0.0;
+  return std::log2(static_cast<double>(num_adders)) +
+         std::log2(static_cast<double>(num_multipliers)) +
+         static_cast<double>(num_variables);
+}
+
+SpaceShape ShapeOf(const axc::OperatorSet& operators,
+                   std::size_t num_variables) noexcept {
+  SpaceShape shape;
+  shape.num_adders = operators.AdderCount();
+  shape.num_multipliers = operators.MultiplierCount();
+  shape.num_variables = num_variables;
+  return shape;
+}
+
+Configuration InitialConfiguration(const SpaceShape& shape) {
+  return Configuration(shape.num_variables);
+}
+
+Configuration RandomConfiguration(const SpaceShape& shape, util::Rng& rng) {
+  Configuration config(shape.num_variables);
+  config.SetAdderIndex(
+      static_cast<std::uint32_t>(rng.PickIndex(shape.num_adders)));
+  config.SetMultiplierIndex(
+      static_cast<std::uint32_t>(rng.PickIndex(shape.num_multipliers)));
+  for (std::size_t i = 0; i < shape.num_variables; ++i)
+    config.SetVariable(i, rng.Bernoulli(0.5));
+  return config;
+}
+
+void NextAdder(Configuration& config, const SpaceShape& shape) noexcept {
+  config.SetAdderIndex(static_cast<std::uint32_t>(
+      (config.AdderIndex() + 1) % shape.num_adders));
+}
+
+void PrevAdder(Configuration& config, const SpaceShape& shape) noexcept {
+  config.SetAdderIndex(static_cast<std::uint32_t>(
+      (config.AdderIndex() + shape.num_adders - 1) % shape.num_adders));
+}
+
+void NextMultiplier(Configuration& config, const SpaceShape& shape) noexcept {
+  config.SetMultiplierIndex(static_cast<std::uint32_t>(
+      (config.MultiplierIndex() + 1) % shape.num_multipliers));
+}
+
+void PrevMultiplier(Configuration& config, const SpaceShape& shape) noexcept {
+  config.SetMultiplierIndex(static_cast<std::uint32_t>(
+      (config.MultiplierIndex() + shape.num_multipliers - 1) %
+      shape.num_multipliers));
+}
+
+void RandomNeighborMove(Configuration& config, const SpaceShape& shape,
+                        util::Rng& rng) {
+  const std::size_t kind = rng.PickIndex(shape.num_variables > 0 ? 5 : 4);
+  switch (kind) {
+    case 0:
+      NextAdder(config, shape);
+      break;
+    case 1:
+      PrevAdder(config, shape);
+      break;
+    case 2:
+      NextMultiplier(config, shape);
+      break;
+    case 3:
+      PrevMultiplier(config, shape);
+      break;
+    default:
+      config.ToggleVariable(rng.PickIndex(shape.num_variables));
+      break;
+  }
+}
+
+}  // namespace axdse::dse

@@ -1,0 +1,51 @@
+#pragma once
+// The design-space point explored by the DSE. Structurally this is the
+// instrumentation layer's ApproxSelection (adder index, multiplier index,
+// variable bit-vector); the helpers here add the moves used by the RL action
+// space and the baseline explorers.
+
+#include <cstddef>
+
+#include "axc/catalog.hpp"
+#include "instrument/approx_selection.hpp"
+#include "util/rng.hpp"
+
+namespace axdse::dse {
+
+/// Alias: a configuration IS an approximation selection.
+using Configuration = instrument::ApproxSelection;
+
+/// Bounds of the configuration space for one kernel.
+struct SpaceShape {
+  std::size_t num_adders = 0;
+  std::size_t num_multipliers = 0;
+  std::size_t num_variables = 0;
+
+  /// log2 of the space size contribution of the variable mask plus the
+  /// operator choices (for reporting).
+  double Log2Size() const noexcept;
+};
+
+/// Shape of the space induced by an operator set and a variable count.
+SpaceShape ShapeOf(const axc::OperatorSet& operators,
+                   std::size_t num_variables) noexcept;
+
+/// The all-precise starting configuration (exact operators, no variables).
+Configuration InitialConfiguration(const SpaceShape& shape);
+
+/// Uniformly random configuration (used by baselines).
+Configuration RandomConfiguration(const SpaceShape& shape, util::Rng& rng);
+
+/// In-place moves used by local-search baselines and the environment's
+/// action application. All wrap cyclically / stay in range.
+void NextAdder(Configuration& config, const SpaceShape& shape) noexcept;
+void PrevAdder(Configuration& config, const SpaceShape& shape) noexcept;
+void NextMultiplier(Configuration& config, const SpaceShape& shape) noexcept;
+void PrevMultiplier(Configuration& config, const SpaceShape& shape) noexcept;
+
+/// Applies one uniformly random neighbor move (adder +-1, multiplier +-1, or
+/// a random variable toggle).
+void RandomNeighborMove(Configuration& config, const SpaceShape& shape,
+                        util::Rng& rng);
+
+}  // namespace axdse::dse

@@ -1,0 +1,70 @@
+#include "dse/evaluator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "metrics/error_metrics.hpp"
+
+namespace axdse::dse {
+
+Evaluator::Evaluator(const workloads::Kernel& kernel)
+    : kernel_(&kernel),
+      energy_(kernel.Operators()),
+      context_(kernel.Operators(), kernel.NumVariables()),
+      shape_(ShapeOf(kernel.Operators(), kernel.NumVariables())) {
+  // Golden run: all-precise configuration.
+  context_.Configure(InitialConfiguration(shape_));
+  precise_outputs_ = kernel_->Run(context_);
+  ++kernel_runs_;
+  if (precise_outputs_.empty())
+    throw std::invalid_argument("Evaluator: kernel produced no outputs");
+  double abs_sum = 0.0;
+  for (const double v : precise_outputs_) abs_sum += std::abs(v);
+  mean_abs_output_ = abs_sum / static_cast<double>(precise_outputs_.size());
+  const energy::CostEstimate precise_cost =
+      energy_.PreciseCost(context_.Counts());
+  precise_power_mw_ = precise_cost.power_mw;
+  precise_time_ns_ = precise_cost.time_ns;
+
+  // Seed the cache with the golden configuration so the all-precise point is
+  // never executed twice.
+  instrument::Measurement golden;
+  golden.counts = context_.Counts();
+  golden.precise_power_mw = precise_power_mw_;
+  golden.precise_time_ns = precise_time_ns_;
+  golden.approx_power_mw = precise_power_mw_;
+  golden.approx_time_ns = precise_time_ns_;
+  cache_.Insert(InitialConfiguration(shape_), golden);
+}
+
+instrument::Measurement Evaluator::Evaluate(const Configuration& config) {
+  if (config.NumVariables() != shape_.num_variables)
+    throw std::invalid_argument("Evaluator::Evaluate: variable count mismatch");
+  if (config.AdderIndex() >= shape_.num_adders ||
+      config.MultiplierIndex() >= shape_.num_multipliers)
+    throw std::invalid_argument("Evaluator::Evaluate: operator index range");
+
+  if (const auto cached = cache_.Lookup(config); cached.has_value())
+    return *cached;
+
+  context_.Configure(config);
+  const std::vector<double> outputs = kernel_->Run(context_);
+  ++kernel_runs_;
+
+  instrument::Measurement m;
+  m.counts = context_.Counts();
+  m.delta_acc = metrics::MeanAbsoluteError(precise_outputs_, outputs);
+  const energy::CostEstimate approx_cost =
+      energy_.Cost(m.counts, config.AdderIndex(), config.MultiplierIndex());
+  m.approx_power_mw = approx_cost.power_mw;
+  m.approx_time_ns = approx_cost.time_ns;
+  m.precise_power_mw = precise_power_mw_;
+  m.precise_time_ns = precise_time_ns_;
+  m.delta_power_mw = precise_power_mw_ - approx_cost.power_mw;
+  m.delta_time_ns = precise_time_ns_ - approx_cost.time_ns;
+
+  cache_.Insert(config, m);
+  return m;
+}
+
+}  // namespace axdse::dse

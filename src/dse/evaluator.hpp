@@ -1,0 +1,68 @@
+#pragma once
+// Deterministic configuration evaluator: runs the instrumented kernel under a
+// configuration and produces the paper's observations (Δacc per Eq. 2,
+// Δpower, Δtime from the per-op characterization), memoized per
+// configuration.
+
+#include <vector>
+
+#include "dse/configuration.hpp"
+#include "energy/energy_model.hpp"
+#include "instrument/evaluation_cache.hpp"
+#include "instrument/measurement.hpp"
+#include "workloads/kernel.hpp"
+
+namespace axdse::dse {
+
+/// Evaluates configurations for one kernel. Owns the context, the energy
+/// model, the golden (precise) run, and the evaluation cache.
+/// Not thread-safe; use one Evaluator per exploration.
+class Evaluator {
+ public:
+  /// Runs the precise version once to capture golden outputs, op counts,
+  /// and precise power/time. The kernel must outlive the evaluator.
+  explicit Evaluator(const workloads::Kernel& kernel);
+
+  /// Measures `config` (cache-backed). Throws std::invalid_argument if the
+  /// configuration shape does not match the kernel.
+  instrument::Measurement Evaluate(const Configuration& config);
+
+  /// The kernel being explored.
+  const workloads::Kernel& Kernel() const noexcept { return *kernel_; }
+
+  /// Shape of this kernel's configuration space.
+  const SpaceShape& Shape() const noexcept { return shape_; }
+
+  /// Mean of |precise output| — the basis of the paper's accuracy threshold
+  /// (acc_th = 0.4 x average precise output).
+  double MeanAbsPreciseOutput() const noexcept { return mean_abs_output_; }
+
+  /// Cost of the precise run under the additive per-op model.
+  double PrecisePowerMw() const noexcept { return precise_power_mw_; }
+  double PreciseTimeNs() const noexcept { return precise_time_ns_; }
+
+  /// Golden outputs (for reporting / tests).
+  const std::vector<double>& PreciseOutputs() const noexcept {
+    return precise_outputs_;
+  }
+
+  /// Number of actual kernel executions (distinct configurations).
+  std::size_t KernelRuns() const noexcept { return kernel_runs_; }
+
+  /// Number of cache hits across Evaluate() calls.
+  std::size_t CacheHits() const noexcept { return cache_.Hits(); }
+
+ private:
+  const workloads::Kernel* kernel_;
+  energy::EnergyModel energy_;
+  instrument::ApproxContext context_;
+  SpaceShape shape_;
+  std::vector<double> precise_outputs_;
+  double mean_abs_output_ = 0.0;
+  double precise_power_mw_ = 0.0;
+  double precise_time_ns_ = 0.0;
+  instrument::EvaluationCache cache_;
+  std::size_t kernel_runs_ = 0;
+};
+
+}  // namespace axdse::dse

@@ -1,0 +1,149 @@
+#include "dse/explorer.hpp"
+
+#include <stdexcept>
+
+#include "dse/baselines.hpp"
+
+namespace axdse::dse {
+
+std::unique_ptr<rl::Agent> MakeAgent(AgentKind kind, std::size_t num_actions,
+                                     const rl::AgentConfig& config,
+                                     double lambda, std::uint64_t seed) {
+  switch (kind) {
+    case AgentKind::kQLearning:
+      return std::make_unique<rl::QLearningAgent>(num_actions, config, seed);
+    case AgentKind::kSarsa:
+      return std::make_unique<rl::SarsaAgent>(num_actions, config, seed);
+    case AgentKind::kExpectedSarsa:
+      return std::make_unique<rl::ExpectedSarsaAgent>(num_actions, config,
+                                                      seed);
+    case AgentKind::kDoubleQ:
+      return std::make_unique<rl::DoubleQLearningAgent>(num_actions, config,
+                                                        seed);
+    case AgentKind::kQLambda:
+      return std::make_unique<rl::QLambdaAgent>(num_actions, config, lambda,
+                                                seed);
+  }
+  throw std::invalid_argument("MakeAgent: unknown agent kind");
+}
+
+const char* ToString(AgentKind kind) noexcept {
+  switch (kind) {
+    case AgentKind::kQLearning:
+      return "q-learning";
+    case AgentKind::kSarsa:
+      return "sarsa";
+    case AgentKind::kExpectedSarsa:
+      return "expected-sarsa";
+    case AgentKind::kDoubleQ:
+      return "double-q";
+    case AgentKind::kQLambda:
+      return "q-lambda";
+  }
+  return "unknown";
+}
+
+Explorer::Explorer(Evaluator& evaluator, const RewardConfig& reward,
+                   const ExplorerConfig& config)
+    : evaluator_(&evaluator), reward_(reward), config_(config) {
+  reward_.Validate();
+  if (config_.episodes == 0)
+    throw std::invalid_argument("Explorer: episodes == 0");
+}
+
+ExplorationResult Explorer::Explore() {
+  AxDseEnvironment env(*evaluator_, reward_, config_.action_space);
+  const std::unique_ptr<rl::Agent> agent = MakeAgent(
+      config_.agent_kind, env.NumActions(), config_.agent, config_.lambda,
+      config_.seed);
+
+  ExplorationResult result;
+  result.episodes = config_.episodes;
+
+  const auto consider_best = [&](const Configuration& config,
+                                 const instrument::Measurement& m) {
+    if (m.delta_acc > reward_.acc_threshold) return;
+    const double objective = BaselineObjective(reward_, m);
+    if (!result.has_best_feasible ||
+        objective >
+            BaselineObjective(reward_, result.best_feasible_measurement)) {
+      result.has_best_feasible = true;
+      result.best_feasible = config;
+      result.best_feasible_measurement = m;
+    }
+  };
+
+  double cumulative = 0.0;
+  std::size_t global_step = 0;
+  const rl::StepCallback on_step = [&](std::size_t /*episode_step*/,
+                                       rl::StateId /*state*/,
+                                       std::size_t action,
+                                       const rl::StepResult& sr) {
+    const instrument::Measurement& m = env.LastMeasurement();
+    cumulative += sr.reward;
+    result.delta_power.Update(m.delta_power_mw);
+    result.delta_time.Update(m.delta_time_ns);
+    result.delta_acc.Update(m.delta_acc);
+    consider_best(env.CurrentConfig(), m);
+    if (config_.record_trace) {
+      StepRecord record;
+      record.step = global_step;
+      record.action = action;
+      record.reward = sr.reward;
+      record.cumulative_reward = cumulative;
+      record.config = env.CurrentConfig();
+      record.measurement = m;
+      result.trace.push_back(std::move(record));
+    }
+    ++global_step;
+  };
+
+  rl::TrainOptions options;
+  options.max_steps = config_.max_steps;
+  options.stop_at_cumulative_reward = config_.max_cumulative_reward;
+
+  for (std::size_t episode = 0; episode < config_.episodes; ++episode) {
+    const rl::TrainResult train = rl::RunEpisode(
+        env, *agent, options, config_.seed + episode, on_step);
+    result.steps += train.steps;
+    result.stop_reason = train.stop_reason;
+    result.cumulative_reward += train.cumulative_reward;
+    result.rewards.insert(result.rewards.end(), train.rewards.begin(),
+                          train.rewards.end());
+  }
+
+  result.solution = env.CurrentConfig();
+  result.solution_measurement = env.LastMeasurement();
+
+  // Optional greedy rollout: follow the learned policy without exploration
+  // and fold the visited configurations into the best-feasible tracking.
+  if (config_.greedy_rollout_steps > 0) {
+    rl::StateId state = env.Reset(config_.seed);
+    for (std::size_t i = 0; i < config_.greedy_rollout_steps; ++i) {
+      const std::size_t action = agent->Table().GreedyAction(state);
+      const rl::StepResult sr = env.Step(action);
+      consider_best(env.CurrentConfig(), env.LastMeasurement());
+      state = sr.next_state;
+      if (sr.terminated) break;
+    }
+  }
+
+  const axc::OperatorSet& ops = evaluator_->Kernel().Operators();
+  result.solution_adder = ops.adders[result.solution.AdderIndex()].type_code;
+  result.solution_multiplier =
+      ops.multipliers[result.solution.MultiplierIndex()].type_code;
+  result.kernel_runs = evaluator_->KernelRuns();
+  result.cache_hits = evaluator_->CacheHits();
+  return result;
+}
+
+ExplorationResult ExploreKernel(const workloads::Kernel& kernel,
+                                const ExplorerConfig& config,
+                                const PaperThresholdFactors& factors) {
+  Evaluator evaluator(kernel);
+  const RewardConfig reward = MakePaperRewardConfig(evaluator, factors);
+  Explorer explorer(evaluator, reward, config);
+  return explorer.Explore();
+}
+
+}  // namespace axdse::dse

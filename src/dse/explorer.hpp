@@ -1,0 +1,146 @@
+#pragma once
+// The top-level exploration driver: wires kernel -> evaluator -> environment
+// -> Q-learning agent, runs the paper's single long episode, and collects
+// everything Table III and Figures 2-4 need (per-step trace, min/solution/max
+// per objective, the solution configuration and its operator names).
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dse/environment.hpp"
+#include "rl/trainer.hpp"
+
+namespace axdse::dse {
+
+/// Which learning algorithm drives the exploration. The paper uses plain
+/// Q-learning; the alternatives are extensions for the agent ablation.
+enum class AgentKind {
+  kQLearning,
+  kSarsa,
+  kExpectedSarsa,
+  kDoubleQ,
+  kQLambda,
+};
+
+/// Returns a freshly constructed agent of the given kind.
+std::unique_ptr<rl::Agent> MakeAgent(AgentKind kind, std::size_t num_actions,
+                                     const rl::AgentConfig& config,
+                                     double lambda, std::uint64_t seed);
+
+/// Human-readable agent name.
+const char* ToString(AgentKind kind) noexcept;
+
+/// Exploration hyper-parameters.
+struct ExplorerConfig {
+  /// Step cap (paper: 10,000). With `episodes > 1` this is the per-episode
+  /// cap.
+  std::size_t max_steps = 10000;
+  /// The paper's stop rule: halt once cumulative reward reaches this
+  /// (per episode).
+  double max_cumulative_reward = 500.0;
+  /// Number of training episodes. The paper runs exactly one long episode;
+  /// more episodes restart from the all-precise configuration while the
+  /// agent's value table persists.
+  std::size_t episodes = 1;
+  /// Learning algorithm (paper: Q-learning).
+  AgentKind agent_kind = AgentKind::kQLearning;
+  /// Agent hyper-parameters.
+  rl::AgentConfig agent;
+  /// Trace-decay for AgentKind::kQLambda.
+  double lambda = 0.8;
+  /// Action-space concretization.
+  ActionSpaceKind action_space = ActionSpaceKind::kFull;
+  /// Seed for the agent's exploration randomness.
+  std::uint64_t seed = 1;
+  /// Keep the full per-step trace (needed for the figures; costs memory).
+  bool record_trace = true;
+  /// After training, roll the greedy policy out for this many steps from the
+  /// initial state and fold the visited configurations into the
+  /// best-feasible tracking (0 disables).
+  std::size_t greedy_rollout_steps = 0;
+};
+
+/// One step of the exploration trace (a figure data point).
+struct StepRecord {
+  std::size_t step = 0;
+  std::size_t action = 0;
+  double reward = 0.0;
+  double cumulative_reward = 0.0;
+  Configuration config;
+  instrument::Measurement measurement;
+};
+
+/// Closed min/max range of one objective over the exploration.
+struct ObjectiveRange {
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void Update(double value) noexcept {
+    if (value < min) min = value;
+    if (value > max) max = value;
+  }
+};
+
+/// Everything the paper reports for one benchmark exploration.
+struct ExplorationResult {
+  /// The configuration of the last step — the paper's "solution" row.
+  Configuration solution;
+  instrument::Measurement solution_measurement;
+  /// Type codes of the solution's operators (e.g. "00M", "17MJ").
+  std::string solution_adder;
+  std::string solution_multiplier;
+
+  /// min / max of each Δ observed across all steps (Table III rows).
+  ObjectiveRange delta_power;
+  ObjectiveRange delta_time;
+  ObjectiveRange delta_acc;
+
+  std::size_t steps = 0;
+  rl::StopReason stop_reason = rl::StopReason::kStepLimit;
+  double cumulative_reward = 0.0;
+
+  /// Distinct configurations actually executed / cache hits.
+  std::size_t kernel_runs = 0;
+  std::size_t cache_hits = 0;
+
+  /// Episodes actually run.
+  std::size_t episodes = 1;
+
+  /// Per-step rewards (Figure 4) and full trace (Figures 2-3) when recorded.
+  /// With multiple episodes both are concatenated in order.
+  std::vector<double> rewards;
+  std::vector<StepRecord> trace;
+
+  /// Best *feasible* configuration seen anywhere during exploration (and the
+  /// optional greedy rollout), ranked by the normalized savings objective
+  /// (BaselineObjective). Often strictly better than the paper's
+  /// last-step "solution".
+  bool has_best_feasible = false;
+  Configuration best_feasible;
+  instrument::Measurement best_feasible_measurement;
+};
+
+/// Runs the paper's Q-learning exploration for one kernel.
+class Explorer {
+ public:
+  /// The evaluator must outlive the explorer.
+  Explorer(Evaluator& evaluator, const RewardConfig& reward,
+           const ExplorerConfig& config);
+
+  /// Runs one full exploration episode.
+  ExplorationResult Explore();
+
+ private:
+  Evaluator* evaluator_;
+  RewardConfig reward_;
+  ExplorerConfig config_;
+};
+
+/// Convenience wrapper: evaluator + paper thresholds + explorer in one call.
+ExplorationResult ExploreKernel(const workloads::Kernel& kernel,
+                                const ExplorerConfig& config,
+                                const PaperThresholdFactors& factors = {});
+
+}  // namespace axdse::dse

@@ -1,0 +1,71 @@
+#include "dse/multi_run.hpp"
+
+#include <stdexcept>
+
+namespace axdse::dse {
+
+namespace {
+std::string ModalKey(const std::map<std::string, std::size_t>& votes) {
+  std::string best;
+  std::size_t best_count = 0;
+  for (const auto& [key, count] : votes) {
+    if (count > best_count) {  // map order makes ties lexicographic-first
+      best = key;
+      best_count = count;
+    }
+  }
+  return best;
+}
+}  // namespace
+
+std::string MultiRunResult::ModalAdder() const { return ModalKey(adder_votes); }
+
+std::string MultiRunResult::ModalMultiplier() const {
+  return ModalKey(multiplier_votes);
+}
+
+MultiRunResult ExploreKernelMultiSeed(const workloads::Kernel& kernel,
+                                      const ExplorerConfig& base,
+                                      std::size_t num_seeds,
+                                      const PaperThresholdFactors& factors) {
+  if (num_seeds == 0)
+    throw std::invalid_argument("ExploreKernelMultiSeed: num_seeds == 0");
+
+  MultiRunResult aggregate;
+  aggregate.runs.reserve(num_seeds);
+  util::RunningStats power_stats;
+  util::RunningStats time_stats;
+  util::RunningStats acc_stats;
+  util::RunningStats step_stats;
+  std::size_t feasible = 0;
+
+  for (std::size_t i = 0; i < num_seeds; ++i) {
+    Evaluator evaluator(kernel);
+    const RewardConfig reward = MakePaperRewardConfig(evaluator, factors);
+    ExplorerConfig config = base;
+    config.seed = base.seed + i;
+    config.record_trace = false;  // keep memory flat across many seeds
+    Explorer explorer(evaluator, reward, config);
+    ExplorationResult result = explorer.Explore();
+
+    power_stats.Add(result.solution_measurement.delta_power_mw);
+    time_stats.Add(result.solution_measurement.delta_time_ns);
+    acc_stats.Add(result.solution_measurement.delta_acc);
+    step_stats.Add(static_cast<double>(result.steps));
+    if (result.solution_measurement.delta_acc <= reward.acc_threshold)
+      ++feasible;
+    ++aggregate.adder_votes[result.solution_adder];
+    ++aggregate.multiplier_votes[result.solution_multiplier];
+    aggregate.runs.push_back(std::move(result));
+  }
+
+  aggregate.solution_delta_power = util::Summarize(power_stats);
+  aggregate.solution_delta_time = util::Summarize(time_stats);
+  aggregate.solution_delta_acc = util::Summarize(acc_stats);
+  aggregate.steps = util::Summarize(step_stats);
+  aggregate.feasible_fraction =
+      static_cast<double>(feasible) / static_cast<double>(num_seeds);
+  return aggregate;
+}
+
+}  // namespace axdse::dse

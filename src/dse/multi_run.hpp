@@ -1,0 +1,48 @@
+#pragma once
+// Multi-seed exploration statistics. The paper reports one exploration per
+// benchmark; this harness repeats the exploration across seeds and
+// summarizes the solution metrics (mean/stddev/min/max) and the operator
+// selections (vote histogram) — the robustness view a released tool needs.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dse/explorer.hpp"
+#include "util/statistics.hpp"
+
+namespace axdse::dse {
+
+/// Aggregated outcome of `runs.size()` independent explorations that differ
+/// only in the agent seed.
+struct MultiRunResult {
+  /// Per-seed results, in seed order.
+  std::vector<ExplorationResult> runs;
+
+  /// Summaries of the per-run *solution* metrics.
+  util::Summary solution_delta_power;
+  util::Summary solution_delta_time;
+  util::Summary solution_delta_acc;
+  util::Summary steps;
+
+  /// How often each operator type code was selected in the solutions.
+  std::map<std::string, std::size_t> adder_votes;
+  std::map<std::string, std::size_t> multiplier_votes;
+
+  /// Fraction of runs whose solution respected the accuracy threshold.
+  double feasible_fraction = 0.0;
+
+  /// Most-voted operator type codes (ties: lexicographically smallest).
+  std::string ModalAdder() const;
+  std::string ModalMultiplier() const;
+};
+
+/// Runs `num_seeds` explorations of `kernel` with seeds base.seed,
+/// base.seed+1, ... and paper-style thresholds. Traces are dropped to keep
+/// memory flat; per-run solution data is retained.
+/// Throws std::invalid_argument if num_seeds == 0.
+MultiRunResult ExploreKernelMultiSeed(
+    const workloads::Kernel& kernel, const ExplorerConfig& base,
+    std::size_t num_seeds, const PaperThresholdFactors& factors = {});
+
+}  // namespace axdse::dse

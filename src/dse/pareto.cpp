@@ -1,0 +1,66 @@
+#include "dse/pareto.hpp"
+
+#include <unordered_set>
+
+namespace axdse::dse {
+
+bool Dominates(const instrument::Measurement& a,
+               const instrument::Measurement& b) noexcept {
+  const bool no_worse = a.delta_power_mw >= b.delta_power_mw &&
+                        a.delta_time_ns >= b.delta_time_ns &&
+                        a.delta_acc <= b.delta_acc;
+  const bool strictly_better = a.delta_power_mw > b.delta_power_mw ||
+                               a.delta_time_ns > b.delta_time_ns ||
+                               a.delta_acc < b.delta_acc;
+  return no_worse && strictly_better;
+}
+
+std::vector<ParetoPoint> ParetoFront(const std::vector<ParetoPoint>& points) {
+  // Deduplicate by objective vector: distinct configurations with identical
+  // operator coverage measure identically (e.g. redundant variable subsets)
+  // and would otherwise survive side by side — keep the first witness.
+  std::vector<const ParetoPoint*> unique;
+  {
+    struct Key {
+      double p, t, a;
+      bool operator==(const Key&) const = default;
+    };
+    struct KeyHash {
+      std::size_t operator()(const Key& k) const noexcept {
+        const std::hash<double> h;
+        return h(k.p) ^ (h(k.t) << 1) ^ (h(k.a) << 2);
+      }
+    };
+    std::unordered_set<Key, KeyHash> seen;
+    unique.reserve(points.size());
+    for (const ParetoPoint& p : points) {
+      const Key key{p.measurement.delta_power_mw, p.measurement.delta_time_ns,
+                    p.measurement.delta_acc};
+      if (seen.insert(key).second) unique.push_back(&p);
+    }
+  }
+  std::vector<ParetoPoint> front;
+  for (const ParetoPoint* candidate : unique) {
+    bool dominated = false;
+    for (const ParetoPoint* other : unique) {
+      if (other != candidate &&
+          Dominates(other->measurement, candidate->measurement)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(*candidate);
+  }
+  return front;
+}
+
+std::vector<ParetoPoint> ParetoFrontOfTrace(
+    const std::vector<StepRecord>& trace) {
+  std::vector<ParetoPoint> points;
+  points.reserve(trace.size());
+  for (const StepRecord& record : trace)
+    points.push_back({record.config, record.measurement});
+  return ParetoFront(points);
+}
+
+}  // namespace axdse::dse

@@ -1,0 +1,36 @@
+#pragma once
+// Pareto utilities over exploration results: the paper frames the problem as
+// multi-objective (maximize Δpower and Δtime, minimize Δacc); the front over
+// the visited configurations is the natural summary of an exploration beyond
+// the single "solution" row.
+
+#include <vector>
+
+#include "dse/configuration.hpp"
+#include "dse/explorer.hpp"
+#include "instrument/measurement.hpp"
+
+namespace axdse::dse {
+
+/// One candidate point.
+struct ParetoPoint {
+  Configuration config;
+  instrument::Measurement measurement;
+};
+
+/// True if `a` dominates `b`: a is no worse on every objective
+/// (Δpower max, Δtime max, Δacc min) and strictly better on at least one.
+bool Dominates(const instrument::Measurement& a,
+               const instrument::Measurement& b) noexcept;
+
+/// Non-dominated subset of `points`. Points with identical objective
+/// vectors collapse to their first occurrence (distinct configurations with
+/// identical operator coverage measure identically). O(n^2); exploration
+/// traces are <= 10k points.
+std::vector<ParetoPoint> ParetoFront(const std::vector<ParetoPoint>& points);
+
+/// Extracts the front from an exploration trace.
+std::vector<ParetoPoint> ParetoFrontOfTrace(
+    const std::vector<StepRecord>& trace);
+
+}  // namespace axdse::dse

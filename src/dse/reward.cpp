@@ -1,0 +1,52 @@
+#include "dse/reward.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace axdse::dse {
+
+void RewardConfig::Validate() const {
+  if (!(max_reward > 0.0))
+    throw std::invalid_argument("RewardConfig: max_reward must be > 0");
+  if (!std::isfinite(acc_threshold) || !std::isfinite(power_threshold) ||
+      !std::isfinite(time_threshold))
+    throw std::invalid_argument("RewardConfig: thresholds must be finite");
+}
+
+RewardOutcome ComputeReward(const RewardConfig& config,
+                            const Configuration& state,
+                            const instrument::Measurement& measurement,
+                            const SpaceShape& shape) {
+  RewardOutcome out;
+  if (measurement.delta_acc <= config.acc_threshold) {
+    const bool most_aggressive_operators =
+        state.AdderIndex() + 1 == shape.num_adders &&
+        state.MultiplierIndex() + 1 == shape.num_multipliers;
+    if (most_aggressive_operators && state.AllVariablesSelected()) {
+      out.reward = config.max_reward;
+      out.saturated = true;
+    } else if (measurement.delta_power_mw >= config.power_threshold &&
+               measurement.delta_time_ns >= config.time_threshold) {
+      out.reward = config.step_reward;
+    } else {
+      out.reward = config.step_penalty;
+    }
+  } else {
+    out.reward = -config.max_reward;
+  }
+  return out;
+}
+
+RewardConfig MakePaperRewardConfig(const Evaluator& evaluator,
+                                   const PaperThresholdFactors& factors) {
+  RewardConfig config;
+  config.acc_threshold =
+      factors.accuracy_factor * evaluator.MeanAbsPreciseOutput();
+  config.power_threshold = factors.power_factor * evaluator.PrecisePowerMw();
+  config.time_threshold = factors.time_factor * evaluator.PreciseTimeNs();
+  config.max_reward = factors.max_reward;
+  config.Validate();
+  return config;
+}
+
+}  // namespace axdse::dse

@@ -1,0 +1,63 @@
+#pragma once
+// The paper's Algorithm 1 ("RL Rewards at step i"), faithfully:
+//
+//   if Δacc <= acc_th:
+//     if adder == N_add-1 and mul == N_mul-1 and all variables selected:
+//       reward = +R; terminate            (saturation: maximum approximation)
+//     elif Δpower >= p_th and Δtime >= t_th:
+//       reward = +1
+//     else:
+//       reward = -1
+//   else:
+//     reward = -R
+//
+// plus the paper's experimental threshold recipe: p_th and t_th are 50% of
+// the precise run's power/time; acc_th is 0.4x the average precise output.
+
+#include "dse/configuration.hpp"
+#include "dse/evaluator.hpp"
+#include "instrument/measurement.hpp"
+
+namespace axdse::dse {
+
+/// Reward-function parameters.
+struct RewardConfig {
+  double acc_threshold = 0.0;    ///< acc_th: max tolerable accuracy loss (MAE)
+  double power_threshold = 0.0;  ///< p_th: required Δpower gain (mW)
+  double time_threshold = 0.0;   ///< t_th: required Δtime gain (ns)
+  double max_reward = 100.0;     ///< R: saturation reward / -R violation
+  double step_reward = 1.0;      ///< reward when both gains clear thresholds
+  double step_penalty = -1.0;    ///< reward when feasible but gains too small
+
+  /// Validates invariants (max_reward > 0, thresholds finite).
+  /// Throws std::invalid_argument on violation.
+  void Validate() const;
+};
+
+/// Reward plus the saturation flag of Algorithm 1.
+struct RewardOutcome {
+  double reward = 0.0;
+  bool saturated = false;  ///< the "terminate = True" branch fired
+};
+
+/// Evaluates Algorithm 1 for one state (configuration + measurement).
+RewardOutcome ComputeReward(const RewardConfig& config,
+                            const Configuration& state,
+                            const instrument::Measurement& measurement,
+                            const SpaceShape& shape);
+
+/// Experimental-setup factors from the paper's Section III.
+struct PaperThresholdFactors {
+  double accuracy_factor = 0.4;  ///< acc_th = factor * mean precise output
+  double power_factor = 0.5;     ///< p_th = factor * precise power
+  double time_factor = 0.5;      ///< t_th = factor * precise time
+  double max_reward = 100.0;
+};
+
+/// Builds the RewardConfig the paper's experiments use, from the precise-run
+/// statistics captured by the evaluator.
+RewardConfig MakePaperRewardConfig(
+    const Evaluator& evaluator,
+    const PaperThresholdFactors& factors = PaperThresholdFactors{});
+
+}  // namespace axdse::dse

@@ -1,0 +1,53 @@
+#include "energy/energy_model.hpp"
+
+#include <stdexcept>
+
+namespace axdse::energy {
+
+EnergyModel::EnergyModel(axc::OperatorSet operators)
+    : operators_(std::move(operators)) {
+  if (operators_.adders.empty() || operators_.multipliers.empty())
+    throw std::invalid_argument("EnergyModel: operator set must be non-empty");
+}
+
+CostEstimate EnergyModel::Cost(const OpCounts& counts, std::size_t adder_index,
+                               std::size_t multiplier_index) const {
+  if (adder_index >= operators_.adders.size())
+    throw std::out_of_range("EnergyModel::Cost: adder_index");
+  if (multiplier_index >= operators_.multipliers.size())
+    throw std::out_of_range("EnergyModel::Cost: multiplier_index");
+  const axc::AdderSpec& exact_add = operators_.adders.front();
+  const axc::MultiplierSpec& exact_mul = operators_.multipliers.front();
+  const axc::AdderSpec& add = operators_.adders[adder_index];
+  const axc::MultiplierSpec& mul = operators_.multipliers[multiplier_index];
+
+  CostEstimate cost;
+  cost.power_mw = static_cast<double>(counts.precise_adds) * exact_add.power_mw +
+                  static_cast<double>(counts.approx_adds) * add.power_mw +
+                  static_cast<double>(counts.precise_muls) * exact_mul.power_mw +
+                  static_cast<double>(counts.approx_muls) * mul.power_mw;
+  cost.time_ns = static_cast<double>(counts.precise_adds) * exact_add.time_ns +
+                 static_cast<double>(counts.approx_adds) * add.time_ns +
+                 static_cast<double>(counts.precise_muls) * exact_mul.time_ns +
+                 static_cast<double>(counts.approx_muls) * mul.time_ns;
+  return cost;
+}
+
+CostEstimate EnergyModel::PreciseCost(const OpCounts& counts) const {
+  OpCounts all_precise;
+  all_precise.precise_adds = counts.TotalAdds();
+  all_precise.precise_muls = counts.TotalMuls();
+  return Cost(all_precise, 0, 0);
+}
+
+CostDeltas EnergyModel::Deltas(const OpCounts& counts, std::size_t adder_index,
+                               std::size_t multiplier_index) const {
+  const CostEstimate precise = PreciseCost(counts);
+  const CostEstimate approx = Cost(counts, adder_index, multiplier_index);
+  CostDeltas d;
+  d.delta_power_mw = precise.power_mw - approx.power_mw;
+  d.delta_time_ns = precise.time_ns - approx.time_ns;
+  return d;
+}
+
+}  // namespace axdse::energy

@@ -1,0 +1,126 @@
+#include "instrument/approx_context.hpp"
+
+#include <stdexcept>
+
+namespace axdse::instrument {
+
+// ---------------------------------------------------------------------------
+// ApproxSelection
+// ---------------------------------------------------------------------------
+
+ApproxSelection::ApproxSelection(std::size_t num_variables)
+    : num_variables_(num_variables), mask_((num_variables + 63) / 64, 0) {}
+
+bool ApproxSelection::VariableSelected(std::size_t i) const {
+  if (i >= num_variables_)
+    throw std::out_of_range("ApproxSelection::VariableSelected");
+  return (mask_[i / 64] >> (i % 64)) & 1ULL;
+}
+
+void ApproxSelection::SetVariable(std::size_t i, bool selected) {
+  if (i >= num_variables_)
+    throw std::out_of_range("ApproxSelection::SetVariable");
+  if (selected)
+    mask_[i / 64] |= 1ULL << (i % 64);
+  else
+    mask_[i / 64] &= ~(1ULL << (i % 64));
+}
+
+void ApproxSelection::ToggleVariable(std::size_t i) {
+  if (i >= num_variables_)
+    throw std::out_of_range("ApproxSelection::ToggleVariable");
+  mask_[i / 64] ^= 1ULL << (i % 64);
+}
+
+std::size_t ApproxSelection::SelectedCount() const noexcept {
+  std::size_t count = 0;
+  for (const std::uint64_t word : mask_)
+    count += static_cast<std::size_t>(__builtin_popcountll(word));
+  return count;
+}
+
+bool ApproxSelection::AllVariablesSelected() const noexcept {
+  return num_variables_ != 0 && SelectedCount() == num_variables_;
+}
+
+std::string ApproxSelection::ToString() const {
+  std::string vars;
+  vars.reserve(num_variables_);
+  for (std::size_t i = 0; i < num_variables_; ++i)
+    vars += (mask_[i / 64] >> (i % 64)) & 1ULL ? '1' : '0';
+  return "add=" + std::to_string(adder_index_) +
+         " mul=" + std::to_string(multiplier_index_) + " vars=" + vars;
+}
+
+std::size_t ApproxSelection::Hash::operator()(
+    const ApproxSelection& s) const noexcept {
+  // FNV-1a over the packed fields; stable within a process run.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(s.adder_index_);
+  mix(s.multiplier_index_);
+  mix(s.num_variables_);
+  for (const std::uint64_t word : s.mask_) mix(word);
+  return static_cast<std::size_t>(h);
+}
+
+// ---------------------------------------------------------------------------
+// ApproxContext
+// ---------------------------------------------------------------------------
+
+ApproxContext::ApproxContext(axc::OperatorSet operators,
+                             std::size_t num_variables)
+    : operators_(std::move(operators)), num_variables_(num_variables) {
+  if (operators_.adders.empty() || operators_.multipliers.empty())
+    throw std::invalid_argument("ApproxContext: operator set must be non-empty");
+  exact_adder_ = operators_.adders.front().model.get();
+  exact_multiplier_ = operators_.multipliers.front().model.get();
+  Configure(ApproxSelection(num_variables));
+}
+
+void ApproxContext::Configure(const ApproxSelection& selection) {
+  if (selection.NumVariables() != num_variables_)
+    throw std::invalid_argument("ApproxContext::Configure: variable count");
+  if (selection.AdderIndex() >= operators_.adders.size())
+    throw std::invalid_argument("ApproxContext::Configure: adder index");
+  if (selection.MultiplierIndex() >= operators_.multipliers.size())
+    throw std::invalid_argument("ApproxContext::Configure: multiplier index");
+  selection_ = selection;
+  approx_adder_ = operators_.adders[selection.AdderIndex()].model.get();
+  approx_multiplier_ =
+      operators_.multipliers[selection.MultiplierIndex()].model.get();
+  counts_ = {};
+}
+
+bool ApproxContext::AnySelected(VarList vars) const {
+  const auto& mask = selection_.MaskWords();
+  for (const std::size_t v : vars) {
+    if (v >= num_variables_)
+      throw std::out_of_range("ApproxContext: variable id out of range");
+    if ((mask[v / 64] >> (v % 64)) & 1ULL) return true;
+  }
+  return false;
+}
+
+std::int64_t ApproxContext::Add(std::int64_t a, std::int64_t b, VarList vars) {
+  if (AnySelected(vars)) {
+    ++counts_.approx_adds;
+    return approx_adder_->AddSigned(a, b);
+  }
+  ++counts_.precise_adds;
+  return exact_adder_->AddSigned(a, b);
+}
+
+std::int64_t ApproxContext::Mul(std::int64_t a, std::int64_t b, VarList vars) {
+  if (AnySelected(vars)) {
+    ++counts_.approx_muls;
+    return approx_multiplier_->MultiplySigned(a, b);
+  }
+  ++counts_.precise_muls;
+  return exact_multiplier_->MultiplySigned(a, b);
+}
+
+}  // namespace axdse::instrument

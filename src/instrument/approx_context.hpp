@@ -1,0 +1,75 @@
+#pragma once
+// Execution context standing in for the paper's "automatic code
+// instrumentation": kernels route every addition/multiplication through the
+// context, which (a) dispatches to the precise or the selected approximate
+// operator depending on whether any variable involved in the operation is
+// selected, and (b) accounts operation counts for the energy model.
+
+#include <cstdint>
+#include <initializer_list>
+
+#include "axc/catalog.hpp"
+#include "energy/energy_model.hpp"
+#include "instrument/approx_selection.hpp"
+
+namespace axdse::instrument {
+
+/// Variables involved in one arithmetic operation (operands and/or result, as
+/// declared by the kernel author). The operation is approximated when any of
+/// them is selected in the active ApproxSelection.
+using VarList = std::initializer_list<std::size_t>;
+
+/// Per-run instrumentation context. Not thread-safe (one context per running
+/// evaluation); cheap to reset between runs.
+class ApproxContext {
+ public:
+  /// Binds the context to an operator set (copied; specs share immutable
+  /// models) and the kernel's variable count.
+  ApproxContext(axc::OperatorSet operators, std::size_t num_variables);
+
+  /// Installs the configuration for subsequent operations and clears counts.
+  /// Throws std::invalid_argument if indices/variable count don't match the
+  /// bound operator set / variable count.
+  void Configure(const ApproxSelection& selection);
+
+  /// Active configuration.
+  const ApproxSelection& Selection() const noexcept { return selection_; }
+
+  /// Operation counts accumulated since the last Configure()/ResetCounts().
+  const energy::OpCounts& Counts() const noexcept { return counts_; }
+
+  /// Clears operation counts only.
+  void ResetCounts() noexcept { counts_ = {}; }
+
+  /// True if variable `var` is approximated under the active selection.
+  bool IsApproximated(std::size_t var) const {
+    return selection_.VariableSelected(var);
+  }
+
+  /// Signed addition on the given variables. Counted as one add.
+  std::int64_t Add(std::int64_t a, std::int64_t b, VarList vars);
+
+  /// Signed multiplication on the given variables. Counted as one mul.
+  std::int64_t Mul(std::int64_t a, std::int64_t b, VarList vars);
+
+  /// Number of kernel variables this context was built for.
+  std::size_t NumVariables() const noexcept { return num_variables_; }
+
+  /// The bound operator set.
+  const axc::OperatorSet& Operators() const noexcept { return operators_; }
+
+ private:
+  bool AnySelected(VarList vars) const;
+
+  axc::OperatorSet operators_;
+  std::size_t num_variables_;
+  ApproxSelection selection_;
+  energy::OpCounts counts_;
+  // Hot-path caches resolved at Configure() time.
+  const axc::Adder* approx_adder_ = nullptr;
+  const axc::Multiplier* approx_multiplier_ = nullptr;
+  const axc::Adder* exact_adder_ = nullptr;
+  const axc::Multiplier* exact_multiplier_ = nullptr;
+};
+
+}  // namespace axdse::instrument

@@ -1,0 +1,76 @@
+#pragma once
+// The paper's design-space point (its Equation 1, minus the observed deltas):
+// which adder, which multiplier, and which subset of program variables is
+// approximated. This is simultaneously the RL environment's configuration,
+// the Q-table's state key, and the evaluation-cache key.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace axdse::instrument {
+
+/// One approximate version of the application:
+/// (adder index, multiplier index, variables_approx bit-vector).
+/// Operator indices refer to an accuracy-ordered axc::OperatorSet
+/// (0 = exact, last = most aggressive).
+class ApproxSelection {
+ public:
+  ApproxSelection() = default;
+
+  /// All-precise starting point: exact operators, no variable selected.
+  explicit ApproxSelection(std::size_t num_variables);
+
+  std::size_t NumVariables() const noexcept { return num_variables_; }
+  std::uint32_t AdderIndex() const noexcept { return adder_index_; }
+  std::uint32_t MultiplierIndex() const noexcept { return multiplier_index_; }
+
+  void SetAdderIndex(std::uint32_t index) noexcept { adder_index_ = index; }
+  void SetMultiplierIndex(std::uint32_t index) noexcept {
+    multiplier_index_ = index;
+  }
+
+  /// True if variable `i` is selected for approximation.
+  /// Throws std::out_of_range for i >= NumVariables().
+  bool VariableSelected(std::size_t i) const;
+
+  /// Selects / deselects variable `i`.
+  void SetVariable(std::size_t i, bool selected);
+
+  /// Flips variable `i`.
+  void ToggleVariable(std::size_t i);
+
+  /// Number of selected variables.
+  std::size_t SelectedCount() const noexcept;
+
+  /// True when every variable is selected (part of the paper's saturation
+  /// termination test). False when there are zero variables.
+  bool AllVariablesSelected() const noexcept;
+
+  /// True when no variable is selected.
+  bool NoneSelected() const noexcept { return SelectedCount() == 0; }
+
+  /// Raw mask words (bit i of word w = variable 64*w + i), for hashing.
+  const std::vector<std::uint64_t>& MaskWords() const noexcept { return mask_; }
+
+  /// Compact display, e.g. "add=4 mul=5 vars=1000...0".
+  std::string ToString() const;
+
+  friend bool operator==(const ApproxSelection&,
+                         const ApproxSelection&) = default;
+
+  /// Hash functor usable with unordered containers.
+  struct Hash {
+    std::size_t operator()(const ApproxSelection& s) const noexcept;
+  };
+
+ private:
+  std::uint32_t adder_index_ = 0;
+  std::uint32_t multiplier_index_ = 0;
+  std::size_t num_variables_ = 0;
+  std::vector<std::uint64_t> mask_;
+};
+
+}  // namespace axdse::instrument

@@ -1,0 +1,26 @@
+#include "instrument/evaluation_cache.hpp"
+
+namespace axdse::instrument {
+
+std::optional<Measurement> EvaluationCache::Lookup(const ApproxSelection& key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void EvaluationCache::Insert(const ApproxSelection& key,
+                             const Measurement& value) {
+  map_[key] = value;
+}
+
+void EvaluationCache::Clear() noexcept {
+  map_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace axdse::instrument

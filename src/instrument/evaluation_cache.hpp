@@ -1,0 +1,41 @@
+#pragma once
+// Memoizes configuration -> Measurement. The environment is deterministic
+// per configuration (fixed kernel inputs, behavioral operators), so repeat
+// visits during exploration — extremely common under ±1 / toggle actions —
+// cost a hash lookup instead of a kernel run.
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+
+#include "instrument/approx_selection.hpp"
+#include "instrument/measurement.hpp"
+
+namespace axdse::instrument {
+
+/// Unbounded memo table with hit/miss statistics.
+class EvaluationCache {
+ public:
+  /// Returns the cached measurement, or std::nullopt on miss.
+  std::optional<Measurement> Lookup(const ApproxSelection& key);
+
+  /// Inserts (or overwrites) the measurement for `key`.
+  void Insert(const ApproxSelection& key, const Measurement& value);
+
+  /// Number of distinct configurations stored.
+  std::size_t Size() const noexcept { return map_.size(); }
+
+  /// Lookup statistics.
+  std::size_t Hits() const noexcept { return hits_; }
+  std::size_t Misses() const noexcept { return misses_; }
+
+  /// Drops all entries and statistics.
+  void Clear() noexcept;
+
+ private:
+  std::unordered_map<ApproxSelection, Measurement, ApproxSelection::Hash> map_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace axdse::instrument

@@ -1,0 +1,30 @@
+#pragma once
+// The observations the environment returns for one approximate version:
+// accuracy degradation and power / computation-time reductions relative to
+// the precise run (the Δacc, Δpower, Δtime of the paper's Equation 1),
+// plus the raw cost figures for reporting.
+
+#include "energy/energy_model.hpp"
+
+namespace axdse::instrument {
+
+/// Measured behaviour of one configuration.
+struct Measurement {
+  /// MAE between precise and approximate outputs (paper Eq. 2).
+  double delta_acc = 0.0;
+  /// power(precise) - power(approx), mW; positive = saving.
+  double delta_power_mw = 0.0;
+  /// time(precise) - time(approx), ns; positive = saving.
+  double delta_time_ns = 0.0;
+
+  /// Raw costs for reporting / thresholds.
+  double precise_power_mw = 0.0;
+  double precise_time_ns = 0.0;
+  double approx_power_mw = 0.0;
+  double approx_time_ns = 0.0;
+
+  /// Operation counts of the measured run.
+  energy::OpCounts counts;
+};
+
+}  // namespace axdse::instrument

@@ -1,0 +1,119 @@
+#include "metrics/error_metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace axdse::metrics {
+
+namespace {
+void CheckSpans(std::span<const double> exact, std::span<const double> approx) {
+  if (exact.size() != approx.size())
+    throw std::invalid_argument("error metric: size mismatch");
+  if (exact.empty())
+    throw std::invalid_argument("error metric: empty input");
+}
+}  // namespace
+
+double MeanAbsoluteError(std::span<const double> exact,
+                         std::span<const double> approx) {
+  CheckSpans(exact, approx);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < exact.size(); ++i)
+    sum += std::abs(exact[i] - approx[i]);
+  return sum / static_cast<double>(exact.size());
+}
+
+double MeanSquaredError(std::span<const double> exact,
+                        std::span<const double> approx) {
+  CheckSpans(exact, approx);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    const double d = exact[i] - approx[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(exact.size());
+}
+
+double RootMeanSquaredError(std::span<const double> exact,
+                            std::span<const double> approx) {
+  return std::sqrt(MeanSquaredError(exact, approx));
+}
+
+double MeanRelativeErrorDistance(std::span<const double> exact,
+                                 std::span<const double> approx) {
+  CheckSpans(exact, approx);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    const double abs_err = std::abs(exact[i] - approx[i]);
+    if (exact[i] == 0.0) {
+      sum += abs_err;  // relative-to-1 convention at exact == 0
+    } else {
+      sum += abs_err / std::abs(exact[i]);
+    }
+  }
+  return sum / static_cast<double>(exact.size());
+}
+
+double ErrorRate(std::span<const double> exact,
+                 std::span<const double> approx) {
+  CheckSpans(exact, approx);
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < exact.size(); ++i)
+    if (exact[i] != approx[i]) ++mismatches;
+  return static_cast<double>(mismatches) / static_cast<double>(exact.size());
+}
+
+double WorstCaseError(std::span<const double> exact,
+                      std::span<const double> approx) {
+  CheckSpans(exact, approx);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < exact.size(); ++i)
+    worst = std::max(worst, std::abs(exact[i] - approx[i]));
+  return worst;
+}
+
+void ErrorAccumulator::Add(double exact, double approx) noexcept {
+  ++count_;
+  const double err = exact - approx;
+  const double abs_err = std::abs(err);
+  if (abs_err != 0.0) ++mismatches_;
+  abs_sum_ += abs_err;
+  sq_sum_ += err * err;
+  rel_sum_ += exact == 0.0 ? abs_err : abs_err / std::abs(exact);
+  signed_sum_ += err;
+  worst_ = std::max(worst_, abs_err);
+}
+
+void ErrorAccumulator::Merge(const ErrorAccumulator& other) noexcept {
+  count_ += other.count_;
+  mismatches_ += other.mismatches_;
+  abs_sum_ += other.abs_sum_;
+  sq_sum_ += other.sq_sum_;
+  rel_sum_ += other.rel_sum_;
+  signed_sum_ += other.signed_sum_;
+  worst_ = std::max(worst_, other.worst_);
+}
+
+double ErrorAccumulator::Mae() const noexcept {
+  return count_ == 0 ? 0.0 : abs_sum_ / static_cast<double>(count_);
+}
+
+double ErrorAccumulator::Mse() const noexcept {
+  return count_ == 0 ? 0.0 : sq_sum_ / static_cast<double>(count_);
+}
+
+double ErrorAccumulator::Mred() const noexcept {
+  return count_ == 0 ? 0.0 : rel_sum_ / static_cast<double>(count_);
+}
+
+double ErrorAccumulator::ErrorRate() const noexcept {
+  return count_ == 0
+             ? 0.0
+             : static_cast<double>(mismatches_) / static_cast<double>(count_);
+}
+
+double ErrorAccumulator::MeanError() const noexcept {
+  return count_ == 0 ? 0.0 : signed_sum_ / static_cast<double>(count_);
+}
+
+}  // namespace axdse::metrics

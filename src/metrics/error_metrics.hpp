@@ -1,0 +1,81 @@
+#pragma once
+// Error metrics used throughout the project.
+//
+// The paper's accuracy metric (its Eq. 2) is the Mean Absolute Error between
+// the outputs of the precise and the approximated run. Operator
+// characterization (Tables I/II) additionally reports the Mean Relative Error
+// Distance (MRED), the standard metric in the approximate-arithmetic
+// literature.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace axdse::metrics {
+
+/// One-shot comparison of two equally sized output vectors.
+/// All functions throw std::invalid_argument on size mismatch or empty input.
+
+/// Mean Absolute Error: (1/N) * sum |exact_i - approx_i|  (paper Eq. 2).
+double MeanAbsoluteError(std::span<const double> exact,
+                         std::span<const double> approx);
+
+/// Mean Squared Error.
+double MeanSquaredError(std::span<const double> exact,
+                        std::span<const double> approx);
+
+/// sqrt(MSE).
+double RootMeanSquaredError(std::span<const double> exact,
+                            std::span<const double> approx);
+
+/// Mean Relative Error Distance: (1/N) * sum |exact_i - approx_i| / |exact_i|,
+/// where terms with exact_i == 0 contribute |approx_i| (the convention used by
+/// EvoApproxLib characterization: relative to 1 when the exact value is 0 and
+/// the approx differs, 0 when both are 0).
+double MeanRelativeErrorDistance(std::span<const double> exact,
+                                 std::span<const double> approx);
+
+/// Fraction of positions whose values differ.
+double ErrorRate(std::span<const double> exact, std::span<const double> approx);
+
+/// max |exact_i - approx_i|.
+double WorstCaseError(std::span<const double> exact,
+                      std::span<const double> approx);
+
+/// Streaming accumulator computing all supported metrics in one pass.
+/// Suitable for exhaustive operator characterization where materializing the
+/// full output vectors (2^16 .. 2^64 pairs) is not an option.
+class ErrorAccumulator {
+ public:
+  /// Adds one (exact, approx) observation.
+  void Add(double exact, double approx) noexcept;
+
+  /// Merges another accumulator.
+  void Merge(const ErrorAccumulator& other) noexcept;
+
+  std::size_t Count() const noexcept { return count_; }
+  /// MAE over the observations added so far; 0 when empty.
+  double Mae() const noexcept;
+  /// MSE over the observations; 0 when empty.
+  double Mse() const noexcept;
+  /// MRED (see MeanRelativeErrorDistance for the zero convention).
+  double Mred() const noexcept;
+  /// Fraction of mismatching observations.
+  double ErrorRate() const noexcept;
+  /// Largest absolute error seen.
+  double WorstCase() const noexcept { return worst_; }
+  /// Mean error with sign (bias); positive means approx underestimates.
+  double MeanError() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  std::size_t mismatches_ = 0;
+  double abs_sum_ = 0.0;
+  double sq_sum_ = 0.0;
+  double rel_sum_ = 0.0;
+  double signed_sum_ = 0.0;
+  double worst_ = 0.0;
+};
+
+}  // namespace axdse::metrics

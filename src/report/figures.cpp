@@ -1,0 +1,120 @@
+#include "report/figures.hpp"
+
+#include <stdexcept>
+
+#include "util/ascii_table.hpp"
+#include "util/csv.hpp"
+#include "util/statistics.hpp"
+
+namespace axdse::report {
+
+namespace {
+using util::AsciiTable;
+}  // namespace
+
+TraceSeries ExtractSeries(const std::vector<dse::StepRecord>& trace) {
+  TraceSeries series;
+  series.delta_power.reserve(trace.size());
+  series.delta_time.reserve(trace.size());
+  series.delta_acc.reserve(trace.size());
+  for (const dse::StepRecord& r : trace) {
+    series.delta_power.push_back(r.measurement.delta_power_mw);
+    series.delta_time.push_back(r.measurement.delta_time_ns);
+    series.delta_acc.push_back(r.measurement.delta_acc);
+  }
+  return series;
+}
+
+std::string RenderExplorationFigure(const std::string& title,
+                                    const std::vector<dse::StepRecord>& trace,
+                                    std::size_t stride) {
+  if (stride == 0)
+    throw std::invalid_argument("RenderExplorationFigure: stride == 0");
+  if (trace.size() < 2)
+    throw std::invalid_argument("RenderExplorationFigure: trace too short");
+  const TraceSeries series = ExtractSeries(trace);
+
+  AsciiTable table(title);
+  table.SetHeader({"step", "Power (Δ mW)", "Comp. Time (Δ ns)",
+                   "Accuracy (Δ MAE)"});
+  for (std::size_t i = 0; i < trace.size();
+       i += stride) {
+    table.AddRow({std::to_string(trace[i].step),
+                  AsciiTable::Num(series.delta_power[i], 3),
+                  AsciiTable::Num(series.delta_time[i], 3),
+                  AsciiTable::Num(series.delta_acc[i], 4)});
+  }
+  // Always include the final step so the end state is visible.
+  if ((trace.size() - 1) % stride != 0) {
+    const std::size_t i = trace.size() - 1;
+    table.AddSeparator();
+    table.AddRow({std::to_string(trace[i].step),
+                  AsciiTable::Num(series.delta_power[i], 3),
+                  AsciiTable::Num(series.delta_time[i], 3),
+                  AsciiTable::Num(series.delta_acc[i], 4)});
+  }
+  std::string out = table.Render();
+
+  const util::LinearFit power_fit = util::FitLineIndexed(series.delta_power);
+  const util::LinearFit time_fit = util::FitLineIndexed(series.delta_time);
+  const util::LinearFit acc_fit = util::FitLineIndexed(series.delta_acc);
+  AsciiTable trends("Trend lines (OLS over all steps)");
+  trends.SetHeader({"series", "slope/step", "intercept", "R^2"});
+  const auto trend_row = [&](const std::string& name,
+                             const util::LinearFit& fit) {
+    trends.AddRow({name, AsciiTable::Num(fit.slope, 5),
+                   AsciiTable::Num(fit.intercept, 3),
+                   AsciiTable::Num(fit.r_squared, 4)});
+  };
+  trend_row("Power", power_fit);
+  trend_row("Comp. Time", time_fit);
+  trend_row("Accuracy", acc_fit);
+  out += trends.Render();
+  return out;
+}
+
+std::string RenderRewardFigure(
+    const std::string& title,
+    const std::vector<std::pair<std::string, std::vector<double>>>& runs,
+    std::size_t bin_size) {
+  if (runs.empty())
+    throw std::invalid_argument("RenderRewardFigure: no runs");
+  std::vector<std::vector<double>> binned;
+  std::size_t max_bins = 0;
+  for (const auto& [name, rewards] : runs) {
+    binned.push_back(util::BinnedMeans(rewards, bin_size));
+    max_bins = std::max(max_bins, binned.back().size());
+  }
+  AsciiTable table(title);
+  std::vector<std::string> header = {"steps"};
+  for (const auto& [name, rewards] : runs) header.push_back(name);
+  table.SetHeader(std::move(header));
+  for (std::size_t b = 0; b < max_bins; ++b) {
+    std::vector<std::string> row = {
+        std::to_string(b * bin_size) + "-" +
+        std::to_string((b + 1) * bin_size)};
+    for (const auto& series : binned)
+      row.push_back(b < series.size() ? AsciiTable::Num(series[b], 3) : "");
+    table.AddRow(std::move(row));
+  }
+  return table.Render();
+}
+
+void WriteTraceCsv(std::ostream& out,
+                   const std::vector<dse::StepRecord>& trace) {
+  util::CsvWriter csv(out);
+  csv.WriteRow({"step", "action", "reward", "cumulative_reward",
+                "delta_power_mw", "delta_time_ns", "delta_acc", "adder_index",
+                "multiplier_index", "selected_variables"});
+  for (const dse::StepRecord& r : trace) {
+    csv.WriteNumericRow({static_cast<double>(r.step),
+                         static_cast<double>(r.action), r.reward,
+                         r.cumulative_reward, r.measurement.delta_power_mw,
+                         r.measurement.delta_time_ns, r.measurement.delta_acc,
+                         static_cast<double>(r.config.AdderIndex()),
+                         static_cast<double>(r.config.MultiplierIndex()),
+                         static_cast<double>(r.config.SelectedCount())});
+  }
+}
+
+}  // namespace axdse::report

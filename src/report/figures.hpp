@@ -1,0 +1,42 @@
+#pragma once
+// Figure reproductions as text/CSV: the paper's Figure 2/3 (per-step ΔPower,
+// ΔComp.Time, ΔAccuracy evolution with trend lines) and Figure 4 (average
+// reward per 100-step bin).
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "dse/explorer.hpp"
+#include "util/linear_regression.hpp"
+
+namespace axdse::report {
+
+/// Extracted series from an exploration trace.
+struct TraceSeries {
+  std::vector<double> delta_power;
+  std::vector<double> delta_time;
+  std::vector<double> delta_acc;
+};
+
+/// Pulls the three objective series out of a trace.
+TraceSeries ExtractSeries(const std::vector<dse::StepRecord>& trace);
+
+/// Renders a Figure 2/3-style summary: series sampled every `stride` steps
+/// plus OLS trend lines (slope/intercept/R^2) per objective.
+std::string RenderExplorationFigure(const std::string& title,
+                                    const std::vector<dse::StepRecord>& trace,
+                                    std::size_t stride);
+
+/// Renders Figure 4: average reward per `bin_size`-step bin, one column per
+/// labelled run (the paper shows MatMul 10x10 next to FIR 100).
+std::string RenderRewardFigure(
+    const std::string& title,
+    const std::vector<std::pair<std::string, std::vector<double>>>& runs,
+    std::size_t bin_size);
+
+/// Writes the full trace as CSV (step, action, reward, cumulative reward,
+/// deltas, operator indices, #selected variables) for offline plotting.
+void WriteTraceCsv(std::ostream& out, const std::vector<dse::StepRecord>& trace);
+
+}  // namespace axdse::report

@@ -1,0 +1,43 @@
+#pragma once
+// Paper-format table renderers: Table I (adders), Table II (multipliers),
+// Table III (exploration results), plus the calibration comparison
+// (published vs. measured MRED) that documents the EvoApproxLib substitution.
+
+#include <string>
+#include <vector>
+
+#include "axc/catalog.hpp"
+#include "axc/characterization.hpp"
+#include "dse/explorer.hpp"
+
+namespace axdse::report {
+
+/// Renders Table I/II style rows for adders: operator, type, published MRED,
+/// power, time — plus measured MRED of the behavioral substitute and the
+/// model family, when `measured` has the same length as `specs` (pass empty
+/// to omit the measured columns).
+std::string RenderAdderTable(const std::string& title,
+                             const std::vector<axc::AdderSpec>& specs,
+                             const std::vector<axc::Characterization>& measured);
+
+/// Same for multipliers.
+std::string RenderMultiplierTable(
+    const std::string& title, const std::vector<axc::MultiplierSpec>& specs,
+    const std::vector<axc::Characterization>& measured);
+
+/// One benchmark column of the paper's Table III.
+struct Table3Column {
+  std::string benchmark;  ///< e.g. "MatMul 10x10"
+  dse::ExplorationResult result;
+};
+
+/// Renders Table III: min/solution/max for ΔPower, ΔTime, accuracy
+/// degradation, then the selected adder/multiplier types, one column per
+/// benchmark.
+std::string RenderTable3(const std::vector<Table3Column>& columns);
+
+/// Renders an exploration summary (steps, stop reason, cache stats,
+/// thresholds) — diagnostic companion to Table III.
+std::string RenderExplorationSummary(const std::vector<Table3Column>& columns);
+
+}  // namespace axdse::report

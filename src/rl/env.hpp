@@ -1,0 +1,46 @@
+#pragma once
+// Gymnasium-like environment contract (C++ substitute for the paper's use of
+// the Gymnasium Python toolkit): Reset() starts an episode, Step() applies an
+// action and returns (next state, reward, terminated, truncated).
+//
+// States are opaque 64-bit ids: tabular agents key their Q-tables on them,
+// and environments with structured states (like the DSE configuration) intern
+// their states to ids.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace axdse::rl {
+
+/// Opaque, environment-defined state identifier.
+using StateId = std::uint64_t;
+
+/// Outcome of one environment step.
+struct StepResult {
+  StateId next_state = 0;
+  double reward = 0.0;
+  /// The episode reached a terminal state (e.g. the paper's saturation
+  /// condition: most aggressive operators + every variable approximated).
+  bool terminated = false;
+  /// The episode was cut off by an external limit rather than by the MDP.
+  bool truncated = false;
+};
+
+/// Abstract environment. Implementations must be deterministic given the
+/// Reset seed and the action sequence.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Starts a new episode and returns the initial state.
+  virtual StateId Reset(std::uint64_t seed) = 0;
+
+  /// Applies `action` (in [0, NumActions())). Implementations should throw
+  /// std::out_of_range for invalid actions.
+  virtual StepResult Step(std::size_t action) = 0;
+
+  /// Size of the discrete action space.
+  virtual std::size_t NumActions() const noexcept = 0;
+};
+
+}  // namespace axdse::rl

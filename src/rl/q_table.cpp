@@ -1,0 +1,77 @@
+#include "rl/q_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace axdse::rl {
+
+QTable::QTable(std::size_t num_actions, double initial_value)
+    : num_actions_(num_actions), initial_value_(initial_value) {
+  if (num_actions == 0)
+    throw std::invalid_argument("QTable: num_actions == 0");
+}
+
+const std::vector<double>* QTable::FindRow(StateId state) const {
+  const auto it = table_.find(state);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+std::vector<double>& QTable::Row(StateId state) {
+  const auto it = table_.find(state);
+  if (it != table_.end()) return it->second;
+  return table_.emplace(state, std::vector<double>(num_actions_, initial_value_))
+      .first->second;
+}
+
+double QTable::Get(StateId state, std::size_t action) const {
+  if (action >= num_actions_) throw std::out_of_range("QTable::Get: action");
+  const auto* row = FindRow(state);
+  return row == nullptr ? initial_value_ : (*row)[action];
+}
+
+void QTable::Set(StateId state, std::size_t action, double value) {
+  if (action >= num_actions_) throw std::out_of_range("QTable::Set: action");
+  Row(state)[action] = value;
+}
+
+double QTable::MaxValue(StateId state) const {
+  const auto* row = FindRow(state);
+  if (row == nullptr) return initial_value_;
+  return *std::max_element(row->begin(), row->end());
+}
+
+std::size_t QTable::GreedyAction(StateId state, util::Rng* tie_breaker) const {
+  const auto* row = FindRow(state);
+  if (row == nullptr) {
+    // Uniform over all actions: every value ties at the initial value.
+    return tie_breaker == nullptr ? 0 : tie_breaker->PickIndex(num_actions_);
+  }
+  const double best = *std::max_element(row->begin(), row->end());
+  if (tie_breaker == nullptr) {
+    for (std::size_t a = 0; a < num_actions_; ++a)
+      if ((*row)[a] == best) return a;
+    return 0;  // unreachable
+  }
+  std::size_t tie_count = 0;
+  std::size_t choice = 0;
+  for (std::size_t a = 0; a < num_actions_; ++a) {
+    if ((*row)[a] == best) {
+      ++tie_count;
+      // Reservoir sampling over tying actions.
+      if (tie_breaker->UniformBelow(tie_count) == 0) choice = a;
+    }
+  }
+  return choice;
+}
+
+double QTable::ExpectedValue(StateId state, double epsilon) const {
+  const auto* row = FindRow(state);
+  if (row == nullptr) return initial_value_;
+  const double best = *std::max_element(row->begin(), row->end());
+  double mean = 0.0;
+  for (const double q : *row) mean += q;
+  mean /= static_cast<double>(num_actions_);
+  return epsilon * mean + (1.0 - epsilon) * best;
+}
+
+}  // namespace axdse::rl

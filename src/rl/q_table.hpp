@@ -1,0 +1,55 @@
+#pragma once
+// Tabular action-value storage over interned state ids. Rows are
+// materialized lazily so state spaces far larger than the visited set (e.g.
+// the 2^101-variable DSE space of MatMul 50x50) cost memory proportional to
+// the states actually visited.
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "rl/env.hpp"
+#include "util/rng.hpp"
+
+namespace axdse::rl {
+
+/// Q(s,a) table with a configurable initial value (optimistic init > 0
+/// encourages systematic exploration).
+class QTable {
+ public:
+  /// Throws std::invalid_argument if num_actions == 0.
+  explicit QTable(std::size_t num_actions, double initial_value = 0.0);
+
+  std::size_t NumActions() const noexcept { return num_actions_; }
+  double InitialValue() const noexcept { return initial_value_; }
+
+  /// Q(s,a); the initial value for unvisited rows.
+  /// Throws std::out_of_range for invalid actions.
+  double Get(StateId state, std::size_t action) const;
+
+  /// Sets Q(s,a), materializing the row if needed.
+  void Set(StateId state, std::size_t action, double value);
+
+  /// max_a Q(s,a).
+  double MaxValue(StateId state) const;
+
+  /// argmax_a Q(s,a); ties are broken uniformly at random when `tie_breaker`
+  /// is provided, otherwise the lowest action index wins.
+  std::size_t GreedyAction(StateId state, util::Rng* tie_breaker = nullptr) const;
+
+  /// Expected action value under an epsilon-greedy policy (Expected SARSA).
+  double ExpectedValue(StateId state, double epsilon) const;
+
+  /// Number of rows materialized (distinct states updated or read-for-write).
+  std::size_t NumStates() const noexcept { return table_.size(); }
+
+ private:
+  const std::vector<double>* FindRow(StateId state) const;
+  std::vector<double>& Row(StateId state);
+
+  std::size_t num_actions_;
+  double initial_value_;
+  std::unordered_map<StateId, std::vector<double>> table_;
+};
+
+}  // namespace axdse::rl

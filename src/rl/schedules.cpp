@@ -1,0 +1,65 @@
+#include "rl/schedules.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace axdse::rl {
+
+namespace {
+void CheckUnit(double v, const char* what) {
+  if (v < 0.0 || v > 1.0)
+    throw std::invalid_argument(std::string("EpsilonSchedule: ") + what +
+                                " must be in [0,1]");
+}
+}  // namespace
+
+EpsilonSchedule::EpsilonSchedule(Kind kind, double start, double end,
+                                 double rate, std::size_t decay_steps)
+    : kind_(kind),
+      start_(start),
+      end_(end),
+      rate_(rate),
+      decay_steps_(decay_steps) {}
+
+EpsilonSchedule EpsilonSchedule::Constant(double value) {
+  CheckUnit(value, "value");
+  return EpsilonSchedule(Kind::kConstant, value, value, 1.0, 1);
+}
+
+EpsilonSchedule EpsilonSchedule::Linear(double start, double end,
+                                        std::size_t decay_steps) {
+  CheckUnit(start, "start");
+  CheckUnit(end, "end");
+  if (decay_steps == 0)
+    throw std::invalid_argument("EpsilonSchedule::Linear: decay_steps == 0");
+  return EpsilonSchedule(Kind::kLinear, start, end, 1.0, decay_steps);
+}
+
+EpsilonSchedule EpsilonSchedule::Exponential(double start, double end,
+                                             double decay_rate) {
+  CheckUnit(start, "start");
+  CheckUnit(end, "end");
+  if (!(decay_rate > 0.0 && decay_rate <= 1.0))
+    throw std::invalid_argument(
+        "EpsilonSchedule::Exponential: decay_rate must be in (0,1]");
+  return EpsilonSchedule(Kind::kExponential, start, end, decay_rate, 1);
+}
+
+double EpsilonSchedule::Value(std::size_t step) const noexcept {
+  switch (kind_) {
+    case Kind::kConstant:
+      return start_;
+    case Kind::kLinear: {
+      if (step >= decay_steps_) return end_;
+      const double t =
+          static_cast<double>(step) / static_cast<double>(decay_steps_);
+      return start_ + (end_ - start_) * t;
+    }
+    case Kind::kExponential:
+      return end_ + (start_ - end_) *
+                        std::pow(rate_, static_cast<double>(step));
+  }
+  return end_;  // unreachable
+}
+
+}  // namespace axdse::rl

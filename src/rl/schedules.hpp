@@ -1,0 +1,39 @@
+#pragma once
+// Exploration-rate schedules for epsilon-greedy action selection.
+
+#include <cstddef>
+
+namespace axdse::rl {
+
+/// Value object describing epsilon as a function of the global step count.
+class EpsilonSchedule {
+ public:
+  /// epsilon(step) = value for all steps. value must be in [0,1].
+  static EpsilonSchedule Constant(double value);
+
+  /// Linear interpolation from `start` at step 0 to `end` at `decay_steps`,
+  /// constant afterwards. Requires 0 <= end, start <= 1, decay_steps >= 1.
+  static EpsilonSchedule Linear(double start, double end,
+                                std::size_t decay_steps);
+
+  /// epsilon(step) = end + (start-end) * decay_rate^step.
+  /// Requires decay_rate in (0,1].
+  static EpsilonSchedule Exponential(double start, double end,
+                                     double decay_rate);
+
+  /// Epsilon at the given global step.
+  double Value(std::size_t step) const noexcept;
+
+ private:
+  enum class Kind { kConstant, kLinear, kExponential };
+  EpsilonSchedule(Kind kind, double start, double end, double rate,
+                  std::size_t decay_steps);
+
+  Kind kind_;
+  double start_;
+  double end_;
+  double rate_;
+  std::size_t decay_steps_;
+};
+
+}  // namespace axdse::rl

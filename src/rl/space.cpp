@@ -1,0 +1,64 @@
+#include "rl/space.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace axdse::rl {
+
+DiscreteSpace::DiscreteSpace(std::size_t n) : n_(n) {
+  if (n == 0) throw std::invalid_argument("DiscreteSpace: n == 0");
+}
+
+MultiBinarySpace::MultiBinarySpace(std::size_t n) : n_(n) {
+  if (n == 0) throw std::invalid_argument("MultiBinarySpace: n == 0");
+}
+
+std::vector<bool> MultiBinarySpace::Sample(util::Rng& rng) const {
+  std::vector<bool> bits(n_);
+  for (std::size_t i = 0; i < n_; ++i) bits[i] = rng.Bernoulli(0.5);
+  return bits;
+}
+
+CompositeSpace::CompositeSpace(std::vector<std::size_t> factor_sizes)
+    : factors_(std::move(factor_sizes)) {
+  if (factors_.empty())
+    throw std::invalid_argument("CompositeSpace: no factors");
+  for (const std::size_t f : factors_) {
+    if (f == 0) throw std::invalid_argument("CompositeSpace: zero factor");
+    if (size_ > std::numeric_limits<std::uint64_t>::max() / f)
+      throw std::invalid_argument("CompositeSpace: size overflows 64 bits");
+    size_ *= f;
+  }
+}
+
+std::uint64_t CompositeSpace::Encode(
+    const std::vector<std::size_t>& coords) const {
+  if (coords.size() != factors_.size())
+    throw std::invalid_argument("CompositeSpace::Encode: rank mismatch");
+  std::uint64_t index = 0;
+  for (std::size_t i = 0; i < factors_.size(); ++i) {
+    if (coords[i] >= factors_[i])
+      throw std::invalid_argument("CompositeSpace::Encode: coord out of range");
+    index = index * factors_[i] + coords[i];
+  }
+  return index;
+}
+
+std::vector<std::size_t> CompositeSpace::Decode(std::uint64_t index) const {
+  if (index >= size_) throw std::out_of_range("CompositeSpace::Decode");
+  std::vector<std::size_t> coords(factors_.size());
+  for (std::size_t i = factors_.size(); i-- > 0;) {
+    coords[i] = static_cast<std::size_t>(index % factors_[i]);
+    index /= factors_[i];
+  }
+  return coords;
+}
+
+std::vector<std::size_t> CompositeSpace::Sample(util::Rng& rng) const {
+  std::vector<std::size_t> coords(factors_.size());
+  for (std::size_t i = 0; i < factors_.size(); ++i)
+    coords[i] = rng.PickIndex(factors_[i]);
+  return coords;
+}
+
+}  // namespace axdse::rl

@@ -1,0 +1,69 @@
+#pragma once
+// Discrete observation/action spaces in the spirit of Gymnasium's
+// spaces.Discrete / spaces.MultiBinary / spaces.Tuple. Used to describe and
+// sample the DSE environment's spaces and to drive property tests.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace axdse::rl {
+
+/// {0, 1, ..., n-1}.
+class DiscreteSpace {
+ public:
+  /// Throws std::invalid_argument if n == 0.
+  explicit DiscreteSpace(std::size_t n);
+
+  std::size_t Size() const noexcept { return n_; }
+  bool Contains(std::size_t value) const noexcept { return value < n_; }
+  std::size_t Sample(util::Rng& rng) const { return rng.PickIndex(n_); }
+
+ private:
+  std::size_t n_;
+};
+
+/// {0,1}^n bit-vectors.
+class MultiBinarySpace {
+ public:
+  /// Throws std::invalid_argument if n == 0.
+  explicit MultiBinarySpace(std::size_t n);
+
+  std::size_t NumBits() const noexcept { return n_; }
+  bool Contains(const std::vector<bool>& value) const noexcept {
+    return value.size() == n_;
+  }
+  std::vector<bool> Sample(util::Rng& rng) const;
+
+ private:
+  std::size_t n_;
+};
+
+/// Cartesian product of discrete factors, with mixed-radix encoding to/from a
+/// flat index. Factor order is most-significant-first.
+class CompositeSpace {
+ public:
+  /// Throws std::invalid_argument if empty or any factor is 0, or if the
+  /// total size overflows 64 bits.
+  explicit CompositeSpace(std::vector<std::size_t> factor_sizes);
+
+  std::size_t NumFactors() const noexcept { return factors_.size(); }
+  std::uint64_t Size() const noexcept { return size_; }
+
+  /// Flat index of the given coordinates. Throws std::invalid_argument on
+  /// rank mismatch or out-of-range coordinate.
+  std::uint64_t Encode(const std::vector<std::size_t>& coords) const;
+
+  /// Inverse of Encode. Throws std::out_of_range if index >= Size().
+  std::vector<std::size_t> Decode(std::uint64_t index) const;
+
+  std::vector<std::size_t> Sample(util::Rng& rng) const;
+
+ private:
+  std::vector<std::size_t> factors_;
+  std::uint64_t size_ = 1;
+};
+
+}  // namespace axdse::rl

@@ -1,0 +1,73 @@
+#pragma once
+// Small analytic MDPs with known optimal policies, used to validate the
+// agents independently of the DSE environment.
+
+#include <cstddef>
+
+#include "rl/env.hpp"
+#include "util/rng.hpp"
+
+namespace axdse::rl {
+
+/// Deterministic corridor of `length` states. Actions: 0 = left, 1 = right.
+/// Start at state 0; reaching state length-1 terminates with reward +10;
+/// every other step costs -1. Optimal return = 10 - (length-2) when length>1.
+class ChainEnv final : public Env {
+ public:
+  /// Throws std::invalid_argument if length < 2.
+  explicit ChainEnv(std::size_t length);
+
+  StateId Reset(std::uint64_t seed) override;
+  StepResult Step(std::size_t action) override;
+  std::size_t NumActions() const noexcept override { return 2; }
+
+  std::size_t Length() const noexcept { return length_; }
+
+ private:
+  std::size_t length_;
+  std::size_t position_ = 0;
+};
+
+/// ChainEnv with slippery transitions: with probability `slip` the executed
+/// move is the opposite of the requested one. Validates agents under
+/// stochastic dynamics (reward structure identical to ChainEnv).
+class SlipperyChainEnv final : public Env {
+ public:
+  /// Throws std::invalid_argument if length < 2 or slip outside [0, 1).
+  SlipperyChainEnv(std::size_t length, double slip);
+
+  StateId Reset(std::uint64_t seed) override;
+  StepResult Step(std::size_t action) override;
+  std::size_t NumActions() const noexcept override { return 2; }
+
+  std::size_t Length() const noexcept { return length_; }
+  double Slip() const noexcept { return slip_; }
+
+ private:
+  std::size_t length_;
+  double slip_;
+  std::size_t position_ = 0;
+  util::Rng rng_;
+};
+
+/// The classic 4x12 cliff-walking grid (Sutton & Barto, example 6.6).
+/// Actions: 0=up, 1=right, 2=down, 3=left. Start bottom-left, goal
+/// bottom-right; stepping on the cliff gives -100 and teleports to start;
+/// every move costs -1; reaching the goal terminates.
+class CliffWalkEnv final : public Env {
+ public:
+  CliffWalkEnv();
+
+  StateId Reset(std::uint64_t seed) override;
+  StepResult Step(std::size_t action) override;
+  std::size_t NumActions() const noexcept override { return 4; }
+
+  static constexpr std::size_t kRows = 4;
+  static constexpr std::size_t kCols = 12;
+
+ private:
+  std::size_t row_ = kRows - 1;
+  std::size_t col_ = 0;
+};
+
+}  // namespace axdse::rl

@@ -1,0 +1,60 @@
+#include "rl/trainer.hpp"
+
+#include <stdexcept>
+
+namespace axdse::rl {
+
+TrainResult RunEpisode(Env& env, Agent& agent, const TrainOptions& options,
+                       std::uint64_t reset_seed, const StepCallback& on_step) {
+  if (options.max_steps == 0)
+    throw std::invalid_argument("RunEpisode: max_steps == 0");
+  TrainResult result;
+  result.rewards.reserve(options.max_steps);
+  agent.BeginEpisode();
+  StateId state = env.Reset(reset_seed);
+  result.final_state = state;
+
+  for (std::size_t step = 0; step < options.max_steps; ++step) {
+    const std::size_t action = agent.SelectAction(state);
+    const StepResult sr = env.Step(action);
+    agent.Observe(state, action, sr.reward, sr.next_state, sr.terminated);
+    result.rewards.push_back(sr.reward);
+    result.cumulative_reward += sr.reward;
+    ++result.steps;
+    result.final_state = sr.next_state;
+    if (on_step) on_step(step, state, action, sr);
+    state = sr.next_state;
+
+    if (sr.terminated) {
+      result.stop_reason = StopReason::kTerminated;
+      return result;
+    }
+    if (sr.truncated) {
+      result.stop_reason = StopReason::kTruncated;
+      return result;
+    }
+    if (options.stop_at_cumulative_reward.has_value() &&
+        result.cumulative_reward >= *options.stop_at_cumulative_reward) {
+      result.stop_reason = StopReason::kRewardCap;
+      return result;
+    }
+  }
+  result.stop_reason = StopReason::kStepLimit;
+  return result;
+}
+
+const char* ToString(StopReason reason) noexcept {
+  switch (reason) {
+    case StopReason::kTerminated:
+      return "terminated";
+    case StopReason::kTruncated:
+      return "truncated";
+    case StopReason::kRewardCap:
+      return "reward-cap";
+    case StopReason::kStepLimit:
+      return "step-limit";
+  }
+  return "unknown";
+}
+
+}  // namespace axdse::rl

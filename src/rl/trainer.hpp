@@ -1,0 +1,54 @@
+#pragma once
+// Single-episode training loop: the paper runs one long exploration episode
+// (<= 10,000 steps) that stops on saturation (terminated), on the cumulative
+// reward cap, or on the step limit.
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "rl/agents.hpp"
+#include "rl/env.hpp"
+
+namespace axdse::rl {
+
+/// Why the episode ended.
+enum class StopReason {
+  kTerminated,    ///< env reported a terminal state
+  kTruncated,     ///< env reported truncation
+  kRewardCap,     ///< cumulative reward reached the configured cap
+  kStepLimit,     ///< max_steps exhausted
+};
+
+/// Episode limits.
+struct TrainOptions {
+  /// Hard step cap (the paper uses 10,000).
+  std::size_t max_steps = 10000;
+  /// Stop once the cumulative reward reaches this value (the paper's
+  /// "maximum predefined" total reward); disabled when unset.
+  std::optional<double> stop_at_cumulative_reward;
+};
+
+/// Episode outcome.
+struct TrainResult {
+  std::vector<double> rewards;    ///< reward at every step, in order
+  double cumulative_reward = 0.0;
+  std::size_t steps = 0;
+  StopReason stop_reason = StopReason::kStepLimit;
+  StateId final_state = 0;
+};
+
+/// Called after every environment step.
+using StepCallback = std::function<void(
+    std::size_t step, StateId state, std::size_t action, const StepResult&)>;
+
+/// Runs one episode of `agent` on `env`.
+/// Throws std::invalid_argument if options.max_steps == 0.
+TrainResult RunEpisode(Env& env, Agent& agent, const TrainOptions& options,
+                       std::uint64_t reset_seed = 0,
+                       const StepCallback& on_step = {});
+
+/// Human-readable stop reason.
+const char* ToString(StopReason reason) noexcept;
+
+}  // namespace axdse::rl

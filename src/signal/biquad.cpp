@@ -1,0 +1,62 @@
+#include "signal/biquad.hpp"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <stdexcept>
+
+namespace axdse::signal {
+
+BiquadCoeffs DesignBiquadLowPass(double cutoff, double q) {
+  if (!(cutoff > 0.0 && cutoff < 0.5))
+    throw std::invalid_argument(
+        "DesignBiquadLowPass: cutoff must be in (0, 0.5)");
+  if (!(q > 0.0))
+    throw std::invalid_argument("DesignBiquadLowPass: q must be > 0");
+  const double w0 = 2.0 * std::numbers::pi * cutoff;
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double cosw0 = std::cos(w0);
+  const double a0 = 1.0 + alpha;
+  BiquadCoeffs c;
+  c.b0 = (1.0 - cosw0) / 2.0 / a0;
+  c.b1 = (1.0 - cosw0) / a0;
+  c.b2 = (1.0 - cosw0) / 2.0 / a0;
+  c.a1 = -2.0 * cosw0 / a0;
+  c.a2 = (1.0 - alpha) / a0;
+  return c;
+}
+
+std::vector<double> FilterBiquad(const BiquadCoeffs& coeffs,
+                                 const std::vector<double>& x) {
+  std::vector<double> y(x.size(), 0.0);
+  double x1 = 0.0;
+  double x2 = 0.0;
+  double y1 = 0.0;
+  double y2 = 0.0;
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    y[n] = coeffs.b0 * x[n] + coeffs.b1 * x1 + coeffs.b2 * x2 -
+           coeffs.a1 * y1 - coeffs.a2 * y2;
+    x2 = x1;
+    x1 = x[n];
+    y2 = y1;
+    y1 = y[n];
+  }
+  return y;
+}
+
+double BiquadMagnitudeResponse(const BiquadCoeffs& coeffs, double frequency) {
+  const std::complex<double> z =
+      std::polar(1.0, -2.0 * std::numbers::pi * frequency);
+  const std::complex<double> numerator =
+      coeffs.b0 + coeffs.b1 * z + coeffs.b2 * z * z;
+  const std::complex<double> denominator =
+      1.0 + coeffs.a1 * z + coeffs.a2 * z * z;
+  return std::abs(numerator / denominator);
+}
+
+bool IsStable(const BiquadCoeffs& coeffs) {
+  // Jury criterion for z^2 + a1 z + a2.
+  return std::abs(coeffs.a2) < 1.0 && std::abs(coeffs.a1) < 1.0 + coeffs.a2;
+}
+
+}  // namespace axdse::signal

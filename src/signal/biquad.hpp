@@ -1,0 +1,33 @@
+#pragma once
+// Second-order IIR (biquad) low-pass design, RBJ audio-EQ-cookbook form.
+// Used by the IIR workload; coefficients are normalized so a0 == 1.
+
+#include <vector>
+
+namespace axdse::signal {
+
+/// y[n] = b0 x[n] + b1 x[n-1] + b2 x[n-2] - a1 y[n-1] - a2 y[n-2].
+struct BiquadCoeffs {
+  double b0 = 0.0;
+  double b1 = 0.0;
+  double b2 = 0.0;
+  double a1 = 0.0;
+  double a2 = 0.0;
+};
+
+/// Designs a low-pass biquad with cutoff in (0, 0.5) cycles/sample and
+/// quality factor q > 0 (0.7071 = Butterworth).
+/// Throws std::invalid_argument on invalid parameters.
+BiquadCoeffs DesignBiquadLowPass(double cutoff, double q = 0.70710678118654752);
+
+/// Reference double-precision filtering (zero initial state).
+std::vector<double> FilterBiquad(const BiquadCoeffs& coeffs,
+                                 const std::vector<double>& x);
+
+/// |H(f)| of the biquad at `frequency` (cycles/sample).
+double BiquadMagnitudeResponse(const BiquadCoeffs& coeffs, double frequency);
+
+/// True if both poles lie strictly inside the unit circle.
+bool IsStable(const BiquadCoeffs& coeffs);
+
+}  // namespace axdse::signal

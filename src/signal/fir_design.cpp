@@ -1,0 +1,75 @@
+#include "signal/fir_design.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace axdse::signal {
+
+namespace {
+double Sinc(double x) {
+  if (x == 0.0) return 1.0;
+  const double px = std::numbers::pi * x;
+  return std::sin(px) / px;
+}
+}  // namespace
+
+std::vector<double> DesignLowPass(std::size_t taps, double cutoff) {
+  if (taps < 3 || taps % 2 == 0)
+    throw std::invalid_argument("DesignLowPass: taps must be odd and >= 3");
+  if (!(cutoff > 0.0 && cutoff < 0.5))
+    throw std::invalid_argument("DesignLowPass: cutoff must be in (0, 0.5)");
+  std::vector<double> h(taps);
+  const double middle = static_cast<double>(taps - 1) / 2.0;
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double m = static_cast<double>(i) - middle;
+    h[i] = 2.0 * cutoff * Sinc(2.0 * cutoff * m);
+  }
+  ApplyHammingWindow(h);
+  // Normalize to unit DC gain.
+  double sum = 0.0;
+  for (const double c : h) sum += c;
+  for (double& c : h) c /= sum;
+  return h;
+}
+
+void ApplyHammingWindow(std::vector<double>& coeffs) {
+  if (coeffs.empty())
+    throw std::invalid_argument("ApplyHammingWindow: empty input");
+  const double denom = static_cast<double>(coeffs.size() - 1);
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    const double w =
+        denom == 0.0
+            ? 1.0
+            : 0.54 - 0.46 * std::cos(2.0 * std::numbers::pi *
+                                     static_cast<double>(i) / denom);
+    coeffs[i] *= w;
+  }
+}
+
+std::vector<double> Convolve(const std::vector<double>& x,
+                             const std::vector<double>& h) {
+  std::vector<double> y(x.size(), 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < h.size(); ++k) {
+      if (i >= k) acc += h[k] * x[i - k];
+    }
+    y[i] = acc;
+  }
+  return y;
+}
+
+double MagnitudeResponse(const std::vector<double>& h, double frequency) {
+  double re = 0.0;
+  double im = 0.0;
+  for (std::size_t k = 0; k < h.size(); ++k) {
+    const double phi =
+        -2.0 * std::numbers::pi * frequency * static_cast<double>(k);
+    re += h[k] * std::cos(phi);
+    im += h[k] * std::sin(phi);
+  }
+  return std::sqrt(re * re + im * im);
+}
+
+}  // namespace axdse::signal

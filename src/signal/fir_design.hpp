@@ -1,0 +1,31 @@
+#pragma once
+// Low-pass FIR design by the windowed-sinc method (Hamming window) — the
+// standard way to obtain the "Low Pass Filter functionality" the paper's FIR
+// benchmark uses, with fully deterministic coefficients.
+
+#include <cstddef>
+#include <vector>
+
+namespace axdse::signal {
+
+/// Designs a linear-phase low-pass FIR.
+/// `taps` must be odd and >= 3 (symmetric type-I filter);
+/// `cutoff` is the -6 dB cutoff in cycles/sample, in (0, 0.5).
+/// The returned coefficients sum to 1 (unit DC gain).
+/// Throws std::invalid_argument on invalid parameters.
+std::vector<double> DesignLowPass(std::size_t taps, double cutoff);
+
+/// Applies a Hamming window in place. Throws on empty input.
+void ApplyHammingWindow(std::vector<double>& coeffs);
+
+/// Reference double-precision convolution y[i] = sum_k h[k] * x[i-k]
+/// (zero-padded history), producing one output per input sample.
+/// Used as the golden model in tests.
+std::vector<double> Convolve(const std::vector<double>& x,
+                             const std::vector<double>& h);
+
+/// Magnitude of the filter's frequency response at `frequency`
+/// (cycles/sample).
+double MagnitudeResponse(const std::vector<double>& h, double frequency);
+
+}  // namespace axdse::signal

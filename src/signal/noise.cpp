@@ -1,0 +1,42 @@
+#include "signal/noise.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace axdse::signal {
+
+std::vector<double> UniformWhiteNoise(std::size_t n, double amplitude,
+                                      std::uint64_t seed) {
+  if (amplitude <= 0.0)
+    throw std::invalid_argument("UniformWhiteNoise: amplitude <= 0");
+  util::Rng rng(seed);
+  std::vector<double> samples(n);
+  for (double& s : samples) s = rng.UniformReal(-amplitude, amplitude);
+  return samples;
+}
+
+std::vector<double> GaussianWhiteNoise(std::size_t n, double stddev,
+                                       std::uint64_t seed) {
+  if (stddev < 0.0)
+    throw std::invalid_argument("GaussianWhiteNoise: stddev < 0");
+  util::Rng rng(seed);
+  std::vector<double> samples(n);
+  for (double& s : samples) s = rng.Gaussian(0.0, stddev);
+  return samples;
+}
+
+std::vector<double> Sinusoid(std::size_t n, double amplitude, double frequency,
+                             double phase) {
+  std::vector<double> samples(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    samples[i] = amplitude * std::sin(2.0 * std::numbers::pi * frequency *
+                                          static_cast<double>(i) +
+                                      phase);
+  }
+  return samples;
+}
+
+}  // namespace axdse::signal

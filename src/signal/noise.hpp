@@ -1,0 +1,28 @@
+#pragma once
+// Test-signal generation. The paper drives the FIR benchmarks with "white
+// noise signals"; we provide seeded uniform and Gaussian white noise so every
+// experiment is reproducible.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace axdse::signal {
+
+/// `n` samples of uniform white noise in [-amplitude, amplitude).
+/// Throws std::invalid_argument if amplitude <= 0.
+std::vector<double> UniformWhiteNoise(std::size_t n, double amplitude,
+                                      std::uint64_t seed);
+
+/// `n` samples of zero-mean Gaussian white noise with the given standard
+/// deviation. Throws std::invalid_argument if stddev < 0.
+std::vector<double> GaussianWhiteNoise(std::size_t n, double stddev,
+                                       std::uint64_t seed);
+
+/// A sinusoid (for spectral sanity checks of the filters):
+/// amplitude * sin(2*pi*frequency*i + phase), i = 0..n-1, frequency in
+/// cycles/sample.
+std::vector<double> Sinusoid(std::size_t n, double amplitude, double frequency,
+                             double phase = 0.0);
+
+}  // namespace axdse::signal

@@ -1,0 +1,40 @@
+#include "signal/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace axdse::signal {
+
+std::int32_t ToFixed(double value, int frac_bits) {
+  if (frac_bits < 1 || frac_bits > 30)
+    throw std::invalid_argument("ToFixed: frac_bits must be in [1,30]");
+  const double scaled = value * static_cast<double>(1LL << frac_bits);
+  const double rounded = std::nearbyint(scaled);
+  const double limit = static_cast<double>(1LL << frac_bits) - 1.0;
+  return static_cast<std::int32_t>(std::clamp(rounded, -limit, limit));
+}
+
+double FromFixed(std::int64_t value, int frac_bits) {
+  if (frac_bits < 1 || frac_bits > 62)
+    throw std::invalid_argument("FromFixed: frac_bits must be in [1,62]");
+  return static_cast<double>(value) / static_cast<double>(1LL << frac_bits);
+}
+
+std::vector<std::int32_t> ToFixedVector(const std::vector<double>& values,
+                                        int frac_bits) {
+  std::vector<std::int32_t> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    out[i] = ToFixed(values[i], frac_bits);
+  return out;
+}
+
+std::vector<double> FromFixedVector(const std::vector<std::int64_t>& values,
+                                    int frac_bits) {
+  std::vector<double> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    out[i] = FromFixed(values[i], frac_bits);
+  return out;
+}
+
+}  // namespace axdse::signal

@@ -1,0 +1,24 @@
+#pragma once
+// Fixed-point quantization helpers (Q-format) used to feed integer kernels
+// from real-valued signals.
+
+#include <cstdint>
+#include <vector>
+
+namespace axdse::signal {
+
+/// Quantizes `value` (expected in [-1, 1)) to a signed fixed-point integer
+/// with `frac_bits` fractional bits, saturating at the representable range
+/// of int16 when frac_bits == 15 (and generally at +/-(2^(frac_bits)) - 1).
+std::int32_t ToFixed(double value, int frac_bits);
+
+/// Inverse of ToFixed.
+double FromFixed(std::int64_t value, int frac_bits);
+
+/// Vector versions.
+std::vector<std::int32_t> ToFixedVector(const std::vector<double>& values,
+                                        int frac_bits);
+std::vector<double> FromFixedVector(const std::vector<std::int64_t>& values,
+                                    int frac_bits);
+
+}  // namespace axdse::signal

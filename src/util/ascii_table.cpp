@@ -1,0 +1,96 @@
+#include "util/ascii_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace axdse::util {
+
+AsciiTable::AsciiTable(std::string title) : title_(std::move(title)) {}
+
+void AsciiTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+  if (aligns_.size() < header_.size()) aligns_.resize(header_.size(), Align::kRight);
+  if (!aligns_.empty()) aligns_[0] = Align::kLeft;
+}
+
+void AsciiTable::AddRow(std::vector<std::string> row) {
+  if (!header_.empty() && row.size() != header_.size())
+    throw std::invalid_argument("AsciiTable::AddRow: column count mismatch");
+  Row r;
+  r.cells = std::move(row);
+  r.separator_before = pending_separator_;
+  pending_separator_ = false;
+  rows_.push_back(std::move(r));
+}
+
+void AsciiTable::AddSeparator() { pending_separator_ = true; }
+
+void AsciiTable::SetAlign(std::size_t column, Align align) {
+  if (aligns_.size() <= column) aligns_.resize(column + 1, Align::kRight);
+  aligns_[column] = align;
+}
+
+std::string AsciiTable::Num(double value, int precision) {
+  if (std::isnan(value)) return "nan";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+std::string AsciiTable::Render() const {
+  std::size_t columns = header_.size();
+  for (const Row& r : rows_) columns = std::max(columns, r.cells.size());
+  std::vector<std::size_t> width(columns, 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = std::max(width[c], header_[c].size());
+  for (const Row& r : rows_)
+    for (std::size_t c = 0; c < r.cells.size(); ++c)
+      width[c] = std::max(width[c], r.cells[c].size());
+
+  const auto rule = [&](std::ostringstream& out) {
+    out << '+';
+    for (std::size_t c = 0; c < columns; ++c)
+      out << std::string(width[c] + 2, '-') << '+';
+    out << '\n';
+  };
+  const auto emit_row = [&](std::ostringstream& out,
+                            const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < columns; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      const Align a = c < aligns_.size() ? aligns_[c] : Align::kRight;
+      const std::size_t pad = width[c] - cell.size();
+      out << ' ';
+      if (a == Align::kLeft)
+        out << cell << std::string(pad, ' ');
+      else
+        out << std::string(pad, ' ') << cell;
+      out << " |";
+    }
+    out << '\n';
+  };
+
+  std::ostringstream out;
+  if (!title_.empty()) out << title_ << '\n';
+  rule(out);
+  if (!header_.empty()) {
+    emit_row(out, header_);
+    rule(out);
+  }
+  for (const Row& r : rows_) {
+    if (r.separator_before) rule(out);
+    emit_row(out, r.cells);
+  }
+  rule(out);
+  return out.str();
+}
+
+}  // namespace axdse::util

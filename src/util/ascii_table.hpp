@@ -1,0 +1,52 @@
+#pragma once
+// Minimal ASCII table renderer for bench/example output. Produces the
+// paper-style tables (Tables I-III) on stdout without external dependencies.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace axdse::util {
+
+/// Column alignment within a rendered cell.
+enum class Align { kLeft, kRight };
+
+/// A simple row/column text table with a title, a header row, and optional
+/// horizontal separators between row groups.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::string title = "");
+
+  /// Sets the header row. Column count is fixed by the header.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one row. Throws std::invalid_argument if the column count does
+  /// not match the header (when a header is present).
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator before the next added row.
+  void AddSeparator();
+
+  /// Sets the alignment for one column (default right, column 0 left).
+  void SetAlign(std::size_t column, Align align);
+
+  /// Renders the table to a string ending in '\n'.
+  std::string Render() const;
+
+  /// Formats a double with the given precision, trimming trailing zeros.
+  static std::string Num(double value, int precision = 3);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  std::vector<Align> aligns_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace axdse::util

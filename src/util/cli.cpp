@@ -1,0 +1,69 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace axdse::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // --name value (if the next token is not itself a flag) or bare --name.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[i + 1];
+      ++i;
+    } else {
+      flags_[arg] = "";
+    }
+  }
+}
+
+bool CliArgs::Has(const std::string& name) const {
+  return flags_.count(name) != 0;
+}
+
+std::string CliArgs::GetString(const std::string& name,
+                               std::string fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return fallback;
+  return it->second;
+}
+
+std::int64_t CliArgs::GetInt(const std::string& name,
+                             std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return fallback;
+  return static_cast<std::int64_t>(v);
+}
+
+double CliArgs::GetDouble(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0') return fallback;
+  return v;
+}
+
+bool CliArgs::GetBool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v.empty() || v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  return fallback;
+}
+
+}  // namespace axdse::util

@@ -1,0 +1,42 @@
+#pragma once
+// Tiny command-line flag parser for bench/example binaries.
+// Supports --name=value, --name value, and boolean --name forms.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace axdse::util {
+
+/// Parses argv into a flag map plus positional arguments. Unknown flags are
+/// kept (benches decide what they accept); malformed input never throws —
+/// lookups fall back to defaults.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if --name was present (with or without a value).
+  bool Has(const std::string& name) const;
+
+  /// String value of --name, or `fallback` if absent.
+  std::string GetString(const std::string& name, std::string fallback) const;
+
+  /// Integer value of --name, or `fallback` if absent/unparsable.
+  std::int64_t GetInt(const std::string& name, std::int64_t fallback) const;
+
+  /// Double value of --name, or `fallback` if absent/unparsable.
+  double GetDouble(const std::string& name, double fallback) const;
+
+  /// Boolean: --name / --name=true|1 => true; --name=false|0 => false.
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  /// Non-flag arguments in order.
+  const std::vector<std::string>& Positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace axdse::util

@@ -1,0 +1,40 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+namespace axdse::util {
+
+std::string CsvWriter::Escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char ch : field) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) *out_ << ',';
+    *out_ << Escape(fields[i]);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::WriteNumericRow(const std::vector<double>& fields,
+                                int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(fields.size());
+  char buf[64];
+  for (const double v : fields) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    cells.emplace_back(buf);
+  }
+  WriteRow(cells);
+}
+
+}  // namespace axdse::util

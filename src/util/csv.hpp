@@ -1,0 +1,31 @@
+#pragma once
+// RFC-4180-style CSV writing, used to export exploration traces (Figures 2-4)
+// for offline plotting.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace axdse::util {
+
+/// Streams rows to an std::ostream as CSV. Fields containing commas, quotes,
+/// or newlines are quoted; embedded quotes are doubled.
+class CsvWriter {
+ public:
+  /// The writer does not own the stream; it must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes one row of raw string fields.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Writes one row of numeric fields with `precision` significant decimals.
+  void WriteNumericRow(const std::vector<double>& fields, int precision = 6);
+
+  /// Escapes a single field per RFC 4180.
+  static std::string Escape(const std::string& field);
+
+ private:
+  std::ostream* out_;
+};
+
+}  // namespace axdse::util

@@ -1,0 +1,47 @@
+#include "util/linear_regression.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace axdse::util {
+
+LinearFit FitLine(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("FitLine: size mismatch");
+  if (x.size() < 2) throw std::invalid_argument("FitLine: need >= 2 points");
+  const double n = static_cast<double>(x.size());
+  const double mean_x = std::accumulate(x.begin(), x.end(), 0.0) / n;
+  const double mean_y = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  LinearFit fit;
+  fit.n = x.size();
+  if (sxx == 0.0) {
+    // Vertical data: degenerate; report a flat line through the mean.
+    fit.slope = 0.0;
+    fit.intercept = mean_y;
+    fit.r_squared = 0.0;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  fit.r_squared = (syy == 0.0) ? 0.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+LinearFit FitLineIndexed(const std::vector<double>& y) {
+  std::vector<double> x(y.size());
+  std::iota(x.begin(), x.end(), 0.0);
+  return FitLine(x, y);
+}
+
+}  // namespace axdse::util

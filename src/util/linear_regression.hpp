@@ -1,0 +1,29 @@
+#pragma once
+// Ordinary least-squares fit of y = slope*x + intercept. Used to draw the
+// trend lines of the paper's Figures 2 and 3 over exploration traces.
+
+#include <cstddef>
+#include <vector>
+
+namespace axdse::util {
+
+/// Result of a univariate OLS fit.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0,1]; 0 when y is constant.
+  double r_squared = 0.0;
+  std::size_t n = 0;
+
+  /// Predicted value at x.
+  double At(double x) const noexcept { return slope * x + intercept; }
+};
+
+/// Fits y against x. Throws std::invalid_argument if sizes mismatch or fewer
+/// than two points are supplied.
+LinearFit FitLine(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fits y against its own index 0..n-1 (the common case for step traces).
+LinearFit FitLineIndexed(const std::vector<double>& y);
+
+}  // namespace axdse::util

@@ -1,0 +1,84 @@
+#include "util/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace axdse::util {
+
+void RunningStats::Add(double x) noexcept {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::Merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::Variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::StdDev() const noexcept { return std::sqrt(Variance()); }
+
+Summary Summarize(const RunningStats& stats) noexcept {
+  Summary s;
+  s.count = stats.Count();
+  s.mean = stats.Mean();
+  s.stddev = stats.StdDev();
+  s.min = stats.Count() == 0 ? 0.0 : stats.Min();
+  s.max = stats.Count() == 0 ? 0.0 : stats.Max();
+  s.sum = stats.Sum();
+  return s;
+}
+
+Summary Summarize(const std::vector<double>& samples) noexcept {
+  RunningStats stats;
+  for (const double x : samples) stats.Add(x);
+  return Summarize(stats);
+}
+
+double Mean(const std::vector<double>& samples) noexcept {
+  if (samples.empty()) return 0.0;
+  RunningStats stats;
+  for (const double x : samples) stats.Add(x);
+  return stats.Mean();
+}
+
+std::vector<double> BinnedMeans(const std::vector<double>& values,
+                                std::size_t bin_size) {
+  if (bin_size == 0) throw std::invalid_argument("BinnedMeans: bin_size == 0");
+  std::vector<double> means;
+  means.reserve(values.size() / bin_size + 1);
+  std::size_t i = 0;
+  while (i < values.size()) {
+    const std::size_t end = std::min(values.size(), i + bin_size);
+    double sum = 0.0;
+    for (std::size_t j = i; j < end; ++j) sum += values[j];
+    means.push_back(sum / static_cast<double>(end - i));
+    i = end;
+  }
+  return means;
+}
+
+}  // namespace axdse::util

@@ -1,0 +1,76 @@
+#pragma once
+// Streaming descriptive statistics (Welford) and small summary helpers used
+// by operator characterization, exploration traces, and bench reporting.
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace axdse::util {
+
+/// Numerically stable single-pass mean/variance/min/max accumulator.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x) noexcept;
+
+  /// Merges another accumulator (parallel-reduction friendly).
+  void Merge(const RunningStats& other) noexcept;
+
+  /// Number of observations added so far.
+  std::size_t Count() const noexcept { return count_; }
+
+  /// Arithmetic mean; 0 when empty.
+  double Mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double Variance() const noexcept;
+
+  /// sqrt(Variance()).
+  double StdDev() const noexcept;
+
+  /// Smallest observation; +inf when empty.
+  double Min() const noexcept { return min_; }
+
+  /// Largest observation; -inf when empty.
+  double Max() const noexcept { return max_; }
+
+  /// Sum of all observations.
+  double Sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Immutable summary of a sample, convenient for reporting.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+/// Builds a Summary from an accumulator.
+Summary Summarize(const RunningStats& stats) noexcept;
+
+/// Builds a Summary directly from samples.
+Summary Summarize(const std::vector<double>& samples) noexcept;
+
+/// Mean of the samples; 0 for an empty vector.
+double Mean(const std::vector<double>& samples) noexcept;
+
+/// Bins `values` into consecutive groups of `bin_size` and returns per-bin
+/// means (the paper's Figure 4 "average reward every 100 steps"). The final
+/// partial bin, if any, is averaged over its actual size.
+/// Throws std::invalid_argument if bin_size == 0.
+std::vector<double> BinnedMeans(const std::vector<double>& values,
+                                std::size_t bin_size);
+
+}  // namespace axdse::util

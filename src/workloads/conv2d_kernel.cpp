@@ -1,0 +1,67 @@
+#include "workloads/conv2d_kernel.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace axdse::workloads {
+
+Conv2DKernel::Conv2DKernel(std::size_t height, std::size_t width,
+                           std::size_t row_bands, std::uint64_t seed)
+    : height_(height),
+      width_(width),
+      row_bands_(row_bands),
+      stencil_({1, 2, 1, 2, 4, 2, 1, 2, 1}),
+      operators_(axc::EvoApproxCatalog::Instance().MatMulSet()) {
+  if (height < 3 || width < 3)
+    throw std::invalid_argument("Conv2DKernel: image must be at least 3x3");
+  const std::size_t out_rows = height - 2;
+  if (row_bands == 0 || row_bands > out_rows)
+    throw std::invalid_argument("Conv2DKernel: invalid row_bands");
+  util::Rng rng(seed);
+  image_.resize(height * width);
+  for (auto& v : image_) v = static_cast<std::uint8_t>(rng.UniformBelow(256));
+
+  variables_.reserve(row_bands + 2);
+  for (std::size_t b = 0; b < row_bands; ++b)
+    variables_.push_back({"image.band" + std::to_string(b)});
+  variables_.push_back({"stencil"});
+  variables_.push_back({"acc"});
+}
+
+std::string Conv2DKernel::Name() const {
+  return "conv2d-" + std::to_string(height_) + "x" + std::to_string(width_);
+}
+
+std::size_t Conv2DKernel::VarOfRow(std::size_t y) const noexcept {
+  const std::size_t out_rows = height_ - 2;
+  const std::size_t band = y * row_bands_ / out_rows;
+  return band >= row_bands_ ? row_bands_ - 1 : band;
+}
+
+std::vector<double> Conv2DKernel::Run(instrument::ApproxContext& ctx) const {
+  const std::size_t out_rows = height_ - 2;
+  const std::size_t out_cols = width_ - 2;
+  std::vector<double> out(out_rows * out_cols);
+  const std::size_t stencil_var = VarOfStencil();
+  const std::size_t acc_var = VarOfAccumulator();
+  for (std::size_t y = 0; y < out_rows; ++y) {
+    const std::size_t row_var = VarOfRow(y);
+    for (std::size_t x = 0; x < out_cols; ++x) {
+      std::int64_t acc = 0;
+      for (std::size_t dy = 0; dy < 3; ++dy) {
+        for (std::size_t dx = 0; dx < 3; ++dx) {
+          const std::int64_t pixel =
+              static_cast<std::int64_t>(image_[(y + dy) * width_ + (x + dx)]);
+          const std::int64_t product = ctx.Mul(
+              pixel, stencil_[dy * 3 + dx], {row_var, stencil_var});
+          acc = ctx.Add(acc, product, {acc_var});
+        }
+      }
+      out[y * out_cols + x] = static_cast<double>(acc);
+    }
+  }
+  return out;
+}
+
+}  // namespace axdse::workloads

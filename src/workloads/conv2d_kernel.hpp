@@ -1,0 +1,52 @@
+#pragma once
+// 2D convolution kernel (extension workload): a 3x3 integer stencil over a
+// synthetic 8-bit image — the kind of image-processing workload the AxC
+// literature motivates (blur/sharpen under approximation).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/kernel.hpp"
+
+namespace axdse::workloads {
+
+/// out(y,x) = sum_{dy,dx} image(y+dy, x+dx) * stencil(dy,dx) over the valid
+/// interior (no padding). 8-bit data, 8-bit operator set.
+/// Variables: "image", "stencil", "acc", plus one variable per image row
+/// band when `row_bands > 1`.
+class Conv2DKernel final : public Kernel {
+ public:
+  /// A `height` x `width` random image convolved with a fixed 3x3 smoothing
+  /// stencil (1 2 1 / 2 4 2 / 1 2 1). `row_bands` >= 1 splits the image rows
+  /// into bands with one selection variable each.
+  /// Throws std::invalid_argument if the image is smaller than 3x3 or
+  /// row_bands is 0 or exceeds the output height.
+  Conv2DKernel(std::size_t height, std::size_t width, std::size_t row_bands,
+               std::uint64_t seed);
+
+  std::string Name() const override;
+  const axc::OperatorSet& Operators() const noexcept override {
+    return operators_;
+  }
+  const std::vector<VariableInfo>& Variables() const noexcept override {
+    return variables_;
+  }
+  std::vector<double> Run(instrument::ApproxContext& ctx) const override;
+
+  std::size_t VarOfStencil() const noexcept { return row_bands_; }
+  std::size_t VarOfAccumulator() const noexcept { return row_bands_ + 1; }
+  /// Variable covering output row `y`.
+  std::size_t VarOfRow(std::size_t y) const noexcept;
+
+ private:
+  std::size_t height_;
+  std::size_t width_;
+  std::size_t row_bands_;
+  std::vector<std::uint8_t> image_;
+  std::vector<std::int64_t> stencil_;
+  std::vector<VariableInfo> variables_;
+  axc::OperatorSet operators_;
+};
+
+}  // namespace axdse::workloads

@@ -1,0 +1,79 @@
+#include "workloads/dct_kernel.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace axdse::workloads {
+
+DctKernel::DctKernel(std::size_t blocks, std::uint64_t seed)
+    : blocks_(blocks),
+      variables_({{"pixels"}, {"coeffs"}, {"acc"}}),
+      operators_(axc::EvoApproxCatalog::Instance().FirSet()) {
+  if (blocks == 0) throw std::invalid_argument("DctKernel: blocks == 0");
+  util::Rng rng(seed);
+  pixels_.resize(blocks * 64);
+  for (auto& p : pixels_) p = static_cast<std::uint8_t>(rng.UniformBelow(256));
+
+  // Orthonormal DCT-II matrix: C[u][k] = s(u) * cos((2k+1) u pi / 16),
+  // s(0) = sqrt(1/8), s(u>0) = sqrt(2/8); quantized to Q14.
+  dct_q14_.resize(64);
+  for (std::size_t u = 0; u < 8; ++u) {
+    const double scale = u == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+    for (std::size_t k = 0; k < 8; ++k) {
+      const double value =
+          scale * std::cos((2.0 * static_cast<double>(k) + 1.0) *
+                           static_cast<double>(u) * std::numbers::pi / 16.0);
+      dct_q14_[u * 8 + k] =
+          static_cast<std::int32_t>(std::lround(value * 16384.0));
+    }
+  }
+}
+
+std::string DctKernel::Name() const {
+  return "dct8x8-" + std::to_string(blocks_);
+}
+
+std::vector<double> DctKernel::Run(instrument::ApproxContext& ctx) const {
+  std::vector<double> out(blocks_ * 64);
+  const std::size_t px = VarOfPixels();
+  const std::size_t cf = VarOfCoeffs();
+  const std::size_t ac = VarOfAccumulator();
+  std::int64_t temp[64];  // C * X, rescaled to ~pixel magnitude
+
+  for (std::size_t b = 0; b < blocks_; ++b) {
+    const std::uint8_t* block = &pixels_[b * 64];
+    // Pass 1: T = (C * X) >> 14  (row transform).
+    for (std::size_t u = 0; u < 8; ++u) {
+      for (std::size_t j = 0; j < 8; ++j) {
+        std::int64_t acc = 0;
+        for (std::size_t k = 0; k < 8; ++k) {
+          const std::int64_t product =
+              ctx.Mul(static_cast<std::int64_t>(dct_q14_[u * 8 + k]),
+                      static_cast<std::int64_t>(block[k * 8 + j]), {cf, px});
+          acc = ctx.Add(acc, product, {ac});
+        }
+        temp[u * 8 + j] = acc >> 14;  // rescale (wiring, not an ALU op)
+      }
+    }
+    // Pass 2: Y = T * C^T (column transform), output in Q14.
+    for (std::size_t u = 0; u < 8; ++u) {
+      for (std::size_t v = 0; v < 8; ++v) {
+        std::int64_t acc = 0;
+        for (std::size_t k = 0; k < 8; ++k) {
+          const std::int64_t product =
+              ctx.Mul(temp[u * 8 + k],
+                      static_cast<std::int64_t>(dct_q14_[v * 8 + k]),
+                      {px, cf});
+          acc = ctx.Add(acc, product, {ac});
+        }
+        out[b * 64 + u * 8 + v] = static_cast<double>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace axdse::workloads

@@ -1,0 +1,47 @@
+#include "workloads/dot_product_kernel.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace axdse::workloads {
+
+DotProductKernel::DotProductKernel(std::size_t n, std::size_t blocks,
+                                   std::uint64_t seed)
+    : blocks_(blocks),
+      variables_({{"a"}, {"b"}, {"acc"}}),
+      operators_(axc::EvoApproxCatalog::Instance().MatMulSet()) {
+  if (n == 0) throw std::invalid_argument("DotProductKernel: n == 0");
+  if (blocks == 0 || blocks > n)
+    throw std::invalid_argument("DotProductKernel: invalid block count");
+  util::Rng rng(seed);
+  a_.resize(n);
+  b_.resize(n);
+  for (auto& v : a_) v = static_cast<std::uint8_t>(rng.UniformBelow(256));
+  for (auto& v : b_) v = static_cast<std::uint8_t>(rng.UniformBelow(256));
+}
+
+std::string DotProductKernel::Name() const {
+  return "dot-" + std::to_string(a_.size()) + "x" + std::to_string(blocks_);
+}
+
+std::vector<double> DotProductKernel::Run(
+    instrument::ApproxContext& ctx) const {
+  std::vector<double> out(blocks_);
+  const std::size_t block_len = a_.size() / blocks_;
+  for (std::size_t g = 0; g < blocks_; ++g) {
+    const std::size_t begin = g * block_len;
+    const std::size_t end = g + 1 == blocks_ ? a_.size() : begin + block_len;
+    std::int64_t acc = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::int64_t product =
+          ctx.Mul(static_cast<std::int64_t>(a_[i]),
+                  static_cast<std::int64_t>(b_[i]), {VarOfA(), VarOfB()});
+      acc = ctx.Add(acc, product, {VarOfAccumulator()});
+    }
+    out[g] = static_cast<double>(acc);
+  }
+  return out;
+}
+
+}  // namespace axdse::workloads

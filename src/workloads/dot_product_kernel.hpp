@@ -1,0 +1,42 @@
+#pragma once
+// Dot-product kernel (extension workload): the smallest interesting
+// MAC-structured benchmark; also the fast kernel used by unit tests.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/kernel.hpp"
+
+namespace axdse::workloads {
+
+/// out[g] = sum over one block of a[i]*b[i]; the vectors are split into
+/// `blocks` equal blocks so the kernel has more than one output (making MAE
+/// meaningful). 8-bit data, 8-bit operator set. Variables: "a", "b", "acc".
+class DotProductKernel final : public Kernel {
+ public:
+  /// Throws std::invalid_argument if n == 0, blocks == 0, or blocks > n.
+  DotProductKernel(std::size_t n, std::size_t blocks, std::uint64_t seed);
+
+  std::string Name() const override;
+  const axc::OperatorSet& Operators() const noexcept override {
+    return operators_;
+  }
+  const std::vector<VariableInfo>& Variables() const noexcept override {
+    return variables_;
+  }
+  std::vector<double> Run(instrument::ApproxContext& ctx) const override;
+
+  std::size_t VarOfA() const noexcept { return 0; }
+  std::size_t VarOfB() const noexcept { return 1; }
+  std::size_t VarOfAccumulator() const noexcept { return 2; }
+
+ private:
+  std::size_t blocks_;
+  std::vector<std::uint8_t> a_;
+  std::vector<std::uint8_t> b_;
+  std::vector<VariableInfo> variables_;
+  axc::OperatorSet operators_;
+};
+
+}  // namespace axdse::workloads

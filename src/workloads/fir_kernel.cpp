@@ -1,0 +1,74 @@
+#include "workloads/fir_kernel.hpp"
+
+#include <stdexcept>
+
+#include "signal/fir_design.hpp"
+#include "signal/noise.hpp"
+#include "signal/quantize.hpp"
+
+namespace axdse::workloads {
+
+namespace {
+constexpr std::size_t kDefaultTaps = 17;
+constexpr double kDefaultCutoff = 0.2;
+}  // namespace
+
+FirKernel::FirKernel(std::size_t num_samples, std::size_t taps, double cutoff,
+                     FirGranularity granularity, std::uint64_t seed)
+    : granularity_(granularity),
+      operators_(axc::EvoApproxCatalog::Instance().FirSet()) {
+  if (num_samples == 0) throw std::invalid_argument("FirKernel: no samples");
+  const std::vector<double> noise =
+      signal::UniformWhiteNoise(num_samples, 0.95, seed);
+  x_ = signal::ToFixedVector(noise, 15);
+  const std::vector<double> coeffs = signal::DesignLowPass(taps, cutoff);
+  h_ = signal::ToFixedVector(coeffs, 15);
+
+  if (granularity_ == FirGranularity::kPerArray) {
+    variables_ = {{"x"}, {"h"}, {"acc"}};
+  } else {
+    variables_.reserve(taps + 2);
+    variables_.push_back({"x"});
+    for (std::size_t k = 0; k < taps; ++k)
+      variables_.push_back({"h.tap" + std::to_string(k)});
+    variables_.push_back({"acc"});
+  }
+}
+
+FirKernel::FirKernel(std::size_t num_samples, std::uint64_t seed)
+    : FirKernel(num_samples, kDefaultTaps, kDefaultCutoff,
+                FirGranularity::kPerTap, seed) {}
+
+std::string FirKernel::Name() const {
+  return "fir-" + std::to_string(x_.size());
+}
+
+std::size_t FirKernel::VarOfInput() const noexcept { return 0; }
+
+std::size_t FirKernel::VarOfTap(std::size_t k) const noexcept {
+  return granularity_ == FirGranularity::kPerArray ? 1 : 1 + k;
+}
+
+std::size_t FirKernel::VarOfAccumulator() const noexcept {
+  return granularity_ == FirGranularity::kPerArray ? 2 : 1 + h_.size();
+}
+
+std::vector<double> FirKernel::Run(instrument::ApproxContext& ctx) const {
+  std::vector<double> out(x_.size());
+  const std::size_t x_var = VarOfInput();
+  const std::size_t acc_var = VarOfAccumulator();
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    std::int64_t acc = 0;  // Q30 accumulator
+    for (std::size_t k = 0; k < h_.size(); ++k) {
+      if (i < k) break;  // zero-padded history contributes nothing
+      const std::int64_t product =
+          ctx.Mul(static_cast<std::int64_t>(h_[k]),
+                  static_cast<std::int64_t>(x_[i - k]), {VarOfTap(k), x_var});
+      acc = ctx.Add(acc, product, {acc_var});
+    }
+    out[i] = static_cast<double>(acc);
+  }
+  return out;
+}
+
+}  // namespace axdse::workloads

@@ -1,0 +1,68 @@
+#include "workloads/iir_kernel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "signal/noise.hpp"
+#include "signal/quantize.hpp"
+
+namespace axdse::workloads {
+
+IirKernel::IirKernel(std::size_t num_samples, double cutoff,
+                     std::uint64_t seed)
+    : design_(signal::DesignBiquadLowPass(cutoff)),
+      variables_({{"x"}, {"b"}, {"a"}, {"acc"}}),
+      operators_(axc::EvoApproxCatalog::Instance().FirSet()) {
+  if (num_samples == 0) throw std::invalid_argument("IirKernel: no samples");
+  if (!signal::IsStable(design_))
+    throw std::invalid_argument("IirKernel: unstable design");
+  const std::vector<double> noise =
+      signal::UniformWhiteNoise(num_samples, 0.9, seed);
+  x_ = signal::ToFixedVector(noise, 15);
+  b_q15_[0] = signal::ToFixed(design_.b0, 15);
+  b_q15_[1] = signal::ToFixed(design_.b1, 15);
+  b_q15_[2] = signal::ToFixed(design_.b2, 15);
+  // a1 of a low-pass biquad lies in (-2, 0): halve into Q15 range and
+  // compensate with a doubled accumulation (standard fixed-point trick).
+  a_q15_[0] = signal::ToFixed(design_.a1 / 2.0, 15);
+  a_q15_[1] = signal::ToFixed(design_.a2, 15);
+}
+
+std::string IirKernel::Name() const {
+  return "iir-biquad-" + std::to_string(x_.size());
+}
+
+std::vector<double> IirKernel::Run(instrument::ApproxContext& ctx) const {
+  std::vector<double> out(x_.size());
+  const std::size_t vx = VarOfInput();
+  const std::size_t vb = VarOfFeedForward();
+  const std::size_t va = VarOfFeedback();
+  const std::size_t vacc = VarOfAccumulator();
+
+  std::int64_t x1 = 0;
+  std::int64_t x2 = 0;
+  std::int64_t y1 = 0;  // Q15 feedback state
+  std::int64_t y2 = 0;
+  for (std::size_t n = 0; n < x_.size(); ++n) {
+    const std::int64_t xn = x_[n];
+    std::int64_t acc = 0;  // Q30
+    acc = ctx.Add(acc, ctx.Mul(b_q15_[0], xn, {vb, vx}), {vacc});
+    acc = ctx.Add(acc, ctx.Mul(b_q15_[1], x1, {vb, vx}), {vacc});
+    acc = ctx.Add(acc, ctx.Mul(b_q15_[2], x2, {vb, vx}), {vacc});
+    // Feedback taps: -a1*y1 (a1 stored halved -> product doubled) - a2*y2.
+    const std::int64_t fb1 = ctx.Mul(a_q15_[0], y1, {va, vacc});
+    acc = ctx.Add(acc, -2 * fb1, {vacc});
+    const std::int64_t fb2 = ctx.Mul(a_q15_[1], y2, {va, vacc});
+    acc = ctx.Add(acc, -fb2, {vacc});
+
+    const std::int64_t yn = acc >> 15;  // rescale Q30 -> Q15 (wiring)
+    out[n] = static_cast<double>(yn);
+    x2 = x1;
+    x1 = xn;
+    y2 = y1;
+    y1 = yn;
+  }
+  return out;
+}
+
+}  // namespace axdse::workloads

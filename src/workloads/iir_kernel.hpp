@@ -1,0 +1,56 @@
+#pragma once
+// Biquad IIR low-pass kernel (extension workload): unlike the FIR benchmark,
+// the recurrence feeds approximate results back into the datapath, so
+// operator errors recirculate — the hardest structural case for approximate
+// arithmetic in filters.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "signal/biquad.hpp"
+#include "workloads/kernel.hpp"
+
+namespace axdse::workloads {
+
+/// Direct-form-I biquad on Q15 white noise:
+///   y[n] = (b0 x[n] + b1 x[n-1] + b2 x[n-2] - a1 y[n-1] - a2 y[n-2])
+/// with Q15 coefficients, Q30 products accumulated by the 16-bit adder model
+/// and rescaled (>>15) into the Q15 feedback state. Outputs the Q15 output
+/// samples. Variables: "x", "b" (feed-forward), "a" (feedback), "acc".
+class IirKernel final : public Kernel {
+ public:
+  /// Throws std::invalid_argument on invalid sizes/design parameters or an
+  /// unstable design.
+  IirKernel(std::size_t num_samples, double cutoff, std::uint64_t seed);
+
+  std::string Name() const override;
+  const axc::OperatorSet& Operators() const noexcept override {
+    return operators_;
+  }
+  const std::vector<VariableInfo>& Variables() const noexcept override {
+    return variables_;
+  }
+  std::vector<double> Run(instrument::ApproxContext& ctx) const override;
+
+  std::size_t NumSamples() const noexcept { return x_.size(); }
+  const signal::BiquadCoeffs& Design() const noexcept { return design_; }
+
+  std::size_t VarOfInput() const noexcept { return 0; }
+  std::size_t VarOfFeedForward() const noexcept { return 1; }
+  std::size_t VarOfFeedback() const noexcept { return 2; }
+  std::size_t VarOfAccumulator() const noexcept { return 3; }
+
+  /// Q15 input samples (for tests).
+  const std::vector<std::int32_t>& SamplesQ15() const noexcept { return x_; }
+
+ private:
+  signal::BiquadCoeffs design_;
+  std::vector<std::int32_t> x_;  ///< Q15 input
+  std::int32_t b_q15_[3] = {0, 0, 0};
+  std::int32_t a_q15_[2] = {0, 0};
+  std::vector<VariableInfo> variables_;
+  axc::OperatorSet operators_;
+};
+
+}  // namespace axdse::workloads

@@ -1,0 +1,15 @@
+#include "workloads/kernel.hpp"
+
+#include <stdexcept>
+
+namespace axdse::workloads {
+
+std::size_t Kernel::VariableIndex(const std::string& name) const {
+  const auto& vars = Variables();
+  for (std::size_t i = 0; i < vars.size(); ++i)
+    if (vars[i].name == name) return i;
+  throw std::invalid_argument("Kernel::VariableIndex: unknown variable '" +
+                              name + "'");
+}
+
+}  // namespace axdse::workloads

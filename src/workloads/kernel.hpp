@@ -1,0 +1,57 @@
+#pragma once
+// Kernel abstraction: an application written against the instrumentation
+// layer so that every sum/multiplication is attributable to named program
+// variables and can be selectively approximated (the paper's "automatic code
+// instrumentation" of the target application).
+
+#include <string>
+#include <vector>
+
+#include "axc/catalog.hpp"
+#include "instrument/approx_context.hpp"
+
+namespace axdse::workloads {
+
+/// A named approximable program variable.
+struct VariableInfo {
+  std::string name;
+};
+
+/// Interface implemented by every benchmark application.
+///
+/// A kernel owns its input data (generated deterministically from a seed at
+/// construction) and declares (a) the operator set its arithmetic maps to and
+/// (b) the list of variables the DSE may select for approximation. Run() must
+/// be deterministic and route *all* counted arithmetic through the context.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// Human-readable benchmark name, e.g. "matmul-10x10".
+  virtual std::string Name() const = 0;
+
+  /// The accuracy-ordered operator set this kernel's arithmetic uses.
+  virtual const axc::OperatorSet& Operators() const noexcept = 0;
+
+  /// The approximable variables, indexed 0..NumVariables()-1.
+  virtual const std::vector<VariableInfo>& Variables() const noexcept = 0;
+
+  /// Number of approximable variables.
+  std::size_t NumVariables() const noexcept { return Variables().size(); }
+
+  /// Executes the kernel under the context's active selection and returns
+  /// the outputs (raw integer results widened to double).
+  virtual std::vector<double> Run(instrument::ApproxContext& ctx) const = 0;
+
+  /// Creates a context bound to this kernel's operator set and variables
+  /// (initially all-precise).
+  instrument::ApproxContext MakeContext() const {
+    return instrument::ApproxContext(Operators(), NumVariables());
+  }
+
+  /// Index of the variable with the given name.
+  /// Throws std::invalid_argument if absent.
+  std::size_t VariableIndex(const std::string& name) const;
+};
+
+}  // namespace axdse::workloads

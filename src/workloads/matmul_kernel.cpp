@@ -1,0 +1,70 @@
+#include "workloads/matmul_kernel.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace axdse::workloads {
+
+MatMulKernel::MatMulKernel(std::size_t n, MatMulGranularity granularity,
+                           std::uint64_t seed)
+    : n_(n),
+      granularity_(granularity),
+      operators_(axc::EvoApproxCatalog::Instance().MatMulSet()) {
+  if (n == 0) throw std::invalid_argument("MatMulKernel: n == 0");
+  util::Rng rng(seed);
+  a_.resize(n * n);
+  b_.resize(n * n);
+  for (auto& v : a_) v = static_cast<std::uint8_t>(rng.UniformBelow(256));
+  for (auto& v : b_) v = static_cast<std::uint8_t>(rng.UniformBelow(256));
+
+  if (granularity_ == MatMulGranularity::kPerMatrix) {
+    variables_ = {{"A"}, {"B"}, {"acc"}};
+  } else {
+    variables_.reserve(2 * n + 1);
+    for (std::size_t i = 0; i < n; ++i)
+      variables_.push_back({"A.row" + std::to_string(i)});
+    for (std::size_t j = 0; j < n; ++j)
+      variables_.push_back({"B.col" + std::to_string(j)});
+    variables_.push_back({"acc"});
+  }
+}
+
+std::string MatMulKernel::Name() const {
+  return "matmul-" + std::to_string(n_) + "x" + std::to_string(n_);
+}
+
+std::size_t MatMulKernel::VarOfARow(std::size_t i) const noexcept {
+  return granularity_ == MatMulGranularity::kPerMatrix ? 0 : i;
+}
+
+std::size_t MatMulKernel::VarOfBCol(std::size_t j) const noexcept {
+  return granularity_ == MatMulGranularity::kPerMatrix ? 1 : n_ + j;
+}
+
+std::size_t MatMulKernel::VarOfAccumulator() const noexcept {
+  return granularity_ == MatMulGranularity::kPerMatrix ? 2 : 2 * n_;
+}
+
+std::vector<double> MatMulKernel::Run(instrument::ApproxContext& ctx) const {
+  std::vector<double> out(n_ * n_);
+  const std::size_t acc_var = VarOfAccumulator();
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t row_var = VarOfARow(i);
+    for (std::size_t j = 0; j < n_; ++j) {
+      const std::size_t col_var = VarOfBCol(j);
+      std::int64_t acc = 0;
+      for (std::size_t k = 0; k < n_; ++k) {
+        const std::int64_t product =
+            ctx.Mul(static_cast<std::int64_t>(a_[i * n_ + k]),
+                    static_cast<std::int64_t>(b_[k * n_ + j]),
+                    {row_var, col_var});
+        acc = ctx.Add(acc, product, {acc_var});
+      }
+      out[i * n_ + j] = static_cast<double>(acc);
+    }
+  }
+  return out;
+}
+
+}  // namespace axdse::workloads

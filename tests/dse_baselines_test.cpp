@@ -1,0 +1,187 @@
+// Tests for dse/baselines: objective shape, budget accounting, and that each
+// heuristic finds feasible solutions on an easy landscape.
+
+#include "dse/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/dot_product_kernel.hpp"
+
+namespace axdse::dse {
+namespace {
+
+RewardConfig EasyReward(Evaluator& evaluator) {
+  // Paper-style thresholds but permissive accuracy: feasible region is big.
+  RewardConfig config = MakePaperRewardConfig(evaluator);
+  config.acc_threshold = 0.8 * evaluator.MeanAbsPreciseOutput();
+  return config;
+}
+
+TEST(BaselineObjective, FeasibleBeatsInfeasibleAlways) {
+  RewardConfig reward;
+  reward.acc_threshold = 10.0;
+  instrument::Measurement feasible;
+  feasible.delta_acc = 5.0;
+  feasible.delta_power_mw = 0.0;  // zero gain, still feasible
+  feasible.precise_power_mw = 100.0;
+  feasible.precise_time_ns = 100.0;
+  instrument::Measurement infeasible;
+  infeasible.delta_acc = 10.5;
+  infeasible.delta_power_mw = 99.0;  // huge gain, infeasible
+  infeasible.precise_power_mw = 100.0;
+  infeasible.precise_time_ns = 100.0;
+  EXPECT_GT(BaselineObjective(reward, feasible),
+            BaselineObjective(reward, infeasible));
+}
+
+TEST(BaselineObjective, MoreSavingsScoreHigherWhenFeasible) {
+  RewardConfig reward;
+  reward.acc_threshold = 10.0;
+  instrument::Measurement small;
+  small.delta_acc = 1.0;
+  small.delta_power_mw = 10.0;
+  small.delta_time_ns = 10.0;
+  small.precise_power_mw = 100.0;
+  small.precise_time_ns = 100.0;
+  instrument::Measurement big = small;
+  big.delta_power_mw = 60.0;
+  EXPECT_GT(BaselineObjective(reward, big), BaselineObjective(reward, small));
+}
+
+TEST(BaselineObjective, DeeperViolationScoresLower) {
+  RewardConfig reward;
+  reward.acc_threshold = 10.0;
+  instrument::Measurement shallow;
+  shallow.delta_acc = 11.0;
+  instrument::Measurement deep;
+  deep.delta_acc = 100.0;
+  EXPECT_GT(BaselineObjective(reward, shallow),
+            BaselineObjective(reward, deep));
+}
+
+class BaselineSuite : public ::testing::Test {
+ protected:
+  BaselineSuite() : kernel_(64, 4, 13), evaluator_(kernel_) {}
+  workloads::DotProductKernel kernel_;
+  Evaluator evaluator_;
+};
+
+TEST_F(BaselineSuite, RandomSearchFindsFeasible) {
+  const RewardConfig reward = EasyReward(evaluator_);
+  const BaselineResult result = RandomSearch(evaluator_, reward, 300, 1);
+  EXPECT_EQ(result.name, "random-search");
+  EXPECT_EQ(result.evaluations, 300u);
+  EXPECT_TRUE(result.feasible_found);
+  EXPECT_LE(result.best_measurement.delta_acc, reward.acc_threshold);
+}
+
+TEST_F(BaselineSuite, HillClimbImprovesOverInitial) {
+  const RewardConfig reward = EasyReward(evaluator_);
+  const BaselineResult result = HillClimb(evaluator_, reward, 300, 2);
+  // Initial config scores 0 (no savings); hill climbing must find > 0.
+  EXPECT_GT(result.best_objective, 0.0);
+  EXPECT_TRUE(result.feasible_found);
+}
+
+TEST_F(BaselineSuite, SimulatedAnnealingFindsFeasible) {
+  const RewardConfig reward = EasyReward(evaluator_);
+  const BaselineResult result = SimulatedAnnealing(evaluator_, reward, 400, 3);
+  EXPECT_GT(result.best_objective, 0.0);
+  EXPECT_TRUE(result.feasible_found);
+}
+
+TEST_F(BaselineSuite, GeneticSearchFindsFeasible) {
+  const RewardConfig reward = EasyReward(evaluator_);
+  const BaselineResult result = GeneticSearch(evaluator_, reward, 400, 4);
+  EXPECT_GT(result.best_objective, 0.0);
+  EXPECT_TRUE(result.feasible_found);
+}
+
+TEST_F(BaselineSuite, BudgetsAreRespected) {
+  const RewardConfig reward = EasyReward(evaluator_);
+  EXPECT_LE(RandomSearch(evaluator_, reward, 50, 1).evaluations, 50u);
+  EXPECT_LE(HillClimb(evaluator_, reward, 50, 1).evaluations, 50u);
+  EXPECT_LE(SimulatedAnnealing(evaluator_, reward, 50, 1).evaluations, 50u);
+  EXPECT_LE(GeneticSearch(evaluator_, reward, 50, 1).evaluations, 50u);
+}
+
+TEST_F(BaselineSuite, DeterministicUnderSeed) {
+  const RewardConfig reward = EasyReward(evaluator_);
+  const BaselineResult a = SimulatedAnnealing(evaluator_, reward, 200, 42);
+  const BaselineResult b = SimulatedAnnealing(evaluator_, reward, 200, 42);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_DOUBLE_EQ(a.best_objective, b.best_objective);
+}
+
+TEST_F(BaselineSuite, RejectsZeroBudget) {
+  const RewardConfig reward = EasyReward(evaluator_);
+  EXPECT_THROW(RandomSearch(evaluator_, reward, 0, 1), std::invalid_argument);
+  EXPECT_THROW(HillClimb(evaluator_, reward, 0, 1), std::invalid_argument);
+  EXPECT_THROW(SimulatedAnnealing(evaluator_, reward, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(GeneticSearch(evaluator_, reward, 0, 1), std::invalid_argument);
+}
+
+TEST_F(BaselineSuite, GeneticValidatesOptions) {
+  const RewardConfig reward = EasyReward(evaluator_);
+  GeneticOptions bad;
+  bad.population = 1;
+  EXPECT_THROW(GeneticSearch(evaluator_, reward, 10, 1, bad),
+               std::invalid_argument);
+  bad = GeneticOptions{};
+  bad.elites = bad.population;
+  EXPECT_THROW(GeneticSearch(evaluator_, reward, 10, 1, bad),
+               std::invalid_argument);
+}
+
+TEST_F(BaselineSuite, AnnealingValidatesSchedule) {
+  const RewardConfig reward = EasyReward(evaluator_);
+  AnnealingSchedule bad;
+  bad.cooling_rate = 1.0;
+  EXPECT_THROW(SimulatedAnnealing(evaluator_, reward, 10, 1, bad),
+               std::invalid_argument);
+}
+
+TEST_F(BaselineSuite, EvaluationsToBestIsConsistent) {
+  const RewardConfig reward = EasyReward(evaluator_);
+  const BaselineResult result = SimulatedAnnealing(evaluator_, reward, 300, 8);
+  EXPECT_GE(result.evaluations_to_best, 1u);
+  EXPECT_LE(result.evaluations_to_best, result.evaluations);
+}
+
+TEST_F(BaselineSuite, ExhaustiveEnumeratesWholeSpace) {
+  const RewardConfig reward = EasyReward(evaluator_);
+  const BaselineResult result = ExhaustiveSearch(evaluator_, reward);
+  // dot kernel: 6 adders x 6 multipliers x 2^3 masks.
+  EXPECT_EQ(result.evaluations, 6u * 6u * 8u);
+  EXPECT_TRUE(result.feasible_found);
+}
+
+TEST_F(BaselineSuite, ExhaustiveIsTheOracle) {
+  // No heuristic may beat exhaustive enumeration.
+  const RewardConfig reward = EasyReward(evaluator_);
+  const BaselineResult oracle = ExhaustiveSearch(evaluator_, reward);
+  EXPECT_GE(oracle.best_objective,
+            RandomSearch(evaluator_, reward, 200, 1).best_objective);
+  EXPECT_GE(oracle.best_objective,
+            SimulatedAnnealing(evaluator_, reward, 200, 2).best_objective);
+  EXPECT_GE(oracle.best_objective,
+            GeneticSearch(evaluator_, reward, 200, 3).best_objective);
+}
+
+TEST_F(BaselineSuite, ExhaustiveRejectsOversizedSpace) {
+  const RewardConfig reward = EasyReward(evaluator_);
+  EXPECT_THROW(ExhaustiveSearch(evaluator_, reward, /*max=*/10),
+               std::invalid_argument);
+}
+
+TEST_F(BaselineSuite, BestMeasurementMatchesReEvaluation) {
+  const RewardConfig reward = EasyReward(evaluator_);
+  const BaselineResult result = RandomSearch(evaluator_, reward, 100, 9);
+  const instrument::Measurement re = evaluator_.Evaluate(result.best);
+  EXPECT_DOUBLE_EQ(re.delta_power_mw, result.best_measurement.delta_power_mw);
+  EXPECT_DOUBLE_EQ(re.delta_acc, result.best_measurement.delta_acc);
+}
+
+}  // namespace
+}  // namespace axdse::dse

@@ -1,0 +1,129 @@
+// Tests for dse/configuration: space shape, initial/random configurations,
+// cyclic operator moves, neighbor moves.
+
+#include "dse/configuration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <set>
+
+namespace axdse::dse {
+namespace {
+
+SpaceShape TestShape() {
+  SpaceShape shape;
+  shape.num_adders = 6;
+  shape.num_multipliers = 6;
+  shape.num_variables = 10;
+  return shape;
+}
+
+TEST(SpaceShape, FromOperatorSet) {
+  const auto set = axc::EvoApproxCatalog::Instance().MatMulSet();
+  const SpaceShape shape = ShapeOf(set, 21);
+  EXPECT_EQ(shape.num_adders, 6u);
+  EXPECT_EQ(shape.num_multipliers, 6u);
+  EXPECT_EQ(shape.num_variables, 21u);
+}
+
+TEST(SpaceShape, Log2Size) {
+  const SpaceShape shape = TestShape();
+  // log2(6*6*2^10) = log2(36) + 10.
+  EXPECT_NEAR(shape.Log2Size(), std::log2(36.0) + 10.0, 1e-12);
+}
+
+TEST(InitialConfiguration, AllPrecise) {
+  const Configuration config = InitialConfiguration(TestShape());
+  EXPECT_EQ(config.AdderIndex(), 0u);
+  EXPECT_EQ(config.MultiplierIndex(), 0u);
+  EXPECT_TRUE(config.NoneSelected());
+  EXPECT_EQ(config.NumVariables(), 10u);
+}
+
+TEST(RandomConfiguration, InRangeAndVaried) {
+  util::Rng rng(1);
+  const SpaceShape shape = TestShape();
+  std::set<std::string> distinct;
+  for (int i = 0; i < 50; ++i) {
+    const Configuration config = RandomConfiguration(shape, rng);
+    EXPECT_LT(config.AdderIndex(), 6u);
+    EXPECT_LT(config.MultiplierIndex(), 6u);
+    distinct.insert(config.ToString());
+  }
+  EXPECT_GT(distinct.size(), 40u);
+}
+
+TEST(OperatorMoves, NextWrapsCyclically) {
+  const SpaceShape shape = TestShape();
+  Configuration config = InitialConfiguration(shape);
+  for (int i = 1; i <= 6; ++i) {
+    NextAdder(config, shape);
+    EXPECT_EQ(config.AdderIndex(), static_cast<std::uint32_t>(i % 6));
+  }
+}
+
+TEST(OperatorMoves, PrevWrapsCyclically) {
+  const SpaceShape shape = TestShape();
+  Configuration config = InitialConfiguration(shape);
+  PrevAdder(config, shape);
+  EXPECT_EQ(config.AdderIndex(), 5u);
+  PrevMultiplier(config, shape);
+  EXPECT_EQ(config.MultiplierIndex(), 5u);
+  NextMultiplier(config, shape);
+  EXPECT_EQ(config.MultiplierIndex(), 0u);
+}
+
+TEST(OperatorMoves, NextPrevAreInverses) {
+  const SpaceShape shape = TestShape();
+  util::Rng rng(3);
+  Configuration config = RandomConfiguration(shape, rng);
+  const Configuration snapshot = config;
+  NextAdder(config, shape);
+  PrevAdder(config, shape);
+  NextMultiplier(config, shape);
+  PrevMultiplier(config, shape);
+  EXPECT_EQ(config, snapshot);
+}
+
+TEST(RandomNeighborMove, ChangesExactlyOneField) {
+  const SpaceShape shape = TestShape();
+  util::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    Configuration config = RandomConfiguration(shape, rng);
+    const Configuration before = config;
+    RandomNeighborMove(config, shape, rng);
+    EXPECT_NE(config, before);
+    int changed = 0;
+    if (config.AdderIndex() != before.AdderIndex()) ++changed;
+    if (config.MultiplierIndex() != before.MultiplierIndex()) ++changed;
+    std::size_t bit_changes = 0;
+    for (std::size_t v = 0; v < shape.num_variables; ++v)
+      if (config.VariableSelected(v) != before.VariableSelected(v))
+        ++bit_changes;
+    changed += static_cast<int>(bit_changes);
+    EXPECT_EQ(changed, 1);
+  }
+}
+
+TEST(RandomNeighborMove, EventuallyTouchesEveryMoveKind) {
+  const SpaceShape shape = TestShape();
+  util::Rng rng(11);
+  bool adder_changed = false;
+  bool mul_changed = false;
+  bool var_changed = false;
+  for (int i = 0; i < 500; ++i) {
+    Configuration config = InitialConfiguration(shape);
+    RandomNeighborMove(config, shape, rng);
+    if (config.AdderIndex() != 0) adder_changed = true;
+    if (config.MultiplierIndex() != 0) mul_changed = true;
+    if (!config.NoneSelected()) var_changed = true;
+  }
+  EXPECT_TRUE(adder_changed);
+  EXPECT_TRUE(mul_changed);
+  EXPECT_TRUE(var_changed);
+}
+
+}  // namespace
+}  // namespace axdse::dse

@@ -1,0 +1,167 @@
+// Tests for the explorer extensions: agent-kind selection, multi-episode
+// training, best-feasible tracking, and greedy rollout.
+
+#include <gtest/gtest.h>
+
+#include "dse/baselines.hpp"
+#include "dse/explorer.hpp"
+#include "workloads/dot_product_kernel.hpp"
+#include "workloads/matmul_kernel.hpp"
+
+namespace axdse::dse {
+namespace {
+
+ExplorerConfig FastConfig(std::uint64_t seed = 1) {
+  ExplorerConfig config;
+  config.max_steps = 800;
+  config.max_cumulative_reward = 1e18;
+  config.agent.alpha = 0.2;
+  config.agent.gamma = 0.9;
+  config.agent.epsilon = rl::EpsilonSchedule::Linear(1.0, 0.05, 500);
+  config.seed = seed;
+  return config;
+}
+
+TEST(MakeAgentFactory, ProducesEveryKind) {
+  const rl::AgentConfig config;
+  EXPECT_EQ(MakeAgent(AgentKind::kQLearning, 4, config, 0.8, 1)->Name(),
+            "q-learning");
+  EXPECT_EQ(MakeAgent(AgentKind::kSarsa, 4, config, 0.8, 1)->Name(), "sarsa");
+  EXPECT_EQ(MakeAgent(AgentKind::kExpectedSarsa, 4, config, 0.8, 1)->Name(),
+            "expected-sarsa");
+  EXPECT_EQ(MakeAgent(AgentKind::kDoubleQ, 4, config, 0.8, 1)->Name(),
+            "double-q");
+  EXPECT_EQ(MakeAgent(AgentKind::kQLambda, 4, config, 0.8, 1)->Name(),
+            "q-lambda");
+}
+
+TEST(AgentKindNames, AllDistinct) {
+  EXPECT_STREQ(ToString(AgentKind::kQLearning), "q-learning");
+  EXPECT_STREQ(ToString(AgentKind::kSarsa), "sarsa");
+  EXPECT_STREQ(ToString(AgentKind::kExpectedSarsa), "expected-sarsa");
+  EXPECT_STREQ(ToString(AgentKind::kDoubleQ), "double-q");
+  EXPECT_STREQ(ToString(AgentKind::kQLambda), "q-lambda");
+}
+
+TEST(ExplorerExtended, EveryAgentKindExploresTheDse) {
+  const workloads::DotProductKernel kernel(64, 4, 7);
+  for (const AgentKind kind :
+       {AgentKind::kQLearning, AgentKind::kSarsa, AgentKind::kExpectedSarsa,
+        AgentKind::kDoubleQ, AgentKind::kQLambda}) {
+    ExplorerConfig config = FastConfig();
+    config.agent_kind = kind;
+    const ExplorationResult result = ExploreKernel(kernel, config);
+    EXPECT_GT(result.steps, 0u) << ToString(kind);
+    EXPECT_EQ(result.rewards.size(), result.steps) << ToString(kind);
+  }
+}
+
+TEST(ExplorerExtended, MultiEpisodeAccumulatesSteps) {
+  const workloads::DotProductKernel kernel(64, 4, 7);
+  ExplorerConfig config = FastConfig();
+  config.max_steps = 300;
+  config.episodes = 3;
+  const ExplorationResult result = ExploreKernel(kernel, config);
+  EXPECT_EQ(result.episodes, 3u);
+  EXPECT_GT(result.steps, 300u);  // more than one episode's worth
+  EXPECT_LE(result.steps, 900u);
+  EXPECT_EQ(result.rewards.size(), result.steps);
+  EXPECT_EQ(result.trace.size(), result.steps);
+  // Trace steps are globally numbered.
+  for (std::size_t i = 0; i < result.trace.size(); ++i)
+    EXPECT_EQ(result.trace[i].step, i);
+}
+
+TEST(ExplorerExtended, RejectsZeroEpisodes) {
+  const workloads::DotProductKernel kernel(64, 4, 7);
+  Evaluator evaluator(kernel);
+  const RewardConfig reward = MakePaperRewardConfig(evaluator);
+  ExplorerConfig config = FastConfig();
+  config.episodes = 0;
+  EXPECT_THROW(Explorer(evaluator, reward, config), std::invalid_argument);
+}
+
+TEST(ExplorerExtended, BestFeasibleTrackedAndFeasible) {
+  const workloads::DotProductKernel kernel(64, 4, 7);
+  Evaluator evaluator(kernel);
+  const RewardConfig reward = MakePaperRewardConfig(evaluator);
+  Explorer explorer(evaluator, reward, FastConfig());
+  const ExplorationResult result = explorer.Explore();
+  ASSERT_TRUE(result.has_best_feasible);
+  EXPECT_LE(result.best_feasible_measurement.delta_acc, reward.acc_threshold);
+}
+
+TEST(ExplorerExtended, BestFeasibleIsAtLeastAsGoodAsSolution) {
+  const workloads::MatMulKernel kernel(
+      6, workloads::MatMulGranularity::kPerMatrix, 3);
+  Evaluator evaluator(kernel);
+  const RewardConfig reward = MakePaperRewardConfig(evaluator);
+  ExplorerConfig config = FastConfig(5);
+  config.max_steps = 2000;
+  Explorer explorer(evaluator, reward, config);
+  const ExplorationResult result = explorer.Explore();
+  ASSERT_TRUE(result.has_best_feasible);
+  const double best = BaselineObjective(reward, result.best_feasible_measurement);
+  const double solution =
+      BaselineObjective(reward, result.solution_measurement);
+  EXPECT_GE(best, solution);
+}
+
+TEST(ExplorerExtended, BestFeasibleMatchesTraceOptimum) {
+  const workloads::DotProductKernel kernel(64, 4, 7);
+  Evaluator evaluator(kernel);
+  const RewardConfig reward = MakePaperRewardConfig(evaluator);
+  Explorer explorer(evaluator, reward, FastConfig(9));
+  const ExplorationResult result = explorer.Explore();
+  ASSERT_TRUE(result.has_best_feasible);
+  double trace_best = -1e300;
+  for (const StepRecord& r : result.trace) {
+    if (r.measurement.delta_acc <= reward.acc_threshold)
+      trace_best =
+          std::max(trace_best, BaselineObjective(reward, r.measurement));
+  }
+  EXPECT_DOUBLE_EQ(
+      BaselineObjective(reward, result.best_feasible_measurement),
+      trace_best);
+}
+
+TEST(ExplorerExtended, GreedyRolloutRunsAndKeepsBestFeasibleValid) {
+  const workloads::DotProductKernel kernel(64, 4, 7);
+  Evaluator evaluator(kernel);
+  const RewardConfig reward = MakePaperRewardConfig(evaluator);
+  ExplorerConfig config = FastConfig(11);
+  config.greedy_rollout_steps = 50;
+  Explorer explorer(evaluator, reward, config);
+  const ExplorationResult result = explorer.Explore();
+  ASSERT_TRUE(result.has_best_feasible);
+  // Re-evaluating the tracked best must reproduce its measurement.
+  const instrument::Measurement re =
+      evaluator.Evaluate(result.best_feasible);
+  EXPECT_DOUBLE_EQ(re.delta_power_mw,
+                   result.best_feasible_measurement.delta_power_mw);
+  EXPECT_LE(re.delta_acc, reward.acc_threshold);
+}
+
+TEST(ExplorerExtended, MultiEpisodeReproducible) {
+  const workloads::DotProductKernel kernel(64, 4, 7);
+  ExplorerConfig config = FastConfig(21);
+  config.episodes = 2;
+  config.max_steps = 200;
+  const ExplorationResult a = ExploreKernel(kernel, config);
+  const ExplorationResult b = ExploreKernel(kernel, config);
+  EXPECT_EQ(a.rewards, b.rewards);
+  EXPECT_EQ(a.solution, b.solution);
+}
+
+TEST(ExplorerExtended, DifferentAgentsExploreDifferently) {
+  const workloads::DotProductKernel kernel(64, 4, 7);
+  ExplorerConfig q_config = FastConfig(31);
+  ExplorerConfig sarsa_config = FastConfig(31);
+  sarsa_config.agent_kind = AgentKind::kSarsa;
+  const ExplorationResult a = ExploreKernel(kernel, q_config);
+  const ExplorationResult b = ExploreKernel(kernel, sarsa_config);
+  EXPECT_NE(a.rewards, b.rewards);
+}
+
+}  // namespace
+}  // namespace axdse::dse

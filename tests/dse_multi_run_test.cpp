@@ -1,0 +1,108 @@
+// Tests for dse/multi_run: aggregation correctness and determinism.
+
+#include "dse/multi_run.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/dot_product_kernel.hpp"
+
+namespace axdse::dse {
+namespace {
+
+ExplorerConfig FastConfig() {
+  ExplorerConfig config;
+  config.max_steps = 400;
+  config.max_cumulative_reward = 1e18;
+  config.agent.epsilon = rl::EpsilonSchedule::Linear(1.0, 0.05, 250);
+  config.seed = 100;
+  return config;
+}
+
+TEST(MultiRun, RunsRequestedSeedCount) {
+  const workloads::DotProductKernel kernel(64, 4, 7);
+  const MultiRunResult result =
+      ExploreKernelMultiSeed(kernel, FastConfig(), 4);
+  EXPECT_EQ(result.runs.size(), 4u);
+  EXPECT_EQ(result.solution_delta_power.count, 4u);
+  EXPECT_EQ(result.steps.count, 4u);
+}
+
+TEST(MultiRun, SummariesMatchPerRunData) {
+  const workloads::DotProductKernel kernel(64, 4, 7);
+  const MultiRunResult result =
+      ExploreKernelMultiSeed(kernel, FastConfig(), 5);
+  double sum = 0.0;
+  double min = 1e300;
+  double max = -1e300;
+  for (const ExplorationResult& run : result.runs) {
+    const double v = run.solution_measurement.delta_power_mw;
+    sum += v;
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  EXPECT_NEAR(result.solution_delta_power.mean, sum / 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(result.solution_delta_power.min, min);
+  EXPECT_DOUBLE_EQ(result.solution_delta_power.max, max);
+}
+
+TEST(MultiRun, VotesSumToSeedCount) {
+  const workloads::DotProductKernel kernel(64, 4, 7);
+  const MultiRunResult result =
+      ExploreKernelMultiSeed(kernel, FastConfig(), 6);
+  std::size_t adder_total = 0;
+  for (const auto& [name, count] : result.adder_votes) adder_total += count;
+  std::size_t mul_total = 0;
+  for (const auto& [name, count] : result.multiplier_votes)
+    mul_total += count;
+  EXPECT_EQ(adder_total, 6u);
+  EXPECT_EQ(mul_total, 6u);
+  EXPECT_FALSE(result.ModalAdder().empty());
+  EXPECT_FALSE(result.ModalMultiplier().empty());
+  EXPECT_GE(result.adder_votes.at(result.ModalAdder()), 1u);
+}
+
+TEST(MultiRun, SeedsActuallyDiffer) {
+  const workloads::DotProductKernel kernel(64, 4, 7);
+  const MultiRunResult result =
+      ExploreKernelMultiSeed(kernel, FastConfig(), 4);
+  // At least the reward sequences must differ between seeds.
+  bool any_difference = false;
+  for (std::size_t i = 1; i < result.runs.size(); ++i)
+    if (result.runs[i].rewards != result.runs[0].rewards)
+      any_difference = true;
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(MultiRun, DeterministicAggregate) {
+  const workloads::DotProductKernel kernel(64, 4, 7);
+  const MultiRunResult a = ExploreKernelMultiSeed(kernel, FastConfig(), 3);
+  const MultiRunResult b = ExploreKernelMultiSeed(kernel, FastConfig(), 3);
+  EXPECT_DOUBLE_EQ(a.solution_delta_power.mean, b.solution_delta_power.mean);
+  EXPECT_DOUBLE_EQ(a.solution_delta_acc.stddev, b.solution_delta_acc.stddev);
+  EXPECT_EQ(a.ModalAdder(), b.ModalAdder());
+}
+
+TEST(MultiRun, FeasibleFractionInUnitRange) {
+  const workloads::DotProductKernel kernel(64, 4, 7);
+  const MultiRunResult result =
+      ExploreKernelMultiSeed(kernel, FastConfig(), 4);
+  EXPECT_GE(result.feasible_fraction, 0.0);
+  EXPECT_LE(result.feasible_fraction, 1.0);
+}
+
+TEST(MultiRun, TracesDroppedForMemory) {
+  const workloads::DotProductKernel kernel(64, 4, 7);
+  const MultiRunResult result =
+      ExploreKernelMultiSeed(kernel, FastConfig(), 2);
+  for (const ExplorationResult& run : result.runs)
+    EXPECT_TRUE(run.trace.empty());
+}
+
+TEST(MultiRun, RejectsZeroSeeds) {
+  const workloads::DotProductKernel kernel(64, 4, 7);
+  EXPECT_THROW(ExploreKernelMultiSeed(kernel, FastConfig(), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace axdse::dse

@@ -1,0 +1,129 @@
+// Tests for dse/pareto: dominance semantics and front extraction.
+
+#include "dse/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace axdse::dse {
+namespace {
+
+instrument::Measurement Meas(double power, double time, double acc) {
+  instrument::Measurement m;
+  m.delta_power_mw = power;
+  m.delta_time_ns = time;
+  m.delta_acc = acc;
+  return m;
+}
+
+Configuration Cfg(std::uint32_t adder, std::uint32_t mul, unsigned mask) {
+  Configuration c(4);
+  c.SetAdderIndex(adder);
+  c.SetMultiplierIndex(mul);
+  for (std::size_t i = 0; i < 4; ++i)
+    c.SetVariable(i, (mask >> i) & 1u);
+  return c;
+}
+
+TEST(Dominates, StrictDominance) {
+  EXPECT_TRUE(Dominates(Meas(10, 10, 1), Meas(5, 5, 2)));
+  EXPECT_FALSE(Dominates(Meas(5, 5, 2), Meas(10, 10, 1)));
+}
+
+TEST(Dominates, EqualPointsDoNotDominate) {
+  const auto m = Meas(10, 10, 1);
+  EXPECT_FALSE(Dominates(m, m));
+}
+
+TEST(Dominates, TradeOffsDoNotDominate) {
+  // More power saving but worse accuracy: incomparable.
+  EXPECT_FALSE(Dominates(Meas(10, 10, 5), Meas(5, 10, 1)));
+  EXPECT_FALSE(Dominates(Meas(5, 10, 1), Meas(10, 10, 5)));
+}
+
+TEST(Dominates, OneObjectiveBetterRestEqual) {
+  EXPECT_TRUE(Dominates(Meas(10, 10, 1), Meas(10, 9, 1)));
+  EXPECT_TRUE(Dominates(Meas(10, 10, 0.5), Meas(10, 10, 1)));
+}
+
+TEST(ParetoFront, KeepsOnlyNonDominated) {
+  std::vector<ParetoPoint> points = {
+      {Cfg(0, 0, 0), Meas(10, 10, 1)},   // front
+      {Cfg(1, 0, 0), Meas(5, 5, 2)},     // dominated by first
+      {Cfg(2, 0, 0), Meas(12, 8, 3)},    // front (best power)
+      {Cfg(3, 0, 0), Meas(8, 12, 0.5)},  // front (best time+acc)
+  };
+  const auto front = ParetoFront(points);
+  EXPECT_EQ(front.size(), 3u);
+  for (const ParetoPoint& p : front)
+    EXPECT_NE(p.config, Cfg(1, 0, 0));
+}
+
+TEST(ParetoFront, AllIncomparableSurvive) {
+  std::vector<ParetoPoint> points = {
+      {Cfg(0, 0, 0), Meas(1, 3, 3)},
+      {Cfg(1, 0, 0), Meas(2, 2, 2)},
+      {Cfg(2, 0, 0), Meas(3, 1, 1)},
+  };
+  EXPECT_EQ(ParetoFront(points).size(), 3u);
+}
+
+TEST(ParetoFront, DuplicateConfigsCollapse) {
+  std::vector<ParetoPoint> points = {
+      {Cfg(0, 0, 1), Meas(10, 10, 1)},
+      {Cfg(0, 0, 1), Meas(10, 10, 1)},  // same config revisited
+  };
+  EXPECT_EQ(ParetoFront(points).size(), 1u);
+}
+
+TEST(ParetoFront, MeasurementTwinsCollapseToFirstWitness) {
+  // Different configurations, identical objectives (same effective operator
+  // coverage): only one survives.
+  std::vector<ParetoPoint> points = {
+      {Cfg(0, 0, 1), Meas(10, 10, 1)},
+      {Cfg(0, 0, 3), Meas(10, 10, 1)},
+  };
+  const auto front = ParetoFront(points);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0].config, Cfg(0, 0, 1));
+}
+
+TEST(ParetoFront, EmptyInput) {
+  EXPECT_TRUE(ParetoFront({}).empty());
+}
+
+TEST(ParetoFront, SinglePointSurvives) {
+  const std::vector<ParetoPoint> points = {{Cfg(0, 0, 0), Meas(1, 1, 1)}};
+  EXPECT_EQ(ParetoFront(points).size(), 1u);
+}
+
+TEST(ParetoFrontOfTrace, ExtractsFromStepRecords) {
+  std::vector<StepRecord> trace(3);
+  trace[0].config = Cfg(0, 0, 0);
+  trace[0].measurement = Meas(10, 10, 1);
+  trace[1].config = Cfg(1, 0, 0);
+  trace[1].measurement = Meas(5, 5, 5);  // dominated
+  trace[2].config = Cfg(2, 0, 0);
+  trace[2].measurement = Meas(11, 9, 2);  // incomparable with [0]
+  const auto front = ParetoFrontOfTrace(trace);
+  EXPECT_EQ(front.size(), 2u);
+}
+
+TEST(ParetoFront, FrontPointsAreMutuallyNonDominating) {
+  std::vector<ParetoPoint> points;
+  for (std::uint32_t i = 0; i < 6; ++i)
+    for (std::uint32_t j = 0; j < 6; ++j)
+      points.push_back({Cfg(i, j, i),
+                        Meas(i * 2.0 + j, 10.0 - j, i * j * 0.5)});
+  const auto front = ParetoFront(points);
+  ASSERT_FALSE(front.empty());
+  for (const auto& a : front) {
+    for (const auto& b : front) {
+      if (!(a.config == b.config)) {
+        EXPECT_FALSE(Dominates(a.measurement, b.measurement));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace axdse::dse

@@ -1,0 +1,163 @@
+// Property tests over random configurations: evaluator determinism, cost
+// accounting invariants, and the monotonicity structure the accuracy-ordered
+// catalog induces on the objective space.
+
+#include <gtest/gtest.h>
+
+#include "dse/evaluator.hpp"
+#include "util/rng.hpp"
+#include "workloads/dot_product_kernel.hpp"
+#include "workloads/fir_kernel.hpp"
+#include "workloads/matmul_kernel.hpp"
+
+namespace axdse::dse {
+namespace {
+
+class RandomConfigProperties : public ::testing::Test {
+ protected:
+  RandomConfigProperties()
+      : kernel_(6, workloads::MatMulGranularity::kRowCol, 77),
+        evaluator_(kernel_),
+        rng_(123) {}
+
+  workloads::MatMulKernel kernel_;
+  Evaluator evaluator_;
+  util::Rng rng_;
+};
+
+TEST_F(RandomConfigProperties, EvaluationIsDeterministic) {
+  for (int i = 0; i < 30; ++i) {
+    const Configuration config =
+        RandomConfiguration(evaluator_.Shape(), rng_);
+    const instrument::Measurement a = evaluator_.Evaluate(config);
+    const instrument::Measurement b = evaluator_.Evaluate(config);
+    EXPECT_DOUBLE_EQ(a.delta_acc, b.delta_acc);
+    EXPECT_DOUBLE_EQ(a.delta_power_mw, b.delta_power_mw);
+    EXPECT_DOUBLE_EQ(a.delta_time_ns, b.delta_time_ns);
+  }
+}
+
+TEST_F(RandomConfigProperties, TotalOpCountsAreConfigurationInvariant) {
+  // The kernels have data-independent control flow: every configuration
+  // executes the same number of adds and muls, only the approx/precise
+  // split changes.
+  const instrument::Measurement precise =
+      evaluator_.Evaluate(InitialConfiguration(evaluator_.Shape()));
+  for (int i = 0; i < 30; ++i) {
+    const Configuration config =
+        RandomConfiguration(evaluator_.Shape(), rng_);
+    const instrument::Measurement m = evaluator_.Evaluate(config);
+    EXPECT_EQ(m.counts.TotalAdds(), precise.counts.TotalAdds());
+    EXPECT_EQ(m.counts.TotalMuls(), precise.counts.TotalMuls());
+  }
+}
+
+TEST_F(RandomConfigProperties, DeltasEqualPreciseMinusApprox) {
+  for (int i = 0; i < 30; ++i) {
+    const Configuration config =
+        RandomConfiguration(evaluator_.Shape(), rng_);
+    const instrument::Measurement m = evaluator_.Evaluate(config);
+    EXPECT_DOUBLE_EQ(m.delta_power_mw,
+                     m.precise_power_mw - m.approx_power_mw);
+    EXPECT_DOUBLE_EQ(m.delta_time_ns, m.precise_time_ns - m.approx_time_ns);
+  }
+}
+
+TEST_F(RandomConfigProperties, ExactOperatorsAlwaysZeroAccuracyLoss) {
+  for (int i = 0; i < 20; ++i) {
+    Configuration config = RandomConfiguration(evaluator_.Shape(), rng_);
+    config.SetAdderIndex(0);
+    config.SetMultiplierIndex(0);
+    const instrument::Measurement m = evaluator_.Evaluate(config);
+    EXPECT_DOUBLE_EQ(m.delta_acc, 0.0);
+    EXPECT_DOUBLE_EQ(m.delta_power_mw, 0.0);
+  }
+}
+
+TEST_F(RandomConfigProperties, MoreVariablesNeverReduceApproxOpCount) {
+  for (int i = 0; i < 20; ++i) {
+    Configuration base = RandomConfiguration(evaluator_.Shape(), rng_);
+    // Find a deselected variable to add; skip if all selected.
+    std::size_t candidate = evaluator_.Shape().num_variables;
+    for (std::size_t v = 0; v < evaluator_.Shape().num_variables; ++v) {
+      if (!base.VariableSelected(v)) {
+        candidate = v;
+        break;
+      }
+    }
+    if (candidate == evaluator_.Shape().num_variables) continue;
+    Configuration wider = base;
+    wider.SetVariable(candidate, true);
+    const instrument::Measurement m_base = evaluator_.Evaluate(base);
+    const instrument::Measurement m_wider = evaluator_.Evaluate(wider);
+    EXPECT_GE(m_wider.counts.approx_adds + m_wider.counts.approx_muls,
+              m_base.counts.approx_adds + m_base.counts.approx_muls);
+  }
+}
+
+TEST(CatalogMonotonicity, DeltaPowerNonDecreasingInOperatorIndex) {
+  // With every variable selected, moving down the accuracy-ordered catalog
+  // (higher index = more aggressive = less power) must never reduce the
+  // power saving: the published power column is non-increasing.
+  const workloads::DotProductKernel kernel(64, 4, 5);
+  Evaluator evaluator(kernel);
+  Configuration config(evaluator.Shape().num_variables);
+  for (std::size_t v = 0; v < config.NumVariables(); ++v)
+    config.SetVariable(v, true);
+
+  double previous = -1.0;
+  for (std::uint32_t a = 0; a < evaluator.Shape().num_adders; ++a) {
+    config.SetAdderIndex(a);
+    config.SetMultiplierIndex(0);
+    const instrument::Measurement m = evaluator.Evaluate(config);
+    EXPECT_GE(m.delta_power_mw, previous);
+    previous = m.delta_power_mw;
+  }
+  previous = -1.0;
+  for (std::uint32_t mi = 0; mi < evaluator.Shape().num_multipliers; ++mi) {
+    config.SetAdderIndex(0);
+    config.SetMultiplierIndex(mi);
+    const instrument::Measurement m = evaluator.Evaluate(config);
+    EXPECT_GE(m.delta_power_mw, previous);
+    previous = m.delta_power_mw;
+  }
+}
+
+TEST(CatalogMonotonicity, DeltaTimeIsNotMonotonic8BitMultipliers) {
+  // The GTR multiplier (index 2) is slower than exact: the time saving dips
+  // negative there — an intentional non-monotonicity from the paper's
+  // Table II that explorers must navigate.
+  const workloads::DotProductKernel kernel(64, 4, 5);
+  Evaluator evaluator(kernel);
+  Configuration config(evaluator.Shape().num_variables);
+  for (std::size_t v = 0; v < config.NumVariables(); ++v)
+    config.SetVariable(v, true);
+  config.SetMultiplierIndex(2);  // GTR
+  const instrument::Measurement gtr = evaluator.Evaluate(config);
+  config.SetMultiplierIndex(1);  // 4X5
+  const instrument::Measurement x45 = evaluator.Evaluate(config);
+  EXPECT_LT(gtr.delta_time_ns, x45.delta_time_ns);
+  EXPECT_LT(gtr.delta_time_ns, 0.0);
+}
+
+TEST(CatalogMonotonicity, AccuracyLossGrowsWithMultiplierAggressiveness) {
+  // On the multiplier-dominated FIR kernel, stepping the multiplier down
+  // the catalog with all variables selected must not reduce Δacc by much —
+  // we assert weak monotonicity with a 20% slack (error models are not
+  // perfectly nested).
+  const workloads::FirKernel kernel(64, 11);
+  Evaluator evaluator(kernel);
+  Configuration config(evaluator.Shape().num_variables);
+  for (std::size_t v = 0; v < config.NumVariables(); ++v)
+    config.SetVariable(v, true);
+  double previous = 0.0;
+  for (std::uint32_t mi = 0; mi < evaluator.Shape().num_multipliers; ++mi) {
+    config.SetMultiplierIndex(mi);
+    const instrument::Measurement m = evaluator.Evaluate(config);
+    EXPECT_GE(m.delta_acc, 0.8 * previous) << "multiplier index " << mi;
+    previous = std::max(previous, m.delta_acc);
+  }
+}
+
+}  // namespace
+}  // namespace axdse::dse

@@ -1,0 +1,185 @@
+// Tests for dse/reward: every branch of the paper's Algorithm 1, plus the
+// paper's threshold recipe.
+
+#include "dse/reward.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/dot_product_kernel.hpp"
+
+namespace axdse::dse {
+namespace {
+
+SpaceShape TestShape() {
+  SpaceShape shape;
+  shape.num_adders = 6;
+  shape.num_multipliers = 6;
+  shape.num_variables = 4;
+  return shape;
+}
+
+RewardConfig TestReward() {
+  RewardConfig config;
+  config.acc_threshold = 100.0;
+  config.power_threshold = 50.0;
+  config.time_threshold = 40.0;
+  config.max_reward = 100.0;
+  return config;
+}
+
+instrument::Measurement Meas(double acc, double power, double time) {
+  instrument::Measurement m;
+  m.delta_acc = acc;
+  m.delta_power_mw = power;
+  m.delta_time_ns = time;
+  return m;
+}
+
+TEST(Algorithm1, AccuracyViolationGivesMinusR) {
+  const auto outcome = ComputeReward(TestReward(), Configuration(4),
+                                     Meas(100.01, 1000.0, 1000.0), TestShape());
+  EXPECT_DOUBLE_EQ(outcome.reward, -100.0);
+  EXPECT_FALSE(outcome.saturated);
+}
+
+TEST(Algorithm1, AccuracyExactlyAtThresholdIsFeasible) {
+  // Line 4 uses <=.
+  const auto outcome = ComputeReward(TestReward(), Configuration(4),
+                                     Meas(100.0, 60.0, 50.0), TestShape());
+  EXPECT_DOUBLE_EQ(outcome.reward, 1.0);
+}
+
+TEST(Algorithm1, BothGainsAboveThresholdsGivePlusOne) {
+  const auto outcome = ComputeReward(TestReward(), Configuration(4),
+                                     Meas(10.0, 50.0, 40.0), TestShape());
+  EXPECT_DOUBLE_EQ(outcome.reward, 1.0);  // >= comparisons
+  EXPECT_FALSE(outcome.saturated);
+}
+
+TEST(Algorithm1, PowerGainTooSmallGivesMinusOne) {
+  const auto outcome = ComputeReward(TestReward(), Configuration(4),
+                                     Meas(10.0, 49.9, 100.0), TestShape());
+  EXPECT_DOUBLE_EQ(outcome.reward, -1.0);
+}
+
+TEST(Algorithm1, TimeGainTooSmallGivesMinusOne) {
+  const auto outcome = ComputeReward(TestReward(), Configuration(4),
+                                     Meas(10.0, 100.0, 39.9), TestShape());
+  EXPECT_DOUBLE_EQ(outcome.reward, -1.0);
+}
+
+TEST(Algorithm1, SaturationGivesPlusRAndTerminates) {
+  Configuration config(4);
+  config.SetAdderIndex(5);       // N_add - 1
+  config.SetMultiplierIndex(5);  // N_mul - 1
+  for (std::size_t v = 0; v < 4; ++v) config.SetVariable(v, true);
+  const auto outcome = ComputeReward(TestReward(), config,
+                                     Meas(10.0, 0.0, 0.0), TestShape());
+  EXPECT_DOUBLE_EQ(outcome.reward, 100.0);
+  EXPECT_TRUE(outcome.saturated);
+}
+
+TEST(Algorithm1, SaturationRequiresAllThreeConditions) {
+  // Most aggressive operators but one variable missing -> not saturated.
+  Configuration config(4);
+  config.SetAdderIndex(5);
+  config.SetMultiplierIndex(5);
+  config.SetVariable(0, true);
+  config.SetVariable(1, true);
+  config.SetVariable(2, true);
+  auto outcome = ComputeReward(TestReward(), config, Meas(10.0, 60.0, 50.0),
+                               TestShape());
+  EXPECT_FALSE(outcome.saturated);
+  EXPECT_DOUBLE_EQ(outcome.reward, 1.0);
+
+  // All variables but non-final adder -> not saturated.
+  config.SetVariable(3, true);
+  config.SetAdderIndex(4);
+  outcome =
+      ComputeReward(TestReward(), config, Meas(10.0, 60.0, 50.0), TestShape());
+  EXPECT_FALSE(outcome.saturated);
+
+  // All variables but non-final multiplier -> not saturated.
+  config.SetAdderIndex(5);
+  config.SetMultiplierIndex(0);
+  outcome =
+      ComputeReward(TestReward(), config, Meas(10.0, 60.0, 50.0), TestShape());
+  EXPECT_FALSE(outcome.saturated);
+}
+
+TEST(Algorithm1, SaturationBranchWinsOverThresholdCheck) {
+  // Even with tiny gains, the saturated state returns +R (the algorithm
+  // checks saturation before the gain thresholds).
+  Configuration config(4);
+  config.SetAdderIndex(5);
+  config.SetMultiplierIndex(5);
+  for (std::size_t v = 0; v < 4; ++v) config.SetVariable(v, true);
+  const auto outcome = ComputeReward(TestReward(), config,
+                                     Meas(0.0, 0.0, 0.0), TestShape());
+  EXPECT_DOUBLE_EQ(outcome.reward, 100.0);
+  EXPECT_TRUE(outcome.saturated);
+}
+
+TEST(Algorithm1, AccuracyViolationTrumpsSaturation) {
+  // The outer accuracy guard comes first in Algorithm 1.
+  Configuration config(4);
+  config.SetAdderIndex(5);
+  config.SetMultiplierIndex(5);
+  for (std::size_t v = 0; v < 4; ++v) config.SetVariable(v, true);
+  const auto outcome = ComputeReward(TestReward(), config,
+                                     Meas(1e9, 1e9, 1e9), TestShape());
+  EXPECT_DOUBLE_EQ(outcome.reward, -100.0);
+  EXPECT_FALSE(outcome.saturated);
+}
+
+TEST(Algorithm1, CustomStepRewards) {
+  RewardConfig config = TestReward();
+  config.step_reward = 5.0;
+  config.step_penalty = -2.0;
+  EXPECT_DOUBLE_EQ(ComputeReward(config, Configuration(4),
+                                 Meas(0.0, 60.0, 50.0), TestShape())
+                       .reward,
+                   5.0);
+  EXPECT_DOUBLE_EQ(ComputeReward(config, Configuration(4),
+                                 Meas(0.0, 0.0, 0.0), TestShape())
+                       .reward,
+                   -2.0);
+}
+
+TEST(RewardConfigValidation, RejectsBadValues) {
+  RewardConfig bad = TestReward();
+  bad.max_reward = 0.0;
+  EXPECT_THROW(bad.Validate(), std::invalid_argument);
+  bad = TestReward();
+  bad.acc_threshold = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(bad.Validate(), std::invalid_argument);
+}
+
+TEST(PaperThresholds, ComputedFromPreciseRun) {
+  const workloads::DotProductKernel kernel(32, 4, 9);
+  Evaluator evaluator(kernel);
+  const RewardConfig config = MakePaperRewardConfig(evaluator);
+  EXPECT_DOUBLE_EQ(config.acc_threshold,
+                   0.4 * evaluator.MeanAbsPreciseOutput());
+  EXPECT_DOUBLE_EQ(config.power_threshold, 0.5 * evaluator.PrecisePowerMw());
+  EXPECT_DOUBLE_EQ(config.time_threshold, 0.5 * evaluator.PreciseTimeNs());
+  EXPECT_DOUBLE_EQ(config.max_reward, 100.0);
+}
+
+TEST(PaperThresholds, CustomFactors) {
+  const workloads::DotProductKernel kernel(32, 4, 9);
+  Evaluator evaluator(kernel);
+  PaperThresholdFactors factors;
+  factors.accuracy_factor = 0.1;
+  factors.power_factor = 0.3;
+  factors.time_factor = 0.2;
+  factors.max_reward = 7.0;
+  const RewardConfig config = MakePaperRewardConfig(evaluator, factors);
+  EXPECT_DOUBLE_EQ(config.acc_threshold,
+                   0.1 * evaluator.MeanAbsPreciseOutput());
+  EXPECT_DOUBLE_EQ(config.power_threshold, 0.3 * evaluator.PrecisePowerMw());
+  EXPECT_DOUBLE_EQ(config.max_reward, 7.0);
+}
+
+}  // namespace
+}  // namespace axdse::dse

@@ -1,0 +1,123 @@
+// Tests for energy/energy_model: the additive per-op cost model and the
+// paper's Table III power arithmetic.
+
+#include "energy/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace axdse::energy {
+namespace {
+
+axc::OperatorSet MatMulSet() {
+  return axc::EvoApproxCatalog::Instance().MatMulSet();
+}
+
+TEST(OpCounts, Totals) {
+  OpCounts c;
+  c.precise_adds = 3;
+  c.approx_adds = 4;
+  c.precise_muls = 5;
+  c.approx_muls = 6;
+  EXPECT_EQ(c.TotalAdds(), 7u);
+  EXPECT_EQ(c.TotalMuls(), 11u);
+}
+
+TEST(OpCounts, Accumulate) {
+  OpCounts a;
+  a.precise_adds = 1;
+  OpCounts b;
+  b.approx_muls = 2;
+  a += b;
+  EXPECT_EQ(a.precise_adds, 1u);
+  EXPECT_EQ(a.approx_muls, 2u);
+}
+
+TEST(EnergyModel, RejectsEmptySet) {
+  axc::OperatorSet empty;
+  EXPECT_THROW(EnergyModel{empty}, std::invalid_argument);
+}
+
+TEST(EnergyModel, PreciseCostUsesExactOperators) {
+  const EnergyModel model(MatMulSet());
+  OpCounts counts;
+  counts.precise_muls = 1000;
+  counts.precise_adds = 900;
+  const CostEstimate cost = model.PreciseCost(counts);
+  // Paper numbers: 1000 x 0.391 + 900 x 0.033 = 420.7 mW,
+  //                1000 x 1.43 + 900 x 0.63 = 1997 ns.
+  EXPECT_NEAR(cost.power_mw, 420.7, 1e-9);
+  EXPECT_NEAR(cost.time_ns, 1997.0, 1e-9);
+}
+
+TEST(EnergyModel, FullyApproximateMatMul10x10MatchesPaperScale) {
+  // All 1000 muls on 17MJ (0.0041 mW) and all 900 adds on 02Y (0.0015 mW):
+  // delta power ~ 415.25 mW — the scale of the paper's Table III MatMul
+  // 10x10 column (solution 415.3, max 418.4).
+  const EnergyModel model(MatMulSet());
+  OpCounts counts;
+  counts.approx_muls = 1000;
+  counts.approx_adds = 900;
+  const CostDeltas d = model.Deltas(counts, 5, 5);
+  EXPECT_NEAR(d.delta_power_mw, 415.25, 0.01);
+  // delta time: 1000x(1.43-0.11) + 900x(0.63-0.11) = 1788 ns
+  // (paper solution: 1780 ns).
+  EXPECT_NEAR(d.delta_time_ns, 1788.0, 0.01);
+}
+
+TEST(EnergyModel, MixedCountsSplitBilling) {
+  const EnergyModel model(MatMulSet());
+  OpCounts counts;
+  counts.precise_muls = 10;
+  counts.approx_muls = 5;
+  const CostEstimate cost = model.Cost(counts, 0, 5);  // 17MJ muls
+  EXPECT_NEAR(cost.power_mw, 10 * 0.391 + 5 * 0.0041, 1e-12);
+}
+
+TEST(EnergyModel, ExactSelectionHasZeroDeltas) {
+  const EnergyModel model(MatMulSet());
+  OpCounts counts;
+  counts.approx_adds = 100;
+  counts.approx_muls = 100;
+  const CostDeltas d = model.Deltas(counts, 0, 0);
+  EXPECT_DOUBLE_EQ(d.delta_power_mw, 0.0);
+  EXPECT_DOUBLE_EQ(d.delta_time_ns, 0.0);
+}
+
+TEST(EnergyModel, GtrMultiplierYieldsNegativeTimeDelta) {
+  // GTR (index 2) is slower than the exact multiplier (1.46 vs 1.43 ns):
+  // approximating muls with it makes delta time negative — the effect behind
+  // the paper's negative "min" delta time for MatMul 50x50.
+  const EnergyModel model(MatMulSet());
+  OpCounts counts;
+  counts.approx_muls = 3000;
+  const CostDeltas d = model.Deltas(counts, 0, 2);
+  EXPECT_NEAR(d.delta_time_ns, 3000 * (1.43 - 1.46), 1e-9);
+  EXPECT_LT(d.delta_time_ns, 0.0);
+  EXPECT_GT(d.delta_power_mw, 0.0);  // but it still saves power
+}
+
+TEST(EnergyModel, ThrowsOnBadIndices) {
+  const EnergyModel model(MatMulSet());
+  OpCounts counts;
+  EXPECT_THROW(model.Cost(counts, 6, 0), std::out_of_range);
+  EXPECT_THROW(model.Cost(counts, 0, 6), std::out_of_range);
+}
+
+TEST(EnergyModel, FirSetScaleMatchesPaper) {
+  // FIR-100 with 17 taps: ~1692 muls, ~1592 adds. Precise power
+  // ~ 1692 x 10.76 + 1592 x 0.072 ~ 18320 mW; max delta (all approx, most
+  // aggressive 067 mul @0.51, 067 add @0.0041) ~ 17344 + ~108 — the paper's
+  // FIR-100 max is 17344.39 mW, same scale.
+  const EnergyModel model(axc::EvoApproxCatalog::Instance().FirSet());
+  OpCounts counts;
+  counts.approx_muls = 1692;
+  counts.approx_adds = 1592;
+  const CostDeltas d = model.Deltas(counts, 5, 5);
+  EXPECT_NEAR(d.delta_power_mw, 1692 * (10.76 - 0.51) + 1592 * (0.072 - 0.0041),
+              1e-6);
+  EXPECT_GT(d.delta_power_mw, 17000.0);
+  EXPECT_LT(d.delta_power_mw, 18000.0);
+}
+
+}  // namespace
+}  // namespace axdse::energy

@@ -1,0 +1,233 @@
+// Tests for instrument: ApproxSelection semantics, ApproxContext dispatch and
+// accounting, EvaluationCache behaviour.
+
+#include <gtest/gtest.h>
+
+#include "instrument/approx_context.hpp"
+#include "instrument/evaluation_cache.hpp"
+
+namespace axdse::instrument {
+namespace {
+
+axc::OperatorSet MatMulSet() {
+  return axc::EvoApproxCatalog::Instance().MatMulSet();
+}
+
+// ---------------------------------------------------------------------------
+// ApproxSelection
+// ---------------------------------------------------------------------------
+
+TEST(ApproxSelection, StartsAllPrecise) {
+  const ApproxSelection sel(10);
+  EXPECT_EQ(sel.AdderIndex(), 0u);
+  EXPECT_EQ(sel.MultiplierIndex(), 0u);
+  EXPECT_EQ(sel.SelectedCount(), 0u);
+  EXPECT_TRUE(sel.NoneSelected());
+  EXPECT_FALSE(sel.AllVariablesSelected());
+}
+
+TEST(ApproxSelection, SetToggleAndCount) {
+  ApproxSelection sel(70);  // spans two mask words
+  sel.SetVariable(0, true);
+  sel.SetVariable(69, true);
+  EXPECT_TRUE(sel.VariableSelected(0));
+  EXPECT_TRUE(sel.VariableSelected(69));
+  EXPECT_FALSE(sel.VariableSelected(35));
+  EXPECT_EQ(sel.SelectedCount(), 2u);
+  sel.ToggleVariable(69);
+  EXPECT_FALSE(sel.VariableSelected(69));
+  EXPECT_EQ(sel.SelectedCount(), 1u);
+  sel.SetVariable(0, false);
+  EXPECT_TRUE(sel.NoneSelected());
+}
+
+TEST(ApproxSelection, AllVariablesSelected) {
+  ApproxSelection sel(65);
+  for (std::size_t i = 0; i < 65; ++i) sel.SetVariable(i, true);
+  EXPECT_TRUE(sel.AllVariablesSelected());
+  sel.SetVariable(64, false);
+  EXPECT_FALSE(sel.AllVariablesSelected());
+}
+
+TEST(ApproxSelection, ZeroVariablesNeverAllSelected) {
+  const ApproxSelection sel(0);
+  EXPECT_FALSE(sel.AllVariablesSelected());
+}
+
+TEST(ApproxSelection, OutOfRangeThrows) {
+  ApproxSelection sel(5);
+  EXPECT_THROW(sel.VariableSelected(5), std::out_of_range);
+  EXPECT_THROW(sel.SetVariable(6, true), std::out_of_range);
+  EXPECT_THROW(sel.ToggleVariable(100), std::out_of_range);
+}
+
+TEST(ApproxSelection, EqualityAndHash) {
+  ApproxSelection a(8);
+  ApproxSelection b(8);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(ApproxSelection::Hash{}(a), ApproxSelection::Hash{}(b));
+  b.SetVariable(3, true);
+  EXPECT_NE(a, b);
+  b.SetVariable(3, false);
+  EXPECT_EQ(a, b);
+  b.SetAdderIndex(2);
+  EXPECT_NE(a, b);
+}
+
+TEST(ApproxSelection, ToStringFormat) {
+  ApproxSelection sel(4);
+  sel.SetAdderIndex(4);
+  sel.SetMultiplierIndex(5);
+  sel.SetVariable(0, true);
+  EXPECT_EQ(sel.ToString(), "add=4 mul=5 vars=1000");
+}
+
+// ---------------------------------------------------------------------------
+// ApproxContext
+// ---------------------------------------------------------------------------
+
+TEST(ApproxContext, PreciseByDefault) {
+  ApproxContext ctx(MatMulSet(), 3);
+  EXPECT_EQ(ctx.Mul(7, 9, {0, 1}), 63);
+  EXPECT_EQ(ctx.Add(100, 28, {2}), 128);
+  EXPECT_EQ(ctx.Counts().precise_muls, 1u);
+  EXPECT_EQ(ctx.Counts().precise_adds, 1u);
+  EXPECT_EQ(ctx.Counts().approx_muls, 0u);
+  EXPECT_EQ(ctx.Counts().approx_adds, 0u);
+}
+
+TEST(ApproxContext, SelectedVariableRoutesToApproximateOperator) {
+  ApproxContext ctx(MatMulSet(), 3);
+  ApproxSelection sel(3);
+  sel.SetMultiplierIndex(5);  // 17MJ = LeadOne(1)
+  sel.SetVariable(0, true);
+  ctx.Configure(sel);
+  // 5*9 with LeadOne(1): 4*8 = 32.
+  EXPECT_EQ(ctx.Mul(5, 9, {0, 1}), 32);
+  EXPECT_EQ(ctx.Counts().approx_muls, 1u);
+  // Operation not touching variable 0 stays precise.
+  EXPECT_EQ(ctx.Mul(5, 9, {1}), 45);
+  EXPECT_EQ(ctx.Counts().precise_muls, 1u);
+}
+
+TEST(ApproxContext, OrRuleOverVariables) {
+  ApproxContext ctx(MatMulSet(), 4);
+  ApproxSelection sel(4);
+  sel.SetAdderIndex(5);  // 02Y = TruncPassA(7)
+  sel.SetVariable(2, true);
+  ctx.Configure(sel);
+  // Any selected variable in the list triggers approximation.
+  const std::int64_t approx = ctx.Add(100, 100, {1, 2});
+  EXPECT_NE(approx, 200);
+  const std::int64_t precise = ctx.Add(100, 100, {1, 3});
+  EXPECT_EQ(precise, 200);
+}
+
+TEST(ApproxContext, ConfigureResetsCounts) {
+  ApproxContext ctx(MatMulSet(), 2);
+  ctx.Add(1, 2, {0});
+  EXPECT_EQ(ctx.Counts().precise_adds, 1u);
+  ctx.Configure(ApproxSelection(2));
+  EXPECT_EQ(ctx.Counts().precise_adds, 0u);
+}
+
+TEST(ApproxContext, ResetCountsKeepsSelection) {
+  ApproxContext ctx(MatMulSet(), 2);
+  ApproxSelection sel(2);
+  sel.SetVariable(1, true);
+  sel.SetAdderIndex(3);
+  ctx.Configure(sel);
+  ctx.Add(1, 2, {1});
+  ctx.ResetCounts();
+  EXPECT_EQ(ctx.Counts().approx_adds, 0u);
+  EXPECT_EQ(ctx.Selection().AdderIndex(), 3u);
+  EXPECT_TRUE(ctx.IsApproximated(1));
+}
+
+TEST(ApproxContext, ConfigureValidates) {
+  ApproxContext ctx(MatMulSet(), 2);
+  EXPECT_THROW(ctx.Configure(ApproxSelection(3)), std::invalid_argument);
+  ApproxSelection bad_adder(2);
+  bad_adder.SetAdderIndex(6);
+  EXPECT_THROW(ctx.Configure(bad_adder), std::invalid_argument);
+  ApproxSelection bad_mul(2);
+  bad_mul.SetMultiplierIndex(17);
+  EXPECT_THROW(ctx.Configure(bad_mul), std::invalid_argument);
+}
+
+TEST(ApproxContext, VariableIdOutOfRangeThrows) {
+  ApproxContext ctx(MatMulSet(), 2);
+  EXPECT_THROW(ctx.Add(1, 1, {5}), std::out_of_range);
+}
+
+TEST(ApproxContext, SignedOperandsFollowOperatorSemantics) {
+  ApproxContext ctx(MatMulSet(), 1);
+  ApproxSelection sel(1);
+  sel.SetMultiplierIndex(5);  // LeadOne(1)
+  sel.SetVariable(0, true);
+  ctx.Configure(sel);
+  EXPECT_EQ(ctx.Mul(-5, 9, {0}), -32);
+}
+
+// ---------------------------------------------------------------------------
+// EvaluationCache
+// ---------------------------------------------------------------------------
+
+TEST(EvaluationCache, MissesThenHits) {
+  EvaluationCache cache;
+  ApproxSelection key(4);
+  EXPECT_FALSE(cache.Lookup(key).has_value());
+  EXPECT_EQ(cache.Misses(), 1u);
+
+  Measurement m;
+  m.delta_acc = 1.5;
+  cache.Insert(key, m);
+  const auto hit = cache.Lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->delta_acc, 1.5);
+  EXPECT_EQ(cache.Hits(), 1u);
+  EXPECT_EQ(cache.Size(), 1u);
+}
+
+TEST(EvaluationCache, DistinguishesConfigurations) {
+  EvaluationCache cache;
+  ApproxSelection a(4);
+  ApproxSelection b(4);
+  b.SetVariable(2, true);
+  Measurement ma;
+  ma.delta_power_mw = 1.0;
+  Measurement mb;
+  mb.delta_power_mw = 2.0;
+  cache.Insert(a, ma);
+  cache.Insert(b, mb);
+  EXPECT_DOUBLE_EQ(cache.Lookup(a)->delta_power_mw, 1.0);
+  EXPECT_DOUBLE_EQ(cache.Lookup(b)->delta_power_mw, 2.0);
+}
+
+TEST(EvaluationCache, OverwriteReplaces) {
+  EvaluationCache cache;
+  ApproxSelection key(1);
+  Measurement m1;
+  m1.delta_acc = 1.0;
+  Measurement m2;
+  m2.delta_acc = 2.0;
+  cache.Insert(key, m1);
+  cache.Insert(key, m2);
+  EXPECT_DOUBLE_EQ(cache.Lookup(key)->delta_acc, 2.0);
+  EXPECT_EQ(cache.Size(), 1u);
+}
+
+TEST(EvaluationCache, ClearDropsEverything) {
+  EvaluationCache cache;
+  ApproxSelection key(1);
+  cache.Insert(key, Measurement{});
+  cache.Lookup(key);
+  cache.Clear();
+  EXPECT_EQ(cache.Size(), 0u);
+  EXPECT_EQ(cache.Hits(), 0u);
+  EXPECT_EQ(cache.Misses(), 0u);
+  EXPECT_FALSE(cache.Lookup(key).has_value());
+}
+
+}  // namespace
+}  // namespace axdse::instrument

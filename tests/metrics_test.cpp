@@ -1,0 +1,137 @@
+// Tests for metrics/error_metrics: each metric against hand-computed values,
+// the streaming accumulator against the one-shot functions.
+
+#include "metrics/error_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <vector>
+
+namespace axdse::metrics {
+namespace {
+
+const std::vector<double> kExact = {10.0, -5.0, 0.0, 20.0};
+const std::vector<double> kApprox = {12.0, -5.0, 1.0, 16.0};
+// abs errors: 2, 0, 1, 4 -> MAE 7/4; MSE (4+0+1+16)/4; rel: .2,0,1(zero conv),.2
+
+TEST(Mae, HandComputed) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(kExact, kApprox), 7.0 / 4.0);
+}
+
+TEST(Mae, ZeroWhenIdentical) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(kExact, kExact), 0.0);
+}
+
+TEST(Mae, SymmetricInSign) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {3.0};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(a, b), MeanAbsoluteError(b, a));
+}
+
+TEST(Mse, HandComputed) {
+  EXPECT_DOUBLE_EQ(MeanSquaredError(kExact, kApprox), 21.0 / 4.0);
+}
+
+TEST(Rmse, SqrtOfMse) {
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError(kExact, kApprox),
+                   std::sqrt(21.0 / 4.0));
+}
+
+TEST(Mred, HandComputedWithZeroConvention) {
+  // |err|/|exact| = 0.2, 0, (exact==0 -> abs err = 1), 0.2 -> mean = 1.4/4
+  EXPECT_DOUBLE_EQ(MeanRelativeErrorDistance(kExact, kApprox), 1.4 / 4.0);
+}
+
+TEST(Mred, ZeroExactZeroApproxContributesNothing) {
+  const std::vector<double> exact = {0.0, 2.0};
+  const std::vector<double> approx = {0.0, 2.0};
+  EXPECT_DOUBLE_EQ(MeanRelativeErrorDistance(exact, approx), 0.0);
+}
+
+TEST(ErrorRateFn, CountsMismatches) {
+  EXPECT_DOUBLE_EQ(ErrorRate(kExact, kApprox), 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(ErrorRate(kExact, kExact), 0.0);
+}
+
+TEST(WorstCase, MaxAbsoluteError) {
+  EXPECT_DOUBLE_EQ(WorstCaseError(kExact, kApprox), 4.0);
+}
+
+TEST(Metrics, ThrowOnSizeMismatch) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(MeanAbsoluteError(a, b), std::invalid_argument);
+  EXPECT_THROW(MeanSquaredError(a, b), std::invalid_argument);
+  EXPECT_THROW(MeanRelativeErrorDistance(a, b), std::invalid_argument);
+  EXPECT_THROW(ErrorRate(a, b), std::invalid_argument);
+  EXPECT_THROW(WorstCaseError(a, b), std::invalid_argument);
+}
+
+TEST(Metrics, ThrowOnEmpty) {
+  const std::vector<double> empty;
+  EXPECT_THROW(MeanAbsoluteError(empty, empty), std::invalid_argument);
+  EXPECT_THROW(MeanRelativeErrorDistance(empty, empty),
+               std::invalid_argument);
+}
+
+TEST(ErrorAccumulator, MatchesOneShotFunctions) {
+  ErrorAccumulator acc;
+  for (std::size_t i = 0; i < kExact.size(); ++i)
+    acc.Add(kExact[i], kApprox[i]);
+  EXPECT_DOUBLE_EQ(acc.Mae(), MeanAbsoluteError(kExact, kApprox));
+  EXPECT_DOUBLE_EQ(acc.Mse(), MeanSquaredError(kExact, kApprox));
+  EXPECT_DOUBLE_EQ(acc.Mred(), MeanRelativeErrorDistance(kExact, kApprox));
+  EXPECT_DOUBLE_EQ(acc.ErrorRate(), ErrorRate(kExact, kApprox));
+  EXPECT_DOUBLE_EQ(acc.WorstCase(), WorstCaseError(kExact, kApprox));
+  EXPECT_EQ(acc.Count(), 4u);
+}
+
+TEST(ErrorAccumulator, EmptyIsAllZero) {
+  const ErrorAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.Mae(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.Mse(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.Mred(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.ErrorRate(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.WorstCase(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.MeanError(), 0.0);
+}
+
+TEST(ErrorAccumulator, SignedBias) {
+  ErrorAccumulator acc;
+  acc.Add(10.0, 8.0);   // err +2 (underestimate)
+  acc.Add(10.0, 9.0);   // err +1
+  acc.Add(10.0, 12.0);  // err -2
+  EXPECT_DOUBLE_EQ(acc.MeanError(), (2.0 + 1.0 - 2.0) / 3.0);
+}
+
+TEST(ErrorAccumulator, MergeMatchesSequential) {
+  ErrorAccumulator whole;
+  ErrorAccumulator left;
+  ErrorAccumulator right;
+  for (int i = 0; i < 50; ++i) {
+    const double exact = i * 1.5;
+    const double approx = exact + ((i % 3) - 1) * 0.25;
+    whole.Add(exact, approx);
+    (i < 20 ? left : right).Add(exact, approx);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.Count(), whole.Count());
+  EXPECT_DOUBLE_EQ(left.Mae(), whole.Mae());
+  EXPECT_DOUBLE_EQ(left.Mse(), whole.Mse());
+  EXPECT_DOUBLE_EQ(left.Mred(), whole.Mred());
+  EXPECT_DOUBLE_EQ(left.WorstCase(), whole.WorstCase());
+  EXPECT_DOUBLE_EQ(left.MeanError(), whole.MeanError());
+}
+
+TEST(ErrorAccumulator, ExactObservationsKeepRateZero) {
+  ErrorAccumulator acc;
+  acc.Add(5.0, 5.0);
+  acc.Add(-3.0, -3.0);
+  EXPECT_DOUBLE_EQ(acc.ErrorRate(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.Mae(), 0.0);
+}
+
+}  // namespace
+}  // namespace axdse::metrics

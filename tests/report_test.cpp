@@ -1,0 +1,140 @@
+// Tests for report: table/figure renderers produce the paper's rows and
+// well-formed output.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/figures.hpp"
+#include "report/tables.hpp"
+#include "workloads/dot_product_kernel.hpp"
+
+namespace axdse::report {
+namespace {
+
+dse::ExplorationResult SmallExploration() {
+  const workloads::DotProductKernel kernel(64, 4, 7);
+  dse::ExplorerConfig config;
+  config.max_steps = 400;
+  config.max_cumulative_reward = 100.0;
+  config.agent.epsilon = rl::EpsilonSchedule::Linear(1.0, 0.05, 200);
+  config.seed = 3;
+  return dse::ExploreKernel(kernel, config);
+}
+
+TEST(Tables, AdderTableContainsAllRows) {
+  const auto& specs = axc::EvoApproxCatalog::Instance().Adders8();
+  const std::string out = RenderAdderTable("TABLE I", specs, {});
+  for (const auto& spec : specs)
+    EXPECT_NE(out.find(spec.type_code), std::string::npos) << spec.name;
+  EXPECT_NE(out.find("TABLE I"), std::string::npos);
+  EXPECT_NE(out.find("MRED"), std::string::npos);
+}
+
+TEST(Tables, AdderTableWithMeasuredColumns) {
+  const auto& specs = axc::EvoApproxCatalog::Instance().Adders8();
+  std::vector<axc::Characterization> measured(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) measured[i].mred = 0.01 * i;
+  const std::string out = RenderAdderTable("T", specs, measured);
+  EXPECT_NE(out.find("measured MRED"), std::string::npos);
+  EXPECT_NE(out.find("behavioral model"), std::string::npos);
+  EXPECT_NE(out.find("LOA"), std::string::npos);
+}
+
+TEST(Tables, AdderTableRejectsMismatchedMeasurements) {
+  const auto& specs = axc::EvoApproxCatalog::Instance().Adders8();
+  const std::vector<axc::Characterization> wrong(2);
+  EXPECT_THROW(RenderAdderTable("T", specs, wrong), std::invalid_argument);
+}
+
+TEST(Tables, MultiplierTableContainsAllRows) {
+  const auto& specs = axc::EvoApproxCatalog::Instance().Multipliers32();
+  const std::string out = RenderMultiplierTable("TABLE II", specs, {});
+  for (const auto& spec : specs)
+    EXPECT_NE(out.find(spec.type_code), std::string::npos);
+}
+
+TEST(Tables, Table3HasPaperStructure) {
+  const dse::ExplorationResult result = SmallExploration();
+  const std::string out =
+      RenderTable3({{"dot-64", result}});
+  EXPECT_NE(out.find("Δ Power Consumption (mW)"), std::string::npos);
+  EXPECT_NE(out.find("Δ Computation time (ns)"), std::string::npos);
+  EXPECT_NE(out.find("Accuracy degradation"), std::string::npos);
+  EXPECT_NE(out.find("min"), std::string::npos);
+  EXPECT_NE(out.find("solution"), std::string::npos);
+  EXPECT_NE(out.find("max"), std::string::npos);
+  EXPECT_NE(out.find("Adder Type"), std::string::npos);
+  EXPECT_NE(out.find("Multiplier Type"), std::string::npos);
+  EXPECT_NE(out.find(result.solution_adder), std::string::npos);
+}
+
+TEST(Tables, Table3SupportsMultipleBenchmarks) {
+  const dse::ExplorationResult result = SmallExploration();
+  const std::string out =
+      RenderTable3({{"bench-a", result}, {"bench-b", result}});
+  EXPECT_NE(out.find("bench-a"), std::string::npos);
+  EXPECT_NE(out.find("bench-b"), std::string::npos);
+}
+
+TEST(Tables, ExplorationSummaryListsDiagnostics) {
+  const dse::ExplorationResult result = SmallExploration();
+  const std::string out = RenderExplorationSummary({{"dot-64", result}});
+  EXPECT_NE(out.find("steps"), std::string::npos);
+  EXPECT_NE(out.find("kernel runs"), std::string::npos);
+  EXPECT_NE(out.find(std::to_string(result.steps)), std::string::npos);
+}
+
+TEST(Figures, ExtractSeriesPullsAllThreeObjectives) {
+  const dse::ExplorationResult result = SmallExploration();
+  const TraceSeries series = ExtractSeries(result.trace);
+  EXPECT_EQ(series.delta_power.size(), result.trace.size());
+  EXPECT_EQ(series.delta_time.size(), result.trace.size());
+  EXPECT_EQ(series.delta_acc.size(), result.trace.size());
+}
+
+TEST(Figures, ExplorationFigureHasTrendLines) {
+  const dse::ExplorationResult result = SmallExploration();
+  const std::string out =
+      RenderExplorationFigure("Fig. 2", result.trace, 50);
+  EXPECT_NE(out.find("Fig. 2"), std::string::npos);
+  EXPECT_NE(out.find("Trend lines"), std::string::npos);
+  EXPECT_NE(out.find("slope/step"), std::string::npos);
+  EXPECT_NE(out.find("Power"), std::string::npos);
+  EXPECT_NE(out.find("Accuracy"), std::string::npos);
+}
+
+TEST(Figures, ExplorationFigureValidatesInput) {
+  const dse::ExplorationResult result = SmallExploration();
+  EXPECT_THROW(RenderExplorationFigure("F", result.trace, 0),
+               std::invalid_argument);
+  EXPECT_THROW(RenderExplorationFigure("F", {}, 10), std::invalid_argument);
+}
+
+TEST(Figures, RewardFigureBinsPerRun) {
+  const dse::ExplorationResult result = SmallExploration();
+  const std::string out = RenderRewardFigure(
+      "Fig. 4", {{"dot-64", result.rewards}, {"again", result.rewards}}, 100);
+  EXPECT_NE(out.find("Fig. 4"), std::string::npos);
+  EXPECT_NE(out.find("dot-64"), std::string::npos);
+  EXPECT_NE(out.find("0-100"), std::string::npos);
+}
+
+TEST(Figures, RewardFigureRejectsEmpty) {
+  EXPECT_THROW(RenderRewardFigure("F", {}, 100), std::invalid_argument);
+}
+
+TEST(Figures, TraceCsvHasHeaderAndAllRows) {
+  const dse::ExplorationResult result = SmallExploration();
+  std::ostringstream out;
+  WriteTraceCsv(out, result.trace);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("step,action,reward"), std::string::npos);
+  std::size_t lines = 0;
+  for (const char ch : csv)
+    if (ch == '\n') ++lines;
+  EXPECT_EQ(lines, result.trace.size() + 1);  // header + rows
+}
+
+}  // namespace
+}  // namespace axdse::report

@@ -1,0 +1,110 @@
+// Tests for rl/space: sizes, membership, sampling, mixed-radix encoding.
+
+#include "rl/space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace axdse::rl {
+namespace {
+
+TEST(DiscreteSpace, SizeAndContains) {
+  const DiscreteSpace space(5);
+  EXPECT_EQ(space.Size(), 5u);
+  EXPECT_TRUE(space.Contains(0));
+  EXPECT_TRUE(space.Contains(4));
+  EXPECT_FALSE(space.Contains(5));
+}
+
+TEST(DiscreteSpace, RejectsEmpty) {
+  EXPECT_THROW(DiscreteSpace(0), std::invalid_argument);
+}
+
+TEST(DiscreteSpace, SamplingCoversAllValues) {
+  const DiscreteSpace space(4);
+  util::Rng rng(1);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(space.Sample(rng));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(MultiBinarySpace, BasicProperties) {
+  const MultiBinarySpace space(7);
+  EXPECT_EQ(space.NumBits(), 7u);
+  util::Rng rng(2);
+  const auto bits = space.Sample(rng);
+  EXPECT_EQ(bits.size(), 7u);
+  EXPECT_TRUE(space.Contains(bits));
+  EXPECT_FALSE(space.Contains(std::vector<bool>(6)));
+}
+
+TEST(MultiBinarySpace, RejectsEmpty) {
+  EXPECT_THROW(MultiBinarySpace(0), std::invalid_argument);
+}
+
+TEST(MultiBinarySpace, SamplesAreNotConstant) {
+  const MultiBinarySpace space(16);
+  util::Rng rng(3);
+  const auto a = space.Sample(rng);
+  const auto b = space.Sample(rng);
+  EXPECT_NE(a, b);  // 2^-16 chance of false failure
+}
+
+TEST(CompositeSpace, SizeIsProduct) {
+  const CompositeSpace space({6, 6, 4});
+  EXPECT_EQ(space.Size(), 144u);
+  EXPECT_EQ(space.NumFactors(), 3u);
+}
+
+TEST(CompositeSpace, EncodeDecodeRoundTrip) {
+  const CompositeSpace space({6, 6, 4});
+  for (std::uint64_t index = 0; index < space.Size(); ++index) {
+    const auto coords = space.Decode(index);
+    EXPECT_EQ(space.Encode(coords), index);
+  }
+}
+
+TEST(CompositeSpace, EncodeIsMostSignificantFirst) {
+  const CompositeSpace space({3, 5});
+  EXPECT_EQ(space.Encode({0, 0}), 0u);
+  EXPECT_EQ(space.Encode({0, 4}), 4u);
+  EXPECT_EQ(space.Encode({1, 0}), 5u);
+  EXPECT_EQ(space.Encode({2, 4}), 14u);
+}
+
+TEST(CompositeSpace, RejectsInvalidConstruction) {
+  EXPECT_THROW(CompositeSpace({}), std::invalid_argument);
+  EXPECT_THROW(CompositeSpace({3, 0}), std::invalid_argument);
+}
+
+TEST(CompositeSpace, RejectsOverflow) {
+  // 2^33 x 2^33 > 2^64.
+  const std::size_t big = std::size_t{1} << 33;
+  EXPECT_THROW(CompositeSpace({big, big}), std::invalid_argument);
+}
+
+TEST(CompositeSpace, EncodeValidatesCoordinates) {
+  const CompositeSpace space({2, 2});
+  EXPECT_THROW(space.Encode({0}), std::invalid_argument);
+  EXPECT_THROW(space.Encode({2, 0}), std::invalid_argument);
+}
+
+TEST(CompositeSpace, DecodeValidatesRange) {
+  const CompositeSpace space({2, 2});
+  EXPECT_THROW(space.Decode(4), std::out_of_range);
+}
+
+TEST(CompositeSpace, SampleInRange) {
+  const CompositeSpace space({6, 6, 8});
+  util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const auto coords = space.Sample(rng);
+    EXPECT_LT(coords[0], 6u);
+    EXPECT_LT(coords[1], 6u);
+    EXPECT_LT(coords[2], 8u);
+  }
+}
+
+}  // namespace
+}  // namespace axdse::rl

@@ -1,0 +1,167 @@
+// Tests for signal: noise generators, low-pass design, convolution,
+// frequency response, quantization round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "signal/fir_design.hpp"
+#include "signal/noise.hpp"
+#include "signal/quantize.hpp"
+#include "util/statistics.hpp"
+
+namespace axdse::signal {
+namespace {
+
+TEST(Noise, UniformBoundsAndDeterminism) {
+  const auto a = UniformWhiteNoise(1000, 0.5, 7);
+  const auto b = UniformWhiteNoise(1000, 0.5, 7);
+  EXPECT_EQ(a, b);
+  for (const double v : a) {
+    EXPECT_GE(v, -0.5);
+    EXPECT_LT(v, 0.5);
+  }
+}
+
+TEST(Noise, UniformMeanNearZero) {
+  const auto samples = UniformWhiteNoise(100000, 1.0, 3);
+  EXPECT_NEAR(util::Mean(samples), 0.0, 0.01);
+}
+
+TEST(Noise, UniformIsWhiteEnough) {
+  // lag-1 autocorrelation of white noise must be ~0.
+  const auto x = UniformWhiteNoise(50000, 1.0, 11);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 1; i < x.size(); ++i) num += x[i] * x[i - 1];
+  for (const double v : x) den += v * v;
+  EXPECT_LT(std::abs(num / den), 0.02);
+}
+
+TEST(Noise, UniformThrowsOnBadAmplitude) {
+  EXPECT_THROW(UniformWhiteNoise(10, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(UniformWhiteNoise(10, -1.0, 1), std::invalid_argument);
+}
+
+TEST(Noise, GaussianMoments) {
+  const auto samples = GaussianWhiteNoise(100000, 2.0, 5);
+  util::RunningStats stats;
+  for (const double v : samples) stats.Add(v);
+  EXPECT_NEAR(stats.Mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.StdDev(), 2.0, 0.03);
+}
+
+TEST(Noise, GaussianThrowsOnNegativeStdDev) {
+  EXPECT_THROW(GaussianWhiteNoise(10, -0.1, 1), std::invalid_argument);
+}
+
+TEST(Noise, SinusoidShape) {
+  const auto s = Sinusoid(100, 2.0, 0.25);  // period 4
+  EXPECT_NEAR(s[0], 0.0, 1e-12);
+  EXPECT_NEAR(s[1], 2.0, 1e-9);
+  EXPECT_NEAR(s[2], 0.0, 1e-9);
+  EXPECT_NEAR(s[3], -2.0, 1e-9);
+}
+
+TEST(FirDesign, UnitDcGain) {
+  const auto h = DesignLowPass(17, 0.2);
+  double sum = 0.0;
+  for (const double c : h) sum += c;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_EQ(h.size(), 17u);
+}
+
+TEST(FirDesign, SymmetricLinearPhase) {
+  const auto h = DesignLowPass(17, 0.2);
+  for (std::size_t i = 0; i < h.size() / 2; ++i)
+    EXPECT_NEAR(h[i], h[h.size() - 1 - i], 1e-12);
+}
+
+TEST(FirDesign, PassesDcBlocksNyquist) {
+  const auto h = DesignLowPass(33, 0.15);
+  EXPECT_NEAR(MagnitudeResponse(h, 0.0), 1.0, 1e-9);
+  EXPECT_LT(MagnitudeResponse(h, 0.45), 0.01);
+  EXPECT_LT(MagnitudeResponse(h, 0.5), 0.01);
+}
+
+TEST(FirDesign, HalfPowerNearCutoff) {
+  const auto h = DesignLowPass(65, 0.2);
+  const double at_cutoff = MagnitudeResponse(h, 0.2);
+  EXPECT_GT(at_cutoff, 0.3);
+  EXPECT_LT(at_cutoff, 0.7);
+}
+
+TEST(FirDesign, RejectsBadParameters) {
+  EXPECT_THROW(DesignLowPass(16, 0.2), std::invalid_argument);  // even taps
+  EXPECT_THROW(DesignLowPass(1, 0.2), std::invalid_argument);   // too few
+  EXPECT_THROW(DesignLowPass(17, 0.0), std::invalid_argument);
+  EXPECT_THROW(DesignLowPass(17, 0.5), std::invalid_argument);
+}
+
+TEST(HammingWindow, EndpointsAndCenter) {
+  std::vector<double> w(9, 1.0);
+  ApplyHammingWindow(w);
+  EXPECT_NEAR(w[0], 0.08, 1e-12);
+  EXPECT_NEAR(w[8], 0.08, 1e-12);
+  EXPECT_NEAR(w[4], 1.0, 1e-12);
+}
+
+TEST(HammingWindow, ThrowsOnEmpty) {
+  std::vector<double> empty;
+  EXPECT_THROW(ApplyHammingWindow(empty), std::invalid_argument);
+}
+
+TEST(Convolve, ImpulseReproducesKernel) {
+  std::vector<double> x(10, 0.0);
+  x[0] = 1.0;
+  const std::vector<double> h = {0.25, 0.5, 0.25};
+  const auto y = Convolve(x, h);
+  EXPECT_NEAR(y[0], 0.25, 1e-12);
+  EXPECT_NEAR(y[1], 0.5, 1e-12);
+  EXPECT_NEAR(y[2], 0.25, 1e-12);
+  EXPECT_NEAR(y[3], 0.0, 1e-12);
+}
+
+TEST(Convolve, StepReachesDcGain) {
+  const std::vector<double> x(50, 1.0);
+  const auto h = DesignLowPass(17, 0.2);
+  const auto y = Convolve(x, h);
+  EXPECT_NEAR(y.back(), 1.0, 1e-9);  // settled step response = DC gain
+}
+
+TEST(Convolve, OutputLengthMatchesInput) {
+  const auto y = Convolve(std::vector<double>(7, 1.0), {1.0, 1.0});
+  EXPECT_EQ(y.size(), 7u);
+}
+
+TEST(Quantize, RoundTripAccuracy) {
+  for (const double v : {-0.9, -0.5, -0.1, 0.0, 0.1, 0.5, 0.9}) {
+    const std::int32_t q = ToFixed(v, 15);
+    EXPECT_NEAR(FromFixed(q, 15), v, 1.0 / (1 << 15));
+  }
+}
+
+TEST(Quantize, SaturatesAtRangeEdges) {
+  EXPECT_EQ(ToFixed(1.5, 15), (1 << 15) - 1);
+  EXPECT_EQ(ToFixed(-1.5, 15), -((1 << 15) - 1));
+}
+
+TEST(Quantize, ThrowsOnBadFracBits) {
+  EXPECT_THROW(ToFixed(0.5, 0), std::invalid_argument);
+  EXPECT_THROW(ToFixed(0.5, 31), std::invalid_argument);
+  EXPECT_THROW(FromFixed(1, 0), std::invalid_argument);
+}
+
+TEST(Quantize, VectorVersions) {
+  const std::vector<double> v = {0.5, -0.25};
+  const auto q = ToFixedVector(v, 15);
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_EQ(q[0], 1 << 14);
+  EXPECT_EQ(q[1], -(1 << 13));
+  const auto back = FromFixedVector({q[0], q[1]}, 15);
+  EXPECT_NEAR(back[0], 0.5, 1e-12);
+  EXPECT_NEAR(back[1], -0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace axdse::signal

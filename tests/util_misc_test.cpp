@@ -1,0 +1,199 @@
+// Tests for util: linear regression, ascii tables, CSV escaping, CLI parsing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <sstream>
+
+#include "util/ascii_table.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/linear_regression.hpp"
+
+namespace axdse::util {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Linear regression
+// ---------------------------------------------------------------------------
+
+TEST(LinearRegression, PerfectLine) {
+  const std::vector<double> x = {0, 1, 2, 3, 4};
+  const std::vector<double> y = {1, 3, 5, 7, 9};  // y = 2x + 1
+  const LinearFit fit = FitLine(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.At(10.0), 21.0, 1e-12);
+}
+
+TEST(LinearRegression, NegativeSlope) {
+  const std::vector<double> y = {10, 8, 6, 4};
+  const LinearFit fit = FitLineIndexed(y);
+  EXPECT_NEAR(fit.slope, -2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 10.0, 1e-12);
+}
+
+TEST(LinearRegression, ConstantYHasZeroSlopeAndR2) {
+  const LinearFit fit = FitLineIndexed({5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 5.0);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 0.0);
+}
+
+TEST(LinearRegression, NoisyDataR2Partial) {
+  const std::vector<double> x = {0, 1, 2, 3, 4, 5};
+  const std::vector<double> y = {0.1, 1.2, 1.8, 3.3, 3.9, 5.2};
+  const LinearFit fit = FitLine(x, y);
+  EXPECT_GT(fit.r_squared, 0.97);
+  EXPECT_LT(fit.r_squared, 1.0);
+  EXPECT_NEAR(fit.slope, 1.0, 0.1);
+}
+
+TEST(LinearRegression, ThrowsOnMismatchedSizes) {
+  EXPECT_THROW(FitLine({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(LinearRegression, ThrowsOnTooFewPoints) {
+  EXPECT_THROW(FitLine({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(FitLineIndexed({}), std::invalid_argument);
+}
+
+TEST(LinearRegression, DegenerateXIsFlatFit) {
+  const LinearFit fit = FitLine({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// AsciiTable
+// ---------------------------------------------------------------------------
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable t("My Table");
+  t.SetHeader({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"bb", "22"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("My Table"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("bb"), std::string::npos);
+  EXPECT_EQ(out.back(), '\n');
+}
+
+TEST(AsciiTable, ColumnWidthsAccommodateLongestCell) {
+  AsciiTable t;
+  t.SetHeader({"x"});
+  t.AddRow({"longer-cell"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("longer-cell"), std::string::npos);
+}
+
+TEST(AsciiTable, ThrowsOnColumnMismatch) {
+  AsciiTable t;
+  t.SetHeader({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(AsciiTable, SeparatorInsertedBetweenGroups) {
+  AsciiTable t;
+  t.SetHeader({"v"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  const std::string out = t.Render();
+  // Header rule + top + bottom + one extra group rule = 4 '+--+' lines.
+  int rules = 0;
+  for (std::size_t pos = 0; (pos = out.find("+--", pos)) != std::string::npos;
+       ++pos)
+    ++rules;
+  EXPECT_GE(rules, 4);
+}
+
+TEST(AsciiTable, NumTrimsTrailingZeros) {
+  EXPECT_EQ(AsciiTable::Num(1.5, 3), "1.5");
+  EXPECT_EQ(AsciiTable::Num(2.0, 3), "2");
+  EXPECT_EQ(AsciiTable::Num(0.125, 3), "0.125");
+  EXPECT_EQ(AsciiTable::Num(-3.10, 2), "-3.1");
+}
+
+TEST(AsciiTable, NumHandlesNan) {
+  EXPECT_EQ(AsciiTable::Num(std::nan(""), 3), "nan");
+}
+
+// ---------------------------------------------------------------------------
+// CSV
+// ---------------------------------------------------------------------------
+
+TEST(Csv, PlainRow) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.WriteRow({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(Csv, EscapesCommasAndQuotes) {
+  EXPECT_EQ(CsvWriter::Escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::Escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::Escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvWriter::Escape("plain"), "plain");
+}
+
+TEST(Csv, NumericRow) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.WriteNumericRow({1.0, 2.5, -3.0}, 6);
+  EXPECT_EQ(out.str(), "1,2.5,-3\n");
+}
+
+// ---------------------------------------------------------------------------
+// CLI
+// ---------------------------------------------------------------------------
+
+TEST(Cli, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--steps=100", "--name=test"};
+  CliArgs args(3, argv);
+  EXPECT_EQ(args.GetInt("steps", 0), 100);
+  EXPECT_EQ(args.GetString("name", ""), "test");
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--steps", "250"};
+  CliArgs args(3, argv);
+  EXPECT_EQ(args.GetInt("steps", 0), 250);
+}
+
+TEST(Cli, BooleanFlags) {
+  const char* argv[] = {"prog", "--verbose", "--quiet=false"};
+  CliArgs args(3, argv);
+  EXPECT_TRUE(args.GetBool("verbose", false));
+  EXPECT_FALSE(args.GetBool("quiet", true));
+  EXPECT_TRUE(args.GetBool("absent", true));
+  EXPECT_FALSE(args.GetBool("absent", false));
+}
+
+TEST(Cli, FallbacksOnMissingOrMalformed) {
+  const char* argv[] = {"prog", "--x=notanumber"};
+  CliArgs args(2, argv);
+  EXPECT_EQ(args.GetInt("x", 7), 7);
+  EXPECT_DOUBLE_EQ(args.GetDouble("x", 1.5), 1.5);
+  EXPECT_EQ(args.GetInt("missing", -1), -1);
+}
+
+TEST(Cli, PositionalArguments) {
+  const char* argv[] = {"prog", "pos1", "--flag=1", "pos2"};
+  CliArgs args(4, argv);
+  ASSERT_EQ(args.Positional().size(), 2u);
+  EXPECT_EQ(args.Positional()[0], "pos1");
+  EXPECT_EQ(args.Positional()[1], "pos2");
+}
+
+TEST(Cli, DoubleParsing) {
+  const char* argv[] = {"prog", "--rate=0.25"};
+  CliArgs args(2, argv);
+  EXPECT_DOUBLE_EQ(args.GetDouble("rate", 0.0), 0.25);
+}
+
+}  // namespace
+}  // namespace axdse::util

@@ -1,0 +1,140 @@
+// Tests for util/statistics: Welford accumulator, merge, binning.
+
+#include "util/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace axdse::util {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Sum(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.Add(4.5);
+  EXPECT_EQ(s.Count(), 1u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.Max(), 4.5);
+}
+
+TEST(RunningStats, KnownSample) {
+  // Sample {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, population var 4,
+  // sample var 32/7.
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.StdDev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.Sum(), 40.0);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffset) {
+  // Classic catastrophic-cancellation case: large mean, small variance.
+  RunningStats s;
+  const double offset = 1e9;
+  for (const double x : {offset + 4.0, offset + 7.0, offset + 13.0,
+                         offset + 16.0})
+    s.Add(x);
+  EXPECT_NEAR(s.Mean(), offset + 10.0, 1e-3);
+  EXPECT_NEAR(s.Variance(), 30.0, 1e-6);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.Add(x);
+    (i < 37 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.Count(), all.Count());
+  EXPECT_NEAR(left.Mean(), all.Mean(), 1e-12);
+  EXPECT_NEAR(left.Variance(), all.Variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.Min(), all.Min());
+  EXPECT_DOUBLE_EQ(left.Max(), all.Max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Add(2.0);
+  RunningStats empty;
+  s.Merge(empty);
+  EXPECT_EQ(s.Count(), 2u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 1.5);
+
+  RunningStats target;
+  target.Merge(s);
+  EXPECT_EQ(target.Count(), 2u);
+  EXPECT_DOUBLE_EQ(target.Mean(), 1.5);
+}
+
+TEST(Summarize, FromVector) {
+  const Summary s = Summarize(std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_DOUBLE_EQ(s.sum, 6.0);
+}
+
+TEST(Summarize, EmptyVector) {
+  const Summary s = Summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(Mean, Basic) {
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0, 6.0}), 4.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(BinnedMeans, ExactBins) {
+  const std::vector<double> v = {1, 1, 2, 2, 3, 3};
+  const std::vector<double> bins = BinnedMeans(v, 2);
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_DOUBLE_EQ(bins[0], 1.0);
+  EXPECT_DOUBLE_EQ(bins[1], 2.0);
+  EXPECT_DOUBLE_EQ(bins[2], 3.0);
+}
+
+TEST(BinnedMeans, PartialFinalBin) {
+  const std::vector<double> v = {1, 1, 1, 5};
+  const std::vector<double> bins = BinnedMeans(v, 3);
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_DOUBLE_EQ(bins[0], 1.0);
+  EXPECT_DOUBLE_EQ(bins[1], 5.0);  // averaged over its actual size (1)
+}
+
+TEST(BinnedMeans, EmptyInput) {
+  EXPECT_TRUE(BinnedMeans({}, 100).empty());
+}
+
+TEST(BinnedMeans, ThrowsOnZeroBinSize) {
+  EXPECT_THROW(BinnedMeans({1.0}, 0), std::invalid_argument);
+}
+
+TEST(BinnedMeans, BinLargerThanInput) {
+  const std::vector<double> bins = BinnedMeans({2.0, 4.0}, 100);
+  ASSERT_EQ(bins.size(), 1u);
+  EXPECT_DOUBLE_EQ(bins[0], 3.0);
+}
+
+}  // namespace
+}  // namespace axdse::util

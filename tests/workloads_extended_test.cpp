@@ -1,0 +1,257 @@
+// Tests for the extension workloads: 8x8 DCT-II and biquad IIR, plus the
+// signal/biquad design substrate.
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "signal/biquad.hpp"
+#include "signal/noise.hpp"
+#include "signal/quantize.hpp"
+#include "workloads/dct_kernel.hpp"
+#include "workloads/iir_kernel.hpp"
+
+namespace axdse::workloads {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Biquad design
+// ---------------------------------------------------------------------------
+
+TEST(Biquad, LowPassShape) {
+  const signal::BiquadCoeffs c = signal::DesignBiquadLowPass(0.1);
+  EXPECT_NEAR(signal::BiquadMagnitudeResponse(c, 0.0), 1.0, 1e-9);
+  EXPECT_NEAR(signal::BiquadMagnitudeResponse(c, 0.1), 1.0 / std::sqrt(2.0),
+              0.02);  // Butterworth: -3 dB at cutoff
+  EXPECT_LT(signal::BiquadMagnitudeResponse(c, 0.45), 0.05);
+}
+
+TEST(Biquad, StableForAllReasonableCutoffs) {
+  for (const double fc : {0.01, 0.05, 0.1, 0.2, 0.3, 0.45}) {
+    EXPECT_TRUE(signal::IsStable(signal::DesignBiquadLowPass(fc)))
+        << "cutoff " << fc;
+  }
+}
+
+TEST(Biquad, FilterMatchesFrequencyResponseOnSinusoid) {
+  const signal::BiquadCoeffs c = signal::DesignBiquadLowPass(0.15);
+  const auto x = signal::Sinusoid(2000, 1.0, 0.05);
+  const auto y = signal::FilterBiquad(c, x);
+  // Steady-state amplitude (skip the transient) ~ |H(0.05)|.
+  double peak = 0.0;
+  for (std::size_t i = 1000; i < y.size(); ++i)
+    peak = std::max(peak, std::abs(y[i]));
+  EXPECT_NEAR(peak, signal::BiquadMagnitudeResponse(c, 0.05), 0.02);
+}
+
+TEST(Biquad, RejectsInvalidParameters) {
+  EXPECT_THROW(signal::DesignBiquadLowPass(0.0), std::invalid_argument);
+  EXPECT_THROW(signal::DesignBiquadLowPass(0.5), std::invalid_argument);
+  EXPECT_THROW(signal::DesignBiquadLowPass(0.2, 0.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// DctKernel
+// ---------------------------------------------------------------------------
+
+TEST(Dct, MatrixIsOrthonormalInQ14) {
+  const DctKernel kernel(1, 7);
+  // Rows have unit norm (in Q14^2 scale) and are mutually orthogonal.
+  for (std::size_t u = 0; u < 8; ++u) {
+    for (std::size_t v = 0; v < 8; ++v) {
+      double dot = 0.0;
+      for (std::size_t k = 0; k < 8; ++k)
+        dot += static_cast<double>(kernel.CoefficientQ14(u, k)) *
+               static_cast<double>(kernel.CoefficientQ14(v, k));
+      dot /= 16384.0 * 16384.0;
+      EXPECT_NEAR(dot, u == v ? 1.0 : 0.0, 1e-3) << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST(Dct, PreciseRunMatchesDoublePrecisionDct) {
+  const DctKernel kernel(2, 21);
+  auto ctx = kernel.MakeContext();
+  const auto out = kernel.Run(ctx);
+  ASSERT_EQ(out.size(), 128u);
+
+  for (std::size_t b = 0; b < 2; ++b) {
+    // Golden: Y = C * X * C^T in double precision.
+    double cmat[8][8];
+    for (std::size_t u = 0; u < 8; ++u) {
+      const double scale =
+          u == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+      for (std::size_t k = 0; k < 8; ++k)
+        cmat[u][k] = scale * std::cos((2.0 * k + 1.0) * u *
+                                      std::numbers::pi / 16.0);
+    }
+    for (std::size_t u = 0; u < 8; ++u) {
+      for (std::size_t v = 0; v < 8; ++v) {
+        double golden = 0.0;
+        for (std::size_t r = 0; r < 8; ++r)
+          for (std::size_t s = 0; s < 8; ++s)
+            golden += cmat[u][r] * static_cast<double>(kernel.Pixel(b, r, s)) *
+                      cmat[v][s];
+        // Kernel output is Q14-scaled.
+        const double measured = out[b * 64 + u * 8 + v] / 16384.0;
+        EXPECT_NEAR(measured, golden, golden == 0.0 ? 1.0 : 3.0)
+            << "b=" << b << " u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(Dct, DcCoefficientDominatesForSmoothInput) {
+  // The DC term of each block equals mean * 8 (orthonormal DCT); for random
+  // pixels it's around 8 * 127.5 ~ 1020 (Q14: ~16.7M) and must dominate the
+  // typical AC magnitude.
+  const DctKernel kernel(4, 5);
+  auto ctx = kernel.MakeContext();
+  const auto out = kernel.Run(ctx);
+  for (std::size_t b = 0; b < 4; ++b) {
+    const double dc = std::abs(out[b * 64]);
+    double max_ac = 0.0;
+    for (std::size_t i = 1; i < 64; ++i)
+      max_ac = std::max(max_ac, std::abs(out[b * 64 + i]));
+    EXPECT_GT(dc, max_ac);
+  }
+}
+
+TEST(Dct, OpCountsMatchTwoPasses) {
+  const DctKernel kernel(3, 5);
+  auto ctx = kernel.MakeContext();
+  kernel.Run(ctx);
+  // Two passes x 64 entries x 8 MACs per block.
+  EXPECT_EQ(ctx.Counts().TotalMuls(), 3u * 2u * 64u * 8u);
+  EXPECT_EQ(ctx.Counts().TotalAdds(), 3u * 2u * 64u * 8u);
+}
+
+TEST(Dct, ApproximationDegradesAcEnergyNotStructure) {
+  const DctKernel kernel(2, 9);
+  auto ctx = kernel.MakeContext();
+  const auto precise = kernel.Run(ctx);
+  instrument::ApproxSelection sel(kernel.NumVariables());
+  sel.SetMultiplierIndex(4);  // 053 = DRUM(3)
+  sel.SetVariable(kernel.VarOfPixels(), true);
+  ctx.Configure(sel);
+  const auto approx = kernel.Run(ctx);
+  double err = 0.0;
+  for (std::size_t i = 0; i < precise.size(); ++i)
+    err += std::abs(precise[i] - approx[i]);
+  EXPECT_GT(err / precise.size(), 0.0);
+  // DC sign/dominance survives a 10%-MRED multiplier.
+  EXPECT_GT(std::abs(approx[0]), 0.5 * std::abs(precise[0]));
+}
+
+TEST(Dct, RejectsZeroBlocks) {
+  EXPECT_THROW(DctKernel(0, 1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// IirKernel
+// ---------------------------------------------------------------------------
+
+TEST(Iir, PreciseRunTracksDoublePrecisionFilter) {
+  const IirKernel kernel(256, 0.15, 33);
+  auto ctx = kernel.MakeContext();
+  const auto out_q15 = kernel.Run(ctx);
+
+  std::vector<double> x(kernel.SamplesQ15().size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = signal::FromFixed(kernel.SamplesQ15()[i], 15);
+  const auto golden = signal::FilterBiquad(kernel.Design(), x);
+  double mae = 0.0;
+  for (std::size_t i = 0; i < out_q15.size(); ++i)
+    mae += std::abs(out_q15[i] / 32768.0 - golden[i]);
+  mae /= static_cast<double>(out_q15.size());
+  EXPECT_LT(mae, 2e-3);  // quantization-level agreement
+}
+
+TEST(Iir, OpCountsPerSample) {
+  const IirKernel kernel(100, 0.2, 1);
+  auto ctx = kernel.MakeContext();
+  kernel.Run(ctx);
+  EXPECT_EQ(ctx.Counts().TotalMuls(), 500u);  // 5 per sample
+  EXPECT_EQ(ctx.Counts().TotalAdds(), 500u);  // 5 accumulations per sample
+}
+
+TEST(Iir, OutputRemainsBoundedUnderAggressiveApproximation) {
+  // Feedback recirculates errors; the filter must still not blow up because
+  // all approximate multipliers underestimate or stay within ~11%.
+  const IirKernel kernel(512, 0.2, 5);
+  auto ctx = kernel.MakeContext();
+  instrument::ApproxSelection sel(kernel.NumVariables());
+  sel.SetMultiplierIndex(5);  // most aggressive 32-bit multiplier
+  sel.SetAdderIndex(5);
+  for (std::size_t v = 0; v < kernel.NumVariables(); ++v)
+    sel.SetVariable(v, true);
+  ctx.Configure(sel);
+  const auto out = kernel.Run(ctx);
+  for (const double y : out) EXPECT_LT(std::abs(y), 4.0 * 32768.0);
+}
+
+TEST(Iir, BothFilterPathsInjectComparableError) {
+  const IirKernel kernel(512, 0.2, 5);
+  auto ctx = kernel.MakeContext();
+  const auto precise = kernel.Run(ctx);
+
+  const auto mae_with = [&](std::size_t var) {
+    instrument::ApproxSelection sel(kernel.NumVariables());
+    sel.SetMultiplierIndex(4);  // 053 ~ 10.6% MRED
+    sel.SetVariable(var, true);
+    ctx.Configure(sel);
+    const auto out = kernel.Run(ctx);
+    double mae = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i)
+      mae += std::abs(out[i] - precise[i]);
+    return mae / static_cast<double>(out.size());
+  };
+
+  // Feed-forward taps multiply full-amplitude inputs; feedback taps multiply
+  // the smaller low-passed output but recirculate their errors. Net effect:
+  // both paths inject substantial error of the same order of magnitude.
+  const double feedforward_mae = mae_with(kernel.VarOfFeedForward());
+  const double feedback_mae = mae_with(kernel.VarOfFeedback());
+  EXPECT_GT(feedback_mae, 0.0);
+  EXPECT_GT(feedforward_mae, 0.0);
+  EXPECT_GT(feedback_mae, 0.1 * feedforward_mae);
+  EXPECT_LT(feedback_mae, 10.0 * feedforward_mae);
+}
+
+TEST(Iir, FeedbackErrorsRecirculate) {
+  // Injecting error for a SINGLE early sample through the feedback path must
+  // perturb later outputs too (the recursion carries it forward), unlike a
+  // pure FIR structure where each output depends on 17 inputs at most.
+  const IirKernel kernel(64, 0.2, 5);
+  auto ctx = kernel.MakeContext();
+  const auto precise = kernel.Run(ctx);
+  instrument::ApproxSelection sel(kernel.NumVariables());
+  sel.SetMultiplierIndex(5);  // most aggressive
+  sel.SetVariable(kernel.VarOfFeedback(), true);
+  ctx.Configure(sel);
+  const auto approx = kernel.Run(ctx);
+  // Count perturbed outputs: should be the vast majority of samples.
+  std::size_t perturbed = 0;
+  for (std::size_t i = 0; i < precise.size(); ++i)
+    if (precise[i] != approx[i]) ++perturbed;
+  EXPECT_GT(perturbed, precise.size() / 2);
+}
+
+TEST(Iir, RejectsInvalidConstruction) {
+  EXPECT_THROW(IirKernel(0, 0.2, 1), std::invalid_argument);
+  EXPECT_THROW(IirKernel(10, 0.0, 1), std::invalid_argument);
+}
+
+TEST(Iir, VariablesWired) {
+  const IirKernel kernel(16, 0.2, 1);
+  EXPECT_EQ(kernel.NumVariables(), 4u);
+  EXPECT_EQ(kernel.Variables()[kernel.VarOfInput()].name, "x");
+  EXPECT_EQ(kernel.Variables()[kernel.VarOfFeedForward()].name, "b");
+  EXPECT_EQ(kernel.Variables()[kernel.VarOfFeedback()].name, "a");
+  EXPECT_EQ(kernel.Variables()[kernel.VarOfAccumulator()].name, "acc");
+  EXPECT_EQ(kernel.Name(), "iir-biquad-16");
+}
+
+}  // namespace
+}  // namespace axdse::workloads
