@@ -10,28 +10,30 @@
 #include <cstdio>
 #include <fstream>
 
-#include "dse/explorer.hpp"
-#include "report/figures.hpp"
-#include "util/cli.hpp"
-#include "workloads/fir_kernel.hpp"
+#include "axdse.hpp"
 
 int main(int argc, char** argv) {
   using namespace axdse;
   const util::CliArgs args(argc, argv);
 
-  const workloads::FirKernel kernel(100, 2023);  // 17-tap LPF, per-tap vars
-  dse::ExplorerConfig config;
-  config.max_steps = static_cast<std::size_t>(args.GetInt("steps", 10000));
-  config.max_cumulative_reward = args.GetDouble("reward-cap", 500.0);
-  config.agent.alpha = 0.15;
-  config.agent.gamma = 0.95;
-  config.agent.epsilon =
-      rl::EpsilonSchedule::Linear(1.0, 0.05, config.max_steps * 3 / 4);
-  config.seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  // 17-tap LPF on 100 white-noise samples, per-tap variables.
+  const dse::ExplorationRequest request =
+      Session::Request("fir")
+          .Size(100)
+          .KernelSeed(2023)
+          .MaxSteps(static_cast<std::size_t>(args.GetInt("steps", 10000)))
+          .RewardCap(args.GetDouble("reward-cap", 500.0))
+          .Alpha(0.15)
+          .Gamma(0.95)  // epsilon: linear decay over 3/4 of the steps
+          .Seed(static_cast<std::uint64_t>(args.GetInt("seed", 1)))
+          .RecordTrace()
+          .Build();
 
-  std::printf("Exploring %s (%zu steps max)...\n", kernel.Name().c_str(),
-              config.max_steps);
-  const dse::ExplorationResult result = dse::ExploreKernel(kernel, config);
+  Session session;
+  std::printf("Exploring %s (%zu steps max)...\n", request.kernel.c_str(),
+              request.max_steps);
+  const dse::RequestResult run = session.Explore(request);
+  const dse::ExplorationResult& result = run.runs.front();
 
   const std::size_t stride =
       static_cast<std::size_t>(args.GetInt("stride", 250));

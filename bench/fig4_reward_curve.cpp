@@ -7,37 +7,39 @@
 
 #include <cstdio>
 
-#include "dse/explorer.hpp"
-#include "report/figures.hpp"
-#include "util/cli.hpp"
+#include "axdse.hpp"
 #include "util/linear_regression.hpp"
-#include "util/statistics.hpp"
-#include "workloads/fir_kernel.hpp"
-#include "workloads/matmul_kernel.hpp"
 
 int main(int argc, char** argv) {
   using namespace axdse;
   const util::CliArgs args(argc, argv);
 
-  dse::ExplorerConfig config;
-  config.max_steps = static_cast<std::size_t>(args.GetInt("steps", 10000));
-  config.max_cumulative_reward = 1e18;  // watch learning for the full run
-  config.agent.alpha = 0.15;
-  config.agent.gamma = 0.95;
-  config.agent.epsilon =
-      rl::EpsilonSchedule::Linear(1.0, 0.05, config.max_steps * 3 / 4);
-  config.seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
-  config.record_trace = false;
+  const std::size_t steps =
+      static_cast<std::size_t>(args.GetInt("steps", 10000));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  const auto make_request = [&](const std::string& kernel,
+                                std::size_t size) {
+    return Session::Request(kernel)
+        .Size(size)
+        .KernelSeed(2023)
+        .MaxSteps(steps)
+        .RewardCap(1e18)  // watch learning for the full run
+        .Alpha(0.15)
+        .Gamma(0.95)
+        .Seed(seed)
+        .Build();
+  };
 
-  const workloads::MatMulKernel matmul(
-      10, workloads::MatMulGranularity::kPerMatrix, 2023);
-  const workloads::FirKernel fir(100, 2023);
-
-  std::printf("Exploring %s ...\n", matmul.Name().c_str());
-  const dse::ExplorationResult matmul_result =
-      dse::ExploreKernel(matmul, config);
-  std::printf("Exploring %s ...\n", fir.Name().c_str());
-  const dse::ExplorationResult fir_result = dse::ExploreKernel(fir, config);
+  // Both curves as one parallel batch.
+  Session session;
+  std::printf("Exploring matmul 10x10 and fir 100 (%zu workers)...\n",
+              session.Engine().NumWorkers());
+  const dse::BatchResult batch = session.ExploreBatch(
+      {make_request("matmul", 10), make_request("fir", 100)});
+  const dse::ExplorationResult& matmul_result =
+      batch.results[0].runs.front();
+  const dse::ExplorationResult& fir_result = batch.results[1].runs.front();
 
   const std::size_t bin = static_cast<std::size_t>(args.GetInt("bin", 100));
   std::printf("%s\n",

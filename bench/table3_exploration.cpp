@@ -10,36 +10,44 @@
 // degradation plus the selected operator types, then the paper's own numbers
 // for reference, then exploration diagnostics.
 //
+// The four benchmark explorations are submitted as ONE Engine batch and run
+// in parallel on the worker pool; results are deterministic regardless of
+// the worker count.
+//
 // Flags: --steps=N (default 10000), --seed=S (default 1),
 //        --reward-cap=R (default 500), --granularity=per-matrix|row-col,
-//        --seeds=N (default 1; N > 1 appends a mean +- std robustness table).
+//        --seeds=N (default 1; N > 1 appends a mean +- std robustness table),
+//        --workers=W (default 0 = hardware), --json=PATH / --csv=PATH
+//        (machine-readable batch exports).
 
 #include <cstdio>
+#include <fstream>
 #include <vector>
 
-#include "dse/explorer.hpp"
-#include "dse/multi_run.hpp"
-#include "report/tables.hpp"
-#include "util/ascii_table.hpp"
-#include "util/cli.hpp"
-#include "workloads/fir_kernel.hpp"
-#include "workloads/matmul_kernel.hpp"
+#include "axdse.hpp"
 
 namespace {
 
-axdse::dse::ExplorerConfig MakeConfig(const axdse::util::CliArgs& args,
-                                      std::uint64_t seed_offset) {
-  axdse::dse::ExplorerConfig config;
-  config.max_steps = static_cast<std::size_t>(args.GetInt("steps", 10000));
-  config.max_cumulative_reward = args.GetDouble("reward-cap", 500.0);
-  config.agent.alpha = 0.15;
-  config.agent.gamma = 0.95;
-  config.agent.epsilon = axdse::rl::EpsilonSchedule::Linear(
-      1.0, 0.05, config.max_steps * 3 / 4);
-  config.seed = static_cast<std::uint64_t>(args.GetInt("seed", 1)) +
-                seed_offset;
-  config.record_trace = false;  // Table III needs ranges only
-  return config;
+axdse::dse::ExplorationRequest MakeRequest(const axdse::util::CliArgs& args,
+                                           const std::string& kernel,
+                                           std::size_t size,
+                                           const std::string& granularity,
+                                           const std::string& label,
+                                           std::uint64_t seed_offset) {
+  auto builder =
+      axdse::Session::Request(kernel)
+          .Size(size)
+          .KernelSeed(2023)
+          .Label(label)
+          .MaxSteps(static_cast<std::size_t>(args.GetInt("steps", 10000)))
+          .RewardCap(args.GetDouble("reward-cap", 500.0))
+          .Alpha(0.15)
+          .Gamma(0.95)  // epsilon defaults to linear decay over 3/4 of steps
+          .Seed(static_cast<std::uint64_t>(args.GetInt("seed", 1)) +
+                seed_offset)
+          .Seeds(static_cast<std::size_t>(args.GetInt("seeds", 1)));
+  if (!granularity.empty()) builder.KernelParam("granularity", granularity);
+  return builder.Build();
 }
 
 void PrintPaperReference() {
@@ -71,30 +79,29 @@ void PrintPaperReference() {
 int main(int argc, char** argv) {
   using namespace axdse;
   const util::CliArgs args(argc, argv);
-  const std::string granularity_flag =
-      args.GetString("granularity", "per-matrix");
-  const workloads::MatMulGranularity granularity =
-      granularity_flag == "row-col" ? workloads::MatMulGranularity::kRowCol
-                                    : workloads::MatMulGranularity::kPerMatrix;
+  const std::string granularity = args.GetString("granularity", "per-matrix");
 
-  const workloads::MatMulKernel matmul10(10, granularity, 2023);
-  const workloads::MatMulKernel matmul50(50, granularity, 2023);
-  const workloads::FirKernel fir100(100, 2023);
-  const workloads::FirKernel fir200(200, 2023);
+  // The whole table as one batch: four requests (x N seeds each), executed
+  // in parallel by the engine.
+  const std::vector<dse::ExplorationRequest> requests = {
+      MakeRequest(args, "matmul", 10, granularity, "MatMul 10x10", 0),
+      MakeRequest(args, "matmul", 50, granularity, "MatMul 50x50", 1),
+      MakeRequest(args, "fir", 100, "", "FIR 100", 2),
+      MakeRequest(args, "fir", 200, "", "FIR 200", 3),
+  };
+
+  Session session(dse::EngineOptions{
+      static_cast<std::size_t>(args.GetInt("workers", 0))});
+  std::printf("Running %zu explorations (%zu requests) on %zu workers...\n",
+              requests.size() *
+                  static_cast<std::size_t>(args.GetInt("seeds", 1)),
+              requests.size(), session.Engine().NumWorkers());
+  const dse::BatchResult batch = session.ExploreBatch(requests);
 
   std::vector<report::Table3Column> columns;
-  std::printf("Running exploration: %s ...\n", matmul10.Name().c_str());
-  columns.push_back(
-      {"MatMul 10x10", dse::ExploreKernel(matmul10, MakeConfig(args, 0))});
-  std::printf("Running exploration: %s ...\n", matmul50.Name().c_str());
-  columns.push_back(
-      {"MatMul 50x50", dse::ExploreKernel(matmul50, MakeConfig(args, 1))});
-  std::printf("Running exploration: %s ...\n", fir100.Name().c_str());
-  columns.push_back(
-      {"FIR 100", dse::ExploreKernel(fir100, MakeConfig(args, 2))});
-  std::printf("Running exploration: %s ...\n", fir200.Name().c_str());
-  columns.push_back(
-      {"FIR 200", dse::ExploreKernel(fir200, MakeConfig(args, 3))});
+  for (const dse::RequestResult& result : batch.results)
+    columns.push_back(
+        {result.request.DisplayName(), result.runs.front()});
 
   std::printf("\n%s\n", report::RenderTable3(columns).c_str());
 
@@ -112,23 +119,26 @@ int main(int argc, char** argv) {
              util::AsciiTable::Num(s.min, 1) + ", " +
              util::AsciiTable::Num(s.max, 1) + "]";
     };
-    const std::vector<std::pair<std::string, const workloads::Kernel*>>
-        kernels = {{"MatMul 10x10", &matmul10},
-                   {"MatMul 50x50", &matmul50},
-                   {"FIR 100", &fir100},
-                   {"FIR 200", &fir200}};
-    std::size_t offset = 0;
-    for (const auto& [name, kernel] : kernels) {
-      const dse::MultiRunResult mr =
-          dse::ExploreKernelMultiSeed(*kernel, MakeConfig(args, offset++),
-                                      seeds);
-      stats.AddRow({name, fmt(mr.solution_delta_power),
+    for (const dse::RequestResult& mr : batch.results)
+      stats.AddRow({mr.request.DisplayName(), fmt(mr.solution_delta_power),
                     fmt(mr.solution_delta_time), fmt(mr.solution_delta_acc),
                     util::AsciiTable::Num(mr.feasible_fraction * 100.0, 0) +
                         "%",
                     mr.ModalAdder(), mr.ModalMultiplier()});
-    }
     std::printf("%s\n", stats.Render().c_str());
+  }
+
+  if (args.Has("json")) {
+    const std::string path = args.GetString("json", "table3.json");
+    std::ofstream out(path);
+    report::WriteBatchJson(out, batch);
+    std::printf("batch JSON written to %s\n", path.c_str());
+  }
+  if (args.Has("csv")) {
+    const std::string path = args.GetString("csv", "table3.csv");
+    std::ofstream out(path);
+    report::WriteBatchCsv(out, batch);
+    std::printf("batch CSV written to %s\n", path.c_str());
   }
 
   PrintPaperReference();

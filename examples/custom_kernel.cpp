@@ -1,7 +1,9 @@
 // Bringing your own application to the DSE: implement workloads::Kernel,
 // route arithmetic through the ApproxContext, declare your approximable
-// variables — everything else (thresholds, reward, Q-learning, reporting)
-// comes for free.
+// variables, register a factory under a name — everything else (thresholds,
+// reward, Q-learning, parallel multi-seed batches, reporting) comes for
+// free, and your kernel is addressable like the built-ins ("sad" next to
+// "matmul" and "fir").
 //
 // The example kernel is a sum-of-absolute-differences (SAD) block matcher,
 // the inner loop of motion estimation — a classic approximate-computing
@@ -10,11 +12,11 @@
 //   $ ./build/examples/custom_kernel
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
-#include "dse/explorer.hpp"
+#include "axdse.hpp"
 #include "util/rng.hpp"
-#include "workloads/kernel.hpp"
 
 namespace {
 
@@ -89,15 +91,29 @@ class SadKernel final : public workloads::Kernel {
 }  // namespace
 
 int main() {
-  const SadKernel kernel(/*positions=*/32, /*seed=*/11);
+  // Register the custom kernel by name: `size` is the number of candidate
+  // positions, `seed` drives the synthetic frame.
+  Session session;
+  session.RegisterKernel("sad", [](const workloads::KernelParams& p) {
+    return std::make_unique<SadKernel>(p.size == 0 ? 32 : p.size, p.seed);
+  });
+  std::printf("registered kernels:");
+  for (const std::string& name : session.Kernels())
+    std::printf(" %s", name.c_str());
+  std::printf("\n");
 
-  dse::ExplorerConfig config;
-  config.max_steps = 6000;
-  config.seed = 3;
-  const dse::ExplorationResult result = dse::ExploreKernel(kernel, config);
+  // From here on "sad" works exactly like the built-in benchmarks.
+  const dse::RequestResult run = session.Explore(Session::Request("sad")
+                                                     .Size(32)
+                                                     .KernelSeed(11)
+                                                     .MaxSteps(6000)
+                                                     .Seed(3)
+                                                     .Build());
+  const dse::ExplorationResult& result = run.runs.front();
 
-  std::printf("custom kernel '%s': %zu steps (%s)\n", kernel.Name().c_str(),
-              result.steps, rl::ToString(result.stop_reason));
+  std::printf("custom kernel '%s': %zu steps (%s)\n",
+              run.kernel_name.c_str(), result.steps,
+              rl::ToString(result.stop_reason));
   std::printf("solution: adder %s, multiplier %s, vars %zu/%zu\n",
               result.solution_adder.c_str(),
               result.solution_multiplier.c_str(),

@@ -4,18 +4,20 @@
 // filters (magnitude response of the approximated datapath vs the precise
 // one at a few probe frequencies).
 //
+// This example drives the facade with a concrete kernel *instance*
+// (RequestBuilder::KernelInstance) instead of a registry name — the escape
+// hatch for when the caller needs the kernel's own accessors afterwards.
+//
 //   $ ./build/examples/fir_lowpass_exploration --samples=100 --taps=17
 //         --cutoff=0.2 --csv=fir_trace.csv   (one command line)
 
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 
-#include "dse/explorer.hpp"
-#include "report/figures.hpp"
+#include "axdse.hpp"
 #include "signal/fir_design.hpp"
-#include "util/ascii_table.hpp"
-#include "util/cli.hpp"
 #include "workloads/fir_kernel.hpp"
 
 int main(int argc, char** argv) {
@@ -26,41 +28,45 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.GetInt("samples", 100));
   const std::size_t taps = static_cast<std::size_t>(args.GetInt("taps", 17));
   const double cutoff = args.GetDouble("cutoff", 0.2);
-  const workloads::FirKernel kernel(samples, taps, cutoff,
-                                    workloads::FirGranularity::kPerTap, 42);
+  const auto kernel = std::make_shared<const workloads::FirKernel>(
+      samples, taps, cutoff, workloads::FirGranularity::kPerTap, 42);
 
   std::printf("%s: %zu-tap low-pass (cutoff %.2f cycles/sample), "
               "%zu approximable variables\n",
-              kernel.Name().c_str(), kernel.Taps(), cutoff,
-              kernel.NumVariables());
+              kernel->Name().c_str(), kernel->Taps(), cutoff,
+              kernel->NumVariables());
 
   // Show the designed filter is a real low-pass before approximating it.
-  std::vector<double> h(kernel.CoefficientsQ15().size());
+  std::vector<double> h(kernel->CoefficientsQ15().size());
   for (std::size_t k = 0; k < h.size(); ++k)
-    h[k] = static_cast<double>(kernel.CoefficientsQ15()[k]) / 32768.0;
+    h[k] = static_cast<double>(kernel->CoefficientsQ15()[k]) / 32768.0;
   std::printf("designed response: |H(0)|=%.3f |H(fc)|=%.3f |H(0.45)|=%.4f\n",
               signal::MagnitudeResponse(h, 0.0),
               signal::MagnitudeResponse(h, cutoff),
               signal::MagnitudeResponse(h, 0.45));
 
-  dse::ExplorerConfig config;
-  config.max_steps = static_cast<std::size_t>(args.GetInt("steps", 10000));
-  config.seed = static_cast<std::uint64_t>(args.GetInt("seed", 7));
-  const dse::ExplorationResult result = dse::ExploreKernel(kernel, config);
+  Session session;
+  const dse::RequestResult run = session.Explore(
+      dse::RequestBuilder(kernel)
+          .MaxSteps(static_cast<std::size_t>(args.GetInt("steps", 10000)))
+          .Seed(static_cast<std::uint64_t>(args.GetInt("seed", 7)))
+          .RecordTrace()
+          .Build());
+  const dse::ExplorationResult& result = run.runs.front();
 
   std::printf("\nexploration: %zu steps (%s)\n", result.steps,
               rl::ToString(result.stop_reason));
   std::printf("solution: adder %s + multiplier %s, taps approximated: ",
               result.solution_adder.c_str(),
               result.solution_multiplier.c_str());
-  for (std::size_t k = 0; k < kernel.Taps(); ++k)
-    std::printf("%c", result.solution.VariableSelected(kernel.VarOfTap(k))
+  for (std::size_t k = 0; k < kernel->Taps(); ++k)
+    std::printf("%c", result.solution.VariableSelected(kernel->VarOfTap(k))
                           ? '1'
                           : '0');
   std::printf("  x:%c acc:%c\n",
-              result.solution.VariableSelected(kernel.VarOfInput()) ? '1'
-                                                                    : '0',
-              result.solution.VariableSelected(kernel.VarOfAccumulator())
+              result.solution.VariableSelected(kernel->VarOfInput()) ? '1'
+                                                                     : '0',
+              result.solution.VariableSelected(kernel->VarOfAccumulator())
                   ? '1'
                   : '0');
   std::printf("  ΔP=%.1f/%.1f mW, ΔT=%.1f/%.1f ns, Δacc=%.0f (Q30 ticks)\n",

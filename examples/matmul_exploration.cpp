@@ -1,68 +1,74 @@
 // Matrix-multiplication exploration with custom knobs: matrix size, variable
 // granularity, threshold factors — plus a Pareto-front summary of every
 // trade-off the agent visited (the multi-objective view of the exploration).
+// Everything runs through the axdse.hpp facade: CLI flags are folded into
+// one ExplorationRequest, which also round-trips to a string you can replay.
 //
 //   $ ./build/examples/matmul_exploration --n=16 --granularity=row-col
 //         --acc-factor=0.3 --steps=8000   (one command line)
 
 #include <cstdio>
 
-#include "dse/explorer.hpp"
-#include "dse/pareto.hpp"
-#include "util/ascii_table.hpp"
-#include "util/cli.hpp"
-#include "workloads/matmul_kernel.hpp"
+#include "axdse.hpp"
 
 int main(int argc, char** argv) {
   using namespace axdse;
   const util::CliArgs args(argc, argv);
 
-  const std::size_t n = static_cast<std::size_t>(args.GetInt("n", 10));
-  const workloads::MatMulGranularity granularity =
-      args.GetString("granularity", "per-matrix") == "row-col"
-          ? workloads::MatMulGranularity::kRowCol
-          : workloads::MatMulGranularity::kPerMatrix;
-  const workloads::MatMulKernel kernel(n, granularity, 42);
+  const dse::ExplorationRequest request =
+      Session::Request("matmul")
+          .Size(static_cast<std::size_t>(args.GetInt("n", 10)))
+          .KernelSeed(42)
+          .KernelParam("granularity",
+                       args.GetString("granularity", "per-matrix"))
+          .MaxSteps(static_cast<std::size_t>(args.GetInt("steps", 10000)))
+          .Seed(static_cast<std::uint64_t>(args.GetInt("seed", 7)))
+          .AccuracyFactor(args.GetDouble("acc-factor", 0.4))
+          .PowerFactor(args.GetDouble("power-factor", 0.5))
+          .TimeFactor(args.GetDouble("time-factor", 0.5))
+          .GreedyRollout(64)  // extract the learned policy at the end
+          .RecordTrace()      // keep the per-step trace for the Pareto view
+          .Build();
+  std::printf("request: %s\n", request.ToString().c_str());
 
-  dse::Evaluator evaluator(kernel);
-  dse::PaperThresholdFactors factors;
-  factors.accuracy_factor = args.GetDouble("acc-factor", 0.4);
-  factors.power_factor = args.GetDouble("power-factor", 0.5);
-  factors.time_factor = args.GetDouble("time-factor", 0.5);
-  const dse::RewardConfig reward =
-      dse::MakePaperRewardConfig(evaluator, factors);
-  std::printf(
-      "%s: %zu variables, precise run: %.1f mW / %.1f ns, acc_th=%.2f\n",
-      kernel.Name().c_str(), kernel.NumVariables(), evaluator.PrecisePowerMw(),
-      evaluator.PreciseTimeNs(), reward.acc_threshold);
+  // Construct the kernel once and hand the instance to the engine — the
+  // report below needs its operator set, and this avoids regenerating the
+  // matrices a second time.
+  dse::ExplorationRequest pinned = request;
+  pinned.kernel_override =
+      workloads::KernelRegistry::Global().Create(request.kernel,
+                                                 request.params);
+  const auto& ops = pinned.kernel_override->Operators();
 
-  dse::ExplorerConfig config;
-  config.max_steps = static_cast<std::size_t>(args.GetInt("steps", 10000));
-  config.seed = static_cast<std::uint64_t>(args.GetInt("seed", 7));
-  config.greedy_rollout_steps = 64;  // extract the learned policy at the end
-  dse::Explorer explorer(evaluator, reward, config);
-  const dse::ExplorationResult result = explorer.Explore();
+  Session session;
+  const dse::RequestResult run = session.Explore(pinned);
+  const dse::ExplorationResult& result = run.runs.front();
 
-  std::printf("\nexploration: %zu steps, stop=%s, cumulative reward %.0f\n",
+  std::printf("\n%s: precise run %.1f mW / %.1f ns, acc_th=%.2f\n",
+              run.kernel_name.c_str(),
+              result.solution_measurement.precise_power_mw,
+              result.solution_measurement.precise_time_ns,
+              run.reward.acc_threshold);
+  std::printf("exploration: %zu steps, stop=%s, cumulative reward %.0f\n",
               result.steps, rl::ToString(result.stop_reason),
               result.cumulative_reward);
   std::printf("solution: adder %s, multiplier %s, vars %zu/%zu, "
               "ΔP=%.1f mW ΔT=%.1f ns Δacc=%.2f\n",
               result.solution_adder.c_str(),
               result.solution_multiplier.c_str(),
-              result.solution.SelectedCount(), kernel.NumVariables(),
+              result.solution.SelectedCount(),
+              result.solution.NumVariables(),
               result.solution_measurement.delta_power_mw,
               result.solution_measurement.delta_time_ns,
               result.solution_measurement.delta_acc);
+
   if (result.has_best_feasible) {
     const auto& best = result.best_feasible_measurement;
     std::printf("best feasible seen: adder %s, multiplier %s, "
                 "ΔP=%.1f mW ΔT=%.1f ns Δacc=%.2f\n",
-                kernel.Operators()
-                    .adders[result.best_feasible.AdderIndex()]
+                ops.adders[result.best_feasible.AdderIndex()]
                     .type_code.c_str(),
-                kernel.Operators()
-                    .multipliers[result.best_feasible.MultiplierIndex()]
+                ops.multipliers[result.best_feasible.MultiplierIndex()]
                     .type_code.c_str(),
                 best.delta_power_mw, best.delta_time_ns, best.delta_acc);
   }
@@ -73,7 +79,6 @@ int main(int argc, char** argv) {
                          "(maximize ΔPower/ΔTime, minimize Δacc)");
   table.SetHeader({"adder", "multiplier", "vars", "ΔPower (mW)",
                    "ΔTime (ns)", "Δacc", "feasible"});
-  const auto& ops = kernel.Operators();
   for (const dse::ParetoPoint& p : front) {
     table.AddRow({ops.adders[p.config.AdderIndex()].type_code,
                   ops.multipliers[p.config.MultiplierIndex()].type_code,
@@ -81,8 +86,9 @@ int main(int argc, char** argv) {
                   util::AsciiTable::Num(p.measurement.delta_power_mw, 2),
                   util::AsciiTable::Num(p.measurement.delta_time_ns, 2),
                   util::AsciiTable::Num(p.measurement.delta_acc, 3),
-                  p.measurement.delta_acc <= reward.acc_threshold ? "yes"
-                                                                  : "no"});
+                  p.measurement.delta_acc <= run.reward.acc_threshold
+                      ? "yes"
+                      : "no"});
   }
   std::printf("\n%s", table.Render().c_str());
   std::printf("(%zu non-dominated of %zu visited configurations)\n",

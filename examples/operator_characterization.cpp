@@ -7,9 +7,7 @@
 
 #include <cstdio>
 
-#include "axc/catalog.hpp"
-#include "axc/characterization.hpp"
-#include "util/ascii_table.hpp"
+#include "axdse.hpp"
 
 int main() {
   using namespace axdse;

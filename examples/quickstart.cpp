@@ -1,34 +1,38 @@
 // Quickstart: explore approximate versions of a 10x10 matrix multiplication
-// with the paper's Q-learning DSE in ~20 lines of user code.
+// with the paper's Q-learning DSE in ~15 lines of user code, entirely
+// through the axdse.hpp facade.
 //
 //   $ ./build/examples/quickstart
 //
-// Pipeline: pick a kernel -> build an evaluator (runs the precise golden
-// version once) -> derive the paper's reward thresholds -> run the explorer
-// -> read the solution.
+// Pipeline: open a Session -> describe the run as an ExplorationRequest
+// (kernel by registry name + paper budget) -> Explore() -> read the
+// solution. Thresholds are derived from the precise run automatically
+// (acc_th = 0.4 x mean output, p_th/t_th = 50% of precise power/time).
 
 #include <cstdio>
 
-#include "dse/explorer.hpp"
-#include "workloads/matmul_kernel.hpp"
+#include "axdse.hpp"
 
 int main() {
   using namespace axdse;
 
-  // 1. The application to approximate: C = A*B on random 8-bit matrices.
-  //    Variables the DSE may select: A, B, and the accumulator.
-  const workloads::MatMulKernel kernel(
-      10, workloads::MatMulGranularity::kPerMatrix, /*seed=*/42);
+  // 1. A session: kernel registry ("matmul", "fir", "iir", "conv2d", "dct",
+  //    "dot") plus a batch engine sized to the hardware.
+  Session session;
 
-  // 2. Exploration setup straight from the paper: <=10,000 Q-learning steps;
-  //    thresholds are derived from the precise run inside ExploreKernel
-  //    (acc_th = 0.4 x mean output, p_th/t_th = 50% of precise power/time).
-  dse::ExplorerConfig config;
-  config.max_steps = 10000;
-  config.seed = 7;
+  // 2. The run, as one validated value: C = A*B on random 8-bit 10x10
+  //    matrices, <= 10,000 Q-learning steps, straight from the paper.
+  const dse::ExplorationRequest request = Session::Request("matmul")
+                                              .Size(10)
+                                              .KernelSeed(42)
+                                              .MaxSteps(10000)
+                                              .Seed(7)
+                                              .Build();
 
-  // 3. Explore.
-  const dse::ExplorationResult result = dse::ExploreKernel(kernel, config);
+  // 3. Explore (a request can carry many seeds; this one runs a single
+  //    exploration).
+  const dse::RequestResult batch = session.Explore(request);
+  const dse::ExplorationResult& result = batch.runs.front();
 
   // 4. Use the solution.
   std::printf("explored %zu steps (%s), %zu distinct versions executed\n",

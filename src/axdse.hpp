@@ -1,0 +1,32 @@
+#pragma once
+// axdse — the public facade. Include this one header to use the library:
+//
+//   axdse::Session session;                          // registry + engine
+//   auto request = axdse::Session::Request("fir")    // fluent builder
+//                      .Size(100).Seeds(8).Build();  // validated value type
+//   auto result = session.Explore(request);          // parallel multi-seed
+//   axdse::report::WriteBatchJson(std::cout, batch); // machine-readable out
+//
+// Layering underneath, still reachable through this header when needed:
+//   workloads::KernelRegistry  — kernels by name ("matmul", "fir", ...)
+//   dse::ExplorationRequest    — one serializable run description
+//   dse::Engine                — batch execution on a worker pool
+//   dse::Explorer / Evaluator  — the single-run core from the paper
+//   report::*                  — Tables I-III / Figures 2-4 / JSON / CSV
+
+#include "axc/catalog.hpp"
+#include "axc/characterization.hpp"
+#include "dse/baselines.hpp"
+#include "dse/engine.hpp"
+#include "dse/explorer.hpp"
+#include "dse/multi_run.hpp"
+#include "dse/pareto.hpp"
+#include "dse/request.hpp"
+#include "report/export.hpp"
+#include "report/figures.hpp"
+#include "report/tables.hpp"
+#include "session.hpp"
+#include "util/ascii_table.hpp"
+#include "util/cli.hpp"
+#include "workloads/kernel.hpp"
+#include "workloads/registry.hpp"

@@ -1,0 +1,190 @@
+#include "dse/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "dse/evaluator.hpp"
+
+namespace axdse::dse {
+
+namespace {
+
+/// One (request, seed) exploration job.
+struct Job {
+  std::size_t request_index = 0;
+  std::size_t seed_index = 0;
+};
+
+/// Slot a job writes into; slots are preassigned so the batch outcome does
+/// not depend on which worker ran which job.
+struct JobOutcome {
+  ExplorationResult result;
+  RewardConfig reward;
+  std::string kernel_name;
+  std::exception_ptr error;
+};
+
+std::string ModalKey(const std::map<std::string, std::size_t>& votes) {
+  std::string best;
+  std::size_t best_count = 0;
+  for (const auto& [key, count] : votes) {
+    if (count > best_count) {  // map order makes ties lexicographic-first
+      best = key;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::string RequestResult::ModalAdder() const { return ModalKey(adder_votes); }
+
+std::string RequestResult::ModalMultiplier() const {
+  return ModalKey(multiplier_votes);
+}
+
+std::size_t BatchResult::TotalRuns() const noexcept {
+  std::size_t total = 0;
+  for (const RequestResult& r : results) total += r.runs.size();
+  return total;
+}
+
+std::size_t BatchResult::TotalSteps() const noexcept {
+  std::size_t total = 0;
+  for (const RequestResult& r : results)
+    for (const ExplorationResult& run : r.runs) total += run.steps;
+  return total;
+}
+
+Engine::Engine(const EngineOptions& options,
+               const workloads::KernelRegistry& registry)
+    : options_(options), registry_(&registry) {}
+
+std::size_t Engine::NumWorkers() const noexcept {
+  if (options_.num_workers > 0) return options_.num_workers;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<std::size_t>(hardware);
+}
+
+BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests) const {
+  for (const ExplorationRequest& request : requests) {
+    request.Validate();
+    // Fail fast on unresolvable names — a typo in one request of a large
+    // batch must not surface only after every other job has run.
+    if (!request.kernel_override && !registry_->Has(request.kernel)) {
+      std::string known;
+      for (const std::string& name : registry_->Names())
+        known += known.empty() ? name : ", " + name;
+      throw std::invalid_argument("Engine::Run: unknown kernel '" +
+                                  request.kernel + "' (registered: " + known +
+                                  ")");
+    }
+  }
+
+  std::vector<Job> jobs;
+  for (std::size_t r = 0; r < requests.size(); ++r)
+    for (std::size_t s = 0; s < requests[r].num_seeds; ++s)
+      jobs.push_back(Job{r, s});
+  std::vector<JobOutcome> outcomes(jobs.size());
+
+  std::atomic<std::size_t> next_job{0};
+  const auto worker = [&]() noexcept {
+    while (true) {
+      const std::size_t index = next_job.fetch_add(1);
+      if (index >= jobs.size()) return;
+      const Job& job = jobs[index];
+      JobOutcome& out = outcomes[index];
+      try {
+        const ExplorationRequest& request = requests[job.request_index];
+        // Resolve the kernel: the caller's instance when overridden (shared
+        // read-only across this request's jobs), otherwise a fresh
+        // deterministic instance from the registry so workers stay fully
+        // independent.
+        std::shared_ptr<const workloads::Kernel> kernel =
+            request.kernel_override;
+        if (!kernel) kernel = registry_->Create(request.kernel, request.params);
+        // The engine owns the evaluator for exactly the job's lifetime —
+        // explorer and environment only ever see a live reference.
+        const auto evaluator = std::make_unique<Evaluator>(*kernel);
+        const RewardConfig reward =
+            MakePaperRewardConfig(*evaluator, request.thresholds);
+        ExplorerConfig config = request.ToExplorerConfig();
+        config.seed = request.seed + job.seed_index;
+        Explorer explorer(*evaluator, reward, config);
+        out.result = explorer.Explore();
+        out.reward = reward;
+        out.kernel_name = kernel->Name();
+      } catch (...) {
+        out.error = std::current_exception();
+      }
+    }
+  };
+
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(NumWorkers(), jobs.size()));
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // First failure in job order — deterministic regardless of which worker
+  // hit it first.
+  for (const JobOutcome& outcome : outcomes)
+    if (outcome.error) std::rethrow_exception(outcome.error);
+
+  // Fold per-request aggregates serially, in request and seed order.
+  BatchResult batch;
+  batch.results.resize(requests.size());
+  std::size_t outcome_index = 0;
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    RequestResult& request_result = batch.results[r];
+    request_result.request = requests[r];
+    util::RunningStats power_stats;
+    util::RunningStats time_stats;
+    util::RunningStats acc_stats;
+    util::RunningStats step_stats;
+    std::size_t feasible = 0;
+    request_result.runs.reserve(requests[r].num_seeds);
+    for (std::size_t s = 0; s < requests[r].num_seeds; ++s) {
+      JobOutcome& outcome = outcomes[outcome_index++];
+      if (s == 0) {
+        request_result.kernel_name = std::move(outcome.kernel_name);
+        request_result.reward = outcome.reward;
+      }
+      const ExplorationResult& run = outcome.result;
+      power_stats.Add(run.solution_measurement.delta_power_mw);
+      time_stats.Add(run.solution_measurement.delta_time_ns);
+      acc_stats.Add(run.solution_measurement.delta_acc);
+      step_stats.Add(static_cast<double>(run.steps));
+      if (run.solution_measurement.delta_acc <= outcome.reward.acc_threshold)
+        ++feasible;
+      ++request_result.adder_votes[run.solution_adder];
+      ++request_result.multiplier_votes[run.solution_multiplier];
+      request_result.runs.push_back(std::move(outcome.result));
+    }
+    request_result.solution_delta_power = util::Summarize(power_stats);
+    request_result.solution_delta_time = util::Summarize(time_stats);
+    request_result.solution_delta_acc = util::Summarize(acc_stats);
+    request_result.steps = util::Summarize(step_stats);
+    request_result.feasible_fraction =
+        static_cast<double>(feasible) /
+        static_cast<double>(requests[r].num_seeds);
+  }
+  return batch;
+}
+
+RequestResult Engine::RunOne(const ExplorationRequest& request) const {
+  BatchResult batch = Run({request});
+  return std::move(batch.results.front());
+}
+
+}  // namespace axdse::dse

@@ -1,0 +1,98 @@
+#pragma once
+// dse::Engine — the batch execution layer of the facade. Takes a vector of
+// ExplorationRequests, expands each into `num_seeds` independent jobs, and
+// runs the jobs on a std::thread worker pool. Every job gets its own kernel
+// instance (or shares the request's read-only kernel_override), its own
+// engine-owned Evaluator, and writes into a preassigned result slot, so the
+// BatchResult is bit-identical regardless of worker count or scheduling
+// order. The operator characterization behind every kernel is the shared,
+// immutable EvoApproxCatalog singleton.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dse/request.hpp"
+#include "util/statistics.hpp"
+
+namespace axdse::dse {
+
+/// Engine tuning knobs.
+struct EngineOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency(). The
+  /// result is identical for any worker count (only wall-clock changes).
+  std::size_t num_workers = 0;
+};
+
+/// Outcome of one request: the per-seed ExplorationResults plus the
+/// multi-seed aggregation that used to live in MultiRunResult.
+struct RequestResult {
+  /// The request as executed.
+  ExplorationRequest request;
+  /// Resolved kernel name, e.g. "matmul-10x10".
+  std::string kernel_name;
+  /// The reward thresholds derived from the precise run (identical across
+  /// seeds — evaluation is deterministic).
+  RewardConfig reward;
+
+  /// Per-seed results; run i used agent seed `request.seed + i`.
+  std::vector<ExplorationResult> runs;
+
+  /// Summaries of the per-run solution metrics (count == runs.size()).
+  util::Summary solution_delta_power;
+  util::Summary solution_delta_time;
+  util::Summary solution_delta_acc;
+  util::Summary steps;
+
+  /// Operator type codes selected by the per-seed solutions.
+  std::map<std::string, std::size_t> adder_votes;
+  std::map<std::string, std::size_t> multiplier_votes;
+
+  /// Fraction of runs whose solution respected the accuracy threshold.
+  double feasible_fraction = 0.0;
+
+  /// Most-voted operator type codes (ties: lexicographically smallest).
+  std::string ModalAdder() const;
+  std::string ModalMultiplier() const;
+};
+
+/// Outcome of one Engine::Run call, in request order.
+struct BatchResult {
+  std::vector<RequestResult> results;
+
+  /// Total explorations across all requests (sum of runs.size()).
+  std::size_t TotalRuns() const noexcept;
+  /// Total environment steps taken across all runs.
+  std::size_t TotalSteps() const noexcept;
+};
+
+/// Executes request batches. Stateless between Run() calls; one Engine can
+/// be reused freely. Kernel names resolve against the registry given at
+/// construction (the global one by default).
+class Engine {
+ public:
+  explicit Engine(
+      const EngineOptions& options = {},
+      const workloads::KernelRegistry& registry =
+          workloads::KernelRegistry::Global());
+
+  /// Validates and runs all requests (each times num_seeds explorations) on
+  /// the worker pool and returns results in request order. Throws
+  /// std::invalid_argument on an invalid request or unknown kernel; the
+  /// first failing job's exception (in job order) is rethrown after all
+  /// workers finish.
+  BatchResult Run(const std::vector<ExplorationRequest>& requests) const;
+
+  /// Convenience: single-request batch.
+  RequestResult RunOne(const ExplorationRequest& request) const;
+
+  /// Effective worker count (resolves the 0 = hardware default).
+  std::size_t NumWorkers() const noexcept;
+
+ private:
+  EngineOptions options_;
+  const workloads::KernelRegistry* registry_;
+};
+
+}  // namespace axdse::dse

@@ -1,5 +1,6 @@
 #include "dse/explorer.hpp"
 
+#include <cassert>
 #include <stdexcept>
 
 #include "dse/baselines.hpp"
@@ -46,6 +47,7 @@ const char* ToString(AgentKind kind) noexcept {
 Explorer::Explorer(Evaluator& evaluator, const RewardConfig& reward,
                    const ExplorerConfig& config)
     : evaluator_(&evaluator), reward_(reward), config_(config) {
+  assert(evaluator_ != nullptr);  // the evaluator reference must stay alive
   reward_.Validate();
   if (config_.episodes == 0)
     throw std::invalid_argument("Explorer: episodes == 0");

@@ -3,7 +3,13 @@
 // -> Q-learning agent, runs the paper's single long episode, and collects
 // everything Table III and Figures 2-4 need (per-step trace, min/solution/max
 // per objective, the solution configuration and its operator names).
+//
+// This is the single-run core. Applications should normally go through the
+// axdse.hpp facade instead: describe runs as dse::ExplorationRequest values
+// and execute them (batched, multi-seed, parallel) with dse::Engine or
+// axdse::Session.
 
+#include <cmath>
 #include <limits>
 #include <memory>
 #include <string>
@@ -77,7 +83,10 @@ struct ObjectiveRange {
   double min = std::numeric_limits<double>::infinity();
   double max = -std::numeric_limits<double>::infinity();
 
+  /// Folds one observation in; NaN inputs are ignored so a single undefined
+  /// Δ cannot poison the range for the rest of the run.
   void Update(double value) noexcept {
+    if (std::isnan(value)) return;
     if (value < min) min = value;
     if (value > max) max = value;
   }
@@ -139,6 +148,9 @@ class Explorer {
 };
 
 /// Convenience wrapper: evaluator + paper thresholds + explorer in one call.
+/// Deprecated: prefer the axdse.hpp facade (Session::Explore with an
+/// ExplorationRequest), which adds kernel-by-name construction, multi-seed
+/// batches, and parallel execution. Kept for source compatibility.
 ExplorationResult ExploreKernel(const workloads::Kernel& kernel,
                                 const ExplorerConfig& config,
                                 const PaperThresholdFactors& factors = {});

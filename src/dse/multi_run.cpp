@@ -1,6 +1,10 @@
 #include "dse/multi_run.hpp"
 
+#include <memory>
 #include <stdexcept>
+#include <utility>
+
+#include "dse/engine.hpp"
 
 namespace axdse::dse {
 
@@ -31,40 +35,34 @@ MultiRunResult ExploreKernelMultiSeed(const workloads::Kernel& kernel,
   if (num_seeds == 0)
     throw std::invalid_argument("ExploreKernelMultiSeed: num_seeds == 0");
 
+  // Thin shim over the Engine: one request, `num_seeds` parallel jobs. The
+  // caller-built ExplorerConfig is preserved verbatim via explorer_override
+  // (the engine still assigns seed base.seed + i per run); traces are
+  // dropped to keep memory flat across many seeds, as before.
+  ExplorationRequest request;
+  request.kernel = kernel.Name();
+  request.kernel_override = std::shared_ptr<const workloads::Kernel>(
+      std::shared_ptr<const workloads::Kernel>(), &kernel);  // non-owning
+  ExplorerConfig config = base;
+  config.record_trace = false;
+  request.explorer_override = config;
+  request.max_steps = base.max_steps;
+  request.episodes = base.episodes;
+  request.seed = base.seed;
+  request.num_seeds = num_seeds;
+  request.thresholds = factors;
+
+  RequestResult result = Engine().RunOne(request);
+
   MultiRunResult aggregate;
-  aggregate.runs.reserve(num_seeds);
-  util::RunningStats power_stats;
-  util::RunningStats time_stats;
-  util::RunningStats acc_stats;
-  util::RunningStats step_stats;
-  std::size_t feasible = 0;
-
-  for (std::size_t i = 0; i < num_seeds; ++i) {
-    Evaluator evaluator(kernel);
-    const RewardConfig reward = MakePaperRewardConfig(evaluator, factors);
-    ExplorerConfig config = base;
-    config.seed = base.seed + i;
-    config.record_trace = false;  // keep memory flat across many seeds
-    Explorer explorer(evaluator, reward, config);
-    ExplorationResult result = explorer.Explore();
-
-    power_stats.Add(result.solution_measurement.delta_power_mw);
-    time_stats.Add(result.solution_measurement.delta_time_ns);
-    acc_stats.Add(result.solution_measurement.delta_acc);
-    step_stats.Add(static_cast<double>(result.steps));
-    if (result.solution_measurement.delta_acc <= reward.acc_threshold)
-      ++feasible;
-    ++aggregate.adder_votes[result.solution_adder];
-    ++aggregate.multiplier_votes[result.solution_multiplier];
-    aggregate.runs.push_back(std::move(result));
-  }
-
-  aggregate.solution_delta_power = util::Summarize(power_stats);
-  aggregate.solution_delta_time = util::Summarize(time_stats);
-  aggregate.solution_delta_acc = util::Summarize(acc_stats);
-  aggregate.steps = util::Summarize(step_stats);
-  aggregate.feasible_fraction =
-      static_cast<double>(feasible) / static_cast<double>(num_seeds);
+  aggregate.runs = std::move(result.runs);
+  aggregate.solution_delta_power = result.solution_delta_power;
+  aggregate.solution_delta_time = result.solution_delta_time;
+  aggregate.solution_delta_acc = result.solution_delta_acc;
+  aggregate.steps = result.steps;
+  aggregate.adder_votes = std::move(result.adder_votes);
+  aggregate.multiplier_votes = std::move(result.multiplier_votes);
+  aggregate.feasible_fraction = result.feasible_fraction;
   return aggregate;
 }
 

@@ -3,6 +3,12 @@
 // benchmark; this harness repeats the exploration across seeds and
 // summarizes the solution metrics (mean/stddev/min/max) and the operator
 // selections (vote histogram) — the robustness view a released tool needs.
+//
+// Deprecated surface: new code should go through the axdse.hpp facade —
+// build a dse::ExplorationRequest with num_seeds > 1 and run it with
+// dse::Engine (or axdse::Session), which executes the seeds on a worker
+// pool and returns the same aggregates in RequestResult. The function below
+// is a thin shim over that engine, kept for source compatibility.
 
 #include <map>
 #include <string>
@@ -41,6 +47,10 @@ struct MultiRunResult {
 /// base.seed+1, ... and paper-style thresholds. Traces are dropped to keep
 /// memory flat; per-run solution data is retained.
 /// Throws std::invalid_argument if num_seeds == 0.
+/// Deprecated: prefer dse::Engine with a multi-seed ExplorationRequest
+/// (this shim already executes through it, parallel across seeds — note
+/// `kernel` is therefore shared across workers and its Run() must be
+/// const-thread-safe, as the Kernel interface now requires).
 MultiRunResult ExploreKernelMultiSeed(
     const workloads::Kernel& kernel, const ExplorerConfig& base,
     std::size_t num_seeds, const PaperThresholdFactors& factors = {});

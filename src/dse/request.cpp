@@ -1,0 +1,494 @@
+#include "dse/request.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "util/number_format.hpp"
+
+namespace axdse::dse {
+
+namespace {
+
+using util::ShortestDouble;
+
+double ParseDouble(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0')
+    throw std::invalid_argument("ExplorationRequest::Parse: value '" + value +
+                                "' for key '" + key + "' is not a number");
+  return v;
+}
+
+std::uint64_t ParseUnsigned(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0')
+    throw std::invalid_argument("ExplorationRequest::Parse: value '" + value +
+                                "' for key '" + key +
+                                "' is not a non-negative integer");
+  return static_cast<std::uint64_t>(v);
+}
+
+bool ParseBool(const std::string& key, const std::string& value) {
+  if (value == "1" || value == "true") return true;
+  if (value == "0" || value == "false") return false;
+  throw std::invalid_argument("ExplorationRequest::Parse: value '" + value +
+                              "' for key '" + key + "' is not a boolean");
+}
+
+/// Free-text fields (labels, kernel names, extra keys/values) may contain
+/// whitespace, ';', or '=' — escape them so the token format stays
+/// lossless. Only '%', '=', and the token separators are encoded.
+std::string EscapeToken(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '%':
+        out += "%25";
+        break;
+      case ' ':
+        out += "%20";
+        break;
+      case '\t':
+        out += "%09";
+        break;
+      case '\n':
+        out += "%0a";
+        break;
+      case '\r':
+        out += "%0d";
+        break;
+      case ';':
+        out += "%3b";
+        break;
+      case '=':
+        out += "%3d";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeToken(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '%' && i + 2 < text.size()) {
+      const std::string hex = text.substr(i + 1, 2);
+      char* end = nullptr;
+      const long code = std::strtol(hex.c_str(), &end, 16);
+      if (end == hex.c_str() + 2) {
+        out.push_back(static_cast<char>(code));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(text[i]);
+  }
+  return out;
+}
+
+void RequireInRange(const char* name, double value, double lo, double hi) {
+  if (!(value >= lo && value <= hi))
+    throw std::invalid_argument(std::string("ExplorationRequest: ") + name +
+                                " out of range");
+}
+
+}  // namespace
+
+const char* ToString(ActionSpaceKind kind) noexcept {
+  switch (kind) {
+    case ActionSpaceKind::kFull:
+      return "full";
+    case ActionSpaceKind::kCompact:
+      return "compact";
+  }
+  return "unknown";
+}
+
+AgentKind AgentKindFromName(const std::string& name) {
+  for (const AgentKind kind :
+       {AgentKind::kQLearning, AgentKind::kSarsa, AgentKind::kExpectedSarsa,
+        AgentKind::kDoubleQ, AgentKind::kQLambda})
+    if (name == ToString(kind)) return kind;
+  throw std::invalid_argument("AgentKindFromName: unknown agent '" + name +
+                              "' (known: q-learning, sarsa, expected-sarsa, "
+                              "double-q, q-lambda)");
+}
+
+ActionSpaceKind ActionSpaceFromName(const std::string& name) {
+  for (const ActionSpaceKind kind :
+       {ActionSpaceKind::kFull, ActionSpaceKind::kCompact})
+    if (name == ToString(kind)) return kind;
+  throw std::invalid_argument(
+      "ActionSpaceFromName: unknown action space '" + name +
+      "' (known: full, compact)");
+}
+
+void ExplorationRequest::Validate() const {
+  if (kernel.empty() && !kernel_override)
+    throw std::invalid_argument(
+        "ExplorationRequest: kernel name is empty and no kernel instance "
+        "was provided");
+  if (max_steps == 0)
+    throw std::invalid_argument("ExplorationRequest: max_steps == 0");
+  if (episodes == 0)
+    throw std::invalid_argument("ExplorationRequest: episodes == 0");
+  if (num_seeds == 0)
+    throw std::invalid_argument("ExplorationRequest: num_seeds == 0");
+  if (!(alpha > 0.0 && alpha <= 1.0))
+    throw std::invalid_argument("ExplorationRequest: alpha not in (0, 1]");
+  RequireInRange("gamma", gamma, 0.0, 1.0);
+  RequireInRange("lambda", lambda, 0.0, 1.0);
+  RequireInRange("epsilon_start", epsilon_start, 0.0, 1.0);
+  RequireInRange("epsilon_end", epsilon_end, 0.0, 1.0);
+  if (std::isnan(max_cumulative_reward))
+    throw std::invalid_argument(
+        "ExplorationRequest: max_cumulative_reward is NaN");
+  const std::pair<const char*, double> factors[] = {
+      {"accuracy_factor", thresholds.accuracy_factor},
+      {"power_factor", thresholds.power_factor},
+      {"time_factor", thresholds.time_factor},
+      {"max_reward", thresholds.max_reward}};
+  for (const auto& [name, value] : factors)
+    if (!(std::isfinite(value) && value > 0.0))
+      throw std::invalid_argument(std::string("ExplorationRequest: ") + name +
+                                  " must be finite and > 0");
+}
+
+ExplorerConfig ExplorationRequest::ToExplorerConfig() const {
+  if (explorer_override) return *explorer_override;
+  ExplorerConfig config;
+  config.max_steps = max_steps;
+  config.max_cumulative_reward = max_cumulative_reward;
+  config.episodes = episodes;
+  config.agent_kind = agent_kind;
+  config.lambda = lambda;
+  config.action_space = action_space;
+  config.seed = seed;
+  config.record_trace = record_trace;
+  config.greedy_rollout_steps = greedy_rollout_steps;
+  config.agent.alpha = alpha;
+  config.agent.gamma = gamma;
+  config.agent.initial_q = initial_q;
+  const std::size_t decay =
+      epsilon_decay_steps > 0
+          ? epsilon_decay_steps
+          : std::max<std::size_t>(std::size_t{1}, max_steps * 3 / 4);
+  config.agent.epsilon =
+      rl::EpsilonSchedule::Linear(epsilon_start, epsilon_end, decay);
+  return config;
+}
+
+std::string ExplorationRequest::DisplayName() const {
+  return label.empty() ? kernel : label;
+}
+
+std::string ExplorationRequest::ToString() const {
+  std::ostringstream out;
+  out << "kernel=" << EscapeToken(kernel);
+  out << " size=" << params.size;
+  out << " kernel-seed=" << params.seed;
+  for (const auto& [key, value] : params.extra)
+    out << " kernel." << EscapeToken(key) << "=" << EscapeToken(value);
+  out << " agent=" << dse::ToString(agent_kind);
+  out << " action-space=" << dse::ToString(action_space);
+  out << " steps=" << max_steps;
+  out << " reward-cap=" << ShortestDouble(max_cumulative_reward);
+  out << " episodes=" << episodes;
+  out << " seeds=" << num_seeds;
+  out << " seed=" << seed;
+  out << " rollout=" << greedy_rollout_steps;
+  out << " trace=" << (record_trace ? 1 : 0);
+  out << " alpha=" << ShortestDouble(alpha);
+  out << " gamma=" << ShortestDouble(gamma);
+  out << " initial-q=" << ShortestDouble(initial_q);
+  out << " lambda=" << ShortestDouble(lambda);
+  out << " eps-start=" << ShortestDouble(epsilon_start);
+  out << " eps-end=" << ShortestDouble(epsilon_end);
+  out << " eps-decay=" << epsilon_decay_steps;
+  out << " acc-factor=" << ShortestDouble(thresholds.accuracy_factor);
+  out << " power-factor=" << ShortestDouble(thresholds.power_factor);
+  out << " time-factor=" << ShortestDouble(thresholds.time_factor);
+  out << " max-reward=" << ShortestDouble(thresholds.max_reward);
+  if (!label.empty()) out << " label=" << EscapeToken(label);
+  return out.str();
+}
+
+ExplorationRequest ExplorationRequest::Parse(const std::string& text) {
+  ExplorationRequest request;
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char c : text) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ';') {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+
+  for (const std::string& token : tokens) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument(
+          "ExplorationRequest::Parse: token '" + token +
+          "' is not of the form key=value");
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "kernel") {
+      request.kernel = UnescapeToken(value);
+    } else if (key == "size") {
+      request.params.size = static_cast<std::size_t>(ParseUnsigned(key, value));
+    } else if (key == "kernel-seed") {
+      request.params.seed = ParseUnsigned(key, value);
+    } else if (key.rfind("kernel.", 0) == 0) {
+      const std::string extra_key = UnescapeToken(key.substr(7));
+      if (extra_key.empty())
+        throw std::invalid_argument(
+            "ExplorationRequest::Parse: empty kernel extra key");
+      request.params.extra[extra_key] = UnescapeToken(value);
+    } else if (key == "agent") {
+      request.agent_kind = AgentKindFromName(value);
+    } else if (key == "action-space") {
+      request.action_space = ActionSpaceFromName(value);
+    } else if (key == "steps") {
+      request.max_steps = static_cast<std::size_t>(ParseUnsigned(key, value));
+    } else if (key == "reward-cap") {
+      request.max_cumulative_reward = ParseDouble(key, value);
+    } else if (key == "episodes") {
+      request.episodes = static_cast<std::size_t>(ParseUnsigned(key, value));
+    } else if (key == "seeds") {
+      request.num_seeds = static_cast<std::size_t>(ParseUnsigned(key, value));
+    } else if (key == "seed") {
+      request.seed = ParseUnsigned(key, value);
+    } else if (key == "rollout") {
+      request.greedy_rollout_steps =
+          static_cast<std::size_t>(ParseUnsigned(key, value));
+    } else if (key == "trace") {
+      request.record_trace = ParseBool(key, value);
+    } else if (key == "alpha") {
+      request.alpha = ParseDouble(key, value);
+    } else if (key == "gamma") {
+      request.gamma = ParseDouble(key, value);
+    } else if (key == "initial-q") {
+      request.initial_q = ParseDouble(key, value);
+    } else if (key == "lambda") {
+      request.lambda = ParseDouble(key, value);
+    } else if (key == "eps-start") {
+      request.epsilon_start = ParseDouble(key, value);
+    } else if (key == "eps-end") {
+      request.epsilon_end = ParseDouble(key, value);
+    } else if (key == "eps-decay") {
+      request.epsilon_decay_steps =
+          static_cast<std::size_t>(ParseUnsigned(key, value));
+    } else if (key == "acc-factor") {
+      request.thresholds.accuracy_factor = ParseDouble(key, value);
+    } else if (key == "power-factor") {
+      request.thresholds.power_factor = ParseDouble(key, value);
+    } else if (key == "time-factor") {
+      request.thresholds.time_factor = ParseDouble(key, value);
+    } else if (key == "max-reward") {
+      request.thresholds.max_reward = ParseDouble(key, value);
+    } else if (key == "label") {
+      request.label = UnescapeToken(value);
+    } else {
+      throw std::invalid_argument("ExplorationRequest::Parse: unknown key '" +
+                                  key + "'");
+    }
+  }
+  return request;
+}
+
+ExplorationRequest ExplorationRequest::FromCli(const util::CliArgs& args) {
+  std::string text;
+  if (!args.Positional().empty()) text += "kernel=" + args.Positional()[0];
+  for (const auto& [key, value] : args.Flags()) {
+    if (value.empty()) {
+      // The only meaningful bare flag is the boolean: --trace == trace=1.
+      // Anything else bare is a flag that lost its value — fail loudly
+      // rather than silently falling back to the default.
+      if (key == "trace") {
+        text += (text.empty() ? "" : " ") + key + "=1";
+        continue;
+      }
+      throw std::invalid_argument("ExplorationRequest::FromCli: flag --" +
+                                  key + " has no value");
+    }
+    text += (text.empty() ? "" : " ") + key + "=" + value;
+  }
+  return Parse(text);
+}
+
+bool operator==(const ExplorationRequest& a, const ExplorationRequest& b) {
+  return a.ToString() == b.ToString();
+}
+
+bool operator!=(const ExplorationRequest& a, const ExplorationRequest& b) {
+  return !(a == b);
+}
+
+RequestBuilder::RequestBuilder(std::string kernel) {
+  request_.kernel = std::move(kernel);
+}
+
+RequestBuilder::RequestBuilder(
+    std::shared_ptr<const workloads::Kernel> kernel) {
+  KernelInstance(std::move(kernel));
+}
+
+RequestBuilder& RequestBuilder::Kernel(std::string name) {
+  request_.kernel = std::move(name);
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::KernelInstance(
+    std::shared_ptr<const workloads::Kernel> k) {
+  if (!k)
+    throw std::invalid_argument("RequestBuilder::KernelInstance: null kernel");
+  request_.kernel = k->Name();
+  request_.kernel_override = std::move(k);
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::Size(std::size_t size) {
+  request_.params.size = size;
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::KernelSeed(std::uint64_t seed) {
+  request_.params.seed = seed;
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::KernelParam(const std::string& key,
+                                            std::string value) {
+  request_.params.extra[key] = std::move(value);
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::Label(std::string label) {
+  request_.label = std::move(label);
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::Agent(AgentKind kind) {
+  request_.agent_kind = kind;
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::Agent(const std::string& name) {
+  request_.agent_kind = AgentKindFromName(name);
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::ActionSpace(ActionSpaceKind kind) {
+  request_.action_space = kind;
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::MaxSteps(std::size_t steps) {
+  request_.max_steps = steps;
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::RewardCap(double cap) {
+  request_.max_cumulative_reward = cap;
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::Episodes(std::size_t episodes) {
+  request_.episodes = episodes;
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::Seeds(std::size_t num_seeds) {
+  request_.num_seeds = num_seeds;
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::Seed(std::uint64_t seed) {
+  request_.seed = seed;
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::GreedyRollout(std::size_t steps) {
+  request_.greedy_rollout_steps = steps;
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::RecordTrace(bool record) {
+  request_.record_trace = record;
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::Alpha(double alpha) {
+  request_.alpha = alpha;
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::Gamma(double gamma) {
+  request_.gamma = gamma;
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::InitialQ(double q) {
+  request_.initial_q = q;
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::Lambda(double lambda) {
+  request_.lambda = lambda;
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::Epsilon(double start, double end,
+                                        std::size_t decay_steps) {
+  request_.epsilon_start = start;
+  request_.epsilon_end = end;
+  request_.epsilon_decay_steps = decay_steps;
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::Thresholds(
+    const PaperThresholdFactors& factors) {
+  request_.thresholds = factors;
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::AccuracyFactor(double factor) {
+  request_.thresholds.accuracy_factor = factor;
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::PowerFactor(double factor) {
+  request_.thresholds.power_factor = factor;
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::TimeFactor(double factor) {
+  request_.thresholds.time_factor = factor;
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::MaxReward(double reward) {
+  request_.thresholds.max_reward = reward;
+  return *this;
+}
+
+ExplorationRequest RequestBuilder::Build() const {
+  request_.Validate();
+  return request_;
+}
+
+}  // namespace axdse::dse

@@ -1,0 +1,163 @@
+#pragma once
+// ExplorationRequest: one validated, serializable description of a DSE run —
+// which kernel (by registry name + parameters), which agent and action
+// space, the step/reward budget, the paper's threshold recipe, and how many
+// seeds to repeat it over. It subsumes the scattered ExplorerConfig /
+// RewardConfig / PaperThresholdFactors surface behind a single value type
+// that round-trips through std::string (for CLI and config-file use), is
+// built fluently via RequestBuilder, and is executed — serially or on a
+// worker pool — by dse::Engine.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "dse/explorer.hpp"
+#include "util/cli.hpp"
+#include "workloads/registry.hpp"
+
+namespace axdse::dse {
+
+/// Human-readable action-space name ("full" / "compact").
+const char* ToString(ActionSpaceKind kind) noexcept;
+
+/// Inverse of ToString(AgentKind). Throws std::invalid_argument for names
+/// that match no agent.
+AgentKind AgentKindFromName(const std::string& name);
+
+/// Inverse of ToString(ActionSpaceKind). Throws std::invalid_argument.
+ActionSpaceKind ActionSpaceFromName(const std::string& name);
+
+/// A complete, self-contained exploration job description.
+struct ExplorationRequest {
+  // --- What to explore -----------------------------------------------------
+  /// Kernel registry name ("matmul", "fir", ...). May stay empty only when
+  /// `kernel_override` is set.
+  std::string kernel;
+  workloads::KernelParams params;
+  /// Display name for reports; DisplayName() falls back to `kernel`.
+  std::string label;
+
+  // --- How to explore ------------------------------------------------------
+  AgentKind agent_kind = AgentKind::kQLearning;
+  ActionSpaceKind action_space = ActionSpaceKind::kFull;
+  std::size_t max_steps = 10000;
+  double max_cumulative_reward = 500.0;
+  std::size_t episodes = 1;
+  /// Number of repeated explorations; run i uses agent seed `seed + i`.
+  std::size_t num_seeds = 1;
+  std::uint64_t seed = 1;
+  std::size_t greedy_rollout_steps = 0;
+  /// Keep per-step traces (costs memory; off by default for batches).
+  bool record_trace = false;
+
+  // --- Agent hyper-parameters ---------------------------------------------
+  double alpha = 0.1;
+  double gamma = 0.95;
+  double initial_q = 0.0;
+  double lambda = 0.8;  ///< trace decay, used by AgentKind::kQLambda only
+  /// Linear epsilon schedule: start -> end over `epsilon_decay_steps` steps;
+  /// 0 decay steps means "3/4 of max_steps" (the benches' convention).
+  double epsilon_start = 1.0;
+  double epsilon_end = 0.05;
+  std::size_t epsilon_decay_steps = 0;
+
+  // --- Reward thresholds (the paper's Section III recipe) ------------------
+  PaperThresholdFactors thresholds;
+
+  // --- Escape hatches (not serialized) -------------------------------------
+  /// Explore this kernel instance instead of constructing one from the
+  /// registry. The pointee must stay alive for the duration of the run and
+  /// its Run() must be const-thread-safe (all built-ins are).
+  std::shared_ptr<const workloads::Kernel> kernel_override;
+  /// Bypasses the request's explorer fields entirely — used by the
+  /// deprecated ExploreKernelMultiSeed shim to preserve caller-built
+  /// ExplorerConfigs verbatim. The engine still overrides the seed per run.
+  std::optional<ExplorerConfig> explorer_override;
+
+  /// Checks invariants (budget > 0, rates in range, a kernel name or
+  /// instance present). Registry membership of the name is checked by the
+  /// engine, which knows the registry. Throws std::invalid_argument.
+  void Validate() const;
+
+  /// Lowers the request to the single-run ExplorerConfig it describes
+  /// (or returns `explorer_override` verbatim when set).
+  ExplorerConfig ToExplorerConfig() const;
+
+  /// `label` when set, otherwise `kernel`.
+  std::string DisplayName() const;
+
+  /// Serializes every serializable field as space-separated key=value
+  /// tokens, e.g. "kernel=matmul size=10 ... acc-factor=0.4". Kernel extras
+  /// appear as kernel.KEY=VALUE. Stable field order; doubles use
+  /// shortest-round-trip formatting, so Parse(ToString()) is lossless.
+  std::string ToString() const;
+
+  /// Inverse of ToString(). Accepts whitespace- and/or ';'-separated
+  /// key=value tokens. Throws std::invalid_argument on unknown keys or
+  /// unparsable values.
+  static ExplorationRequest Parse(const std::string& text);
+
+  /// Builds a request from command-line flags (same keys as ToString, plus
+  /// the first positional argument as the kernel name). Flags not given
+  /// keep their defaults.
+  static ExplorationRequest FromCli(const util::CliArgs& args);
+};
+
+/// Equality over the serialized representation (escape hatches excluded).
+bool operator==(const ExplorationRequest& a, const ExplorationRequest& b);
+bool operator!=(const ExplorationRequest& a, const ExplorationRequest& b);
+
+/// Fluent construction of ExplorationRequests:
+///
+///   auto request = RequestBuilder("matmul").Size(10).KernelSeed(42)
+///                      .MaxSteps(10000).Seed(7).Seeds(5).Build();
+///
+/// Build() validates and returns the finished value.
+class RequestBuilder {
+ public:
+  RequestBuilder() = default;
+  explicit RequestBuilder(std::string kernel);
+  /// Starts from an existing kernel instance (see kernel_override).
+  explicit RequestBuilder(std::shared_ptr<const workloads::Kernel> kernel);
+
+  RequestBuilder& Kernel(std::string name);
+  RequestBuilder& KernelInstance(std::shared_ptr<const workloads::Kernel> k);
+  RequestBuilder& Size(std::size_t size);
+  RequestBuilder& KernelSeed(std::uint64_t seed);
+  RequestBuilder& KernelParam(const std::string& key, std::string value);
+  RequestBuilder& Label(std::string label);
+
+  RequestBuilder& Agent(AgentKind kind);
+  RequestBuilder& Agent(const std::string& name);
+  RequestBuilder& ActionSpace(ActionSpaceKind kind);
+  RequestBuilder& MaxSteps(std::size_t steps);
+  RequestBuilder& RewardCap(double cap);
+  RequestBuilder& Episodes(std::size_t episodes);
+  RequestBuilder& Seeds(std::size_t num_seeds);
+  RequestBuilder& Seed(std::uint64_t seed);
+  RequestBuilder& GreedyRollout(std::size_t steps);
+  RequestBuilder& RecordTrace(bool record = true);
+
+  RequestBuilder& Alpha(double alpha);
+  RequestBuilder& Gamma(double gamma);
+  RequestBuilder& InitialQ(double q);
+  RequestBuilder& Lambda(double lambda);
+  RequestBuilder& Epsilon(double start, double end,
+                          std::size_t decay_steps = 0);
+
+  RequestBuilder& Thresholds(const PaperThresholdFactors& factors);
+  RequestBuilder& AccuracyFactor(double factor);
+  RequestBuilder& PowerFactor(double factor);
+  RequestBuilder& TimeFactor(double factor);
+  RequestBuilder& MaxReward(double reward);
+
+  /// Validates and returns the request. Throws std::invalid_argument.
+  ExplorationRequest Build() const;
+
+ private:
+  ExplorationRequest request_;
+};
+
+}  // namespace axdse::dse

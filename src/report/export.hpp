@@ -1,0 +1,31 @@
+#pragma once
+// Machine-readable exports of Engine batch results: a flat CSV (one row per
+// seed-run, for spreadsheets and plotting) and a structured JSON document
+// (requests, per-seed runs, aggregates, operator votes). Both emitters are
+// fully deterministic — fixed field order, shortest-round-trip double
+// formatting — so batches run with different worker counts export
+// byte-identical documents (the Engine determinism tests rely on this).
+
+#include <ostream>
+#include <string>
+
+#include "dse/engine.hpp"
+
+namespace axdse::report {
+
+/// Writes one CSV row per seed-run, prefixed by a header row. Columns:
+/// request, label, kernel, seed, steps, stop, cumulative_reward, episodes,
+/// delta_power_mw, delta_time_ns, delta_acc, adder, multiplier,
+/// vars_selected, num_vars, feasible, kernel_runs, cache_hits.
+void WriteBatchCsv(std::ostream& out, const dse::BatchResult& batch);
+
+/// Writes the batch as a JSON document: an array of request objects, each
+/// with the serialized request string, resolved kernel name, thresholds,
+/// per-metric summaries, operator votes, and the per-seed run array.
+void WriteBatchJson(std::ostream& out, const dse::BatchResult& batch);
+
+/// Convenience string forms of the writers above.
+std::string BatchCsv(const dse::BatchResult& batch);
+std::string BatchJson(const dse::BatchResult& batch);
+
+}  // namespace axdse::report

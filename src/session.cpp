@@ -1,0 +1,33 @@
+#include "session.hpp"
+
+#include <utility>
+
+namespace axdse {
+
+Session::Session(const dse::EngineOptions& options)
+    : engine_(options, workloads::KernelRegistry::Global()) {}
+
+std::vector<std::string> Session::Kernels() const {
+  return workloads::KernelRegistry::Global().Names();
+}
+
+void Session::RegisterKernel(const std::string& name,
+                             workloads::KernelRegistry::Factory factory) {
+  workloads::KernelRegistry::Global().Register(name, std::move(factory));
+}
+
+dse::RequestBuilder Session::Request(const std::string& kernel) {
+  return dse::RequestBuilder(kernel);
+}
+
+dse::RequestResult Session::Explore(
+    const dse::ExplorationRequest& request) const {
+  return engine_.RunOne(request);
+}
+
+dse::BatchResult Session::ExploreBatch(
+    const std::vector<dse::ExplorationRequest>& requests) const {
+  return engine_.Run(requests);
+}
+
+}  // namespace axdse

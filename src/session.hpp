@@ -1,0 +1,51 @@
+#pragma once
+// axdse::Session — the top of the facade. One object that knows the kernel
+// registry and owns a batch engine, so the whole paper pipeline is:
+//
+//   axdse::Session session;
+//   auto result = session.Explore(
+//       axdse::Session::Request("matmul").Size(10).MaxSteps(10000).Build());
+//
+// Sessions are cheap to construct; the kernel registry behind them is the
+// process-wide one (custom kernels registered through any session are
+// visible to all).
+
+#include <string>
+#include <vector>
+
+#include "dse/engine.hpp"
+
+namespace axdse {
+
+class Session {
+ public:
+  /// `options.num_workers` sizes the batch worker pool (0 = hardware).
+  explicit Session(const dse::EngineOptions& options = {});
+
+  /// Names of all registered kernels, sorted.
+  std::vector<std::string> Kernels() const;
+
+  /// Registers a custom kernel factory (process-wide). Throws
+  /// std::invalid_argument on duplicate or empty names.
+  void RegisterKernel(const std::string& name,
+                      workloads::KernelRegistry::Factory factory);
+
+  /// Fluent request builder, pre-targeted at `kernel`.
+  static dse::RequestBuilder Request(const std::string& kernel);
+
+  /// Runs one request (all its seeds, possibly in parallel).
+  dse::RequestResult Explore(const dse::ExplorationRequest& request) const;
+
+  /// Runs a batch of requests on the worker pool; results in request order,
+  /// identical for any worker count.
+  dse::BatchResult ExploreBatch(
+      const std::vector<dse::ExplorationRequest>& requests) const;
+
+  /// The underlying batch engine.
+  const dse::Engine& Engine() const noexcept { return engine_; }
+
+ private:
+  dse::Engine engine_;
+};
+
+}  // namespace axdse

@@ -5,9 +5,14 @@
 namespace axdse::util {
 
 CliArgs::CliArgs(int argc, const char* const* argv) {
+  bool flags_ended = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) {
+    if (!flags_ended && arg == "--") {  // conventional end-of-flags marker
+      flags_ended = true;
+      continue;
+    }
+    if (flags_ended || arg.rfind("--", 0) != 0) {
       positional_.push_back(std::move(arg));
       continue;
     }

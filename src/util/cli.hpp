@@ -1,6 +1,7 @@
 #pragma once
 // Tiny command-line flag parser for bench/example binaries.
-// Supports --name=value, --name value, and boolean --name forms.
+// Supports --name=value, --name value, and boolean --name forms; a bare
+// "--" ends flag parsing (everything after it is positional).
 
 #include <cstdint>
 #include <map>
@@ -33,6 +34,11 @@ class CliArgs {
 
   /// Non-flag arguments in order.
   const std::vector<std::string>& Positional() const { return positional_; }
+
+  /// All parsed flags as name -> raw value (empty for bare --name), sorted
+  /// by name. Lets callers forward flags wholesale, e.g. into
+  /// dse::ExplorationRequest::FromCli.
+  const std::map<std::string, std::string>& Flags() const { return flags_; }
 
  private:
   std::map<std::string, std::string> flags_;

@@ -1,0 +1,15 @@
+#include "util/number_format.hpp"
+
+#include <charconv>
+
+namespace axdse::util {
+
+std::string ShortestDouble(double value) {
+  char buffer[64];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  if (ec != std::errc{}) return "0";
+  return std::string(buffer, ptr);
+}
+
+}  // namespace axdse::util

@@ -1,0 +1,14 @@
+#pragma once
+// Deterministic number formatting shared by the request serializer and the
+// batch exporters (their outputs are byte-compared by the determinism
+// tests, so both must use the exact same formatter).
+
+#include <string>
+
+namespace axdse::util {
+
+/// Shortest decimal representation that round-trips through strtod
+/// (std::to_chars shortest form). "0.1" stays "0.1", not "0.1000…01".
+std::string ShortestDouble(double value);
+
+}  // namespace axdse::util

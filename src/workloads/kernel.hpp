@@ -23,6 +23,11 @@ struct VariableInfo {
 /// construction) and declares (a) the operator set its arithmetic maps to and
 /// (b) the list of variables the DSE may select for approximation. Run() must
 /// be deterministic and route *all* counted arithmetic through the context.
+///
+/// Run() must also be const-thread-safe (no mutable member state): the
+/// dse::Engine executes multi-seed explorations of one kernel instance
+/// concurrently, each worker with its own ApproxContext. All built-in
+/// kernels satisfy this; keep scratch state inside Run()'s stack frame.
 class Kernel {
  public:
   virtual ~Kernel() = default;

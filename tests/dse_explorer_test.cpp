@@ -22,6 +22,32 @@ ExplorerConfig FastExplorer(std::uint64_t seed = 1) {
   return config;
 }
 
+TEST(ObjectiveRange, UpdateTracksMinAndMax) {
+  ObjectiveRange range;
+  range.Update(3.0);
+  range.Update(-1.0);
+  range.Update(2.0);
+  EXPECT_DOUBLE_EQ(range.min, -1.0);
+  EXPECT_DOUBLE_EQ(range.max, 3.0);
+}
+
+// Regression: a NaN Δ (e.g. an undefined relative measurement) must leave
+// the range untouched instead of poisoning it for the rest of the run.
+TEST(ObjectiveRange, UpdateIgnoresNaN) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  ObjectiveRange range;
+  range.Update(nan);  // NaN before any real observation
+  EXPECT_TRUE(std::isinf(range.min));
+  EXPECT_TRUE(std::isinf(range.max));
+  range.Update(1.0);
+  range.Update(nan);  // NaN mid-stream
+  range.Update(5.0);
+  EXPECT_DOUBLE_EQ(range.min, 1.0);
+  EXPECT_DOUBLE_EQ(range.max, 5.0);
+  EXPECT_FALSE(std::isnan(range.min));
+  EXPECT_FALSE(std::isnan(range.max));
+}
+
 TEST(Explorer, RunsAndProducesConsistentResult) {
   const workloads::DotProductKernel kernel(64, 4, 7);
   const ExplorationResult result = ExploreKernel(kernel, FastExplorer());
