@@ -17,8 +17,11 @@
 // Flags: --steps=N (default 10000), --seed=S (default 1),
 //        --reward-cap=R (default 500), --granularity=per-matrix|row-col,
 //        --seeds=N (default 1; N > 1 appends a mean +- std robustness table),
-//        --workers=W (default 0 = hardware), --json=PATH / --csv=PATH
-//        (machine-readable batch exports).
+//        --workers=W (default 0 = hardware),
+//        --cache=private|shared (default private; shared reuses kernel runs
+//        across the seeds of each benchmark — identical results, fewer
+//        kernel executions, reported below the table),
+//        --json=PATH / --csv=PATH (machine-readable batch exports).
 
 #include <cstdio>
 #include <fstream>
@@ -45,7 +48,9 @@ axdse::dse::ExplorationRequest MakeRequest(const axdse::util::CliArgs& args,
           .Gamma(0.95)  // epsilon defaults to linear decay over 3/4 of steps
           .Seed(static_cast<std::uint64_t>(args.GetInt("seed", 1)) +
                 seed_offset)
-          .Seeds(static_cast<std::size_t>(args.GetInt("seeds", 1)));
+          .Seeds(static_cast<std::size_t>(args.GetInt("seeds", 1)))
+          .Cache(axdse::dse::CacheModeFromName(
+              args.GetString("cache", "private")));
   if (!granularity.empty()) builder.KernelParam("granularity", granularity);
   return builder.Build();
 }
@@ -104,6 +109,22 @@ int main(int argc, char** argv) {
         {result.request.DisplayName(), result.runs.front()});
 
   std::printf("\n%s\n", report::RenderTable3(columns).c_str());
+
+  // Cache economics: under --cache=shared the seeds of each benchmark reuse
+  // each other's kernel runs; "saved" counts executions avoided vs private.
+  const std::size_t distinct = batch.TotalDistinctEvaluations();
+  const std::size_t executed = batch.TotalExecutedRuns();
+  const std::size_t saved = batch.TotalSavedRuns();
+  std::printf(
+      "Evaluation cache [%s]: %zu distinct evaluations, %zu kernel runs "
+      "executed, %zu saved (%.1f%%)\n",
+      args.GetString("cache", "private").c_str(), distinct, executed, saved,
+      distinct == 0 ? 0.0
+                    : 100.0 * static_cast<double>(saved) /
+                          static_cast<double>(distinct));
+  for (const dse::SharedCacheReport& cache : batch.shared_caches)
+    std::printf("  %-24s %zu jobs: %s\n", cache.signature.c_str(), cache.jobs,
+                cache.stats.ToString().c_str());
 
   const std::size_t seeds =
       static_cast<std::size_t>(args.GetInt("seeds", 1));

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <exception>
 #include <memory>
+#include <sstream>
 #include <thread>
 #include <utility>
 
@@ -18,6 +19,38 @@ struct Job {
   std::size_t request_index = 0;
   std::size_t seed_index = 0;
 };
+
+/// Signature components may contain the separators; escape them so the
+/// mapping request -> signature stays injective (distinct kernel identities
+/// must never share a measurement cache).
+std::string EscapeSignatureToken(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '%')
+      out += "%25";
+    else if (c == '|')
+      out += "%7c";
+    else if (c == '=')
+      out += "%3d";
+    else
+      out.push_back(c);
+  }
+  return out;
+}
+
+/// Cache identity of a registry request: same string <=> registry Create()
+/// yields behaviorally identical kernels (factories are deterministic in
+/// (name, size, seed, extra)), so their jobs may share measurements.
+std::string RegistrySignature(const ExplorationRequest& request) {
+  std::ostringstream out;
+  out << EscapeSignatureToken(request.kernel)
+      << "|size=" << request.params.size << "|seed=" << request.params.seed;
+  for (const auto& [key, value] : request.params.extra)
+    out << "|" << EscapeSignatureToken(key) << "="
+        << EscapeSignatureToken(value);
+  return out.str();
+}
 
 /// Slot a job writes into; slots are preassigned so the batch outcome does
 /// not depend on which worker ran which job.
@@ -61,6 +94,24 @@ std::size_t BatchResult::TotalSteps() const noexcept {
   return total;
 }
 
+std::size_t BatchResult::TotalDistinctEvaluations() const noexcept {
+  std::size_t total = 0;
+  for (const RequestResult& r : results) total += r.cache.distinct_evaluations;
+  return total;
+}
+
+std::size_t BatchResult::TotalExecutedRuns() const noexcept {
+  std::size_t total = 0;
+  for (const RequestResult& r : results) total += r.cache.executed_runs;
+  return total;
+}
+
+std::size_t BatchResult::TotalSavedRuns() const noexcept {
+  std::size_t total = 0;
+  for (const RequestResult& r : results) total += r.cache.saved_runs;
+  return total;
+}
+
 Engine::Engine(const EngineOptions& options,
                const workloads::KernelRegistry& registry)
     : options_(options), registry_(&registry) {}
@@ -84,6 +135,40 @@ BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests) const {
                                   request.kernel + "' (registered: " + known +
                                   ")");
     }
+  }
+
+  // Group CacheMode::kShared requests by kernel identity: one
+  // SharedEvaluationCache per distinct signature, handed to every job of the
+  // group. kernel_override instances are distinguished by pointer but named
+  // by first-appearance order, so exported signatures are reproducible.
+  std::map<std::string, std::shared_ptr<instrument::SharedEvaluationCache>>
+      caches;
+  std::map<std::string, std::size_t> cache_jobs;
+  std::map<const workloads::Kernel*, std::size_t> override_ids;
+  std::vector<std::shared_ptr<instrument::SharedEvaluationCache>>
+      request_cache(requests.size());
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const ExplorationRequest& request = requests[r];
+    if (request.cache_mode != CacheMode::kShared) continue;
+    std::string signature;
+    if (request.kernel_override) {
+      const auto [it, inserted] = override_ids.emplace(
+          request.kernel_override.get(), override_ids.size());
+      (void)inserted;
+      signature = "override#" + std::to_string(it->second);
+    } else {
+      signature = RegistrySignature(request);
+    }
+    auto& slot = caches[signature];
+    // First request of a group fixes the capacity bound (documented on
+    // ExplorationRequest::cache_capacity).
+    if (!slot) {
+      instrument::SharedEvaluationCache::Options options;
+      options.capacity = request.cache_capacity;
+      slot = std::make_shared<instrument::SharedEvaluationCache>(options);
+    }
+    cache_jobs[signature] += request.num_seeds;
+    request_cache[r] = slot;
   }
 
   std::vector<Job> jobs;
@@ -110,7 +195,8 @@ BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests) const {
         if (!kernel) kernel = registry_->Create(request.kernel, request.params);
         // The engine owns the evaluator for exactly the job's lifetime —
         // explorer and environment only ever see a live reference.
-        const auto evaluator = std::make_unique<Evaluator>(*kernel);
+        const auto evaluator = std::make_unique<Evaluator>(
+            *kernel, request_cache[job.request_index]);
         const RewardConfig reward =
             MakePaperRewardConfig(*evaluator, request.thresholds);
         ExplorerConfig config = request.ToExplorerConfig();
@@ -153,6 +239,7 @@ BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests) const {
     util::RunningStats acc_stats;
     util::RunningStats step_stats;
     std::size_t feasible = 0;
+    request_result.cache.mode = requests[r].cache_mode;
     request_result.runs.reserve(requests[r].num_seeds);
     for (std::size_t s = 0; s < requests[r].num_seeds; ++s) {
       JobOutcome& outcome = outcomes[outcome_index++];
@@ -161,6 +248,10 @@ BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests) const {
         request_result.reward = outcome.reward;
       }
       const ExplorationResult& run = outcome.result;
+      request_result.cache.distinct_evaluations += run.kernel_runs;
+      request_result.cache.executed_runs += run.kernel_runs_executed;
+      request_result.cache.local_hits += run.cache_hits;
+      request_result.cache.shared_hits += run.shared_cache_hits;
       power_stats.Add(run.solution_measurement.delta_power_mw);
       time_stats.Add(run.solution_measurement.delta_time_ns);
       acc_stats.Add(run.solution_measurement.delta_acc);
@@ -178,7 +269,15 @@ BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests) const {
     request_result.feasible_fraction =
         static_cast<double>(feasible) /
         static_cast<double>(requests[r].num_seeds);
+    request_result.cache.saved_runs = request_result.cache.distinct_evaluations -
+                                      request_result.cache.executed_runs;
   }
+
+  // std::map iteration = signature order, so the report list is stable.
+  batch.shared_caches.reserve(caches.size());
+  for (const auto& [signature, cache] : caches)
+    batch.shared_caches.push_back(
+        SharedCacheReport{signature, cache_jobs[signature], cache->Stats()});
   return batch;
 }
 

@@ -4,9 +4,20 @@
 // runs the jobs on a std::thread worker pool. Every job gets its own kernel
 // instance (or shares the request's read-only kernel_override), its own
 // engine-owned Evaluator, and writes into a preassigned result slot, so the
-// BatchResult is bit-identical regardless of worker count or scheduling
-// order. The operator characterization behind every kernel is the shared,
-// immutable EvoApproxCatalog singleton.
+// result payload — solutions, traces, rewards, and every per-run field — is
+// bit-identical regardless of worker count or scheduling order. The
+// operator characterization behind every kernel is the shared, immutable
+// EvoApproxCatalog singleton.
+//
+// Requests with CacheMode::kShared additionally share one sharded
+// SharedEvaluationCache per kernel identity, so a configuration measured by
+// any job in the group is never executed again by the others — solutions,
+// traces, and rewards stay byte-identical to private mode; only kernel-run
+// counts (cost) change. The aggregate cache statistics are also
+// worker-count-independent for an unbounded cache, except that when SEVERAL
+// requests share one cache group (or a capacity bound is set) the
+// per-request executed/saved split is scheduling-dependent — only the group
+// totals are stable (see CacheUsage::executed_runs).
 
 #include <cstddef>
 #include <map>
@@ -14,9 +25,30 @@
 #include <vector>
 
 #include "dse/request.hpp"
+#include "instrument/shared_evaluation_cache.hpp"
 #include "util/statistics.hpp"
 
 namespace axdse::dse {
+
+/// Aggregate cache behaviour of one request's jobs.
+struct CacheUsage {
+  CacheMode mode = CacheMode::kPrivate;
+  /// Distinct configurations evaluated, summed over the request's runs —
+  /// the kernel executions private mode performs. Deterministic always.
+  std::size_t distinct_evaluations = 0;
+  /// Kernel executions actually performed. Equal to distinct_evaluations in
+  /// private mode. With an unbounded shared cache the total over a cache
+  /// group is deterministic for any worker count (each configuration is
+  /// computed exactly once); when several requests share one cache, how the
+  /// executions split between them is scheduling-dependent.
+  std::size_t executed_runs = 0;
+  /// Kernel executions avoided: distinct_evaluations - executed_runs.
+  std::size_t saved_runs = 0;
+  /// Private per-job memo hits (repeat visits along each job's own path).
+  std::size_t local_hits = 0;
+  /// Evaluations answered by the shared cache.
+  std::size_t shared_hits = 0;
+};
 
 /// Engine tuning knobs.
 struct EngineOptions {
@@ -52,19 +84,45 @@ struct RequestResult {
   /// Fraction of runs whose solution respected the accuracy threshold.
   double feasible_fraction = 0.0;
 
+  /// Aggregate cache behaviour of this request's jobs.
+  CacheUsage cache;
+
   /// Most-voted operator type codes (ties: lexicographically smallest).
   std::string ModalAdder() const;
   std::string ModalMultiplier() const;
+};
+
+/// Final state of one shared cache group after the batch. Jobs share one
+/// cache iff their requests have the same signature: registry requests map
+/// to "kernel|size=S|seed=K[|key=value...]", kernel_override requests to
+/// "override#N" with N the override's first-appearance index in the batch
+/// (stable across worker counts and reruns).
+struct SharedCacheReport {
+  std::string signature;
+  /// Jobs that shared this cache (sum of num_seeds over its requests).
+  std::size_t jobs = 0;
+  instrument::CacheStats stats;
 };
 
 /// Outcome of one Engine::Run call, in request order.
 struct BatchResult {
   std::vector<RequestResult> results;
 
+  /// One report per shared cache group, sorted by signature (empty when the
+  /// batch ran entirely with private caches).
+  std::vector<SharedCacheReport> shared_caches;
+
   /// Total explorations across all requests (sum of runs.size()).
   std::size_t TotalRuns() const noexcept;
   /// Total environment steps taken across all runs.
   std::size_t TotalSteps() const noexcept;
+  /// Distinct-configuration evaluations across all runs (the kernel
+  /// executions an all-private batch performs).
+  std::size_t TotalDistinctEvaluations() const noexcept;
+  /// Kernel executions actually performed across all runs.
+  std::size_t TotalExecutedRuns() const noexcept;
+  /// Kernel executions avoided by shared caching.
+  std::size_t TotalSavedRuns() const noexcept;
 };
 
 /// Executes request batches. Stateless between Run() calls; one Engine can

@@ -2,17 +2,23 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "metrics/error_metrics.hpp"
 
 namespace axdse::dse {
 
-Evaluator::Evaluator(const workloads::Kernel& kernel)
+Evaluator::Evaluator(
+    const workloads::Kernel& kernel,
+    std::shared_ptr<instrument::SharedEvaluationCache> shared_cache)
     : kernel_(&kernel),
       energy_(kernel.Operators()),
       context_(kernel.Operators(), kernel.NumVariables()),
-      shape_(ShapeOf(kernel.Operators(), kernel.NumVariables())) {
-  // Golden run: all-precise configuration.
+      shape_(ShapeOf(kernel.Operators(), kernel.NumVariables())),
+      shared_cache_(std::move(shared_cache)) {
+  // Golden run: all-precise configuration. Always executed locally — the
+  // golden outputs are the accuracy baseline every later Evaluate() needs,
+  // so a shared cache cannot stand in for this run.
   context_.Configure(InitialConfiguration(shape_));
   precise_outputs_ = kernel_->Run(context_);
   ++kernel_runs_;
@@ -26,8 +32,10 @@ Evaluator::Evaluator(const workloads::Kernel& kernel)
   precise_power_mw_ = precise_cost.power_mw;
   precise_time_ns_ = precise_cost.time_ns;
 
-  // Seed the cache with the golden configuration so the all-precise point is
-  // never executed twice.
+  // Seed the private cache with the golden configuration so the all-precise
+  // point is never executed twice. (Private only: every evaluator of a
+  // shared group seeds its own, so a shared golden entry would never be
+  // read — it would just waste a slot of a capacity-bounded cache.)
   instrument::Measurement golden;
   golden.counts = context_.Counts();
   golden.precise_power_mw = precise_power_mw_;
@@ -37,16 +45,7 @@ Evaluator::Evaluator(const workloads::Kernel& kernel)
   cache_.Insert(InitialConfiguration(shape_), golden);
 }
 
-instrument::Measurement Evaluator::Evaluate(const Configuration& config) {
-  if (config.NumVariables() != shape_.num_variables)
-    throw std::invalid_argument("Evaluator::Evaluate: variable count mismatch");
-  if (config.AdderIndex() >= shape_.num_adders ||
-      config.MultiplierIndex() >= shape_.num_multipliers)
-    throw std::invalid_argument("Evaluator::Evaluate: operator index range");
-
-  if (const auto cached = cache_.Lookup(config); cached.has_value())
-    return *cached;
-
+instrument::Measurement Evaluator::Measure(const Configuration& config) {
   context_.Configure(config);
   const std::vector<double> outputs = kernel_->Run(context_);
   ++kernel_runs_;
@@ -62,6 +61,30 @@ instrument::Measurement Evaluator::Evaluate(const Configuration& config) {
   m.precise_time_ns = precise_time_ns_;
   m.delta_power_mw = precise_power_mw_ - approx_cost.power_mw;
   m.delta_time_ns = precise_time_ns_ - approx_cost.time_ns;
+  return m;
+}
+
+instrument::Measurement Evaluator::Evaluate(const Configuration& config) {
+  if (config.NumVariables() != shape_.num_variables)
+    throw std::invalid_argument("Evaluator::Evaluate: variable count mismatch");
+  if (config.AdderIndex() >= shape_.num_adders ||
+      config.MultiplierIndex() >= shape_.num_multipliers)
+    throw std::invalid_argument("Evaluator::Evaluate: operator index range");
+
+  // Private cache first: repeat visits along this exploration's own path
+  // never touch the shared shards (keeps contention to genuinely new work).
+  if (const auto cached = cache_.Lookup(config); cached.has_value())
+    return *cached;
+
+  instrument::Measurement m;
+  if (shared_cache_) {
+    bool computed = false;
+    m = shared_cache_->FetchOrCompute(
+        config, [&] { return Measure(config); }, &computed);
+    if (!computed) ++shared_hits_;
+  } else {
+    m = Measure(config);
+  }
 
   cache_.Insert(config, m);
   return m;

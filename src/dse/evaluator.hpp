@@ -4,24 +4,36 @@
 // Δpower, Δtime from the per-op characterization), memoized per
 // configuration.
 
+#include <memory>
 #include <vector>
 
 #include "dse/configuration.hpp"
 #include "energy/energy_model.hpp"
 #include "instrument/evaluation_cache.hpp"
 #include "instrument/measurement.hpp"
+#include "instrument/shared_evaluation_cache.hpp"
 #include "workloads/kernel.hpp"
 
 namespace axdse::dse {
 
 /// Evaluates configurations for one kernel. Owns the context, the energy
-/// model, the golden (precise) run, and the evaluation cache.
-/// Not thread-safe; use one Evaluator per exploration.
+/// model, the golden (precise) run, and a private evaluation cache; an
+/// external SharedEvaluationCache can be layered behind the private one so
+/// concurrent evaluators of the same kernel identity reuse each other's
+/// kernel runs. Not thread-safe; use one Evaluator per exploration (the
+/// shared cache itself is fully thread-safe).
 class Evaluator {
  public:
   /// Runs the precise version once to capture golden outputs, op counts,
   /// and precise power/time. The kernel must outlive the evaluator.
-  explicit Evaluator(const workloads::Kernel& kernel);
+  /// `shared_cache`, when non-null, is consulted on private-cache misses
+  /// and must be dedicated to this kernel identity (same name, size, seed,
+  /// and extras — the Engine guarantees this); sharing a cache between
+  /// different kernels would serve measurements of the wrong workload.
+  explicit Evaluator(
+      const workloads::Kernel& kernel,
+      std::shared_ptr<instrument::SharedEvaluationCache> shared_cache =
+          nullptr);
 
   /// Measures `config` (cache-backed). Throws std::invalid_argument if the
   /// configuration shape does not match the kernel.
@@ -46,13 +58,35 @@ class Evaluator {
     return precise_outputs_;
   }
 
-  /// Number of actual kernel executions (distinct configurations).
+  /// Number of actual kernel executions by THIS evaluator. Without a shared
+  /// cache this equals DistinctEvaluations(); with one it is lower (shared
+  /// hits replace executions) and depends on scheduling.
   std::size_t KernelRuns() const noexcept { return kernel_runs_; }
 
-  /// Number of cache hits across Evaluate() calls.
+  /// Number of private-cache hits across Evaluate() calls (deterministic —
+  /// repeat visits along this evaluator's own exploration path).
   std::size_t CacheHits() const noexcept { return cache_.Hits(); }
 
+  /// Evaluations answered by the shared cache (0 without one).
+  std::size_t SharedHits() const noexcept { return shared_hits_; }
+
+  /// Distinct configurations this evaluator evaluated — the kernel runs a
+  /// private-cache evaluator would have executed. Identical across cache
+  /// modes and worker counts; KernelRuns() + SharedHits().
+  std::size_t DistinctEvaluations() const noexcept {
+    return kernel_runs_ + shared_hits_;
+  }
+
+  /// The external cache handle (null when running privately).
+  const instrument::SharedEvaluationCache* SharedCache() const noexcept {
+    return shared_cache_.get();
+  }
+
  private:
+  /// Runs the kernel under `config` and builds the measurement (the
+  /// cache-miss path; increments kernel_runs_).
+  instrument::Measurement Measure(const Configuration& config);
+
   const workloads::Kernel* kernel_;
   energy::EnergyModel energy_;
   instrument::ApproxContext context_;
@@ -62,7 +96,9 @@ class Evaluator {
   double precise_power_mw_ = 0.0;
   double precise_time_ns_ = 0.0;
   instrument::EvaluationCache cache_;
+  std::shared_ptr<instrument::SharedEvaluationCache> shared_cache_;
   std::size_t kernel_runs_ = 0;
+  std::size_t shared_hits_ = 0;
 };
 
 }  // namespace axdse::dse

@@ -134,8 +134,10 @@ ExplorationResult Explorer::Explore() {
   result.solution_adder = ops.adders[result.solution.AdderIndex()].type_code;
   result.solution_multiplier =
       ops.multipliers[result.solution.MultiplierIndex()].type_code;
-  result.kernel_runs = evaluator_->KernelRuns();
+  result.kernel_runs = evaluator_->DistinctEvaluations();
   result.cache_hits = evaluator_->CacheHits();
+  result.kernel_runs_executed = evaluator_->KernelRuns();
+  result.shared_cache_hits = evaluator_->SharedHits();
   return result;
 }
 

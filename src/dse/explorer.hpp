@@ -110,9 +110,18 @@ struct ExplorationResult {
   rl::StopReason stop_reason = rl::StopReason::kStepLimit;
   double cumulative_reward = 0.0;
 
-  /// Distinct configurations actually executed / cache hits.
+  /// Distinct configurations this run evaluated / private-cache hits along
+  /// its path. Both are deterministic: identical across cache modes and
+  /// worker counts (in private-cache mode kernel_runs is exactly the number
+  /// of kernel executions).
   std::size_t kernel_runs = 0;
   std::size_t cache_hits = 0;
+  /// Kernel executions actually performed by this run. Equals kernel_runs
+  /// in private-cache mode; with a shared cache it is lower and depends on
+  /// scheduling (only per-cache-group totals are deterministic).
+  std::size_t kernel_runs_executed = 0;
+  /// Evaluations answered by the shared cache (0 in private-cache mode).
+  std::size_t shared_cache_hits = 0;
 
   /// Episodes actually run.
   std::size_t episodes = 1;

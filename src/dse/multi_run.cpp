@@ -51,6 +51,9 @@ MultiRunResult ExploreKernelMultiSeed(const workloads::Kernel& kernel,
   request.seed = base.seed;
   request.num_seeds = num_seeds;
   request.thresholds = factors;
+  // Seeds of one kernel walk overlapping neighborhoods; share their
+  // evaluation cache (results are identical, kernel runs drop sharply).
+  request.cache_mode = CacheMode::kShared;
 
   RequestResult result = Engine().RunOne(request);
 
@@ -63,6 +66,9 @@ MultiRunResult ExploreKernelMultiSeed(const workloads::Kernel& kernel,
   aggregate.adder_votes = std::move(result.adder_votes);
   aggregate.multiplier_votes = std::move(result.multiplier_votes);
   aggregate.feasible_fraction = result.feasible_fraction;
+  aggregate.distinct_evaluations = result.cache.distinct_evaluations;
+  aggregate.kernel_runs_executed = result.cache.executed_runs;
+  aggregate.kernel_runs_saved = result.cache.saved_runs;
   return aggregate;
 }
 

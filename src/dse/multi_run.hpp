@@ -38,6 +38,13 @@ struct MultiRunResult {
   /// Fraction of runs whose solution respected the accuracy threshold.
   double feasible_fraction = 0.0;
 
+  /// Cache economics of the batch: distinct configurations evaluated across
+  /// the seeds versus kernel executions actually performed (the shim runs
+  /// the seeds with a shared evaluation cache, so executed <= distinct).
+  std::size_t distinct_evaluations = 0;
+  std::size_t kernel_runs_executed = 0;
+  std::size_t kernel_runs_saved = 0;
+
   /// Most-voted operator type codes (ties: lexicographically smallest).
   std::string ModalAdder() const;
   std::string ModalMultiplier() const;

@@ -105,6 +105,23 @@ void RequireInRange(const char* name, double value, double lo, double hi) {
 
 }  // namespace
 
+const char* ToString(CacheMode mode) noexcept {
+  switch (mode) {
+    case CacheMode::kPrivate:
+      return "private";
+    case CacheMode::kShared:
+      return "shared";
+  }
+  return "unknown";
+}
+
+CacheMode CacheModeFromName(const std::string& name) {
+  for (const CacheMode mode : {CacheMode::kPrivate, CacheMode::kShared})
+    if (name == ToString(mode)) return mode;
+  throw std::invalid_argument("CacheModeFromName: unknown cache mode '" +
+                              name + "' (known: private, shared)");
+}
+
 const char* ToString(ActionSpaceKind kind) noexcept {
   switch (kind) {
     case ActionSpaceKind::kFull:
@@ -209,6 +226,8 @@ std::string ExplorationRequest::ToString() const {
   out << " seed=" << seed;
   out << " rollout=" << greedy_rollout_steps;
   out << " trace=" << (record_trace ? 1 : 0);
+  out << " cache=" << dse::ToString(cache_mode);
+  out << " cache-capacity=" << cache_capacity;
   out << " alpha=" << ShortestDouble(alpha);
   out << " gamma=" << ShortestDouble(gamma);
   out << " initial-q=" << ShortestDouble(initial_q);
@@ -277,6 +296,11 @@ ExplorationRequest ExplorationRequest::Parse(const std::string& text) {
           static_cast<std::size_t>(ParseUnsigned(key, value));
     } else if (key == "trace") {
       request.record_trace = ParseBool(key, value);
+    } else if (key == "cache") {
+      request.cache_mode = CacheModeFromName(value);
+    } else if (key == "cache-capacity") {
+      request.cache_capacity =
+          static_cast<std::size_t>(ParseUnsigned(key, value));
     } else if (key == "alpha") {
       request.alpha = ParseDouble(key, value);
     } else if (key == "gamma") {
@@ -429,6 +453,21 @@ RequestBuilder& RequestBuilder::GreedyRollout(std::size_t steps) {
 
 RequestBuilder& RequestBuilder::RecordTrace(bool record) {
   request_.record_trace = record;
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::Cache(CacheMode mode) {
+  request_.cache_mode = mode;
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::SharedCache(bool shared) {
+  request_.cache_mode = shared ? CacheMode::kShared : CacheMode::kPrivate;
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::CacheCapacity(std::size_t capacity) {
+  request_.cache_capacity = capacity;
   return *this;
 }
 

@@ -19,6 +19,27 @@
 
 namespace axdse::dse {
 
+/// How a request's jobs use the evaluation cache.
+///
+/// kPrivate — every (request, seed) job owns its memo table; jobs never see
+/// each other's kernel runs (the historical behavior).
+/// kShared — all jobs in the batch with the same kernel identity (name,
+/// size, kernel seed, extras — or the same kernel_override instance) share
+/// one SharedEvaluationCache, so a configuration any job has measured is
+/// never executed again by the others. Solutions, traces, and rewards are
+/// byte-identical to private mode for any worker count; only the number of
+/// kernel executions changes.
+enum class CacheMode {
+  kPrivate,
+  kShared,
+};
+
+/// Human-readable cache-mode name ("private" / "shared").
+const char* ToString(CacheMode mode) noexcept;
+
+/// Inverse of ToString(CacheMode). Throws std::invalid_argument.
+CacheMode CacheModeFromName(const std::string& name);
+
 /// Human-readable action-space name ("full" / "compact").
 const char* ToString(ActionSpaceKind kind) noexcept;
 
@@ -51,6 +72,14 @@ struct ExplorationRequest {
   std::size_t greedy_rollout_steps = 0;
   /// Keep per-step traces (costs memory; off by default for batches).
   bool record_trace = false;
+  /// Evaluation-cache mode (see CacheMode). Shared mode changes only cost,
+  /// never results.
+  CacheMode cache_mode = CacheMode::kPrivate;
+  /// Entry bound for the shared cache (0 = unbounded). A bounded cache
+  /// rejects new entries once full (no eviction), trading extra kernel runs
+  /// for a memory ceiling; results are still identical. When several
+  /// requests share one cache, the first request's bound wins.
+  std::size_t cache_capacity = 0;
 
   // --- Agent hyper-parameters ---------------------------------------------
   double alpha = 0.1;
@@ -139,6 +168,9 @@ class RequestBuilder {
   RequestBuilder& Seed(std::uint64_t seed);
   RequestBuilder& GreedyRollout(std::size_t steps);
   RequestBuilder& RecordTrace(bool record = true);
+  RequestBuilder& Cache(CacheMode mode);
+  RequestBuilder& SharedCache(bool shared = true);
+  RequestBuilder& CacheCapacity(std::size_t capacity);
 
   RequestBuilder& Alpha(double alpha);
   RequestBuilder& Gamma(double gamma);

@@ -93,6 +93,15 @@ void WriteRun(std::ostream& out, const dse::ExplorationResult& run,
       << ",\"cache_hits\":" << run.cache_hits << "}";
 }
 
+void WriteCacheUsage(std::ostream& out, const dse::CacheUsage& cache) {
+  out << "{\"mode\":\"" << dse::ToString(cache.mode)
+      << "\",\"distinct_evaluations\":" << cache.distinct_evaluations
+      << ",\"executed_runs\":" << cache.executed_runs
+      << ",\"saved_runs\":" << cache.saved_runs
+      << ",\"local_hits\":" << cache.local_hits
+      << ",\"shared_hits\":" << cache.shared_hits << "}";
+}
+
 }  // namespace
 
 void WriteBatchCsv(std::ostream& out, const dse::BatchResult& batch) {
@@ -101,7 +110,8 @@ void WriteBatchCsv(std::ostream& out, const dse::BatchResult& batch) {
                 "cumulative_reward", "episodes", "delta_power_mw",
                 "delta_time_ns", "delta_acc", "adder", "multiplier",
                 "vars_selected", "num_vars", "feasible", "kernel_runs",
-                "cache_hits"});
+                "cache_hits", "cache_mode", "request_executed_runs",
+                "request_saved_runs"});
   for (std::size_t r = 0; r < batch.results.size(); ++r) {
     const dse::RequestResult& result = batch.results[r];
     for (std::size_t s = 0; s < result.runs.size(); ++s) {
@@ -121,14 +131,34 @@ void WriteBatchCsv(std::ostream& out, const dse::BatchResult& batch) {
                     std::to_string(run.solution.NumVariables()),
                     m.delta_acc <= result.reward.acc_threshold ? "1" : "0",
                     std::to_string(run.kernel_runs),
-                    std::to_string(run.cache_hits)});
+                    std::to_string(run.cache_hits),
+                    dse::ToString(result.cache.mode),
+                    std::to_string(result.cache.executed_runs),
+                    std::to_string(result.cache.saved_runs)});
     }
   }
 }
 
 void WriteBatchJson(std::ostream& out, const dse::BatchResult& batch) {
   out << "{\"total_runs\":" << batch.TotalRuns()
-      << ",\"total_steps\":" << batch.TotalSteps() << ",\"requests\":[";
+      << ",\"total_steps\":" << batch.TotalSteps()
+      << ",\"total_distinct_evaluations\":"
+      << batch.TotalDistinctEvaluations()
+      << ",\"total_executed_runs\":" << batch.TotalExecutedRuns()
+      << ",\"total_saved_runs\":" << batch.TotalSavedRuns()
+      << ",\"shared_caches\":[";
+  for (std::size_t c = 0; c < batch.shared_caches.size(); ++c) {
+    const dse::SharedCacheReport& report = batch.shared_caches[c];
+    if (c > 0) out << ",";
+    out << "{\"signature\":\"" << JsonEscape(report.signature)
+        << "\",\"jobs\":" << report.jobs
+        << ",\"hits\":" << report.stats.hits
+        << ",\"misses\":" << report.stats.misses
+        << ",\"inserts\":" << report.stats.inserts
+        << ",\"rejected\":" << report.stats.rejected
+        << ",\"size\":" << report.stats.size << "}";
+  }
+  out << "],\"requests\":[";
   for (std::size_t r = 0; r < batch.results.size(); ++r) {
     const dse::RequestResult& result = batch.results[r];
     if (r > 0) out << ",";
@@ -150,6 +180,8 @@ void WriteBatchJson(std::ostream& out, const dse::BatchResult& batch) {
     WriteSummary(out, result.solution_delta_acc);
     out << ",\"steps\":";
     WriteSummary(out, result.steps);
+    out << ",\"cache\":";
+    WriteCacheUsage(out, result.cache);
     out << ",\"adder_votes\":";
     WriteVotes(out, result.adder_votes);
     out << ",\"multiplier_votes\":";

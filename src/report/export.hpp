@@ -16,12 +16,18 @@ namespace axdse::report {
 /// Writes one CSV row per seed-run, prefixed by a header row. Columns:
 /// request, label, kernel, seed, steps, stop, cumulative_reward, episodes,
 /// delta_power_mw, delta_time_ns, delta_acc, adder, multiplier,
-/// vars_selected, num_vars, feasible, kernel_runs, cache_hits.
+/// vars_selected, num_vars, feasible, kernel_runs, cache_hits, cache_mode,
+/// request_executed_runs, request_saved_runs. The per-run kernel_runs /
+/// cache_hits columns are the deterministic logical view (identical across
+/// cache modes); the request_* columns aggregate the request's actual cache
+/// economics and repeat on each of its rows.
 void WriteBatchCsv(std::ostream& out, const dse::BatchResult& batch);
 
-/// Writes the batch as a JSON document: an array of request objects, each
-/// with the serialized request string, resolved kernel name, thresholds,
-/// per-metric summaries, operator votes, and the per-seed run array.
+/// Writes the batch as a JSON document: batch totals (including
+/// total_executed_runs / total_saved_runs and per-group shared_caches
+/// stats), then an array of request objects, each with the serialized
+/// request string, resolved kernel name, thresholds, per-metric summaries,
+/// a "cache" usage object, operator votes, and the per-seed run array.
 void WriteBatchJson(std::ostream& out, const dse::BatchResult& batch);
 
 /// Convenience string forms of the writers above.

@@ -30,4 +30,11 @@ dse::BatchResult Session::ExploreBatch(
   return engine_.Run(requests);
 }
 
+dse::BatchResult Session::ExploreBatchShared(
+    std::vector<dse::ExplorationRequest> requests) const {
+  for (dse::ExplorationRequest& request : requests)
+    request.cache_mode = dse::CacheMode::kShared;
+  return engine_.Run(requests);
+}
+
 }  // namespace axdse

@@ -41,6 +41,13 @@ class Session {
   dse::BatchResult ExploreBatch(
       const std::vector<dse::ExplorationRequest>& requests) const;
 
+  /// ExploreBatch with every request switched to CacheMode::kShared: jobs
+  /// with the same kernel identity reuse each other's kernel runs. Results
+  /// (solutions, traces, rewards) are byte-identical to ExploreBatch; only
+  /// the kernel-run cost drops (see BatchResult::TotalSavedRuns()).
+  dse::BatchResult ExploreBatchShared(
+      std::vector<dse::ExplorationRequest> requests) const;
+
   /// The underlying batch engine.
   const dse::Engine& Engine() const noexcept { return engine_; }
 

@@ -1,0 +1,170 @@
+// Engine determinism property test: for every kernel in the registry, the
+// BatchResult payload — solutions, traces, rewards — must be byte-identical
+// across {1, 2, 8} workers x {private, shared} evaluation-cache modes. This
+// is the contract the shared cache rests on: measurements are a pure
+// function of the configuration, so caching may only change cost, never
+// results. Additionally, the full JSON/CSV exports (which include the
+// aggregate cache statistics) must be byte-identical across worker counts
+// within each mode — the unbounded shared cache's compute-once path makes
+// even its statistics scheduling-independent.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dse/engine.hpp"
+#include "report/export.hpp"
+#include "util/number_format.hpp"
+#include "workloads/registry.hpp"
+
+namespace axdse::dse {
+namespace {
+
+/// Small-but-real parameters per built-in kernel, so six kernels x six
+/// (workers, mode) combos stay fast.
+std::size_t SmallSize(const std::string& kernel) {
+  static const std::map<std::string, std::size_t> sizes = {
+      {"matmul", 4}, {"fir", 24}, {"iir", 24},
+      {"conv2d", 6}, {"dct", 1},  {"dot", 16},
+  };
+  const auto it = sizes.find(kernel);
+  return it == sizes.end() ? 0 : it->second;  // 0 = kernel default
+}
+
+std::vector<ExplorationRequest> RegistryBatch(CacheMode mode) {
+  std::vector<ExplorationRequest> requests;
+  for (const std::string& name : workloads::KernelRegistry::Global().Names())
+    requests.push_back(RequestBuilder(name)
+                           .Size(SmallSize(name))
+                           .KernelSeed(7)
+                           .MaxSteps(120)
+                           .RewardCap(1e18)
+                           .Epsilon(1.0, 0.05, 90)
+                           .Seed(3)
+                           .Seeds(2)
+                           .RecordTrace()
+                           .Cache(mode)
+                           .Build());
+  return requests;
+}
+
+void WriteMeasurement(std::ostringstream& out,
+                      const instrument::Measurement& m) {
+  out << util::ShortestDouble(m.delta_acc) << ","
+      << util::ShortestDouble(m.delta_power_mw) << ","
+      << util::ShortestDouble(m.delta_time_ns) << ","
+      << util::ShortestDouble(m.approx_power_mw) << ","
+      << util::ShortestDouble(m.approx_time_ns);
+}
+
+/// Canonical serialization of everything the paper reports: solutions,
+/// rewards, and full traces. Deliberately excludes cache statistics and
+/// physical kernel-run counts, which legitimately differ between modes.
+std::string PayloadOf(const BatchResult& batch) {
+  std::ostringstream out;
+  for (const RequestResult& result : batch.results) {
+    out << result.kernel_name << "|"
+        << util::ShortestDouble(result.reward.acc_threshold) << "\n";
+    for (const ExplorationResult& run : result.runs) {
+      out << "run steps=" << run.steps
+          << " stop=" << rl::ToString(run.stop_reason)
+          << " cum=" << util::ShortestDouble(run.cumulative_reward)
+          << " solution=" << run.solution.ToString() << " ops="
+          << run.solution_adder << "/" << run.solution_multiplier
+          << " distinct=" << run.kernel_runs
+          << " local_hits=" << run.cache_hits << " m=";
+      WriteMeasurement(out, run.solution_measurement);
+      out << " best=" << (run.has_best_feasible
+                              ? run.best_feasible.ToString()
+                              : std::string("none"))
+          << "\nrewards";
+      for (const double r : run.rewards) out << " " << util::ShortestDouble(r);
+      out << "\n";
+      for (const StepRecord& record : run.trace) {
+        out << record.step << "," << record.action << ","
+            << util::ShortestDouble(record.reward) << ","
+            << util::ShortestDouble(record.cumulative_reward) << ","
+            << record.config.ToString() << ",";
+        WriteMeasurement(out, record.measurement);
+        out << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+TEST(EngineDeterminism, PayloadIdenticalAcrossWorkersAndCacheModes) {
+  const std::size_t worker_counts[] = {1, 2, 8};
+
+  std::string reference_payload;
+  for (const CacheMode mode : {CacheMode::kPrivate, CacheMode::kShared}) {
+    const std::vector<ExplorationRequest> requests = RegistryBatch(mode);
+    std::string reference_json;
+    std::string reference_csv;
+    for (const std::size_t workers : worker_counts) {
+      const BatchResult batch = Engine(EngineOptions{workers}).Run(requests);
+      const std::string payload = PayloadOf(batch);
+      ASSERT_FALSE(payload.empty());
+
+      // Solutions, traces, rewards: identical across EVERYTHING.
+      if (reference_payload.empty())
+        reference_payload = payload;
+      else
+        EXPECT_EQ(payload, reference_payload)
+            << "mode=" << dse::ToString(mode) << " workers=" << workers;
+
+      // Full exports (cache stats included): identical within a mode for
+      // any worker count.
+      const std::string json = report::BatchJson(batch);
+      const std::string csv = report::BatchCsv(batch);
+      if (reference_json.empty()) {
+        reference_json = json;
+        reference_csv = csv;
+      } else {
+        EXPECT_EQ(json, reference_json)
+            << "mode=" << dse::ToString(mode) << " workers=" << workers;
+        EXPECT_EQ(csv, reference_csv)
+            << "mode=" << dse::ToString(mode) << " workers=" << workers;
+      }
+    }
+  }
+}
+
+TEST(EngineDeterminism, SharedModeSavesRunsOnOverlappingSeeds) {
+  // The economics side of the contract: with several seeds of one small
+  // kernel, the shared cache must answer part of the work (matmul's compact
+  // space guarantees cross-seed overlap) while payloads stay identical.
+  const auto build = [](CacheMode mode) {
+    return RequestBuilder("matmul")
+        .Size(4)
+        .KernelSeed(7)
+        .MaxSteps(150)
+        .RewardCap(1e18)
+        .Epsilon(1.0, 0.05, 100)
+        .Seed(5)
+        .Seeds(4)
+        .Cache(mode)
+        .Build();
+  };
+  const BatchResult priv =
+      Engine(EngineOptions{4}).Run({build(CacheMode::kPrivate)});
+  const BatchResult shared =
+      Engine(EngineOptions{4}).Run({build(CacheMode::kShared)});
+
+  EXPECT_EQ(PayloadOf(priv), PayloadOf(shared));
+  EXPECT_EQ(priv.TotalSavedRuns(), 0u);
+  EXPECT_EQ(priv.TotalExecutedRuns(), priv.TotalDistinctEvaluations());
+  EXPECT_LT(shared.TotalExecutedRuns(), shared.TotalDistinctEvaluations());
+  EXPECT_GT(shared.TotalSavedRuns(), 0u);
+  EXPECT_EQ(shared.TotalDistinctEvaluations(),
+            priv.TotalDistinctEvaluations());
+  ASSERT_EQ(shared.shared_caches.size(), 1u);
+  EXPECT_EQ(shared.shared_caches.front().jobs, 4u);
+  EXPECT_EQ(shared.shared_caches.front().stats.rejected, 0u);
+}
+
+}  // namespace
+}  // namespace axdse::dse

@@ -13,6 +13,12 @@
 namespace axdse::dse {
 namespace {
 
+BatchResult SingleResultBatch(const RequestResult& result) {
+  BatchResult batch;
+  batch.results.push_back(result);
+  return batch;
+}
+
 ExplorationRequest FastRequest(std::uint64_t seed, std::size_t num_seeds = 1,
                                std::size_t size = 64) {
   return RequestBuilder("dot")
@@ -107,8 +113,8 @@ TEST(Engine, KernelOverrideSharesOneInstanceAcrossSeeds) {
   // Same kernel data as registry construction with the same parameters.
   const RequestResult from_registry =
       Engine(EngineOptions{3}).RunOne(FastRequest(1, 3));
-  EXPECT_EQ(report::BatchJson(BatchResult{{result}}),
-            report::BatchJson(BatchResult{{from_registry}}));
+  EXPECT_EQ(report::BatchJson(SingleResultBatch(result)),
+            report::BatchJson(SingleResultBatch(from_registry)));
 }
 
 TEST(Engine, InvalidRequestsThrowBeforeAnyWork) {
@@ -142,8 +148,8 @@ TEST(Session, ExploreAndBatchGoThroughTheEngine) {
       session.ExploreBatch({FastRequest(3), FastRequest(4)});
   EXPECT_EQ(batch.results.size(), 2u);
   // Session::Explore is the same computation as Engine::RunOne.
-  EXPECT_EQ(report::BatchJson(BatchResult{{one}}),
-            report::BatchJson(BatchResult{{batch.results[0]}}));
+  EXPECT_EQ(report::BatchJson(SingleResultBatch(one)),
+            report::BatchJson(SingleResultBatch(batch.results[0])));
 }
 
 TEST(BatchExport, CsvHasHeaderAndOneRowPerRun) {

@@ -1,0 +1,106 @@
+// Golden-trace regression test: the first 25 StepRecords of a fixed, seeded
+// matmul exploration are pinned to a checked-in fixture. Evaluator / cache /
+// engine refactors are free to change HOW configurations are measured, but
+// any change to WHAT the paper pipeline observes (actions taken, rewards
+// granted, measurements returned) must show up here as an explicit fixture
+// update, never as a silent drift of the reproduced results.
+//
+// To regenerate after an intentional behavior change:
+//   AXDSE_UPDATE_GOLDEN=1 ./build/tests/dse_golden_trace_test
+// then review the fixture diff like any other code change.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "dse/engine.hpp"
+#include "util/number_format.hpp"
+
+namespace axdse::dse {
+namespace {
+
+constexpr std::size_t kPinnedSteps = 25;
+
+const char* FixturePath() {
+  return AXDSE_SOURCE_DIR "/tests/golden/matmul_trace_seed1.txt";
+}
+
+/// The pinned exploration: matmul 5x5, paper hyper-parameters scaled down,
+/// everything seeded. Any field change here invalidates the fixture.
+ExplorationRequest PinnedRequest(CacheMode mode) {
+  return RequestBuilder("matmul")
+      .Size(5)
+      .KernelSeed(2023)
+      .MaxSteps(60)
+      .RewardCap(1e18)
+      .Alpha(0.15)
+      .Gamma(0.95)
+      .Epsilon(1.0, 0.05, 45)
+      .Seed(1)
+      .RecordTrace()
+      .Cache(mode)
+      .Build();
+}
+
+std::string RenderTrace(const ExplorationResult& run) {
+  std::ostringstream out;
+  out << "# first " << kPinnedSteps << " steps of: matmul size=5 "
+      << "kernel-seed=2023 steps=60 alpha=0.15 gamma=0.95 "
+      << "eps=1..0.05/45 seed=1\n";
+  out << "# step action reward cumulative config delta_acc delta_power_mw "
+      << "delta_time_ns\n";
+  const std::size_t steps =
+      run.trace.size() < kPinnedSteps ? run.trace.size() : kPinnedSteps;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const StepRecord& record = run.trace[i];
+    out << record.step << " " << record.action << " "
+        << util::ShortestDouble(record.reward) << " "
+        << util::ShortestDouble(record.cumulative_reward) << " "
+        << record.config.ToString() << " "
+        << util::ShortestDouble(record.measurement.delta_acc) << " "
+        << util::ShortestDouble(record.measurement.delta_power_mw) << " "
+        << util::ShortestDouble(record.measurement.delta_time_ns) << "\n";
+  }
+  return out.str();
+}
+
+std::string RunPinnedExploration(CacheMode mode) {
+  const RequestResult result = Engine(EngineOptions{1}).RunOne(
+      PinnedRequest(mode));
+  const ExplorationResult& run = result.runs.front();
+  EXPECT_GE(run.trace.size(), kPinnedSteps);
+  return RenderTrace(run);
+}
+
+TEST(GoldenTrace, First25MatmulStepsMatchCheckedInFixture) {
+  const std::string actual = RunPinnedExploration(CacheMode::kPrivate);
+
+  if (std::getenv("AXDSE_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(FixturePath(), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << FixturePath();
+    out << actual;
+    GTEST_SKIP() << "fixture regenerated at " << FixturePath();
+  }
+
+  std::ifstream in(FixturePath(), std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing fixture " << FixturePath()
+      << " — regenerate with AXDSE_UPDATE_GOLDEN=1 " << std::flush;
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "paper trace drifted; if intentional, regenerate the fixture with "
+         "AXDSE_UPDATE_GOLDEN=1 and review the diff";
+}
+
+TEST(GoldenTrace, SharedCacheReproducesTheGoldenTraceExactly) {
+  // The cache-mode contract applied to the pinned fixture itself.
+  EXPECT_EQ(RunPinnedExploration(CacheMode::kShared),
+            RunPinnedExploration(CacheMode::kPrivate));
+}
+
+}  // namespace
+}  // namespace axdse::dse

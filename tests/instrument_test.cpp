@@ -217,6 +217,91 @@ TEST(EvaluationCache, OverwriteReplaces) {
   EXPECT_EQ(cache.Size(), 1u);
 }
 
+TEST(EvaluationCache, HashEqualityMatchesKeyEqualityOnNearMisses) {
+  // A base key and every one-move neighbor: equal keys must hash equal
+  // (required), and each near-miss must be distinguishable both by
+  // operator== and — for this concrete FNV-1a hash — by hash value.
+  ApproxSelection base(70);  // spans two mask words
+  base.SetAdderIndex(2);
+  base.SetMultiplierIndex(3);
+  base.SetVariable(5, true);
+  base.SetVariable(64, true);
+
+  const ApproxSelection copy = base;
+  EXPECT_EQ(copy, base);
+  EXPECT_EQ(ApproxSelection::Hash{}(copy), ApproxSelection::Hash{}(base));
+
+  std::vector<ApproxSelection> near_misses;
+  ApproxSelection other = base;
+  other.SetAdderIndex(3);
+  near_misses.push_back(other);
+  other = base;
+  other.SetMultiplierIndex(2);
+  near_misses.push_back(other);
+  for (const std::size_t bit : {std::size_t{0}, std::size_t{5},
+                                std::size_t{63}, std::size_t{64},
+                                std::size_t{69}}) {
+    other = base;
+    other.ToggleVariable(bit);
+    near_misses.push_back(other);
+  }
+  for (const ApproxSelection& miss : near_misses) {
+    EXPECT_NE(miss, base) << miss.ToString();
+    EXPECT_NE(ApproxSelection::Hash{}(miss), ApproxSelection::Hash{}(base))
+        << miss.ToString();
+  }
+  // All-zero masks with different variable counts: distinct keys even
+  // though no selected bit distinguishes them.
+  const ApproxSelection narrower(64);
+  const ApproxSelection wider(65);
+  EXPECT_FALSE(narrower == wider);
+  EXPECT_NE(ApproxSelection::Hash{}(narrower), ApproxSelection::Hash{}(wider));
+}
+
+TEST(EvaluationCache, NearMissKeysNeverAliasUnderCollisions) {
+  // Collision behavior: hammer one unordered_map with hundreds of near-miss
+  // selections (every single-toggle neighborhood of a few bases). Whatever
+  // buckets or hash collisions occur internally, lookups must return
+  // exactly the value stored for the equal key.
+  EvaluationCache cache;
+  std::vector<ApproxSelection> keys;
+  for (std::uint32_t adder = 0; adder < 3; ++adder)
+    for (std::uint32_t mul = 0; mul < 3; ++mul)
+      for (std::size_t bit = 0; bit < 70; ++bit) {
+        ApproxSelection key(70);
+        key.SetAdderIndex(adder);
+        key.SetMultiplierIndex(mul);
+        key.SetVariable(bit, true);
+        keys.push_back(key);
+      }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    Measurement m;
+    m.delta_acc = static_cast<double>(i);
+    cache.Insert(keys[i], m);
+  }
+  EXPECT_EQ(cache.Size(), keys.size());  // 630 distinct near-miss keys
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto found = cache.Lookup(keys[i]);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_DOUBLE_EQ(found->delta_acc, static_cast<double>(i));
+  }
+  EXPECT_EQ(cache.Hits(), keys.size());
+  EXPECT_EQ(cache.Misses(), 0u);
+}
+
+TEST(EvaluationCache, StatsCountEveryLookupExactlyOnce) {
+  EvaluationCache cache;
+  ApproxSelection present(8);
+  ApproxSelection absent(8);
+  absent.SetVariable(1, true);
+  cache.Insert(present, Measurement{});
+  for (int i = 0; i < 5; ++i) cache.Lookup(present);
+  for (int i = 0; i < 3; ++i) cache.Lookup(absent);
+  EXPECT_EQ(cache.Hits(), 5u);
+  EXPECT_EQ(cache.Misses(), 3u);
+  EXPECT_EQ(cache.Size(), 1u);  // misses never insert
+}
+
 TEST(EvaluationCache, ClearDropsEverything) {
   EvaluationCache cache;
   ApproxSelection key(1);
