@@ -21,7 +21,16 @@
 //        --cache=private|shared (default private; shared reuses kernel runs
 //        across the seeds of each benchmark — identical results, fewer
 //        kernel executions, reported below the table),
-//        --json=PATH / --csv=PATH (machine-readable batch exports).
+//        --json=PATH / --csv=PATH (machine-readable batch exports),
+//        --checkpoint=DIR (suspend/resume: per-job snapshots live in DIR;
+//        rerunning with the same flags resumes instead of restarting, with
+//        byte-identical results — and byte-identical exports when suspended
+//        via --checkpoint-budget; after a hard kill, shared-cache run
+//        statistics may count re-executed work),
+//        --checkpoint-interval=N (autosave every N steps, default 1000),
+//        --checkpoint-budget=N (take at most N new steps per job this
+//        invocation, then suspend — cooperative preemption for short
+//        scheduler slots; rerun to continue).
 
 #include <cstdio>
 #include <fstream>
@@ -101,7 +110,32 @@ int main(int argc, char** argv) {
               requests.size() *
                   static_cast<std::size_t>(args.GetInt("seeds", 1)),
               requests.size(), session.Engine().NumWorkers());
-  const dse::BatchResult batch = session.ExploreBatch(requests);
+
+  dse::CheckpointOptions checkpoint;
+  if (args.Has("checkpoint")) {
+    checkpoint.directory = args.GetString("checkpoint", "checkpoints");
+    checkpoint.interval = static_cast<std::size_t>(
+        args.GetInt("checkpoint-interval", 1000));
+    checkpoint.step_budget = static_cast<std::size_t>(
+        args.GetInt("checkpoint-budget", 0));
+    std::printf(
+        "Checkpointing to %s (autosave every %zu steps%s); an interrupted "
+        "run resumes from there.\n",
+        checkpoint.directory.c_str(), checkpoint.interval,
+        checkpoint.step_budget > 0 ? ", budget-limited" : "");
+  }
+  const dse::BatchResult batch =
+      checkpoint.directory.empty()
+          ? session.ExploreBatch(requests)
+          : session.ExploreBatch(requests, checkpoint);
+
+  if (!batch.Complete()) {
+    std::printf(
+        "Suspended %zu job(s) after the step budget; snapshots saved under "
+        "%s.\nRe-run the same command (without --checkpoint-budget, or with "
+        "a larger one) to continue.\nPartial results so far:\n\n",
+        batch.unfinished_jobs, checkpoint.directory.c_str());
+  }
 
   std::vector<report::Table3Column> columns;
   for (const dse::RequestResult& result : batch.results)

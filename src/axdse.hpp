@@ -11,12 +11,14 @@
 //   workloads::KernelRegistry  — kernels by name ("matmul", "fir", ...)
 //   dse::ExplorationRequest    — one serializable run description
 //   dse::Engine                — batch execution on a worker pool
+//   dse::Checkpoint            — suspend/resume snapshots (byte-identical)
 //   dse::Explorer / Evaluator  — the single-run core from the paper
 //   report::*                  — Tables I-III / Figures 2-4 / JSON / CSV
 
 #include "axc/catalog.hpp"
 #include "axc/characterization.hpp"
 #include "dse/baselines.hpp"
+#include "dse/checkpoint.hpp"
 #include "dse/engine.hpp"
 #include "dse/explorer.hpp"
 #include "dse/multi_run.hpp"

@@ -1,0 +1,782 @@
+#include "dse/checkpoint.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "rl/state_io.hpp"
+
+#include "util/number_format.hpp"
+
+namespace axdse::dse {
+
+namespace {
+
+using util::ParseDoubleToken;
+using util::ParseUnsignedToken;
+using util::ShortestDouble;
+
+// --------------------------------------------------------------------------
+// Token escaping: free-text fields (request serializations, operator type
+// codes) are stored as single tokens. Only the characters that would break
+// tokenization are encoded; the empty string maps to the sentinel "-".
+// --------------------------------------------------------------------------
+
+std::string EncodeToken(const std::string& text) {
+  if (text.empty()) return "-";
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '%':
+        out += "%25";
+        break;
+      case ' ':
+        out += "%20";
+        break;
+      case '\t':
+        out += "%09";
+        break;
+      case '\n':
+        out += "%0a";
+        break;
+      case '\r':
+        out += "%0d";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  if (out == "-") return "%2d";
+  return out;
+}
+
+std::string DecodeToken(const std::string& token) {
+  if (token == "-") return "";
+  std::string out;
+  out.reserve(token.size());
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    if (token[i] == '%' && i + 2 < token.size()) {
+      const std::string hex = token.substr(i + 1, 2);
+      char* end = nullptr;
+      const long code = std::strtol(hex.c_str(), &end, 16);
+      if (end == hex.c_str() + 2) {
+        out.push_back(static_cast<char>(code));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(token[i]);
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Strict line reader with positional diagnostics. Every structural
+// violation — truncation, a reordered or renamed field, a wrong token
+// count — surfaces as CheckpointError naming the offending line.
+// --------------------------------------------------------------------------
+
+class LineReader {
+ public:
+  explicit LineReader(const std::string& text) : in_(text) {}
+
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw CheckpointError("checkpoint line " + std::to_string(line_) + ": " +
+                          message);
+  }
+
+  /// Next line split into tokens; the first token must equal `tag`.
+  std::vector<std::string> Expect(const char* tag) {
+    std::vector<std::string> tokens = NextLineTokens(tag);
+    if (tokens.empty() || tokens.front() != tag)
+      Fail(std::string("expected '") + tag + "' field, found '" +
+           (tokens.empty() ? std::string("<empty>") : tokens.front()) + "'");
+    tokens.erase(tokens.begin());
+    return tokens;
+  }
+
+  /// Like Expect() but also checks the remaining token count.
+  std::vector<std::string> Expect(const char* tag, std::size_t count) {
+    std::vector<std::string> tokens = Expect(tag);
+    if (tokens.size() != count)
+      Fail(std::string("field '") + tag + "' expects " +
+           std::to_string(count) + " values, found " +
+           std::to_string(tokens.size()));
+    return tokens;
+  }
+
+  /// Next raw line (for the embedded agent block).
+  std::string RawLine() {
+    std::string line;
+    if (!std::getline(in_, line)) Fail("truncated: unexpected end of input");
+    ++line_;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    return line;
+  }
+
+  /// Consumes the trailing "end" marker and requires EOF after it.
+  void ExpectEnd() {
+    Expect("end", 0);
+    std::string extra;
+    if (std::getline(in_, extra)) {
+      ++line_;
+      Fail("trailing content after 'end'");
+    }
+  }
+
+  std::size_t LineNumber() const noexcept { return line_; }
+
+ private:
+  std::vector<std::string> NextLineTokens(const char* tag) {
+    std::string line;
+    if (!std::getline(in_, line)) {
+      throw CheckpointError("checkpoint truncated at line " +
+                            std::to_string(line_ + 1) + ": expected '" +
+                            tag + "' field, found end of input");
+    }
+    ++line_;
+    // Same splitter as the embedded agent blocks (rl/state_io): the framing
+    // and the agent-state parser must never disagree on tokenization.
+    return rl::state_io::SplitTokens(line);
+  }
+
+  std::istringstream in_;
+  std::size_t line_ = 0;
+};
+
+/// Sequential consumer over one line's value tokens. Owns the tokens so
+/// call sites may pass the Expect() result directly.
+class TokenCursor {
+ public:
+  TokenCursor(std::vector<std::string> tokens, LineReader& reader)
+      : tokens_(std::move(tokens)), reader_(&reader) {}
+
+  const std::string& Next(const char* what) {
+    if (pos_ >= tokens_.size())
+      reader_->Fail(std::string("missing value for ") + what);
+    return tokens_[pos_++];
+  }
+
+  std::uint64_t U64(const char* what) {
+    return ParseUnsignedToken(Next(what), what);
+  }
+
+  std::size_t Size(const char* what) {
+    return static_cast<std::size_t>(U64(what));
+  }
+
+  double Finite(const char* what) { return ParseDoubleToken(Next(what), what); }
+
+  /// NaN still rejected; infinities pass (the ObjectiveRange sentinels are
+  /// legitimately infinite, never NaN — Update() drops NaN observations).
+  double NonNan(const char* what) {
+    return ParseDoubleToken(Next(what), what, /*allow_nonfinite=*/true);
+  }
+
+  /// Any double, NaN included — ONLY for raw measurement fields, which a
+  /// kernel with undefined outputs can legitimately produce (and the
+  /// writer then emits): the reader must accept exactly what the writer
+  /// wrote or a validly saved checkpoint becomes unloadable.
+  double Any(const char* what) {
+    const std::string& token = Next(what);
+    if (token == "nan" || token == "-nan")
+      return std::numeric_limits<double>::quiet_NaN();
+    return ParseDoubleToken(token, what, /*allow_nonfinite=*/true);
+  }
+
+  bool Flag(const char* what) {
+    const std::uint64_t value = U64(what);
+    if (value > 1) reader_->Fail(std::string(what) + " must be 0 or 1");
+    return value == 1;
+  }
+
+  void Done(const char* where) {
+    if (pos_ != tokens_.size())
+      reader_->Fail(std::string("trailing values after ") + where);
+  }
+
+  std::size_t Remaining() const noexcept { return tokens_.size() - pos_; }
+
+ private:
+  std::vector<std::string> tokens_;
+  LineReader* reader_;
+  std::size_t pos_ = 0;
+};
+
+// --------------------------------------------------------------------------
+// Configuration and Measurement token layouts.
+// --------------------------------------------------------------------------
+
+void WriteConfig(std::ostream& out, const Configuration& config) {
+  out << config.AdderIndex() << " " << config.MultiplierIndex() << " "
+      << config.NumVariables();
+  for (const std::uint64_t word : config.MaskWords()) out << " " << word;
+}
+
+Configuration ReadConfig(TokenCursor& cursor, LineReader& reader) {
+  const std::uint64_t adder = cursor.U64("config adder index");
+  const std::uint64_t multiplier = cursor.U64("config multiplier index");
+  // Operator indices are stored as 32-bit values; a wider token is
+  // corruption and must fail loudly, not truncate to a different (and
+  // possibly in-range) configuration.
+  if (adder > std::numeric_limits<std::uint32_t>::max() ||
+      multiplier > std::numeric_limits<std::uint32_t>::max())
+    reader.Fail("config operator index exceeds 32 bits");
+  const std::size_t num_variables = cursor.Size("config variable count");
+  Configuration config(num_variables);
+  config.SetAdderIndex(static_cast<std::uint32_t>(adder));
+  config.SetMultiplierIndex(static_cast<std::uint32_t>(multiplier));
+  const std::size_t num_words = config.MaskWords().size();
+  for (std::size_t w = 0; w < num_words; ++w) {
+    const std::uint64_t word = cursor.U64("config mask word");
+    for (std::size_t b = 0; b < 64; ++b) {
+      if ((word >> b) & 1ULL) {
+        const std::size_t variable = w * 64 + b;
+        if (variable >= num_variables)
+          reader.Fail("config mask sets a bit beyond the variable count");
+        config.SetVariable(variable, true);
+      }
+    }
+  }
+  return config;
+}
+
+void WriteMeasurement(std::ostream& out, const instrument::Measurement& m) {
+  out << ShortestDouble(m.delta_acc) << " " << ShortestDouble(m.delta_power_mw)
+      << " " << ShortestDouble(m.delta_time_ns) << " "
+      << ShortestDouble(m.precise_power_mw) << " "
+      << ShortestDouble(m.precise_time_ns) << " "
+      << ShortestDouble(m.approx_power_mw) << " "
+      << ShortestDouble(m.approx_time_ns) << " " << m.counts.precise_adds
+      << " " << m.counts.approx_adds << " " << m.counts.precise_muls << " "
+      << m.counts.approx_muls;
+}
+
+instrument::Measurement ReadMeasurement(TokenCursor& cursor) {
+  instrument::Measurement m;
+  m.delta_acc = cursor.Any("measurement delta_acc");
+  m.delta_power_mw = cursor.Any("measurement delta_power_mw");
+  m.delta_time_ns = cursor.Any("measurement delta_time_ns");
+  m.precise_power_mw = cursor.Any("measurement precise_power_mw");
+  m.precise_time_ns = cursor.Any("measurement precise_time_ns");
+  m.approx_power_mw = cursor.Any("measurement approx_power_mw");
+  m.approx_time_ns = cursor.Any("measurement approx_time_ns");
+  m.counts.precise_adds = cursor.U64("measurement precise_adds");
+  m.counts.approx_adds = cursor.U64("measurement approx_adds");
+  m.counts.precise_muls = cursor.U64("measurement precise_muls");
+  m.counts.approx_muls = cursor.U64("measurement approx_muls");
+  return m;
+}
+
+void WriteRange(std::ostream& out, const char* tag,
+                const ObjectiveRange& range) {
+  out << tag << " " << ShortestDouble(range.min) << " "
+      << ShortestDouble(range.max) << "\n";
+}
+
+ObjectiveRange ReadRange(LineReader& reader, const char* tag) {
+  const std::vector<std::string> tokens = reader.Expect(tag, 2);
+  TokenCursor cursor(tokens, reader);
+  ObjectiveRange range;
+  range.min = cursor.NonNan("objective range min");
+  range.max = cursor.NonNan("objective range max");
+  return range;
+}
+
+/// Deterministic order for memo/cache entries: by (adder, multiplier, mask).
+bool ConfigLess(const Configuration& a, const Configuration& b) {
+  if (a.AdderIndex() != b.AdderIndex()) return a.AdderIndex() < b.AdderIndex();
+  if (a.MultiplierIndex() != b.MultiplierIndex())
+    return a.MultiplierIndex() < b.MultiplierIndex();
+  if (a.NumVariables() != b.NumVariables())
+    return a.NumVariables() < b.NumVariables();
+  return a.MaskWords() < b.MaskWords();
+}
+
+void SortEntries(
+    std::vector<std::pair<Configuration, instrument::Measurement>>& entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              return ConfigLess(a.first, b.first);
+            });
+}
+
+void WriteEntries(
+    std::ostream& out,
+    std::vector<std::pair<Configuration, instrument::Measurement>> entries) {
+  SortEntries(entries);
+  for (const auto& [config, measurement] : entries) {
+    out << "e ";
+    WriteConfig(out, config);
+    out << " ";
+    WriteMeasurement(out, measurement);
+    out << "\n";
+  }
+}
+
+std::vector<std::pair<Configuration, instrument::Measurement>> ReadEntries(
+    LineReader& reader, std::size_t count) {
+  std::vector<std::pair<Configuration, instrument::Measurement>> entries;
+  entries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::vector<std::string> tokens = reader.Expect("e");
+    TokenCursor cursor(tokens, reader);
+    Configuration config = ReadConfig(cursor, reader);
+    instrument::Measurement measurement = ReadMeasurement(cursor);
+    cursor.Done("cache entry");
+    entries.emplace_back(std::move(config), measurement);
+  }
+  return entries;
+}
+
+// --------------------------------------------------------------------------
+// File IO: atomic write (temp + rename), whole-file read.
+// --------------------------------------------------------------------------
+
+void AtomicWrite(const std::string& path, const std::string& content,
+                 const char* what) {
+  namespace fs = std::filesystem;
+  // Unique temp name per write: concurrent saves of the same target (e.g.
+  // duplicate (request, seed) jobs in one batch) must not clobber each
+  // other's temp file — each rename then atomically installs a complete
+  // snapshot and the last writer wins.
+  static std::atomic<std::uint64_t> counter{0};
+  try {
+    const fs::path target(path);
+    if (target.has_parent_path()) fs::create_directories(target.parent_path());
+    const fs::path temp(path + ".tmp" +
+                        std::to_string(counter.fetch_add(1)));
+    try {
+      {
+        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+        if (!out.good())
+          throw CheckpointError(std::string(what) + ": cannot write " +
+                                temp.string());
+        out << content;
+        out.flush();
+        if (!out.good())
+          throw CheckpointError(std::string(what) + ": write failed for " +
+                                temp.string());
+      }
+      fs::rename(temp, target);
+    } catch (...) {
+      // Never leave a partial temp file behind (e.g. disk full mid-write);
+      // the completion cleanup only knows the real snapshot names.
+      std::error_code ec;
+      fs::remove(temp, ec);
+      throw;
+    }
+  } catch (const fs::filesystem_error& error) {
+    throw CheckpointError(std::string(what) + ": " + error.what());
+  }
+}
+
+std::string ReadFileOrThrow(const std::string& path, const char* what) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good())
+    throw CheckpointError(std::string(what) + ": cannot read " + path);
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// Checkpoint
+// --------------------------------------------------------------------------
+
+std::string Checkpoint::Serialize() const {
+  std::ostringstream out;
+  out << "axdse-checkpoint v" << kFormatVersion << "\n";
+  out << "request " << EncodeToken(request) << "\n";
+  out << "seed " << seed << "\n";
+  out << "agent-kind " << EncodeToken(agent_kind) << "\n";
+  out << "finished " << (finished ? 1 : 0) << "\n";
+  out << "progress " << episode << " " << episode_steps << " " << state
+      << "\n";
+  out << "progress-reward " << ShortestDouble(episode_cumulative) << " "
+      << ShortestDouble(trace_cumulative) << "\n";
+  out << "env-round-robin " << env.round_robin_variable << "\n";
+  out << "env-config ";
+  WriteConfig(out, env.config);
+  out << "\n";
+  out << "env-measurement ";
+  WriteMeasurement(out, env.measurement);
+  out << "\n";
+  out << "interned " << env.interned.size() << "\n";
+  for (const Configuration& config : env.interned) {
+    out << "i ";
+    WriteConfig(out, config);
+    out << "\n";
+  }
+  // The agent block is embedded verbatim, framed by its line count so the
+  // outer parser never has to understand agent internals.
+  std::size_t agent_lines = 0;
+  for (const char c : agent_state)
+    if (c == '\n') ++agent_lines;
+  if (!agent_state.empty() && agent_state.back() != '\n') ++agent_lines;
+  out << "agent-lines " << agent_lines << "\n";
+  out << agent_state;
+  if (!agent_state.empty() && agent_state.back() != '\n') out << "\n";
+  out << "result-steps " << result.steps << "\n";
+  out << "result-stop " << rl::ToString(result.stop_reason) << "\n";
+  out << "result-reward " << ShortestDouble(result.cumulative_reward) << "\n";
+  out << "result-episodes " << result.episodes << "\n";
+  out << "result-counters " << result.kernel_runs << " " << result.cache_hits
+      << " " << result.kernel_runs_executed << " " << result.shared_cache_hits
+      << "\n";
+  WriteRange(out, "range-power", result.delta_power);
+  WriteRange(out, "range-time", result.delta_time);
+  WriteRange(out, "range-acc", result.delta_acc);
+  out << "solution ";
+  WriteConfig(out, result.solution);
+  out << "\n";
+  out << "solution-measurement ";
+  WriteMeasurement(out, result.solution_measurement);
+  out << "\n";
+  out << "solution-operators " << EncodeToken(result.solution_adder) << " "
+      << EncodeToken(result.solution_multiplier) << "\n";
+  out << "best-feasible " << (result.has_best_feasible ? 1 : 0);
+  if (result.has_best_feasible) {
+    out << " ";
+    WriteConfig(out, result.best_feasible);
+  }
+  out << "\n";
+  out << "best-measurement ";
+  WriteMeasurement(out, result.best_feasible_measurement);
+  out << "\n";
+  out << "rewards " << result.rewards.size();
+  for (const double reward : result.rewards)
+    out << " " << ShortestDouble(reward);
+  out << "\n";
+  out << "trace " << result.trace.size() << "\n";
+  for (const StepRecord& record : result.trace) {
+    out << "t " << record.step << " " << record.action << " "
+        << ShortestDouble(record.reward) << " "
+        << ShortestDouble(record.cumulative_reward) << " ";
+    WriteConfig(out, record.config);
+    out << " ";
+    WriteMeasurement(out, record.measurement);
+    out << "\n";
+  }
+  out << "memo " << evaluator.entries.size() << " " << evaluator.kernel_runs
+      << " " << evaluator.cache_hits << " " << evaluator.cache_misses << " "
+      << evaluator.shared_hits << "\n";
+  WriteEntries(out, evaluator.entries);
+  out << "end\n";
+  return out.str();
+}
+
+Checkpoint Checkpoint::Deserialize(const std::string& text) {
+  LineReader reader(text);
+  Checkpoint checkpoint;
+  try {
+    {
+      const std::vector<std::string> tokens =
+          reader.Expect("axdse-checkpoint", 1);
+      const std::string expected = "v" + std::to_string(kFormatVersion);
+      if (tokens[0] != expected)
+        reader.Fail("format version mismatch: found '" + tokens[0] +
+                    "', this build reads '" + expected + "'");
+    }
+    checkpoint.request = DecodeToken(reader.Expect("request", 1)[0]);
+    {
+      TokenCursor cursor(reader.Expect("seed", 1), reader);
+      checkpoint.seed = cursor.U64("seed");
+    }
+    checkpoint.agent_kind = DecodeToken(reader.Expect("agent-kind", 1)[0]);
+    {
+      TokenCursor cursor(reader.Expect("finished", 1), reader);
+      checkpoint.finished = cursor.Flag("finished flag");
+    }
+    {
+      const std::vector<std::string> tokens = reader.Expect("progress", 3);
+      TokenCursor cursor(tokens, reader);
+      checkpoint.episode = cursor.Size("progress episode");
+      checkpoint.episode_steps = cursor.Size("progress episode steps");
+      checkpoint.state = cursor.U64("progress state id");
+    }
+    {
+      const std::vector<std::string> tokens =
+          reader.Expect("progress-reward", 2);
+      TokenCursor cursor(tokens, reader);
+      checkpoint.episode_cumulative = cursor.Finite("episode cumulative");
+      checkpoint.trace_cumulative = cursor.Finite("trace cumulative");
+    }
+    {
+      TokenCursor cursor(reader.Expect("env-round-robin", 1), reader);
+      checkpoint.env.round_robin_variable = cursor.Size("round-robin");
+    }
+    {
+      const std::vector<std::string> tokens = reader.Expect("env-config");
+      TokenCursor cursor(tokens, reader);
+      checkpoint.env.config = ReadConfig(cursor, reader);
+      cursor.Done("env-config");
+    }
+    {
+      const std::vector<std::string> tokens =
+          reader.Expect("env-measurement", 11);
+      TokenCursor cursor(tokens, reader);
+      checkpoint.env.measurement = ReadMeasurement(cursor);
+    }
+    {
+      TokenCursor count_cursor(reader.Expect("interned", 1), reader);
+      const std::size_t count = count_cursor.Size("interned count");
+      checkpoint.env.interned.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::vector<std::string> tokens = reader.Expect("i");
+        TokenCursor cursor(tokens, reader);
+        checkpoint.env.interned.push_back(ReadConfig(cursor, reader));
+        cursor.Done("interned configuration");
+      }
+    }
+    {
+      TokenCursor cursor(reader.Expect("agent-lines", 1), reader);
+      const std::size_t lines = cursor.Size("agent line count");
+      std::ostringstream agent;
+      for (std::size_t l = 0; l < lines; ++l) agent << reader.RawLine() << "\n";
+      checkpoint.agent_state = agent.str();
+    }
+    ExplorationResult& result = checkpoint.result;
+    {
+      TokenCursor cursor(reader.Expect("result-steps", 1), reader);
+      result.steps = cursor.Size("result steps");
+    }
+    result.stop_reason =
+        rl::StopReasonFromName(reader.Expect("result-stop", 1)[0]);
+    {
+      TokenCursor cursor(reader.Expect("result-reward", 1), reader);
+      result.cumulative_reward = cursor.Finite("result cumulative reward");
+    }
+    {
+      TokenCursor cursor(reader.Expect("result-episodes", 1), reader);
+      result.episodes = cursor.Size("result episodes");
+    }
+    {
+      const std::vector<std::string> tokens =
+          reader.Expect("result-counters", 4);
+      TokenCursor cursor(tokens, reader);
+      result.kernel_runs = cursor.Size("result kernel runs");
+      result.cache_hits = cursor.Size("result cache hits");
+      result.kernel_runs_executed = cursor.Size("result executed runs");
+      result.shared_cache_hits = cursor.Size("result shared hits");
+    }
+    result.delta_power = ReadRange(reader, "range-power");
+    result.delta_time = ReadRange(reader, "range-time");
+    result.delta_acc = ReadRange(reader, "range-acc");
+    {
+      const std::vector<std::string> tokens = reader.Expect("solution");
+      TokenCursor cursor(tokens, reader);
+      result.solution = ReadConfig(cursor, reader);
+      cursor.Done("solution");
+    }
+    {
+      const std::vector<std::string> tokens =
+          reader.Expect("solution-measurement", 11);
+      TokenCursor cursor(tokens, reader);
+      result.solution_measurement = ReadMeasurement(cursor);
+    }
+    {
+      const std::vector<std::string> tokens =
+          reader.Expect("solution-operators", 2);
+      result.solution_adder = DecodeToken(tokens[0]);
+      result.solution_multiplier = DecodeToken(tokens[1]);
+    }
+    {
+      const std::vector<std::string> tokens = reader.Expect("best-feasible");
+      TokenCursor cursor(tokens, reader);
+      result.has_best_feasible = cursor.Flag("best-feasible flag");
+      if (result.has_best_feasible)
+        result.best_feasible = ReadConfig(cursor, reader);
+      cursor.Done("best-feasible");
+    }
+    {
+      const std::vector<std::string> tokens =
+          reader.Expect("best-measurement", 11);
+      TokenCursor cursor(tokens, reader);
+      result.best_feasible_measurement = ReadMeasurement(cursor);
+    }
+    {
+      const std::vector<std::string> tokens = reader.Expect("rewards");
+      TokenCursor cursor(tokens, reader);
+      const std::size_t count = cursor.Size("reward count");
+      if (tokens.size() != count + 1)
+        reader.Fail("rewards list length does not match its count");
+      result.rewards.reserve(count);
+      for (std::size_t i = 0; i < count; ++i)
+        result.rewards.push_back(cursor.Finite("reward value"));
+    }
+    {
+      TokenCursor count_cursor(reader.Expect("trace", 1), reader);
+      const std::size_t count = count_cursor.Size("trace count");
+      result.trace.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::vector<std::string> tokens = reader.Expect("t");
+        TokenCursor cursor(tokens, reader);
+        StepRecord record;
+        record.step = cursor.Size("trace step");
+        record.action = cursor.Size("trace action");
+        record.reward = cursor.Finite("trace reward");
+        record.cumulative_reward = cursor.Finite("trace cumulative");
+        record.config = ReadConfig(cursor, reader);
+        record.measurement = ReadMeasurement(cursor);
+        cursor.Done("trace record");
+        result.trace.push_back(std::move(record));
+      }
+    }
+    {
+      const std::vector<std::string> tokens = reader.Expect("memo", 5);
+      TokenCursor cursor(tokens, reader);
+      const std::size_t count = cursor.Size("memo entry count");
+      checkpoint.evaluator.kernel_runs = cursor.Size("memo kernel runs");
+      checkpoint.evaluator.cache_hits = cursor.Size("memo cache hits");
+      checkpoint.evaluator.cache_misses = cursor.Size("memo cache misses");
+      checkpoint.evaluator.shared_hits = cursor.Size("memo shared hits");
+      checkpoint.evaluator.entries = ReadEntries(reader, count);
+    }
+    reader.ExpectEnd();
+  } catch (const CheckpointError&) {
+    throw;
+  } catch (const std::exception& error) {
+    // Value-level parse failures (NaN injection, non-numeric tokens) arrive
+    // as std::invalid_argument from the strict token parsers.
+    reader.Fail(error.what());
+  }
+
+  // Internal consistency (structural corruption that parses token-by-token).
+  if (checkpoint.result.rewards.size() != checkpoint.result.steps)
+    throw CheckpointError(
+        "checkpoint inconsistent: rewards count does not match step count");
+  if (!checkpoint.result.trace.empty() &&
+      checkpoint.result.trace.size() != checkpoint.result.steps)
+    throw CheckpointError(
+        "checkpoint inconsistent: trace length does not match step count");
+  if (!checkpoint.finished) {
+    if (checkpoint.env.interned.empty())
+      throw CheckpointError(
+          "checkpoint inconsistent: mid-run snapshot has no interned states");
+    if (checkpoint.state >= checkpoint.env.interned.size())
+      throw CheckpointError(
+          "checkpoint inconsistent: current state id is not interned");
+    if (checkpoint.agent_state.empty())
+      throw CheckpointError(
+          "checkpoint inconsistent: mid-run snapshot has no agent state");
+  }
+  return checkpoint;
+}
+
+void Checkpoint::Save(const std::string& path) const {
+  AtomicWrite(path, Serialize(), "Checkpoint::Save");
+}
+
+Checkpoint Checkpoint::Load(const std::string& path) {
+  return Deserialize(ReadFileOrThrow(path, "Checkpoint::Load"));
+}
+
+// --------------------------------------------------------------------------
+// SharedCacheCheckpoint
+// --------------------------------------------------------------------------
+
+std::string SharedCacheCheckpoint::Serialize() const {
+  std::ostringstream out;
+  out << "axdse-cache v" << kFormatVersion << "\n";
+  out << "signature " << EncodeToken(signature) << "\n";
+  out << "stats " << stats.hits << " " << stats.misses << " " << stats.inserts
+      << " " << stats.rejected << " " << stats.size << "\n";
+  out << "entries " << entries.size() << "\n";
+  WriteEntries(out, entries);
+  out << "end\n";
+  return out.str();
+}
+
+SharedCacheCheckpoint SharedCacheCheckpoint::Deserialize(
+    const std::string& text) {
+  LineReader reader(text);
+  SharedCacheCheckpoint checkpoint;
+  try {
+    {
+      const std::vector<std::string> tokens = reader.Expect("axdse-cache", 1);
+      const std::string expected = "v" + std::to_string(kFormatVersion);
+      if (tokens[0] != expected)
+        reader.Fail("format version mismatch: found '" + tokens[0] +
+                    "', this build reads '" + expected + "'");
+    }
+    checkpoint.signature = DecodeToken(reader.Expect("signature", 1)[0]);
+    {
+      const std::vector<std::string> tokens = reader.Expect("stats", 5);
+      TokenCursor cursor(tokens, reader);
+      checkpoint.stats.hits = cursor.Size("cache stats hits");
+      checkpoint.stats.misses = cursor.Size("cache stats misses");
+      checkpoint.stats.inserts = cursor.Size("cache stats inserts");
+      checkpoint.stats.rejected = cursor.Size("cache stats rejected");
+      checkpoint.stats.size = cursor.Size("cache stats size");
+    }
+    {
+      TokenCursor cursor(reader.Expect("entries", 1), reader);
+      const std::size_t count = cursor.Size("cache entry count");
+      checkpoint.entries = ReadEntries(reader, count);
+    }
+    reader.ExpectEnd();
+  } catch (const CheckpointError&) {
+    throw;
+  } catch (const std::exception& error) {
+    reader.Fail(error.what());
+  }
+  if (checkpoint.stats.size != checkpoint.entries.size())
+    throw CheckpointError(
+        "cache checkpoint inconsistent: stored size does not match entries");
+  return checkpoint;
+}
+
+void SharedCacheCheckpoint::Save(const std::string& path) const {
+  AtomicWrite(path, Serialize(), "SharedCacheCheckpoint::Save");
+}
+
+SharedCacheCheckpoint SharedCacheCheckpoint::Load(const std::string& path) {
+  return SharedCacheCheckpoint::Deserialize(
+      ReadFileOrThrow(path, "SharedCacheCheckpoint::Load"));
+}
+
+// --------------------------------------------------------------------------
+// File naming
+// --------------------------------------------------------------------------
+
+std::uint64_t StableHash64(const std::string& text) noexcept {
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV offset basis
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;  // FNV prime
+  }
+  return hash;
+}
+
+namespace {
+std::string Hex16(std::uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+}  // namespace
+
+std::string JobCheckpointFileName(const std::string& request_text,
+                                  std::uint64_t seed) {
+  return "job-" +
+         Hex16(StableHash64(request_text + "#" + std::to_string(seed))) +
+         ".ckpt";
+}
+
+std::string CacheCheckpointFileName(const std::string& signature) {
+  return "cache-" + Hex16(StableHash64(signature)) + ".ckpt";
+}
+
+}  // namespace axdse::dse

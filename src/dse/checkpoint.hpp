@@ -1,0 +1,130 @@
+#pragma once
+// dse::Checkpoint — versioned, deterministic text serialization of the FULL
+// exploration state of one (request, seed) job: agent internals (Q-table
+// rows, DoubleQ's second table, Q(lambda) eligibility traces, SARSA's
+// pending on-policy update, the epsilon-schedule step counter, the
+// xoshiro256** RNG words), the environment (current configuration, interning
+// order, round-robin pointer, last measurement), the partial
+// ExplorationResult (trace, rewards, objective ranges, best-feasible), and
+// the evaluator's private memo plus every cost counter. The headline
+// invariant: a run suspended at ANY step k and resumed from its checkpoint
+// produces byte-identical solutions, traces, rewards, and JSON/CSV exports
+// to the uninterrupted run — for every agent kind, cache mode, and worker
+// count.
+//
+// Format: line-oriented text, strict field order, shortest-round-trip
+// doubles (util::ShortestDouble), version-tagged first line. Anything
+// unexpected — truncation, version or agent mismatch, reordered fields,
+// NaN-injected values — raises CheckpointError from the parser, BEFORE any
+// Explorer/Engine state is touched.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dse/environment.hpp"
+#include "dse/evaluator.hpp"
+#include "dse/explorer.hpp"
+#include "instrument/shared_evaluation_cache.hpp"
+
+namespace axdse::dse {
+
+/// Typed failure of checkpoint parsing, validation, or file IO. Thrown
+/// before any exploration state is mutated: a failed load leaves the
+/// Explorer/Engine exactly as it was.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One job's complete suspend/resume snapshot.
+struct Checkpoint {
+  /// Bumped on any incompatible format change; loading another version
+  /// throws CheckpointError (format drift is pinned by the golden fixture
+  /// under tests/golden/).
+  static constexpr unsigned kFormatVersion = 1;
+
+  // --- identity ------------------------------------------------------------
+  /// ExplorationRequest::ToString() of the run this snapshot belongs to
+  /// (empty for standalone Explorer use; the Engine always fills and
+  /// verifies it).
+  std::string request;
+  /// Absolute agent seed of the job (request seed + seed index).
+  std::uint64_t seed = 0;
+  /// ToString(AgentKind) of the suspended run; verified on resume.
+  std::string agent_kind;
+  /// True for a completed run persisted for batch resume: `result` is final
+  /// and the mid-run sections below are empty.
+  bool finished = false;
+
+  // --- mid-episode progress ------------------------------------------------
+  std::size_t episode = 0;         ///< episode index being executed
+  std::size_t episode_steps = 0;   ///< steps taken inside that episode
+  double episode_cumulative = 0.0; ///< reward accumulated inside it
+  double trace_cumulative = 0.0;   ///< cross-episode running reward (traces)
+  rl::StateId state = 0;           ///< the state the agent acts from next
+
+  // --- environment ---------------------------------------------------------
+  AxDseEnvironment::State env;
+
+  // --- agent ---------------------------------------------------------------
+  /// Opaque rl::Agent::SaveState() text block.
+  std::string agent_state;
+
+  // --- partial (or final) result -------------------------------------------
+  ExplorationResult result;
+
+  // --- evaluator -----------------------------------------------------------
+  Evaluator::CacheState evaluator;
+
+  /// Deterministic text serialization: identical state => identical bytes
+  /// (all unordered containers are sorted on the way out).
+  std::string Serialize() const;
+
+  /// Strict inverse of Serialize(). Throws CheckpointError (with a line
+  /// number) on truncated, version-mismatched, reordered, NaN-injected, or
+  /// otherwise malformed input.
+  static Checkpoint Deserialize(const std::string& text);
+
+  /// Atomically writes Serialize() to `path` (temp file + rename), creating
+  /// parent directories. Throws CheckpointError on IO failure.
+  void Save(const std::string& path) const;
+
+  /// Reads and Deserializes `path`. Throws CheckpointError if the file is
+  /// missing, unreadable, or malformed.
+  static Checkpoint Load(const std::string& path);
+};
+
+/// Persisted state of one shared evaluation cache group, saved alongside the
+/// job snapshots of a suspended batch so resumed cache statistics stay
+/// byte-identical to the uninterrupted run's.
+struct SharedCacheCheckpoint {
+  static constexpr unsigned kFormatVersion = 1;
+
+  /// The Engine's cache-group signature (see SharedCacheReport::signature).
+  std::string signature;
+  std::vector<std::pair<Configuration, instrument::Measurement>> entries;
+  instrument::CacheStats stats;
+
+  std::string Serialize() const;
+  static SharedCacheCheckpoint Deserialize(const std::string& text);
+  void Save(const std::string& path) const;
+  static SharedCacheCheckpoint Load(const std::string& path);
+};
+
+/// Stable (process- and platform-independent) FNV-1a 64-bit hash, used to
+/// derive checkpoint file names from request serializations.
+std::uint64_t StableHash64(const std::string& text) noexcept;
+
+/// Snapshot file name of one job inside a checkpoint directory:
+/// "job-<16 hex digits>.ckpt" over (request serialization, absolute seed).
+std::string JobCheckpointFileName(const std::string& request_text,
+                                  std::uint64_t seed);
+
+/// Snapshot file name of one shared-cache group:
+/// "cache-<16 hex digits>.ckpt" over the group signature.
+std::string CacheCheckpointFileName(const std::string& signature);
+
+}  // namespace axdse::dse

@@ -20,6 +20,13 @@ SpaceShape ShapeOf(const axc::OperatorSet& operators,
   return shape;
 }
 
+bool FitsShape(const SpaceShape& shape,
+               const Configuration& config) noexcept {
+  return config.NumVariables() == shape.num_variables &&
+         config.AdderIndex() < shape.num_adders &&
+         config.MultiplierIndex() < shape.num_multipliers;
+}
+
 Configuration InitialConfiguration(const SpaceShape& shape) {
   return Configuration(shape.num_variables);
 }

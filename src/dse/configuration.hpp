@@ -30,6 +30,12 @@ struct SpaceShape {
 SpaceShape ShapeOf(const axc::OperatorSet& operators,
                    std::size_t num_variables) noexcept;
 
+/// True when `config` is a point of the space `shape` describes (matching
+/// variable count, operator indices in range). The single validity
+/// predicate shared by the evaluator, the environment, and the checkpoint
+/// resume path.
+bool FitsShape(const SpaceShape& shape, const Configuration& config) noexcept;
+
 /// The all-precise starting configuration (exact operators, no variables).
 Configuration InitialConfiguration(const SpaceShape& shape);
 

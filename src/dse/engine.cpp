@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <filesystem>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <thread>
 #include <utility>
 
+#include "dse/checkpoint.hpp"
 #include "dse/evaluator.hpp"
 
 namespace axdse::dse {
@@ -59,6 +62,8 @@ struct JobOutcome {
   RewardConfig reward;
   std::string kernel_name;
   std::exception_ptr error;
+  /// The job hit the checkpoint step budget and suspended mid-run.
+  bool suspended = false;
 };
 
 std::string ModalKey(const std::map<std::string, std::size_t>& votes) {
@@ -123,6 +128,30 @@ std::size_t Engine::NumWorkers() const noexcept {
 }
 
 BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests) const {
+  return Run(requests, CheckpointOptions{});
+}
+
+BatchResult Engine::SaveBatchCheckpoint(
+    const std::vector<ExplorationRequest>& requests,
+    const std::string& directory, std::size_t step_budget) const {
+  CheckpointOptions checkpoint;
+  checkpoint.directory = directory;
+  checkpoint.step_budget = step_budget;
+  return Run(requests, checkpoint);
+}
+
+BatchResult Engine::ResumeBatch(
+    const std::vector<ExplorationRequest>& requests,
+    const std::string& directory) const {
+  CheckpointOptions checkpoint;
+  checkpoint.directory = directory;
+  return Run(requests, checkpoint);
+}
+
+BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests,
+                        const CheckpointOptions& checkpoint) const {
+  namespace fs = std::filesystem;
+  const bool checkpointing = !checkpoint.directory.empty();
   for (const ExplorationRequest& request : requests) {
     request.Validate();
     // Fail fast on unresolvable names — a typo in one request of a large
@@ -135,7 +164,18 @@ BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests) const {
                                   request.kernel + "' (registered: " + known +
                                   ")");
     }
+    if (checkpointing && request.kernel_override)
+      throw std::invalid_argument(
+          "Engine::Run: checkpointing requires registry-named kernels "
+          "(kernel_override instances are not serializable)");
   }
+
+  // Job snapshots are keyed by request serialization + absolute seed; the
+  // serializations double as the identity stored inside each snapshot.
+  std::vector<std::string> request_texts(requests.size());
+  if (checkpointing)
+    for (std::size_t r = 0; r < requests.size(); ++r)
+      request_texts[r] = requests[r].ToString();
 
   // Group CacheMode::kShared requests by kernel identity: one
   // SharedEvaluationCache per distinct signature, handed to every job of the
@@ -171,6 +211,42 @@ BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests) const {
     request_cache[r] = slot;
   }
 
+  // Restore suspended shared-cache groups BEFORE any worker starts, so a
+  // resumed batch replays the uninterrupted run's cache behaviour (and its
+  // exported statistics) byte for byte. Snapshot identity is the kernel
+  // signature QUALIFIED BY THE WHOLE BATCH: a different batch over the same
+  // kernels sharing one directory must neither restore nor delete this
+  // batch's cache state.
+  std::map<std::string, std::string> cache_paths;       // signature -> path
+  std::map<std::string, std::string> cache_identities;  // signature -> id
+  if (checkpointing) {
+    std::string batch_key;
+    for (const std::string& text : request_texts) {
+      batch_key += text;
+      batch_key += '\n';
+    }
+    const std::string prefix =
+        "batch#" + std::to_string(StableHash64(batch_key)) + "|";
+    for (const auto& [signature, cache] : caches) {
+      const std::string identity = prefix + signature;
+      const std::string path = (fs::path(checkpoint.directory) /
+                                CacheCheckpointFileName(identity))
+                                   .string();
+      cache_paths[signature] = path;
+      cache_identities[signature] = identity;
+      std::error_code ec;
+      if (fs::exists(path, ec)) {
+        const SharedCacheCheckpoint snapshot =
+            SharedCacheCheckpoint::Load(path);
+        if (snapshot.signature != identity)
+          throw CheckpointError("Engine::Run: cache snapshot at " + path +
+                                " belongs to '" + snapshot.signature +
+                                "', expected '" + identity + "'");
+        cache->Restore(snapshot.entries, snapshot.stats);
+      }
+    }
+  }
+
   std::vector<Job> jobs;
   for (std::size_t r = 0; r < requests.size(); ++r)
     for (std::size_t s = 0; s < requests[r].num_seeds; ++s)
@@ -202,7 +278,86 @@ BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests) const {
         ExplorerConfig config = request.ToExplorerConfig();
         config.seed = request.seed + job.seed_index;
         Explorer explorer(*evaluator, reward, config);
-        out.result = explorer.Explore();
+
+        if (!checkpointing) {
+          out.result = explorer.Explore();
+        } else {
+          const std::string& request_text = request_texts[job.request_index];
+          const std::string path =
+              (fs::path(checkpoint.directory) /
+               JobCheckpointFileName(request_text, config.seed))
+                  .string();
+          const auto stamp = [&](Checkpoint& snapshot) {
+            snapshot.request = request_text;
+            snapshot.seed = config.seed;
+          };
+
+          // Resume: a mid-run snapshot restores the explorer; a finished
+          // one short-circuits the job entirely (its queries must not hit
+          // the shared cache a second time).
+          bool done = false;
+          std::error_code ec;
+          if (fs::exists(path, ec)) {
+            Checkpoint snapshot = Checkpoint::Load(path);
+            if (snapshot.request != request_text ||
+                snapshot.seed != config.seed)
+              throw CheckpointError(
+                  "Engine::Run: snapshot at " + path +
+                  " belongs to a different job (request/seed mismatch)");
+            if (snapshot.finished) {
+              out.result = std::move(snapshot.result);
+              done = true;
+            } else {
+              explorer.ResumeFrom(snapshot);
+            }
+          }
+
+          if (!done) {
+            const std::size_t interval = request.checkpoint_interval > 0
+                                             ? request.checkpoint_interval
+                                             : checkpoint.interval;
+            const std::size_t budget = checkpoint.step_budget;
+            std::size_t new_steps = 0;
+            bool suspended = false;
+            while (true) {
+              std::size_t chunk = std::numeric_limits<std::size_t>::max();
+              if (interval > 0) chunk = interval;
+              if (budget > 0) chunk = std::min(chunk, budget - new_steps);
+              new_steps += explorer.RunSteps(chunk);
+              if (explorer.Finished()) break;
+              if (budget > 0 && new_steps >= budget) {
+                suspended = true;
+                break;
+              }
+              if (interval > 0) {
+                Checkpoint snapshot = explorer.Suspend();
+                stamp(snapshot);
+                snapshot.Save(path);
+              }
+            }
+            if (suspended) {
+              Checkpoint snapshot = explorer.Suspend();
+              stamp(snapshot);
+              snapshot.Save(path);
+              out.result = explorer.PartialResult();
+              out.suspended = true;
+            } else {
+              out.result = explorer.Finish();
+              // Always persist the completion: any later invocation against
+              // this directory (after a budget suspension elsewhere, a
+              // failed sibling job, or a crash) must load this job's result
+              // instead of re-running it — a re-run against the persisted
+              // shared caches would distort the exported statistics. The
+              // file is removed with the rest once the batch completes.
+              Checkpoint final_snapshot;
+              final_snapshot.finished = true;
+              final_snapshot.agent_kind = dse::ToString(request.agent_kind);
+              stamp(final_snapshot);
+              final_snapshot.result = out.result;
+              final_snapshot.Save(path);
+            }
+          }
+        }
         out.reward = reward;
         out.kernel_name = kernel->Name();
       } catch (...) {
@@ -224,11 +379,49 @@ BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests) const {
 
   // First failure in job order — deterministic regardless of which worker
   // hit it first.
+  std::exception_ptr first_error;
   for (const JobOutcome& outcome : outcomes)
-    if (outcome.error) std::rethrow_exception(outcome.error);
+    if (outcome.error) {
+      first_error = outcome.error;
+      break;
+    }
+
+  std::size_t unfinished = 0;
+  for (const JobOutcome& outcome : outcomes)
+    if (outcome.suspended) ++unfinished;
+
+  if (checkpointing && (unfinished > 0 || first_error)) {
+    // Persist each shared-cache group next to the job snapshots — also on
+    // the error path, where other jobs may already have written advanced
+    // snapshots. All workers have joined, so the snapshot is quiescent;
+    // under budget suspension its contents (every configuration any job
+    // touched before suspending, computed exactly once) and counters are
+    // scheduling-independent.
+    for (const auto& [signature, cache] : caches) {
+      SharedCacheCheckpoint snapshot;
+      snapshot.signature = cache_identities.at(signature);
+      snapshot.entries = cache->Entries();
+      snapshot.stats = cache->Stats();
+      snapshot.Save(cache_paths.at(signature));
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  if (checkpointing && unfinished == 0) {
+    // Batch complete: nothing left to resume; drop this batch's files.
+    std::error_code ec;
+    for (std::size_t r = 0; r < requests.size(); ++r)
+      for (std::size_t s = 0; s < requests[r].num_seeds; ++s)
+        fs::remove(fs::path(checkpoint.directory) /
+                       JobCheckpointFileName(request_texts[r],
+                                             requests[r].seed + s),
+                   ec);
+    for (const auto& [signature, path] : cache_paths) fs::remove(path, ec);
+  }
 
   // Fold per-request aggregates serially, in request and seed order.
   BatchResult batch;
+  batch.unfinished_jobs = unfinished;
   batch.results.resize(requests.size());
   std::size_t outcome_index = 0;
   for (std::size_t r = 0; r < requests.size(); ++r) {

@@ -57,6 +57,29 @@ struct EngineOptions {
   std::size_t num_workers = 0;
 };
 
+/// Batch checkpoint/resume policy (see dse/checkpoint.hpp). Disabled unless
+/// `directory` is non-empty. With a directory set, every (request, seed)
+/// job keeps one snapshot file keyed by the request serialization plus its
+/// absolute seed, shared-cache groups persist alongside, and a rerun of the
+/// same batch against the same directory resumes instead of restarting —
+/// with byte-identical results, traces, rewards, and JSON/CSV exports to
+/// the uninterrupted run. Requires registry-named kernels
+/// (kernel_override is not serializable; Run() throws otherwise).
+struct CheckpointOptions {
+  /// Snapshot directory (created on demand). Empty = checkpointing off.
+  std::string directory;
+  /// Autosave period in environment steps (0 = save only at suspension or
+  /// completion). ExplorationRequest::checkpoint_interval overrides this
+  /// per request when non-zero.
+  std::size_t interval = 0;
+  /// Cooperative preemption: each job takes at most this many NEW steps in
+  /// this invocation, then suspends into `directory`. Suspended runs carry
+  /// stop reason "suspended" and are counted by BatchResult::unfinished_jobs;
+  /// rerunning the batch with the same directory continues them. 0 = run to
+  /// completion.
+  std::size_t step_budget = 0;
+};
+
 /// Outcome of one request: the per-seed ExplorationResults plus the
 /// multi-seed aggregation that used to live in MultiRunResult.
 struct RequestResult {
@@ -112,6 +135,14 @@ struct BatchResult {
   /// batch ran entirely with private caches).
   std::vector<SharedCacheReport> shared_caches;
 
+  /// Jobs suspended by CheckpointOptions::step_budget in this invocation
+  /// (their partial results carry stop reason "suspended"). 0 for a batch
+  /// that ran to completion.
+  std::size_t unfinished_jobs = 0;
+
+  /// True when every job finished (nothing left to resume).
+  bool Complete() const noexcept { return unfinished_jobs == 0; }
+
   /// Total explorations across all requests (sum of runs.size()).
   std::size_t TotalRuns() const noexcept;
   /// Total environment steps taken across all runs.
@@ -141,6 +172,31 @@ class Engine {
   /// first failing job's exception (in job order) is rethrown after all
   /// workers finish.
   BatchResult Run(const std::vector<ExplorationRequest>& requests) const;
+
+  /// Run() under a checkpoint policy: jobs resume from snapshots already in
+  /// `checkpoint.directory`, autosave every `interval` steps, suspend after
+  /// `step_budget` new steps, and the batch's snapshot files are removed
+  /// once every job completed. Throws CheckpointError on malformed or
+  /// mismatched snapshot files (before any result is produced) and
+  /// std::invalid_argument when checkpointing is combined with
+  /// kernel_override requests.
+  BatchResult Run(const std::vector<ExplorationRequest>& requests,
+                  const CheckpointOptions& checkpoint) const;
+
+  /// Convenience preemption entry: runs each job for at most `step_budget`
+  /// NEW steps, then suspends the batch into `directory` (per-job snapshots
+  /// plus shared-cache state). The returned BatchResult reports the partial
+  /// runs; finish them later with ResumeBatch().
+  BatchResult SaveBatchCheckpoint(
+      const std::vector<ExplorationRequest>& requests,
+      const std::string& directory, std::size_t step_budget) const;
+
+  /// Convenience resume entry: continues a batch previously suspended into
+  /// `directory` (jobs without a snapshot start from scratch) and runs it to
+  /// completion, after which the directory's snapshot files are removed.
+  /// The result is byte-identical to running the batch uninterrupted.
+  BatchResult ResumeBatch(const std::vector<ExplorationRequest>& requests,
+                          const std::string& directory) const;
 
   /// Convenience: single-request batch.
   RequestResult RunOne(const ExplorationRequest& request) const;

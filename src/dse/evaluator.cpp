@@ -64,12 +64,47 @@ instrument::Measurement Evaluator::Measure(const Configuration& config) {
   return m;
 }
 
+Evaluator::CacheState Evaluator::CaptureCacheState() const {
+  CacheState state;
+  state.entries.reserve(cache_.Entries().size());
+  for (const auto& [config, measurement] : cache_.Entries())
+    state.entries.emplace_back(config, measurement);
+  state.kernel_runs = kernel_runs_;
+  state.cache_hits = cache_.Hits();
+  state.cache_misses = cache_.Misses();
+  state.shared_hits = shared_hits_;
+  return state;
+}
+
+void Evaluator::PrewarmCache(
+    const std::vector<std::pair<Configuration, instrument::Measurement>>&
+        entries) {
+  // Validate everything first: a throw must leave the memo untouched.
+  for (const auto& [config, measurement] : entries) {
+    (void)measurement;
+    if (!FitsShape(shape_, config))
+      throw std::invalid_argument(
+          "Evaluator::PrewarmCache: entry does not match the kernel's "
+          "configuration space");
+  }
+  for (const auto& [config, measurement] : entries)
+    cache_.Insert(config, measurement);
+}
+
+void Evaluator::RestoreCounters(std::size_t kernel_runs,
+                                std::size_t cache_hits,
+                                std::size_t cache_misses,
+                                std::size_t shared_hits) {
+  kernel_runs_ = kernel_runs;
+  shared_hits_ = shared_hits;
+  cache_.RestoreStats(cache_hits, cache_misses);
+}
+
 instrument::Measurement Evaluator::Evaluate(const Configuration& config) {
-  if (config.NumVariables() != shape_.num_variables)
-    throw std::invalid_argument("Evaluator::Evaluate: variable count mismatch");
-  if (config.AdderIndex() >= shape_.num_adders ||
-      config.MultiplierIndex() >= shape_.num_multipliers)
-    throw std::invalid_argument("Evaluator::Evaluate: operator index range");
+  if (!FitsShape(shape_, config))
+    throw std::invalid_argument(
+        "Evaluator::Evaluate: configuration does not match the kernel's "
+        "space (variable count or operator index out of range)");
 
   // Private cache first: repeat visits along this exploration's own path
   // never touch the shared shards (keeps contention to genuinely new work).

@@ -5,6 +5,7 @@
 // configuration.
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "dse/configuration.hpp"
@@ -81,6 +82,33 @@ class Evaluator {
   const instrument::SharedEvaluationCache* SharedCache() const noexcept {
     return shared_cache_.get();
   }
+
+  /// Snapshot of the evaluator's mutable state (for dse::Checkpoint): the
+  /// private memo entries plus every counter a resumed run must reproduce.
+  struct CacheState {
+    std::vector<std::pair<Configuration, instrument::Measurement>> entries;
+    std::size_t kernel_runs = 0;
+    std::size_t cache_hits = 0;
+    std::size_t cache_misses = 0;
+    std::size_t shared_hits = 0;
+  };
+
+  /// Captures the current memo contents and counters. Entry order is
+  /// unspecified — the checkpoint serializer sorts.
+  CacheState CaptureCacheState() const;
+
+  /// Inserts memo entries without touching any counter (Insert() does not
+  /// count as a hit or miss). Called BEFORE the environment is rebuilt on
+  /// resume so its constructor evaluation is a private hit — it must never
+  /// reach the shared cache, whose statistics would drift.
+  void PrewarmCache(
+      const std::vector<std::pair<Configuration, instrument::Measurement>>&
+          entries);
+
+  /// Overwrites the counters with checkpointed values. Called LAST on
+  /// resume, after the rebuild evaluations above bumped them.
+  void RestoreCounters(std::size_t kernel_runs, std::size_t cache_hits,
+                       std::size_t cache_misses, std::size_t shared_hits);
 
  private:
   /// Runs the kernel under `config` and builds the measurement (the

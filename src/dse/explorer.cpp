@@ -1,9 +1,12 @@
 #include "dse/explorer.hpp"
 
 #include <cassert>
+#include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "dse/baselines.hpp"
+#include "dse/checkpoint.hpp"
 
 namespace axdse::dse {
 
@@ -44,6 +47,48 @@ const char* ToString(AgentKind kind) noexcept {
   return "unknown";
 }
 
+namespace {
+
+/// The historical best-feasible tracking: keep the feasible configuration
+/// with the highest normalized-savings objective.
+void ConsiderBest(const RewardConfig& reward, ExplorationResult& result,
+                  const Configuration& config,
+                  const instrument::Measurement& m) {
+  if (m.delta_acc > reward.acc_threshold) return;
+  const double objective = BaselineObjective(reward, m);
+  if (!result.has_best_feasible ||
+      objective > BaselineObjective(reward, result.best_feasible_measurement)) {
+    result.has_best_feasible = true;
+    result.best_feasible = config;
+    result.best_feasible_measurement = m;
+  }
+}
+
+}  // namespace
+
+/// Live exploration state. Mirrors exactly what the historical one-shot
+/// Explore() kept in locals, so the incremental loop and the checkpoint
+/// subsystem reproduce its behavior bit for bit.
+struct Explorer::Run {
+  AxDseEnvironment env;
+  std::unique_ptr<rl::Agent> agent;
+  ExplorationResult result;
+
+  rl::StateId state = 0;           ///< the state the agent acts from next
+  std::size_t episode = 0;         ///< episode being executed
+  std::size_t episode_steps = 0;   ///< steps taken inside it
+  double episode_cumulative = 0.0; ///< reward accumulated inside it
+  /// Running reward across ALL episodes — the trace's cumulative column.
+  /// Kept separate from result.cumulative_reward (updated per episode) to
+  /// preserve the historical floating-point summation order.
+  double trace_cumulative = 0.0;
+  bool finished = false;
+
+  Run(Evaluator& evaluator, const RewardConfig& reward,
+      ActionSpaceKind action_space)
+      : env(evaluator, reward, action_space) {}
+};
+
 Explorer::Explorer(Evaluator& evaluator, const RewardConfig& reward,
                    const ExplorerConfig& config)
     : evaluator_(&evaluator), reward_(reward), config_(config) {
@@ -51,85 +96,101 @@ Explorer::Explorer(Evaluator& evaluator, const RewardConfig& reward,
   reward_.Validate();
   if (config_.episodes == 0)
     throw std::invalid_argument("Explorer: episodes == 0");
+  if (config_.max_steps == 0)
+    throw std::invalid_argument("Explorer: max_steps == 0");
 }
 
-ExplorationResult Explorer::Explore() {
-  AxDseEnvironment env(*evaluator_, reward_, config_.action_space);
-  const std::unique_ptr<rl::Agent> agent = MakeAgent(
-      config_.agent_kind, env.NumActions(), config_.agent, config_.lambda,
-      config_.seed);
+Explorer::~Explorer() = default;
 
-  ExplorationResult result;
-  result.episodes = config_.episodes;
+void Explorer::EnsureStarted() {
+  if (consumed_)
+    throw std::logic_error("Explorer: the exploration was already finished");
+  if (run_) return;
+  run_ = std::make_unique<Run>(*evaluator_, reward_, config_.action_space);
+  run_->agent = MakeAgent(config_.agent_kind, run_->env.NumActions(),
+                          config_.agent, config_.lambda, config_.seed);
+  run_->result.episodes = config_.episodes;
+  run_->agent->BeginEpisode();
+  run_->state = run_->env.Reset(config_.seed);
+}
 
-  const auto consider_best = [&](const Configuration& config,
-                                 const instrument::Measurement& m) {
-    if (m.delta_acc > reward_.acc_threshold) return;
-    const double objective = BaselineObjective(reward_, m);
-    if (!result.has_best_feasible ||
-        objective >
-            BaselineObjective(reward_, result.best_feasible_measurement)) {
-      result.has_best_feasible = true;
-      result.best_feasible = config;
-      result.best_feasible_measurement = m;
-    }
-  };
+void Explorer::StepOnce() {
+  Run& run = *run_;
+  const std::size_t action = run.agent->SelectAction(run.state);
+  const rl::StepResult sr = run.env.Step(action);
+  run.agent->Observe(run.state, action, sr.reward, sr.next_state,
+                     sr.terminated);
+  run.result.rewards.push_back(sr.reward);
+  run.episode_cumulative += sr.reward;
+  ++run.episode_steps;
 
-  double cumulative = 0.0;
-  std::size_t global_step = 0;
-  const rl::StepCallback on_step = [&](std::size_t /*episode_step*/,
-                                       rl::StateId /*state*/,
-                                       std::size_t action,
-                                       const rl::StepResult& sr) {
-    const instrument::Measurement& m = env.LastMeasurement();
-    cumulative += sr.reward;
-    result.delta_power.Update(m.delta_power_mw);
-    result.delta_time.Update(m.delta_time_ns);
-    result.delta_acc.Update(m.delta_acc);
-    consider_best(env.CurrentConfig(), m);
-    if (config_.record_trace) {
-      StepRecord record;
-      record.step = global_step;
-      record.action = action;
-      record.reward = sr.reward;
-      record.cumulative_reward = cumulative;
-      record.config = env.CurrentConfig();
-      record.measurement = m;
-      result.trace.push_back(std::move(record));
-    }
-    ++global_step;
-  };
-
-  rl::TrainOptions options;
-  options.max_steps = config_.max_steps;
-  options.stop_at_cumulative_reward = config_.max_cumulative_reward;
-
-  for (std::size_t episode = 0; episode < config_.episodes; ++episode) {
-    const rl::TrainResult train = rl::RunEpisode(
-        env, *agent, options, config_.seed + episode, on_step);
-    result.steps += train.steps;
-    result.stop_reason = train.stop_reason;
-    result.cumulative_reward += train.cumulative_reward;
-    result.rewards.insert(result.rewards.end(), train.rewards.begin(),
-                          train.rewards.end());
+  const instrument::Measurement& m = run.env.LastMeasurement();
+  run.trace_cumulative += sr.reward;
+  run.result.delta_power.Update(m.delta_power_mw);
+  run.result.delta_time.Update(m.delta_time_ns);
+  run.result.delta_acc.Update(m.delta_acc);
+  ConsiderBest(reward_, run.result, run.env.CurrentConfig(), m);
+  if (config_.record_trace) {
+    StepRecord record;
+    record.step = run.result.steps;
+    record.action = action;
+    record.reward = sr.reward;
+    record.cumulative_reward = run.trace_cumulative;
+    record.config = run.env.CurrentConfig();
+    record.measurement = m;
+    run.result.trace.push_back(std::move(record));
   }
+  ++run.result.steps;
+  run.state = sr.next_state;
 
-  result.solution = env.CurrentConfig();
-  result.solution_measurement = env.LastMeasurement();
-
-  // Optional greedy rollout: follow the learned policy without exploration
-  // and fold the visited configurations into the best-feasible tracking.
-  if (config_.greedy_rollout_steps > 0) {
-    rl::StateId state = env.Reset(config_.seed);
-    for (std::size_t i = 0; i < config_.greedy_rollout_steps; ++i) {
-      const std::size_t action = agent->Table().GreedyAction(state);
-      const rl::StepResult sr = env.Step(action);
-      consider_best(env.CurrentConfig(), env.LastMeasurement());
-      state = sr.next_state;
-      if (sr.terminated) break;
-    }
+  // Episode stop conditions, in the trainer's historical precedence.
+  bool episode_over = true;
+  if (sr.terminated) {
+    run.result.stop_reason = rl::StopReason::kTerminated;
+  } else if (sr.truncated) {
+    run.result.stop_reason = rl::StopReason::kTruncated;
+  } else if (run.episode_cumulative >= config_.max_cumulative_reward) {
+    run.result.stop_reason = rl::StopReason::kRewardCap;
+  } else if (run.episode_steps >= config_.max_steps) {
+    run.result.stop_reason = rl::StopReason::kStepLimit;
+  } else {
+    episode_over = false;
   }
+  if (!episode_over) return;
 
+  run.result.cumulative_reward += run.episode_cumulative;
+  ++run.episode;
+  if (run.episode >= config_.episodes) {
+    run.finished = true;
+    return;
+  }
+  // Next episode: the value tables persist, episode-scoped agent state and
+  // the environment position reset (same calls the trainer used to make).
+  run.episode_steps = 0;
+  run.episode_cumulative = 0.0;
+  run.agent->BeginEpisode();
+  run.state = run.env.Reset(config_.seed + run.episode);
+}
+
+bool Explorer::Finished() const noexcept { return run_ && run_->finished; }
+
+std::size_t Explorer::StepsTaken() const noexcept {
+  return run_ ? run_->result.steps : 0;
+}
+
+std::size_t Explorer::RunSteps(std::size_t max_new_steps) {
+  if (max_new_steps == 0)
+    throw std::invalid_argument("Explorer::RunSteps: max_new_steps == 0");
+  EnsureStarted();
+  std::size_t taken = 0;
+  while (!run_->finished && taken < max_new_steps) {
+    StepOnce();
+    ++taken;
+  }
+  return taken;
+}
+
+void Explorer::FillSolutionFields(ExplorationResult& result) const {
   const axc::OperatorSet& ops = evaluator_->Kernel().Operators();
   result.solution_adder = ops.adders[result.solution.AdderIndex()].type_code;
   result.solution_multiplier =
@@ -138,7 +199,168 @@ ExplorationResult Explorer::Explore() {
   result.cache_hits = evaluator_->CacheHits();
   result.kernel_runs_executed = evaluator_->KernelRuns();
   result.shared_cache_hits = evaluator_->SharedHits();
+}
+
+ExplorationResult Explorer::Finish() {
+  if (!run_ || !run_->finished)
+    throw std::logic_error("Explorer::Finish: the exploration is not finished");
+  Run& run = *run_;
+  run.result.solution = run.env.CurrentConfig();
+  run.result.solution_measurement = run.env.LastMeasurement();
+
+  // Optional greedy rollout: follow the learned policy without exploration
+  // and fold the visited configurations into the best-feasible tracking.
+  if (config_.greedy_rollout_steps > 0) {
+    rl::StateId state = run.env.Reset(config_.seed);
+    for (std::size_t i = 0; i < config_.greedy_rollout_steps; ++i) {
+      const std::size_t action = run.agent->Table().GreedyAction(state);
+      const rl::StepResult sr = run.env.Step(action);
+      ConsiderBest(reward_, run.result, run.env.CurrentConfig(),
+                   run.env.LastMeasurement());
+      state = sr.next_state;
+      if (sr.terminated) break;
+    }
+  }
+
+  FillSolutionFields(run.result);
+  ExplorationResult result = std::move(run.result);
+  run_.reset();
+  consumed_ = true;
   return result;
+}
+
+ExplorationResult Explorer::PartialResult() const {
+  if (!run_)
+    throw std::logic_error("Explorer::PartialResult: exploration not started");
+  ExplorationResult result = run_->result;
+  result.stop_reason = rl::StopReason::kSuspended;
+  // Fold in the open episode so the reported cumulative covers every step.
+  result.cumulative_reward += run_->episode_cumulative;
+  result.solution = run_->env.CurrentConfig();
+  result.solution_measurement = run_->env.LastMeasurement();
+  FillSolutionFields(result);
+  return result;
+}
+
+ExplorationResult Explorer::Explore() {
+  EnsureStarted();
+  while (!run_->finished) StepOnce();
+  return Finish();
+}
+
+Checkpoint Explorer::Suspend() const {
+  if (!run_ || consumed_)
+    throw std::logic_error("Explorer::Suspend: no active exploration");
+  if (run_->finished)
+    throw std::logic_error(
+        "Explorer::Suspend: the exploration already finished — call Finish() "
+        "and persist the final result instead");
+  Checkpoint checkpoint;
+  checkpoint.agent_kind = ToString(config_.agent_kind);
+  checkpoint.finished = false;
+  checkpoint.episode = run_->episode;
+  checkpoint.episode_steps = run_->episode_steps;
+  checkpoint.episode_cumulative = run_->episode_cumulative;
+  checkpoint.trace_cumulative = run_->trace_cumulative;
+  checkpoint.state = run_->state;
+  checkpoint.env = run_->env.GetState();
+  std::ostringstream agent;
+  run_->agent->SaveState(agent);
+  checkpoint.agent_state = agent.str();
+  checkpoint.result = run_->result;
+  checkpoint.evaluator = evaluator_->CaptureCacheState();
+  return checkpoint;
+}
+
+void Explorer::ResumeFrom(const Checkpoint& checkpoint) {
+  if (run_ || consumed_)
+    throw CheckpointError(
+        "Explorer::ResumeFrom: the exploration already started; resume "
+        "requires a freshly constructed explorer");
+  if (checkpoint.finished)
+    throw CheckpointError(
+        "Explorer::ResumeFrom: checkpoint is of a finished run — nothing to "
+        "resume (use its stored result directly)");
+  if (checkpoint.agent_kind != ToString(config_.agent_kind))
+    throw CheckpointError("Explorer::ResumeFrom: checkpoint was taken with "
+                          "agent '" +
+                          checkpoint.agent_kind + "', this explorer runs '" +
+                          ToString(config_.agent_kind) + "'");
+  if (checkpoint.result.episodes != config_.episodes ||
+      checkpoint.episode >= config_.episodes)
+    throw CheckpointError(
+        "Explorer::ResumeFrom: episode configuration mismatch");
+  if (checkpoint.episode_steps >= config_.max_steps)
+    throw CheckpointError(
+        "Explorer::ResumeFrom: episode step counter exceeds max_steps");
+  if (config_.record_trace
+          ? checkpoint.result.trace.size() != checkpoint.result.steps
+          : !checkpoint.result.trace.empty())
+    throw CheckpointError(
+        "Explorer::ResumeFrom: trace does not match the record_trace "
+        "setting");
+
+  // Validate the environment snapshot against THIS kernel's space up front
+  // (same validator SetState uses): a failure below must leave the explorer
+  // and its evaluator untouched.
+  const SpaceShape& shape = evaluator_->Shape();
+  try {
+    AxDseEnvironment::ValidateState(shape, checkpoint.env);
+  } catch (const std::exception& error) {
+    throw CheckpointError(
+        std::string("Explorer::ResumeFrom: environment state: ") +
+        error.what());
+  }
+  if (checkpoint.state >= checkpoint.env.interned.size())
+    throw CheckpointError(
+        "Explorer::ResumeFrom: current state id is not interned");
+
+  // 1. Rebuild the agent from the blob. Failures here are pure: the agent is
+  //    a local until everything committed.
+  std::unique_ptr<rl::Agent> agent = MakeAgent(
+      config_.agent_kind,
+      NumActionsFor(config_.action_space, shape.num_variables), config_.agent,
+      config_.lambda, config_.seed);
+  std::istringstream agent_in(checkpoint.agent_state);
+  try {
+    agent->LoadState(agent_in);
+  } catch (const std::exception& error) {
+    throw CheckpointError(std::string("Explorer::ResumeFrom: agent state: ") +
+                          error.what());
+  }
+
+  // 2. Prewarm the private memo BEFORE the environment rebuild, so the
+  //    rebuild's evaluation of the initial configuration is a private hit
+  //    and never reaches a shared cache (whose statistics the engine
+  //    restores separately and byte-compares). PrewarmCache validates every
+  //    entry before inserting any, so a throw here mutates nothing.
+  try {
+    evaluator_->PrewarmCache(checkpoint.evaluator.entries);
+  } catch (const std::exception& error) {
+    throw CheckpointError(std::string("Explorer::ResumeFrom: memo state: ") +
+                          error.what());
+  }
+
+  // 3. Rebuild the environment and restore its position/interning.
+  auto run = std::make_unique<Run>(*evaluator_, reward_, config_.action_space);
+  run->env.SetState(checkpoint.env);  // revalidates; known-good here
+
+  // 4. Counters last: overwrite the rebuild's bumps with the exact
+  //    checkpointed values.
+  evaluator_->RestoreCounters(
+      checkpoint.evaluator.kernel_runs, checkpoint.evaluator.cache_hits,
+      checkpoint.evaluator.cache_misses, checkpoint.evaluator.shared_hits);
+
+  run->agent = std::move(agent);
+  run->result = checkpoint.result;
+  run->result.episodes = config_.episodes;
+  run->state = checkpoint.state;
+  run->episode = checkpoint.episode;
+  run->episode_steps = checkpoint.episode_steps;
+  run->episode_cumulative = checkpoint.episode_cumulative;
+  run->trace_cumulative = checkpoint.trace_cumulative;
+  run->finished = false;
+  run_ = std::move(run);
 }
 
 ExplorationResult ExploreKernel(const workloads::Kernel& kernel,

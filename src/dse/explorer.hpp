@@ -140,20 +140,88 @@ struct ExplorationResult {
   instrument::Measurement best_feasible_measurement;
 };
 
+struct Checkpoint;  // dse/checkpoint.hpp
+
 /// Runs the paper's Q-learning exploration for one kernel.
+///
+/// Two ways to drive it:
+///   * Explore() — the historical one-shot call: runs every episode to its
+///     stop condition and returns the finished result.
+///   * the incremental API — RunSteps() advances the exploration a bounded
+///     number of environment steps; Suspend() serializes the complete
+///     mid-run state into a dse::Checkpoint; a FRESH explorer (same
+///     evaluator kernel, reward, and config) restored via ResumeFrom()
+///     continues the run so that the final result, trace, rewards, and
+///     counters are byte-identical to an uninterrupted Explore().
 class Explorer {
  public:
-  /// The evaluator must outlive the explorer.
+  /// The evaluator must outlive the explorer. The evaluator must be fresh
+  /// (no Evaluate() calls yet) for the byte-identical resume guarantee.
   Explorer(Evaluator& evaluator, const RewardConfig& reward,
            const ExplorerConfig& config);
+  ~Explorer();
 
-  /// Runs one full exploration episode.
+  Explorer(const Explorer&) = delete;
+  Explorer& operator=(const Explorer&) = delete;
+
+  /// Runs the exploration to completion (all remaining episodes) and
+  /// finalizes the result. Usable after ResumeFrom() to finish a restored
+  /// run.
   ExplorationResult Explore();
 
+  // --- incremental API ----------------------------------------------------
+
+  /// True once every episode has ended. A finished run only awaits Finish().
+  bool Finished() const noexcept;
+
+  /// Environment steps taken so far (across episodes).
+  std::size_t StepsTaken() const noexcept;
+
+  /// Advances up to `max_new_steps` environment steps (stopping early when
+  /// the run finishes) and returns the number actually taken. Starts the
+  /// run lazily on first use. Throws std::invalid_argument on 0.
+  std::size_t RunSteps(std::size_t max_new_steps);
+
+  /// Finalizes and returns the result (solution fields, optional greedy
+  /// rollout, operator codes, cost counters). Requires Finished(); the
+  /// explorer is consumed afterwards. Throws std::logic_error otherwise.
+  ExplorationResult Finish();
+
+  /// Snapshot of the in-progress result for reporting a suspended run:
+  /// the partial trace/rewards plus the current configuration as a
+  /// provisional solution, stop reason rl::StopReason::kSuspended. Does not
+  /// consume the explorer. Throws std::logic_error before the first step.
+  ExplorationResult PartialResult() const;
+
+  // --- checkpointing ------------------------------------------------------
+
+  /// Serializes the complete mid-run state (agent, environment, partial
+  /// result, evaluator memo and counters). The caller owns the identity
+  /// fields (Checkpoint::request/seed) — Suspend() fills everything else.
+  /// Throws std::logic_error before the first step or after Finish().
+  Checkpoint Suspend() const;
+
+  /// Restores a mid-run snapshot into this (freshly constructed, never
+  /// stepped) explorer. Validates agent kind, episode bounds, and every
+  /// configuration against this explorer's kernel space BEFORE mutating
+  /// anything: on CheckpointError the explorer (and its evaluator) is
+  /// exactly as it was and may still run from scratch.
+  void ResumeFrom(const Checkpoint& checkpoint);
+
+  const ExplorerConfig& Config() const noexcept { return config_; }
+
  private:
+  struct Run;  // live exploration state (env, agent, partial result)
+
+  void EnsureStarted();
+  void StepOnce();
+  void FillSolutionFields(ExplorationResult& result) const;
+
   Evaluator* evaluator_;
   RewardConfig reward_;
   ExplorerConfig config_;
+  std::unique_ptr<Run> run_;
+  bool consumed_ = false;
 };
 
 /// Convenience wrapper: evaluator + paper thresholds + explorer in one call.

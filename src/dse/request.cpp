@@ -228,6 +228,7 @@ std::string ExplorationRequest::ToString() const {
   out << " trace=" << (record_trace ? 1 : 0);
   out << " cache=" << dse::ToString(cache_mode);
   out << " cache-capacity=" << cache_capacity;
+  out << " checkpoint-interval=" << checkpoint_interval;
   out << " alpha=" << ShortestDouble(alpha);
   out << " gamma=" << ShortestDouble(gamma);
   out << " initial-q=" << ShortestDouble(initial_q);
@@ -300,6 +301,9 @@ ExplorationRequest ExplorationRequest::Parse(const std::string& text) {
       request.cache_mode = CacheModeFromName(value);
     } else if (key == "cache-capacity") {
       request.cache_capacity =
+          static_cast<std::size_t>(ParseUnsigned(key, value));
+    } else if (key == "checkpoint-interval") {
+      request.checkpoint_interval =
           static_cast<std::size_t>(ParseUnsigned(key, value));
     } else if (key == "alpha") {
       request.alpha = ParseDouble(key, value);
@@ -468,6 +472,11 @@ RequestBuilder& RequestBuilder::SharedCache(bool shared) {
 
 RequestBuilder& RequestBuilder::CacheCapacity(std::size_t capacity) {
   request_.cache_capacity = capacity;
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::CheckpointInterval(std::size_t steps) {
+  request_.checkpoint_interval = steps;
   return *this;
 }
 

@@ -80,6 +80,11 @@ struct ExplorationRequest {
   /// for a memory ceiling; results are still identical. When several
   /// requests share one cache, the first request's bound wins.
   std::size_t cache_capacity = 0;
+  /// Checkpoint autosave period in environment steps for this request's
+  /// jobs, overriding CheckpointOptions::interval when non-zero. Only
+  /// meaningful when the engine runs with a checkpoint directory; see
+  /// dse/checkpoint.hpp.
+  std::size_t checkpoint_interval = 0;
 
   // --- Agent hyper-parameters ---------------------------------------------
   double alpha = 0.1;
@@ -171,6 +176,7 @@ class RequestBuilder {
   RequestBuilder& Cache(CacheMode mode);
   RequestBuilder& SharedCache(bool shared = true);
   RequestBuilder& CacheCapacity(std::size_t capacity);
+  RequestBuilder& CheckpointInterval(std::size_t steps);
 
   RequestBuilder& Alpha(double alpha);
   RequestBuilder& Gamma(double gamma);

@@ -155,6 +155,37 @@ CacheStats SharedEvaluationCache::Stats() const {
   return stats;
 }
 
+std::vector<std::pair<ApproxSelection, Measurement>>
+SharedEvaluationCache::Entries() const {
+  std::vector<std::pair<ApproxSelection, Measurement>> entries;
+  entries.reserve(Size());
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [key, value] : shard->map)
+      entries.emplace_back(key, value);
+  }
+  return entries;
+}
+
+void SharedEvaluationCache::Restore(
+    const std::vector<std::pair<ApproxSelection, Measurement>>& entries,
+    const CacheStats& stats) {
+  Clear();
+  for (const auto& [key, value] : entries) {
+    Shard& shard = ShardFor(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.emplace(key, value);
+  }
+  // The aggregate counters live in shard 0; Stats() sums over shards, so
+  // the restored totals read back exactly.
+  Shard& first = *shards_.front();
+  const std::lock_guard<std::mutex> lock(first.mutex);
+  first.hits = stats.hits;
+  first.misses = stats.misses;
+  first.inserts = stats.inserts;
+  first.rejected = stats.rejected;
+}
+
 void SharedEvaluationCache::Clear() {
   for (const auto& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mutex);

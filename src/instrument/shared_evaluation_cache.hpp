@@ -30,6 +30,7 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "instrument/approx_selection.hpp"
@@ -101,6 +102,21 @@ class SharedEvaluationCache {
   /// Drops all entries and statistics. Do not call concurrently with
   /// FetchOrCompute computations still in flight.
   void Clear();
+
+  /// Copies out every stored entry (for checkpointing). Iteration order is
+  /// unspecified — sort before serializing. Do not call with computations
+  /// in flight.
+  std::vector<std::pair<ApproxSelection, Measurement>> Entries() const;
+
+  /// Replaces contents and counter statistics with a snapshot previously
+  /// taken via Entries()/Stats(). Entries are admitted unconditionally
+  /// (they were admitted once; re-applying the capacity bound here could
+  /// silently drop them) and the aggregate counters are restored exactly
+  /// (CacheStats::size is always recomputed from the stored entries). Only
+  /// for quiescent caches — never call concurrently with other members.
+  void Restore(const std::vector<std::pair<ApproxSelection, Measurement>>&
+                   entries,
+               const CacheStats& stats);
 
  private:
   struct Shard {

@@ -3,6 +3,7 @@
 // Expected SARSA (on-policy comparisons for the ablation benches).
 
 #include <cstddef>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -50,6 +51,20 @@ class Agent {
   /// episode-scoped state (eligibility traces, pending on-policy updates)
   /// reset it here; value tables persist across episodes.
   virtual void BeginEpisode() {}
+
+  /// Writes the agent's complete dynamic state (value tables, RNG,
+  /// exploration-schedule step, episode-scoped internals) as deterministic
+  /// text lines, tagged with the agent name. Hyper-parameters are NOT
+  /// serialized — a resumed agent is constructed from its config first and
+  /// then restored via LoadState().
+  virtual void SaveState(std::ostream& out) const;
+
+  /// Inverse of SaveState(). Must be called on an agent constructed with the
+  /// same action count and kind as the saved one. Throws
+  /// std::invalid_argument on malformed input, agent-kind mismatch, action
+  /// count mismatch, or NaN-injected values; on failure the agent keeps its
+  /// pre-call state.
+  virtual void LoadState(std::istream& in);
 };
 
 /// Watkins Q-learning: off-policy TD update
@@ -68,6 +83,9 @@ class QLearningAgent final : public Agent {
 
   /// Exploration rate at the current internal step (for traces).
   double CurrentEpsilon() const noexcept;
+
+  void SaveState(std::ostream& out) const override;
+  void LoadState(std::istream& in) override;
 
  private:
   AgentConfig config_;
@@ -90,6 +108,9 @@ class SarsaAgent final : public Agent {
   const QTable& Table() const noexcept override { return table_; }
   std::string Name() const override { return "sarsa"; }
   void BeginEpisode() override { pending_.reset(); }
+
+  void SaveState(std::ostream& out) const override;
+  void LoadState(std::istream& in) override;
 
  private:
   struct Pending {
@@ -125,6 +146,9 @@ class DoubleQLearningAgent final : public Agent {
   const QTable& TableA() const noexcept { return table_a_; }
   const QTable& TableB() const noexcept { return table_b_; }
 
+  void SaveState(std::ostream& out) const override;
+  void LoadState(std::istream& in) override;
+
  private:
   std::size_t GreedyOnSum(StateId state);
 
@@ -153,6 +177,9 @@ class QLambdaAgent final : public Agent {
 
   double Lambda() const noexcept { return lambda_; }
   std::size_t ActiveTraces() const noexcept { return traces_.size(); }
+
+  void SaveState(std::ostream& out) const override;
+  void LoadState(std::istream& in) override;
 
  private:
   struct PairHash {
@@ -185,6 +212,9 @@ class ExpectedSarsaAgent final : public Agent {
                StateId next_state, bool terminated) override;
   const QTable& Table() const noexcept override { return table_; }
   std::string Name() const override { return "expected-sarsa"; }
+
+  void SaveState(std::ostream& out) const override;
+  void LoadState(std::istream& in) override;
 
  private:
   AgentConfig config_;

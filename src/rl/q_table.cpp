@@ -1,7 +1,12 @@
 #include "rl/q_table.hpp"
 
 #include <algorithm>
+#include <ostream>
 #include <stdexcept>
+#include <utility>
+
+#include "rl/state_io.hpp"
+#include "util/number_format.hpp"
 
 namespace axdse::rl {
 
@@ -62,6 +67,55 @@ std::size_t QTable::GreedyAction(StateId state, util::Rng* tie_breaker) const {
     }
   }
   return choice;
+}
+
+void QTable::SaveState(std::ostream& out) const {
+  out << "table " << num_actions_ << " " << util::ShortestDouble(initial_value_)
+      << " " << table_.size() << "\n";
+  std::vector<StateId> states;
+  states.reserve(table_.size());
+  for (const auto& [state, row] : table_) states.push_back(state);
+  std::sort(states.begin(), states.end());
+  for (const StateId state : states) {
+    out << "row " << state;
+    for (const double q : table_.at(state))
+      out << " " << util::ShortestDouble(q);
+    out << "\n";
+  }
+}
+
+void QTable::LoadState(std::istream& in) {
+  const std::vector<std::string> header = state_io::ReadTagged(in, "table");
+  state_io::RequireTokens(header, 3, "QTable::LoadState header");
+  const std::uint64_t num_actions =
+      util::ParseUnsignedToken(header[0], "QTable::LoadState num_actions");
+  if (num_actions != num_actions_)
+    throw std::invalid_argument(
+        "QTable::LoadState: action count mismatch (stored " +
+        std::to_string(num_actions) + ", table has " +
+        std::to_string(num_actions_) + ")");
+  const double initial =
+      util::ParseDoubleToken(header[1], "QTable::LoadState initial_value");
+  const std::uint64_t num_rows =
+      util::ParseUnsignedToken(header[2], "QTable::LoadState num_rows");
+
+  std::unordered_map<StateId, std::vector<double>> rows;
+  rows.reserve(static_cast<std::size_t>(num_rows));
+  for (std::uint64_t r = 0; r < num_rows; ++r) {
+    const std::vector<std::string> tokens = state_io::ReadTagged(in, "row");
+    state_io::RequireTokens(tokens, 1 + num_actions_, "QTable::LoadState row");
+    const StateId state =
+        util::ParseUnsignedToken(tokens[0], "QTable::LoadState state id");
+    std::vector<double> row(num_actions_);
+    for (std::size_t a = 0; a < num_actions_; ++a)
+      row[a] =
+          util::ParseDoubleToken(tokens[1 + a], "QTable::LoadState q-value");
+    if (!rows.emplace(state, std::move(row)).second)
+      throw std::invalid_argument("QTable::LoadState: duplicate row for state " +
+                                  tokens[0]);
+  }
+  initial_value_ = initial;
+  table_ = std::move(rows);
 }
 
 double QTable::ExpectedValue(StateId state, double epsilon) const {

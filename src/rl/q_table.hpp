@@ -5,6 +5,7 @@
 // the states actually visited.
 
 #include <cstddef>
+#include <iosfwd>
 #include <unordered_map>
 #include <vector>
 
@@ -42,6 +43,20 @@ class QTable {
 
   /// Number of rows materialized (distinct states updated or read-for-write).
   std::size_t NumStates() const noexcept { return table_.size(); }
+
+  /// Writes the table as deterministic text (rows sorted by state id):
+  ///   table <num_actions> <initial_value> <num_rows>
+  ///   row <state> <q_0> ... <q_{num_actions-1}>     (x num_rows)
+  /// Doubles use shortest-round-trip formatting, so LoadState(SaveState())
+  /// restores bit-identical values.
+  void SaveState(std::ostream& out) const;
+
+  /// Inverse of SaveState: replaces all rows (num_actions in the stream must
+  /// match this table's; the stored initial value replaces the current one).
+  /// Throws std::invalid_argument on malformed input, NaN values, action
+  /// count mismatch, or duplicate rows; the table is only modified once the
+  /// whole stream parsed cleanly.
+  void LoadState(std::istream& in);
 
  private:
   const std::vector<double>* FindRow(StateId state) const;

@@ -53,8 +53,19 @@ const char* ToString(StopReason reason) noexcept {
       return "reward-cap";
     case StopReason::kStepLimit:
       return "step-limit";
+    case StopReason::kSuspended:
+      return "suspended";
   }
   return "unknown";
+}
+
+StopReason StopReasonFromName(const std::string& name) {
+  for (const StopReason reason :
+       {StopReason::kTerminated, StopReason::kTruncated, StopReason::kRewardCap,
+        StopReason::kStepLimit, StopReason::kSuspended})
+    if (name == ToString(reason)) return reason;
+  throw std::invalid_argument("StopReasonFromName: unknown stop reason '" +
+                              name + "'");
 }
 
 }  // namespace axdse::rl

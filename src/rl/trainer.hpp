@@ -18,6 +18,7 @@ enum class StopReason {
   kTruncated,     ///< env reported truncation
   kRewardCap,     ///< cumulative reward reached the configured cap
   kStepLimit,     ///< max_steps exhausted
+  kSuspended,     ///< run checkpointed mid-flight (dse::Explorer::Suspend)
 };
 
 /// Episode limits.
@@ -50,5 +51,9 @@ TrainResult RunEpisode(Env& env, Agent& agent, const TrainOptions& options,
 
 /// Human-readable stop reason.
 const char* ToString(StopReason reason) noexcept;
+
+/// Inverse of ToString(StopReason). Throws std::invalid_argument for names
+/// that match no reason.
+StopReason StopReasonFromName(const std::string& name);
 
 }  // namespace axdse::rl

@@ -30,6 +30,18 @@ dse::BatchResult Session::ExploreBatch(
   return engine_.Run(requests);
 }
 
+dse::BatchResult Session::ExploreBatch(
+    const std::vector<dse::ExplorationRequest>& requests,
+    const dse::CheckpointOptions& checkpoint) const {
+  return engine_.Run(requests, checkpoint);
+}
+
+dse::BatchResult Session::ResumeBatch(
+    const std::vector<dse::ExplorationRequest>& requests,
+    const std::string& directory) const {
+  return engine_.ResumeBatch(requests, directory);
+}
+
 dse::BatchResult Session::ExploreBatchShared(
     std::vector<dse::ExplorationRequest> requests) const {
   for (dse::ExplorationRequest& request : requests)

@@ -41,6 +41,21 @@ class Session {
   dse::BatchResult ExploreBatch(
       const std::vector<dse::ExplorationRequest>& requests) const;
 
+  /// ExploreBatch under a checkpoint policy (see dse::CheckpointOptions):
+  /// jobs resume from snapshots in the directory, autosave while running,
+  /// and optionally suspend after a step budget. A suspended-and-resumed
+  /// batch finishes with byte-identical results and exports to an
+  /// uninterrupted one.
+  dse::BatchResult ExploreBatch(
+      const std::vector<dse::ExplorationRequest>& requests,
+      const dse::CheckpointOptions& checkpoint) const;
+
+  /// Continues a batch previously suspended into `directory` and runs it to
+  /// completion (snapshot files are removed once everything finished).
+  dse::BatchResult ResumeBatch(
+      const std::vector<dse::ExplorationRequest>& requests,
+      const std::string& directory) const;
+
   /// ExploreBatch with every request switched to CacheMode::kShared: jobs
   /// with the same kernel identity reuse each other's kernel runs. Results
   /// (solutions, traces, rewards) are byte-identical to ExploreBatch; only

@@ -1,0 +1,587 @@
+// Checkpoint/resume subsystem tests.
+//
+// The headline invariant under test: an exploration suspended at ANY step k
+// and resumed from its serialized checkpoint finishes with byte-identical
+// results — solution, trace, rewards, objective ranges, best-feasible, and
+// every cost counter — to the same exploration run uninterrupted. Proven
+// here for every AgentKind x several registry kernels x suspend points
+// {1, k/2, k-1}, through a full serialize -> parse -> restore cycle each
+// time. On top of that: corrupt-input hardening (truncated, version-
+// mismatched, field-reordered, NaN-injected files throw CheckpointError and
+// leave the explorer untouched) and a golden fixture pinning the on-disk
+// format (regenerate with AXDSE_UPDATE_GOLDEN=1).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dse/checkpoint.hpp"
+#include "dse/engine.hpp"
+#include "dse/explorer.hpp"
+#include "util/number_format.hpp"
+#include "workloads/registry.hpp"
+
+namespace axdse::dse {
+namespace {
+
+using util::ShortestDouble;
+
+// ---------------------------------------------------------------------------
+// Harness: kernel + evaluator + paper reward for a registry kernel.
+// ---------------------------------------------------------------------------
+
+struct Harness {
+  std::unique_ptr<workloads::Kernel> kernel;
+  std::unique_ptr<Evaluator> evaluator;
+  RewardConfig reward;
+};
+
+Harness MakeHarness(const std::string& name, std::size_t size,
+                    const std::map<std::string, std::string>& extra = {}) {
+  Harness h;
+  workloads::KernelParams params;
+  params.size = size;
+  params.seed = 7;
+  params.extra = extra;
+  h.kernel = workloads::KernelRegistry::Global().Create(name, params);
+  h.evaluator = std::make_unique<Evaluator>(*h.kernel);
+  h.reward = MakePaperRewardConfig(*h.evaluator);
+  return h;
+}
+
+ExplorerConfig SmallConfig(AgentKind kind, std::uint64_t seed,
+                           std::size_t max_steps = 50,
+                           std::size_t episodes = 1) {
+  ExplorerConfig config;
+  config.max_steps = max_steps;
+  config.max_cumulative_reward = 1e18;
+  config.episodes = episodes;
+  config.agent_kind = kind;
+  config.agent.alpha = 0.2;
+  config.agent.gamma = 0.9;
+  config.agent.epsilon = rl::EpsilonSchedule::Linear(1.0, 0.05, 40);
+  config.seed = seed;
+  config.record_trace = true;
+  return config;
+}
+
+void WriteMeasurement(std::ostringstream& out,
+                      const instrument::Measurement& m) {
+  out << ShortestDouble(m.delta_acc) << "," << ShortestDouble(m.delta_power_mw)
+      << "," << ShortestDouble(m.delta_time_ns) << ","
+      << ShortestDouble(m.approx_power_mw) << ","
+      << ShortestDouble(m.approx_time_ns) << "," << m.counts.precise_adds
+      << "," << m.counts.approx_adds << "," << m.counts.precise_muls << ","
+      << m.counts.approx_muls;
+}
+
+/// Canonical byte serialization of EVERYTHING an ExplorationResult carries
+/// (counters included — private-cache runs are fully deterministic).
+std::string PayloadOf(const ExplorationResult& run) {
+  std::ostringstream out;
+  out << "steps=" << run.steps << " stop=" << rl::ToString(run.stop_reason)
+      << " cum=" << ShortestDouble(run.cumulative_reward)
+      << " episodes=" << run.episodes
+      << " solution=" << run.solution.ToString() << " ops="
+      << run.solution_adder << "/" << run.solution_multiplier
+      << " runs=" << run.kernel_runs << " hits=" << run.cache_hits
+      << " executed=" << run.kernel_runs_executed
+      << " shared=" << run.shared_cache_hits << "\n";
+  out << "ranges " << ShortestDouble(run.delta_power.min) << " "
+      << ShortestDouble(run.delta_power.max) << " "
+      << ShortestDouble(run.delta_time.min) << " "
+      << ShortestDouble(run.delta_time.max) << " "
+      << ShortestDouble(run.delta_acc.min) << " "
+      << ShortestDouble(run.delta_acc.max) << "\n";
+  out << "best " << (run.has_best_feasible ? run.best_feasible.ToString()
+                                           : std::string("none"));
+  out << " m=";
+  WriteMeasurement(out, run.best_feasible_measurement);
+  out << "\nsolution-m=";
+  WriteMeasurement(out, run.solution_measurement);
+  out << "\nrewards";
+  for (const double r : run.rewards) out << " " << ShortestDouble(r);
+  out << "\n";
+  for (const StepRecord& record : run.trace) {
+    out << record.step << "," << record.action << ","
+        << ShortestDouble(record.reward) << ","
+        << ShortestDouble(record.cumulative_reward) << ","
+        << record.config.ToString() << ",";
+    WriteMeasurement(out, record.measurement);
+    out << "\n";
+  }
+  return out.str();
+}
+
+/// Runs the exploration uninterrupted on a fresh harness.
+ExplorationResult RunUninterrupted(const std::string& kernel,
+                                   std::size_t size,
+                                   const ExplorerConfig& config) {
+  Harness h = MakeHarness(kernel, size);
+  Explorer explorer(*h.evaluator, h.reward, config);
+  return explorer.Explore();
+}
+
+/// Runs `suspend_at` steps, suspends, serializes, parses, restores into a
+/// completely fresh explorer/evaluator, and finishes the run.
+ExplorationResult RunWithSuspension(const std::string& kernel,
+                                    std::size_t size,
+                                    const ExplorerConfig& config,
+                                    std::size_t suspend_at) {
+  std::string serialized;
+  {
+    Harness h = MakeHarness(kernel, size);
+    Explorer explorer(*h.evaluator, h.reward, config);
+    const std::size_t taken = explorer.RunSteps(suspend_at);
+    EXPECT_EQ(taken, suspend_at);
+    EXPECT_FALSE(explorer.Finished());
+    serialized = explorer.Suspend().Serialize();
+  }  // the suspended explorer, its evaluator, and its kernel are gone
+  const Checkpoint restored = Checkpoint::Deserialize(serialized);
+  Harness h = MakeHarness(kernel, size);
+  Explorer explorer(*h.evaluator, h.reward, config);
+  explorer.ResumeFrom(restored);
+  EXPECT_EQ(explorer.StepsTaken(), suspend_at);
+  return explorer.Explore();
+}
+
+// ---------------------------------------------------------------------------
+// Resume determinism property: every agent kind x registry kernels x
+// suspend points {1, k/2, k-1}.
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointResume, ByteIdenticalForEveryAgentKernelAndSuspendPoint) {
+  const struct {
+    const char* kernel;
+    std::size_t size;
+  } kernels[] = {{"matmul", 4}, {"fir", 24}, {"dot", 16}};
+  const AgentKind agents[] = {AgentKind::kQLearning, AgentKind::kSarsa,
+                              AgentKind::kExpectedSarsa, AgentKind::kDoubleQ,
+                              AgentKind::kQLambda};
+  for (const auto& [kernel, size] : kernels) {
+    for (const AgentKind agent : agents) {
+      const ExplorerConfig config = SmallConfig(agent, 3);
+      const ExplorationResult reference =
+          RunUninterrupted(kernel, size, config);
+      const std::string reference_payload = PayloadOf(reference);
+      ASSERT_GE(reference.steps, 3u);
+      const std::size_t k = reference.steps;
+      for (const std::size_t suspend_at :
+           {std::size_t{1}, k / 2, k - 1}) {
+        const ExplorationResult resumed =
+            RunWithSuspension(kernel, size, config, suspend_at);
+        EXPECT_EQ(PayloadOf(resumed), reference_payload)
+            << "kernel=" << kernel << " agent=" << ToString(agent)
+            << " suspend_at=" << suspend_at;
+      }
+    }
+  }
+}
+
+TEST(CheckpointResume, SurvivesRepeatedSuspension) {
+  // Preemption in practice is repeated: suspend -> resume -> suspend again.
+  const ExplorerConfig config = SmallConfig(AgentKind::kQLearning, 11, 60);
+  const std::string reference =
+      PayloadOf(RunUninterrupted("matmul", 4, config));
+
+  std::string serialized;
+  {
+    Harness h = MakeHarness("matmul", 4);
+    Explorer explorer(*h.evaluator, h.reward, config);
+    explorer.RunSteps(7);
+    serialized = explorer.Suspend().Serialize();
+  }
+  for (const std::size_t chunk : {std::size_t{13}, std::size_t{19}}) {
+    Harness h = MakeHarness("matmul", 4);
+    Explorer explorer(*h.evaluator, h.reward, config);
+    explorer.ResumeFrom(Checkpoint::Deserialize(serialized));
+    explorer.RunSteps(chunk);
+    ASSERT_FALSE(explorer.Finished());
+    serialized = explorer.Suspend().Serialize();
+  }
+  Harness h = MakeHarness("matmul", 4);
+  Explorer explorer(*h.evaluator, h.reward, config);
+  explorer.ResumeFrom(Checkpoint::Deserialize(serialized));
+  EXPECT_EQ(PayloadOf(explorer.Explore()), reference);
+}
+
+TEST(CheckpointResume, MultiEpisodeRunResumesAcrossEpisodeBoundary) {
+  // episodes=2 with the suspension landing inside the second episode: the
+  // episode counters, per-episode reward accumulator, and the agent's
+  // persistent value tables must all survive the round trip.
+  const ExplorerConfig config =
+      SmallConfig(AgentKind::kQLearning, 5, /*max_steps=*/25, /*episodes=*/2);
+  const ExplorationResult reference = RunUninterrupted("dot", 16, config);
+  ASSERT_EQ(reference.episodes, 2u);
+  ASSERT_GT(reference.steps, 27u);  // actually entered the second episode
+  const ExplorationResult resumed =
+      RunWithSuspension("dot", 16, config, reference.steps - 3);
+  EXPECT_EQ(PayloadOf(resumed), PayloadOf(reference));
+}
+
+TEST(CheckpointResume, GreedyRolloutAndBestFeasibleSurviveResume) {
+  ExplorerConfig config = SmallConfig(AgentKind::kExpectedSarsa, 9, 40);
+  config.greedy_rollout_steps = 20;
+  const ExplorationResult reference = RunUninterrupted("fir", 24, config);
+  const ExplorationResult resumed =
+      RunWithSuspension("fir", 24, config, reference.steps / 2);
+  EXPECT_EQ(PayloadOf(resumed), PayloadOf(reference));
+}
+
+// ---------------------------------------------------------------------------
+// Serialization round-trip.
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointFormat, SerializeDeserializeSerializeIsIdentity) {
+  Harness h = MakeHarness("matmul", 4);
+  const ExplorerConfig config = SmallConfig(AgentKind::kQLambda, 13);
+  Explorer explorer(*h.evaluator, h.reward, config);
+  explorer.RunSteps(17);
+  Checkpoint checkpoint = explorer.Suspend();
+  checkpoint.request = "kernel=matmul size=4";  // identity fields included
+  checkpoint.seed = 13;
+  const std::string first = checkpoint.Serialize();
+  const std::string second = Checkpoint::Deserialize(first).Serialize();
+  EXPECT_EQ(first, second);
+}
+
+TEST(CheckpointFormat, FileSaveLoadRoundTripsAndIsAtomic) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "axdse-checkpoint-io-test";
+  fs::remove_all(dir);
+
+  Harness h = MakeHarness("dot", 16);
+  const ExplorerConfig config = SmallConfig(AgentKind::kSarsa, 21);
+  Explorer explorer(*h.evaluator, h.reward, config);
+  explorer.RunSteps(9);
+  const Checkpoint checkpoint = explorer.Suspend();
+  const std::string path = (dir / "nested" / "snapshot.ckpt").string();
+  checkpoint.Save(path);  // creates parent directories
+  // The temp file was renamed away: only the snapshot itself remains.
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir / "nested")) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+  const Checkpoint loaded = Checkpoint::Load(path);
+  EXPECT_EQ(loaded.Serialize(), checkpoint.Serialize());
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointFormat, LoadOfMissingFileThrows) {
+  EXPECT_THROW(Checkpoint::Load("/nonexistent/axdse/nowhere.ckpt"),
+               CheckpointError);
+}
+
+TEST(CheckpointFormat, JobFileNamesAreStableAndDistinct) {
+  const std::string a = JobCheckpointFileName("kernel=matmul size=4", 3);
+  EXPECT_EQ(a, JobCheckpointFileName("kernel=matmul size=4", 3));
+  EXPECT_NE(a, JobCheckpointFileName("kernel=matmul size=4", 4));
+  EXPECT_NE(a, JobCheckpointFileName("kernel=matmul size=5", 3));
+  EXPECT_NE(JobCheckpointFileName("kernel=fir size=24", 1),
+            CacheCheckpointFileName("fir|size=24|seed=7"));
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt-input hardening. Every malformed file must raise CheckpointError
+// from the PARSER — before any Explorer/Engine state is touched.
+// ---------------------------------------------------------------------------
+
+std::string ValidSerializedCheckpoint() {
+  static const std::string serialized = [] {
+    Harness h = MakeHarness("matmul", 4);
+    const ExplorerConfig config = SmallConfig(AgentKind::kQLearning, 3);
+    Explorer explorer(*h.evaluator, h.reward, config);
+    explorer.RunSteps(12);
+    return explorer.Suspend().Serialize();
+  }();
+  return serialized;
+}
+
+TEST(CheckpointCorruption, TruncatedFilesThrow) {
+  const std::string full = ValidSerializedCheckpoint();
+  // Cut at several depths: mid-header, mid-trace, just before "end".
+  for (const double fraction : {0.02, 0.3, 0.6, 0.95}) {
+    const std::string truncated =
+        full.substr(0, static_cast<std::size_t>(
+                           static_cast<double>(full.size()) * fraction));
+    EXPECT_THROW(Checkpoint::Deserialize(truncated), CheckpointError)
+        << "fraction=" << fraction;
+  }
+  // Dropping only the final "end" line must also be caught.
+  const std::string no_end = full.substr(0, full.rfind("end\n"));
+  EXPECT_THROW(Checkpoint::Deserialize(no_end), CheckpointError);
+}
+
+TEST(CheckpointCorruption, VersionMismatchThrows) {
+  std::string text = ValidSerializedCheckpoint();
+  const std::string header = "axdse-checkpoint v1";
+  ASSERT_EQ(text.compare(0, header.size(), header), 0);
+  text.replace(0, header.size(), "axdse-checkpoint v2");
+  EXPECT_THROW(Checkpoint::Deserialize(text), CheckpointError);
+  std::string garbage = ValidSerializedCheckpoint();
+  garbage.replace(0, header.size(), "not-a-checkpoint!!!");
+  EXPECT_THROW(Checkpoint::Deserialize(garbage), CheckpointError);
+}
+
+TEST(CheckpointCorruption, ReorderedFieldsThrow) {
+  const std::string text = ValidSerializedCheckpoint();
+  // Swap the "seed" and "agent-kind" lines (lines 3 and 4).
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_GT(lines.size(), 5u);
+  ASSERT_EQ(lines[2].rfind("seed ", 0), 0u);
+  ASSERT_EQ(lines[3].rfind("agent-kind ", 0), 0u);
+  std::swap(lines[2], lines[3]);
+  std::string reordered;
+  for (const std::string& line : lines) reordered += line + "\n";
+  EXPECT_THROW(Checkpoint::Deserialize(reordered), CheckpointError);
+}
+
+TEST(CheckpointCorruption, NaNInjectionThrows) {
+  // Replace the first reward value with nan: strict parsers reject NaN in
+  // every numeric field that is not explicitly non-finite-tolerant.
+  std::string text = ValidSerializedCheckpoint();
+  const std::size_t rewards = text.find("\nrewards ");
+  ASSERT_NE(rewards, std::string::npos);
+  // "rewards <N> <first> ..." — replace <first>.
+  std::size_t pos = text.find(' ', rewards + 9);  // after the count
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t end = text.find_first_of(" \n", pos + 1);
+  text.replace(pos + 1, end - pos - 1, "nan");
+  EXPECT_THROW(Checkpoint::Deserialize(text), CheckpointError);
+
+  // And inside the agent's Q-table rows: the outer parser frames the agent
+  // block verbatim (it cannot know agent internals), so the NaN surfaces as
+  // CheckpointError when the agent state is actually restored — still
+  // before any explorer state is mutated.
+  std::string qtable = ValidSerializedCheckpoint();
+  const std::size_t row = qtable.find("\nrow ");
+  ASSERT_NE(row, std::string::npos);
+  const std::size_t value = qtable.find(' ', row + 5);
+  const std::size_t value_end = qtable.find_first_of(" \n", value + 1);
+  qtable.replace(value + 1, value_end - value - 1, "nan");
+  const Checkpoint poisoned = Checkpoint::Deserialize(qtable);
+  Harness h = MakeHarness("matmul", 4);
+  const ExplorerConfig config = SmallConfig(AgentKind::kQLearning, 3);
+  Explorer explorer(*h.evaluator, h.reward, config);
+  EXPECT_THROW(explorer.ResumeFrom(poisoned), CheckpointError);
+  // The failed restore left the explorer pristine.
+  EXPECT_EQ(PayloadOf(explorer.Explore()),
+            PayloadOf(RunUninterrupted("matmul", 4, config)));
+}
+
+TEST(CheckpointCorruption, TrailingGarbageAndBadValuesThrow) {
+  EXPECT_THROW(Checkpoint::Deserialize(""), CheckpointError);
+  EXPECT_THROW(Checkpoint::Deserialize("axdse-checkpoint v1\n"),
+               CheckpointError);
+  std::string trailing = ValidSerializedCheckpoint();
+  trailing += "extra line after end\n";
+  EXPECT_THROW(Checkpoint::Deserialize(trailing), CheckpointError);
+  // A non-numeric seed.
+  std::string bad_seed = ValidSerializedCheckpoint();
+  const std::size_t seed_pos = bad_seed.find("\nseed ");
+  const std::size_t seed_end = bad_seed.find('\n', seed_pos + 1);
+  bad_seed.replace(seed_pos, seed_end - seed_pos, "\nseed soon");
+  EXPECT_THROW(Checkpoint::Deserialize(bad_seed), CheckpointError);
+  // An operator index wider than 32 bits must fail, not silently truncate
+  // to a different in-range configuration.
+  std::string wide_index = ValidSerializedCheckpoint();
+  const std::size_t env_cfg = wide_index.find("\nenv-config ");
+  ASSERT_NE(env_cfg, std::string::npos);
+  const std::size_t adder_start = env_cfg + 12;
+  const std::size_t adder_end = wide_index.find(' ', adder_start);
+  wide_index.replace(adder_start, adder_end - adder_start, "4294967296");
+  EXPECT_THROW(Checkpoint::Deserialize(wide_index), CheckpointError);
+}
+
+TEST(CheckpointCorruption, FailedResumeLeavesExplorerFullyUsable) {
+  // A checkpoint that parses but does not fit this explorer (wrong agent
+  // kind, wrong kernel space) must throw WITHOUT mutating the explorer or
+  // its evaluator: running from scratch afterwards must be byte-identical
+  // to a never-touched run.
+  const ExplorerConfig q_config = SmallConfig(AgentKind::kQLearning, 3);
+  const std::string reference =
+      PayloadOf(RunUninterrupted("matmul", 4, q_config));
+
+  // Wrong agent kind.
+  {
+    const Checkpoint checkpoint =
+        Checkpoint::Deserialize(ValidSerializedCheckpoint());  // q-learning
+    Harness h = MakeHarness("matmul", 4);
+    ExplorerConfig sarsa_config = SmallConfig(AgentKind::kSarsa, 3);
+    Explorer explorer(*h.evaluator, h.reward, sarsa_config);
+    EXPECT_THROW(explorer.ResumeFrom(checkpoint), CheckpointError);
+    // Same evaluator, same explorer: still pristine.
+    EXPECT_EQ(PayloadOf(explorer.Explore()),
+              PayloadOf(RunUninterrupted("matmul", 4, sarsa_config)));
+  }
+
+  // Wrong kernel space: a row-col-granularity matmul exposes 9 variables,
+  // the default per-matrix one only 3, so every configuration mismatches.
+  {
+    std::string foreign;
+    {
+      Harness h = MakeHarness("matmul", 4, {{"granularity", "row-col"}});
+      Explorer explorer(*h.evaluator, h.reward, q_config);
+      explorer.RunSteps(5);
+      foreign = explorer.Suspend().Serialize();
+    }
+    Harness h = MakeHarness("matmul", 4);
+    Explorer explorer(*h.evaluator, h.reward, q_config);
+    EXPECT_THROW(explorer.ResumeFrom(Checkpoint::Deserialize(foreign)),
+                 CheckpointError);
+    EXPECT_EQ(PayloadOf(explorer.Explore()), reference);
+  }
+
+  // A finished snapshot has nothing to resume.
+  {
+    Checkpoint finished;
+    finished.finished = true;
+    Harness h = MakeHarness("matmul", 4);
+    Explorer explorer(*h.evaluator, h.reward, q_config);
+    EXPECT_THROW(explorer.ResumeFrom(finished), CheckpointError);
+    EXPECT_EQ(PayloadOf(explorer.Explore()), reference);
+  }
+}
+
+TEST(CheckpointCorruption, SharedCacheCheckpointHardening) {
+  SharedCacheCheckpoint snapshot;
+  snapshot.signature = "matmul|size=4|seed=7";
+  instrument::Measurement m;
+  m.delta_acc = 0.5;
+  Configuration config(3);
+  config.SetVariable(1, true);
+  snapshot.entries.emplace_back(config, m);
+  snapshot.stats.misses = 1;
+  snapshot.stats.inserts = 1;
+  snapshot.stats.size = 1;
+  const std::string text = snapshot.Serialize();
+  const SharedCacheCheckpoint loaded =
+      SharedCacheCheckpoint::Deserialize(text);
+  EXPECT_EQ(loaded.Serialize(), text);
+  EXPECT_EQ(loaded.signature, snapshot.signature);
+
+  EXPECT_THROW(SharedCacheCheckpoint::Deserialize(""), CheckpointError);
+  EXPECT_THROW(
+      SharedCacheCheckpoint::Deserialize(text.substr(0, text.size() / 2)),
+      CheckpointError);
+  std::string wrong_version = text;
+  wrong_version.replace(0, 14, "axdse-cache v9");
+  EXPECT_THROW(SharedCacheCheckpoint::Deserialize(wrong_version),
+               CheckpointError);
+  // Size/entries disagreement is structural corruption.
+  std::string bad_size = text;
+  const std::size_t stats_pos = bad_size.find("\nstats ");
+  ASSERT_NE(stats_pos, std::string::npos);
+  const std::size_t stats_end = bad_size.find('\n', stats_pos + 1);
+  bad_size.replace(stats_pos, stats_end - stats_pos, "\nstats 0 1 1 0 7");
+  EXPECT_THROW(SharedCacheCheckpoint::Deserialize(bad_size), CheckpointError);
+}
+
+// ---------------------------------------------------------------------------
+// Golden fixture: the serialized checkpoint format is pinned byte-for-byte.
+// Regenerate intentionally with AXDSE_UPDATE_GOLDEN=1 and review the diff.
+// ---------------------------------------------------------------------------
+
+const char* GoldenFixturePath() {
+  return AXDSE_SOURCE_DIR "/tests/golden/matmul_checkpoint_seed1.ckpt";
+}
+
+/// Same pinned exploration as the golden-trace test, suspended at step 10.
+std::string PinnedCheckpointBytes() {
+  workloads::KernelParams params;
+  params.size = 5;
+  params.seed = 2023;
+  const auto kernel =
+      workloads::KernelRegistry::Global().Create("matmul", params);
+  Evaluator evaluator(*kernel);
+  const RewardConfig reward = MakePaperRewardConfig(evaluator);
+  ExplorerConfig config;
+  config.max_steps = 60;
+  config.max_cumulative_reward = 1e18;
+  config.agent.alpha = 0.15;
+  config.agent.gamma = 0.95;
+  config.agent.epsilon = rl::EpsilonSchedule::Linear(1.0, 0.05, 45);
+  config.seed = 1;
+  config.record_trace = true;
+  Explorer explorer(evaluator, reward, config);
+  explorer.RunSteps(10);
+  Checkpoint checkpoint = explorer.Suspend();
+  checkpoint.request = "kernel=matmul size=5 kernel-seed=2023";
+  checkpoint.seed = 1;
+  return checkpoint.Serialize();
+}
+
+TEST(GoldenCheckpoint, SerializedFormatMatchesCheckedInFixture) {
+  const std::string actual = PinnedCheckpointBytes();
+
+  if (std::getenv("AXDSE_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenFixturePath(), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenFixturePath();
+    out << actual;
+    GTEST_SKIP() << "fixture regenerated at " << GoldenFixturePath();
+  }
+
+  std::ifstream in(GoldenFixturePath(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing fixture " << GoldenFixturePath()
+                         << " — regenerate with AXDSE_UPDATE_GOLDEN=1";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "checkpoint format drifted; if intentional, bump "
+         "Checkpoint::kFormatVersion or regenerate the fixture with "
+         "AXDSE_UPDATE_GOLDEN=1 and review the diff";
+}
+
+TEST(GoldenCheckpoint, ResumingFromTheFixtureReproducesTheFullRun) {
+  // Format stability in the direction that matters: a checkpoint written by
+  // a previous build (the checked-in fixture) must restore in this build
+  // and finish byte-identically to the uninterrupted pinned run.
+  std::ifstream in(GoldenFixturePath(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing fixture " << GoldenFixturePath();
+  std::ostringstream text;
+  text << in.rdbuf();
+  const Checkpoint checkpoint = Checkpoint::Deserialize(text.str());
+  EXPECT_EQ(checkpoint.seed, 1u);
+  EXPECT_FALSE(checkpoint.finished);
+
+  workloads::KernelParams params;
+  params.size = 5;
+  params.seed = 2023;
+  ExplorerConfig config;
+  config.max_steps = 60;
+  config.max_cumulative_reward = 1e18;
+  config.agent.alpha = 0.15;
+  config.agent.gamma = 0.95;
+  config.agent.epsilon = rl::EpsilonSchedule::Linear(1.0, 0.05, 45);
+  config.seed = 1;
+  config.record_trace = true;
+
+  const auto run_reference = [&] {
+    const auto kernel =
+        workloads::KernelRegistry::Global().Create("matmul", params);
+    Evaluator evaluator(*kernel);
+    Explorer explorer(evaluator, MakePaperRewardConfig(evaluator), config);
+    return explorer.Explore();
+  };
+  const auto kernel =
+      workloads::KernelRegistry::Global().Create("matmul", params);
+  Evaluator evaluator(*kernel);
+  Explorer explorer(evaluator, MakePaperRewardConfig(evaluator), config);
+  explorer.ResumeFrom(checkpoint);
+  EXPECT_EQ(PayloadOf(explorer.Explore()), PayloadOf(run_reference()));
+}
+
+}  // namespace
+}  // namespace axdse::dse

@@ -10,11 +10,13 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "dse/checkpoint.hpp"
 #include "dse/engine.hpp"
 #include "report/export.hpp"
 #include "util/number_format.hpp"
@@ -164,6 +166,192 @@ TEST(EngineDeterminism, SharedModeSavesRunsOnOverlappingSeeds) {
   ASSERT_EQ(shared.shared_caches.size(), 1u);
   EXPECT_EQ(shared.shared_caches.front().jobs, 4u);
   EXPECT_EQ(shared.shared_caches.front().stats.rejected, 0u);
+}
+
+/// Fresh scratch directory under the system temp dir.
+std::filesystem::path ScratchDir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / ("axdse-" + name);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+bool DirectoryHasFiles(const std::filesystem::path& dir) {
+  std::error_code ec;
+  if (!std::filesystem::exists(dir, ec)) return false;
+  return std::filesystem::directory_iterator(dir, ec) !=
+         std::filesystem::directory_iterator();
+}
+
+TEST(EngineDeterminism, KilledAndResumedBatchIsByteIdenticalToUninterrupted) {
+  // The checkpoint subsystem's acceptance bar: kill a batch mid-run (twice,
+  // via the cooperative step budget), resume it from the checkpoint
+  // directory, and the finished payload AND the full JSON/CSV exports —
+  // cache statistics included — must be byte-identical to the same batch
+  // run uninterrupted. Covers every registry kernel, both cache modes, and
+  // {1, 2, 8} workers; the seeded agents cover multiple AgentKinds below.
+  const std::size_t worker_counts[] = {1, 2, 8};
+  std::size_t scratch = 0;
+  for (const CacheMode mode : {CacheMode::kPrivate, CacheMode::kShared}) {
+    const std::vector<ExplorationRequest> requests = RegistryBatch(mode);
+    const BatchResult reference = Engine(EngineOptions{4}).Run(requests);
+    const std::string reference_payload = PayloadOf(reference);
+    const std::string reference_json = report::BatchJson(reference);
+    const std::string reference_csv = report::BatchCsv(reference);
+
+    for (const std::size_t workers : worker_counts) {
+      const std::filesystem::path dir = ScratchDir(
+          "resume-" + std::to_string(++scratch));
+      const Engine engine(EngineOptions{workers});
+
+      // First "kill": every job suspends after 35 new steps.
+      const BatchResult first =
+          engine.SaveBatchCheckpoint(requests, dir.string(), 35);
+      ASSERT_GT(first.unfinished_jobs, 0u)
+          << "mode=" << dse::ToString(mode) << " workers=" << workers;
+      EXPECT_FALSE(first.Complete());
+      for (const RequestResult& result : first.results)
+        for (const ExplorationResult& run : result.runs)
+          if (run.stop_reason == rl::StopReason::kSuspended) {
+            EXPECT_EQ(run.steps, 35u);  // exactly the budget, then suspended
+          }
+      EXPECT_TRUE(DirectoryHasFiles(dir));
+
+      // Second "kill" from a brand-new engine (a new process, effectively).
+      const BatchResult second =
+          engine.SaveBatchCheckpoint(requests, dir.string(), 35);
+      EXPECT_LE(second.unfinished_jobs, first.unfinished_jobs);
+
+      // Final resume runs everything to completion.
+      const BatchResult resumed = engine.ResumeBatch(requests, dir.string());
+      EXPECT_TRUE(resumed.Complete());
+      EXPECT_EQ(PayloadOf(resumed), reference_payload)
+          << "mode=" << dse::ToString(mode) << " workers=" << workers;
+      EXPECT_EQ(report::BatchJson(resumed), reference_json)
+          << "mode=" << dse::ToString(mode) << " workers=" << workers;
+      EXPECT_EQ(report::BatchCsv(resumed), reference_csv)
+          << "mode=" << dse::ToString(mode) << " workers=" << workers;
+
+      // Completion removes this batch's snapshots.
+      EXPECT_FALSE(DirectoryHasFiles(dir));
+      std::filesystem::remove_all(dir);
+    }
+  }
+}
+
+TEST(EngineDeterminism, ResumedBatchCoversEveryAgentKind) {
+  // One request per AgentKind over one kernel, killed and resumed: the agent
+  // internals (DoubleQ's second table, Q(lambda) traces, SARSA's pending
+  // update, schedule counters) must all survive the round trip.
+  std::vector<ExplorationRequest> requests;
+  for (const AgentKind kind :
+       {AgentKind::kQLearning, AgentKind::kSarsa, AgentKind::kExpectedSarsa,
+        AgentKind::kDoubleQ, AgentKind::kQLambda})
+    requests.push_back(RequestBuilder("matmul")
+                           .Size(4)
+                           .KernelSeed(7)
+                           .Agent(kind)
+                           .MaxSteps(90)
+                           .RewardCap(1e18)
+                           .Epsilon(1.0, 0.05, 60)
+                           .Seed(3)
+                           .Seeds(2)
+                           .RecordTrace()
+                           .Build());
+  const BatchResult reference = Engine(EngineOptions{4}).Run(requests);
+  const std::string reference_payload = PayloadOf(reference);
+  const std::string reference_json = report::BatchJson(reference);
+
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{8}}) {
+    const std::filesystem::path dir =
+        ScratchDir("resume-agents-" + std::to_string(workers));
+    const Engine engine(EngineOptions{workers});
+    const BatchResult partial =
+        engine.SaveBatchCheckpoint(requests, dir.string(), 41);
+    ASSERT_GT(partial.unfinished_jobs, 0u);
+    const BatchResult resumed = engine.ResumeBatch(requests, dir.string());
+    EXPECT_TRUE(resumed.Complete());
+    EXPECT_EQ(PayloadOf(resumed), reference_payload) << "workers=" << workers;
+    EXPECT_EQ(report::BatchJson(resumed), reference_json)
+        << "workers=" << workers;
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(EngineDeterminism, CheckpointedCompleteRunMatchesAndCleansUp) {
+  // A checkpointed batch that never gets killed (interval autosaves only)
+  // must behave exactly like a plain run and leave no snapshot files.
+  const std::vector<ExplorationRequest> requests =
+      RegistryBatch(CacheMode::kShared);
+  const BatchResult reference = Engine(EngineOptions{2}).Run(requests);
+  const std::filesystem::path dir = ScratchDir("resume-interval");
+  CheckpointOptions checkpoint;
+  checkpoint.directory = dir.string();
+  checkpoint.interval = 30;
+  const BatchResult result =
+      Engine(EngineOptions{2}).Run(requests, checkpoint);
+  EXPECT_TRUE(result.Complete());
+  EXPECT_EQ(PayloadOf(result), PayloadOf(reference));
+  EXPECT_EQ(report::BatchJson(result), report::BatchJson(reference));
+  EXPECT_FALSE(DirectoryHasFiles(dir));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EngineDeterminism, BatchesSharingADirectoryDoNotCrossContaminate) {
+  // Cache snapshots are keyed by batch identity + kernel signature: a
+  // different batch over the SAME kernel run in the same directory must
+  // neither restore nor delete a suspended batch's cache state, and the
+  // suspended batch must still resume byte-identically.
+  const auto build = [](std::uint64_t seed, std::size_t steps) {
+    return RequestBuilder("matmul")
+        .Size(4)
+        .KernelSeed(7)
+        .MaxSteps(steps)
+        .RewardCap(1e18)
+        .Epsilon(1.0, 0.05, 60)
+        .Seed(seed)
+        .Seeds(2)
+        .RecordTrace()
+        .Cache(CacheMode::kShared)
+        .Build();
+  };
+  const std::vector<ExplorationRequest> batch_a = {build(3, 90)};
+  const std::vector<ExplorationRequest> batch_b = {build(11, 70)};
+  const Engine engine(EngineOptions{2});
+  const std::string reference_a_json =
+      report::BatchJson(engine.Run(batch_a));
+  const std::string reference_b_json =
+      report::BatchJson(engine.Run(batch_b));
+
+  const std::filesystem::path dir = ScratchDir("resume-two-batches");
+  // Suspend A, then run B to completion in the same directory.
+  ASSERT_GT(engine.SaveBatchCheckpoint(batch_a, dir.string(), 30)
+                .unfinished_jobs,
+            0u);
+  const BatchResult b = engine.ResumeBatch(batch_b, dir.string());
+  EXPECT_TRUE(b.Complete());
+  EXPECT_EQ(report::BatchJson(b), reference_b_json);  // A's state not seen
+  // A's snapshots survived B's completion cleanup and resume intact.
+  const BatchResult a = engine.ResumeBatch(batch_a, dir.string());
+  EXPECT_TRUE(a.Complete());
+  EXPECT_EQ(report::BatchJson(a), reference_a_json);
+  EXPECT_FALSE(DirectoryHasFiles(dir));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EngineDeterminism, CheckpointingRejectsKernelOverrideRequests) {
+  workloads::KernelParams params;
+  params.size = 4;
+  params.seed = 7;
+  std::shared_ptr<const workloads::Kernel> kernel =
+      workloads::KernelRegistry::Global().Create("matmul", params);
+  const ExplorationRequest request =
+      RequestBuilder(kernel).MaxSteps(20).Build();
+  const std::filesystem::path dir = ScratchDir("resume-override");
+  EXPECT_THROW(Engine(EngineOptions{1}).SaveBatchCheckpoint({request},
+                                                            dir.string(), 10),
+               std::invalid_argument);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -90,12 +90,14 @@ TEST(ExplorationRequest, StringRoundTripIsLossless) {
                                          .Seeds(3)
                                          .Seed(5)
                                          .Epsilon(0.8, 0.02, 900)
+                                         .CheckpointInterval(2500)
                                          .Build();
   const ExplorationRequest parsed =
       ExplorationRequest::Parse(request.ToString());
   EXPECT_EQ(parsed, request);
   EXPECT_EQ(parsed.label, "FIR low pass; 21 taps");
   EXPECT_EQ(parsed.params.extra.at("taps"), "21");
+  EXPECT_EQ(parsed.checkpoint_interval, 2500u);
   // Round-trip is a fixed point.
   EXPECT_EQ(parsed.ToString(), request.ToString());
 }

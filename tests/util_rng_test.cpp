@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -182,6 +183,58 @@ TEST(Rng, ForkDivergesFromParentButDeterministic) {
   // Forks of identical parents are identical.
   for (int i = 0; i < 100; ++i)
     EXPECT_EQ(child1.NextBits(), child2.NextBits());
+}
+
+TEST(Xoshiro, GetStateSetStateRoundTrip) {
+  Xoshiro256StarStar a(99);
+  for (int i = 0; i < 57; ++i) a();  // advance to an arbitrary point
+  const auto state = a.GetState();
+  Xoshiro256StarStar b(1);  // different seed, then overwritten
+  b.SetState(state);
+  EXPECT_EQ(b.GetState(), state);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, SetStateRejectsAllZeroState) {
+  Xoshiro256StarStar gen(1);
+  EXPECT_THROW(gen.SetState({0, 0, 0, 0}), std::invalid_argument);
+}
+
+TEST(Rng, GetStateSetStateRoundTrip) {
+  Rng a(2024);
+  for (int i = 0; i < 123; ++i) a.UniformReal();
+  const RngState state = a.GetState();
+  Rng b(7);
+  b.SetState(state);
+  EXPECT_EQ(b.GetState(), state);
+}
+
+TEST(Rng, RestoredStreamIsEquivalentAcrossAllDistributions) {
+  // Stream equivalence: a restored Rng must continue the exact output
+  // stream of the original, including the cached Box-Muller half.
+  Rng original(77);
+  for (int i = 0; i < 31; ++i) original.Gaussian();  // leaves a cached value
+  const RngState state = original.GetState();
+  EXPECT_TRUE(state.has_cached_gaussian);
+
+  Rng restored(1);
+  restored.SetState(state);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(original.NextBits(), restored.NextBits());
+    EXPECT_DOUBLE_EQ(original.Gaussian(), restored.Gaussian());
+    EXPECT_EQ(original.UniformInt(-10, 10), restored.UniformInt(-10, 10));
+    EXPECT_DOUBLE_EQ(original.UniformReal(), restored.UniformReal());
+    EXPECT_EQ(original.Bernoulli(0.4), restored.Bernoulli(0.4));
+    EXPECT_EQ(original.UniformBelow(13), restored.UniformBelow(13));
+  }
+}
+
+TEST(Rng, SetStateRejectsNaNCachedGaussian) {
+  Rng rng(1);
+  RngState state = rng.GetState();
+  state.has_cached_gaussian = true;
+  state.cached_gaussian = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(rng.SetState(state), std::invalid_argument);
 }
 
 TEST(Rng, SameSeedFullyReproducible) {
