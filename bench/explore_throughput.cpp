@@ -1,0 +1,207 @@
+// Tracked exploration-throughput benchmark: measures RL steps/sec and
+// kernel-runs/sec for every registry kernel x agent combination, plus a
+// headline measurement reproducing the table3 MatMul 10x10 request (both
+// granularities), and emits BENCH_explore_throughput.json so the perf
+// trajectory of the evaluate hot path is pinned across PRs.
+//
+// The headline compares against a recorded pre-compiled-plan baseline
+// (virtual per-op dispatch, measured on the CI reference box at commit
+// de92287 with this same harness): the row-col matmul exploration is
+// kernel-evaluation-bound (2n+1 variables make nearly every step a fresh
+// kernel run), so it is the number the compiled-plan/batched-primitive
+// work is accountable to. The per-matrix variant (288 configurations,
+// cache-hit dominated) is recorded alongside as the cache-path control.
+//
+// Flags: --steps=N        headline step budget      (default 10000)
+//        --grid-steps=N   per-combination budget    (default 2000)
+//        --quick          CI smoke mode: 1000/300 steps (schema checks,
+//                         not timing)
+//        --json=PATH      output path (default BENCH_explore_throughput.json)
+//        --baseline=X     override the recorded baseline steps/sec
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "axdse.hpp"
+#include "util/number_format.hpp"
+
+namespace {
+
+using namespace axdse;
+
+// Pre-PR baseline, measured with this harness (same flags, same request)
+// at commit de92287 — before devirtualized operator dispatch and batched
+// kernel primitives — on the single-core CI reference box.
+constexpr double kBaselineRowColStepsPerSec = 80604.0;
+constexpr double kBaselineRowColKernelRunsPerSec = 76888.0;
+constexpr double kBaselinePerMatrixStepsPerSec = 2394559.0;
+
+struct Sample {
+  std::string kernel;
+  std::string agent;
+  std::size_t steps = 0;
+  std::size_t kernel_runs = 0;       // distinct evaluations (deterministic)
+  std::size_t kernel_runs_executed = 0;
+  double seconds = 0.0;
+
+  double StepsPerSec() const {
+    return seconds > 0.0 ? static_cast<double>(steps) / seconds : 0.0;
+  }
+  double KernelRunsPerSec() const {
+    return seconds > 0.0 ? static_cast<double>(kernel_runs_executed) / seconds
+                         : 0.0;
+  }
+};
+
+dse::RequestBuilder Table3MatMul(std::size_t steps,
+                                 const std::string& granularity) {
+  // Mirrors bench/table3_exploration.cpp's "MatMul 10x10" request.
+  return Session::Request("matmul")
+      .Size(10)
+      .KernelSeed(2023)
+      .MaxSteps(steps)
+      .RewardCap(500.0)
+      .Alpha(0.15)
+      .Gamma(0.95)
+      .Seed(1)
+      .KernelParam("granularity", granularity);
+}
+
+Sample Measure(const Session& session, const dse::ExplorationRequest& request,
+               const std::string& kernel_label, const std::string& agent) {
+  const auto start = std::chrono::steady_clock::now();
+  const dse::RequestResult result = session.Explore(request);
+  const auto stop = std::chrono::steady_clock::now();
+
+  Sample sample;
+  sample.kernel = kernel_label;
+  sample.agent = agent;
+  sample.seconds = std::chrono::duration<double>(stop - start).count();
+  for (const dse::ExplorationResult& run : result.runs) {
+    sample.steps += run.steps;
+    sample.kernel_runs += run.kernel_runs;
+    sample.kernel_runs_executed += run.kernel_runs_executed;
+  }
+  return sample;
+}
+
+void WriteSample(std::ostream& out, const Sample& s) {
+  out << "{\"kernel\":\"" << s.kernel << "\",\"agent\":\"" << s.agent
+      << "\",\"steps\":" << s.steps << ",\"kernel_runs\":" << s.kernel_runs
+      << ",\"kernel_runs_executed\":" << s.kernel_runs_executed
+      << ",\"seconds\":" << util::ShortestDouble(s.seconds)
+      << ",\"steps_per_sec\":" << util::ShortestDouble(s.StepsPerSec())
+      << ",\"kernel_runs_per_sec\":"
+      << util::ShortestDouble(s.KernelRunsPerSec()) << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const bool quick = args.Has("quick");
+  const std::size_t headline_steps = static_cast<std::size_t>(
+      args.GetInt("steps", quick ? 1000 : 10000));
+  const std::size_t grid_steps = static_cast<std::size_t>(
+      args.GetInt("grid-steps", quick ? 300 : 2000));
+  const double baseline_steps_per_sec =
+      args.GetDouble("baseline", kBaselineRowColStepsPerSec);
+
+  // Timing runs are sequential on one worker: a bench must not fight its
+  // own measurements for cores.
+  Session session(dse::EngineOptions{1});
+
+  std::printf("Headline: table3 MatMul 10x10, %zu steps\n", headline_steps);
+  const Sample rowcol =
+      Measure(session, Table3MatMul(headline_steps, "row-col").Build(),
+              "matmul-10x10/row-col", "q-learning");
+  const Sample permatrix =
+      Measure(session, Table3MatMul(headline_steps, "per-matrix").Build(),
+              "matmul-10x10/per-matrix", "q-learning");
+  const double speedup = baseline_steps_per_sec > 0.0
+                             ? rowcol.StepsPerSec() / baseline_steps_per_sec
+                             : 0.0;
+  std::printf(
+      "  row-col:    %10.0f steps/sec  %10.0f kernel-runs/sec  "
+      "(baseline %.0f, speedup %.2fx)\n",
+      rowcol.StepsPerSec(), rowcol.KernelRunsPerSec(), baseline_steps_per_sec,
+      speedup);
+  std::printf("  per-matrix: %10.0f steps/sec  %10.0f kernel-runs/sec\n",
+              permatrix.StepsPerSec(), permatrix.KernelRunsPerSec());
+
+  // Grid: every registry kernel x every agent, small sizes so the full
+  // sweep stays in seconds.
+  struct KernelCase {
+    const char* name;
+    std::size_t size;
+  };
+  const std::vector<KernelCase> kernels = {{"matmul", 10}, {"fir", 100},
+                                           {"iir", 128},   {"conv2d", 16},
+                                           {"dct", 4},     {"dot", 64}};
+  const std::vector<dse::AgentKind> agents = {
+      dse::AgentKind::kQLearning, dse::AgentKind::kSarsa,
+      dse::AgentKind::kExpectedSarsa, dse::AgentKind::kDoubleQ,
+      dse::AgentKind::kQLambda};
+
+  std::vector<Sample> grid;
+  std::printf("Grid: %zu kernels x %zu agents, %zu steps each\n",
+              kernels.size(), agents.size(), grid_steps);
+  for (const KernelCase& kc : kernels) {
+    for (const dse::AgentKind agent : agents) {
+      auto builder = Session::Request(kc.name)
+                         .Size(kc.size)
+                         .KernelSeed(2023)
+                         .MaxSteps(grid_steps)
+                         .RewardCap(500.0)
+                         .Seed(1)
+                         .Agent(agent);
+      if (std::string(kc.name) == "matmul")
+        builder.KernelParam("granularity", "row-col");
+      grid.push_back(
+          Measure(session, builder.Build(), kc.name, dse::ToString(agent)));
+      const Sample& s = grid.back();
+      std::printf("  %-8s %-14s %10.0f steps/sec  %10.0f kernel-runs/sec\n",
+                  s.kernel.c_str(), s.agent.c_str(), s.StepsPerSec(),
+                  s.KernelRunsPerSec());
+    }
+  }
+
+  const std::string path =
+      args.GetString("json", "BENCH_explore_throughput.json");
+  std::ofstream out(path);
+  out << "{\"schema\":\"axdse-explore-throughput-v1\""
+      << ",\"quick\":" << (quick ? "true" : "false")
+      << ",\"headline_steps\":" << headline_steps
+      << ",\"grid_steps\":" << grid_steps << ",\"baseline\":{"
+      << "\"label\":\"pre-compiled-plan virtual dispatch (commit de92287)\""
+      << ",\"matmul_table3_rowcol_steps_per_sec\":"
+      << util::ShortestDouble(baseline_steps_per_sec)
+      << ",\"matmul_table3_rowcol_kernel_runs_per_sec\":"
+      << util::ShortestDouble(kBaselineRowColKernelRunsPerSec)
+      << ",\"matmul_table3_permatrix_steps_per_sec\":"
+      << util::ShortestDouble(kBaselinePerMatrixStepsPerSec) << "}"
+      << ",\"current\":{\"matmul_table3_rowcol_steps_per_sec\":"
+      << util::ShortestDouble(rowcol.StepsPerSec())
+      << ",\"matmul_table3_rowcol_kernel_runs_per_sec\":"
+      << util::ShortestDouble(rowcol.KernelRunsPerSec())
+      << ",\"matmul_table3_permatrix_steps_per_sec\":"
+      << util::ShortestDouble(permatrix.StepsPerSec())
+      << ",\"speedup_vs_baseline\":" << util::ShortestDouble(speedup) << "}"
+      << ",\"headline\":[";
+  WriteSample(out, rowcol);
+  out << ",";
+  WriteSample(out, permatrix);
+  out << "],\"grid\":[";
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (i != 0) out << ",";
+    WriteSample(out, grid[i]);
+  }
+  out << "]}\n";
+  out.close();
+  std::printf("throughput JSON written to %s (speedup %.2fx vs baseline)\n",
+              path.c_str(), speedup);
+  return 0;
+}

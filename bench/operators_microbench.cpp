@@ -43,6 +43,71 @@ void BM_Multiplier(benchmark::State& state, const axc::MultiplierSpec& spec) {
   }
 }
 
+// --- scalar-vs-plan dispatch comparison -------------------------------------
+// The same MAC through (a) the historical virtual Adder/Multiplier calls,
+// (b) the compiled-plan descriptor switch, and (c) the batched context
+// primitive — the three dispatch generations on the evaluate hot path.
+
+void BM_ScalarMacVirtual(benchmark::State& state,
+                         const axc::MultiplierSpec& mul_spec,
+                         const axc::AdderSpec& add_spec) {
+  const auto a = MakeOperands(8, 4096, 5);
+  const auto b = MakeOperands(8, 4096, 6);
+  const axc::Multiplier* mul = mul_spec.model.get();
+  const axc::Adder* add = add_spec.model.get();
+  std::int64_t acc = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    acc = add->AddSigned(
+        acc, mul->MultiplySigned(static_cast<std::int64_t>(a[i & 4095]),
+                                 static_cast<std::int64_t>(b[i & 4095])));
+    benchmark::DoNotOptimize(acc);
+    acc = 0;
+    ++i;
+  }
+}
+
+void BM_ScalarMacPlan(benchmark::State& state,
+                      const axc::MultiplierSpec& mul_spec,
+                      const axc::AdderSpec& add_spec) {
+  const auto a = MakeOperands(8, 4096, 5);
+  const auto b = MakeOperands(8, 4096, 6);
+  const axc::MulOpDescriptor mul = mul_spec.model->PlanDescriptor();
+  const axc::AddOpDescriptor add = add_spec.model->PlanDescriptor();
+  std::int64_t acc = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    acc = axc::DispatchAddSigned(
+        add, acc,
+        axc::DispatchMulSigned(mul, static_cast<std::int64_t>(a[i & 4095]),
+                               static_cast<std::int64_t>(b[i & 4095])));
+    benchmark::DoNotOptimize(acc);
+    acc = 0;
+    ++i;
+  }
+}
+
+void BM_BatchedDot(benchmark::State& state, std::uint32_t mul_index,
+                   std::uint32_t add_index) {
+  const auto set = axc::EvoApproxCatalog::Instance().MatMulSet();
+  instrument::ApproxContext ctx(set, 3);
+  instrument::ApproxSelection sel(3);
+  sel.SetAdderIndex(add_index);
+  sel.SetMultiplierIndex(mul_index);
+  sel.SetVariable(0, true);  // both mul and add groups approximated
+  sel.SetVariable(2, true);
+  ctx.Configure(sel);
+  util::Rng rng(7);
+  std::vector<std::uint8_t> a(4096), b(4096);
+  for (auto& v : a) v = static_cast<std::uint8_t>(rng.UniformBelow(256));
+  for (auto& v : b) v = static_cast<std::uint8_t>(rng.UniformBelow(256));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ctx.DotAccumulate(0, a.data(), 1, b.data(), 1, 4096, {0, 1}, {2}));
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+
 void BM_ContextDispatch(benchmark::State& state) {
   const auto set = axc::EvoApproxCatalog::Instance().MatMulSet();
   instrument::ApproxContext ctx(set, 4);
@@ -91,6 +156,22 @@ const int kRegistered = [] {
                                  BM_Multiplier, spec);
   benchmark::RegisterBenchmark("instrument/context_dispatch",
                                BM_ContextDispatch);
+  // Dispatch-generation comparison on a representative approximate pair
+  // (GTR multiplier + 6R6 adder) and on the fully exact pair.
+  const auto& mul8 = catalog.Multipliers8();
+  const auto& add8 = catalog.Adders8();
+  benchmark::RegisterBenchmark("dispatch/scalar_mac_virtual/GTRx6R6",
+                               BM_ScalarMacVirtual, mul8[2], add8[2]);
+  benchmark::RegisterBenchmark("dispatch/scalar_mac_plan/GTRx6R6",
+                               BM_ScalarMacPlan, mul8[2], add8[2]);
+  benchmark::RegisterBenchmark("dispatch/scalar_mac_virtual/exact",
+                               BM_ScalarMacVirtual, mul8[0], add8[0]);
+  benchmark::RegisterBenchmark("dispatch/scalar_mac_plan/exact",
+                               BM_ScalarMacPlan, mul8[0], add8[0]);
+  for (std::uint32_t mi : {0u, 2u, 3u})
+    benchmark::RegisterBenchmark(
+        ("dispatch/batched_dot/" + mul8[mi].type_code).c_str(), BM_BatchedDot,
+        mi, 2u);
   benchmark::RegisterBenchmark("kernel/matmul_run", BM_MatMulKernelRun)
       ->Arg(10)
       ->Arg(25);

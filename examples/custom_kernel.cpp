@@ -41,7 +41,10 @@ class SadKernel final : public workloads::Kernel {
       p = static_cast<std::uint8_t>(rng.UniformBelow(256));
   }
 
-  std::string Name() const override { return "sad-8x8"; }
+  const std::string& Name() const noexcept override {
+    static const std::string name = "sad-8x8";
+    return name;
+  }
   const axc::OperatorSet& Operators() const noexcept override {
     return operators_;
   }

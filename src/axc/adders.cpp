@@ -2,13 +2,11 @@
 
 #include <stdexcept>
 
+#include "axc/op_primitives.hpp"
+
 namespace axdse::axc {
 
 namespace {
-
-constexpr std::uint64_t LowMask(int bits) noexcept {
-  return bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
-}
 
 void CheckOperandBits(int operand_bits) {
   if (operand_bits < 1 || operand_bits > 64)
@@ -24,14 +22,14 @@ void CheckApproxBits(int operand_bits, int approx_bits) {
 
 }  // namespace
 
+// The family arithmetic lives in axc/op_primitives.hpp (shared with the
+// compiled-plan dispatcher); these classes adapt it to the catalog /
+// characterization interface.
+
 std::int64_t Adder::AddSigned(std::int64_t a, std::int64_t b) const noexcept {
-  if ((a >= 0) == (b >= 0)) {
-    const std::uint64_t ma = static_cast<std::uint64_t>(a < 0 ? -a : a);
-    const std::uint64_t mb = static_cast<std::uint64_t>(b < 0 ? -b : b);
-    const std::int64_t mag = static_cast<std::int64_t>(Add(ma, mb));
-    return a < 0 ? -mag : mag;
-  }
-  return a + b;  // mixed signs: subtraction handled exactly
+  return ops::SignedAdd(
+      [this](std::uint64_t x, std::uint64_t y) noexcept { return Add(x, y); },
+      a, b);
 }
 
 ExactAdder::ExactAdder(int operand_bits) : operand_bits_(operand_bits) {
@@ -41,7 +39,7 @@ ExactAdder::ExactAdder(int operand_bits) : operand_bits_(operand_bits) {
 std::string ExactAdder::Describe() const { return "Exact"; }
 
 std::uint64_t ExactAdder::Add(std::uint64_t a, std::uint64_t b) const noexcept {
-  return a + b;
+  return ops::ExactAdd(a, b);
 }
 
 LowerOrAdder::LowerOrAdder(int operand_bits, int approx_bits)
@@ -54,10 +52,7 @@ std::string LowerOrAdder::Describe() const {
 }
 
 std::uint64_t LowerOrAdder::Add(std::uint64_t a, std::uint64_t b) const noexcept {
-  const std::uint64_t mask = LowMask(approx_bits_);
-  const std::uint64_t high = (a >> approx_bits_) + (b >> approx_bits_);
-  const std::uint64_t low = (a | b) & mask;
-  return (high << approx_bits_) | low;
+  return ops::LowerOrAdd(a, b, approx_bits_);
 }
 
 TruncatedZeroAdder::TruncatedZeroAdder(int operand_bits, int approx_bits)
@@ -71,8 +66,7 @@ std::string TruncatedZeroAdder::Describe() const {
 
 std::uint64_t TruncatedZeroAdder::Add(std::uint64_t a,
                                       std::uint64_t b) const noexcept {
-  const std::uint64_t high = (a >> approx_bits_) + (b >> approx_bits_);
-  return high << approx_bits_;
+  return ops::TruncatedZeroAdd(a, b, approx_bits_);
 }
 
 TruncatedPassAAdder::TruncatedPassAAdder(int operand_bits, int approx_bits)
@@ -86,9 +80,7 @@ std::string TruncatedPassAAdder::Describe() const {
 
 std::uint64_t TruncatedPassAAdder::Add(std::uint64_t a,
                                        std::uint64_t b) const noexcept {
-  const std::uint64_t mask = LowMask(approx_bits_);
-  const std::uint64_t high = (a >> approx_bits_) + (b >> approx_bits_);
-  return (high << approx_bits_) | (a & mask);
+  return ops::TruncatedPassAAdd(a, b, approx_bits_);
 }
 
 SegmentedCarryAdder::SegmentedCarryAdder(int operand_bits, int segment_bits)
@@ -104,23 +96,7 @@ std::string SegmentedCarryAdder::Describe() const {
 
 std::uint64_t SegmentedCarryAdder::Add(std::uint64_t a,
                                        std::uint64_t b) const noexcept {
-  const std::uint64_t seg_mask = LowMask(segment_bits_);
-  std::uint64_t result = 0;
-  std::uint64_t carry_in = 0;
-  for (int shift = 0; shift < 64; shift += segment_bits_) {
-    const std::uint64_t sa = (a >> shift) & seg_mask;
-    const std::uint64_t sb = (b >> shift) & seg_mask;
-    const std::uint64_t sum = sa + sb + carry_in;
-    result |= (sum & seg_mask) << shift;
-    // Speculative carry (ETAII): the carry entering the next segment is
-    // predicted from this segment's operand bits alone — the incoming carry
-    // is deliberately NOT folded in, so a carry chain never crosses more
-    // than one segment boundary. This is where the approximation error
-    // comes from.
-    carry_in = (sa + sb) >> segment_bits_;
-    if (shift + segment_bits_ >= 64) break;
-  }
-  return result;
+  return ops::SegmentedCarryAdd(a, b, segment_bits_);
 }
 
 AlmostCorrectAdder::AlmostCorrectAdder(int operand_bits, int window)
@@ -136,24 +112,7 @@ std::string AlmostCorrectAdder::Describe() const {
 
 std::uint64_t AlmostCorrectAdder::Add(std::uint64_t a,
                                       std::uint64_t b) const noexcept {
-  // Result bit i uses the exact sum of bits [max(0, i-window), i] with zero
-  // carry-in: any carry chain longer than `window` is cut.
-  std::uint64_t result = 0;
-  for (int i = 0; i < 64; ++i) {
-    const int lo = i - window_ < 0 ? 0 : i - window_;
-    const int span = i - lo + 1;
-    const std::uint64_t mask = LowMask(span);
-    const std::uint64_t sa = (a >> lo) & mask;
-    const std::uint64_t sb = (b >> lo) & mask;
-    const std::uint64_t local = sa + sb;
-    result |= ((local >> (i - lo)) & 1ULL) << i;
-    // Bits above both operands' ranges cannot be set; stop once both
-    // operands are exhausted and no local sum can reach bit i.
-    if ((a >> i) == 0 && (b >> i) == 0 && ((local >> (i - lo)) & 1ULL) == 0 &&
-        i > 0)
-      break;
-  }
-  return result;
+  return ops::AlmostCorrectAdd(a, b, window_);
 }
 
 AmaAdder::AmaAdder(int operand_bits, int approx_bits)
@@ -166,21 +125,7 @@ std::string AmaAdder::Describe() const {
 }
 
 std::uint64_t AmaAdder::Add(std::uint64_t a, std::uint64_t b) const noexcept {
-  // Low positions use the AMA1 approximate full adder: Cout is the exact
-  // majority, Sum is the complement of Cout — wrong only for input triples
-  // (0,0,0) and (1,1,1).
-  std::uint64_t result = 0;
-  std::uint64_t carry = 0;
-  for (int i = 0; i < approx_bits_; ++i) {
-    const std::uint64_t ai = (a >> i) & 1ULL;
-    const std::uint64_t bi = (b >> i) & 1ULL;
-    const std::uint64_t cout = (ai & bi) | (ai & carry) | (bi & carry);
-    result |= (1ULL - cout) << i;  // Sum = NOT(Cout)
-    carry = cout;
-  }
-  const std::uint64_t high =
-      (a >> approx_bits_) + (b >> approx_bits_) + carry;
-  return result | (high << approx_bits_);
+  return ops::AmaAdd(a, b, approx_bits_);
 }
 
 std::shared_ptr<const Adder> MakeExactAdder(int operand_bits) {

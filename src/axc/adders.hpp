@@ -26,6 +26,8 @@
 #include <memory>
 #include <string>
 
+#include "axc/execution_plan.hpp"
+
 namespace axdse::axc {
 
 /// Interface for (approximate) integer adders.
@@ -50,6 +52,14 @@ class Adder {
   /// magnitudes; mixed signs fall back to exact subtraction (approximate
   /// adders model the ADD datapath; see DESIGN.md §4.3).
   std::int64_t AddSigned(std::int64_t a, std::int64_t b) const noexcept;
+
+  /// POD descriptor for the compiled-plan dispatcher (execution_plan.hpp).
+  /// Built-in families return their closed-form opcode so hot paths can
+  /// inline them; the default routes through virtual Add() — subclasses
+  /// outside the catalog keep working unchanged, at the historical cost.
+  virtual AddOpDescriptor PlanDescriptor() const noexcept {
+    return AddOpDescriptor{AddOpCode::kVirtual, 0, this};
+  }
 };
 
 /// Golden exact adder.
@@ -59,6 +69,9 @@ class ExactAdder final : public Adder {
   int OperandBits() const noexcept override { return operand_bits_; }
   std::string Describe() const override;
   std::uint64_t Add(std::uint64_t a, std::uint64_t b) const noexcept override;
+  AddOpDescriptor PlanDescriptor() const noexcept override {
+    return AddOpDescriptor{AddOpCode::kExact, 0, nullptr};
+  }
 
  private:
   int operand_bits_;
@@ -73,6 +86,9 @@ class LowerOrAdder final : public Adder {
   int ApproxBits() const noexcept { return approx_bits_; }
   std::string Describe() const override;
   std::uint64_t Add(std::uint64_t a, std::uint64_t b) const noexcept override;
+  AddOpDescriptor PlanDescriptor() const noexcept override {
+    return AddOpDescriptor{AddOpCode::kLowerOr, approx_bits_, nullptr};
+  }
 
  private:
   int operand_bits_;
@@ -87,6 +103,9 @@ class TruncatedZeroAdder final : public Adder {
   int ApproxBits() const noexcept { return approx_bits_; }
   std::string Describe() const override;
   std::uint64_t Add(std::uint64_t a, std::uint64_t b) const noexcept override;
+  AddOpDescriptor PlanDescriptor() const noexcept override {
+    return AddOpDescriptor{AddOpCode::kTruncatedZero, approx_bits_, nullptr};
+  }
 
  private:
   int operand_bits_;
@@ -101,6 +120,9 @@ class TruncatedPassAAdder final : public Adder {
   int ApproxBits() const noexcept { return approx_bits_; }
   std::string Describe() const override;
   std::uint64_t Add(std::uint64_t a, std::uint64_t b) const noexcept override;
+  AddOpDescriptor PlanDescriptor() const noexcept override {
+    return AddOpDescriptor{AddOpCode::kTruncatedPassA, approx_bits_, nullptr};
+  }
 
  private:
   int operand_bits_;
@@ -117,6 +139,9 @@ class SegmentedCarryAdder final : public Adder {
   int SegmentBits() const noexcept { return segment_bits_; }
   std::string Describe() const override;
   std::uint64_t Add(std::uint64_t a, std::uint64_t b) const noexcept override;
+  AddOpDescriptor PlanDescriptor() const noexcept override {
+    return AddOpDescriptor{AddOpCode::kSegmentedCarry, segment_bits_, nullptr};
+  }
 
  private:
   int operand_bits_;
@@ -135,6 +160,9 @@ class AlmostCorrectAdder final : public Adder {
   int Window() const noexcept { return window_; }
   std::string Describe() const override;
   std::uint64_t Add(std::uint64_t a, std::uint64_t b) const noexcept override;
+  AddOpDescriptor PlanDescriptor() const noexcept override {
+    return AddOpDescriptor{AddOpCode::kAlmostCorrect, window_, nullptr};
+  }
 
  private:
   int operand_bits_;
@@ -152,6 +180,9 @@ class AmaAdder final : public Adder {
   int ApproxBits() const noexcept { return approx_bits_; }
   std::string Describe() const override;
   std::uint64_t Add(std::uint64_t a, std::uint64_t b) const noexcept override;
+  AddOpDescriptor PlanDescriptor() const noexcept override {
+    return AddOpDescriptor{AddOpCode::kAma, approx_bits_, nullptr};
+  }
 
  private:
   int operand_bits_;

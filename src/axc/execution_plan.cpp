@@ -1,0 +1,18 @@
+#include "axc/execution_plan.hpp"
+
+#include "axc/adders.hpp"
+#include "axc/multipliers.hpp"
+
+namespace axdse::axc::detail {
+
+std::uint64_t VirtualAdd(const Adder* model, std::uint64_t a,
+                         std::uint64_t b) noexcept {
+  return model->Add(a, b);
+}
+
+std::uint64_t VirtualMul(const Multiplier* model, std::uint64_t a,
+                         std::uint64_t b) noexcept {
+  return model->Multiply(a, b);
+}
+
+}  // namespace axdse::axc::detail

@@ -1,0 +1,239 @@
+#pragma once
+// Compiled-plan operator dispatch: POD descriptors (opcode + family
+// parameter) standing in for the virtual Adder/Multiplier hierarchy on the
+// evaluate hot path. An ApproxSelection is fixed for an entire kernel run,
+// so instrument::ApproxContext::Configure resolves each catalog model to a
+// descriptor ONCE per configuration; every scalar op then goes through a
+// flat, inlinable switch (Dispatch*) instead of a virtual call, and batched
+// primitives hoist even the switch out of inner loops (WithAddOp/WithMulOp).
+//
+// Operators outside the built-in families (user subclasses of Adder /
+// Multiplier) degrade gracefully: their descriptor carries kVirtual plus
+// the model pointer, and dispatch routes through the historical virtual
+// call — identical results, identical cost to the pre-plan code.
+
+#include <cstdint>
+
+#include "axc/op_primitives.hpp"
+
+namespace axdse::axc {
+
+class Adder;
+class Multiplier;
+
+enum class AddOpCode : std::uint8_t {
+  kExact,
+  kLowerOr,
+  kTruncatedZero,
+  kTruncatedPassA,
+  kSegmentedCarry,
+  kAlmostCorrect,
+  kAma,
+  kVirtual,  ///< fall back to Adder::Add through `fallback`
+};
+
+enum class MulOpCode : std::uint8_t {
+  kExact,
+  kPpTruncated,
+  kOperandTruncated,
+  kMitchell,
+  kDrum,
+  kLeadingOne,
+  kKulkarni,
+  kRoba,
+  kVirtual,  ///< fall back to Multiplier::Multiply through `fallback`
+};
+
+/// POD adder descriptor: everything DispatchAdd needs, resolved once.
+struct AddOpDescriptor {
+  AddOpCode code = AddOpCode::kExact;
+  std::int32_t param = 0;               ///< approx/segment bits or window
+  const Adder* fallback = nullptr;      ///< kVirtual only
+};
+
+/// POD multiplier descriptor.
+struct MulOpDescriptor {
+  MulOpCode code = MulOpCode::kExact;
+  std::int32_t param = 0;               ///< cut column / kept / msb bits
+  const Multiplier* fallback = nullptr; ///< kVirtual only
+  /// Full 256x256 product table (table8[a << 8 | b] == Multiply(a, b)) for
+  /// operators whose model lazily memoized its 8-bit domain — the batched
+  /// u8 MAC loops turn family math into one load. Null for wide operators,
+  /// the exact multiplier (a*b is cheaper than a load), and kVirtual.
+  const std::uint32_t* table8 = nullptr;
+};
+
+/// A configuration compiled to operators: [0] = the precise operator the
+/// unselected ops use, [1] = the selected approximate operator.
+struct OperatorPlan {
+  AddOpDescriptor add[2];
+  MulOpDescriptor mul[2];
+};
+
+namespace detail {
+/// Out-of-line virtual escapes (defined in execution_plan.cpp, which can
+/// see the full Adder/Multiplier types without an include cycle).
+std::uint64_t VirtualAdd(const Adder* model, std::uint64_t a,
+                         std::uint64_t b) noexcept;
+std::uint64_t VirtualMul(const Multiplier* model, std::uint64_t a,
+                         std::uint64_t b) noexcept;
+}  // namespace detail
+
+/// Invokes `fn` with an inlinable functor implementing the descriptor's
+/// unsigned add — the switch runs once, so loops passed as `fn` carry zero
+/// per-element dispatch. `fn`'s return type must not depend on the functor.
+template <class Fn>
+decltype(auto) WithAddOp(const AddOpDescriptor& d, Fn&& fn) {
+  switch (d.code) {
+    case AddOpCode::kLowerOr:
+      return fn([k = d.param](std::uint64_t a, std::uint64_t b) noexcept {
+        return ops::LowerOrAdd(a, b, k);
+      });
+    case AddOpCode::kTruncatedZero:
+      return fn([k = d.param](std::uint64_t a, std::uint64_t b) noexcept {
+        return ops::TruncatedZeroAdd(a, b, k);
+      });
+    case AddOpCode::kTruncatedPassA:
+      return fn([k = d.param](std::uint64_t a, std::uint64_t b) noexcept {
+        return ops::TruncatedPassAAdd(a, b, k);
+      });
+    case AddOpCode::kSegmentedCarry:
+      return fn([s = d.param](std::uint64_t a, std::uint64_t b) noexcept {
+        return ops::SegmentedCarryAdd(a, b, s);
+      });
+    case AddOpCode::kAlmostCorrect:
+      return fn([w = d.param](std::uint64_t a, std::uint64_t b) noexcept {
+        return ops::AlmostCorrectAdd(a, b, w);
+      });
+    case AddOpCode::kAma:
+      return fn([k = d.param](std::uint64_t a, std::uint64_t b) noexcept {
+        return ops::AmaAdd(a, b, k);
+      });
+    case AddOpCode::kVirtual:
+      return fn([m = d.fallback](std::uint64_t a, std::uint64_t b) noexcept {
+        return detail::VirtualAdd(m, a, b);
+      });
+    case AddOpCode::kExact:
+      break;
+  }
+  return fn([](std::uint64_t a, std::uint64_t b) noexcept {
+    return ops::ExactAdd(a, b);
+  });
+}
+
+/// Multiplier counterpart of WithAddOp.
+template <class Fn>
+decltype(auto) WithMulOp(const MulOpDescriptor& d, Fn&& fn) {
+  switch (d.code) {
+    case MulOpCode::kPpTruncated:
+      return fn([c = d.param](std::uint64_t a, std::uint64_t b) noexcept {
+        return ops::PpTruncatedMul(a, b, c);
+      });
+    case MulOpCode::kOperandTruncated:
+      return fn([k = d.param](std::uint64_t a, std::uint64_t b) noexcept {
+        return ops::OperandTruncatedMul(a, b, k);
+      });
+    case MulOpCode::kMitchell:
+      return fn([](std::uint64_t a, std::uint64_t b) noexcept {
+        return ops::MitchellLogMul(a, b);
+      });
+    case MulOpCode::kDrum:
+      return fn([k = d.param](std::uint64_t a, std::uint64_t b) noexcept {
+        return ops::DrumMul(a, b, k);
+      });
+    case MulOpCode::kLeadingOne:
+      return fn([m = d.param](std::uint64_t a, std::uint64_t b) noexcept {
+        return ops::LeadingOneMul(a, b, m);
+      });
+    case MulOpCode::kKulkarni:
+      return fn([](std::uint64_t a, std::uint64_t b) noexcept {
+        return ops::KulkarniMul(a, b);
+      });
+    case MulOpCode::kRoba:
+      return fn([](std::uint64_t a, std::uint64_t b) noexcept {
+        return ops::RobaMul(a, b);
+      });
+    case MulOpCode::kVirtual:
+      return fn([m = d.fallback](std::uint64_t a, std::uint64_t b) noexcept {
+        return detail::VirtualMul(m, a, b);
+      });
+    case MulOpCode::kExact:
+      break;
+  }
+  return fn([](std::uint64_t a, std::uint64_t b) noexcept {
+    return ops::ExactMul(a, b);
+  });
+}
+
+/// Unsigned add through the descriptor's flat switch.
+inline std::uint64_t DispatchAdd(const AddOpDescriptor& d, std::uint64_t a,
+                                 std::uint64_t b) noexcept {
+  switch (d.code) {
+    case AddOpCode::kExact:
+      return ops::ExactAdd(a, b);
+    case AddOpCode::kLowerOr:
+      return ops::LowerOrAdd(a, b, d.param);
+    case AddOpCode::kTruncatedZero:
+      return ops::TruncatedZeroAdd(a, b, d.param);
+    case AddOpCode::kTruncatedPassA:
+      return ops::TruncatedPassAAdd(a, b, d.param);
+    case AddOpCode::kSegmentedCarry:
+      return ops::SegmentedCarryAdd(a, b, d.param);
+    case AddOpCode::kAlmostCorrect:
+      return ops::AlmostCorrectAdd(a, b, d.param);
+    case AddOpCode::kAma:
+      return ops::AmaAdd(a, b, d.param);
+    case AddOpCode::kVirtual:
+      return detail::VirtualAdd(d.fallback, a, b);
+  }
+  return ops::ExactAdd(a, b);  // unreachable; silences -Wreturn-type
+}
+
+/// Unsigned multiply through the descriptor's flat switch.
+inline std::uint64_t DispatchMul(const MulOpDescriptor& d, std::uint64_t a,
+                                 std::uint64_t b) noexcept {
+  switch (d.code) {
+    case MulOpCode::kExact:
+      return ops::ExactMul(a, b);
+    case MulOpCode::kPpTruncated:
+      return ops::PpTruncatedMul(a, b, d.param);
+    case MulOpCode::kOperandTruncated:
+      return ops::OperandTruncatedMul(a, b, d.param);
+    case MulOpCode::kMitchell:
+      return ops::MitchellLogMul(a, b);
+    case MulOpCode::kDrum:
+      return ops::DrumMul(a, b, d.param);
+    case MulOpCode::kLeadingOne:
+      return ops::LeadingOneMul(a, b, d.param);
+    case MulOpCode::kKulkarni:
+      return ops::KulkarniMul(a, b);
+    case MulOpCode::kRoba:
+      return ops::RobaMul(a, b);
+    case MulOpCode::kVirtual:
+      return detail::VirtualMul(d.fallback, a, b);
+  }
+  return ops::ExactMul(a, b);  // unreachable; silences -Wreturn-type
+}
+
+/// Signed addition with the historical sign-magnitude semantics
+/// (bit-identical to Adder::AddSigned for the same descriptor's model).
+inline std::int64_t DispatchAddSigned(const AddOpDescriptor& d, std::int64_t a,
+                                      std::int64_t b) noexcept {
+  return ops::SignedAdd(
+      [&d](std::uint64_t x, std::uint64_t y) noexcept {
+        return DispatchAdd(d, x, y);
+      },
+      a, b);
+}
+
+/// Signed multiplication (bit-identical to Multiplier::MultiplySigned).
+inline std::int64_t DispatchMulSigned(const MulOpDescriptor& d, std::int64_t a,
+                                      std::int64_t b) noexcept {
+  return ops::SignedMul(
+      [&d](std::uint64_t x, std::uint64_t y) noexcept {
+        return DispatchMul(d, x, y);
+      },
+      a, b);
+}
+
+}  // namespace axdse::axc

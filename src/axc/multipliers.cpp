@@ -1,20 +1,12 @@
 #include "axc/multipliers.hpp"
 
-#include <bit>
 #include <stdexcept>
+
+#include "axc/op_primitives.hpp"
 
 namespace axdse::axc {
 
 namespace {
-
-constexpr std::uint64_t LowMask(int bits) noexcept {
-  return bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
-}
-
-/// Index of the most significant set bit; precondition v != 0.
-constexpr int MsbIndex(std::uint64_t v) noexcept {
-  return 63 - std::countl_zero(v);
-}
 
 void CheckOperandBits(int operand_bits) {
   if (operand_bits < 1 || operand_bits > 32)
@@ -23,13 +15,31 @@ void CheckOperandBits(int operand_bits) {
 
 }  // namespace
 
+// The family arithmetic lives in axc/op_primitives.hpp (shared with the
+// compiled-plan dispatcher); these classes adapt it to the catalog /
+// characterization interface.
+
+const std::uint32_t* Multiplier::Table8() const noexcept {
+  if (OperandBits() > 8) return nullptr;
+  std::call_once(table8_once_, [this]() noexcept {
+    auto table = std::unique_ptr<std::uint32_t[]>(
+        new (std::nothrow) std::uint32_t[65536]);
+    if (!table) return;  // allocation failure: stay on the compute path
+    for (std::uint64_t a = 0; a < 256; ++a)
+      for (std::uint64_t b = 0; b < 256; ++b)
+        table[(a << 8) | b] = static_cast<std::uint32_t>(Multiply(a, b));
+    table8_ = std::move(table);
+  });
+  return table8_.get();
+}
+
 std::int64_t Multiplier::MultiplySigned(std::int64_t a,
                                         std::int64_t b) const noexcept {
-  const bool negative = (a < 0) != (b < 0);
-  const std::uint64_t ma = static_cast<std::uint64_t>(a < 0 ? -a : a);
-  const std::uint64_t mb = static_cast<std::uint64_t>(b < 0 ? -b : b);
-  const std::int64_t mag = static_cast<std::int64_t>(Multiply(ma, mb));
-  return negative ? -mag : mag;
+  return ops::SignedMul(
+      [this](std::uint64_t x, std::uint64_t y) noexcept {
+        return Multiply(x, y);
+      },
+      a, b);
 }
 
 ExactMultiplier::ExactMultiplier(int operand_bits)
@@ -41,7 +51,7 @@ std::string ExactMultiplier::Describe() const { return "Exact"; }
 
 std::uint64_t ExactMultiplier::Multiply(std::uint64_t a,
                                         std::uint64_t b) const noexcept {
-  return a * b;
+  return ops::ExactMul(a, b);
 }
 
 PpTruncatedMultiplier::PpTruncatedMultiplier(int operand_bits, int cut_column)
@@ -58,18 +68,7 @@ std::string PpTruncatedMultiplier::Describe() const {
 
 std::uint64_t PpTruncatedMultiplier::Multiply(std::uint64_t a,
                                               std::uint64_t b) const noexcept {
-  // Sum partial products a_i * (b_j << (i+j)) keeping only columns >= cut.
-  // For each set bit i of a, the kept bits of b are those with j >= cut - i.
-  std::uint64_t acc = 0;
-  std::uint64_t bits = a;
-  while (bits != 0) {
-    const int i = std::countr_zero(bits);
-    bits &= bits - 1;
-    const int min_j = cut_column_ - i;
-    const std::uint64_t kept_b = min_j <= 0 ? b : (b & ~LowMask(min_j));
-    acc += kept_b << i;
-  }
-  return acc;
+  return ops::PpTruncatedMul(a, b, cut_column_);
 }
 
 OperandTruncatedMultiplier::OperandTruncatedMultiplier(int operand_bits,
@@ -87,8 +86,7 @@ std::string OperandTruncatedMultiplier::Describe() const {
 
 std::uint64_t OperandTruncatedMultiplier::Multiply(
     std::uint64_t a, std::uint64_t b) const noexcept {
-  const std::uint64_t mask = ~LowMask(trunc_bits_);
-  return (a & mask) * (b & mask);
+  return ops::OperandTruncatedMul(a, b, trunc_bits_);
 }
 
 MitchellLogMultiplier::MitchellLogMultiplier(int operand_bits)
@@ -100,35 +98,7 @@ std::string MitchellLogMultiplier::Describe() const { return "Mitchell"; }
 
 std::uint64_t MitchellLogMultiplier::Multiply(std::uint64_t a,
                                               std::uint64_t b) const noexcept {
-  if (a == 0 || b == 0) return 0;
-  // log2(x) ~= msb(x) + frac(x), frac in [0,1) with F fractional bits.
-  constexpr int kFracBits = 30;
-  const int ka = MsbIndex(a);
-  const int kb = MsbIndex(b);
-  // frac = (x - 2^k) / 2^k in fixed point. Shift x so the mantissa occupies
-  // kFracBits bits: for k <= kFracBits shift left, otherwise right.
-  const auto mantissa = [](std::uint64_t x, int k) -> std::uint64_t {
-    const std::uint64_t frac_part = x - (1ULL << k);  // k < 64 guaranteed
-    if (k <= kFracBits) return frac_part << (kFracBits - k);
-    return frac_part >> (k - kFracBits);
-  };
-  const std::uint64_t fa = mantissa(a, ka);
-  const std::uint64_t fb = mantissa(b, kb);
-  const std::uint64_t fsum = fa + fb;  // in [0, 2) fixed point
-  const int ksum = ka + kb;
-  // Antilog per Mitchell: 2^(ksum) * (1 + fsum) if fsum < 1,
-  // else 2^(ksum+1) * (fsum)  [fsum has an implicit integer bit].
-  std::uint64_t mant;  // value scaled by 2^kFracBits
-  int exponent;
-  if (fsum < (1ULL << kFracBits)) {
-    mant = (1ULL << kFracBits) + fsum;
-    exponent = ksum;
-  } else {
-    mant = fsum;
-    exponent = ksum + 1;
-  }
-  if (exponent >= kFracBits) return mant << (exponent - kFracBits);
-  return mant >> (kFracBits - exponent);
+  return ops::MitchellLogMul(a, b);
 }
 
 DrumMultiplier::DrumMultiplier(int operand_bits, int kept_bits)
@@ -145,20 +115,7 @@ std::string DrumMultiplier::Describe() const {
 
 std::uint64_t DrumMultiplier::Multiply(std::uint64_t a,
                                        std::uint64_t b) const noexcept {
-  const auto reduce = [this](std::uint64_t v, int& shift) -> std::uint64_t {
-    shift = 0;
-    if (v < (1ULL << kept_bits_)) return v;  // already fits: exact
-    const int msb = MsbIndex(v);
-    shift = msb - kept_bits_ + 1;
-    std::uint64_t kept = v >> shift;
-    kept |= 1;  // force LSB to 1: expected-value compensation (unbiasing)
-    return kept;
-  };
-  int sa = 0;
-  int sb = 0;
-  const std::uint64_t ra = reduce(a, sa);
-  const std::uint64_t rb = reduce(b, sb);
-  return (ra * rb) << (sa + sb);
+  return ops::DrumMul(a, b, kept_bits_);
 }
 
 LeadingOneMultiplier::LeadingOneMultiplier(int operand_bits, int msb_bits)
@@ -175,13 +132,7 @@ std::string LeadingOneMultiplier::Describe() const {
 
 std::uint64_t LeadingOneMultiplier::Multiply(std::uint64_t a,
                                              std::uint64_t b) const noexcept {
-  const auto round_down = [this](std::uint64_t v) -> std::uint64_t {
-    if (v < (1ULL << msb_bits_)) return v;
-    const int msb = MsbIndex(v);
-    const int drop = msb - msb_bits_ + 1;
-    return (v >> drop) << drop;
-  };
-  return round_down(a) * round_down(b);
+  return ops::LeadingOneMul(a, b, msb_bits_);
 }
 
 KulkarniMultiplier::KulkarniMultiplier(int operand_bits)
@@ -191,48 +142,9 @@ KulkarniMultiplier::KulkarniMultiplier(int operand_bits)
 
 std::string KulkarniMultiplier::Describe() const { return "Kulkarni2x2"; }
 
-namespace {
-
-/// Kulkarni base block: exact 2x2 product except 3*3 -> 7.
-constexpr std::uint64_t Kulkarni2x2(std::uint64_t a, std::uint64_t b) noexcept {
-  return (a == 3 && b == 3) ? 7 : a * b;
-}
-
-/// Recursive composition: split each operand in half, multiply the four
-/// cross terms approximately, and combine with exact shifted additions.
-std::uint64_t KulkarniRecursive(std::uint64_t a, std::uint64_t b,
-                                int width) noexcept {
-  if (width <= 2) return Kulkarni2x2(a & 0x3, b & 0x3);
-  const int half = width / 2;
-  const std::uint64_t mask = (1ULL << half) - 1;
-  const std::uint64_t al = a & mask;
-  const std::uint64_t ah = a >> half;
-  const std::uint64_t bl = b & mask;
-  const std::uint64_t bh = b >> half;
-  const std::uint64_t ll = KulkarniRecursive(al, bl, half);
-  const std::uint64_t lh = KulkarniRecursive(al, bh, half);
-  const std::uint64_t hl = KulkarniRecursive(ah, bl, half);
-  const std::uint64_t hh = KulkarniRecursive(ah, bh, half);
-  return (hh << width) + ((lh + hl) << half) + ll;
-}
-
-/// Smallest power-of-two width that covers the operand.
-int CoveringPow2Width(std::uint64_t v) noexcept {
-  int width = 2;
-  while (width < 64 && (v >> width) != 0) width *= 2;
-  return width;
-}
-
-}  // namespace
-
 std::uint64_t KulkarniMultiplier::Multiply(std::uint64_t a,
                                            std::uint64_t b) const noexcept {
-  // The block decomposition targets <=32-bit datapaths; wider operands
-  // (legal as long as the product fits 64 bits) fall back to exact.
-  if ((a >> 32) != 0 || (b >> 32) != 0) return a * b;
-  const int wa = CoveringPow2Width(a);
-  const int wb = CoveringPow2Width(b);
-  return KulkarniRecursive(a, b, wa > wb ? wa : wb);
+  return ops::KulkarniMul(a, b);
 }
 
 RobaMultiplier::RobaMultiplier(int operand_bits) : operand_bits_(operand_bits) {
@@ -243,28 +155,12 @@ std::string RobaMultiplier::Describe() const { return "ROBA"; }
 
 std::uint64_t RobaMultiplier::RoundToNearestPowerOfTwo(
     std::uint64_t v) noexcept {
-  if (v == 0) return 0;
-  const int p = MsbIndex(v);
-  const std::uint64_t down = 1ULL << p;
-  if (v == down || p >= 62) return down;
-  const std::uint64_t up = down << 1;
-  return (v - down < up - v) ? down : up;  // ties round up
+  return ops::RoundToNearestPowerOfTwo(v);
 }
 
 std::uint64_t RobaMultiplier::Multiply(std::uint64_t a,
                                        std::uint64_t b) const noexcept {
-  if (a == 0 || b == 0) return 0;
-  // ROBA computes ra*b + rb*a - ra*rb, which equals a*b - (a-ra)*(b-rb):
-  // the exact product minus the dropped rounding-residue term. The residues
-  // are bounded by a third of each operand, so their product fits in a
-  // signed 64-bit value for all 32-bit datapaths.
-  const std::int64_t da =
-      static_cast<std::int64_t>(a) -
-      static_cast<std::int64_t>(RoundToNearestPowerOfTwo(a));
-  const std::int64_t db =
-      static_cast<std::int64_t>(b) -
-      static_cast<std::int64_t>(RoundToNearestPowerOfTwo(b));
-  return a * b - static_cast<std::uint64_t>(da * db);
+  return ops::RobaMul(a, b);
 }
 
 std::shared_ptr<const Multiplier> MakeExactMultiplier(int operand_bits) {

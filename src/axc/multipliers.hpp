@@ -23,7 +23,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+
+#include "axc/execution_plan.hpp"
 
 namespace axdse::axc {
 
@@ -46,6 +49,27 @@ class Multiplier {
   /// Signed multiplication via sign-magnitude: approximates |a|*|b| and
   /// reapplies the sign.
   std::int64_t MultiplySigned(std::int64_t a, std::int64_t b) const noexcept;
+
+  /// POD descriptor for the compiled-plan dispatcher (execution_plan.hpp).
+  /// Built-in families return their closed-form opcode so hot paths can
+  /// inline them; the default routes through virtual Multiply() —
+  /// subclasses outside the catalog keep working unchanged.
+  virtual MulOpDescriptor PlanDescriptor() const noexcept {
+    return MulOpDescriptor{MulOpCode::kVirtual, 0, this, nullptr};
+  }
+
+ protected:
+  /// Full product table over the 8-bit operand domain, built lazily (once
+  /// per model instance, thread-safe) by evaluating Multiply() on all
+  /// 256x256 pairs; pure memoization, so descriptor-table dispatch is
+  /// bit-identical to the family math. Returns nullptr when OperandBits()
+  /// exceeds 8 (the table would not cover the operand domain) or when
+  /// allocation fails.
+  const std::uint32_t* Table8() const noexcept;
+
+ private:
+  mutable std::once_flag table8_once_;
+  mutable std::unique_ptr<std::uint32_t[]> table8_;
 };
 
 /// Golden exact multiplier.
@@ -55,6 +79,9 @@ class ExactMultiplier final : public Multiplier {
   int OperandBits() const noexcept override { return operand_bits_; }
   std::string Describe() const override;
   std::uint64_t Multiply(std::uint64_t a, std::uint64_t b) const noexcept override;
+  MulOpDescriptor PlanDescriptor() const noexcept override {
+    return MulOpDescriptor{MulOpCode::kExact, 0, nullptr, nullptr};
+  }
 
  private:
   int operand_bits_;
@@ -70,6 +97,9 @@ class PpTruncatedMultiplier final : public Multiplier {
   int CutColumn() const noexcept { return cut_column_; }
   std::string Describe() const override;
   std::uint64_t Multiply(std::uint64_t a, std::uint64_t b) const noexcept override;
+  MulOpDescriptor PlanDescriptor() const noexcept override {
+    return MulOpDescriptor{MulOpCode::kPpTruncated, cut_column_, nullptr, Table8()};
+  }
 
  private:
   int operand_bits_;
@@ -84,6 +114,9 @@ class OperandTruncatedMultiplier final : public Multiplier {
   int TruncBits() const noexcept { return trunc_bits_; }
   std::string Describe() const override;
   std::uint64_t Multiply(std::uint64_t a, std::uint64_t b) const noexcept override;
+  MulOpDescriptor PlanDescriptor() const noexcept override {
+    return MulOpDescriptor{MulOpCode::kOperandTruncated, trunc_bits_, nullptr, Table8()};
+  }
 
  private:
   int operand_bits_;
@@ -97,6 +130,9 @@ class MitchellLogMultiplier final : public Multiplier {
   int OperandBits() const noexcept override { return operand_bits_; }
   std::string Describe() const override;
   std::uint64_t Multiply(std::uint64_t a, std::uint64_t b) const noexcept override;
+  MulOpDescriptor PlanDescriptor() const noexcept override {
+    return MulOpDescriptor{MulOpCode::kMitchell, 0, nullptr, Table8()};
+  }
 
  private:
   int operand_bits_;
@@ -111,6 +147,9 @@ class DrumMultiplier final : public Multiplier {
   int KeptBits() const noexcept { return kept_bits_; }
   std::string Describe() const override;
   std::uint64_t Multiply(std::uint64_t a, std::uint64_t b) const noexcept override;
+  MulOpDescriptor PlanDescriptor() const noexcept override {
+    return MulOpDescriptor{MulOpCode::kDrum, kept_bits_, nullptr, Table8()};
+  }
 
  private:
   int operand_bits_;
@@ -126,6 +165,9 @@ class LeadingOneMultiplier final : public Multiplier {
   int MsbBits() const noexcept { return msb_bits_; }
   std::string Describe() const override;
   std::uint64_t Multiply(std::uint64_t a, std::uint64_t b) const noexcept override;
+  MulOpDescriptor PlanDescriptor() const noexcept override {
+    return MulOpDescriptor{MulOpCode::kLeadingOne, msb_bits_, nullptr, Table8()};
+  }
 
  private:
   int operand_bits_;
@@ -141,6 +183,9 @@ class KulkarniMultiplier final : public Multiplier {
   int OperandBits() const noexcept override { return operand_bits_; }
   std::string Describe() const override;
   std::uint64_t Multiply(std::uint64_t a, std::uint64_t b) const noexcept override;
+  MulOpDescriptor PlanDescriptor() const noexcept override {
+    return MulOpDescriptor{MulOpCode::kKulkarni, 0, nullptr, Table8()};
+  }
 
  private:
   int operand_bits_;
@@ -156,6 +201,9 @@ class RobaMultiplier final : public Multiplier {
   int OperandBits() const noexcept override { return operand_bits_; }
   std::string Describe() const override;
   std::uint64_t Multiply(std::uint64_t a, std::uint64_t b) const noexcept override;
+  MulOpDescriptor PlanDescriptor() const noexcept override {
+    return MulOpDescriptor{MulOpCode::kRoba, 0, nullptr, Table8()};
+  }
 
   /// Nearest power of two (ties round up); 0 maps to 0. Exposed for tests.
   static std::uint64_t RoundToNearestPowerOfTwo(std::uint64_t v) noexcept;

@@ -25,6 +25,17 @@ struct OpCounts {
   std::uint64_t TotalAdds() const noexcept { return precise_adds + approx_adds; }
   std::uint64_t TotalMuls() const noexcept { return precise_muls + approx_muls; }
 
+  /// Batched accounting: credits `n` additions to the approximate or the
+  /// precise bucket in one step (the instrumented batch primitives hoist
+  /// counting out of their inner loops — `+= n`, not `++` per op).
+  void AccumulateAdds(bool approx, std::uint64_t n) noexcept {
+    (approx ? approx_adds : precise_adds) += n;
+  }
+  /// Batched accounting for multiplications.
+  void AccumulateMuls(bool approx, std::uint64_t n) noexcept {
+    (approx ? approx_muls : precise_muls) += n;
+  }
+
   OpCounts& operator+=(const OpCounts& other) noexcept {
     precise_adds += other.precise_adds;
     approx_adds += other.approx_adds;

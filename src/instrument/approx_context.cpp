@@ -76,8 +76,6 @@ ApproxContext::ApproxContext(axc::OperatorSet operators,
     : operators_(std::move(operators)), num_variables_(num_variables) {
   if (operators_.adders.empty() || operators_.multipliers.empty())
     throw std::invalid_argument("ApproxContext: operator set must be non-empty");
-  exact_adder_ = operators_.adders.front().model.get();
-  exact_multiplier_ = operators_.multipliers.front().model.get();
   Configure(ApproxSelection(num_variables));
 }
 
@@ -89,38 +87,15 @@ void ApproxContext::Configure(const ApproxSelection& selection) {
   if (selection.MultiplierIndex() >= operators_.multipliers.size())
     throw std::invalid_argument("ApproxContext::Configure: multiplier index");
   selection_ = selection;
-  approx_adder_ = operators_.adders[selection.AdderIndex()].model.get();
-  approx_multiplier_ =
-      operators_.multipliers[selection.MultiplierIndex()].model.get();
+  // Compile the plan: resolve the four operators in play to POD descriptors
+  // so the per-op hot path never touches the virtual hierarchy again.
+  plan_.add[0] = operators_.adders.front().model->PlanDescriptor();
+  plan_.add[1] =
+      operators_.adders[selection.AdderIndex()].model->PlanDescriptor();
+  plan_.mul[0] = operators_.multipliers.front().model->PlanDescriptor();
+  plan_.mul[1] =
+      operators_.multipliers[selection.MultiplierIndex()].model->PlanDescriptor();
   counts_ = {};
-}
-
-bool ApproxContext::AnySelected(VarList vars) const {
-  const auto& mask = selection_.MaskWords();
-  for (const std::size_t v : vars) {
-    if (v >= num_variables_)
-      throw std::out_of_range("ApproxContext: variable id out of range");
-    if ((mask[v / 64] >> (v % 64)) & 1ULL) return true;
-  }
-  return false;
-}
-
-std::int64_t ApproxContext::Add(std::int64_t a, std::int64_t b, VarList vars) {
-  if (AnySelected(vars)) {
-    ++counts_.approx_adds;
-    return approx_adder_->AddSigned(a, b);
-  }
-  ++counts_.precise_adds;
-  return exact_adder_->AddSigned(a, b);
-}
-
-std::int64_t ApproxContext::Mul(std::int64_t a, std::int64_t b, VarList vars) {
-  if (AnySelected(vars)) {
-    ++counts_.approx_muls;
-    return approx_multiplier_->MultiplySigned(a, b);
-  }
-  ++counts_.precise_muls;
-  return exact_multiplier_->MultiplySigned(a, b);
 }
 
 }  // namespace axdse::instrument

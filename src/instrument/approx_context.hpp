@@ -4,11 +4,25 @@
 // context, which (a) dispatches to the precise or the selected approximate
 // operator depending on whether any variable involved in the operation is
 // selected, and (b) accounts operation counts for the energy model.
+//
+// Dispatch is compiled, not virtual: an ApproxSelection is fixed for an
+// entire kernel run, so Configure() resolves the four operators in play
+// (precise/approximate adder and multiplier) to POD descriptors ONCE per
+// configuration (axc::OperatorPlan). Every scalar op then goes through a
+// flat, inlinable switch; the batched primitives (DotAccumulate /
+// AxpyAccumulate) additionally hoist selection resolution, opcode dispatch,
+// and op-count accounting out of their inner loops. The virtual
+// Adder/Multiplier hierarchy remains the catalog/characterization API —
+// operators outside the built-in families dispatch through it via the
+// kVirtual descriptor, with unchanged behavior.
 
+#include <cassert>
 #include <cstdint>
 #include <initializer_list>
+#include <type_traits>
 
 #include "axc/catalog.hpp"
+#include "axc/execution_plan.hpp"
 #include "energy/energy_model.hpp"
 #include "instrument/approx_selection.hpp"
 
@@ -21,15 +35,22 @@ using VarList = std::initializer_list<std::size_t>;
 
 /// Per-run instrumentation context. Not thread-safe (one context per running
 /// evaluation); cheap to reset between runs.
+///
+/// Variable ids in VarList arguments must be < NumVariables(): the bound is
+/// validated once per configuration in Configure() (and asserted in debug
+/// builds on every op), not branch-checked per scalar operation. The checked
+/// accessor for external callers is IsApproximated() /
+/// ApproxSelection::VariableSelected().
 class ApproxContext {
  public:
   /// Binds the context to an operator set (copied; specs share immutable
   /// models) and the kernel's variable count.
   ApproxContext(axc::OperatorSet operators, std::size_t num_variables);
 
-  /// Installs the configuration for subsequent operations and clears counts.
-  /// Throws std::invalid_argument if indices/variable count don't match the
-  /// bound operator set / variable count.
+  /// Installs the configuration for subsequent operations, compiles the
+  /// operator plan, and clears counts. Throws std::invalid_argument if
+  /// indices/variable count don't match the bound operator set / variable
+  /// count.
   void Configure(const ApproxSelection& selection);
 
   /// Active configuration.
@@ -42,15 +63,160 @@ class ApproxContext {
   void ResetCounts() noexcept { counts_ = {}; }
 
   /// True if variable `var` is approximated under the active selection.
+  /// Bounds-checked: throws std::out_of_range for var >= NumVariables().
   bool IsApproximated(std::size_t var) const {
     return selection_.VariableSelected(var);
   }
 
+  /// True when any listed variable is selected — the per-op approximation
+  /// decision. Public so kernels can resolve a variable group once and then
+  /// run a loop of *Resolved ops (see DESIGN notes in the header comment).
+  bool AnyApproximated(VarList vars) const noexcept {
+    const std::uint64_t* mask = selection_.MaskWords().data();
+    for (const std::size_t v : vars) {
+      assert(v < num_variables_ && "ApproxContext: variable id out of range");
+      if ((mask[v >> 6] >> (v & 63)) & 1ULL) return true;
+    }
+    return false;
+  }
+
   /// Signed addition on the given variables. Counted as one add.
-  std::int64_t Add(std::int64_t a, std::int64_t b, VarList vars);
+  std::int64_t Add(std::int64_t a, std::int64_t b, VarList vars) noexcept {
+    return AddResolved(AnyApproximated(vars), a, b);
+  }
 
   /// Signed multiplication on the given variables. Counted as one mul.
-  std::int64_t Mul(std::int64_t a, std::int64_t b, VarList vars);
+  std::int64_t Mul(std::int64_t a, std::int64_t b, VarList vars) noexcept {
+    return MulResolved(AnyApproximated(vars), a, b);
+  }
+
+  /// Signed addition with a pre-resolved approximation decision (from
+  /// AnyApproximated, hoisted out of the caller's loop). Counted as one add.
+  std::int64_t AddResolved(bool approx, std::int64_t a,
+                           std::int64_t b) noexcept {
+    counts_.AccumulateAdds(approx, 1);
+    return axc::DispatchAddSigned(plan_.add[approx], a, b);
+  }
+
+  /// Signed multiplication with a pre-resolved decision. Counted as one mul.
+  std::int64_t MulResolved(bool approx, std::int64_t a,
+                           std::int64_t b) noexcept {
+    counts_.AccumulateMuls(approx, 1);
+    return axc::DispatchMulSigned(plan_.mul[approx], a, b);
+  }
+
+  /// Batched MAC: returns the chained accumulation
+  ///   acc = Add(acc, Mul(a[i*stride_a], b[i*stride_b]))  for i in [0, n)
+  /// with the multiply approximated when any of `mul_vars` is selected and
+  /// the accumulation when any of `add_vars` is — both decisions and the
+  /// operator dispatch are resolved once, and counts are credited `+= n`.
+  /// Bit-identical to the equivalent loop of Mul()/Add() calls (operand
+  /// order preserved: element product first operand is `a`, accumulation
+  /// first operand is the running `acc`).
+  ///
+  /// When both element types are unsigned the whole chain is provably
+  /// non-negative (all catalog data widths keep magnitudes far below 2^63),
+  /// so the sign-magnitude wrappers reduce to the identity and the inner
+  /// loop runs on raw magnitudes.
+  template <class A, class B>
+  std::int64_t DotAccumulate(std::int64_t acc, const A* a,
+                             std::size_t stride_a, const B* b,
+                             std::size_t stride_b, std::size_t n,
+                             VarList mul_vars, VarList add_vars) noexcept {
+    static_assert(std::is_integral_v<A> && std::is_integral_v<B>,
+                  "DotAccumulate operates on integral element types");
+    if (n == 0) return acc;
+    const bool mul_approx = AnyApproximated(mul_vars);
+    const bool add_approx = AnyApproximated(add_vars);
+    counts_.AccumulateMuls(mul_approx, n);
+    counts_.AccumulateAdds(add_approx, n);
+    if constexpr (std::is_unsigned_v<A> && std::is_unsigned_v<B> &&
+                  sizeof(A) == 1 && sizeof(B) == 1) {
+      // 8-bit operands: approximate multipliers memoize their full 256x256
+      // domain (MulOpDescriptor::table8), turning the family math into one
+      // load per MAC. Bit-identical by construction.
+      if (const std::uint32_t* table8 = plan_.mul[mul_approx].table8) {
+        assert(acc >= 0);
+        return axc::WithAddOp(plan_.add[add_approx], [&](auto add) {
+          std::uint64_t uacc = static_cast<std::uint64_t>(acc);
+          for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t product =
+                table8[(static_cast<std::uint64_t>(a[i * stride_a]) << 8) |
+                       static_cast<std::uint64_t>(b[i * stride_b])];
+            uacc = add(uacc, product);
+          }
+          return static_cast<std::int64_t>(uacc);
+        });
+      }
+    }
+    return axc::WithMulOp(plan_.mul[mul_approx], [&](auto mul) {
+      return axc::WithAddOp(plan_.add[add_approx], [&](auto add) {
+        if constexpr (std::is_unsigned_v<A> && std::is_unsigned_v<B>) {
+          assert(acc >= 0);
+          std::uint64_t uacc = static_cast<std::uint64_t>(acc);
+          if (stride_a == 1 && stride_b == 1) {
+            // Contiguous operands on a separate loop: with the strides
+            // pinned the optimizer can unroll/vectorize (the strided loop
+            // below defeats that).
+            for (std::size_t i = 0; i < n; ++i) {
+              const std::uint64_t product =
+                  mul(static_cast<std::uint64_t>(a[i]),
+                      static_cast<std::uint64_t>(b[i]));
+              uacc = add(uacc, product);
+            }
+            return static_cast<std::int64_t>(uacc);
+          }
+          for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t product =
+                mul(static_cast<std::uint64_t>(a[i * stride_a]),
+                    static_cast<std::uint64_t>(b[i * stride_b]));
+            uacc = add(uacc, product);
+          }
+          return static_cast<std::int64_t>(uacc);
+        } else {
+          std::int64_t signed_acc = acc;
+          for (std::size_t i = 0; i < n; ++i) {
+            const std::int64_t product =
+                axc::ops::SignedMul(mul, static_cast<std::int64_t>(a[i * stride_a]),
+                                    static_cast<std::int64_t>(b[i * stride_b]));
+            signed_acc = axc::ops::SignedAdd(add, signed_acc, product);
+          }
+          return signed_acc;
+        }
+      });
+    });
+  }
+
+  /// Batched AXPY: y[i] = Add(y[i], Mul(alpha, x[i])) for i in [0, n) —
+  /// `alpha` is the product's FIRST operand (asymmetric families care).
+  /// Selection resolution, dispatch, and counting are hoisted exactly like
+  /// DotAccumulate; bit-identical to the equivalent scalar loop.
+  template <class X>
+  void AxpyAccumulate(std::int64_t* y, const X* x, std::size_t n,
+                      std::int64_t alpha, VarList mul_vars,
+                      VarList add_vars) noexcept {
+    static_assert(std::is_integral_v<X>,
+                  "AxpyAccumulate operates on integral element types");
+    if (n == 0) return;
+    const bool mul_approx = AnyApproximated(mul_vars);
+    const bool add_approx = AnyApproximated(add_vars);
+    counts_.AccumulateMuls(mul_approx, n);
+    counts_.AccumulateAdds(add_approx, n);
+    const bool alpha_neg = alpha < 0;
+    const std::uint64_t alpha_mag = axc::ops::UnsignedMagnitude(alpha);
+    axc::WithMulOp(plan_.mul[mul_approx], [&](auto mul) {
+      axc::WithAddOp(plan_.add[add_approx], [&](auto add) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::int64_t xv = static_cast<std::int64_t>(x[i]);
+          const std::uint64_t mag =
+              mul(alpha_mag, axc::ops::UnsignedMagnitude(xv));
+          const std::int64_t product =
+              axc::ops::ApplySign(alpha_neg != (xv < 0), mag);
+          y[i] = axc::ops::SignedAdd(add, y[i], product);
+        }
+      });
+    });
+  }
 
   /// Number of kernel variables this context was built for.
   std::size_t NumVariables() const noexcept { return num_variables_; }
@@ -58,18 +224,18 @@ class ApproxContext {
   /// The bound operator set.
   const axc::OperatorSet& Operators() const noexcept { return operators_; }
 
- private:
-  bool AnySelected(VarList vars) const;
+  /// The operator plan compiled by the last Configure() ([0] precise,
+  /// [1] approximate) — exposed for dispatch-equivalence tests and benches.
+  const axc::OperatorPlan& Plan() const noexcept { return plan_; }
 
+ private:
   axc::OperatorSet operators_;
   std::size_t num_variables_;
   ApproxSelection selection_;
   energy::OpCounts counts_;
-  // Hot-path caches resolved at Configure() time.
-  const axc::Adder* approx_adder_ = nullptr;
-  const axc::Multiplier* approx_multiplier_ = nullptr;
-  const axc::Adder* exact_adder_ = nullptr;
-  const axc::Multiplier* exact_multiplier_ = nullptr;
+  // Compiled once per Configure(): POD descriptors for the precise and the
+  // selected approximate operator pair.
+  axc::OperatorPlan plan_;
 };
 
 }  // namespace axdse::instrument

@@ -33,7 +33,10 @@ class ApproxSelection {
   }
 
   /// True if variable `i` is selected for approximation.
-  /// Throws std::out_of_range for i >= NumVariables().
+  /// Throws std::out_of_range for i >= NumVariables(). This is the CHECKED
+  /// accessor for external callers; the evaluate hot path never branches on
+  /// bounds — ApproxContext validates the variable count once per
+  /// Configure() and reads MaskWords() directly.
   bool VariableSelected(std::size_t i) const;
 
   /// Selects / deselects variable `i`.

@@ -11,6 +11,7 @@ Conv2DKernel::Conv2DKernel(std::size_t height, std::size_t width,
     : height_(height),
       width_(width),
       row_bands_(row_bands),
+      name_("conv2d-" + std::to_string(height) + "x" + std::to_string(width)),
       stencil_({1, 2, 1, 2, 4, 2, 1, 2, 1}),
       operators_(axc::EvoApproxCatalog::Instance().MatMulSet()) {
   if (height < 3 || width < 3)
@@ -29,9 +30,7 @@ Conv2DKernel::Conv2DKernel(std::size_t height, std::size_t width,
   variables_.push_back({"acc"});
 }
 
-std::string Conv2DKernel::Name() const {
-  return "conv2d-" + std::to_string(height_) + "x" + std::to_string(width_);
-}
+const std::string& Conv2DKernel::Name() const noexcept { return name_; }
 
 std::size_t Conv2DKernel::VarOfRow(std::size_t y) const noexcept {
   const std::size_t out_rows = height_ - 2;
@@ -48,15 +47,13 @@ std::vector<double> Conv2DKernel::Run(instrument::ApproxContext& ctx) const {
   for (std::size_t y = 0; y < out_rows; ++y) {
     const std::size_t row_var = VarOfRow(y);
     for (std::size_t x = 0; x < out_cols; ++x) {
+      // Three batched 3-MACs (one per stencil row) chained through `acc` —
+      // same dy-major/dx-minor operation order as the scalar loops.
       std::int64_t acc = 0;
       for (std::size_t dy = 0; dy < 3; ++dy) {
-        for (std::size_t dx = 0; dx < 3; ++dx) {
-          const std::int64_t pixel =
-              static_cast<std::int64_t>(image_[(y + dy) * width_ + (x + dx)]);
-          const std::int64_t product = ctx.Mul(
-              pixel, stencil_[dy * 3 + dx], {row_var, stencil_var});
-          acc = ctx.Add(acc, product, {acc_var});
-        }
+        acc = ctx.DotAccumulate(acc, &image_[(y + dy) * width_ + x], 1,
+                                &stencil_[dy * 3], 1, 3,
+                                {row_var, stencil_var}, {acc_var});
       }
       out[y * out_cols + x] = static_cast<double>(acc);
     }

@@ -25,7 +25,7 @@ class Conv2DKernel final : public Kernel {
   Conv2DKernel(std::size_t height, std::size_t width, std::size_t row_bands,
                std::uint64_t seed);
 
-  std::string Name() const override;
+  const std::string& Name() const noexcept override;
   const axc::OperatorSet& Operators() const noexcept override {
     return operators_;
   }
@@ -39,12 +39,27 @@ class Conv2DKernel final : public Kernel {
   /// Variable covering output row `y`.
   std::size_t VarOfRow(std::size_t y) const noexcept;
 
+  std::size_t Height() const noexcept { return height_; }
+  std::size_t Width() const noexcept { return width_; }
+
+  /// Data accessors (for tests): image pixel and 3x3 stencil weight.
+  std::uint8_t Pixel(std::size_t y, std::size_t x) const {
+    return image_[y * width_ + x];
+  }
+  std::uint8_t StencilWeight(std::size_t dy, std::size_t dx) const {
+    return stencil_[dy * 3 + dx];
+  }
+
  private:
   std::size_t height_;
   std::size_t width_;
   std::size_t row_bands_;
+  std::string name_;
   std::vector<std::uint8_t> image_;
-  std::vector<std::int64_t> stencil_;
+  /// 3x3 smoothing weights {1,2,4}; stored narrow so the batched MAC takes
+  /// the unsigned fast path (pixel and weight are both provably
+  /// non-negative).
+  std::vector<std::uint8_t> stencil_;
   std::vector<VariableInfo> variables_;
   axc::OperatorSet operators_;
 };

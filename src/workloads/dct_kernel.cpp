@@ -10,6 +10,7 @@ namespace axdse::workloads {
 
 DctKernel::DctKernel(std::size_t blocks, std::uint64_t seed)
     : blocks_(blocks),
+      name_("dct8x8-" + std::to_string(blocks)),
       variables_({{"pixels"}, {"coeffs"}, {"acc"}}),
       operators_(axc::EvoApproxCatalog::Instance().FirSet()) {
   if (blocks == 0) throw std::invalid_argument("DctKernel: blocks == 0");
@@ -32,9 +33,7 @@ DctKernel::DctKernel(std::size_t blocks, std::uint64_t seed)
   }
 }
 
-std::string DctKernel::Name() const {
-  return "dct8x8-" + std::to_string(blocks_);
-}
+const std::string& DctKernel::Name() const noexcept { return name_; }
 
 std::vector<double> DctKernel::Run(instrument::ApproxContext& ctx) const {
   std::vector<double> out(blocks_ * 64);
@@ -45,30 +44,21 @@ std::vector<double> DctKernel::Run(instrument::ApproxContext& ctx) const {
 
   for (std::size_t b = 0; b < blocks_; ++b) {
     const std::uint8_t* block = &pixels_[b * 64];
-    // Pass 1: T = (C * X) >> 14  (row transform).
+    // Pass 1: T = (C * X) >> 14  (row transform). Each entry is one batched
+    // 8-MAC: DCT row (unit stride) dot pixel column (stride 8).
     for (std::size_t u = 0; u < 8; ++u) {
       for (std::size_t j = 0; j < 8; ++j) {
-        std::int64_t acc = 0;
-        for (std::size_t k = 0; k < 8; ++k) {
-          const std::int64_t product =
-              ctx.Mul(static_cast<std::int64_t>(dct_q14_[u * 8 + k]),
-                      static_cast<std::int64_t>(block[k * 8 + j]), {cf, px});
-          acc = ctx.Add(acc, product, {ac});
-        }
+        const std::int64_t acc = ctx.DotAccumulate(
+            0, &dct_q14_[u * 8], 1, &block[j], 8, 8, {cf, px}, {ac});
         temp[u * 8 + j] = acc >> 14;  // rescale (wiring, not an ALU op)
       }
     }
-    // Pass 2: Y = T * C^T (column transform), output in Q14.
+    // Pass 2: Y = T * C^T (column transform), output in Q14 — both operands
+    // unit stride.
     for (std::size_t u = 0; u < 8; ++u) {
       for (std::size_t v = 0; v < 8; ++v) {
-        std::int64_t acc = 0;
-        for (std::size_t k = 0; k < 8; ++k) {
-          const std::int64_t product =
-              ctx.Mul(temp[u * 8 + k],
-                      static_cast<std::int64_t>(dct_q14_[v * 8 + k]),
-                      {px, cf});
-          acc = ctx.Add(acc, product, {ac});
-        }
+        const std::int64_t acc = ctx.DotAccumulate(
+            0, &temp[u * 8], 1, &dct_q14_[v * 8], 1, 8, {px, cf}, {ac});
         out[b * 64 + u * 8 + v] = static_cast<double>(acc);
       }
     }

@@ -23,7 +23,7 @@ class DctKernel final : public Kernel {
   /// Throws std::invalid_argument if blocks == 0.
   DctKernel(std::size_t blocks, std::uint64_t seed);
 
-  std::string Name() const override;
+  const std::string& Name() const noexcept override;
   const axc::OperatorSet& Operators() const noexcept override {
     return operators_;
   }
@@ -49,6 +49,7 @@ class DctKernel final : public Kernel {
 
  private:
   std::size_t blocks_;
+  std::string name_;
   std::vector<std::uint8_t> pixels_;     ///< blocks_ x 8 x 8
   std::vector<std::int32_t> dct_q14_;    ///< 8 x 8 DCT-II matrix, Q14
   std::vector<VariableInfo> variables_;

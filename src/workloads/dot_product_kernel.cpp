@@ -9,6 +9,7 @@ namespace axdse::workloads {
 DotProductKernel::DotProductKernel(std::size_t n, std::size_t blocks,
                                    std::uint64_t seed)
     : blocks_(blocks),
+      name_("dot-" + std::to_string(n) + "x" + std::to_string(blocks)),
       variables_({{"a"}, {"b"}, {"acc"}}),
       operators_(axc::EvoApproxCatalog::Instance().MatMulSet()) {
   if (n == 0) throw std::invalid_argument("DotProductKernel: n == 0");
@@ -21,9 +22,7 @@ DotProductKernel::DotProductKernel(std::size_t n, std::size_t blocks,
   for (auto& v : b_) v = static_cast<std::uint8_t>(rng.UniformBelow(256));
 }
 
-std::string DotProductKernel::Name() const {
-  return "dot-" + std::to_string(a_.size()) + "x" + std::to_string(blocks_);
-}
+const std::string& DotProductKernel::Name() const noexcept { return name_; }
 
 std::vector<double> DotProductKernel::Run(
     instrument::ApproxContext& ctx) const {
@@ -32,13 +31,10 @@ std::vector<double> DotProductKernel::Run(
   for (std::size_t g = 0; g < blocks_; ++g) {
     const std::size_t begin = g * block_len;
     const std::size_t end = g + 1 == blocks_ ? a_.size() : begin + block_len;
-    std::int64_t acc = 0;
-    for (std::size_t i = begin; i < end; ++i) {
-      const std::int64_t product =
-          ctx.Mul(static_cast<std::int64_t>(a_[i]),
-                  static_cast<std::int64_t>(b_[i]), {VarOfA(), VarOfB()});
-      acc = ctx.Add(acc, product, {VarOfAccumulator()});
-    }
+    // One batched MAC chain per output block.
+    const std::int64_t acc =
+        ctx.DotAccumulate(0, &a_[begin], 1, &b_[begin], 1, end - begin,
+                          {VarOfA(), VarOfB()}, {VarOfAccumulator()});
     out[g] = static_cast<double>(acc);
   }
   return out;

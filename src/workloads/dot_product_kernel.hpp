@@ -18,7 +18,7 @@ class DotProductKernel final : public Kernel {
   /// Throws std::invalid_argument if n == 0, blocks == 0, or blocks > n.
   DotProductKernel(std::size_t n, std::size_t blocks, std::uint64_t seed);
 
-  std::string Name() const override;
+  const std::string& Name() const noexcept override;
   const axc::OperatorSet& Operators() const noexcept override {
     return operators_;
   }
@@ -31,8 +31,15 @@ class DotProductKernel final : public Kernel {
   std::size_t VarOfB() const noexcept { return 1; }
   std::size_t VarOfAccumulator() const noexcept { return 2; }
 
+  /// Element accessors (for tests).
+  std::uint8_t A(std::size_t i) const { return a_[i]; }
+  std::uint8_t B(std::size_t i) const { return b_[i]; }
+  std::size_t Length() const noexcept { return a_.size(); }
+  std::size_t Blocks() const noexcept { return blocks_; }
+
  private:
   std::size_t blocks_;
+  std::string name_;
   std::vector<std::uint8_t> a_;
   std::vector<std::uint8_t> b_;
   std::vector<VariableInfo> variables_;

@@ -21,6 +21,7 @@ FirKernel::FirKernel(std::size_t num_samples, std::size_t taps, double cutoff,
   const std::vector<double> noise =
       signal::UniformWhiteNoise(num_samples, 0.95, seed);
   x_ = signal::ToFixedVector(noise, 15);
+  name_ = "fir-" + std::to_string(x_.size());
   const std::vector<double> coeffs = signal::DesignLowPass(taps, cutoff);
   h_ = signal::ToFixedVector(coeffs, 15);
 
@@ -39,9 +40,7 @@ FirKernel::FirKernel(std::size_t num_samples, std::uint64_t seed)
     : FirKernel(num_samples, kDefaultTaps, kDefaultCutoff,
                 FirGranularity::kPerTap, seed) {}
 
-std::string FirKernel::Name() const {
-  return "fir-" + std::to_string(x_.size());
-}
+const std::string& FirKernel::Name() const noexcept { return name_; }
 
 std::size_t FirKernel::VarOfInput() const noexcept { return 0; }
 
@@ -54,20 +53,26 @@ std::size_t FirKernel::VarOfAccumulator() const noexcept {
 }
 
 std::vector<double> FirKernel::Run(instrument::ApproxContext& ctx) const {
-  std::vector<double> out(x_.size());
+  // Tap-major formulation: output i accumulates the tap products
+  // h[0]*x[i], h[1]*x[i-1], ... in ascending k — exactly the operand
+  // sequence of the historical sample-major loop — but iterating tap-major
+  // turns each tap into one batched AXPY over the accumulator array
+  // (selection resolution and op accounting hoisted out of the inner loop;
+  // per-tap variables make the per-output dot non-uniform, AXPY is the
+  // batchable axis).
+  std::vector<std::int64_t> acc(x_.size(), 0);  // Q30 accumulators
   const std::size_t x_var = VarOfInput();
   const std::size_t acc_var = VarOfAccumulator();
-  for (std::size_t i = 0; i < x_.size(); ++i) {
-    std::int64_t acc = 0;  // Q30 accumulator
-    for (std::size_t k = 0; k < h_.size(); ++k) {
-      if (i < k) break;  // zero-padded history contributes nothing
-      const std::int64_t product =
-          ctx.Mul(static_cast<std::int64_t>(h_[k]),
-                  static_cast<std::int64_t>(x_[i - k]), {VarOfTap(k), x_var});
-      acc = ctx.Add(acc, product, {acc_var});
-    }
-    out[i] = static_cast<double>(acc);
+  for (std::size_t k = 0; k < h_.size() && k < x_.size(); ++k) {
+    // acc[i] += h[k] * x[i-k] for all outputs i >= k (zero-padded history
+    // contributes nothing below that).
+    ctx.AxpyAccumulate(acc.data() + k, x_.data(), x_.size() - k,
+                       static_cast<std::int64_t>(h_[k]), {VarOfTap(k), x_var},
+                       {acc_var});
   }
+  std::vector<double> out(x_.size());
+  for (std::size_t i = 0; i < x_.size(); ++i)
+    out[i] = static_cast<double>(acc[i]);
   return out;
 }
 

@@ -41,7 +41,7 @@ class FirKernel final : public Kernel {
   /// Paper-default configuration: 17 taps, 0.2 cutoff, per-tap granularity.
   FirKernel(std::size_t num_samples, std::uint64_t seed);
 
-  std::string Name() const override;
+  const std::string& Name() const noexcept override;
   const axc::OperatorSet& Operators() const noexcept override {
     return operators_;
   }
@@ -67,6 +67,7 @@ class FirKernel final : public Kernel {
 
  private:
   FirGranularity granularity_;
+  std::string name_;
   std::vector<std::int32_t> x_;  ///< Q15 input samples
   std::vector<std::int32_t> h_;  ///< Q15 coefficients
   std::vector<VariableInfo> variables_;

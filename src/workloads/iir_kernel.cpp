@@ -19,6 +19,7 @@ IirKernel::IirKernel(std::size_t num_samples, double cutoff,
   const std::vector<double> noise =
       signal::UniformWhiteNoise(num_samples, 0.9, seed);
   x_ = signal::ToFixedVector(noise, 15);
+  name_ = "iir-biquad-" + std::to_string(x_.size());
   b_q15_[0] = signal::ToFixed(design_.b0, 15);
   b_q15_[1] = signal::ToFixed(design_.b1, 15);
   b_q15_[2] = signal::ToFixed(design_.b2, 15);
@@ -28,9 +29,7 @@ IirKernel::IirKernel(std::size_t num_samples, double cutoff,
   a_q15_[1] = signal::ToFixed(design_.a2, 15);
 }
 
-std::string IirKernel::Name() const {
-  return "iir-biquad-" + std::to_string(x_.size());
-}
+const std::string& IirKernel::Name() const noexcept { return name_; }
 
 std::vector<double> IirKernel::Run(instrument::ApproxContext& ctx) const {
   std::vector<double> out(x_.size());
@@ -38,6 +37,12 @@ std::vector<double> IirKernel::Run(instrument::ApproxContext& ctx) const {
   const std::size_t vb = VarOfFeedForward();
   const std::size_t va = VarOfFeedback();
   const std::size_t vacc = VarOfAccumulator();
+  // The recurrence cannot batch across samples, but the three selection
+  // decisions are loop-invariant: resolve them once and run the sample loop
+  // on pre-resolved (plan-dispatched) ops.
+  const bool ff = ctx.AnyApproximated({vb, vx});
+  const bool fb = ctx.AnyApproximated({va, vacc});
+  const bool ac = ctx.AnyApproximated({vacc});
 
   std::int64_t x1 = 0;
   std::int64_t x2 = 0;
@@ -46,14 +51,14 @@ std::vector<double> IirKernel::Run(instrument::ApproxContext& ctx) const {
   for (std::size_t n = 0; n < x_.size(); ++n) {
     const std::int64_t xn = x_[n];
     std::int64_t acc = 0;  // Q30
-    acc = ctx.Add(acc, ctx.Mul(b_q15_[0], xn, {vb, vx}), {vacc});
-    acc = ctx.Add(acc, ctx.Mul(b_q15_[1], x1, {vb, vx}), {vacc});
-    acc = ctx.Add(acc, ctx.Mul(b_q15_[2], x2, {vb, vx}), {vacc});
+    acc = ctx.AddResolved(ac, acc, ctx.MulResolved(ff, b_q15_[0], xn));
+    acc = ctx.AddResolved(ac, acc, ctx.MulResolved(ff, b_q15_[1], x1));
+    acc = ctx.AddResolved(ac, acc, ctx.MulResolved(ff, b_q15_[2], x2));
     // Feedback taps: -a1*y1 (a1 stored halved -> product doubled) - a2*y2.
-    const std::int64_t fb1 = ctx.Mul(a_q15_[0], y1, {va, vacc});
-    acc = ctx.Add(acc, -2 * fb1, {vacc});
-    const std::int64_t fb2 = ctx.Mul(a_q15_[1], y2, {va, vacc});
-    acc = ctx.Add(acc, -fb2, {vacc});
+    const std::int64_t fb1 = ctx.MulResolved(fb, a_q15_[0], y1);
+    acc = ctx.AddResolved(ac, acc, -2 * fb1);
+    const std::int64_t fb2 = ctx.MulResolved(fb, a_q15_[1], y2);
+    acc = ctx.AddResolved(ac, acc, -fb2);
 
     const std::int64_t yn = acc >> 15;  // rescale Q30 -> Q15 (wiring)
     out[n] = static_cast<double>(yn);

@@ -24,7 +24,7 @@ class IirKernel final : public Kernel {
   /// unstable design.
   IirKernel(std::size_t num_samples, double cutoff, std::uint64_t seed);
 
-  std::string Name() const override;
+  const std::string& Name() const noexcept override;
   const axc::OperatorSet& Operators() const noexcept override {
     return operators_;
   }
@@ -44,8 +44,14 @@ class IirKernel final : public Kernel {
   /// Q15 input samples (for tests).
   const std::vector<std::int32_t>& SamplesQ15() const noexcept { return x_; }
 
+  /// Q15 coefficient accessors (for the batched/scalar equivalence tests):
+  /// feed-forward {b0, b1, b2} and feedback {a1/2, a2}.
+  const std::int32_t* FeedForwardQ15() const noexcept { return b_q15_; }
+  const std::int32_t* FeedbackQ15() const noexcept { return a_q15_; }
+
  private:
   signal::BiquadCoeffs design_;
+  std::string name_;
   std::vector<std::int32_t> x_;  ///< Q15 input
   std::int32_t b_q15_[3] = {0, 0, 0};
   std::int32_t a_q15_[2] = {0, 0};

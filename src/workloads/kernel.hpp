@@ -32,8 +32,11 @@ class Kernel {
  public:
   virtual ~Kernel() = default;
 
-  /// Human-readable benchmark name, e.g. "matmul-10x10".
-  virtual std::string Name() const = 0;
+  /// Human-readable benchmark name, e.g. "matmul-10x10". Returned by const
+  /// reference: implementations compute it once (constructor) and keep it —
+  /// the engine and cache grouping read it per evaluation, so per-call
+  /// std::string construction was measurable churn.
+  virtual const std::string& Name() const noexcept = 0;
 
   /// The accuracy-ordered operator set this kernel's arithmetic uses.
   virtual const axc::OperatorSet& Operators() const noexcept = 0;

@@ -10,6 +10,7 @@ MatMulKernel::MatMulKernel(std::size_t n, MatMulGranularity granularity,
                            std::uint64_t seed)
     : n_(n),
       granularity_(granularity),
+      name_("matmul-" + std::to_string(n) + "x" + std::to_string(n)),
       operators_(axc::EvoApproxCatalog::Instance().MatMulSet()) {
   if (n == 0) throw std::invalid_argument("MatMulKernel: n == 0");
   util::Rng rng(seed);
@@ -17,6 +18,11 @@ MatMulKernel::MatMulKernel(std::size_t n, MatMulGranularity granularity,
   b_.resize(n * n);
   for (auto& v : a_) v = static_cast<std::uint8_t>(rng.UniformBelow(256));
   for (auto& v : b_) v = static_cast<std::uint8_t>(rng.UniformBelow(256));
+  // Column-major copy of B so each output's MAC chain reads both operands
+  // at unit stride (same values, vectorizable hot loop).
+  bt_.resize(n * n);
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t j = 0; j < n; ++j) bt_[j * n + k] = b_[k * n + j];
 
   if (granularity_ == MatMulGranularity::kPerMatrix) {
     variables_ = {{"A"}, {"B"}, {"acc"}};
@@ -30,9 +36,7 @@ MatMulKernel::MatMulKernel(std::size_t n, MatMulGranularity granularity,
   }
 }
 
-std::string MatMulKernel::Name() const {
-  return "matmul-" + std::to_string(n_) + "x" + std::to_string(n_);
-}
+const std::string& MatMulKernel::Name() const noexcept { return name_; }
 
 std::size_t MatMulKernel::VarOfARow(std::size_t i) const noexcept {
   return granularity_ == MatMulGranularity::kPerMatrix ? 0 : i;
@@ -53,14 +57,12 @@ std::vector<double> MatMulKernel::Run(instrument::ApproxContext& ctx) const {
     const std::size_t row_var = VarOfARow(i);
     for (std::size_t j = 0; j < n_; ++j) {
       const std::size_t col_var = VarOfBCol(j);
-      std::int64_t acc = 0;
-      for (std::size_t k = 0; k < n_; ++k) {
-        const std::int64_t product =
-            ctx.Mul(static_cast<std::int64_t>(a_[i * n_ + k]),
-                    static_cast<std::int64_t>(b_[k * n_ + j]),
-                    {row_var, col_var});
-        acc = ctx.Add(acc, product, {acc_var});
-      }
+      // One batched MAC chain per output entry: row of A dot column of B
+      // (read from the transposed copy, so both operands are unit-stride),
+      // selection and dispatch resolved once.
+      const std::int64_t acc =
+          ctx.DotAccumulate(0, &a_[i * n_], 1, &bt_[j * n_], 1, n_,
+                            {row_var, col_var}, {acc_var});
       out[i * n_ + j] = static_cast<double>(acc);
     }
   }

@@ -33,7 +33,7 @@ class MatMulKernel final : public Kernel {
   MatMulKernel(std::size_t n, MatMulGranularity granularity,
                std::uint64_t seed);
 
-  std::string Name() const override;
+  const std::string& Name() const noexcept override;
   const axc::OperatorSet& Operators() const noexcept override {
     return operators_;
   }
@@ -61,8 +61,10 @@ class MatMulKernel final : public Kernel {
  private:
   std::size_t n_;
   MatMulGranularity granularity_;
+  std::string name_;
   std::vector<std::uint8_t> a_;
   std::vector<std::uint8_t> b_;
+  std::vector<std::uint8_t> bt_;  ///< B transposed (unit-stride MAC chains)
   std::vector<VariableInfo> variables_;
   axc::OperatorSet operators_;
 };

@@ -155,9 +155,12 @@ TEST(ApproxContext, ConfigureValidates) {
   EXPECT_THROW(ctx.Configure(bad_mul), std::invalid_argument);
 }
 
-TEST(ApproxContext, VariableIdOutOfRangeThrows) {
+TEST(ApproxContext, CheckedAccessorThrowsOutOfRange) {
+  // The per-op hot path (Add/Mul/AnyApproximated) no longer bounds-checks
+  // variable ids — Configure() validates the variable count once and debug
+  // builds assert per op. IsApproximated stays the checked accessor.
   ApproxContext ctx(MatMulSet(), 2);
-  EXPECT_THROW(ctx.Add(1, 1, {5}), std::out_of_range);
+  EXPECT_THROW(ctx.IsApproximated(5), std::out_of_range);
 }
 
 TEST(ApproxContext, SignedOperandsFollowOperatorSemantics) {
