@@ -138,9 +138,9 @@ int main(int argc, char** argv) {
     const char* name;
     std::size_t size;
   };
-  const std::vector<KernelCase> kernels = {{"matmul", 10}, {"fir", 100},
-                                           {"iir", 128},   {"conv2d", 16},
-                                           {"dct", 4},     {"dot", 64}};
+  const std::vector<KernelCase> kernels = {
+      {"matmul", 10}, {"fir", 100},     {"iir", 128},    {"conv2d", 16},
+      {"dct", 4},     {"dot", 64},      {"sobel3x3", 12}, {"kmeans1d", 96}};
   const std::vector<dse::AgentKind> agents = {
       dse::AgentKind::kQLearning, dse::AgentKind::kSarsa,
       dse::AgentKind::kExpectedSarsa, dse::AgentKind::kDoubleQ,

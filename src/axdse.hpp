@@ -10,6 +10,7 @@
 // Layering underneath, still reachable through this header when needed:
 //   workloads::KernelRegistry  — kernels by name ("matmul", "fir", ...)
 //   dse::ExplorationRequest    — one serializable run description
+//   dse::CampaignSpec          — a declarative sweep grid over requests
 //   dse::Engine                — batch execution on a worker pool
 //   dse::Checkpoint            — suspend/resume snapshots (byte-identical)
 //   dse::Explorer / Evaluator  — the single-run core from the paper
@@ -18,12 +19,14 @@
 #include "axc/catalog.hpp"
 #include "axc/characterization.hpp"
 #include "dse/baselines.hpp"
+#include "dse/campaign.hpp"
 #include "dse/checkpoint.hpp"
 #include "dse/engine.hpp"
 #include "dse/explorer.hpp"
 #include "dse/multi_run.hpp"
 #include "dse/pareto.hpp"
 #include "dse/request.hpp"
+#include "report/campaign.hpp"
 #include "report/export.hpp"
 #include "report/figures.hpp"
 #include "report/tables.hpp"

@@ -1,0 +1,943 @@
+#include "dse/campaign.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "dse/baselines.hpp"
+#include "dse/checkpoint.hpp"
+#include "rl/trainer.hpp"
+#include "util/number_format.hpp"
+
+namespace axdse::dse {
+
+namespace {
+
+using util::ParseDoubleToken;
+using util::ParseUnsignedToken;
+using util::ShortestDouble;
+
+/// Campaign tokens reuse the request escaping; empty strings travel as "-"
+/// (the checkpoint subsystem's convention), so a literal "-" must be
+/// encoded to keep the mapping invertible.
+std::string Encode(const std::string& text) {
+  if (text.empty()) return "-";
+  const std::string escaped = EscapeRequestToken(text);
+  return escaped == "-" ? "%2d" : escaped;
+}
+
+std::string Decode(const std::string& token) {
+  return token == "-" ? "" : UnescapeRequestToken(token);
+}
+
+std::vector<std::string> SplitOn(const std::string& text, char separator) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (const char c : text) {
+    if (c == separator) {
+      parts.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  parts.push_back(std::move(current));
+  return parts;
+}
+
+/// Whitespace/';' tokenization shared with ExplorationRequest::Parse.
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char c : text) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ';') {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+[[noreturn]] void SpecError(const std::string& message) {
+  throw std::invalid_argument("CampaignSpec: " + message);
+}
+
+/// Kernel names double as token keys ("kernels.<name>.<key>="), so they must
+/// stay inside the identifier alphabet.
+void RequireUsableKernelName(const std::string& name) {
+  if (name.empty()) SpecError("kernel entry has an empty name");
+  for (const char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_'))
+      SpecError("kernel name '" + name +
+                "' may only contain letters, digits, '-', and '_'");
+  }
+}
+
+/// Parses one kernel-axis entry: "name" or "name@size".
+CampaignKernel ParseKernelEntry(const std::string& entry) {
+  CampaignKernel kernel;
+  const auto at = entry.rfind('@');
+  if (at == std::string::npos) {
+    kernel.name = Decode(entry);
+  } else {
+    kernel.name = Decode(entry.substr(0, at));
+    kernel.size = static_cast<std::size_t>(
+        ParseUnsignedToken(entry.substr(at + 1), "CampaignSpec kernel size"));
+  }
+  RequireUsableKernelName(kernel.name);
+  return kernel;
+}
+
+std::string KernelEntryToken(const CampaignKernel& kernel) {
+  std::string token = EscapeRequestToken(kernel.name);
+  if (kernel.size != 0) token += "@" + std::to_string(kernel.size);
+  return token;
+}
+
+// --- chunk checkpoint line reader ------------------------------------------
+
+[[noreturn]] void ChunkError(std::size_t line, const std::string& message) {
+  throw CheckpointError("CampaignChunkCheckpoint: line " +
+                        std::to_string(line) + ": " + message);
+}
+
+/// Strict sequential reader over the snapshot's lines: every line is
+/// requested by keyword, in order; anything unexpected throws.
+class LineReader {
+ public:
+  explicit LineReader(const std::string& text) {
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) lines_.push_back(line);
+  }
+
+  /// Consumes the next line, requires its first token to be `keyword`, and
+  /// returns the remaining tokens.
+  std::vector<std::string> Expect(const std::string& keyword) {
+    if (next_ >= lines_.size())
+      ChunkError(next_ + 1, "unexpected end of input, wanted '" + keyword +
+                                "'");
+    std::vector<std::string> tokens = Tokenize(lines_[next_]);
+    ++next_;
+    if (tokens.empty() || tokens[0] != keyword)
+      ChunkError(next_, "expected '" + keyword + "', got '" +
+                            (tokens.empty() ? std::string() : tokens[0]) +
+                            "'");
+    tokens.erase(tokens.begin());
+    return tokens;
+  }
+
+  /// Like Expect, but returns everything after "<keyword> " verbatim (for
+  /// values that legitimately contain spaces, e.g. request strings).
+  std::string ExpectRest(const std::string& keyword) {
+    if (next_ >= lines_.size())
+      ChunkError(next_ + 1, "unexpected end of input, wanted '" + keyword +
+                                "'");
+    const std::string& line = lines_[next_];
+    ++next_;
+    if (line.rfind(keyword + " ", 0) != 0)
+      ChunkError(next_, "expected '" + keyword + " ...'");
+    return line.substr(keyword.size() + 1);
+  }
+
+  void ExpectEnd() {
+    if (next_ < lines_.size())
+      ChunkError(next_ + 1, "trailing content after 'end'");
+  }
+
+  std::size_t Line() const noexcept { return next_; }
+
+ private:
+  std::vector<std::string> lines_;
+  std::size_t next_ = 0;
+};
+
+void RequireTokenCount(const LineReader& reader,
+                       const std::vector<std::string>& tokens,
+                       std::size_t count, const char* what) {
+  if (tokens.size() != count)
+    ChunkError(reader.Line(), std::string(what) + ": expected " +
+                                  std::to_string(count) + " fields, got " +
+                                  std::to_string(tokens.size()));
+}
+
+double ChunkDouble(const std::string& token, const char* what) {
+  // Summary min/max of an empty sample are +-inf sentinels; allow them.
+  return ParseDoubleToken(token, what, /*allow_nonfinite=*/true);
+}
+
+void WriteSummary(std::ostream& out, const char* keyword,
+                  const util::Summary& summary) {
+  out << keyword << " " << summary.count << " " << ShortestDouble(summary.mean)
+      << " " << ShortestDouble(summary.stddev) << " "
+      << ShortestDouble(summary.min) << " " << ShortestDouble(summary.max)
+      << " " << ShortestDouble(summary.sum) << "\n";
+}
+
+util::Summary ReadSummary(LineReader& reader, const std::string& keyword) {
+  const std::vector<std::string> tokens = reader.Expect(keyword);
+  RequireTokenCount(reader, tokens, 6, "summary");
+  util::Summary summary;
+  summary.count =
+      static_cast<std::size_t>(ParseUnsignedToken(tokens[0], "summary count"));
+  summary.mean = ChunkDouble(tokens[1], "summary mean");
+  summary.stddev = ChunkDouble(tokens[2], "summary stddev");
+  summary.min = ChunkDouble(tokens[3], "summary min");
+  summary.max = ChunkDouble(tokens[4], "summary max");
+  summary.sum = ChunkDouble(tokens[5], "summary sum");
+  return summary;
+}
+
+void WriteConfig(std::ostream& out, const Configuration& config) {
+  out << config.AdderIndex() << " " << config.MultiplierIndex() << " "
+      << config.NumVariables();
+  for (const std::uint64_t word : config.MaskWords()) out << " " << word;
+}
+
+/// Consumes one serialized configuration from `tokens` starting at `pos`.
+Configuration ReadConfig(LineReader& reader,
+                         const std::vector<std::string>& tokens,
+                         std::size_t& pos) {
+  if (tokens.size() < pos + 3) ChunkError(reader.Line(), "truncated config");
+  const std::uint64_t adder = ParseUnsignedToken(tokens[pos], "config adder");
+  const std::uint64_t multiplier =
+      ParseUnsignedToken(tokens[pos + 1], "config multiplier");
+  if (adder > std::numeric_limits<std::uint32_t>::max() ||
+      multiplier > std::numeric_limits<std::uint32_t>::max())
+    ChunkError(reader.Line(), "config operator index exceeds 32 bits");
+  const std::size_t num_variables = static_cast<std::size_t>(
+      ParseUnsignedToken(tokens[pos + 2], "config variable count"));
+  pos += 3;
+  Configuration config(num_variables);
+  config.SetAdderIndex(static_cast<std::uint32_t>(adder));
+  config.SetMultiplierIndex(static_cast<std::uint32_t>(multiplier));
+  const std::size_t num_words = config.MaskWords().size();
+  if (tokens.size() < pos + num_words)
+    ChunkError(reader.Line(), "truncated config mask");
+  for (std::size_t w = 0; w < num_words; ++w) {
+    const std::uint64_t word =
+        ParseUnsignedToken(tokens[pos + w], "config mask word");
+    for (std::size_t bit = 0; bit < 64; ++bit) {
+      if ((word >> bit) & 1ULL) {
+        const std::size_t variable = w * 64 + bit;
+        if (variable >= num_variables)
+          ChunkError(reader.Line(),
+                     "config mask sets a bit beyond the variable count");
+        config.SetVariable(variable, true);
+      }
+    }
+  }
+  pos += num_words;
+  return config;
+}
+
+/// The five measurement fields campaign reports read (see CampaignSeedRun).
+void WriteMeasurement(std::ostream& out, const instrument::Measurement& m) {
+  out << ShortestDouble(m.delta_acc) << " " << ShortestDouble(m.delta_power_mw)
+      << " " << ShortestDouble(m.delta_time_ns) << " "
+      << ShortestDouble(m.precise_power_mw) << " "
+      << ShortestDouble(m.precise_time_ns);
+}
+
+instrument::Measurement ReadMeasurement(const std::vector<std::string>& tokens,
+                                        std::size_t& pos, LineReader& reader) {
+  if (tokens.size() < pos + 5)
+    ChunkError(reader.Line(), "truncated measurement");
+  instrument::Measurement m;
+  m.delta_acc = ChunkDouble(tokens[pos], "delta_acc");
+  m.delta_power_mw = ChunkDouble(tokens[pos + 1], "delta_power_mw");
+  m.delta_time_ns = ChunkDouble(tokens[pos + 2], "delta_time_ns");
+  m.precise_power_mw = ChunkDouble(tokens[pos + 3], "precise_power_mw");
+  m.precise_time_ns = ChunkDouble(tokens[pos + 4], "precise_time_ns");
+  pos += 5;
+  return m;
+}
+
+void WriteCell(std::ostream& out, const CampaignCell& cell) {
+  out << "request " << cell.request.ToString() << "\n";
+  out << "kernel-name " << Encode(cell.kernel_name) << "\n";
+  out << "reward " << ShortestDouble(cell.reward.acc_threshold) << " "
+      << ShortestDouble(cell.reward.power_threshold) << " "
+      << ShortestDouble(cell.reward.time_threshold) << " "
+      << ShortestDouble(cell.reward.max_reward) << " "
+      << ShortestDouble(cell.reward.step_reward) << " "
+      << ShortestDouble(cell.reward.step_penalty) << "\n";
+  WriteSummary(out, "summary-dpower", cell.solution_delta_power);
+  WriteSummary(out, "summary-dtime", cell.solution_delta_time);
+  WriteSummary(out, "summary-dacc", cell.solution_delta_acc);
+  WriteSummary(out, "summary-steps", cell.steps);
+  out << "aggregate " << ShortestDouble(cell.feasible_fraction) << " "
+      << Encode(cell.modal_adder) << " " << Encode(cell.modal_multiplier)
+      << "\n";
+  out << "cache " << dse::ToString(cell.cache.mode) << " "
+      << cell.cache.distinct_evaluations << " " << cell.cache.executed_runs
+      << " " << cell.cache.saved_runs << " " << cell.cache.local_hits << " "
+      << cell.cache.shared_hits << "\n";
+  out << "runs " << cell.runs.size() << "\n";
+  for (const CampaignSeedRun& run : cell.runs) {
+    out << "run " << run.seed << " " << run.steps << " " << Encode(run.stop)
+        << " " << ShortestDouble(run.cumulative_reward) << " " << run.episodes
+        << " " << run.kernel_runs << " " << run.cache_hits << " "
+        << run.kernel_runs_executed << " " << run.shared_cache_hits << " "
+        << (run.feasible ? 1 : 0) << " " << ShortestDouble(run.objective)
+        << "\n";
+    out << "solution " << Encode(run.adder) << " " << Encode(run.multiplier)
+        << " ";
+    WriteMeasurement(out, run.solution_measurement);
+    out << " ";
+    WriteConfig(out, run.solution);
+    out << "\n";
+    out << "best " << (run.has_best_feasible ? 1 : 0);
+    if (run.has_best_feasible) {
+      out << " ";
+      WriteMeasurement(out, run.best_feasible_measurement);
+      out << " ";
+      WriteConfig(out, run.best_feasible);
+    }
+    out << "\n";
+  }
+}
+
+CampaignCell ReadCell(LineReader& reader) {
+  CampaignCell cell;
+  cell.request = ExplorationRequest::Parse(reader.ExpectRest("request"));
+  {
+    const std::vector<std::string> tokens = reader.Expect("kernel-name");
+    RequireTokenCount(reader, tokens, 1, "kernel-name");
+    cell.kernel_name = Decode(tokens[0]);
+  }
+  {
+    const std::vector<std::string> tokens = reader.Expect("reward");
+    RequireTokenCount(reader, tokens, 6, "reward");
+    cell.reward.acc_threshold = ChunkDouble(tokens[0], "acc_threshold");
+    cell.reward.power_threshold = ChunkDouble(tokens[1], "power_threshold");
+    cell.reward.time_threshold = ChunkDouble(tokens[2], "time_threshold");
+    cell.reward.max_reward = ChunkDouble(tokens[3], "max_reward");
+    cell.reward.step_reward = ChunkDouble(tokens[4], "step_reward");
+    cell.reward.step_penalty = ChunkDouble(tokens[5], "step_penalty");
+  }
+  cell.solution_delta_power = ReadSummary(reader, "summary-dpower");
+  cell.solution_delta_time = ReadSummary(reader, "summary-dtime");
+  cell.solution_delta_acc = ReadSummary(reader, "summary-dacc");
+  cell.steps = ReadSummary(reader, "summary-steps");
+  {
+    const std::vector<std::string> tokens = reader.Expect("aggregate");
+    RequireTokenCount(reader, tokens, 3, "aggregate");
+    cell.feasible_fraction = ChunkDouble(tokens[0], "feasible_fraction");
+    cell.modal_adder = Decode(tokens[1]);
+    cell.modal_multiplier = Decode(tokens[2]);
+  }
+  {
+    const std::vector<std::string> tokens = reader.Expect("cache");
+    RequireTokenCount(reader, tokens, 6, "cache");
+    cell.cache.mode = CacheModeFromName(tokens[0]);
+    cell.cache.distinct_evaluations = static_cast<std::size_t>(
+        ParseUnsignedToken(tokens[1], "cache distinct"));
+    cell.cache.executed_runs = static_cast<std::size_t>(
+        ParseUnsignedToken(tokens[2], "cache executed"));
+    cell.cache.saved_runs =
+        static_cast<std::size_t>(ParseUnsignedToken(tokens[3], "cache saved"));
+    cell.cache.local_hits =
+        static_cast<std::size_t>(ParseUnsignedToken(tokens[4], "cache local"));
+    cell.cache.shared_hits = static_cast<std::size_t>(
+        ParseUnsignedToken(tokens[5], "cache shared"));
+  }
+  const std::vector<std::string> runs_tokens = reader.Expect("runs");
+  RequireTokenCount(reader, runs_tokens, 1, "runs");
+  const std::size_t num_runs = static_cast<std::size_t>(
+      ParseUnsignedToken(runs_tokens[0], "runs count"));
+  cell.runs.reserve(num_runs);
+  for (std::size_t i = 0; i < num_runs; ++i) {
+    CampaignSeedRun run;
+    {
+      const std::vector<std::string> tokens = reader.Expect("run");
+      RequireTokenCount(reader, tokens, 11, "run");
+      run.seed = ParseUnsignedToken(tokens[0], "run seed");
+      run.steps =
+          static_cast<std::size_t>(ParseUnsignedToken(tokens[1], "run steps"));
+      run.stop = Decode(tokens[2]);
+      run.cumulative_reward = ChunkDouble(tokens[3], "run reward");
+      run.episodes = static_cast<std::size_t>(
+          ParseUnsignedToken(tokens[4], "run episodes"));
+      run.kernel_runs = static_cast<std::size_t>(
+          ParseUnsignedToken(tokens[5], "run kernel_runs"));
+      run.cache_hits = static_cast<std::size_t>(
+          ParseUnsignedToken(tokens[6], "run cache_hits"));
+      run.kernel_runs_executed = static_cast<std::size_t>(
+          ParseUnsignedToken(tokens[7], "run kernel_runs_executed"));
+      run.shared_cache_hits = static_cast<std::size_t>(
+          ParseUnsignedToken(tokens[8], "run shared_cache_hits"));
+      const std::uint64_t feasible =
+          ParseUnsignedToken(tokens[9], "run feasible");
+      if (feasible > 1) ChunkError(reader.Line(), "run feasible not 0/1");
+      run.feasible = feasible == 1;
+      run.objective = ChunkDouble(tokens[10], "run objective");
+    }
+    {
+      const std::vector<std::string> tokens = reader.Expect("solution");
+      if (tokens.size() < 2) ChunkError(reader.Line(), "truncated solution");
+      run.adder = Decode(tokens[0]);
+      run.multiplier = Decode(tokens[1]);
+      std::size_t pos = 2;
+      run.solution_measurement = ReadMeasurement(tokens, pos, reader);
+      run.solution = ReadConfig(reader, tokens, pos);
+      if (pos != tokens.size())
+        ChunkError(reader.Line(), "trailing solution fields");
+    }
+    {
+      const std::vector<std::string> tokens = reader.Expect("best");
+      if (tokens.empty()) ChunkError(reader.Line(), "truncated best");
+      const std::uint64_t has = ParseUnsignedToken(tokens[0], "best flag");
+      if (has > 1) ChunkError(reader.Line(), "best flag not 0/1");
+      run.has_best_feasible = has == 1;
+      std::size_t pos = 1;
+      if (run.has_best_feasible) {
+        run.best_feasible_measurement = ReadMeasurement(tokens, pos, reader);
+        run.best_feasible = ReadConfig(reader, tokens, pos);
+      }
+      if (pos != tokens.size())
+        ChunkError(reader.Line(), "trailing best fields");
+    }
+    cell.runs.push_back(std::move(run));
+  }
+  return cell;
+}
+
+std::string Hex16(std::uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- CampaignKernel ---------------------------------------------------------
+
+std::string CampaignKernel::Display() const {
+  return size == 0 ? name : name + "@" + std::to_string(size);
+}
+
+// --- CampaignSpec -----------------------------------------------------------
+
+std::size_t CampaignSpec::NumCells() const noexcept {
+  auto axis = [](std::size_t n) { return n == 0 ? std::size_t{1} : n; };
+  return kernels.size() * axis(agents.size()) * axis(action_spaces.size()) *
+         axis(acc_factors.size()) * axis(power_factors.size()) *
+         axis(time_factors.size()) * axis(cache_modes.size());
+}
+
+std::size_t CampaignSpec::NumJobs() const noexcept {
+  return NumCells() * base.num_seeds;
+}
+
+std::vector<ExplorationRequest> CampaignSpec::Expand() const {
+  const std::vector<AgentKind> agent_axis =
+      agents.empty() ? std::vector<AgentKind>{base.agent_kind} : agents;
+  const std::vector<ActionSpaceKind> space_axis =
+      action_spaces.empty() ? std::vector<ActionSpaceKind>{base.action_space}
+                            : action_spaces;
+  const std::vector<double> acc_axis =
+      acc_factors.empty() ? std::vector<double>{base.thresholds.accuracy_factor}
+                          : acc_factors;
+  const std::vector<double> power_axis =
+      power_factors.empty() ? std::vector<double>{base.thresholds.power_factor}
+                            : power_factors;
+  const std::vector<double> time_axis =
+      time_factors.empty() ? std::vector<double>{base.thresholds.time_factor}
+                           : time_factors;
+  const std::vector<CacheMode> cache_axis =
+      cache_modes.empty() ? std::vector<CacheMode>{base.cache_mode}
+                          : cache_modes;
+
+  std::vector<ExplorationRequest> grid;
+  grid.reserve(NumCells());
+  for (const CampaignKernel& kernel : kernels) {
+    for (const AgentKind agent : agent_axis) {
+      for (const ActionSpaceKind space : space_axis) {
+        for (const double acc : acc_axis) {
+          for (const double power : power_axis) {
+            for (const double time : time_axis) {
+              for (const CacheMode cache : cache_axis) {
+                ExplorationRequest request = base;
+                request.kernel_override.reset();
+                request.explorer_override.reset();
+                request.kernel = kernel.name;
+                request.params.size = kernel.size;
+                for (const auto& [key, value] : kernel.extra)
+                  request.params.extra[key] = value;
+                request.agent_kind = agent;
+                request.action_space = space;
+                request.thresholds.accuracy_factor = acc;
+                request.thresholds.power_factor = power;
+                request.thresholds.time_factor = time;
+                request.cache_mode = cache;
+                std::string label =
+                    kernel.Display() + "/" + dse::ToString(agent);
+                if (space_axis.size() > 1)
+                  label += std::string("/") + dse::ToString(space);
+                if (acc_axis.size() > 1) label += "/acc=" + ShortestDouble(acc);
+                if (power_axis.size() > 1)
+                  label += "/pow=" + ShortestDouble(power);
+                if (time_axis.size() > 1)
+                  label += "/time=" + ShortestDouble(time);
+                if (cache_axis.size() > 1)
+                  label += std::string("/") + dse::ToString(cache);
+                request.label = std::move(label);
+                grid.push_back(std::move(request));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+void CampaignSpec::Validate() const {
+  if (kernels.empty()) SpecError("the kernel axis is empty");
+  for (const CampaignKernel& kernel : kernels) RequireUsableKernelName(kernel.name);
+  for (std::size_t a = 0; a < kernels.size(); ++a)
+    for (std::size_t b = a + 1; b < kernels.size(); ++b)
+      if (kernels[a].name == kernels[b].name &&
+          kernels[a].size == kernels[b].size)
+        SpecError("duplicate kernel entry '" + kernels[a].Display() +
+                  "' (per-kernel overrides could not distinguish them)");
+  const std::vector<ExplorationRequest> grid = Expand();
+  std::unordered_set<std::string> seen;
+  seen.reserve(grid.size());
+  for (const ExplorationRequest& request : grid) {
+    request.Validate();
+    if (!seen.insert(request.ToString()).second)
+      SpecError("expansion produces duplicate cell '" + request.label + "'");
+  }
+}
+
+std::string CampaignSpec::ToString() const {
+  std::ostringstream out;
+  out << "kernels=";
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    if (i != 0) out << ",";
+    out << KernelEntryToken(kernels[i]);
+  }
+  for (const CampaignKernel& kernel : kernels)
+    for (const auto& [key, value] : kernel.extra)
+      out << " kernels." << KernelEntryToken(kernel) << "."
+          << EscapeRequestToken(key) << "=" << EscapeRequestToken(value);
+  auto write_list = [&out](const char* key, const auto& values,
+                           const auto& format) {
+    if (values.empty()) return;
+    out << " " << key << "=";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i != 0) out << ",";
+      out << format(values[i]);
+    }
+  };
+  write_list("agents", agents,
+             [](AgentKind kind) { return std::string(dse::ToString(kind)); });
+  write_list("action-spaces", action_spaces, [](ActionSpaceKind kind) {
+    return std::string(dse::ToString(kind));
+  });
+  write_list("acc-factors", acc_factors, ShortestDouble);
+  write_list("power-factors", power_factors, ShortestDouble);
+  write_list("time-factors", time_factors, ShortestDouble);
+  write_list("cache-modes", cache_modes,
+             [](CacheMode mode) { return std::string(dse::ToString(mode)); });
+  out << " " << base.ToString();
+  return out.str();
+}
+
+CampaignSpec CampaignSpec::Parse(const std::string& text) {
+  CampaignSpec spec;
+  std::string base_text;
+  std::vector<std::pair<std::string, std::string>> overrides;  // key, value
+  bool saw_kernels = false;
+  for (const std::string& token : Tokenize(text)) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos)
+      SpecError("token '" + token + "' is not of the form key=value");
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "kernels") {
+      if (value.empty()) SpecError("kernels= list is empty");
+      for (const std::string& entry : SplitOn(value, ','))
+        spec.kernels.push_back(ParseKernelEntry(entry));
+      saw_kernels = true;
+    } else if (key.rfind("kernels.", 0) == 0) {
+      overrides.emplace_back(key.substr(8), value);
+    } else if (key == "agents") {
+      if (value == "all") {
+        spec.agents = {AgentKind::kQLearning, AgentKind::kSarsa,
+                       AgentKind::kExpectedSarsa, AgentKind::kDoubleQ,
+                       AgentKind::kQLambda};
+      } else {
+        for (const std::string& entry : SplitOn(value, ','))
+          spec.agents.push_back(AgentKindFromName(entry));
+      }
+    } else if (key == "action-spaces") {
+      for (const std::string& entry : SplitOn(value, ','))
+        spec.action_spaces.push_back(ActionSpaceFromName(entry));
+    } else if (key == "acc-factors" || key == "power-factors" ||
+               key == "time-factors") {
+      std::vector<double>& axis = key == "acc-factors" ? spec.acc_factors
+                                  : key == "power-factors"
+                                      ? spec.power_factors
+                                      : spec.time_factors;
+      for (const std::string& entry : SplitOn(value, ','))
+        axis.push_back(ParseDoubleToken(entry, "CampaignSpec factor"));
+    } else if (key == "cache-modes") {
+      for (const std::string& entry : SplitOn(value, ','))
+        spec.cache_modes.push_back(CacheModeFromName(entry));
+    } else {
+      base_text += (base_text.empty() ? "" : " ") + token;
+    }
+  }
+  if (!saw_kernels) SpecError("missing required kernels= axis");
+  for (const auto& [key, value] : overrides) {
+    const auto dot = key.find('.');
+    if (dot == std::string::npos || dot == 0 || dot + 1 == key.size())
+      SpecError("override 'kernels." + key +
+                "' is not of the form kernels.<kernel>.<key>=<value>");
+    const CampaignKernel target = ParseKernelEntry(key.substr(0, dot));
+    const std::string extra_key = UnescapeRequestToken(key.substr(dot + 1));
+    bool matched = false;
+    for (CampaignKernel& kernel : spec.kernels) {
+      if (kernel.name != target.name) continue;
+      if (target.size != 0 && kernel.size != target.size) continue;
+      kernel.extra[extra_key] = UnescapeRequestToken(value);
+      matched = true;
+    }
+    if (!matched)
+      SpecError("override 'kernels." + key +
+                "' matches no kernel-axis entry");
+  }
+  spec.base = ExplorationRequest::Parse(base_text);
+  return spec;
+}
+
+bool operator==(const CampaignSpec& a, const CampaignSpec& b) {
+  return a.ToString() == b.ToString();
+}
+
+bool operator!=(const CampaignSpec& a, const CampaignSpec& b) {
+  return !(a == b);
+}
+
+// --- CampaignAggregator -----------------------------------------------------
+
+CampaignCell CampaignAggregator::Reduce(const RequestResult& result) {
+  CampaignCell cell;
+  cell.request = result.request;
+  // The escape hatches are not serializable; campaigns never set them.
+  cell.request.kernel_override.reset();
+  cell.request.explorer_override.reset();
+  cell.kernel_name = result.kernel_name;
+  cell.reward = result.reward;
+  cell.solution_delta_power = result.solution_delta_power;
+  cell.solution_delta_time = result.solution_delta_time;
+  cell.solution_delta_acc = result.solution_delta_acc;
+  cell.steps = result.steps;
+  cell.feasible_fraction = result.feasible_fraction;
+  cell.modal_adder = result.ModalAdder();
+  cell.modal_multiplier = result.ModalMultiplier();
+  cell.cache = result.cache;
+  cell.runs.reserve(result.runs.size());
+  for (std::size_t s = 0; s < result.runs.size(); ++s) {
+    const ExplorationResult& run = result.runs[s];
+    CampaignSeedRun reduced;
+    reduced.seed = result.request.seed + s;
+    reduced.steps = run.steps;
+    reduced.stop = rl::ToString(run.stop_reason);
+    reduced.cumulative_reward = run.cumulative_reward;
+    reduced.episodes = run.episodes;
+    reduced.kernel_runs = run.kernel_runs;
+    reduced.cache_hits = run.cache_hits;
+    reduced.kernel_runs_executed = run.kernel_runs_executed;
+    reduced.shared_cache_hits = run.shared_cache_hits;
+    reduced.solution = run.solution;
+    reduced.solution_measurement = run.solution_measurement;
+    reduced.adder = run.solution_adder;
+    reduced.multiplier = run.solution_multiplier;
+    reduced.feasible =
+        run.solution_measurement.delta_acc <= result.reward.acc_threshold;
+    reduced.has_best_feasible = run.has_best_feasible;
+    if (run.has_best_feasible) {
+      reduced.best_feasible = run.best_feasible;
+      reduced.best_feasible_measurement = run.best_feasible_measurement;
+    }
+    reduced.objective = BaselineObjective(
+        result.reward, run.has_best_feasible ? run.best_feasible_measurement
+                                             : run.solution_measurement);
+    cell.runs.push_back(std::move(reduced));
+  }
+  return cell;
+}
+
+void CampaignAggregator::Add(const RequestResult& result) {
+  Add(Reduce(result));
+}
+
+void CampaignAggregator::Add(CampaignCell cell) {
+  const auto [front_it, front_new] =
+      front_index_.try_emplace(cell.kernel_name, fronts_.size());
+  if (front_new) fronts_.push_back({cell.kernel_name, {}});
+  IncrementalParetoFront& front = fronts_[front_it->second].front;
+
+  const auto [best_it, best_new] =
+      best_index_.try_emplace(cell.kernel_name, best_.size());
+  if (best_new) {
+    CampaignBest initial;
+    initial.kernel = cell.kernel_name;
+    initial.objective = -std::numeric_limits<double>::infinity();
+    best_.push_back(std::move(initial));
+  }
+  CampaignBest& best = best_[best_it->second];
+
+  const std::string cell_label = cell.request.DisplayName();
+  for (const CampaignSeedRun& run : cell.runs) {
+    const std::string tag = cell_label + "#" + std::to_string(run.seed);
+    front.Insert({run.solution, run.solution_measurement, tag});
+    if (run.has_best_feasible)
+      front.Insert(
+          {run.best_feasible, run.best_feasible_measurement, tag + "/best"});
+
+    const bool candidate_feasible = run.has_best_feasible;
+    if ((candidate_feasible && !best.feasible) ||
+        (candidate_feasible == best.feasible &&
+         run.objective > best.objective)) {
+      best.cell = cell_label;
+      best.agent = dse::ToString(cell.request.agent_kind);
+      best.seed = run.seed;
+      best.objective = run.objective;
+      best.feasible = candidate_feasible;
+      best.config = candidate_feasible ? run.best_feasible : run.solution;
+      best.measurement = candidate_feasible ? run.best_feasible_measurement
+                                            : run.solution_measurement;
+    }
+  }
+  cells_.push_back(std::move(cell));
+}
+
+// --- CampaignResult ---------------------------------------------------------
+
+std::size_t CampaignResult::TotalRuns() const noexcept {
+  std::size_t total = 0;
+  for (const CampaignCell& cell : cells) total += cell.runs.size();
+  return total;
+}
+
+std::size_t CampaignResult::TotalSteps() const noexcept {
+  std::size_t total = 0;
+  for (const CampaignCell& cell : cells)
+    for (const CampaignSeedRun& run : cell.runs) total += run.steps;
+  return total;
+}
+
+// --- CampaignChunkCheckpoint ------------------------------------------------
+
+std::string CampaignChunkCheckpoint::Serialize() const {
+  std::ostringstream out;
+  out << "axdse-campaign-chunk v" << kFormatVersion << "\n";
+  out << "spec-hash " << Hex16(spec_hash) << "\n";
+  out << "chunk " << chunk_index << " " << first_cell << " " << cells.size()
+      << "\n";
+  for (const CampaignCell& cell : cells) WriteCell(out, cell);
+  out << "end\n";
+  return out.str();
+}
+
+CampaignChunkCheckpoint CampaignChunkCheckpoint::Deserialize(
+    const std::string& text) {
+  LineReader reader(text);
+  {
+    const std::vector<std::string> tokens =
+        reader.Expect("axdse-campaign-chunk");
+    RequireTokenCount(reader, tokens, 1, "version");
+    if (tokens[0] != "v" + std::to_string(kFormatVersion))
+      ChunkError(reader.Line(), "unsupported version '" + tokens[0] + "'");
+  }
+  CampaignChunkCheckpoint checkpoint;
+  {
+    const std::vector<std::string> tokens = reader.Expect("spec-hash");
+    RequireTokenCount(reader, tokens, 1, "spec-hash");
+    const std::string& hex = tokens[0];
+    if (hex.size() != 16) ChunkError(reader.Line(), "malformed spec hash");
+    std::uint64_t value = 0;
+    for (const char c : hex) {
+      int digit;
+      if (c >= '0' && c <= '9')
+        digit = c - '0';
+      else if (c >= 'a' && c <= 'f')
+        digit = c - 'a' + 10;
+      else
+        ChunkError(reader.Line(), "malformed spec hash");
+      value = (value << 4) | static_cast<std::uint64_t>(digit);
+    }
+    checkpoint.spec_hash = value;
+  }
+  std::size_t num_cells = 0;
+  {
+    const std::vector<std::string> tokens = reader.Expect("chunk");
+    RequireTokenCount(reader, tokens, 3, "chunk");
+    checkpoint.chunk_index = static_cast<std::size_t>(
+        ParseUnsignedToken(tokens[0], "chunk index"));
+    checkpoint.first_cell = static_cast<std::size_t>(
+        ParseUnsignedToken(tokens[1], "chunk first cell"));
+    num_cells = static_cast<std::size_t>(
+        ParseUnsignedToken(tokens[2], "chunk cell count"));
+  }
+  checkpoint.cells.reserve(num_cells);
+  for (std::size_t i = 0; i < num_cells; ++i)
+    checkpoint.cells.push_back(ReadCell(reader));
+  reader.Expect("end");
+  reader.ExpectEnd();
+  return checkpoint;
+}
+
+void CampaignChunkCheckpoint::Save(const std::string& path) const {
+  AtomicWriteCheckpointFile(path, Serialize(), "CampaignChunkCheckpoint::Save");
+}
+
+CampaignChunkCheckpoint CampaignChunkCheckpoint::Load(const std::string& path) {
+  return Deserialize(
+      ReadCheckpointFile(path, "CampaignChunkCheckpoint::Load"));
+}
+
+std::string CampaignChunkFileName(const std::string& spec_text,
+                                  std::size_t chunk_index) {
+  return "campaign-" + Hex16(StableHash64(spec_text)) + "-chunk-" +
+         std::to_string(chunk_index) + ".ckpt";
+}
+
+// --- Campaign ---------------------------------------------------------------
+
+CampaignResult Campaign::Run(const CampaignSpec& spec,
+                             const CampaignOptions& options) const {
+  namespace fs = std::filesystem;
+  spec.Validate();
+  const std::vector<ExplorationRequest> grid = spec.Expand();
+  const std::size_t chunk_cells =
+      options.chunk_cells == 0 ? grid.size() : options.chunk_cells;
+  const bool checkpointing = !options.checkpoint_directory.empty();
+  const std::string spec_text = spec.ToString();
+  const std::uint64_t spec_hash = StableHash64(spec_text);
+
+  CampaignResult result;
+  result.spec = spec;
+  result.num_cells = grid.size();
+
+  CampaignAggregator aggregator;
+  std::vector<std::string> chunk_files;
+  std::size_t executed_chunks = 0;
+  std::size_t begin = 0;
+  for (std::size_t chunk_index = 0; begin < grid.size();
+       begin += chunk_cells, ++chunk_index) {
+    const std::size_t end = std::min(begin + chunk_cells, grid.size());
+    const std::vector<ExplorationRequest> slice(grid.begin() + begin,
+                                                grid.begin() + end);
+    std::string chunk_path;
+    if (checkpointing) {
+      chunk_path = (fs::path(options.checkpoint_directory) /
+                    CampaignChunkFileName(spec_text, chunk_index))
+                       .string();
+      std::error_code ec;
+      if (fs::exists(chunk_path, ec)) {
+        CampaignChunkCheckpoint snapshot =
+            CampaignChunkCheckpoint::Load(chunk_path);
+        if (snapshot.spec_hash != spec_hash ||
+            snapshot.chunk_index != chunk_index ||
+            snapshot.first_cell != begin ||
+            snapshot.cells.size() != slice.size())
+          throw CheckpointError(
+              "Campaign: snapshot " + chunk_path +
+              " belongs to a different campaign or chunking — remove the "
+              "directory or rerun with the original spec and chunk size");
+        for (std::size_t i = 0; i < snapshot.cells.size(); ++i)
+          if (snapshot.cells[i].request.ToString() != slice[i].ToString())
+            throw CheckpointError(
+                "Campaign: snapshot " + chunk_path +
+                " does not match the expanded grid — remove the directory "
+                "or rerun with the original spec and chunk size");
+        for (CampaignCell& cell : snapshot.cells)
+          aggregator.Add(std::move(cell));
+        result.resumed_cells += snapshot.cells.size();
+        chunk_files.push_back(chunk_path);
+        continue;
+      }
+    }
+
+    // Only chunks actually executed count against max_chunks —
+    // snapshot-loaded ones are free, so rerunning the SAME command (same
+    // max_chunks) always makes forward progress, like step_budget.
+    if (options.max_chunks != 0 && executed_chunks >= options.max_chunks)
+      break;
+
+    BatchResult batch;
+    if (checkpointing) {
+      CheckpointOptions engine_checkpoint;
+      engine_checkpoint.directory = options.checkpoint_directory;
+      engine_checkpoint.interval = options.checkpoint_interval;
+      engine_checkpoint.step_budget = options.step_budget;
+      batch = engine_->Run(slice, engine_checkpoint);
+    } else if (options.step_budget != 0) {
+      throw std::invalid_argument(
+          "Campaign: step_budget requires a checkpoint_directory (a "
+          "suspended campaign must have somewhere to resume from)");
+    } else {
+      batch = engine_->Run(slice);
+    }
+
+    if (!batch.Complete()) {
+      // Suspended mid-chunk: the engine's job snapshots carry the in-flight
+      // state; nothing from this chunk is aggregated (its cells would be
+      // partial). Rerun with the same arguments to continue.
+      result.unfinished_jobs = batch.unfinished_jobs;
+      break;
+    }
+
+    CampaignChunkCheckpoint snapshot;
+    snapshot.spec_hash = spec_hash;
+    snapshot.chunk_index = chunk_index;
+    snapshot.first_cell = begin;
+    for (const RequestResult& request_result : batch.results) {
+      CampaignCell cell = CampaignAggregator::Reduce(request_result);
+      if (checkpointing) snapshot.cells.push_back(cell);
+      aggregator.Add(std::move(cell));
+    }
+    if (checkpointing) {
+      snapshot.Save(chunk_path);
+      chunk_files.push_back(chunk_path);
+    }
+    ++executed_chunks;
+  }
+  // `begin` stops at the first unprocessed (or suspended) chunk; past-the-end
+  // after a full pass.
+  result.pending_cells = grid.size() - std::min(begin, grid.size());
+
+  result.cells = aggregator.Cells();
+  result.fronts = aggregator.Fronts();
+  result.best = aggregator.Best();
+
+  if (result.Complete() && checkpointing) {
+    std::error_code ec;
+    for (const std::string& path : chunk_files)
+      fs::remove(path, ec);  // best-effort cleanup; a leftover only costs
+                             // a resume check next run
+  }
+  return result;
+}
+
+}  // namespace axdse::dse

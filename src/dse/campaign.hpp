@@ -1,0 +1,303 @@
+#pragma once
+// dse::Campaign — declarative exploration campaigns: the paper's headline
+// result is a sweep (every kernel x agent x threshold explored and
+// compared), and autoAx-style library-wide searches are the same shape at
+// scale. A CampaignSpec names the axes (kernels, agents, action spaces,
+// threshold factors, cache modes) plus a base ExplorationRequest supplying
+// everything else; Expand() takes the cartesian product into one
+// ExplorationRequest per grid cell. Campaign::Run() executes the grid
+// through the existing Engine in checkpointable chunks — each finished
+// chunk is reduced to a CampaignCell snapshot on disk, and in-flight jobs
+// reuse the Engine's CheckpointOptions machinery — so a killed campaign
+// resumes mid-grid and finishes with byte-identical reports to an
+// uninterrupted run. Results stream into a CampaignAggregator that
+// maintains per-kernel Pareto fronts (incremental insertion + dominance
+// pruning) and best-per-kernel tables; traces and per-step data never
+// accumulate across the grid.
+//
+// The spec serializes to the same whitespace/';'-separated key=value token
+// grammar as ExplorationRequest (axis keys first, base request keys after),
+// and Parse() is its strict inverse — campaigns are checkpoint-keyable and
+// CLI-expressible as one line.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dse/engine.hpp"
+#include "dse/pareto.hpp"
+
+namespace axdse::dse {
+
+/// One entry of the kernel axis: registry name, primary size (0 = kernel
+/// default), and extra kernel parameters (from "kernels.<name>.<key>="
+/// override tokens).
+struct CampaignKernel {
+  std::string name;
+  std::size_t size = 0;
+  std::map<std::string, std::string> extra;
+
+  /// Display form used in cell labels: "name" or "name@size".
+  std::string Display() const;
+};
+
+/// Declarative sweep specification. Non-empty axis vectors multiply into
+/// the grid; empty optional axes inherit the base request's single value.
+///
+/// Token grammar (ToString()/Parse()):
+///   kernels=matmul@10,fir@100,...        (required; name or name@size)
+///   kernels.matmul.granularity=row-col   (per-kernel extra override; the
+///                                         key part may also be name@size
+///                                         to target one entry)
+///   agents=q-learning,sarsa,...          (optional; default = base agent)
+///   action-spaces=full,compact           (optional)
+///   acc-factors=0.4,0.2                  (optional threshold-factor axes)
+///   power-factors=... time-factors=...
+///   cache-modes=private,shared           (optional)
+///   <any ExplorationRequest token>       (base: steps=, seeds=, alpha=, ...)
+struct CampaignSpec {
+  std::vector<CampaignKernel> kernels;
+  std::vector<AgentKind> agents;
+  std::vector<ActionSpaceKind> action_spaces;
+  std::vector<double> acc_factors;
+  std::vector<double> power_factors;
+  std::vector<double> time_factors;
+  std::vector<CacheMode> cache_modes;
+  /// Base request: every field not owned by an axis (steps, seeds, seed,
+  /// hyper-parameters, rollout, cache capacity, checkpoint interval, ...).
+  /// Its kernel/label/agent/action-space/threshold-factor/cache-mode fields
+  /// act as axis defaults and are overwritten per cell; kernel extras in
+  /// base.params.extra apply to every cell (per-kernel overrides win).
+  ExplorationRequest base;
+
+  /// Checks the axes (kernels present, names usable as token keys, axis
+  /// values valid) and that the expanded grid is well-formed: every cell
+  /// request validates and no two cells are identical.
+  /// Throws std::invalid_argument.
+  void Validate() const;
+
+  /// Grid size (product of the non-empty axis lengths).
+  std::size_t NumCells() const noexcept;
+
+  /// NumCells() * base.num_seeds — the explorations the campaign runs.
+  std::size_t NumJobs() const noexcept;
+
+  /// Cartesian-product expansion into one request per cell, kernel-major
+  /// (kernels, then agents, action spaces, acc/power/time factors, cache
+  /// modes innermost). Each request gets a generated label naming its axis
+  /// coordinates, e.g. "matmul@10/sarsa/acc=0.2/shared" (single-valued axes
+  /// are omitted from labels).
+  std::vector<ExplorationRequest> Expand() const;
+
+  /// One-line token serialization (see the grammar above). Lossless:
+  /// Parse(ToString()) reproduces the spec.
+  std::string ToString() const;
+
+  /// Strict inverse of ToString(). Axis tokens are consumed here; all
+  /// remaining tokens must form a valid ExplorationRequest. Throws
+  /// std::invalid_argument on unknown keys or unparsable values.
+  static CampaignSpec Parse(const std::string& text);
+};
+
+/// Equality over the serialized representation.
+bool operator==(const CampaignSpec& a, const CampaignSpec& b);
+bool operator!=(const CampaignSpec& a, const CampaignSpec& b);
+
+/// Campaign execution policy.
+struct CampaignOptions {
+  /// Grid cells (requests) per Engine::Run call. Results are streamed into
+  /// the aggregator chunk by chunk; with checkpointing on, each completed
+  /// chunk becomes one resumable snapshot file. 0 = the whole grid in one
+  /// chunk. Shared-cache requests share caches within a chunk only, so the
+  /// chunk size is part of a campaign's identity: resume with the same
+  /// value.
+  std::size_t chunk_cells = 8;
+  /// Checkpoint directory (created on demand). Empty = checkpointing off.
+  /// Completed chunks persist as campaign chunk snapshots, in-flight jobs
+  /// as Engine job snapshots; rerunning the same campaign against the same
+  /// directory resumes mid-grid with byte-identical final reports. All
+  /// snapshot files are removed once the campaign completes.
+  std::string checkpoint_directory;
+  /// Engine autosave period in environment steps (see CheckpointOptions).
+  std::size_t checkpoint_interval = 0;
+  /// Cooperative preemption: each job takes at most this many NEW steps per
+  /// invocation (see CheckpointOptions::step_budget). The campaign stops at
+  /// the first chunk left unfinished. 0 = run to completion.
+  std::size_t step_budget = 0;
+  /// Execute at most this many NEW chunks this invocation, then suspend
+  /// (the grid-level analog of step_budget). Chunks restored from
+  /// snapshots don't count, so rerunning the same command always makes
+  /// forward progress. 0 = no limit.
+  std::size_t max_chunks = 0;
+};
+
+/// One seed-run of a cell, reduced to what campaign reports consume.
+/// NOTE: campaign reports must read only the measurement deltas and the
+/// precise_power_mw/precise_time_ns baselines — chunk snapshots round-trip
+/// exactly those five fields (operation counts are not persisted).
+struct CampaignSeedRun {
+  std::uint64_t seed = 0;
+  std::size_t steps = 0;
+  std::string stop;  ///< rl::ToString(StopReason) of the run
+  double cumulative_reward = 0.0;
+  std::size_t episodes = 1;
+  std::size_t kernel_runs = 0;
+  std::size_t cache_hits = 0;
+  std::size_t kernel_runs_executed = 0;
+  std::size_t shared_cache_hits = 0;
+
+  Configuration solution;
+  instrument::Measurement solution_measurement;
+  std::string adder;
+  std::string multiplier;
+  bool feasible = false;
+
+  bool has_best_feasible = false;
+  Configuration best_feasible;
+  instrument::Measurement best_feasible_measurement;
+
+  /// BaselineObjective of the run's best feasible point (or of the solution
+  /// when no feasible point was seen — negative by construction).
+  double objective = 0.0;
+};
+
+/// One executed grid cell: the request as run plus the per-seed reductions
+/// and the multi-seed aggregates (traces are dropped as results stream in).
+struct CampaignCell {
+  ExplorationRequest request;
+  std::string kernel_name;
+  RewardConfig reward;
+  std::vector<CampaignSeedRun> runs;
+  util::Summary solution_delta_power;
+  util::Summary solution_delta_time;
+  util::Summary solution_delta_acc;
+  util::Summary steps;
+  double feasible_fraction = 0.0;
+  std::string modal_adder;
+  std::string modal_multiplier;
+  CacheUsage cache;
+};
+
+/// Streaming Pareto front of one kernel across every cell that ran it.
+struct CampaignFront {
+  std::string kernel;  ///< resolved kernel name, e.g. "matmul-10x10"
+  IncrementalParetoFront front;
+};
+
+/// Best point of one kernel across the campaign: the highest
+/// BaselineObjective over every run's best feasible point (grid order
+/// breaks ties). When no run found a feasible point, `feasible` is false
+/// and the entry carries the least-infeasible solution.
+struct CampaignBest {
+  std::string kernel;
+  std::string cell;  ///< label of the winning cell
+  std::string agent;
+  std::uint64_t seed = 0;
+  double objective = 0.0;
+  bool feasible = false;
+  Configuration config;
+  instrument::Measurement measurement;
+};
+
+/// Folds RequestResults (or pre-reduced cells restored from chunk
+/// snapshots) into the campaign aggregates: cells in grid order, one
+/// incremental Pareto front and one best entry per kernel (front/best
+/// order = first appearance of the kernel in the grid).
+class CampaignAggregator {
+ public:
+  /// Reduces one engine result to its campaign cell (drops traces, keeps
+  /// aggregates, computes per-run feasibility and objectives).
+  static CampaignCell Reduce(const RequestResult& result);
+
+  /// Reduce + Add in one step.
+  void Add(const RequestResult& result);
+
+  /// Folds a pre-reduced cell in (the chunk-snapshot resume path).
+  void Add(CampaignCell cell);
+
+  const std::vector<CampaignCell>& Cells() const noexcept { return cells_; }
+  const std::vector<CampaignFront>& Fronts() const noexcept {
+    return fronts_;
+  }
+  const std::vector<CampaignBest>& Best() const noexcept { return best_; }
+
+ private:
+  std::vector<CampaignCell> cells_;
+  std::vector<CampaignFront> fronts_;
+  std::map<std::string, std::size_t> front_index_;
+  std::vector<CampaignBest> best_;
+  std::map<std::string, std::size_t> best_index_;
+};
+
+/// Outcome of one Campaign::Run call.
+struct CampaignResult {
+  CampaignSpec spec;
+  /// Full grid size (spec.NumCells()), whether or not everything ran.
+  std::size_t num_cells = 0;
+  /// Cells completed this or a previous invocation, grid order.
+  std::vector<CampaignCell> cells;
+  std::vector<CampaignFront> fronts;
+  std::vector<CampaignBest> best;
+  /// Jobs suspended by CampaignOptions::step_budget this invocation.
+  std::size_t unfinished_jobs = 0;
+  /// Grid cells not yet completed (suspension or max_chunks).
+  std::size_t pending_cells = 0;
+  /// Cells restored from chunk snapshots instead of executed.
+  std::size_t resumed_cells = 0;
+
+  bool Complete() const noexcept {
+    return unfinished_jobs == 0 && pending_cells == 0;
+  }
+
+  /// Total explorations folded in (sum of runs over cells).
+  std::size_t TotalRuns() const noexcept;
+  /// Total environment steps across those runs.
+  std::size_t TotalSteps() const noexcept;
+};
+
+/// Persisted reduction of one completed chunk (campaign-level resume unit).
+/// Uses the checkpoint subsystem's conventions: versioned line-oriented
+/// text, strict parsing (CheckpointError), atomic Save.
+struct CampaignChunkCheckpoint {
+  static constexpr unsigned kFormatVersion = 1;
+
+  /// StableHash64 of CampaignSpec::ToString() — a snapshot loads only into
+  /// the campaign that wrote it.
+  std::uint64_t spec_hash = 0;
+  std::size_t chunk_index = 0;
+  /// Grid index of the first cell in this chunk.
+  std::size_t first_cell = 0;
+  std::vector<CampaignCell> cells;
+
+  std::string Serialize() const;
+  static CampaignChunkCheckpoint Deserialize(const std::string& text);
+  void Save(const std::string& path) const;
+  static CampaignChunkCheckpoint Load(const std::string& path);
+};
+
+/// Snapshot file name of one campaign chunk inside a checkpoint directory:
+/// "campaign-<16 hex digits of spec hash>-chunk-<index>.ckpt".
+std::string CampaignChunkFileName(const std::string& spec_text,
+                                  std::size_t chunk_index);
+
+/// Executes campaigns on an Engine. Stateless between Run() calls.
+class Campaign {
+ public:
+  explicit Campaign(const Engine& engine) : engine_(&engine) {}
+
+  /// Validates, expands, and runs `spec` (see CampaignOptions for
+  /// chunking, checkpointing, and preemption). Returns the aggregates of
+  /// every completed cell; Complete() is false after a suspension — rerun
+  /// with the same spec, options, and directory to continue. Throws
+  /// std::invalid_argument on invalid specs and CheckpointError on
+  /// malformed or foreign snapshot files.
+  CampaignResult Run(const CampaignSpec& spec,
+                     const CampaignOptions& options = {}) const;
+
+ private:
+  const Engine* engine_;
+};
+
+}  // namespace axdse::dse

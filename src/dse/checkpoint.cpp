@@ -334,12 +334,14 @@ std::vector<std::pair<Configuration, instrument::Measurement>> ReadEntries(
   return entries;
 }
 
+}  // namespace
+
 // --------------------------------------------------------------------------
 // File IO: atomic write (temp + rename), whole-file read.
 // --------------------------------------------------------------------------
 
-void AtomicWrite(const std::string& path, const std::string& content,
-                 const char* what) {
+void AtomicWriteCheckpointFile(const std::string& path,
+                               const std::string& content, const char* what) {
   namespace fs = std::filesystem;
   // Unique temp name per write: concurrent saves of the same target (e.g.
   // duplicate (request, seed) jobs in one batch) must not clobber each
@@ -376,7 +378,7 @@ void AtomicWrite(const std::string& path, const std::string& content,
   }
 }
 
-std::string ReadFileOrThrow(const std::string& path, const char* what) {
+std::string ReadCheckpointFile(const std::string& path, const char* what) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good())
     throw CheckpointError(std::string(what) + ": cannot read " + path);
@@ -384,8 +386,6 @@ std::string ReadFileOrThrow(const std::string& path, const char* what) {
   content << in.rdbuf();
   return content.str();
 }
-
-}  // namespace
 
 // --------------------------------------------------------------------------
 // Checkpoint
@@ -672,11 +672,11 @@ Checkpoint Checkpoint::Deserialize(const std::string& text) {
 }
 
 void Checkpoint::Save(const std::string& path) const {
-  AtomicWrite(path, Serialize(), "Checkpoint::Save");
+  AtomicWriteCheckpointFile(path, Serialize(), "Checkpoint::Save");
 }
 
 Checkpoint Checkpoint::Load(const std::string& path) {
-  return Deserialize(ReadFileOrThrow(path, "Checkpoint::Load"));
+  return Deserialize(ReadCheckpointFile(path, "Checkpoint::Load"));
 }
 
 // --------------------------------------------------------------------------
@@ -735,12 +735,12 @@ SharedCacheCheckpoint SharedCacheCheckpoint::Deserialize(
 }
 
 void SharedCacheCheckpoint::Save(const std::string& path) const {
-  AtomicWrite(path, Serialize(), "SharedCacheCheckpoint::Save");
+  AtomicWriteCheckpointFile(path, Serialize(), "SharedCacheCheckpoint::Save");
 }
 
 SharedCacheCheckpoint SharedCacheCheckpoint::Load(const std::string& path) {
   return SharedCacheCheckpoint::Deserialize(
-      ReadFileOrThrow(path, "SharedCacheCheckpoint::Load"));
+      ReadCheckpointFile(path, "SharedCacheCheckpoint::Load"));
 }
 
 // --------------------------------------------------------------------------

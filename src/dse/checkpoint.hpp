@@ -114,6 +114,18 @@ struct SharedCacheCheckpoint {
   static SharedCacheCheckpoint Load(const std::string& path);
 };
 
+/// Atomically writes `content` to `path` (unique temp file + rename,
+/// parent directories created on demand, partial temp files cleaned up on
+/// failure). Shared by every snapshot writer — job checkpoints, shared-cache
+/// state, campaign chunks — so they cannot diverge on durability protocol.
+/// `what` prefixes CheckpointError messages.
+void AtomicWriteCheckpointFile(const std::string& path,
+                               const std::string& content, const char* what);
+
+/// Reads `path` whole; throws CheckpointError (prefixed with `what`) when
+/// the file is missing or unreadable.
+std::string ReadCheckpointFile(const std::string& path, const char* what);
+
 /// Stable (process- and platform-independent) FNV-1a 64-bit hash, used to
 /// derive checkpoint file names from request serializations.
 std::uint64_t StableHash64(const std::string& text) noexcept;

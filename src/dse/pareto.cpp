@@ -54,6 +54,26 @@ std::vector<ParetoPoint> ParetoFront(const std::vector<ParetoPoint>& points) {
   return front;
 }
 
+IncrementalParetoFront::InsertOutcome IncrementalParetoFront::Insert(
+    const ParetoPoint& point) {
+  ++seen_;
+  for (const ParetoPoint& existing : points_) {
+    if (Dominates(existing.measurement, point.measurement))
+      return InsertOutcome::kDominated;
+    // First-witness semantics, matching ParetoFront(): an identical
+    // objective vector is already represented.
+    if (existing.measurement.delta_power_mw == point.measurement.delta_power_mw &&
+        existing.measurement.delta_time_ns == point.measurement.delta_time_ns &&
+        existing.measurement.delta_acc == point.measurement.delta_acc)
+      return InsertOutcome::kDuplicate;
+  }
+  std::erase_if(points_, [&point](const ParetoPoint& existing) {
+    return Dominates(point.measurement, existing.measurement);
+  });
+  points_.push_back(point);
+  return InsertOutcome::kInserted;
+}
+
 std::vector<ParetoPoint> ParetoFrontOfTrace(
     const std::vector<StepRecord>& trace) {
   std::vector<ParetoPoint> points;

@@ -4,6 +4,9 @@
 // the visited configurations is the natural summary of an exploration beyond
 // the single "solution" row.
 
+#include <cstddef>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "dse/configuration.hpp"
@@ -12,10 +15,19 @@
 
 namespace axdse::dse {
 
-/// One candidate point.
+/// One candidate point. `label` is optional provenance (e.g. which campaign
+/// cell and seed produced the point); it plays no role in dominance.
 struct ParetoPoint {
   Configuration config;
   instrument::Measurement measurement;
+  std::string label;
+
+  ParetoPoint() = default;
+  ParetoPoint(Configuration config_in, instrument::Measurement measurement_in,
+              std::string label_in = {})
+      : config(std::move(config_in)),
+        measurement(measurement_in),
+        label(std::move(label_in)) {}
 };
 
 /// True if `a` dominates `b`: a is no worse on every objective
@@ -32,5 +44,40 @@ std::vector<ParetoPoint> ParetoFront(const std::vector<ParetoPoint>& points);
 /// Extracts the front from an exploration trace.
 std::vector<ParetoPoint> ParetoFrontOfTrace(
     const std::vector<StepRecord>& trace);
+
+/// Streaming Pareto front: points are inserted one at a time (a campaign
+/// folds results in as each Engine chunk finishes) and the front is pruned
+/// incrementally, so the full point cloud never has to be materialized.
+///
+/// Invariant: after any sequence of Insert() calls, Points() equals
+/// ParetoFront() over the same sequence — same survivors, same order
+/// (insertion order of the first witness of each surviving objective
+/// vector).
+class IncrementalParetoFront {
+ public:
+  /// What Insert() did with the point.
+  enum class InsertOutcome {
+    kInserted,   ///< non-dominated; now part of the front
+    kDominated,  ///< some front point dominates it — rejected
+    kDuplicate,  ///< objective vector already on the front — rejected
+  };
+
+  /// Offers one point. Inserting may evict existing points the new point
+  /// dominates (order of the survivors is preserved).
+  InsertOutcome Insert(const ParetoPoint& point);
+
+  /// Current front, in insertion order of the surviving points.
+  const std::vector<ParetoPoint>& Points() const noexcept { return points_; }
+
+  /// Points offered so far (accepted + rejected).
+  std::size_t SeenCount() const noexcept { return seen_; }
+
+  std::size_t Size() const noexcept { return points_.size(); }
+  bool Empty() const noexcept { return points_.empty(); }
+
+ private:
+  std::vector<ParetoPoint> points_;
+  std::size_t seen_ = 0;
+};
 
 }  // namespace axdse::dse

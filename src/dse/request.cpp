@@ -42,10 +42,12 @@ bool ParseBool(const std::string& key, const std::string& value) {
                               "' for key '" + key + "' is not a boolean");
 }
 
+}  // namespace
+
 /// Free-text fields (labels, kernel names, extra keys/values) may contain
 /// whitespace, ';', or '=' — escape them so the token format stays
 /// lossless. Only '%', '=', and the token separators are encoded.
-std::string EscapeToken(const std::string& text) {
+std::string EscapeRequestToken(const std::string& text) {
   std::string out;
   out.reserve(text.size());
   for (const char c : text) {
@@ -78,7 +80,7 @@ std::string EscapeToken(const std::string& text) {
   return out;
 }
 
-std::string UnescapeToken(const std::string& text) {
+std::string UnescapeRequestToken(const std::string& text) {
   std::string out;
   out.reserve(text.size());
   for (std::size_t i = 0; i < text.size(); ++i) {
@@ -96,6 +98,11 @@ std::string UnescapeToken(const std::string& text) {
   }
   return out;
 }
+
+namespace {
+
+constexpr auto EscapeToken = &EscapeRequestToken;
+constexpr auto UnescapeToken = &UnescapeRequestToken;
 
 void RequireInRange(const char* name, double value, double lo, double hi) {
   if (!(value >= lo && value <= hi))

@@ -34,6 +34,13 @@ enum class CacheMode {
   kShared,
 };
 
+/// Percent-escaping used by the request (and campaign) token grammar: '%',
+/// '=', ';', and whitespace are encoded so free-text values survive the
+/// space-separated key=value format losslessly.
+std::string EscapeRequestToken(const std::string& text);
+/// Inverse of EscapeRequestToken.
+std::string UnescapeRequestToken(const std::string& text);
+
 /// Human-readable cache-mode name ("private" / "shared").
 const char* ToString(CacheMode mode) noexcept;
 

@@ -1,0 +1,42 @@
+#pragma once
+// Machine-readable campaign exports: the cross-run view of a grid sweep —
+// per-kernel Pareto fronts and best-point tables plus every cell's
+// multi-seed aggregates — as a JSON document (schema "axdse-campaign-v1")
+// and a flat CSV (one row per cell x seed). Both emitters are fully
+// deterministic (fixed field order, shortest-round-trip doubles), so a
+// resumed campaign exports byte-identical documents to an uninterrupted
+// one; they read only the measurement fields campaign chunk snapshots
+// round-trip (the deltas and the precise power/time baselines).
+
+#include <ostream>
+#include <string>
+
+#include "dse/campaign.hpp"
+
+namespace axdse::report {
+
+/// Writes the campaign as a JSON document:
+///   {"schema":"axdse-campaign-v1","spec":...,"num_cells":...,
+///    "complete":...,"best":[...],"pareto":[...],"cells":[...]}
+/// `best` holds one entry per kernel (highest BaselineObjective), `pareto`
+/// one front per kernel (points carry their provenance label and
+/// configuration), `cells` the per-cell aggregates and seed-runs in grid
+/// order.
+void WriteCampaignJson(std::ostream& out, const dse::CampaignResult& result);
+
+/// Writes one CSV row per (cell, seed-run), prefixed by a header row.
+/// Columns: cell, label, kernel, agent, action_space, cache_mode,
+/// acc_factor, seed, steps, stop, cumulative_reward, delta_power_mw,
+/// delta_time_ns, delta_acc, adder, multiplier, vars_selected, num_vars,
+/// feasible, objective, kernel_runs, cache_hits.
+void WriteCampaignCsv(std::ostream& out, const dse::CampaignResult& result);
+
+/// Human-readable summary: the per-kernel front/best table plus one row per
+/// cell (mean solution deltas, feasibility, modal operators).
+std::string RenderCampaignSummary(const dse::CampaignResult& result);
+
+/// Convenience string forms of the writers above.
+std::string CampaignJson(const dse::CampaignResult& result);
+std::string CampaignCsv(const dse::CampaignResult& result);
+
+}  // namespace axdse::report

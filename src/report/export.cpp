@@ -11,8 +11,8 @@
 namespace axdse::report {
 
 namespace {
-
 using util::ShortestDouble;
+}  // namespace
 
 std::string JsonEscape(const std::string& text) {
   std::string out;
@@ -56,12 +56,14 @@ std::string JsonNum(double value) {
   return quoted;
 }
 
-void WriteSummary(std::ostream& out, const util::Summary& summary) {
+void WriteSummaryJson(std::ostream& out, const util::Summary& summary) {
   out << "{\"count\":" << summary.count << ",\"mean\":" << JsonNum(summary.mean)
       << ",\"stddev\":" << JsonNum(summary.stddev)
       << ",\"min\":" << JsonNum(summary.min)
       << ",\"max\":" << JsonNum(summary.max) << "}";
 }
+
+namespace {
 
 void WriteVotes(std::ostream& out,
                 const std::map<std::string, std::size_t>& votes) {
@@ -173,13 +175,13 @@ void WriteBatchJson(std::ostream& out, const dse::BatchResult& batch) {
         << "\",\"modal_multiplier\":\""
         << JsonEscape(result.ModalMultiplier()) << "\",";
     out << "\"solution_delta_power\":";
-    WriteSummary(out, result.solution_delta_power);
+    WriteSummaryJson(out, result.solution_delta_power);
     out << ",\"solution_delta_time\":";
-    WriteSummary(out, result.solution_delta_time);
+    WriteSummaryJson(out, result.solution_delta_time);
     out << ",\"solution_delta_acc\":";
-    WriteSummary(out, result.solution_delta_acc);
+    WriteSummaryJson(out, result.solution_delta_acc);
     out << ",\"steps\":";
-    WriteSummary(out, result.steps);
+    WriteSummaryJson(out, result.steps);
     out << ",\"cache\":";
     WriteCacheUsage(out, result.cache);
     out << ",\"adder_votes\":";

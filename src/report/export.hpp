@@ -13,6 +13,17 @@
 
 namespace axdse::report {
 
+/// JSON string escaping shared by every exporter in this library.
+std::string JsonEscape(const std::string& text);
+
+/// Deterministic JSON number: shortest-round-trip formatting; inf/NaN are
+/// emitted as quoted strings (JSON has no non-finite numbers).
+std::string JsonNum(double value);
+
+/// Writes a util::Summary as a JSON object
+/// {"count":..,"mean":..,"stddev":..,"min":..,"max":..}.
+void WriteSummaryJson(std::ostream& out, const util::Summary& summary);
+
 /// Writes one CSV row per seed-run, prefixed by a header row. Columns:
 /// request, label, kernel, seed, steps, stop, cumulative_reward, episodes,
 /// delta_power_mw, delta_time_ns, delta_acc, adder, multiplier,

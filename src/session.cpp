@@ -42,6 +42,11 @@ dse::BatchResult Session::ResumeBatch(
   return engine_.ResumeBatch(requests, directory);
 }
 
+dse::CampaignResult Session::RunCampaign(
+    const dse::CampaignSpec& spec, const dse::CampaignOptions& options) const {
+  return dse::Campaign(engine_).Run(spec, options);
+}
+
 dse::BatchResult Session::ExploreBatchShared(
     std::vector<dse::ExplorationRequest> requests) const {
   for (dse::ExplorationRequest& request : requests)

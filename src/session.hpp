@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "dse/campaign.hpp"
 #include "dse/engine.hpp"
 
 namespace axdse {
@@ -62,6 +63,15 @@ class Session {
   /// the kernel-run cost drops (see BatchResult::TotalSavedRuns()).
   dse::BatchResult ExploreBatchShared(
       std::vector<dse::ExplorationRequest> requests) const;
+
+  /// Expands a declarative sweep spec into its request grid and runs it
+  /// through the engine in checkpointable chunks (see dse::Campaign).
+  /// Results stream into per-kernel Pareto fronts and best-point tables; a
+  /// suspended campaign (options.step_budget / max_chunks) resumes from the
+  /// same checkpoint directory with byte-identical final reports.
+  dse::CampaignResult RunCampaign(
+      const dse::CampaignSpec& spec,
+      const dse::CampaignOptions& options = {}) const;
 
   /// The underlying batch engine.
   const dse::Engine& Engine() const noexcept { return engine_; }

@@ -1,0 +1,86 @@
+#include "workloads/kmeans_kernel.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace axdse::workloads {
+
+namespace {
+/// Signed point range: +-2^13, comfortably inside the FIR set's Q15 domain.
+constexpr std::int32_t kRange = 1 << 13;
+}  // namespace
+
+KMeans1DKernel::KMeans1DKernel(std::size_t n, std::size_t clusters,
+                               std::uint64_t seed)
+    : name_("kmeans1d-" + std::to_string(n) + "x" + std::to_string(clusters)),
+      variables_({{"points"}, {"centroids"}, {"dist"}, {"acc"}}),
+      operators_(axc::EvoApproxCatalog::Instance().FirSet()) {
+  if (n == 0) throw std::invalid_argument("KMeans1DKernel: n == 0");
+  if (clusters == 0 || clusters > n)
+    throw std::invalid_argument("KMeans1DKernel: invalid cluster count");
+  util::Rng rng(seed);
+  points_.resize(n);
+  for (auto& p : points_)
+    p = static_cast<std::int16_t>(
+        static_cast<std::int32_t>(rng.UniformBelow(2 * kRange)) - kRange);
+  centroids_.resize(clusters);
+  for (std::size_t j = 0; j < clusters; ++j)
+    centroids_[j] = -kRange + static_cast<std::int32_t>(
+                                  (2 * j + 1) * (2 * kRange) / (2 * clusters));
+}
+
+const std::string& KMeans1DKernel::Name() const noexcept { return name_; }
+
+std::vector<double> KMeans1DKernel::Run(
+    instrument::ApproxContext& ctx) const {
+  const std::size_t n = points_.size();
+  const std::size_t k = centroids_.size();
+  // Group decisions hoisted out of the n x k loop (iir-style).
+  const bool diff_approx =
+      ctx.AnyApproximated({VarOfPoints(), VarOfCentroids()});
+  const bool dist_approx = ctx.AnyApproximated({VarOfDistance()});
+
+  // Pass 1 — assignment: signed squared distance to every centroid, argmin
+  // per point (the comparisons are not counted arithmetic).
+  std::vector<std::int64_t> best_diff(n);
+  std::vector<std::size_t> assign(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int64_t best_d = std::numeric_limits<std::int64_t>::max();
+    std::size_t best_j = 0;
+    std::int64_t best_diff_i = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::int64_t diff =
+          ctx.AddResolved(diff_approx, points_[i], -centroids_[j]);
+      const std::int64_t d = ctx.MulResolved(dist_approx, diff, diff);
+      if (d < best_d) {
+        best_d = d;
+        best_j = j;
+        best_diff_i = diff;
+      }
+    }
+    assign[i] = best_j;
+    best_diff[i] = best_diff_i;
+  }
+
+  // Pass 2 — inertia: one batched signed MAC chain per cluster over the
+  // winning differences, plus the assigned count (itself error-sensitive:
+  // approximation moves points across cluster boundaries).
+  std::vector<double> out(2 * k);
+  std::vector<std::int64_t> scratch;
+  scratch.reserve(n);
+  for (std::size_t j = 0; j < k; ++j) {
+    scratch.clear();
+    for (std::size_t i = 0; i < n; ++i)
+      if (assign[i] == j) scratch.push_back(best_diff[i]);
+    const std::int64_t inertia = ctx.DotAccumulate(
+        0, scratch.data(), 1, scratch.data(), 1, scratch.size(),
+        {VarOfDistance()}, {VarOfAccumulator()});
+    out[2 * j] = static_cast<double>(inertia);
+    out[2 * j + 1] = static_cast<double>(scratch.size());
+  }
+  return out;
+}
+
+}  // namespace axdse::workloads

@@ -9,7 +9,9 @@
 #include "workloads/dot_product_kernel.hpp"
 #include "workloads/fir_kernel.hpp"
 #include "workloads/iir_kernel.hpp"
+#include "workloads/kmeans_kernel.hpp"
 #include "workloads/matmul_kernel.hpp"
+#include "workloads/sobel_kernel.hpp"
 
 namespace axdse::workloads {
 
@@ -159,6 +161,22 @@ void RegisterBuiltinKernels(KernelRegistry& registry) {
     const std::size_t blocks =
         static_cast<std::size_t>(p.GetInt("blocks", 4));
     return std::make_unique<DotProductKernel>(n, blocks, p.seed);
+  });
+
+  registry.Register("sobel3x3", [](const KernelParams& p) {
+    const std::size_t height = p.size == 0 ? 12 : p.size;
+    const std::size_t width = static_cast<std::size_t>(
+        p.GetInt("width", static_cast<std::int64_t>(height)));
+    const std::size_t bands =
+        static_cast<std::size_t>(p.GetInt("bands", 1));
+    return std::make_unique<SobelKernel>(height, width, bands, p.seed);
+  });
+
+  registry.Register("kmeans1d", [](const KernelParams& p) {
+    const std::size_t n = p.size == 0 ? 96 : p.size;
+    const std::size_t clusters =
+        static_cast<std::size_t>(p.GetInt("clusters", 4));
+    return std::make_unique<KMeans1DKernel>(n, clusters, p.seed);
   });
 }
 

@@ -1,7 +1,8 @@
 #pragma once
 // Name-driven kernel construction — the facade's answer to "kernels are
 // data, not code". Every built-in benchmark ("matmul", "fir", "iir",
-// "conv2d", "dct", "dot") is registered as a factory keyed by a string name
+// "conv2d", "dct", "dot", "sobel3x3", "kmeans1d") is registered as a
+// factory keyed by a string name
 // and parameterized by a KernelParams value, so CLI flags, config files, and
 // ExplorationRequests can all name the workload they want without compiling
 // against its concrete class. Custom kernels register the same way (see
@@ -75,7 +76,7 @@ class KernelRegistry {
   std::map<std::string, Factory> factories_;
 };
 
-/// Registers the six built-in benchmark kernels on `registry`:
+/// Registers the built-in benchmark kernels on `registry`:
 ///   "matmul"  MatMulKernel      size = matrix edge (default 10);
 ///             extra: granularity=per-matrix|row-col
 ///   "fir"     FirKernel         size = samples (default 100);
@@ -86,6 +87,9 @@ class KernelRegistry {
 ///   "dct"     DctKernel         size = 8x8 blocks (default 4)
 ///   "dot"     DotProductKernel  size = vector length (default 64);
 ///             extra: blocks
+///   "sobel3x3" SobelKernel      size = height (default 12);
+///             extra: width, bands
+///   "kmeans1d" KMeans1DKernel   size = points (default 96); extra: clusters
 void RegisterBuiltinKernels(KernelRegistry& registry);
 
 }  // namespace axdse::workloads

@@ -1,0 +1,79 @@
+#include "workloads/sobel_kernel.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace axdse::workloads {
+
+SobelKernel::SobelKernel(std::size_t height, std::size_t width,
+                         std::size_t row_bands, std::uint64_t seed)
+    : height_(height),
+      width_(width),
+      row_bands_(row_bands),
+      name_("sobel3x3-" + std::to_string(height) + "x" + std::to_string(width)),
+      smooth_({1, 2, 1}),
+      operators_(axc::EvoApproxCatalog::Instance().MatMulSet()) {
+  if (height < 3 || width < 3)
+    throw std::invalid_argument("SobelKernel: image must be at least 3x3");
+  const std::size_t out_rows = height - 2;
+  if (row_bands == 0 || row_bands > out_rows)
+    throw std::invalid_argument("SobelKernel: invalid row_bands");
+  util::Rng rng(seed);
+  image_.resize(height * width);
+  for (auto& v : image_) v = static_cast<std::uint8_t>(rng.UniformBelow(256));
+
+  variables_.reserve(row_bands + 3);
+  for (std::size_t b = 0; b < row_bands; ++b)
+    variables_.push_back({"image.band" + std::to_string(b)});
+  variables_.push_back({"kx"});
+  variables_.push_back({"ky"});
+  variables_.push_back({"acc"});
+}
+
+const std::string& SobelKernel::Name() const noexcept { return name_; }
+
+std::size_t SobelKernel::VarOfRow(std::size_t y) const noexcept {
+  const std::size_t out_rows = height_ - 2;
+  const std::size_t band = y * row_bands_ / out_rows;
+  return band >= row_bands_ ? row_bands_ - 1 : band;
+}
+
+std::vector<double> SobelKernel::Run(instrument::ApproxContext& ctx) const {
+  const std::size_t out_rows = height_ - 2;
+  const std::size_t out_cols = width_ - 2;
+  std::vector<double> out(out_rows * out_cols);
+  const std::size_t kx_var = VarOfKx();
+  const std::size_t ky_var = VarOfKy();
+  const std::size_t acc_var = VarOfAccumulator();
+  for (std::size_t y = 0; y < out_rows; ++y) {
+    const std::size_t row_var = VarOfRow(y);
+    for (std::size_t x = 0; x < out_cols; ++x) {
+      // Gx: smoothed right column minus smoothed left column (stride =
+      // image width — the strided u8 MAC path).
+      const std::int64_t gx_pos =
+          ctx.DotAccumulate(0, &image_[y * width_ + x + 2], width_,
+                            smooth_.data(), 1, 3, {row_var, kx_var}, {acc_var});
+      const std::int64_t gx_neg =
+          ctx.DotAccumulate(0, &image_[y * width_ + x], width_, smooth_.data(),
+                            1, 3, {row_var, kx_var}, {acc_var});
+      const std::int64_t gx = ctx.Add(gx_pos, -gx_neg, {acc_var});
+      // Gy: smoothed bottom row minus smoothed top row (contiguous u8 MACs).
+      const std::int64_t gy_pos =
+          ctx.DotAccumulate(0, &image_[(y + 2) * width_ + x], 1,
+                            smooth_.data(), 1, 3, {row_var, ky_var}, {acc_var});
+      const std::int64_t gy_neg =
+          ctx.DotAccumulate(0, &image_[y * width_ + x], 1, smooth_.data(), 1,
+                            3, {row_var, ky_var}, {acc_var});
+      const std::int64_t gy = ctx.Add(gy_pos, -gy_neg, {acc_var});
+      // |Gx| + |Gy| magnitude; the absolute values are comparisons, not
+      // counted arithmetic.
+      const std::int64_t mag =
+          ctx.Add(gx < 0 ? -gx : gx, gy < 0 ? -gy : gy, {acc_var});
+      out[y * out_cols + x] = static_cast<double>(mag);
+    }
+  }
+  return out;
+}
+
+}  // namespace axdse::workloads

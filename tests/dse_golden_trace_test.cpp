@@ -1,13 +1,15 @@
-// Golden-trace regression test: the first 25 StepRecords of a fixed, seeded
-// matmul exploration are pinned to a checked-in fixture. Evaluator / cache /
-// engine refactors are free to change HOW configurations are measured, but
-// any change to WHAT the paper pipeline observes (actions taken, rewards
-// granted, measurements returned) must show up here as an explicit fixture
-// update, never as a silent drift of the reproduced results.
+// Golden-trace regression tests: the first 25 StepRecords of fixed, seeded
+// explorations are pinned to checked-in fixtures — matmul (the paper's
+// benchmark) plus the campaign workloads sobel3x3 and kmeans1d. Evaluator /
+// cache / engine refactors are free to change HOW configurations are
+// measured, but any change to WHAT the paper pipeline observes (actions
+// taken, rewards granted, measurements returned) must show up here as an
+// explicit fixture update, never as a silent drift of the reproduced
+// results.
 //
 // To regenerate after an intentional behavior change:
 //   AXDSE_UPDATE_GOLDEN=1 ./build/tests/dse_golden_trace_test
-// then review the fixture diff like any other code change.
+// then review the fixture diffs like any other code change.
 
 #include <gtest/gtest.h>
 
@@ -24,15 +26,21 @@ namespace {
 
 constexpr std::size_t kPinnedSteps = 25;
 
-const char* FixturePath() {
-  return AXDSE_SOURCE_DIR "/tests/golden/matmul_trace_seed1.txt";
+/// One pinned exploration: everything about the request is fixed; any field
+/// change invalidates the fixture.
+struct PinnedCase {
+  const char* fixture;  ///< file under tests/golden/
+  const char* kernel;
+  std::size_t size;
+};
+
+std::string FixturePath(const PinnedCase& pinned) {
+  return std::string(AXDSE_SOURCE_DIR "/tests/golden/") + pinned.fixture;
 }
 
-/// The pinned exploration: matmul 5x5, paper hyper-parameters scaled down,
-/// everything seeded. Any field change here invalidates the fixture.
-ExplorationRequest PinnedRequest(CacheMode mode) {
-  return RequestBuilder("matmul")
-      .Size(5)
+ExplorationRequest PinnedRequest(const PinnedCase& pinned, CacheMode mode) {
+  return RequestBuilder(pinned.kernel)
+      .Size(pinned.size)
       .KernelSeed(2023)
       .MaxSteps(60)
       .RewardCap(1e18)
@@ -45,11 +53,12 @@ ExplorationRequest PinnedRequest(CacheMode mode) {
       .Build();
 }
 
-std::string RenderTrace(const ExplorationResult& run) {
+std::string RenderTrace(const PinnedCase& pinned,
+                        const ExplorationResult& run) {
   std::ostringstream out;
-  out << "# first " << kPinnedSteps << " steps of: matmul size=5 "
-      << "kernel-seed=2023 steps=60 alpha=0.15 gamma=0.95 "
-      << "eps=1..0.05/45 seed=1\n";
+  out << "# first " << kPinnedSteps << " steps of: " << pinned.kernel
+      << " size=" << pinned.size << " kernel-seed=2023 steps=60 alpha=0.15 "
+      << "gamma=0.95 eps=1..0.05/45 seed=1\n";
   out << "# step action reward cumulative config delta_acc delta_power_mw "
       << "delta_time_ns\n";
   const std::size_t steps =
@@ -67,28 +76,29 @@ std::string RenderTrace(const ExplorationResult& run) {
   return out.str();
 }
 
-std::string RunPinnedExploration(CacheMode mode) {
-  const RequestResult result = Engine(EngineOptions{1}).RunOne(
-      PinnedRequest(mode));
+std::string RunPinnedExploration(const PinnedCase& pinned, CacheMode mode) {
+  const RequestResult result =
+      Engine(EngineOptions{1}).RunOne(PinnedRequest(pinned, mode));
   const ExplorationResult& run = result.runs.front();
   EXPECT_GE(run.trace.size(), kPinnedSteps);
-  return RenderTrace(run);
+  return RenderTrace(pinned, run);
 }
 
-TEST(GoldenTrace, First25MatmulStepsMatchCheckedInFixture) {
-  const std::string actual = RunPinnedExploration(CacheMode::kPrivate);
+void CheckPinnedCase(const PinnedCase& pinned) {
+  const std::string actual = RunPinnedExploration(pinned, CacheMode::kPrivate);
+  const std::string path = FixturePath(pinned);
 
   if (std::getenv("AXDSE_UPDATE_GOLDEN") != nullptr) {
-    std::ofstream out(FixturePath(), std::ios::binary);
-    ASSERT_TRUE(out.good()) << "cannot write " << FixturePath();
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
     out << actual;
-    GTEST_SKIP() << "fixture regenerated at " << FixturePath();
+    GTEST_SKIP() << "fixture regenerated at " << path;
   }
 
-  std::ifstream in(FixturePath(), std::ios::binary);
-  ASSERT_TRUE(in.good())
-      << "missing fixture " << FixturePath()
-      << " — regenerate with AXDSE_UPDATE_GOLDEN=1 " << std::flush;
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing fixture " << path
+                         << " — regenerate with AXDSE_UPDATE_GOLDEN=1 "
+                         << std::flush;
   std::ostringstream expected;
   expected << in.rdbuf();
   EXPECT_EQ(actual, expected.str())
@@ -96,10 +106,27 @@ TEST(GoldenTrace, First25MatmulStepsMatchCheckedInFixture) {
          "AXDSE_UPDATE_GOLDEN=1 and review the diff";
 }
 
-TEST(GoldenTrace, SharedCacheReproducesTheGoldenTraceExactly) {
-  // The cache-mode contract applied to the pinned fixture itself.
-  EXPECT_EQ(RunPinnedExploration(CacheMode::kShared),
-            RunPinnedExploration(CacheMode::kPrivate));
+constexpr PinnedCase kMatmul{"matmul_trace_seed1.txt", "matmul", 5};
+constexpr PinnedCase kSobel{"sobel3x3_trace_seed1.txt", "sobel3x3", 8};
+constexpr PinnedCase kKMeans{"kmeans1d_trace_seed1.txt", "kmeans1d", 48};
+
+TEST(GoldenTrace, First25MatmulStepsMatchCheckedInFixture) {
+  CheckPinnedCase(kMatmul);
+}
+
+TEST(GoldenTrace, First25SobelStepsMatchCheckedInFixture) {
+  CheckPinnedCase(kSobel);
+}
+
+TEST(GoldenTrace, First25KMeansStepsMatchCheckedInFixture) {
+  CheckPinnedCase(kKMeans);
+}
+
+TEST(GoldenTrace, SharedCacheReproducesTheGoldenTracesExactly) {
+  // The cache-mode contract applied to the pinned fixtures themselves.
+  for (const PinnedCase& pinned : {kMatmul, kSobel, kKMeans})
+    EXPECT_EQ(RunPinnedExploration(pinned, CacheMode::kShared),
+              RunPinnedExploration(pinned, CacheMode::kPrivate));
 }
 
 }  // namespace

@@ -1,8 +1,11 @@
-// Tests for dse/pareto: dominance semantics and front extraction.
+// Tests for dse/pareto: dominance semantics, front extraction, and the
+// incremental (streaming) front used by campaigns.
 
 #include "dse/pareto.hpp"
 
 #include <gtest/gtest.h>
+
+#include "util/rng.hpp"
 
 namespace axdse::dse {
 namespace {
@@ -94,6 +97,82 @@ TEST(ParetoFront, EmptyInput) {
 TEST(ParetoFront, SinglePointSurvives) {
   const std::vector<ParetoPoint> points = {{Cfg(0, 0, 0), Meas(1, 1, 1)}};
   EXPECT_EQ(ParetoFront(points).size(), 1u);
+}
+
+using InsertOutcome = IncrementalParetoFront::InsertOutcome;
+
+TEST(IncrementalFront, DominatedInsertIsRejected) {
+  IncrementalParetoFront front;
+  EXPECT_EQ(front.Insert({Cfg(0, 0, 0), Meas(10, 10, 1)}),
+            InsertOutcome::kInserted);
+  EXPECT_EQ(front.Insert({Cfg(1, 0, 0), Meas(5, 5, 2)}),
+            InsertOutcome::kDominated);
+  EXPECT_EQ(front.Size(), 1u);
+  EXPECT_EQ(front.SeenCount(), 2u);
+}
+
+TEST(IncrementalFront, InsertEvictsNewlyDominatedPoints) {
+  IncrementalParetoFront front;
+  front.Insert({Cfg(0, 0, 0), Meas(5, 5, 2)});
+  front.Insert({Cfg(1, 0, 0), Meas(6, 4, 2)});  // incomparable with first
+  EXPECT_EQ(front.Size(), 2u);
+  // Dominates both: they are evicted, the new point survives alone.
+  EXPECT_EQ(front.Insert({Cfg(2, 0, 0), Meas(10, 10, 1)}),
+            InsertOutcome::kInserted);
+  ASSERT_EQ(front.Size(), 1u);
+  EXPECT_EQ(front.Points()[0].config, Cfg(2, 0, 0));
+}
+
+TEST(IncrementalFront, DuplicateObjectiveKeepsTheFirstWitness) {
+  IncrementalParetoFront front;
+  front.Insert({Cfg(0, 0, 1), Meas(10, 10, 1), "first"});
+  EXPECT_EQ(front.Insert({Cfg(0, 0, 3), Meas(10, 10, 1), "second"}),
+            InsertOutcome::kDuplicate);
+  ASSERT_EQ(front.Size(), 1u);
+  EXPECT_EQ(front.Points()[0].label, "first");
+}
+
+TEST(IncrementalFront, IncomparablePointsAllSurviveInInsertionOrder) {
+  IncrementalParetoFront front;
+  front.Insert({Cfg(0, 0, 0), Meas(1, 3, 3)});
+  front.Insert({Cfg(1, 0, 0), Meas(2, 2, 2)});
+  front.Insert({Cfg(2, 0, 0), Meas(3, 1, 1)});
+  ASSERT_EQ(front.Size(), 3u);
+  EXPECT_EQ(front.Points()[0].config, Cfg(0, 0, 0));
+  EXPECT_EQ(front.Points()[1].config, Cfg(1, 0, 0));
+  EXPECT_EQ(front.Points()[2].config, Cfg(2, 0, 0));
+}
+
+TEST(IncrementalFront, MatchesBatchFrontOnRandomSequences) {
+  // Property: after any insertion sequence, the incremental front equals
+  // ParetoFront() over the same points — same survivors, same order.
+  util::Rng rng(2026);
+  for (int trial = 0; trial < 20; ++trial) {
+    IncrementalParetoFront incremental;
+    std::vector<ParetoPoint> batch;
+    const std::size_t n = 5 + rng.UniformBelow(60);
+    for (std::size_t i = 0; i < n; ++i) {
+      // A small value lattice so duplicates, ties, and dominance all occur.
+      const ParetoPoint point{
+          Cfg(static_cast<std::uint32_t>(i % 4), 0, 0),
+          Meas(static_cast<double>(rng.UniformBelow(5)),
+               static_cast<double>(rng.UniformBelow(5)),
+               static_cast<double>(rng.UniformBelow(5)))};
+      incremental.Insert(point);
+      batch.push_back(point);
+    }
+    const std::vector<ParetoPoint> expected = ParetoFront(batch);
+    ASSERT_EQ(incremental.Size(), expected.size()) << "trial " << trial;
+    EXPECT_EQ(incremental.SeenCount(), n);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(incremental.Points()[i].measurement.delta_power_mw,
+                expected[i].measurement.delta_power_mw);
+      EXPECT_EQ(incremental.Points()[i].measurement.delta_time_ns,
+                expected[i].measurement.delta_time_ns);
+      EXPECT_EQ(incremental.Points()[i].measurement.delta_acc,
+                expected[i].measurement.delta_acc);
+    }
+  }
 }
 
 TEST(ParetoFrontOfTrace, ExtractsFromStepRecords) {

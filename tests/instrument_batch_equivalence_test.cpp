@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -21,8 +22,10 @@
 #include "workloads/dot_product_kernel.hpp"
 #include "workloads/fir_kernel.hpp"
 #include "workloads/iir_kernel.hpp"
+#include "workloads/kmeans_kernel.hpp"
 #include "workloads/matmul_kernel.hpp"
 #include "workloads/registry.hpp"
+#include "workloads/sobel_kernel.hpp"
 
 namespace axdse::instrument {
 namespace {
@@ -299,6 +302,94 @@ std::vector<double> MirrorDct(const workloads::DctKernel& k,
   return out;
 }
 
+std::vector<double> MirrorSobel(const workloads::SobelKernel& k,
+                                ApproxContext& ctx) {
+  const std::size_t out_rows = k.Height() - 2;
+  const std::size_t out_cols = k.Width() - 2;
+  std::vector<double> out(out_rows * out_cols);
+  const std::size_t kx = k.VarOfKx();
+  const std::size_t ky = k.VarOfKy();
+  const std::size_t acc_var = k.VarOfAccumulator();
+  for (std::size_t y = 0; y < out_rows; ++y) {
+    const std::size_t row_var = k.VarOfRow(y);
+    for (std::size_t x = 0; x < out_cols; ++x) {
+      // Same operation order as the batched kernel: the four smoothed
+      // 3-MACs, then the two differences, then the magnitude.
+      std::int64_t gx_pos = 0, gx_neg = 0, gy_pos = 0, gy_neg = 0;
+      for (std::size_t i = 0; i < 3; ++i)
+        gx_pos = ctx.Add(gx_pos,
+                         ctx.Mul(k.Pixel(y + i, x + 2), k.SmoothWeight(i),
+                                 {row_var, kx}),
+                         {acc_var});
+      for (std::size_t i = 0; i < 3; ++i)
+        gx_neg = ctx.Add(
+            gx_neg,
+            ctx.Mul(k.Pixel(y + i, x), k.SmoothWeight(i), {row_var, kx}),
+            {acc_var});
+      const std::int64_t gx = ctx.Add(gx_pos, -gx_neg, {acc_var});
+      for (std::size_t i = 0; i < 3; ++i)
+        gy_pos = ctx.Add(gy_pos,
+                         ctx.Mul(k.Pixel(y + 2, x + i), k.SmoothWeight(i),
+                                 {row_var, ky}),
+                         {acc_var});
+      for (std::size_t i = 0; i < 3; ++i)
+        gy_neg = ctx.Add(
+            gy_neg,
+            ctx.Mul(k.Pixel(y, x + i), k.SmoothWeight(i), {row_var, ky}),
+            {acc_var});
+      const std::int64_t gy = ctx.Add(gy_pos, -gy_neg, {acc_var});
+      const std::int64_t mag =
+          ctx.Add(gx < 0 ? -gx : gx, gy < 0 ? -gy : gy, {acc_var});
+      out[y * out_cols + x] = static_cast<double>(mag);
+    }
+  }
+  return out;
+}
+
+std::vector<double> MirrorKMeans(const workloads::KMeans1DKernel& k,
+                                 ApproxContext& ctx) {
+  const std::size_t n = k.Length();
+  const std::size_t clusters = k.Clusters();
+  const std::size_t vp = k.VarOfPoints();
+  const std::size_t vc = k.VarOfCentroids();
+  const std::size_t vd = k.VarOfDistance();
+  const std::size_t va = k.VarOfAccumulator();
+  std::vector<std::int64_t> best_diff(n);
+  std::vector<std::size_t> assign(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int64_t best_d = std::numeric_limits<std::int64_t>::max();
+    std::size_t best_j = 0;
+    std::int64_t best_diff_i = 0;
+    for (std::size_t j = 0; j < clusters; ++j) {
+      const std::int64_t diff =
+          ctx.Add(k.Point(i), -static_cast<std::int64_t>(k.Centroid(j)),
+                  {vp, vc});
+      const std::int64_t d = ctx.Mul(diff, diff, {vd});
+      if (d < best_d) {
+        best_d = d;
+        best_j = j;
+        best_diff_i = diff;
+      }
+    }
+    assign[i] = best_j;
+    best_diff[i] = best_diff_i;
+  }
+  std::vector<double> out(2 * clusters);
+  for (std::size_t j = 0; j < clusters; ++j) {
+    std::int64_t inertia = 0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (assign[i] != j) continue;
+      inertia =
+          ctx.Add(inertia, ctx.Mul(best_diff[i], best_diff[i], {vd}), {va});
+      ++count;
+    }
+    out[2 * j] = static_cast<double>(inertia);
+    out[2 * j + 1] = static_cast<double>(count);
+  }
+  return out;
+}
+
 std::vector<double> MirrorDot(const workloads::DotProductKernel& k,
                               ApproxContext& ctx) {
   std::vector<double> out(k.Blocks());
@@ -373,6 +464,16 @@ TEST(KernelEquivalence, DctMatchesScalarMirror) {
 TEST(KernelEquivalence, DotMatchesScalarMirror) {
   CheckKernelAgainstMirror(workloads::DotProductKernel(48, 5, 17), MirrorDot,
                            20, 251);
+}
+
+TEST(KernelEquivalence, SobelMatchesScalarMirror) {
+  CheckKernelAgainstMirror(workloads::SobelKernel(9, 11, 3, 19), MirrorSobel,
+                           20, 257);
+}
+
+TEST(KernelEquivalence, KMeansMatchesScalarMirror) {
+  CheckKernelAgainstMirror(workloads::KMeans1DKernel(40, 5, 23), MirrorKMeans,
+                           20, 263);
 }
 
 }  // namespace

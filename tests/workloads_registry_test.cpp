@@ -32,12 +32,12 @@ TEST(KernelParams, BadValuesThrowInsteadOfFallingBack) {
 
 TEST(KernelRegistry, GlobalHasAllBuiltins) {
   const KernelRegistry& registry = KernelRegistry::Global();
-  for (const char* name :
-       {"matmul", "fir", "iir", "conv2d", "dct", "dot"}) {
+  for (const char* name : {"matmul", "fir", "iir", "conv2d", "dct", "dot",
+                           "sobel3x3", "kmeans1d"}) {
     EXPECT_TRUE(registry.Has(name)) << name;
   }
   const std::vector<std::string> names = registry.Names();
-  EXPECT_GE(names.size(), 6u);
+  EXPECT_GE(names.size(), 8u);
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
 }
 

@@ -1,0 +1,236 @@
+// Tests for the campaign workloads sobel3x3 and kmeans1d: construction
+// validation, reference outputs (precise run vs a plain C++ reimplementation
+// with no instrumentation), operation accounting, determinism, registry
+// construction, and approximation sensitivity.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "workloads/kmeans_kernel.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/sobel_kernel.hpp"
+
+namespace axdse::workloads {
+namespace {
+
+// ---------------------------------------------------------------------------
+// sobel3x3
+// ---------------------------------------------------------------------------
+
+/// Plain (uninstrumented) Sobel magnitude reference: |Gx| + |Gy| with the
+/// classic [-1 0 1; -2 0 2; -1 0 1] / transpose masks.
+std::vector<double> SobelReference(const SobelKernel& k) {
+  const std::size_t out_rows = k.Height() - 2;
+  const std::size_t out_cols = k.Width() - 2;
+  std::vector<double> out(out_rows * out_cols);
+  const int w[3] = {1, 2, 1};
+  for (std::size_t y = 0; y < out_rows; ++y) {
+    for (std::size_t x = 0; x < out_cols; ++x) {
+      long gx = 0, gy = 0;
+      for (std::size_t i = 0; i < 3; ++i) {
+        gx += w[i] * (static_cast<long>(k.Pixel(y + i, x + 2)) -
+                      static_cast<long>(k.Pixel(y + i, x)));
+        gy += w[i] * (static_cast<long>(k.Pixel(y + 2, x + i)) -
+                      static_cast<long>(k.Pixel(y, x + i)));
+      }
+      out[y * out_cols + x] =
+          static_cast<double>(std::labs(gx) + std::labs(gy));
+    }
+  }
+  return out;
+}
+
+TEST(SobelKernel, ConstructionValidation) {
+  EXPECT_THROW(SobelKernel(2, 8, 1, 1), std::invalid_argument);
+  EXPECT_THROW(SobelKernel(8, 2, 1, 1), std::invalid_argument);
+  EXPECT_THROW(SobelKernel(8, 8, 0, 1), std::invalid_argument);
+  EXPECT_THROW(SobelKernel(8, 8, 7, 1), std::invalid_argument);  // > h-2
+  EXPECT_NO_THROW(SobelKernel(3, 3, 1, 1));
+}
+
+TEST(SobelKernel, NameAndVariables) {
+  const SobelKernel kernel(10, 14, 3, 7);
+  EXPECT_EQ(kernel.Name(), "sobel3x3-10x14");
+  // 3 bands + kx + ky + acc.
+  EXPECT_EQ(kernel.NumVariables(), 6u);
+  EXPECT_EQ(kernel.Variables()[0].name, "image.band0");
+  EXPECT_EQ(kernel.Variables()[kernel.VarOfKx()].name, "kx");
+  EXPECT_EQ(kernel.Variables()[kernel.VarOfKy()].name, "ky");
+  EXPECT_EQ(kernel.Variables()[kernel.VarOfAccumulator()].name, "acc");
+  // Bands partition the output rows in order.
+  EXPECT_EQ(kernel.VarOfRow(0), 0u);
+  EXPECT_EQ(kernel.VarOfRow(7), 2u);
+}
+
+TEST(SobelKernel, PreciseRunMatchesReference) {
+  const SobelKernel kernel(12, 9, 2, 2024);
+  instrument::ApproxContext ctx = kernel.MakeContext();
+  EXPECT_EQ(kernel.Run(ctx), SobelReference(kernel));
+}
+
+TEST(SobelKernel, OperationAccounting) {
+  const SobelKernel kernel(8, 8, 1, 5);
+  instrument::ApproxContext ctx = kernel.MakeContext();
+  kernel.Run(ctx);
+  const std::size_t outputs = 6 * 6;
+  // Per output: four 3-MACs (12 muls, 12 adds) + 2 gradient differences +
+  // 1 magnitude add.
+  EXPECT_EQ(ctx.Counts().precise_muls, outputs * 12);
+  EXPECT_EQ(ctx.Counts().precise_adds, outputs * 15);
+  EXPECT_EQ(ctx.Counts().approx_muls, 0u);
+  EXPECT_EQ(ctx.Counts().approx_adds, 0u);
+}
+
+TEST(SobelKernel, DeterministicAndSeedSensitive) {
+  const SobelKernel a(10, 10, 2, 42);
+  const SobelKernel b(10, 10, 2, 42);
+  const SobelKernel c(10, 10, 2, 43);
+  instrument::ApproxContext ctx_a = a.MakeContext();
+  instrument::ApproxContext ctx_b = b.MakeContext();
+  instrument::ApproxContext ctx_c = c.MakeContext();
+  EXPECT_EQ(a.Run(ctx_a), b.Run(ctx_b));
+  EXPECT_NE(a.Run(ctx_a), c.Run(ctx_c));
+}
+
+TEST(SobelKernel, ApproximationChangesOutputs) {
+  const SobelKernel kernel(10, 10, 1, 11);
+  instrument::ApproxContext ctx = kernel.MakeContext();
+  const std::vector<double> precise = kernel.Run(ctx);
+  // Most aggressive operator pair, every variable selected.
+  instrument::ApproxSelection all(kernel.NumVariables());
+  all.SetAdderIndex(
+      static_cast<std::uint32_t>(kernel.Operators().adders.size() - 1));
+  all.SetMultiplierIndex(
+      static_cast<std::uint32_t>(kernel.Operators().multipliers.size() - 1));
+  for (std::size_t v = 0; v < kernel.NumVariables(); ++v)
+    all.SetVariable(v, true);
+  ctx.Configure(all);
+  EXPECT_NE(kernel.Run(ctx), precise);
+  EXPECT_GT(ctx.Counts().approx_muls, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// kmeans1d
+// ---------------------------------------------------------------------------
+
+/// Plain reference: argmin over exact squared distances, then per-cluster
+/// inertia and count.
+std::vector<double> KMeansReference(const KMeans1DKernel& k) {
+  std::vector<double> out(2 * k.Clusters());
+  std::vector<long long> inertia(k.Clusters(), 0);
+  std::vector<long long> counts(k.Clusters(), 0);
+  for (std::size_t i = 0; i < k.Length(); ++i) {
+    long long best_d = std::numeric_limits<long long>::max();
+    std::size_t best_j = 0;
+    for (std::size_t j = 0; j < k.Clusters(); ++j) {
+      const long long diff =
+          static_cast<long long>(k.Point(i)) - k.Centroid(j);
+      const long long d = diff * diff;
+      if (d < best_d) {
+        best_d = d;
+        best_j = j;
+      }
+    }
+    inertia[best_j] += best_d;
+    ++counts[best_j];
+  }
+  for (std::size_t j = 0; j < k.Clusters(); ++j) {
+    out[2 * j] = static_cast<double>(inertia[j]);
+    out[2 * j + 1] = static_cast<double>(counts[j]);
+  }
+  return out;
+}
+
+TEST(KMeansKernel, ConstructionValidation) {
+  EXPECT_THROW(KMeans1DKernel(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(KMeans1DKernel(8, 0, 1), std::invalid_argument);
+  EXPECT_THROW(KMeans1DKernel(8, 9, 1), std::invalid_argument);
+  EXPECT_NO_THROW(KMeans1DKernel(8, 8, 1));
+}
+
+TEST(KMeansKernel, NameAndVariables) {
+  const KMeans1DKernel kernel(96, 4, 7);
+  EXPECT_EQ(kernel.Name(), "kmeans1d-96x4");
+  EXPECT_EQ(kernel.NumVariables(), 4u);
+  EXPECT_EQ(kernel.Variables()[kernel.VarOfPoints()].name, "points");
+  EXPECT_EQ(kernel.Variables()[kernel.VarOfCentroids()].name, "centroids");
+  EXPECT_EQ(kernel.Variables()[kernel.VarOfDistance()].name, "dist");
+  EXPECT_EQ(kernel.Variables()[kernel.VarOfAccumulator()].name, "acc");
+}
+
+TEST(KMeansKernel, PreciseRunMatchesReference) {
+  const KMeans1DKernel kernel(64, 5, 2024);
+  instrument::ApproxContext ctx = kernel.MakeContext();
+  const std::vector<double> got = kernel.Run(ctx);
+  EXPECT_EQ(got, KMeansReference(kernel));
+  // Every point lands in exactly one cluster.
+  double assigned = 0.0;
+  for (std::size_t j = 0; j < kernel.Clusters(); ++j) assigned += got[2 * j + 1];
+  EXPECT_EQ(assigned, 64.0);
+}
+
+TEST(KMeansKernel, OperationAccounting) {
+  const KMeans1DKernel kernel(48, 3, 5);
+  instrument::ApproxContext ctx = kernel.MakeContext();
+  kernel.Run(ctx);
+  // Pass 1: n*k diffs (adds) + n*k squares (muls); pass 2: one MAC per
+  // point (n adds + n muls in the per-cluster chains).
+  EXPECT_EQ(ctx.Counts().precise_muls, 48u * 3 + 48);
+  EXPECT_EQ(ctx.Counts().precise_adds, 48u * 3 + 48);
+}
+
+TEST(KMeansKernel, DeterministicAndSeedSensitive) {
+  const KMeans1DKernel a(48, 4, 42);
+  const KMeans1DKernel b(48, 4, 42);
+  const KMeans1DKernel c(48, 4, 43);
+  instrument::ApproxContext ctx_a = a.MakeContext();
+  instrument::ApproxContext ctx_b = b.MakeContext();
+  instrument::ApproxContext ctx_c = c.MakeContext();
+  EXPECT_EQ(a.Run(ctx_a), b.Run(ctx_b));
+  EXPECT_NE(a.Run(ctx_a), c.Run(ctx_c));
+}
+
+TEST(KMeansKernel, ApproximationChangesOutputs) {
+  const KMeans1DKernel kernel(64, 4, 11);
+  instrument::ApproxContext ctx = kernel.MakeContext();
+  const std::vector<double> precise = kernel.Run(ctx);
+  instrument::ApproxSelection all(kernel.NumVariables());
+  all.SetAdderIndex(
+      static_cast<std::uint32_t>(kernel.Operators().adders.size() - 1));
+  all.SetMultiplierIndex(
+      static_cast<std::uint32_t>(kernel.Operators().multipliers.size() - 1));
+  for (std::size_t v = 0; v < kernel.NumVariables(); ++v)
+    all.SetVariable(v, true);
+  ctx.Configure(all);
+  EXPECT_NE(kernel.Run(ctx), precise);
+}
+
+// ---------------------------------------------------------------------------
+// registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, SobelAndKMeansAreRegisteredWithExtras) {
+  const KernelRegistry& registry = KernelRegistry::Global();
+  EXPECT_EQ(registry.Create("sobel3x3", {})->Name(), "sobel3x3-12x12");
+  EXPECT_EQ(registry.Create("kmeans1d", {})->Name(), "kmeans1d-96x4");
+
+  KernelParams params;
+  params.size = 10;
+  params.extra = {{"width", "20"}, {"bands", "4"}};
+  const auto sobel = registry.Create("sobel3x3", params);
+  EXPECT_EQ(sobel->Name(), "sobel3x3-10x20");
+  EXPECT_EQ(sobel->NumVariables(), 7u);  // 4 bands + kx + ky + acc
+
+  KernelParams kparams;
+  kparams.size = 32;
+  kparams.extra = {{"clusters", "8"}};
+  const auto kmeans = registry.Create("kmeans1d", kparams);
+  EXPECT_EQ(kmeans->Name(), "kmeans1d-32x8");
+}
+
+}  // namespace
+}  // namespace axdse::workloads
