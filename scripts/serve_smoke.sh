@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# End-to-end drain/restart smoke for the axdse-serve daemon, exercising the
+# real binaries and the real SIGTERM path (the in-process equivalent lives
+# in tests/serve_server_test.cpp):
+#
+#   1. run a campaign job on a reference daemon, uninterrupted
+#   2. run the same job on a second daemon, SIGTERM it mid-run
+#   3. restart the daemon on the same state directory, let the job finish
+#   4. cmp: the resumed result JSON must be byte-identical to the reference
+#
+# Usage: scripts/serve_smoke.sh [build-dir]   (default: build)
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVE="$BUILD_DIR/tools/axdse-serve"
+CLIENT="$BUILD_DIR/tools/axdse-client"
+[ -x "$SERVE" ] && [ -x "$CLIENT" ] || {
+  echo "serve_smoke: build axdse_serve and axdse_client first ($SERVE)" >&2
+  exit 2
+}
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/axdse-serve-smoke.XXXXXX")"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Big enough that the SIGTERM below lands mid-run even on a fast machine.
+CAMPAIGN="kernels=matmul@5,fir@40 steps=400000 seeds=1"
+
+# start_daemon <state-dir> <log-file>: launches axdse-serve on an ephemeral
+# port and exports SERVER_PID/PORT once the startup line appears.
+start_daemon() {
+  "$SERVE" --state-dir="$1" --port=0 --progress-interval=64 \
+    --chunk-cells=1 >"$2" 2>&1 &
+  SERVER_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/^axdse-serve listening on port \([0-9]*\)$/\1/p' "$2")"
+    [ -n "$PORT" ] && return 0
+    sleep 0.1
+  done
+  echo "serve_smoke: daemon did not report a port" >&2
+  cat "$2" >&2
+  exit 1
+}
+
+echo "== reference: uninterrupted campaign =="
+start_daemon "$WORK/ref-state" "$WORK/ref.log"
+REF_ID="$("$CLIENT" --port="$PORT" submit-campaign $CAMPAIGN | awk '{print $2}')"
+"$CLIENT" --port="$PORT" wait "$REF_ID"
+"$CLIENT" --port="$PORT" results "$REF_ID" >"$WORK/reference.json"
+"$CLIENT" --port="$PORT" shutdown
+wait "$SERVER_PID"
+SERVER_PID=""
+
+echo "== interrupted: SIGTERM mid-run, then restart =="
+start_daemon "$WORK/drain-state" "$WORK/drain.log"
+JOB_ID="$("$CLIENT" --port="$PORT" submit-campaign $CAMPAIGN | awk '{print $2}')"
+# Wait until the job is genuinely mid-run (progress counted) before killing.
+for _ in $(seq 1 200); do
+  STATUS="$("$CLIENT" --port="$PORT" status "$JOB_ID")"
+  case "$STATUS" in *" steps=0"*) sleep 0.05 ;; *) break ;; esac
+done
+echo "pre-SIGTERM: $STATUS"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_PID=""
+grep -q "draining (signal)" "$WORK/drain.log" || {
+  echo "serve_smoke: daemon did not log a signal drain" >&2
+  cat "$WORK/drain.log" >&2
+  exit 1
+}
+
+start_daemon "$WORK/drain-state" "$WORK/restart.log"
+echo "post-restart: $("$CLIENT" --port="$PORT" status "$JOB_ID")"
+"$CLIENT" --port="$PORT" wait "$JOB_ID"
+"$CLIENT" --port="$PORT" results "$JOB_ID" >"$WORK/resumed.json"
+"$CLIENT" --port="$PORT" shutdown
+wait "$SERVER_PID"
+SERVER_PID=""
+
+cmp "$WORK/resumed.json" "$WORK/reference.json"
+echo "serve_smoke OK: drained-and-resumed campaign JSON is byte-identical"

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <locale>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_set>
@@ -528,6 +529,7 @@ void CampaignSpec::Validate() const {
 
 std::string CampaignSpec::ToString() const {
   std::ostringstream out;
+  out.imbue(std::locale::classic());  // locale-independent numbers
   out << "kernels=";
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     if (i != 0) out << ",";
@@ -750,6 +752,7 @@ std::size_t CampaignResult::TotalSteps() const noexcept {
 
 std::string CampaignChunkCheckpoint::Serialize() const {
   std::ostringstream out;
+  out.imbue(std::locale::classic());  // locale-independent numbers
   out << "axdse-campaign-chunk v" << kFormatVersion << "\n";
   out << "spec-hash " << Hex16(spec_hash) << "\n";
   out << "chunk " << chunk_index << " " << first_cell << " " << cells.size()
@@ -826,6 +829,12 @@ std::string CampaignChunkFileName(const std::string& spec_text,
 
 CampaignResult Campaign::Run(const CampaignSpec& spec,
                              const CampaignOptions& options) const {
+  return Run(spec, options, CampaignObserver{});
+}
+
+CampaignResult Campaign::Run(const CampaignSpec& spec,
+                             const CampaignOptions& options,
+                             const CampaignObserver& observer) const {
   namespace fs = std::filesystem;
   spec.Validate();
   const std::vector<ExplorationRequest> grid = spec.Expand();
@@ -875,6 +884,10 @@ CampaignResult Campaign::Run(const CampaignSpec& spec,
           aggregator.Add(std::move(cell));
         result.resumed_cells += snapshot.cells.size();
         chunk_files.push_back(chunk_path);
+        if (observer.on_chunk)
+          observer.on_chunk(CampaignChunkProgress{
+              chunk_index, aggregator.Cells().size(), grid.size(), true,
+              aggregator.Fronts(), aggregator.Best()});
         continue;
       }
     }
@@ -891,13 +904,13 @@ CampaignResult Campaign::Run(const CampaignSpec& spec,
       engine_checkpoint.directory = options.checkpoint_directory;
       engine_checkpoint.interval = options.checkpoint_interval;
       engine_checkpoint.step_budget = options.step_budget;
-      batch = engine_->Run(slice, engine_checkpoint);
+      batch = engine_->Run(slice, engine_checkpoint, observer.engine);
     } else if (options.step_budget != 0) {
       throw std::invalid_argument(
           "Campaign: step_budget requires a checkpoint_directory (a "
           "suspended campaign must have somewhere to resume from)");
     } else {
-      batch = engine_->Run(slice);
+      batch = engine_->Run(slice, CheckpointOptions{}, observer.engine);
     }
 
     if (!batch.Complete()) {
@@ -922,6 +935,10 @@ CampaignResult Campaign::Run(const CampaignSpec& spec,
       chunk_files.push_back(chunk_path);
     }
     ++executed_chunks;
+    if (observer.on_chunk)
+      observer.on_chunk(CampaignChunkProgress{
+          chunk_index, aggregator.Cells().size(), grid.size(), false,
+          aggregator.Fronts(), aggregator.Best()});
   }
   // `begin` stops at the first unprocessed (or suspended) chunk; past-the-end
   // after a full pass.

@@ -282,6 +282,29 @@ struct CampaignChunkCheckpoint {
 std::string CampaignChunkFileName(const std::string& spec_text,
                                   std::size_t chunk_index);
 
+/// Streaming view of campaign state after one chunk, handed to
+/// CampaignObserver::on_chunk. The referenced vectors are the aggregator's
+/// live state: valid only for the duration of the callback.
+struct CampaignChunkProgress {
+  std::size_t chunk_index = 0;
+  /// Cells completed so far (including restored ones) / full grid size.
+  std::size_t cells_done = 0;
+  std::size_t num_cells = 0;
+  /// True when this chunk was restored from a snapshot instead of executed.
+  bool resumed = false;
+  const std::vector<CampaignFront>& fronts;
+  const std::vector<CampaignBest>& best;
+};
+
+/// Observation and control hooks for Campaign::Run: the engine-level hooks
+/// are forwarded to every chunk's Engine::Run call (per-job progress,
+/// cooperative drain, external caches), and on_chunk fires after each chunk
+/// completes or is restored — the streaming-Pareto feed.
+struct CampaignObserver {
+  RunHooks engine;
+  std::function<void(const CampaignChunkProgress&)> on_chunk;
+};
+
 /// Executes campaigns on an Engine. Stateless between Run() calls.
 class Campaign {
  public:
@@ -295,6 +318,12 @@ class Campaign {
   /// malformed or foreign snapshot files.
   CampaignResult Run(const CampaignSpec& spec,
                      const CampaignOptions& options = {}) const;
+
+  /// Run() with streaming hooks (see CampaignObserver). Hooks never change
+  /// results; engine.should_suspend additionally lets a caller drain the
+  /// campaign mid-chunk (requires a checkpoint directory).
+  CampaignResult Run(const CampaignSpec& spec, const CampaignOptions& options,
+                     const CampaignObserver& observer) const;
 
  private:
   const Engine* engine_;

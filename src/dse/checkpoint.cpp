@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <locale>
 #include <sstream>
 
 #include "rl/state_io.hpp"
@@ -393,6 +394,7 @@ std::string ReadCheckpointFile(const std::string& path, const char* what) {
 
 std::string Checkpoint::Serialize() const {
   std::ostringstream out;
+  out.imbue(std::locale::classic());  // locale-independent numbers
   out << "axdse-checkpoint v" << kFormatVersion << "\n";
   out << "request " << EncodeToken(request) << "\n";
   out << "seed " << seed << "\n";
@@ -685,6 +687,7 @@ Checkpoint Checkpoint::Load(const std::string& path) {
 
 std::string SharedCacheCheckpoint::Serialize() const {
   std::ostringstream out;
+  out.imbue(std::locale::classic());  // locale-independent numbers
   out << "axdse-cache v" << kFormatVersion << "\n";
   out << "signature " << EncodeToken(signature) << "\n";
   out << "stats " << stats.hits << " " << stats.misses << " " << stats.inserts

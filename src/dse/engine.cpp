@@ -5,7 +5,9 @@
 #include <exception>
 #include <filesystem>
 #include <limits>
+#include <locale>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -47,6 +49,7 @@ std::string EscapeSignatureToken(const std::string& text) {
 /// (name, size, seed, extra)), so their jobs may share measurements.
 std::string RegistrySignature(const ExplorationRequest& request) {
   std::ostringstream out;
+  out.imbue(std::locale::classic());  // locale-independent numbers
   out << EscapeSignatureToken(request.kernel)
       << "|size=" << request.params.size << "|seed=" << request.params.seed;
   for (const auto& [key, value] : request.params.extra)
@@ -131,6 +134,11 @@ BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests) const {
   return Run(requests, CheckpointOptions{});
 }
 
+BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests,
+                        const CheckpointOptions& checkpoint) const {
+  return Run(requests, checkpoint, RunHooks{});
+}
+
 BatchResult Engine::SaveBatchCheckpoint(
     const std::vector<ExplorationRequest>& requests,
     const std::string& directory, std::size_t step_budget) const {
@@ -149,9 +157,17 @@ BatchResult Engine::ResumeBatch(
 }
 
 BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests,
-                        const CheckpointOptions& checkpoint) const {
+                        const CheckpointOptions& checkpoint,
+                        const RunHooks& hooks) const {
   namespace fs = std::filesystem;
   const bool checkpointing = !checkpoint.directory.empty();
+  if (hooks.should_suspend && !checkpointing)
+    throw std::invalid_argument(
+        "Engine::Run: RunHooks::should_suspend requires a checkpoint "
+        "directory (a suspended job must have somewhere to persist)");
+  // Steps between hook invocations; 0 = hooks only at finish/suspend.
+  const std::size_t hook_interval =
+      hooks.Active() ? (hooks.interval > 0 ? hooks.interval : 1024) : 0;
   for (const ExplorationRequest& request : requests) {
     request.Validate();
     // Fail fast on unresolvable names — a typo in one request of a large
@@ -187,6 +203,9 @@ BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests,
   std::map<const workloads::Kernel*, std::size_t> override_ids;
   std::vector<std::shared_ptr<instrument::SharedEvaluationCache>>
       request_cache(requests.size());
+  // Cache groups whose cache came from RunHooks::cache_provider: owned by
+  // the caller, exempt from the engine's snapshot persist/restore.
+  std::set<std::string> provided_caches;
   for (std::size_t r = 0; r < requests.size(); ++r) {
     const ExplorationRequest& request = requests[r];
     if (request.cache_mode != CacheMode::kShared) continue;
@@ -203,9 +222,15 @@ BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests,
     // First request of a group fixes the capacity bound (documented on
     // ExplorationRequest::cache_capacity).
     if (!slot) {
-      instrument::SharedEvaluationCache::Options options;
-      options.capacity = request.cache_capacity;
-      slot = std::make_shared<instrument::SharedEvaluationCache>(options);
+      if (hooks.cache_provider) {
+        slot = hooks.cache_provider(signature, request.cache_capacity);
+        if (slot) provided_caches.insert(signature);
+      }
+      if (!slot) {
+        instrument::SharedEvaluationCache::Options options;
+        options.capacity = request.cache_capacity;
+        slot = std::make_shared<instrument::SharedEvaluationCache>(options);
+      }
     }
     cache_jobs[signature] += request.num_seeds;
     request_cache[r] = slot;
@@ -228,6 +253,7 @@ BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests,
     const std::string prefix =
         "batch#" + std::to_string(StableHash64(batch_key)) + "|";
     for (const auto& [signature, cache] : caches) {
+      if (provided_caches.count(signature) != 0) continue;
       const std::string identity = prefix + signature;
       const std::string path = (fs::path(checkpoint.directory) /
                                 CacheCheckpointFileName(identity))
@@ -279,8 +305,36 @@ BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests,
         config.seed = request.seed + job.seed_index;
         Explorer explorer(*evaluator, reward, config);
 
-        if (!checkpointing) {
+        // Progress snapshot from the live explorer (must be called before
+        // Finish(), which consumes the run state).
+        const auto emit = [&](bool finished, bool suspended) {
+          if (!hooks.on_progress) return;
+          JobProgress progress;
+          progress.request_index = job.request_index;
+          progress.seed_index = job.seed_index;
+          progress.seed = config.seed;
+          progress.steps = explorer.StepsTaken();
+          progress.cumulative_reward = explorer.CumulativeRewardSoFar();
+          if (const instrument::Measurement* best =
+                  explorer.BestFeasibleSoFar()) {
+            progress.has_best = true;
+            progress.best = *best;
+          }
+          progress.finished = finished;
+          progress.suspended = suspended;
+          hooks.on_progress(progress);
+        };
+
+        if (!checkpointing && hook_interval == 0) {
           out.result = explorer.Explore();
+        } else if (!checkpointing) {
+          // Hooked but snapshot-free: chunked stepping purely so progress
+          // callbacks fire; results are identical to Explore().
+          while (!explorer.Finished()) {
+            explorer.RunSteps(hook_interval);
+            emit(explorer.Finished(), false);
+          }
+          out.result = explorer.Finish();
         } else {
           const std::string& request_text = request_texts[job.request_index];
           const std::string path =
@@ -307,6 +361,21 @@ BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests,
             if (snapshot.finished) {
               out.result = std::move(snapshot.result);
               done = true;
+              if (hooks.on_progress) {
+                // The explorer never ran; report from the restored result.
+                JobProgress progress;
+                progress.request_index = job.request_index;
+                progress.seed_index = job.seed_index;
+                progress.seed = config.seed;
+                progress.steps = out.result.steps;
+                progress.cumulative_reward = out.result.cumulative_reward;
+                if (out.result.has_best_feasible) {
+                  progress.has_best = true;
+                  progress.best = out.result.best_feasible_measurement;
+                }
+                progress.finished = true;
+                hooks.on_progress(progress);
+              }
             } else {
               explorer.ResumeFrom(snapshot);
             }
@@ -318,21 +387,31 @@ BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests,
                                              : checkpoint.interval;
             const std::size_t budget = checkpoint.step_budget;
             std::size_t new_steps = 0;
+            std::size_t since_save = 0;
             bool suspended = false;
             while (true) {
               std::size_t chunk = std::numeric_limits<std::size_t>::max();
               if (interval > 0) chunk = interval;
+              if (hook_interval > 0) chunk = std::min(chunk, hook_interval);
               if (budget > 0) chunk = std::min(chunk, budget - new_steps);
-              new_steps += explorer.RunSteps(chunk);
+              const std::size_t taken = explorer.RunSteps(chunk);
+              new_steps += taken;
+              since_save += taken;
               if (explorer.Finished()) break;
               if (budget > 0 && new_steps >= budget) {
                 suspended = true;
                 break;
               }
-              if (interval > 0) {
+              if (hooks.should_suspend && hooks.should_suspend()) {
+                suspended = true;
+                break;
+              }
+              emit(false, false);
+              if (interval > 0 && since_save >= interval) {
                 Checkpoint snapshot = explorer.Suspend();
                 stamp(snapshot);
                 snapshot.Save(path);
+                since_save = 0;
               }
             }
             if (suspended) {
@@ -341,7 +420,9 @@ BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests,
               snapshot.Save(path);
               out.result = explorer.PartialResult();
               out.suspended = true;
+              emit(false, true);
             } else {
+              emit(true, false);
               out.result = explorer.Finish();
               // Always persist the completion: any later invocation against
               // this directory (after a budget suspension elsewhere, a
@@ -396,8 +477,10 @@ BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests,
     // snapshots. All workers have joined, so the snapshot is quiescent;
     // under budget suspension its contents (every configuration any job
     // touched before suspending, computed exactly once) and counters are
-    // scheduling-independent.
+    // scheduling-independent. Provider-owned caches are the caller's to
+    // persist (or not).
     for (const auto& [signature, cache] : caches) {
+      if (provided_caches.count(signature) != 0) continue;
       SharedCacheCheckpoint snapshot;
       snapshot.signature = cache_identities.at(signature);
       snapshot.entries = cache->Entries();

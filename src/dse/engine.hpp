@@ -20,7 +20,9 @@
 // totals are stable (see CacheUsage::executed_runs).
 
 #include <cstddef>
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -78,6 +80,64 @@ struct CheckpointOptions {
   /// rerunning the batch with the same directory continues them. 0 = run to
   /// completion.
   std::size_t step_budget = 0;
+};
+
+/// Mid-run snapshot of one (request, seed) job, handed to
+/// RunHooks::on_progress. Cheap by construction: counters only, no result
+/// copies.
+struct JobProgress {
+  std::size_t request_index = 0;
+  std::size_t seed_index = 0;
+  /// Absolute agent seed (request seed + seed index).
+  std::uint64_t seed = 0;
+  /// Environment steps taken so far, including steps restored from a
+  /// checkpoint snapshot.
+  std::size_t steps = 0;
+  /// Reward accumulated so far (across episodes, including the open one).
+  double cumulative_reward = 0.0;
+  /// Best feasible measurement seen so far; has_best is false until one
+  /// exists.
+  bool has_best = false;
+  instrument::Measurement best;
+  /// The job ran its last step (Finish() comes next).
+  bool finished = false;
+  /// The job suspended into the checkpoint directory.
+  bool suspended = false;
+};
+
+/// Observation and control hooks for Engine::Run. All callbacks are invoked
+/// from worker threads (possibly several concurrently); they must be
+/// thread-safe and cheap. Hooks never change results — only scheduling,
+/// cost counters (cache_provider), and what the caller gets to observe.
+struct RunHooks {
+  /// Environment steps between hook invocations per job (on_progress calls
+  /// and should_suspend polls). 0 picks a default of 1024 when either hook
+  /// is set.
+  std::size_t interval = 0;
+  /// Called roughly every `interval` steps per job, plus once when the job
+  /// finishes or suspends.
+  std::function<void(const JobProgress&)> on_progress;
+  /// Polled between step slices; returning true suspends the job into the
+  /// checkpoint directory exactly like an exhausted step budget (requires
+  /// CheckpointOptions::directory; Run throws std::invalid_argument
+  /// otherwise). The engine's cooperative-drain hook.
+  std::function<bool()> should_suspend;
+  /// When set, CacheMode::kShared groups ask this for their cache instead
+  /// of constructing one, letting a long-lived caller share measurement
+  /// caches ACROSS Run calls (same-kernel jobs warm-start each other).
+  /// Returning nullptr falls back to a Run-local cache. Provider-owned
+  /// caches are NOT checkpoint-persisted/restored by the engine (the caller
+  /// owns their lifetime), so cost counters of shared-mode jobs may differ
+  /// between a drained-and-resumed run and an uninterrupted one — logical
+  /// results never do.
+  std::function<std::shared_ptr<instrument::SharedEvaluationCache>(
+      const std::string& signature, std::size_t capacity)>
+      cache_provider;
+
+  /// True when any observation/control hook is set.
+  bool Active() const noexcept {
+    return static_cast<bool>(on_progress) || static_cast<bool>(should_suspend);
+  }
 };
 
 /// Outcome of one request: the per-seed ExplorationResults plus the
@@ -182,6 +242,13 @@ class Engine {
   /// kernel_override requests.
   BatchResult Run(const std::vector<ExplorationRequest>& requests,
                   const CheckpointOptions& checkpoint) const;
+
+  /// Run() with observation/control hooks (see RunHooks): per-job progress
+  /// callbacks, cooperative suspension polling, and external shared-cache
+  /// provision. Hooks never change logical results.
+  BatchResult Run(const std::vector<ExplorationRequest>& requests,
+                  const CheckpointOptions& checkpoint,
+                  const RunHooks& hooks) const;
 
   /// Convenience preemption entry: runs each job for at most `step_budget`
   /// NEW steps, then suspends the batch into `directory` (per-job snapshots

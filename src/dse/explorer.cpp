@@ -178,6 +178,16 @@ std::size_t Explorer::StepsTaken() const noexcept {
   return run_ ? run_->result.steps : 0;
 }
 
+double Explorer::CumulativeRewardSoFar() const noexcept {
+  if (!run_) return 0.0;
+  return run_->result.cumulative_reward + run_->episode_cumulative;
+}
+
+const instrument::Measurement* Explorer::BestFeasibleSoFar() const noexcept {
+  if (!run_ || !run_->result.has_best_feasible) return nullptr;
+  return &run_->result.best_feasible_measurement;
+}
+
 std::size_t Explorer::RunSteps(std::size_t max_new_steps) {
   if (max_new_steps == 0)
     throw std::invalid_argument("Explorer::RunSteps: max_new_steps == 0");

@@ -177,6 +177,16 @@ class Explorer {
   /// Environment steps taken so far (across episodes).
   std::size_t StepsTaken() const noexcept;
 
+  /// Reward accumulated so far, including the open episode (0 before the
+  /// first step). Cheap enough to poll every few steps for progress
+  /// reporting; does not touch the result.
+  double CumulativeRewardSoFar() const noexcept;
+
+  /// Best feasible measurement seen so far, or nullptr when none (or the
+  /// run has not started). The pointee is owned by the live run: it is
+  /// invalidated by the next RunSteps()/Finish() call.
+  const instrument::Measurement* BestFeasibleSoFar() const noexcept;
+
   /// Advances up to `max_new_steps` environment steps (stopping early when
   /// the run finishes) and returns the number actually taken. Starts the
   /// run lazily on first use. Throws std::invalid_argument on 0.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <locale>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -219,6 +220,7 @@ std::string ExplorationRequest::DisplayName() const {
 
 std::string ExplorationRequest::ToString() const {
   std::ostringstream out;
+  out.imbue(std::locale::classic());  // locale-independent numbers
   out << "kernel=" << EscapeToken(kernel);
   out << " size=" << params.size;
   out << " kernel-seed=" << params.seed;

@@ -1,5 +1,6 @@
 #include "report/campaign.hpp"
 
+#include <locale>
 #include <sstream>
 
 #include "report/export.hpp"
@@ -75,6 +76,7 @@ void WriteCell(std::ostream& out, const dse::CampaignCell& cell) {
 }  // namespace
 
 void WriteCampaignJson(std::ostream& out, const dse::CampaignResult& result) {
+  out.imbue(std::locale::classic());  // locale-independent numbers
   out << "{\"schema\":\"axdse-campaign-v1\",\"spec\":\""
       << JsonEscape(result.spec.ToString())
       << "\",\"num_cells\":" << result.num_cells
@@ -119,6 +121,7 @@ void WriteCampaignJson(std::ostream& out, const dse::CampaignResult& result) {
 }
 
 void WriteCampaignCsv(std::ostream& out, const dse::CampaignResult& result) {
+  out.imbue(std::locale::classic());  // locale-independent numbers
   util::CsvWriter csv(out);
   csv.WriteRow({"cell", "label", "kernel", "agent", "action_space",
                 "cache_mode", "acc_factor", "seed", "steps", "stop",

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <locale>
 #include <sstream>
 
 #include "rl/trainer.hpp"
@@ -107,6 +108,9 @@ void WriteCacheUsage(std::ostream& out, const dse::CacheUsage& cache) {
 }  // namespace
 
 void WriteBatchCsv(std::ostream& out, const dse::BatchResult& batch) {
+  // Numeric output must not vary with the global locale (no digit
+  // grouping, '.' decimal point): these are machine-readable documents.
+  out.imbue(std::locale::classic());
   util::CsvWriter csv(out);
   csv.WriteRow({"request", "label", "kernel", "seed", "steps", "stop",
                 "cumulative_reward", "episodes", "delta_power_mw",
@@ -142,6 +146,9 @@ void WriteBatchCsv(std::ostream& out, const dse::BatchResult& batch) {
 }
 
 void WriteBatchJson(std::ostream& out, const dse::BatchResult& batch) {
+  // Numeric output must not vary with the global locale (no digit
+  // grouping, '.' decimal point): these are machine-readable documents.
+  out.imbue(std::locale::classic());
   out << "{\"total_runs\":" << batch.TotalRuns()
       << ",\"total_steps\":" << batch.TotalSteps()
       << ",\"total_distinct_evaluations\":"

@@ -1,5 +1,6 @@
 #include "report/figures.hpp"
 
+#include <locale>
 #include <stdexcept>
 
 #include "util/ascii_table.hpp"
@@ -102,6 +103,7 @@ std::string RenderRewardFigure(
 
 void WriteTraceCsv(std::ostream& out,
                    const std::vector<dse::StepRecord>& trace) {
+  out.imbue(std::locale::classic());  // locale-independent numbers
   util::CsvWriter csv(out);
   csv.WriteRow({"step", "action", "reward", "cumulative_reward",
                 "delta_power_mw", "delta_time_ns", "delta_acc", "adder_index",

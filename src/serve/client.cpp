@@ -1,0 +1,112 @@
+#include "serve/client.hpp"
+
+#include <stdexcept>
+
+namespace axdse::serve {
+
+namespace {
+
+/// "job 42" -> 42; throws on anything else.
+std::uint64_t ParseJobPayload(const std::string& payload) {
+  if (payload.rfind("job ", 0) != 0)
+    throw ProtocolError("bad-response",
+                        "expected 'job <id>', got '" + payload + "'");
+  return ParseJobId(payload.substr(4));
+}
+
+}  // namespace
+
+Client::Client(Socket socket, std::size_t max_line_bytes)
+    : socket_(std::move(socket)),
+      reader_(std::make_unique<LineReader>(socket_.Fd(), max_line_bytes)) {}
+
+Client Client::Connect(const std::string& host, int port,
+                       std::size_t max_line_bytes) {
+  Client client(Socket::ConnectTcp(host, port), max_line_bytes);
+  std::string banner;
+  if (client.reader_->ReadLine(banner) != LineReader::Status::kLine)
+    throw std::runtime_error("axdse-client: connection closed before HELLO");
+  if (banner != std::string("HELLO ") + kProtocolVersion)
+    throw ProtocolError("bad-hello",
+                        "unsupported server banner '" + banner + "'");
+  return client;
+}
+
+std::string Client::Command(const std::string& line) {
+  if (!socket_.SendAll(line + "\n"))
+    throw std::runtime_error("axdse-client: connection lost while sending");
+  std::string response;
+  while (true) {
+    const LineReader::Status status = reader_->ReadLine(response);
+    if (status == LineReader::Status::kTooLong)
+      throw std::runtime_error("axdse-client: oversized response line");
+    if (status != LineReader::Status::kLine)
+      throw std::runtime_error(
+          "axdse-client: connection lost while awaiting response");
+    if (response.rfind("EVENT ", 0) == 0) {
+      if (on_event_) on_event_(response.substr(6));
+      continue;
+    }
+    if (response == "OK") return {};
+    if (response.rfind("OK ", 0) == 0) return response.substr(3);
+    if (response.rfind("ERR ", 0) == 0) {
+      const std::string rest = response.substr(4);
+      const std::size_t space = rest.find(' ');
+      const std::string code =
+          space == std::string::npos ? rest : rest.substr(0, space);
+      const std::string detail =
+          space == std::string::npos ? std::string() : rest.substr(space + 1);
+      throw ProtocolError(code.empty() ? "error" : code, detail);
+    }
+    throw ProtocolError("bad-response",
+                        "unrecognized server line '" + response + "'");
+  }
+}
+
+void Client::SetTenant(const std::string& tenant) {
+  Command("TENANT " + tenant);
+}
+
+std::uint64_t Client::Submit(const dse::ExplorationRequest& request) {
+  return ParseJobPayload(Command("SUBMIT " + request.ToString()));
+}
+
+std::uint64_t Client::SubmitCampaign(const dse::CampaignSpec& spec) {
+  return ParseJobPayload(Command("SUBMIT-CAMPAIGN " + spec.ToString()));
+}
+
+std::string Client::Status(std::uint64_t job_id) {
+  return Command("STATUS " + WireUnsigned(job_id));
+}
+
+void Client::Watch(std::uint64_t job_id) {
+  Command("WATCH " + WireUnsigned(job_id));
+}
+
+std::string Client::WaitJob(std::uint64_t job_id) {
+  const std::string payload = Command("WAIT " + WireUnsigned(job_id));
+  if (payload.rfind("state ", 0) != 0)
+    throw ProtocolError("bad-response",
+                        "expected 'state <name>', got '" + payload + "'");
+  return payload.substr(6);
+}
+
+std::string Client::Results(std::uint64_t job_id) {
+  const std::string payload = Command("RESULTS " + WireUnsigned(job_id));
+  const std::string prefix = "result " + WireUnsigned(job_id) + " ";
+  if (payload.rfind(prefix, 0) != 0)
+    throw ProtocolError("bad-response",
+                        "expected 'result <id> <json>', got '" +
+                            payload.substr(0, 40) + "...'");
+  return payload.substr(prefix.size()) + "\n";
+}
+
+void Client::Cancel(std::uint64_t job_id) {
+  Command("CANCEL " + WireUnsigned(job_id));
+}
+
+std::string Client::Stats() { return Command("STATS"); }
+
+void Client::RequestShutdown() { Command("SHUTDOWN"); }
+
+}  // namespace axdse::serve

@@ -1,0 +1,73 @@
+#pragma once
+// serve::Client — the programmatic counterpart of axdse-serve's line
+// protocol, used by the axdse-client CLI and the serve test suites. One
+// Client owns one connection; Command() implements the wire discipline
+// (send a line, consume interleaved EVENT lines into the event handler,
+// return the OK payload or throw the ERR as a ProtocolError), and the named
+// helpers wrap the individual verbs.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "dse/campaign.hpp"
+#include "dse/request.hpp"
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+
+namespace axdse::serve {
+
+class Client {
+ public:
+  /// Handler for unsolicited EVENT lines; receives "<job-id> <detail>".
+  using EventHandler = std::function<void(const std::string&)>;
+
+  /// Connects and consumes the HELLO banner, verifying the protocol
+  /// version. Throws std::runtime_error on connection failure and
+  /// ProtocolError("bad-hello", ...) on a version mismatch.
+  static Client Connect(const std::string& host, int port,
+                        std::size_t max_line_bytes = kDefaultMaxLineBytes);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Registers the sink for EVENT lines (replacing any previous one).
+  /// Without a handler, events are silently discarded.
+  void OnEvent(EventHandler handler) { on_event_ = std::move(handler); }
+
+  /// Sends `line` and blocks for the response, dispatching any interleaved
+  /// EVENT lines to the handler. Returns the OK payload (text after "OK ",
+  /// possibly empty); throws ProtocolError on an ERR response and
+  /// std::runtime_error on a broken connection.
+  std::string Command(const std::string& line);
+
+  // --- verb wrappers --------------------------------------------------------
+
+  void SetTenant(const std::string& tenant);
+  std::uint64_t Submit(const dse::ExplorationRequest& request);
+  std::uint64_t SubmitCampaign(const dse::CampaignSpec& spec);
+  /// Raw STATUS payload ("job <id> state=... kind=... ...").
+  std::string Status(std::uint64_t job_id);
+  /// Subscribes this connection to the job's EVENT stream.
+  void Watch(std::uint64_t job_id);
+  /// Blocks until the job settles; returns the final state name
+  /// ("done", "failed", "cancelled", or "suspended" while draining).
+  std::string WaitJob(std::uint64_t job_id);
+  /// The job's final result document (single JSON line + trailing newline).
+  std::string Results(std::uint64_t job_id);
+  void Cancel(std::uint64_t job_id);
+  /// Raw STATS payload ("stats jobs=... queued=... ...").
+  std::string Stats();
+  /// Asks the daemon to shut down (drain + exit).
+  void RequestShutdown();
+
+ private:
+  Client(Socket socket, std::size_t max_line_bytes);
+
+  Socket socket_;
+  std::unique_ptr<LineReader> reader_;
+  EventHandler on_event_;
+};
+
+}  // namespace axdse::serve

@@ -1,0 +1,105 @@
+#include "serve/job_queue.hpp"
+
+#include <algorithm>
+
+namespace axdse::serve {
+
+void JobQueue::Push(const std::string& tenant, std::uint64_t job_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (limits_.total != 0 && queued_ >= limits_.total)
+    throw AdmissionError("queue full (" + std::to_string(queued_) +
+                         " jobs queued)");
+  TenantQueue* slot = nullptr;
+  for (auto& entry : tenants_)
+    if (entry.tenant == tenant) slot = &entry;
+  if (slot != nullptr && limits_.per_tenant != 0 &&
+      slot->jobs.size() >= limits_.per_tenant)
+    throw AdmissionError("tenant '" + tenant + "' queue full (" +
+                         std::to_string(slot->jobs.size()) + " jobs queued)");
+  if (slot == nullptr) {
+    tenants_.push_back(TenantQueue{tenant, {}});
+    slot = &tenants_.back();
+  }
+  slot->jobs.push_back(job_id);
+  ++queued_;
+  ready_.notify_one();
+}
+
+void JobQueue::Restore(const std::string& tenant, std::uint64_t job_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TenantQueue* slot = nullptr;
+  for (auto& entry : tenants_)
+    if (entry.tenant == tenant) slot = &entry;
+  if (slot == nullptr) {
+    tenants_.push_back(TenantQueue{tenant, {}});
+    slot = &tenants_.back();
+  }
+  slot->jobs.push_back(job_id);
+  ++queued_;
+  ready_.notify_one();
+}
+
+std::optional<std::uint64_t> JobQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [this] { return closed_ || queued_ > 0; });
+  if (closed_) return std::nullopt;
+  // Round-robin: scan one full rotation starting at the cursor.
+  const std::size_t count = tenants_.size();
+  for (std::size_t offset = 0; offset < count; ++offset) {
+    const std::size_t index = (cursor_ + offset) % count;
+    TenantQueue& entry = tenants_[index];
+    if (entry.jobs.empty()) continue;
+    const std::uint64_t job_id = entry.jobs.front();
+    entry.jobs.pop_front();
+    --queued_;
+    cursor_ = (index + 1) % count;
+    return job_id;
+  }
+  return std::nullopt;  // unreachable: queued_ > 0 implies a non-empty deque
+}
+
+bool JobQueue::Remove(std::uint64_t job_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : tenants_) {
+    auto it = std::find(entry.jobs.begin(), entry.jobs.end(), job_id);
+    if (it != entry.jobs.end()) {
+      entry.jobs.erase(it);
+      --queued_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void JobQueue::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  ready_.notify_all();
+}
+
+bool JobQueue::Closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t JobQueue::Queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_;
+}
+
+std::size_t JobQueue::QueuedFor(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : tenants_)
+    if (entry.tenant == tenant) return entry.jobs.size();
+  return 0;
+}
+
+std::vector<std::string> JobQueue::BackloggedTenants() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> result;
+  for (const auto& entry : tenants_)
+    if (!entry.jobs.empty()) result.push_back(entry.tenant);
+  return result;
+}
+
+}  // namespace axdse::serve

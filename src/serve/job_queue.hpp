@@ -1,0 +1,82 @@
+#pragma once
+// serve::JobQueue — multi-tenant admission control and fair scheduling for
+// the axdse-serve worker pool. Each tenant owns a FIFO of queued job ids;
+// Pop() serves tenants round-robin with a rotating cursor, so a tenant
+// submitting 50 jobs cannot starve one submitting 2 — at every dispatch each
+// backlogged tenant is at most one full rotation away from service. Push()
+// enforces per-tenant and total queue bounds (admission control); Restore()
+// bypasses them so a restarted daemon can always requeue its own persisted
+// backlog.
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace axdse::serve {
+
+/// Admission bounds. 0 disables the corresponding bound.
+struct QueueLimits {
+  std::size_t per_tenant = 8;  ///< max queued (not running) jobs per tenant
+  std::size_t total = 64;      ///< max queued jobs across all tenants
+};
+
+/// Thrown by Push when an admission bound would be exceeded; the job was
+/// not enqueued.
+class AdmissionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class JobQueue {
+ public:
+  explicit JobQueue(QueueLimits limits = QueueLimits{})
+      : limits_(limits) {}
+
+  /// Enqueues `job_id` for `tenant`. Throws AdmissionError when the tenant's
+  /// or the total queue bound is full.
+  void Push(const std::string& tenant, std::uint64_t job_id);
+
+  /// Enqueues without admission checks (daemon-restart requeue path).
+  void Restore(const std::string& tenant, std::uint64_t job_id);
+
+  /// Blocks until a job is available or the queue is closed. Serves tenants
+  /// round-robin starting after the last-served tenant. Returns nullopt once
+  /// Close() was called — even if jobs remain queued (drain semantics: the
+  /// backlog is persisted, not executed).
+  std::optional<std::uint64_t> Pop();
+
+  /// Removes a queued job (cancellation). Returns false if it was not
+  /// queued (already popped or never pushed).
+  bool Remove(std::uint64_t job_id);
+
+  /// Wakes all Pop() callers and makes every future Pop return nullopt.
+  void Close();
+
+  bool Closed() const;
+  std::size_t Queued() const;
+  std::size_t QueuedFor(const std::string& tenant) const;
+  /// Tenants that currently have queued jobs.
+  std::vector<std::string> BackloggedTenants() const;
+
+ private:
+  struct TenantQueue {
+    std::string tenant;
+    std::deque<std::uint64_t> jobs;
+  };
+
+  QueueLimits limits_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::vector<TenantQueue> tenants_;  // rotation order = insertion order
+  std::size_t cursor_ = 0;            // index of the next tenant to serve
+  std::size_t queued_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace axdse::serve

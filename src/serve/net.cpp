@@ -1,0 +1,217 @@
+#include "serve/net.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace axdse::serve {
+
+namespace {
+
+[[noreturn]] void NetError(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// --- Socket -----------------------------------------------------------------
+
+Socket::~Socket() { Close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool Socket::SendAll(const std::string& data) noexcept {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Socket::Shutdown() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::ConnectTcp(const std::string& host, int port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* info = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &info);
+  if (rc != 0)
+    throw std::runtime_error("connect: cannot resolve '" + host +
+                             "': " + ::gai_strerror(rc));
+  int fd = -1;
+  int saved_errno = 0;
+  for (addrinfo* entry = info; entry != nullptr; entry = entry->ai_next) {
+    fd = ::socket(entry->ai_family, entry->ai_socktype, entry->ai_protocol);
+    if (fd < 0) {
+      saved_errno = errno;
+      continue;
+    }
+    if (::connect(fd, entry->ai_addr, entry->ai_addrlen) == 0) break;
+    saved_errno = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(info);
+  if (fd < 0) {
+    errno = saved_errno;
+    NetError("connect to " + host + ":" + service);
+  }
+  return Socket(fd);
+}
+
+// --- Listener ---------------------------------------------------------------
+
+Listener::~Listener() { Close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+Listener Listener::Bind(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) NetError("listen: socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    NetError("listen: bind port " + std::to_string(port));
+  }
+  if (::listen(fd, 64) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    NetError("listen: listen");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    NetError("listen: getsockname");
+  }
+  Listener listener;
+  listener.fd_ = fd;
+  listener.port_ = static_cast<int>(ntohs(bound.sin_port));
+  return listener;
+}
+
+Socket Listener::Accept() noexcept {
+  while (true) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    return Socket();  // listener shut down (or fatal accept error): stop
+  }
+}
+
+void Listener::Shutdown() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Listener::Close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// --- LineReader -------------------------------------------------------------
+
+LineReader::Status LineReader::ReadLine(std::string& line) {
+  bool overlong = false;
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      if (overlong || newline > max_line_bytes_) {
+        // Drop the oversized line but keep the remainder of the buffer —
+        // the stream stays line-synchronized.
+        buffer_.erase(0, newline + 1);
+        return Status::kTooLong;
+      }
+      line.assign(buffer_, 0, newline);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      buffer_.erase(0, newline + 1);
+      return Status::kLine;
+    }
+    if (buffer_.size() > max_line_bytes_) {
+      // Discard what we have; keep reading until the newline shows up.
+      overlong = true;
+      buffer_.clear();
+    }
+    if (eof_) return buffer_.empty() && !overlong ? Status::kEof
+                                                  : Status::kError;
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::kError;
+    }
+    if (n == 0) {
+      eof_ = true;
+      // A trailing unterminated fragment is not a command line.
+      if (buffer_.empty() && !overlong) return Status::kEof;
+      buffer_.clear();
+      return Status::kError;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace axdse::serve

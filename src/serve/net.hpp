@@ -1,0 +1,101 @@
+#pragma once
+// serve::net — minimal POSIX TCP plumbing shared by the axdse-serve daemon
+// and the axdse-client library: RAII sockets, a loopback listener with
+// ephemeral-port support (bind to port 0, read the assigned port back), and
+// a bounded buffered line reader that survives oversized input without
+// desynchronizing the stream.
+
+#include <cstddef>
+#include <string>
+
+namespace axdse::serve {
+
+/// RAII wrapper of one connected TCP socket (move-only).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool Valid() const noexcept { return fd_ >= 0; }
+  int Fd() const noexcept { return fd_; }
+
+  /// Writes all of `data`, retrying partial writes and EINTR. Returns false
+  /// on any error (e.g. the peer disconnected); never raises SIGPIPE.
+  bool SendAll(const std::string& data) noexcept;
+
+  /// Shuts the socket down for reading and writing, waking any thread
+  /// blocked reading it. The fd stays owned until Close()/destruction, so
+  /// a concurrent reader never sees its fd number recycled.
+  void Shutdown() noexcept;
+  void Close() noexcept;
+
+  /// Connects to host:port (numeric or resolvable name). Throws
+  /// std::runtime_error with the failing step and errno text.
+  static Socket ConnectTcp(const std::string& host, int port);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket bound to the loopback interface.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port) and
+  /// listens. Throws std::runtime_error on failure (e.g. port in use).
+  static Listener Bind(int port);
+
+  bool Valid() const noexcept { return fd_ >= 0; }
+  /// The actually bound port (the answer when Bind was given 0).
+  int Port() const noexcept { return port_; }
+
+  /// Blocks for the next connection. Returns an invalid Socket once the
+  /// listener has been shut down.
+  Socket Accept() noexcept;
+
+  /// Wakes a blocked Accept() and makes all future accepts fail.
+  void Shutdown() noexcept;
+  void Close() noexcept;
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+/// Buffered '\n'-delimited reader over a socket fd with a hard line-length
+/// bound. Not thread-safe (one reader per connection thread).
+class LineReader {
+ public:
+  enum class Status {
+    kLine,     ///< `line` holds the next complete line (CR/LF stripped)
+    kEof,      ///< orderly peer shutdown
+    kTooLong,  ///< line exceeded the bound; input was discarded up to the
+               ///< next newline, so the following ReadLine resynchronizes
+    kError,    ///< read error (connection reset, fd shut down)
+  };
+
+  LineReader(int fd, std::size_t max_line_bytes) noexcept
+      : fd_(fd), max_line_bytes_(max_line_bytes) {}
+
+  /// Blocks for the next line.
+  Status ReadLine(std::string& line);
+
+ private:
+  int fd_;
+  std::size_t max_line_bytes_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+}  // namespace axdse::serve

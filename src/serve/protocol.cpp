@@ -1,0 +1,118 @@
+#include "serve/protocol.hpp"
+
+#include <charconv>
+#include <system_error>
+
+#include "util/number_format.hpp"
+
+namespace axdse::serve {
+
+const char* ToString(JobKind kind) noexcept {
+  switch (kind) {
+    case JobKind::kRequest:
+      return "request";
+    case JobKind::kCampaign:
+      return "campaign";
+  }
+  return "request";
+}
+
+const char* ToString(JobState state) noexcept {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kSuspended:
+      return "suspended";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "failed";
+}
+
+JobKind JobKindFromName(const std::string& name) {
+  if (name == "request") return JobKind::kRequest;
+  if (name == "campaign") return JobKind::kCampaign;
+  throw std::invalid_argument("unknown job kind '" + name + "'");
+}
+
+JobState JobStateFromName(const std::string& name) {
+  if (name == "queued") return JobState::kQueued;
+  if (name == "running") return JobState::kRunning;
+  if (name == "suspended") return JobState::kSuspended;
+  if (name == "done") return JobState::kDone;
+  if (name == "failed") return JobState::kFailed;
+  if (name == "cancelled") return JobState::kCancelled;
+  throw std::invalid_argument("unknown job state '" + name + "'");
+}
+
+bool IsTerminal(JobState state) noexcept {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+CommandLine ParseCommandLine(const std::string& line) {
+  std::size_t begin = line.find_first_not_of(" \t");
+  if (begin == std::string::npos)
+    throw ProtocolError("bad-command", "empty command line");
+  std::size_t end = begin;
+  while (end < line.size() && line[end] != ' ' && line[end] != '\t') ++end;
+  CommandLine command;
+  command.verb = line.substr(begin, end - begin);
+  for (char c : command.verb) {
+    if ((c < 'A' || c > 'Z') && c != '-')
+      throw ProtocolError("bad-command",
+                          "verb must be uppercase letters or '-', got '" +
+                              command.verb + "'");
+  }
+  const std::size_t rest_begin = line.find_first_not_of(" \t", end);
+  if (rest_begin != std::string::npos) command.rest = line.substr(rest_begin);
+  return command;
+}
+
+std::string WireUnsigned(std::uint64_t value) {
+  char buffer[24];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  (void)ec;
+  return std::string(buffer, ptr);
+}
+
+std::string WireDouble(double value) { return util::ShortestDouble(value); }
+
+std::uint64_t ParseJobId(const std::string& token) {
+  if (token.empty())
+    throw ProtocolError("bad-job-id", "missing job id");
+  std::uint64_t value = 0;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end)
+    throw ProtocolError("bad-job-id",
+                        "'" + token + "' is not a job id");
+  return value;
+}
+
+std::string HelloLine() {
+  return std::string("HELLO ") + kProtocolVersion + "\n";
+}
+
+std::string OkLine(const std::string& detail) {
+  if (detail.empty()) return "OK\n";
+  return "OK " + detail + "\n";
+}
+
+std::string ErrLine(const std::string& code, const std::string& detail) {
+  return "ERR " + code + " " + detail + "\n";
+}
+
+std::string EventLine(std::uint64_t job_id, const std::string& detail) {
+  return "EVENT " + WireUnsigned(job_id) + " " + detail + "\n";
+}
+
+}  // namespace axdse::serve

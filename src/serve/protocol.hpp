@@ -1,0 +1,104 @@
+#pragma once
+// serve::protocol — the newline-delimited text protocol spoken between
+// axdse-serve and its clients, plus the daemon-side job vocabulary
+// (JobKind/JobState). One request or response per line:
+//
+//   server:  HELLO axdse-serve-v1
+//   client:  SUBMIT kernel=matmul size=8 max-steps=400 ...
+//   server:  OK job 1
+//   client:  WATCH 1
+//   server:  EVENT 1 progress seed=1 steps=512 reward=12.5
+//   server:  EVENT 1 state done
+//   client:  RESULTS 1
+//   server:  OK result 1 {"schema":"axdse-batch-v2",...}
+//
+// Responses are `OK <detail>` or `ERR <code> <detail>`; unsolicited
+// `EVENT <job-id> <detail>` lines may be interleaved at any point on
+// connections that subscribed via WATCH/WAIT. All numbers on the wire are
+// formatted with std::to_chars — the protocol is byte-stable under any
+// global C++ locale.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace axdse::serve {
+
+/// Version token announced in the HELLO banner; bumped on any incompatible
+/// wire change.
+inline constexpr const char* kProtocolVersion = "axdse-serve-v1";
+
+/// Default bound for one command line (requests and campaign specs are a few
+/// hundred bytes; 1 MiB leaves generous headroom while capping abuse).
+inline constexpr std::size_t kDefaultMaxLineBytes = std::size_t{1} << 20;
+
+/// Typed protocol failure: carries the `ERR` code token plus detail text.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(std::string code, const std::string& detail)
+      : std::runtime_error(code + ": " + detail), code_(std::move(code)) {}
+
+  const std::string& Code() const noexcept { return code_; }
+
+ private:
+  std::string code_;
+};
+
+/// What a job executes: one ExplorationRequest or one CampaignSpec grid.
+enum class JobKind {
+  kRequest,
+  kCampaign,
+};
+
+/// Job lifecycle. queued -> running -> {done, failed, cancelled}; a drain
+/// parks running jobs as suspended, and a daemon restart requeues them.
+enum class JobState {
+  kQueued,
+  kRunning,
+  kSuspended,
+  kDone,
+  kFailed,
+  kCancelled,
+};
+
+const char* ToString(JobKind kind) noexcept;
+const char* ToString(JobState state) noexcept;
+
+/// Inverses of ToString. Throw std::invalid_argument on unknown names.
+JobKind JobKindFromName(const std::string& name);
+JobState JobStateFromName(const std::string& name);
+
+/// True for states a job can never leave (done/failed/cancelled).
+bool IsTerminal(JobState state) noexcept;
+
+/// One parsed command line: the uppercase verb and the untouched remainder
+/// (leading whitespace stripped).
+struct CommandLine {
+  std::string verb;
+  std::string rest;
+};
+
+/// Splits `line` into verb + rest. The verb must be non-empty and consist of
+/// uppercase letters and '-' only; throws ProtocolError("bad-command", ...)
+/// otherwise. Verb casing is the client's job — lowercase verbs are
+/// rejected, keeping the grammar unambiguous.
+CommandLine ParseCommandLine(const std::string& line);
+
+/// Locale-independent wire formatting (std::to_chars, shortest round-trip
+/// for doubles).
+std::string WireUnsigned(std::uint64_t value);
+std::string WireDouble(double value);
+
+/// Parses a decimal job id; throws ProtocolError("bad-job-id", ...) on
+/// anything but a plain non-negative integer.
+std::uint64_t ParseJobId(const std::string& token);
+
+// --- line builders (each returns a complete line including '\n') -----------
+
+std::string HelloLine();
+std::string OkLine(const std::string& detail);
+std::string ErrLine(const std::string& code, const std::string& detail);
+std::string EventLine(std::uint64_t job_id, const std::string& detail);
+
+}  // namespace axdse::serve

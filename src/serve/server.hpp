@@ -1,0 +1,105 @@
+#pragma once
+// serve::Server — the axdse-serve daemon core: a loopback TCP listener
+// speaking the axdse-serve-v1 line protocol (serve/protocol.hpp), a
+// multi-tenant JobQueue feeding a pool of job workers, and one shared
+// dse::Engine executing every job. Jobs are ExplorationRequests or
+// CampaignSpecs submitted as their token serializations; each runs under
+// the checkpoint subsystem in its own state directory, streams progress and
+// Pareto-front events to subscribed connections, and persists its lifecycle
+// in a jobs manifest. Drain() (the SIGTERM path) cooperatively suspends
+// every in-flight job through the engine's should_suspend hook; a Server
+// restarted on the same state directory requeues the suspended and queued
+// backlog and finishes it with final result JSON byte-identical to an
+// uninterrupted run (the PR3 checkpoint invariant, lifted to the daemon).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/job_queue.hpp"
+#include "serve/protocol.hpp"
+
+namespace axdse::serve {
+
+struct ServerOptions {
+  /// TCP port to bind on 127.0.0.1. 0 asks the kernel for an ephemeral
+  /// port; read the result back via Server::Port().
+  int port = 4711;
+  /// Required: directory holding the jobs manifest, per-job checkpoint
+  /// directories, and result documents. Restarting a Server on the same
+  /// directory resumes its backlog.
+  std::string state_dir;
+  /// Concurrently executing jobs (worker threads popping the queue).
+  std::size_t job_workers = 2;
+  /// Engine worker threads per job (0 = hardware concurrency).
+  std::size_t engine_workers = 0;
+  /// Environment steps between progress events per exploration run.
+  std::size_t progress_interval = 512;
+  /// Campaign chunk size (grid cells per engine call; part of a campaign's
+  /// checkpoint identity, so it must not change across a daemon restart).
+  std::size_t chunk_cells = 4;
+  /// Hard bound on one protocol line (see LineReader).
+  std::size_t max_line_bytes = kDefaultMaxLineBytes;
+  /// Per-tenant and total admission bounds for queued jobs.
+  QueueLimits limits;
+  /// Share evaluation caches of CacheMode::kShared jobs daemon-wide (same
+  /// kernel identity => same cache across jobs and tenants), so repeat
+  /// submissions warm-start. Logical results are unaffected; cache-cost
+  /// counters in shared-mode results become daemon-history-dependent, so
+  /// byte-identical drain/restart output is guaranteed for private-cache
+  /// jobs (the default) only.
+  bool daemon_cache = true;
+};
+
+/// Snapshot of daemon state (the STATS verb's payload).
+struct ServerStats {
+  std::size_t jobs = 0;
+  std::size_t queued = 0;
+  std::size_t running = 0;
+  std::size_t suspended = 0;
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  std::size_t cancelled = 0;
+  std::size_t connections = 0;
+  std::size_t tenants = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();  ///< Stop()s a still-running server.
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Loads (or creates) the state directory and manifest, requeues any
+  /// unfinished backlog, binds the listener, and spawns the worker pool and
+  /// accept loop. Throws on bind failure, missing state_dir option, or a
+  /// corrupt manifest.
+  void Start();
+
+  /// The bound port (resolves port 0 to the kernel-assigned port).
+  int Port() const noexcept;
+
+  /// True once a client issued SHUTDOWN; the embedding main is expected to
+  /// poll this (or its signal flag) and call Stop().
+  bool ShutdownRequested() const noexcept;
+
+  /// Graceful drain: stops dispatching queued jobs, cooperatively suspends
+  /// every in-flight job into its checkpoint directory, persists the
+  /// manifest, and joins the workers. Queued jobs stay queued on disk.
+  /// Idempotent. Connections stay open (STATUS/RESULTS still served).
+  void Drain();
+
+  /// Drain() + tear down: wakes blocked WAITs, shuts down the listener and
+  /// every connection, joins all threads. Idempotent.
+  void Stop();
+
+  ServerStats Stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace axdse::serve

@@ -1,6 +1,7 @@
 #include "util/cli.hpp"
 
 #include <cstdlib>
+#include <stdexcept>
 
 namespace axdse::util {
 
@@ -50,6 +51,18 @@ std::int64_t CliArgs::GetInt(const std::string& name,
   char* end = nullptr;
   const long long v = std::strtoll(it->second.c_str(), &end, 10);
   if (end == nullptr || *end != '\0') return fallback;
+  return static_cast<std::int64_t>(v);
+}
+
+std::int64_t CliArgs::GetIntStrict(const std::string& name,
+                                   std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (it->second.empty() || end == nullptr || *end != '\0')
+    throw std::invalid_argument("--" + name + " expects an integer, got '" +
+                                it->second + "'");
   return static_cast<std::int64_t>(v);
 }
 

@@ -26,6 +26,14 @@ class CliArgs {
   /// Integer value of --name, or `fallback` if absent/unparsable.
   std::int64_t GetInt(const std::string& name, std::int64_t fallback) const;
 
+  /// Strict integer: like GetInt, but a flag that is PRESENT with an empty
+  /// or unparsable value throws std::invalid_argument instead of silently
+  /// returning the fallback. Use for flags where a typo must not be masked
+  /// by a default — e.g. a daemon's --port, where "--port=0" legitimately
+  /// asks for an ephemeral port and "--port=auto" is an error, not 4711.
+  std::int64_t GetIntStrict(const std::string& name,
+                            std::int64_t fallback) const;
+
   /// Double value of --name, or `fallback` if absent/unparsable.
   double GetDouble(const std::string& name, double fallback) const;
 

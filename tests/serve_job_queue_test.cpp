@@ -1,0 +1,130 @@
+// JobQueue tests: per-tenant/total admission control, fair round-robin
+// dispatch across tenants, drain semantics (Close() stops dispatch even
+// with a backlog), cancellation removal, and the restart Restore() path
+// that bypasses admission.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "serve/job_queue.hpp"
+
+namespace axdse::serve {
+namespace {
+
+TEST(JobQueueTest, FifoWithinOneTenant) {
+  JobQueue queue;
+  queue.Push("a", 1);
+  queue.Push("a", 2);
+  queue.Push("a", 3);
+  EXPECT_EQ(queue.Pop(), std::optional<std::uint64_t>(1));
+  EXPECT_EQ(queue.Pop(), std::optional<std::uint64_t>(2));
+  EXPECT_EQ(queue.Pop(), std::optional<std::uint64_t>(3));
+}
+
+TEST(JobQueueTest, RoundRobinAcrossTenants) {
+  JobQueue queue;
+  // Tenant a floods the queue before b and c submit one job each.
+  queue.Push("a", 1);
+  queue.Push("a", 2);
+  queue.Push("a", 3);
+  queue.Push("b", 10);
+  queue.Push("c", 20);
+  std::vector<std::uint64_t> order;
+  for (int i = 0; i < 5; ++i) order.push_back(*queue.Pop());
+  // Fair service: after a's first job, b and c each get a turn before a's
+  // backlog continues — nobody waits behind the whole flood.
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 10, 20, 2, 3}));
+}
+
+TEST(JobQueueTest, CursorResumesAfterLastServedTenant) {
+  JobQueue queue;
+  queue.Push("a", 1);
+  queue.Push("b", 2);
+  EXPECT_EQ(*queue.Pop(), 1u);
+  // New submissions from a must not leapfrog b just because a comes first
+  // in registration order.
+  queue.Push("a", 3);
+  EXPECT_EQ(*queue.Pop(), 2u);
+  EXPECT_EQ(*queue.Pop(), 3u);
+}
+
+TEST(JobQueueTest, PerTenantAdmissionBound) {
+  JobQueue queue(QueueLimits{/*per_tenant=*/2, /*total=*/100});
+  queue.Push("a", 1);
+  queue.Push("a", 2);
+  EXPECT_THROW(queue.Push("a", 3), AdmissionError);
+  queue.Push("b", 4);  // other tenants are unaffected
+  EXPECT_EQ(queue.Queued(), 3u);
+  EXPECT_EQ(queue.QueuedFor("a"), 2u);
+  // Popping frees the slot.
+  EXPECT_EQ(*queue.Pop(), 1u);
+  queue.Push("a", 3);
+}
+
+TEST(JobQueueTest, TotalAdmissionBound) {
+  JobQueue queue(QueueLimits{/*per_tenant=*/0, /*total=*/2});
+  queue.Push("a", 1);
+  queue.Push("b", 2);
+  EXPECT_THROW(queue.Push("c", 3), AdmissionError);
+}
+
+TEST(JobQueueTest, RestoreBypassesAdmission) {
+  JobQueue queue(QueueLimits{/*per_tenant=*/1, /*total=*/1});
+  queue.Restore("a", 1);
+  queue.Restore("a", 2);  // over both bounds: restart recovery must win
+  queue.Restore("b", 3);
+  EXPECT_EQ(queue.Queued(), 3u);
+}
+
+TEST(JobQueueTest, RemoveCancelsQueuedJob) {
+  JobQueue queue;
+  queue.Push("a", 1);
+  queue.Push("a", 2);
+  EXPECT_TRUE(queue.Remove(1));
+  EXPECT_FALSE(queue.Remove(1));  // already gone
+  EXPECT_FALSE(queue.Remove(99));
+  EXPECT_EQ(*queue.Pop(), 2u);
+}
+
+TEST(JobQueueTest, CloseDrainsEvenWithBacklog) {
+  JobQueue queue;
+  queue.Push("a", 1);
+  queue.Close();
+  EXPECT_TRUE(queue.Closed());
+  // Drain semantics: the backlog is persisted for the next daemon start,
+  // never dispatched past Close().
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+  EXPECT_EQ(queue.Queued(), 1u);
+}
+
+TEST(JobQueueTest, CloseWakesBlockedPop) {
+  JobQueue queue;
+  std::optional<std::uint64_t> result = 123;  // sentinel
+  std::thread popper([&] { result = queue.Pop(); });
+  queue.Close();
+  popper.join();
+  EXPECT_EQ(result, std::nullopt);
+}
+
+TEST(JobQueueTest, PushWakesBlockedPop) {
+  JobQueue queue;
+  std::optional<std::uint64_t> result;
+  std::thread popper([&] { result = queue.Pop(); });
+  queue.Push("a", 7);
+  popper.join();
+  EXPECT_EQ(result, std::optional<std::uint64_t>(7));
+}
+
+TEST(JobQueueTest, BackloggedTenants) {
+  JobQueue queue;
+  queue.Push("a", 1);
+  queue.Push("b", 2);
+  (void)queue.Pop();
+  EXPECT_EQ(queue.BackloggedTenants(), std::vector<std::string>{"b"});
+}
+
+}  // namespace
+}  // namespace axdse::serve
