@@ -282,13 +282,15 @@ void WriteCell(std::ostream& out, const CampaignCell& cell) {
   out << "cache " << dse::ToString(cell.cache.mode) << " "
       << cell.cache.distinct_evaluations << " " << cell.cache.executed_runs
       << " " << cell.cache.saved_runs << " " << cell.cache.local_hits << " "
-      << cell.cache.shared_hits << "\n";
+      << cell.cache.shared_hits << " " << cell.cache.surrogate_hits << " "
+      << cell.cache.deferred_runs << "\n";
   out << "runs " << cell.runs.size() << "\n";
   for (const CampaignSeedRun& run : cell.runs) {
     out << "run " << run.seed << " " << run.steps << " " << Encode(run.stop)
         << " " << ShortestDouble(run.cumulative_reward) << " " << run.episodes
         << " " << run.kernel_runs << " " << run.cache_hits << " "
         << run.kernel_runs_executed << " " << run.shared_cache_hits << " "
+        << run.surrogate_hits << " " << run.kernel_runs_deferred << " "
         << (run.feasible ? 1 : 0) << " " << ShortestDouble(run.objective)
         << "\n";
     out << "solution " << Encode(run.adder) << " " << Encode(run.multiplier)
@@ -339,7 +341,7 @@ CampaignCell ReadCell(LineReader& reader) {
   }
   {
     const std::vector<std::string> tokens = reader.Expect("cache");
-    RequireTokenCount(reader, tokens, 6, "cache");
+    RequireTokenCount(reader, tokens, 8, "cache");
     cell.cache.mode = CacheModeFromName(tokens[0]);
     cell.cache.distinct_evaluations = static_cast<std::size_t>(
         ParseUnsignedToken(tokens[1], "cache distinct"));
@@ -351,6 +353,10 @@ CampaignCell ReadCell(LineReader& reader) {
         static_cast<std::size_t>(ParseUnsignedToken(tokens[4], "cache local"));
     cell.cache.shared_hits = static_cast<std::size_t>(
         ParseUnsignedToken(tokens[5], "cache shared"));
+    cell.cache.surrogate_hits = static_cast<std::size_t>(
+        ParseUnsignedToken(tokens[6], "cache surrogate"));
+    cell.cache.deferred_runs = static_cast<std::size_t>(
+        ParseUnsignedToken(tokens[7], "cache deferred"));
   }
   const std::vector<std::string> runs_tokens = reader.Expect("runs");
   RequireTokenCount(reader, runs_tokens, 1, "runs");
@@ -361,7 +367,7 @@ CampaignCell ReadCell(LineReader& reader) {
     CampaignSeedRun run;
     {
       const std::vector<std::string> tokens = reader.Expect("run");
-      RequireTokenCount(reader, tokens, 11, "run");
+      RequireTokenCount(reader, tokens, 13, "run");
       run.seed = ParseUnsignedToken(tokens[0], "run seed");
       run.steps =
           static_cast<std::size_t>(ParseUnsignedToken(tokens[1], "run steps"));
@@ -377,11 +383,15 @@ CampaignCell ReadCell(LineReader& reader) {
           ParseUnsignedToken(tokens[7], "run kernel_runs_executed"));
       run.shared_cache_hits = static_cast<std::size_t>(
           ParseUnsignedToken(tokens[8], "run shared_cache_hits"));
+      run.surrogate_hits = static_cast<std::size_t>(
+          ParseUnsignedToken(tokens[9], "run surrogate_hits"));
+      run.kernel_runs_deferred = static_cast<std::size_t>(
+          ParseUnsignedToken(tokens[10], "run kernel_runs_deferred"));
       const std::uint64_t feasible =
-          ParseUnsignedToken(tokens[9], "run feasible");
+          ParseUnsignedToken(tokens[11], "run feasible");
       if (feasible > 1) ChunkError(reader.Line(), "run feasible not 0/1");
       run.feasible = feasible == 1;
-      run.objective = ChunkDouble(tokens[10], "run objective");
+      run.objective = ChunkDouble(tokens[12], "run objective");
     }
     {
       const std::vector<std::string> tokens = reader.Expect("solution");
@@ -669,6 +679,8 @@ CampaignCell CampaignAggregator::Reduce(const RequestResult& result) {
     reduced.cache_hits = run.cache_hits;
     reduced.kernel_runs_executed = run.kernel_runs_executed;
     reduced.shared_cache_hits = run.shared_cache_hits;
+    reduced.surrogate_hits = run.surrogate_hits;
+    reduced.kernel_runs_deferred = run.kernel_runs_deferred;
     reduced.solution = run.solution;
     reduced.solution_measurement = run.solution_measurement;
     reduced.adder = run.solution_adder;

@@ -147,6 +147,8 @@ struct CampaignSeedRun {
   std::size_t cache_hits = 0;
   std::size_t kernel_runs_executed = 0;
   std::size_t shared_cache_hits = 0;
+  std::size_t surrogate_hits = 0;
+  std::size_t kernel_runs_deferred = 0;
 
   Configuration solution;
   instrument::Measurement solution_measurement;
@@ -261,7 +263,8 @@ struct CampaignResult {
 /// Uses the checkpoint subsystem's conventions: versioned line-oriented
 /// text, strict parsing (CheckpointError), atomic Save.
 struct CampaignChunkCheckpoint {
-  static constexpr unsigned kFormatVersion = 1;
+  /// v2 added the surrogate counters to the "cache" and "run" lines.
+  static constexpr unsigned kFormatVersion = 2;
 
   /// StableHash64 of CampaignSpec::ToString() — a snapshot loads only into
   /// the campaign that wrote it.

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <limits>
 #include <locale>
+#include <optional>
 #include <sstream>
 
 #include "rl/state_io.hpp"
@@ -130,10 +131,28 @@ class LineReader {
     }
   }
 
+  /// Tag of the next line WITHOUT consuming it (empty at end of input).
+  /// Used to branch on optional trailing sections; the peeked line is
+  /// buffered and served by the next Expect(). Do not mix with RawLine().
+  std::string PeekTag() {
+    if (!pending_) {
+      std::string line;
+      if (!std::getline(in_, line)) return "";
+      ++line_;
+      pending_ = rl::state_io::SplitTokens(line);
+    }
+    return pending_->empty() ? "" : pending_->front();
+  }
+
   std::size_t LineNumber() const noexcept { return line_; }
 
  private:
   std::vector<std::string> NextLineTokens(const char* tag) {
+    if (pending_) {
+      std::vector<std::string> tokens = std::move(*pending_);
+      pending_.reset();
+      return tokens;
+    }
     std::string line;
     if (!std::getline(in_, line)) {
       throw CheckpointError("checkpoint truncated at line " +
@@ -148,6 +167,7 @@ class LineReader {
 
   std::istringstream in_;
   std::size_t line_ = 0;
+  std::optional<std::vector<std::string>> pending_;
 };
 
 /// Sequential consumer over one line's value tokens. Owns the tokens so
@@ -471,6 +491,42 @@ std::string Checkpoint::Serialize() const {
       << " " << evaluator.cache_hits << " " << evaluator.cache_misses << " "
       << evaluator.shared_hits << "\n";
   WriteEntries(out, evaluator.entries);
+  // Optional surrogate-tier section. Omitted entirely for surrogate-off
+  // snapshots with zero counters, so the byte format (and the golden
+  // fixture) of every pre-surrogate checkpoint is unchanged. Finished
+  // snapshots carry no model but still need the result counters.
+  const Evaluator::CacheState::SurrogateState& surrogate = evaluator.surrogate;
+  if (surrogate.enabled || result.surrogate_hits > 0 ||
+      result.kernel_runs_deferred > 0) {
+    out << "surrogate " << (surrogate.enabled ? 1 : 0) << " "
+        << surrogate.hits << " " << surrogate.deferred << " "
+        << result.surrogate_hits << " " << result.kernel_runs_deferred
+        << "\n";
+    if (surrogate.enabled) {
+      out << "s-state " << surrogate.model.audit_counter << " "
+          << (surrogate.model.counts_unstable ? 1 : 0) << "\n";
+      // Observations keep their insertion order: the restore path replays
+      // them through the model so refits happen at the same counts as the
+      // original run.
+      out << "s-observations " << surrogate.model.observations.size() << "\n";
+      for (const Configuration& config : surrogate.model.observations) {
+        out << "o ";
+        WriteConfig(out, config);
+        out << "\n";
+      }
+      std::vector<std::pair<Configuration, instrument::Measurement>>
+          predicted = surrogate.model.predicted;
+      SortEntries(predicted);
+      out << "s-predicted " << predicted.size() << "\n";
+      for (const auto& [config, measurement] : predicted) {
+        out << "p ";
+        WriteConfig(out, config);
+        out << " ";
+        WriteMeasurement(out, measurement);
+        out << "\n";
+      }
+    }
+  }
   out << "end\n";
   return out.str();
 }
@@ -641,6 +697,51 @@ Checkpoint Checkpoint::Deserialize(const std::string& text) {
       checkpoint.evaluator.cache_misses = cursor.Size("memo cache misses");
       checkpoint.evaluator.shared_hits = cursor.Size("memo shared hits");
       checkpoint.evaluator.entries = ReadEntries(reader, count);
+    }
+    if (reader.PeekTag() == "surrogate") {
+      Evaluator::CacheState::SurrogateState& surrogate =
+          checkpoint.evaluator.surrogate;
+      {
+        TokenCursor cursor(reader.Expect("surrogate", 5), reader);
+        surrogate.enabled = cursor.Flag("surrogate enabled flag");
+        surrogate.hits = cursor.Size("surrogate hits");
+        surrogate.deferred = cursor.Size("surrogate deferred");
+        checkpoint.result.surrogate_hits =
+            cursor.Size("result surrogate hits");
+        checkpoint.result.kernel_runs_deferred =
+            cursor.Size("result kernel runs deferred");
+      }
+      if (surrogate.enabled) {
+        {
+          TokenCursor cursor(reader.Expect("s-state", 2), reader);
+          surrogate.model.audit_counter = cursor.U64("surrogate audit counter");
+          surrogate.model.counts_unstable =
+              cursor.Flag("surrogate counts-unstable flag");
+        }
+        {
+          TokenCursor cursor(reader.Expect("s-observations", 1), reader);
+          const std::size_t count = cursor.Size("surrogate observation count");
+          surrogate.model.observations.reserve(count);
+          for (std::size_t i = 0; i < count; ++i) {
+            TokenCursor line(reader.Expect("o"), reader);
+            surrogate.model.observations.push_back(ReadConfig(line, reader));
+            line.Done("surrogate observation");
+          }
+        }
+        {
+          TokenCursor cursor(reader.Expect("s-predicted", 1), reader);
+          const std::size_t count = cursor.Size("surrogate prediction count");
+          surrogate.model.predicted.reserve(count);
+          for (std::size_t i = 0; i < count; ++i) {
+            TokenCursor line(reader.Expect("p"), reader);
+            Configuration config = ReadConfig(line, reader);
+            instrument::Measurement measurement = ReadMeasurement(line);
+            line.Done("surrogate prediction");
+            surrogate.model.predicted.emplace_back(std::move(config),
+                                                   measurement);
+          }
+        }
+      }
     }
     reader.ExpectEnd();
   } catch (const CheckpointError&) {

@@ -301,6 +301,10 @@ BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests,
             *kernel, request_cache[job.request_index]);
         const RewardConfig reward =
             MakePaperRewardConfig(*evaluator, request.thresholds);
+        // Surrogate tier: only without trace recording — traces must hold
+        // real measurements, so the tier stays off for traced runs.
+        if (request.surrogate && !request.record_trace)
+          evaluator->EnableSurrogate(reward.acc_threshold);
         ExplorerConfig config = request.ToExplorerConfig();
         config.seed = request.seed + job.seed_index;
         Explorer explorer(*evaluator, reward, config);
@@ -528,6 +532,8 @@ BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests,
       request_result.cache.executed_runs += run.kernel_runs_executed;
       request_result.cache.local_hits += run.cache_hits;
       request_result.cache.shared_hits += run.shared_cache_hits;
+      request_result.cache.surrogate_hits += run.surrogate_hits;
+      request_result.cache.deferred_runs += run.kernel_runs_deferred;
       power_stats.Add(run.solution_measurement.delta_power_mw);
       time_stats.Add(run.solution_measurement.delta_time_ns);
       acc_stats.Add(run.solution_measurement.delta_acc);

@@ -50,6 +50,12 @@ struct CacheUsage {
   std::size_t local_hits = 0;
   /// Evaluations answered by the shared cache.
   std::size_t shared_hits = 0;
+  /// Evaluations answered by the surrogate tier, summed over the request's
+  /// runs (0 with surrogate off). Deterministic for any worker count.
+  std::size_t surrogate_hits = 0;
+  /// Distinct configurations skipped by the surrogate and never executed —
+  /// kernel runs the request saved outright. Deterministic always.
+  std::size_t deferred_runs = 0;
 };
 
 /// Engine tuning knobs.

@@ -64,6 +64,34 @@ instrument::Measurement Evaluator::Measure(const Configuration& config) {
   return m;
 }
 
+void Evaluator::EnableSurrogate(double acc_threshold,
+                                const SurrogateOptions& options) {
+  if (surrogate_)
+    throw std::logic_error("Evaluator::EnableSurrogate: already enabled");
+  surrogate_ = std::make_unique<SurrogateModel>(
+      shape_, acc_threshold, energy_, precise_power_mw_, precise_time_ns_,
+      options);
+}
+
+bool Evaluator::IsPredicted(const Configuration& config) const {
+  return surrogate_ && surrogate_->Lookup(config) != nullptr;
+}
+
+instrument::Measurement Evaluator::GroundTruth(const Configuration& config) {
+  if (!FitsShape(shape_, config))
+    throw std::invalid_argument(
+        "Evaluator::GroundTruth: configuration does not match the kernel's "
+        "space");
+  if (const auto cached = cache_.Lookup(config); cached.has_value())
+    return *cached;
+  const instrument::Measurement m = ComputeAndCache(config);
+  if (surrogate_ && surrogate_->Lookup(config) != nullptr) {
+    surrogate_->Invalidate(config);
+    if (kernel_runs_deferred_ > 0) --kernel_runs_deferred_;
+  }
+  return m;
+}
+
 Evaluator::CacheState Evaluator::CaptureCacheState() const {
   CacheState state;
   state.entries.reserve(cache_.Entries().size());
@@ -73,6 +101,10 @@ Evaluator::CacheState Evaluator::CaptureCacheState() const {
   state.cache_hits = cache_.Hits();
   state.cache_misses = cache_.Misses();
   state.shared_hits = shared_hits_;
+  state.surrogate.enabled = surrogate_ != nullptr;
+  state.surrogate.hits = surrogate_hits_;
+  state.surrogate.deferred = kernel_runs_deferred_;
+  if (surrogate_) state.surrogate.model = surrogate_->CaptureState();
   return state;
 }
 
@@ -100,6 +132,39 @@ void Evaluator::RestoreCounters(std::size_t kernel_runs,
   cache_.RestoreStats(cache_hits, cache_misses);
 }
 
+void Evaluator::RestoreSurrogate(const CacheState::SurrogateState& state) {
+  if (state.enabled != (surrogate_ != nullptr))
+    throw std::invalid_argument(
+        "Evaluator::RestoreSurrogate: snapshot surrogate enablement does not "
+        "match this evaluator");
+  surrogate_hits_ = state.hits;
+  kernel_runs_deferred_ = state.deferred;
+  if (!surrogate_) return;
+  surrogate_->RestoreState(
+      state.model, [this](const Configuration& config) {
+        const auto cached = cache_.Lookup(config);
+        if (!cached.has_value())
+          throw std::invalid_argument(
+              "Evaluator::RestoreSurrogate: observation is missing from the "
+              "restored memo");
+        return *cached;
+      });
+}
+
+instrument::Measurement Evaluator::ComputeAndCache(const Configuration& config) {
+  instrument::Measurement m;
+  if (shared_cache_) {
+    bool computed = false;
+    m = shared_cache_->FetchOrCompute(
+        config, [&] { return Measure(config); }, &computed);
+    if (!computed) ++shared_hits_;
+  } else {
+    m = Measure(config);
+  }
+  cache_.Insert(config, m);
+  return m;
+}
+
 instrument::Measurement Evaluator::Evaluate(const Configuration& config) {
   if (!FitsShape(shape_, config))
     throw std::invalid_argument(
@@ -111,17 +176,24 @@ instrument::Measurement Evaluator::Evaluate(const Configuration& config) {
   if (const auto cached = cache_.Lookup(config); cached.has_value())
     return *cached;
 
-  instrument::Measurement m;
-  if (shared_cache_) {
-    bool computed = false;
-    m = shared_cache_->FetchOrCompute(
-        config, [&] { return Measure(config); }, &computed);
-    if (!computed) ++shared_hits_;
-  } else {
-    m = Measure(config);
+  // Surrogate tier. The skip decision happens BEFORE the shared cache is
+  // consulted, from job-local state only — whether another worker already
+  // computed this configuration must not influence this run's trajectory.
+  if (surrogate_) {
+    if (const instrument::Measurement* predicted = surrogate_->Lookup(config)) {
+      ++surrogate_hits_;
+      return *predicted;
+    }
+    instrument::Measurement predicted;
+    if (surrogate_->TrySkip(config, &predicted)) {
+      ++surrogate_hits_;
+      ++kernel_runs_deferred_;
+      return predicted;
+    }
   }
 
-  cache_.Insert(config, m);
+  const instrument::Measurement m = ComputeAndCache(config);
+  if (surrogate_) surrogate_->Observe(config, m);
   return m;
 }
 

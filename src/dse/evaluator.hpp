@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "dse/configuration.hpp"
+#include "dse/surrogate.hpp"
 #include "energy/energy_model.hpp"
 #include "instrument/evaluation_cache.hpp"
 #include "instrument/measurement.hpp"
@@ -38,7 +39,40 @@ class Evaluator {
 
   /// Measures `config` (cache-backed). Throws std::invalid_argument if the
   /// configuration shape does not match the kernel.
+  ///
+  /// With the surrogate tier enabled the answer may be a PREDICTED
+  /// measurement (see dse/surrogate.hpp): Δpower/Δtime exact, Δacc a
+  /// confident over-threshold prediction. Predicted answers are memoized —
+  /// repeat visits return the same bytes — and IsPredicted() tells them
+  /// apart from ground truth.
   instrument::Measurement Evaluate(const Configuration& config);
+
+  /// Enables the surrogate tier (idempotent re-enable is an error). Must be
+  /// called on a fresh evaluator, before the first Evaluate(), with the
+  /// run's accuracy threshold (RewardConfig::acc_threshold).
+  void EnableSurrogate(double acc_threshold,
+                       const SurrogateOptions& options = {});
+
+  bool SurrogateEnabled() const noexcept { return surrogate_ != nullptr; }
+
+  /// True when Evaluate(config) is currently answered by a surrogate
+  /// prediction rather than a real kernel run.
+  bool IsPredicted(const Configuration& config) const;
+
+  /// Forces a real measurement of `config` (the correctness valve): runs the
+  /// kernel (or consults the caches) even if the surrogate predicted it, and
+  /// drops the prediction so every later Evaluate() returns ground truth.
+  instrument::Measurement GroundTruth(const Configuration& config);
+
+  /// Evaluate() calls answered by the surrogate tier (first-time skips and
+  /// memoized repeat visits). Deterministic per run.
+  std::size_t SurrogateHits() const noexcept { return surrogate_hits_; }
+
+  /// Distinct configurations skipped by the surrogate and (still) never
+  /// executed — the kernel runs saved. GroundTruth() decrements.
+  std::size_t KernelRunsDeferred() const noexcept {
+    return kernel_runs_deferred_;
+  }
 
   /// The kernel being explored.
   const workloads::Kernel& Kernel() const noexcept { return *kernel_; }
@@ -91,6 +125,16 @@ class Evaluator {
     std::size_t cache_hits = 0;
     std::size_t cache_misses = 0;
     std::size_t shared_hits = 0;
+
+    /// Surrogate-tier state riding along with the memo snapshot. `model` is
+    /// only meaningful when `enabled`.
+    struct SurrogateState {
+      bool enabled = false;
+      std::size_t hits = 0;
+      std::size_t deferred = 0;
+      SurrogateModel::State model;
+    };
+    SurrogateState surrogate;
   };
 
   /// Captures the current memo contents and counters. Entry order is
@@ -110,6 +154,16 @@ class Evaluator {
   void RestoreCounters(std::size_t kernel_runs, std::size_t cache_hits,
                        std::size_t cache_misses, std::size_t shared_hits);
 
+  /// Restores the surrogate tier from a snapshot: replays the observation
+  /// sequence against the (already prewarmed) private memo so the model
+  /// refits exactly as the original run did, then installs the memoized
+  /// predictions and counters. The enablement flag must match
+  /// SurrogateEnabled() and every observation must be present in the memo
+  /// (the resume path pre-validates both); violations throw
+  /// std::invalid_argument. Call after PrewarmCache(), before
+  /// RestoreCounters().
+  void RestoreSurrogate(const CacheState::SurrogateState& state);
+
  private:
   /// Runs the kernel under `config` and builds the measurement (the
   /// cache-miss path; increments kernel_runs_).
@@ -123,10 +177,17 @@ class Evaluator {
   double mean_abs_output_ = 0.0;
   double precise_power_mw_ = 0.0;
   double precise_time_ns_ = 0.0;
+  /// Ground-truths `config` on a private-cache miss (shared cache first when
+  /// attached) and inserts the result into the private memo.
+  instrument::Measurement ComputeAndCache(const Configuration& config);
+
   instrument::EvaluationCache cache_;
   std::shared_ptr<instrument::SharedEvaluationCache> shared_cache_;
   std::size_t kernel_runs_ = 0;
   std::size_t shared_hits_ = 0;
+  std::unique_ptr<SurrogateModel> surrogate_;
+  std::size_t surrogate_hits_ = 0;
+  std::size_t kernel_runs_deferred_ = 0;
 };
 
 }  // namespace axdse::dse

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 #include <utility>
 
 #include "dse/baselines.hpp"
@@ -128,7 +129,12 @@ void Explorer::StepOnce() {
   run.trace_cumulative += sr.reward;
   run.result.delta_power.Update(m.delta_power_mw);
   run.result.delta_time.Update(m.delta_time_ns);
-  run.result.delta_acc.Update(m.delta_acc);
+  // A surrogate-predicted Δacc is a confident over-threshold guess, not a
+  // measurement; its Δpower/Δtime are exact (computed from observed op
+  // counts) and fold normally, but the accuracy range only collects ground
+  // truth.
+  if (!evaluator_->IsPredicted(run.env.CurrentConfig()))
+    run.result.delta_acc.Update(m.delta_acc);
   ConsiderBest(reward_, run.result, run.env.CurrentConfig(), m);
   if (config_.record_trace) {
     StepRecord record;
@@ -209,6 +215,8 @@ void Explorer::FillSolutionFields(ExplorationResult& result) const {
   result.cache_hits = evaluator_->CacheHits();
   result.kernel_runs_executed = evaluator_->KernelRuns();
   result.shared_cache_hits = evaluator_->SharedHits();
+  result.surrogate_hits = evaluator_->SurrogateHits();
+  result.kernel_runs_deferred = evaluator_->KernelRunsDeferred();
 }
 
 ExplorationResult Explorer::Finish() {
@@ -217,6 +225,16 @@ ExplorationResult Explorer::Finish() {
   Run& run = *run_;
   run.result.solution = run.env.CurrentConfig();
   run.result.solution_measurement = run.env.LastMeasurement();
+
+  // Correctness valve of the surrogate tier: the reported solution is always
+  // a real measurement. If the run ended on a surrogate-predicted
+  // configuration, execute it now (the prediction is dropped, so the
+  // exported solution row and the Δacc range reflect ground truth).
+  if (evaluator_->IsPredicted(run.result.solution)) {
+    run.result.solution_measurement =
+        evaluator_->GroundTruth(run.result.solution);
+    run.result.delta_acc.Update(run.result.solution_measurement.delta_acc);
+  }
 
   // Optional greedy rollout: follow the learned policy without exploration
   // and fold the visited configurations into the best-feasible tracking.
@@ -230,6 +248,17 @@ ExplorationResult Explorer::Finish() {
       state = sr.next_state;
       if (sr.terminated) break;
     }
+  }
+
+  // Same valve for the best-feasible point (after the rollout, which may
+  // update it): its selection ranked only by the exact power/time objective,
+  // but its reported Δacc must be a real measurement — it feeds the
+  // best-per-kernel tables and the campaign Pareto fronts.
+  if (run.result.has_best_feasible &&
+      evaluator_->IsPredicted(run.result.best_feasible)) {
+    run.result.best_feasible_measurement =
+        evaluator_->GroundTruth(run.result.best_feasible);
+    run.result.delta_acc.Update(run.result.best_feasible_measurement.delta_acc);
   }
 
   FillSolutionFields(run.result);
@@ -325,6 +354,37 @@ void Explorer::ResumeFrom(const Checkpoint& checkpoint) {
     throw CheckpointError(
         "Explorer::ResumeFrom: current state id is not interned");
 
+  // Surrogate snapshot validation, also up front: the enablement flags must
+  // agree and every model observation must be replayable from the memo
+  // entries about to be prewarmed, so RestoreSurrogate() below cannot fail
+  // after state was mutated.
+  const Evaluator::CacheState::SurrogateState& surrogate_ckpt =
+      checkpoint.evaluator.surrogate;
+  if (surrogate_ckpt.enabled != evaluator_->SurrogateEnabled())
+    throw CheckpointError(
+        "Explorer::ResumeFrom: checkpoint surrogate enablement does not "
+        "match this explorer's evaluator");
+  if (surrogate_ckpt.enabled) {
+    std::unordered_set<Configuration, Configuration::Hash> memo_configs;
+    memo_configs.reserve(checkpoint.evaluator.entries.size());
+    for (const auto& [config, measurement] : checkpoint.evaluator.entries) {
+      (void)measurement;
+      memo_configs.insert(config);
+    }
+    for (const Configuration& config : surrogate_ckpt.model.observations)
+      if (memo_configs.find(config) == memo_configs.end())
+        throw CheckpointError(
+            "Explorer::ResumeFrom: surrogate observation is not among the "
+            "checkpoint's memo entries");
+    for (const auto& [config, measurement] : surrogate_ckpt.model.predicted) {
+      (void)measurement;
+      if (!FitsShape(shape, config))
+        throw CheckpointError(
+            "Explorer::ResumeFrom: surrogate prediction does not fit the "
+            "kernel's configuration space");
+    }
+  }
+
   // 1. Rebuild the agent from the blob. Failures here are pure: the agent is
   //    a local until everything committed.
   std::unique_ptr<rl::Agent> agent = MakeAgent(
@@ -354,6 +414,10 @@ void Explorer::ResumeFrom(const Checkpoint& checkpoint) {
   // 3. Rebuild the environment and restore its position/interning.
   auto run = std::make_unique<Run>(*evaluator_, reward_, config_.action_space);
   run->env.SetState(checkpoint.env);  // revalidates; known-good here
+
+  // 3b. Replay the surrogate model (validated above; reads the prewarmed
+  //     memo, so it must run before the counter overwrite).
+  evaluator_->RestoreSurrogate(surrogate_ckpt);
 
   // 4. Counters last: overwrite the rebuild's bumps with the exact
   //    checkpointed values.

@@ -123,6 +123,13 @@ struct ExplorationResult {
   /// Evaluations answered by the shared cache (0 in private-cache mode).
   std::size_t shared_cache_hits = 0;
 
+  /// Evaluations answered by the surrogate tier (0 with surrogate off):
+  /// first-time skips plus memoized repeat visits of skipped configurations.
+  std::size_t surrogate_hits = 0;
+  /// Distinct configurations the surrogate skipped that were never executed
+  /// — the kernel runs this run saved outright.
+  std::size_t kernel_runs_deferred = 0;
+
   /// Episodes actually run.
   std::size_t episodes = 1;
 

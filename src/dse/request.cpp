@@ -238,6 +238,7 @@ std::string ExplorationRequest::ToString() const {
   out << " cache=" << dse::ToString(cache_mode);
   out << " cache-capacity=" << cache_capacity;
   out << " checkpoint-interval=" << checkpoint_interval;
+  out << " surrogate=" << (surrogate ? 1 : 0);
   out << " alpha=" << ShortestDouble(alpha);
   out << " gamma=" << ShortestDouble(gamma);
   out << " initial-q=" << ShortestDouble(initial_q);
@@ -314,6 +315,8 @@ ExplorationRequest ExplorationRequest::Parse(const std::string& text) {
     } else if (key == "checkpoint-interval") {
       request.checkpoint_interval =
           static_cast<std::size_t>(ParseUnsigned(key, value));
+    } else if (key == "surrogate") {
+      request.surrogate = ParseBool(key, value);
     } else if (key == "alpha") {
       request.alpha = ParseDouble(key, value);
     } else if (key == "gamma") {
@@ -352,10 +355,11 @@ ExplorationRequest ExplorationRequest::FromCli(const util::CliArgs& args) {
   if (!args.Positional().empty()) text += "kernel=" + args.Positional()[0];
   for (const auto& [key, value] : args.Flags()) {
     if (value.empty()) {
-      // The only meaningful bare flag is the boolean: --trace == trace=1.
-      // Anything else bare is a flag that lost its value — fail loudly
-      // rather than silently falling back to the default.
-      if (key == "trace") {
+      // The only meaningful bare flags are the booleans: --trace == trace=1,
+      // --surrogate == surrogate=1. Anything else bare is a flag that lost
+      // its value — fail loudly rather than silently falling back to the
+      // default.
+      if (key == "trace" || key == "surrogate") {
         text += (text.empty() ? "" : " ") + key + "=1";
         continue;
       }
@@ -486,6 +490,11 @@ RequestBuilder& RequestBuilder::CacheCapacity(std::size_t capacity) {
 
 RequestBuilder& RequestBuilder::CheckpointInterval(std::size_t steps) {
   request_.checkpoint_interval = steps;
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::Surrogate(bool enabled) {
+  request_.surrogate = enabled;
   return *this;
 }
 

@@ -92,6 +92,11 @@ struct ExplorationRequest {
   /// meaningful when the engine runs with a checkpoint directory; see
   /// dse/checkpoint.hpp.
   std::size_t checkpoint_interval = 0;
+  /// Enable the surrogate evaluator tier (dse/surrogate.hpp): skip kernel
+  /// runs the online model confidently predicts infeasible, with the
+  /// ground-truth valve on solutions. Ignored (surrogate stays off) when
+  /// `record_trace` is set — traces must contain real measurements only.
+  bool surrogate = false;
 
   // --- Agent hyper-parameters ---------------------------------------------
   double alpha = 0.1;
@@ -184,6 +189,7 @@ class RequestBuilder {
   RequestBuilder& SharedCache(bool shared = true);
   RequestBuilder& CacheCapacity(std::size_t capacity);
   RequestBuilder& CheckpointInterval(std::size_t steps);
+  RequestBuilder& Surrogate(bool enabled = true);
 
   RequestBuilder& Alpha(double alpha);
   RequestBuilder& Gamma(double gamma);

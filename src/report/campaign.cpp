@@ -48,7 +48,9 @@ void WriteCell(std::ostream& out, const dse::CampaignCell& cell) {
       << ",\"executed_runs\":" << cell.cache.executed_runs
       << ",\"saved_runs\":" << cell.cache.saved_runs
       << ",\"local_hits\":" << cell.cache.local_hits
-      << ",\"shared_hits\":" << cell.cache.shared_hits << "}";
+      << ",\"shared_hits\":" << cell.cache.shared_hits
+      << ",\"surrogate_hits\":" << cell.cache.surrogate_hits
+      << ",\"deferred_runs\":" << cell.cache.deferred_runs << "}";
   out << ",\"runs\":[";
   for (std::size_t s = 0; s < cell.runs.size(); ++s) {
     const dse::CampaignSeedRun& run = cell.runs[s];
@@ -68,7 +70,9 @@ void WriteCell(std::ostream& out, const dse::CampaignCell& cell) {
         << ",\"feasible\":" << (run.feasible ? "true" : "false")
         << ",\"objective\":" << JsonNum(run.objective)
         << ",\"kernel_runs\":" << run.kernel_runs
-        << ",\"cache_hits\":" << run.cache_hits << "}";
+        << ",\"cache_hits\":" << run.cache_hits
+        << ",\"surrogate_hits\":" << run.surrogate_hits
+        << ",\"kernel_runs_deferred\":" << run.kernel_runs_deferred << "}";
   }
   out << "]}";
 }
@@ -128,7 +132,7 @@ void WriteCampaignCsv(std::ostream& out, const dse::CampaignResult& result) {
                 "cumulative_reward", "delta_power_mw", "delta_time_ns",
                 "delta_acc", "adder", "multiplier", "vars_selected",
                 "num_vars", "feasible", "objective", "kernel_runs",
-                "cache_hits"});
+                "cache_hits", "surrogate_hits", "kernel_runs_deferred"});
   for (std::size_t c = 0; c < result.cells.size(); ++c) {
     const dse::CampaignCell& cell = result.cells[c];
     for (const dse::CampaignSeedRun& run : cell.runs) {
@@ -147,7 +151,9 @@ void WriteCampaignCsv(std::ostream& out, const dse::CampaignResult& result) {
            std::to_string(run.solution.NumVariables()),
            run.feasible ? "1" : "0", ShortestDouble(run.objective),
            std::to_string(run.kernel_runs),
-           std::to_string(run.cache_hits)});
+           std::to_string(run.cache_hits),
+           std::to_string(run.surrogate_hits),
+           std::to_string(run.kernel_runs_deferred)});
     }
   }
 }

@@ -93,7 +93,9 @@ void WriteRun(std::ostream& out, const dse::ExplorationResult& run,
       << "\",\"vars_selected\":" << run.solution.SelectedCount()
       << ",\"num_vars\":" << run.solution.NumVariables()
       << ",\"kernel_runs\":" << run.kernel_runs
-      << ",\"cache_hits\":" << run.cache_hits << "}";
+      << ",\"cache_hits\":" << run.cache_hits
+      << ",\"surrogate_hits\":" << run.surrogate_hits
+      << ",\"kernel_runs_deferred\":" << run.kernel_runs_deferred << "}";
 }
 
 void WriteCacheUsage(std::ostream& out, const dse::CacheUsage& cache) {
@@ -102,7 +104,9 @@ void WriteCacheUsage(std::ostream& out, const dse::CacheUsage& cache) {
       << ",\"executed_runs\":" << cache.executed_runs
       << ",\"saved_runs\":" << cache.saved_runs
       << ",\"local_hits\":" << cache.local_hits
-      << ",\"shared_hits\":" << cache.shared_hits << "}";
+      << ",\"shared_hits\":" << cache.shared_hits
+      << ",\"surrogate_hits\":" << cache.surrogate_hits
+      << ",\"deferred_runs\":" << cache.deferred_runs << "}";
 }
 
 }  // namespace
@@ -116,8 +120,8 @@ void WriteBatchCsv(std::ostream& out, const dse::BatchResult& batch) {
                 "cumulative_reward", "episodes", "delta_power_mw",
                 "delta_time_ns", "delta_acc", "adder", "multiplier",
                 "vars_selected", "num_vars", "feasible", "kernel_runs",
-                "cache_hits", "cache_mode", "request_executed_runs",
-                "request_saved_runs"});
+                "cache_hits", "surrogate_hits", "kernel_runs_deferred",
+                "cache_mode", "request_executed_runs", "request_saved_runs"});
   for (std::size_t r = 0; r < batch.results.size(); ++r) {
     const dse::RequestResult& result = batch.results[r];
     for (std::size_t s = 0; s < result.runs.size(); ++s) {
@@ -138,6 +142,8 @@ void WriteBatchCsv(std::ostream& out, const dse::BatchResult& batch) {
                     m.delta_acc <= result.reward.acc_threshold ? "1" : "0",
                     std::to_string(run.kernel_runs),
                     std::to_string(run.cache_hits),
+                    std::to_string(run.surrogate_hits),
+                    std::to_string(run.kernel_runs_deferred),
                     dse::ToString(result.cache.mode),
                     std::to_string(result.cache.executed_runs),
                     std::to_string(result.cache.saved_runs)});

@@ -3,11 +3,13 @@
 #include <arpa/inet.h>
 #include <netdb.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -48,6 +50,36 @@ bool Socket::SendAll(const std::string& data) noexcept {
     }
     if (n == 0) return false;
     sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Socket::SendAllWithTimeout(const std::string& data,
+                                int timeout_ms) noexcept {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) return false;
+    if (errno == EINTR) continue;
+    if (errno != EAGAIN && errno != EWOULDBLOCK) return false;
+    // Socket buffer full (the slow-consumer case): wait for writability,
+    // but only until the deadline.
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) return false;
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLOUT;
+    const int rc = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (rc < 0 && errno != EINTR) return false;
+    // rc == 0 (poll timeout) loops back and fails the deadline check above.
   }
   return true;
 }

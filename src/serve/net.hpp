@@ -28,6 +28,12 @@ class Socket {
   /// on any error (e.g. the peer disconnected); never raises SIGPIPE.
   bool SendAll(const std::string& data) noexcept;
 
+  /// SendAll with a deadline: non-blocking writes, waiting for writability
+  /// at most `timeout_ms` total. Returns false on error OR timeout — and a
+  /// timeout may leave a partial line on the wire, so the caller must stop
+  /// using the connection (the daemon's slow-watcher eviction path).
+  bool SendAllWithTimeout(const std::string& data, int timeout_ms) noexcept;
+
   /// Shuts the socket down for reading and writing, waking any thread
   /// blocked reading it. The fd stays owned until Close()/destruction, so
   /// a concurrent reader never sees its fd number recycled.

@@ -69,6 +69,24 @@ struct Connection {
     }
     return true;
   }
+
+  /// Event push with a deadline: a watcher that cannot absorb the event in
+  /// time is disconnected (a timed-out send may leave a partial line on the
+  /// wire, so the connection cannot be reused). The Shutdown() also wakes
+  /// the connection's reader thread so it gets reaped promptly.
+  bool SendEvent(const std::string& data, int timeout_ms) {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    if (!alive.load(std::memory_order_relaxed)) return false;
+    const bool ok = timeout_ms > 0
+                        ? socket.SendAllWithTimeout(data, timeout_ms)
+                        : socket.SendAll(data);
+    if (!ok) {
+      alive.store(false, std::memory_order_relaxed);
+      socket.Shutdown();
+      return false;
+    }
+    return true;
+  }
 };
 
 /// Daemon-side state of one job. Guarded by Impl::jobs_mutex except for
@@ -220,7 +238,8 @@ struct Server::Impl {
     }
     if (targets.empty()) return;
     const std::string event = EventLine(job->id, detail);
-    for (auto& conn : targets) conn->Send(event);
+    for (auto& conn : targets)
+      conn->SendEvent(event, options.event_send_timeout_ms);
   }
 
   void SetTerminalOrSuspended(const std::shared_ptr<JobRecord>& job,

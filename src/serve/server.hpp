@@ -41,6 +41,11 @@ struct ServerOptions {
   std::size_t chunk_cells = 4;
   /// Hard bound on one protocol line (see LineReader).
   std::size_t max_line_bytes = kDefaultMaxLineBytes;
+  /// Deadline (milliseconds) for pushing one WATCH event to a subscriber.
+  /// A connection that cannot absorb an event within the deadline is
+  /// dropped, so a stalled watcher never wedges a job worker (other tenants
+  /// keep progressing). 0 falls back to blocking sends.
+  int event_send_timeout_ms = 5000;
   /// Per-tenant and total admission bounds for queued jobs.
   QueueLimits limits;
   /// Share evaluation caches of CacheMode::kShared jobs daemon-wide (same

@@ -6,10 +6,22 @@
 
 namespace axdse::util {
 
+namespace {
+
+bool AllFinite(const std::vector<double>& values) noexcept {
+  for (const double v : values)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+}  // namespace
+
 LinearFit FitLine(const std::vector<double>& x, const std::vector<double>& y) {
   if (x.size() != y.size())
     throw std::invalid_argument("FitLine: size mismatch");
   if (x.size() < 2) throw std::invalid_argument("FitLine: need >= 2 points");
+  if (!AllFinite(x) || !AllFinite(y))
+    throw std::invalid_argument("FitLine: non-finite input value");
   const double n = static_cast<double>(x.size());
   const double mean_x = std::accumulate(x.begin(), x.end(), 0.0) / n;
   const double mean_y = std::accumulate(y.begin(), y.end(), 0.0) / n;
@@ -42,6 +54,129 @@ LinearFit FitLineIndexed(const std::vector<double>& y) {
   std::vector<double> x(y.size());
   std::iota(x.begin(), x.end(), 0.0);
   return FitLine(x, y);
+}
+
+const char* ToString(FitStatus status) noexcept {
+  switch (status) {
+    case FitStatus::kOk:
+      return "ok";
+    case FitStatus::kSizeMismatch:
+      return "size-mismatch";
+    case FitStatus::kTooFewPoints:
+      return "too-few-points";
+    case FitStatus::kNonFinite:
+      return "non-finite";
+    case FitStatus::kSingular:
+      return "singular";
+  }
+  return "unknown";
+}
+
+double LinearModelFit::Predict(const std::vector<double>& features) const {
+  if (!Ok())
+    throw std::invalid_argument(
+        std::string("LinearModelFit::Predict: fit status is ") +
+        util::ToString(status));
+  if (features.size() != coefficients.size())
+    throw std::invalid_argument(
+        "LinearModelFit::Predict: feature width does not match the fit");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < features.size(); ++i)
+    sum += features[i] * coefficients[i];
+  return sum;
+}
+
+LinearModelFit FitLinearModel(const std::vector<std::vector<double>>& rows,
+                              const std::vector<double>& y,
+                              double ridge_lambda) {
+  LinearModelFit fit;
+  if (rows.size() != y.size() || rows.empty()) {
+    fit.status = rows.empty() ? FitStatus::kTooFewPoints
+                              : FitStatus::kSizeMismatch;
+    return fit;
+  }
+  const std::size_t dim = rows.front().size();
+  if (dim == 0) {
+    fit.status = FitStatus::kSizeMismatch;
+    return fit;
+  }
+  for (const std::vector<double>& row : rows)
+    if (row.size() != dim) {
+      fit.status = FitStatus::kSizeMismatch;
+      return fit;
+    }
+  if (rows.size() < dim) {
+    fit.status = FitStatus::kTooFewPoints;
+    return fit;
+  }
+  if (!std::isfinite(ridge_lambda) || ridge_lambda < 0.0 || !AllFinite(y)) {
+    fit.status = FitStatus::kNonFinite;
+    return fit;
+  }
+  for (const std::vector<double>& row : rows)
+    if (!AllFinite(row)) {
+      fit.status = FitStatus::kNonFinite;
+      return fit;
+    }
+
+  // Normal equations: A = X^T X + lambda*I (D x D), b = X^T y.
+  std::vector<double> a(dim * dim, 0.0);
+  std::vector<double> b(dim, 0.0);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const std::vector<double>& row = rows[r];
+    for (std::size_t i = 0; i < dim; ++i) {
+      b[i] += row[i] * y[r];
+      for (std::size_t j = i; j < dim; ++j) a[i * dim + j] += row[i] * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < dim; ++i) {
+    a[i * dim + i] += ridge_lambda;
+    for (std::size_t j = 0; j < i; ++j) a[i * dim + j] = a[j * dim + i];
+  }
+
+  // Gaussian elimination with partial pivoting. The pivot floor is relative
+  // to the matrix scale so "singular" means singular at double precision,
+  // not merely small-valued.
+  double scale = 0.0;
+  for (const double v : a) scale = std::max(scale, std::abs(v));
+  const double pivot_floor = scale * 1e-12;
+  for (std::size_t col = 0; col < dim; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < dim; ++r)
+      if (std::abs(a[r * dim + col]) > std::abs(a[pivot * dim + col]))
+        pivot = r;
+    if (std::abs(a[pivot * dim + col]) <= pivot_floor) {
+      fit.status = FitStatus::kSingular;
+      return fit;
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < dim; ++j)
+        std::swap(a[pivot * dim + j], a[col * dim + j]);
+      std::swap(b[pivot], b[col]);
+    }
+    const double inv = 1.0 / a[col * dim + col];
+    for (std::size_t r = col + 1; r < dim; ++r) {
+      const double factor = a[r * dim + col] * inv;
+      if (factor == 0.0) continue;
+      for (std::size_t j = col; j < dim; ++j)
+        a[r * dim + j] -= factor * a[col * dim + j];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> beta(dim, 0.0);
+  for (std::size_t i = dim; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t j = i + 1; j < dim; ++j) sum -= a[i * dim + j] * beta[j];
+    beta[i] = sum / a[i * dim + i];
+    if (!std::isfinite(beta[i])) {
+      fit.status = FitStatus::kSingular;
+      return fit;
+    }
+  }
+  fit.status = FitStatus::kOk;
+  fit.coefficients = std::move(beta);
+  fit.n = rows.size();
+  return fit;
 }
 
 }  // namespace axdse::util

@@ -1,6 +1,16 @@
 #pragma once
-// Ordinary least-squares fit of y = slope*x + intercept. Used to draw the
-// trend lines of the paper's Figures 2 and 3 over exploration traces.
+// Least-squares fits.
+//
+// FitLine: univariate OLS of y = slope*x + intercept, used to draw the trend
+// lines of the paper's Figures 2 and 3 over exploration traces.
+//
+// FitLinearModel: multivariate (ridge-regularized) least squares over an
+// explicit feature matrix, used by the surrogate evaluator tier
+// (dse/surrogate.hpp) to predict accuracy degradation from configuration
+// features. Degenerate inputs — size mismatches, too few rows, non-finite
+// values, singular or constant-column design matrices — surface as a typed
+// FitStatus instead of NaN coefficients, so callers can tell "no usable
+// model" from "a model that predicts NaN".
 
 #include <cstddef>
 #include <vector>
@@ -19,11 +29,51 @@ struct LinearFit {
   double At(double x) const noexcept { return slope * x + intercept; }
 };
 
-/// Fits y against x. Throws std::invalid_argument if sizes mismatch or fewer
-/// than two points are supplied.
+/// Fits y against x. Throws std::invalid_argument if sizes mismatch, fewer
+/// than two points are supplied, or any input is non-finite (NaN/inf inputs
+/// would otherwise flow silently into NaN coefficients). Constant-x data is
+/// degenerate but well-defined: the fit is the flat line through mean(y).
 LinearFit FitLine(const std::vector<double>& x, const std::vector<double>& y);
 
 /// Fits y against its own index 0..n-1 (the common case for step traces).
 LinearFit FitLineIndexed(const std::vector<double>& y);
+
+/// Why a multivariate fit did (or did not) produce usable coefficients.
+enum class FitStatus {
+  kOk,            ///< coefficients are valid
+  kSizeMismatch,  ///< rows/y disagree, or rows have inconsistent widths
+  kTooFewPoints,  ///< fewer rows than features (underdetermined)
+  kNonFinite,     ///< a feature or target value is NaN or infinite
+  kSingular,      ///< normal equations are singular (e.g. constant column
+                  ///< with no ridge, or linearly dependent features)
+};
+
+/// Human-readable status name.
+const char* ToString(FitStatus status) noexcept;
+
+/// Result of a multivariate least-squares fit. `coefficients` is only
+/// meaningful when `status == FitStatus::kOk`; every failure leaves it
+/// empty — a failed fit can never be mistaken for a model.
+struct LinearModelFit {
+  FitStatus status = FitStatus::kSingular;
+  std::vector<double> coefficients;  ///< one per feature column
+  std::size_t n = 0;                 ///< rows fitted
+
+  bool Ok() const noexcept { return status == FitStatus::kOk; }
+
+  /// Dot product of `features` with the coefficients. Requires Ok() and a
+  /// matching feature width; throws std::invalid_argument otherwise.
+  double Predict(const std::vector<double>& features) const;
+};
+
+/// Solves min ||rows*beta - y||^2 + ridge_lambda*||beta||^2 via the normal
+/// equations (Gaussian elimination with partial pivoting on the D x D
+/// system). Never throws on data problems: every degenerate input is
+/// reported through FitStatus. Include a constant 1.0 column in `rows` if an
+/// intercept is wanted. `ridge_lambda` must be >= 0 and finite (violations
+/// report kNonFinite).
+LinearModelFit FitLinearModel(const std::vector<std::vector<double>>& rows,
+                              const std::vector<double>& y,
+                              double ridge_lambda = 0.0);
 
 }  // namespace axdse::util

@@ -1,0 +1,55 @@
+#include "common/kernel_mirrors.hpp"
+
+#include <cstdlib>
+#include <limits>
+
+namespace axdse::testsupport {
+
+std::vector<double> SobelReference(const workloads::SobelKernel& k) {
+  const std::size_t out_rows = k.Height() - 2;
+  const std::size_t out_cols = k.Width() - 2;
+  std::vector<double> out(out_rows * out_cols);
+  const int w[3] = {1, 2, 1};
+  for (std::size_t y = 0; y < out_rows; ++y) {
+    for (std::size_t x = 0; x < out_cols; ++x) {
+      long gx = 0, gy = 0;
+      for (std::size_t i = 0; i < 3; ++i) {
+        gx += w[i] * (static_cast<long>(k.Pixel(y + i, x + 2)) -
+                      static_cast<long>(k.Pixel(y + i, x)));
+        gy += w[i] * (static_cast<long>(k.Pixel(y + 2, x + i)) -
+                      static_cast<long>(k.Pixel(y, x + i)));
+      }
+      out[y * out_cols + x] =
+          static_cast<double>(std::labs(gx) + std::labs(gy));
+    }
+  }
+  return out;
+}
+
+std::vector<double> KMeansReference(const workloads::KMeans1DKernel& k) {
+  std::vector<double> out(2 * k.Clusters());
+  std::vector<long long> inertia(k.Clusters(), 0);
+  std::vector<long long> counts(k.Clusters(), 0);
+  for (std::size_t i = 0; i < k.Length(); ++i) {
+    long long best_d = std::numeric_limits<long long>::max();
+    std::size_t best_j = 0;
+    for (std::size_t j = 0; j < k.Clusters(); ++j) {
+      const long long diff =
+          static_cast<long long>(k.Point(i)) - k.Centroid(j);
+      const long long d = diff * diff;
+      if (d < best_d) {
+        best_d = d;
+        best_j = j;
+      }
+    }
+    inertia[best_j] += best_d;
+    ++counts[best_j];
+  }
+  for (std::size_t j = 0; j < k.Clusters(); ++j) {
+    out[2 * j] = static_cast<double>(inertia[j]);
+    out[2 * j + 1] = static_cast<double>(counts[j]);
+  }
+  return out;
+}
+
+}  // namespace axdse::testsupport

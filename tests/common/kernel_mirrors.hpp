@@ -1,0 +1,21 @@
+#pragma once
+// Plain (uninstrumented) scalar reimplementations of campaign workloads,
+// shared by the workloads reference tests and any suite that needs a
+// ground-truth output to compare an instrumented precise run against.
+
+#include <vector>
+
+#include "workloads/kmeans_kernel.hpp"
+#include "workloads/sobel_kernel.hpp"
+
+namespace axdse::testsupport {
+
+/// Sobel magnitude reference: |Gx| + |Gy| with the classic
+/// [-1 0 1; -2 0 2; -1 0 1] / transpose masks, no instrumentation.
+std::vector<double> SobelReference(const workloads::SobelKernel& k);
+
+/// One k-means assignment pass reference: argmin over exact squared
+/// distances, then per-cluster inertia and count.
+std::vector<double> KMeansReference(const workloads::KMeans1DKernel& k);
+
+}  // namespace axdse::testsupport

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/test_support.hpp"
 #include "dse/checkpoint.hpp"
 #include "report/campaign.hpp"
 
@@ -21,6 +22,7 @@ namespace axdse::dse {
 namespace {
 
 namespace fs = std::filesystem;
+using testsupport::ScopedTempDir;
 
 /// Small, fast grid used by the execution tests: 2 kernels x 2 agents,
 /// 2 seeds, 60 steps each (8 explorations, well under a second).
@@ -29,15 +31,6 @@ CampaignSpec SmallSpec() {
       "kernels=dot@32,kmeans1d@40 kernels.dot@32.blocks=4"
       " kernels.kmeans1d@40.clusters=3 agents=q-learning,sarsa"
       " steps=60 seeds=2 seed=1 kernel-seed=2023 reward-cap=1e18");
-}
-
-/// Unique temp directory per test (the campaign removes its files itself on
-/// completion; leftovers from failed tests don't collide).
-std::string TempDir(const std::string& tag) {
-  const fs::path dir =
-      fs::temp_directory_path() / ("axdse_campaign_" + tag);
-  fs::remove_all(dir);
-  return dir.string();
 }
 
 std::size_t CkptFileCount(const std::string& dir) {
@@ -233,7 +226,8 @@ TEST(Campaign, SuspendAndResumeIsByteIdenticalAndCleansUp) {
   const std::string uninterrupted =
       report::CampaignJson(Campaign(engine).Run(spec));
 
-  const std::string dir = TempDir("suspend");
+  const ScopedTempDir scratch("campaign-suspend");
+  const std::string& dir = scratch.Str();
   CampaignOptions options;
   options.chunk_cells = 2;
   options.checkpoint_directory = dir;
@@ -251,7 +245,6 @@ TEST(Campaign, SuspendAndResumeIsByteIdenticalAndCleansUp) {
   }
   EXPECT_EQ(report::CampaignJson(result), uninterrupted);
   EXPECT_EQ(CkptFileCount(dir), 0u);  // everything cleaned on completion
-  fs::remove_all(dir);
 }
 
 TEST(Campaign, MaxChunksSuspendsMidGridAndResumes) {
@@ -260,7 +253,8 @@ TEST(Campaign, MaxChunksSuspendsMidGridAndResumes) {
   const std::string uninterrupted =
       report::CampaignJson(Campaign(engine).Run(spec));
 
-  const std::string dir = TempDir("midgrid");
+  const ScopedTempDir scratch("campaign-midgrid");
+  const std::string& dir = scratch.Str();
   CampaignOptions options;
   options.chunk_cells = 1;
   options.checkpoint_directory = dir;
@@ -284,7 +278,6 @@ TEST(Campaign, MaxChunksSuspendsMidGridAndResumes) {
   EXPECT_EQ(report::CampaignCsv(full),
             report::CampaignCsv(Campaign(engine).Run(spec)));
   EXPECT_EQ(CkptFileCount(dir), 0u);
-  fs::remove_all(dir);
 }
 
 TEST(Campaign, ChunkSnapshotRoundTripsExactly) {
@@ -329,7 +322,8 @@ TEST(Campaign, ChunkSnapshotRoundTripsExactly) {
 TEST(Campaign, CorruptChunkSnapshotRaisesCheckpointError) {
   const CampaignSpec spec = SmallSpec();
   const Engine engine(EngineOptions{2});
-  const std::string dir = TempDir("corrupt");
+  const ScopedTempDir scratch("campaign-corrupt");
+  const std::string& dir = scratch.Str();
   CampaignOptions options;
   options.chunk_cells = 1;
   options.checkpoint_directory = dir;
@@ -355,13 +349,13 @@ TEST(Campaign, CorruptChunkSnapshotRaisesCheckpointError) {
   CampaignOptions resume = options;
   resume.max_chunks = 0;
   EXPECT_THROW(Campaign(engine).Run(spec, resume), CheckpointError);
-  fs::remove_all(dir);
 }
 
 TEST(Campaign, MismatchedChunkingIsRejectedNotMisread) {
   const CampaignSpec spec = SmallSpec();
   const Engine engine(EngineOptions{2});
-  const std::string dir = TempDir("chunking");
+  const ScopedTempDir scratch("campaign-chunking");
+  const std::string& dir = scratch.Str();
   CampaignOptions options;
   options.chunk_cells = 1;
   options.checkpoint_directory = dir;
@@ -374,7 +368,6 @@ TEST(Campaign, MismatchedChunkingIsRejectedNotMisread) {
   wrong.chunk_cells = 2;
   wrong.max_chunks = 0;
   EXPECT_THROW(Campaign(engine).Run(spec, wrong), CheckpointError);
-  fs::remove_all(dir);
 }
 
 }  // namespace

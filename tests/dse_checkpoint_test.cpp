@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/test_support.hpp"
 #include "dse/checkpoint.hpp"
 #include "dse/engine.hpp"
 #include "dse/explorer.hpp"
@@ -33,54 +34,12 @@ namespace {
 
 using util::ShortestDouble;
 
-// ---------------------------------------------------------------------------
-// Harness: kernel + evaluator + paper reward for a registry kernel.
-// ---------------------------------------------------------------------------
-
-struct Harness {
-  std::unique_ptr<workloads::Kernel> kernel;
-  std::unique_ptr<Evaluator> evaluator;
-  RewardConfig reward;
-};
-
-Harness MakeHarness(const std::string& name, std::size_t size,
-                    const std::map<std::string, std::string>& extra = {}) {
-  Harness h;
-  workloads::KernelParams params;
-  params.size = size;
-  params.seed = 7;
-  params.extra = extra;
-  h.kernel = workloads::KernelRegistry::Global().Create(name, params);
-  h.evaluator = std::make_unique<Evaluator>(*h.kernel);
-  h.reward = MakePaperRewardConfig(*h.evaluator);
-  return h;
-}
-
-ExplorerConfig SmallConfig(AgentKind kind, std::uint64_t seed,
-                           std::size_t max_steps = 50,
-                           std::size_t episodes = 1) {
-  ExplorerConfig config;
-  config.max_steps = max_steps;
-  config.max_cumulative_reward = 1e18;
-  config.episodes = episodes;
-  config.agent_kind = kind;
-  config.agent.alpha = 0.2;
-  config.agent.gamma = 0.9;
-  config.agent.epsilon = rl::EpsilonSchedule::Linear(1.0, 0.05, 40);
-  config.seed = seed;
-  config.record_trace = true;
-  return config;
-}
-
-void WriteMeasurement(std::ostringstream& out,
-                      const instrument::Measurement& m) {
-  out << ShortestDouble(m.delta_acc) << "," << ShortestDouble(m.delta_power_mw)
-      << "," << ShortestDouble(m.delta_time_ns) << ","
-      << ShortestDouble(m.approx_power_mw) << ","
-      << ShortestDouble(m.approx_time_ns) << "," << m.counts.precise_adds
-      << "," << m.counts.approx_adds << "," << m.counts.precise_muls << ","
-      << m.counts.approx_muls;
-}
+// Harness (kernel + evaluator + paper reward), deterministic small config,
+// and measurement serialization come from the shared test-support library.
+using Harness = testsupport::ExplorerHarness;
+using testsupport::MakeExplorerHarness;
+using testsupport::SmallExplorerConfig;
+using testsupport::WriteMeasurement;
 
 /// Canonical byte serialization of EVERYTHING an ExplorationResult carries
 /// (counters included — private-cache runs are fully deterministic).
@@ -124,7 +83,7 @@ std::string PayloadOf(const ExplorationResult& run) {
 ExplorationResult RunUninterrupted(const std::string& kernel,
                                    std::size_t size,
                                    const ExplorerConfig& config) {
-  Harness h = MakeHarness(kernel, size);
+  Harness h = MakeExplorerHarness(kernel, size);
   Explorer explorer(*h.evaluator, h.reward, config);
   return explorer.Explore();
 }
@@ -137,7 +96,7 @@ ExplorationResult RunWithSuspension(const std::string& kernel,
                                     std::size_t suspend_at) {
   std::string serialized;
   {
-    Harness h = MakeHarness(kernel, size);
+    Harness h = MakeExplorerHarness(kernel, size);
     Explorer explorer(*h.evaluator, h.reward, config);
     const std::size_t taken = explorer.RunSteps(suspend_at);
     EXPECT_EQ(taken, suspend_at);
@@ -145,7 +104,7 @@ ExplorationResult RunWithSuspension(const std::string& kernel,
     serialized = explorer.Suspend().Serialize();
   }  // the suspended explorer, its evaluator, and its kernel are gone
   const Checkpoint restored = Checkpoint::Deserialize(serialized);
-  Harness h = MakeHarness(kernel, size);
+  Harness h = MakeExplorerHarness(kernel, size);
   Explorer explorer(*h.evaluator, h.reward, config);
   explorer.ResumeFrom(restored);
   EXPECT_EQ(explorer.StepsTaken(), suspend_at);
@@ -167,7 +126,7 @@ TEST(CheckpointResume, ByteIdenticalForEveryAgentKernelAndSuspendPoint) {
                               AgentKind::kQLambda};
   for (const auto& [kernel, size] : kernels) {
     for (const AgentKind agent : agents) {
-      const ExplorerConfig config = SmallConfig(agent, 3);
+      const ExplorerConfig config = SmallExplorerConfig(agent, 3);
       const ExplorationResult reference =
           RunUninterrupted(kernel, size, config);
       const std::string reference_payload = PayloadOf(reference);
@@ -187,26 +146,26 @@ TEST(CheckpointResume, ByteIdenticalForEveryAgentKernelAndSuspendPoint) {
 
 TEST(CheckpointResume, SurvivesRepeatedSuspension) {
   // Preemption in practice is repeated: suspend -> resume -> suspend again.
-  const ExplorerConfig config = SmallConfig(AgentKind::kQLearning, 11, 60);
+  const ExplorerConfig config = SmallExplorerConfig(AgentKind::kQLearning, 11, 60);
   const std::string reference =
       PayloadOf(RunUninterrupted("matmul", 4, config));
 
   std::string serialized;
   {
-    Harness h = MakeHarness("matmul", 4);
+    Harness h = MakeExplorerHarness("matmul", 4);
     Explorer explorer(*h.evaluator, h.reward, config);
     explorer.RunSteps(7);
     serialized = explorer.Suspend().Serialize();
   }
   for (const std::size_t chunk : {std::size_t{13}, std::size_t{19}}) {
-    Harness h = MakeHarness("matmul", 4);
+    Harness h = MakeExplorerHarness("matmul", 4);
     Explorer explorer(*h.evaluator, h.reward, config);
     explorer.ResumeFrom(Checkpoint::Deserialize(serialized));
     explorer.RunSteps(chunk);
     ASSERT_FALSE(explorer.Finished());
     serialized = explorer.Suspend().Serialize();
   }
-  Harness h = MakeHarness("matmul", 4);
+  Harness h = MakeExplorerHarness("matmul", 4);
   Explorer explorer(*h.evaluator, h.reward, config);
   explorer.ResumeFrom(Checkpoint::Deserialize(serialized));
   EXPECT_EQ(PayloadOf(explorer.Explore()), reference);
@@ -217,7 +176,7 @@ TEST(CheckpointResume, MultiEpisodeRunResumesAcrossEpisodeBoundary) {
   // episode counters, per-episode reward accumulator, and the agent's
   // persistent value tables must all survive the round trip.
   const ExplorerConfig config =
-      SmallConfig(AgentKind::kQLearning, 5, /*max_steps=*/25, /*episodes=*/2);
+      SmallExplorerConfig(AgentKind::kQLearning, 5, /*max_steps=*/25, /*episodes=*/2);
   const ExplorationResult reference = RunUninterrupted("dot", 16, config);
   ASSERT_EQ(reference.episodes, 2u);
   ASSERT_GT(reference.steps, 27u);  // actually entered the second episode
@@ -227,7 +186,7 @@ TEST(CheckpointResume, MultiEpisodeRunResumesAcrossEpisodeBoundary) {
 }
 
 TEST(CheckpointResume, GreedyRolloutAndBestFeasibleSurviveResume) {
-  ExplorerConfig config = SmallConfig(AgentKind::kExpectedSarsa, 9, 40);
+  ExplorerConfig config = SmallExplorerConfig(AgentKind::kExpectedSarsa, 9, 40);
   config.greedy_rollout_steps = 20;
   const ExplorationResult reference = RunUninterrupted("fir", 24, config);
   const ExplorationResult resumed =
@@ -240,8 +199,8 @@ TEST(CheckpointResume, GreedyRolloutAndBestFeasibleSurviveResume) {
 // ---------------------------------------------------------------------------
 
 TEST(CheckpointFormat, SerializeDeserializeSerializeIsIdentity) {
-  Harness h = MakeHarness("matmul", 4);
-  const ExplorerConfig config = SmallConfig(AgentKind::kQLambda, 13);
+  Harness h = MakeExplorerHarness("matmul", 4);
+  const ExplorerConfig config = SmallExplorerConfig(AgentKind::kQLambda, 13);
   Explorer explorer(*h.evaluator, h.reward, config);
   explorer.RunSteps(17);
   Checkpoint checkpoint = explorer.Suspend();
@@ -254,12 +213,11 @@ TEST(CheckpointFormat, SerializeDeserializeSerializeIsIdentity) {
 
 TEST(CheckpointFormat, FileSaveLoadRoundTripsAndIsAtomic) {
   namespace fs = std::filesystem;
-  const fs::path dir =
-      fs::temp_directory_path() / "axdse-checkpoint-io-test";
-  fs::remove_all(dir);
+  const testsupport::ScopedTempDir scratch("checkpoint-io-test");
+  const fs::path dir(scratch.Str());
 
-  Harness h = MakeHarness("dot", 16);
-  const ExplorerConfig config = SmallConfig(AgentKind::kSarsa, 21);
+  Harness h = MakeExplorerHarness("dot", 16);
+  const ExplorerConfig config = SmallExplorerConfig(AgentKind::kSarsa, 21);
   Explorer explorer(*h.evaluator, h.reward, config);
   explorer.RunSteps(9);
   const Checkpoint checkpoint = explorer.Suspend();
@@ -274,7 +232,6 @@ TEST(CheckpointFormat, FileSaveLoadRoundTripsAndIsAtomic) {
   EXPECT_EQ(files, 1u);
   const Checkpoint loaded = Checkpoint::Load(path);
   EXPECT_EQ(loaded.Serialize(), checkpoint.Serialize());
-  fs::remove_all(dir);
 }
 
 TEST(CheckpointFormat, LoadOfMissingFileThrows) {
@@ -298,8 +255,8 @@ TEST(CheckpointFormat, JobFileNamesAreStableAndDistinct) {
 
 std::string ValidSerializedCheckpoint() {
   static const std::string serialized = [] {
-    Harness h = MakeHarness("matmul", 4);
-    const ExplorerConfig config = SmallConfig(AgentKind::kQLearning, 3);
+    Harness h = MakeExplorerHarness("matmul", 4);
+    const ExplorerConfig config = SmallExplorerConfig(AgentKind::kQLearning, 3);
     Explorer explorer(*h.evaluator, h.reward, config);
     explorer.RunSteps(12);
     return explorer.Suspend().Serialize();
@@ -372,8 +329,8 @@ TEST(CheckpointCorruption, NaNInjectionThrows) {
   const std::size_t value_end = qtable.find_first_of(" \n", value + 1);
   qtable.replace(value + 1, value_end - value - 1, "nan");
   const Checkpoint poisoned = Checkpoint::Deserialize(qtable);
-  Harness h = MakeHarness("matmul", 4);
-  const ExplorerConfig config = SmallConfig(AgentKind::kQLearning, 3);
+  Harness h = MakeExplorerHarness("matmul", 4);
+  const ExplorerConfig config = SmallExplorerConfig(AgentKind::kQLearning, 3);
   Explorer explorer(*h.evaluator, h.reward, config);
   EXPECT_THROW(explorer.ResumeFrom(poisoned), CheckpointError);
   // The failed restore left the explorer pristine.
@@ -410,7 +367,7 @@ TEST(CheckpointCorruption, FailedResumeLeavesExplorerFullyUsable) {
   // kind, wrong kernel space) must throw WITHOUT mutating the explorer or
   // its evaluator: running from scratch afterwards must be byte-identical
   // to a never-touched run.
-  const ExplorerConfig q_config = SmallConfig(AgentKind::kQLearning, 3);
+  const ExplorerConfig q_config = SmallExplorerConfig(AgentKind::kQLearning, 3);
   const std::string reference =
       PayloadOf(RunUninterrupted("matmul", 4, q_config));
 
@@ -418,8 +375,8 @@ TEST(CheckpointCorruption, FailedResumeLeavesExplorerFullyUsable) {
   {
     const Checkpoint checkpoint =
         Checkpoint::Deserialize(ValidSerializedCheckpoint());  // q-learning
-    Harness h = MakeHarness("matmul", 4);
-    ExplorerConfig sarsa_config = SmallConfig(AgentKind::kSarsa, 3);
+    Harness h = MakeExplorerHarness("matmul", 4);
+    ExplorerConfig sarsa_config = SmallExplorerConfig(AgentKind::kSarsa, 3);
     Explorer explorer(*h.evaluator, h.reward, sarsa_config);
     EXPECT_THROW(explorer.ResumeFrom(checkpoint), CheckpointError);
     // Same evaluator, same explorer: still pristine.
@@ -432,12 +389,12 @@ TEST(CheckpointCorruption, FailedResumeLeavesExplorerFullyUsable) {
   {
     std::string foreign;
     {
-      Harness h = MakeHarness("matmul", 4, {{"granularity", "row-col"}});
+      Harness h = MakeExplorerHarness("matmul", 4, {{"granularity", "row-col"}});
       Explorer explorer(*h.evaluator, h.reward, q_config);
       explorer.RunSteps(5);
       foreign = explorer.Suspend().Serialize();
     }
-    Harness h = MakeHarness("matmul", 4);
+    Harness h = MakeExplorerHarness("matmul", 4);
     Explorer explorer(*h.evaluator, h.reward, q_config);
     EXPECT_THROW(explorer.ResumeFrom(Checkpoint::Deserialize(foreign)),
                  CheckpointError);
@@ -448,7 +405,7 @@ TEST(CheckpointCorruption, FailedResumeLeavesExplorerFullyUsable) {
   {
     Checkpoint finished;
     finished.finished = true;
-    Harness h = MakeHarness("matmul", 4);
+    Harness h = MakeExplorerHarness("matmul", 4);
     Explorer explorer(*h.evaluator, h.reward, q_config);
     EXPECT_THROW(explorer.ResumeFrom(finished), CheckpointError);
     EXPECT_EQ(PayloadOf(explorer.Explore()), reference);

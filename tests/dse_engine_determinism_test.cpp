@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/test_support.hpp"
 #include "dse/checkpoint.hpp"
 #include "dse/engine.hpp"
 #include "report/export.hpp"
@@ -170,10 +171,7 @@ TEST(EngineDeterminism, SharedModeSavesRunsOnOverlappingSeeds) {
 
 /// Fresh scratch directory under the system temp dir.
 std::filesystem::path ScratchDir(const std::string& name) {
-  const std::filesystem::path dir =
-      std::filesystem::temp_directory_path() / ("axdse-" + name);
-  std::filesystem::remove_all(dir);
-  return dir;
+  return testsupport::FreshTempPath(name);
 }
 
 bool DirectoryHasFiles(const std::filesystem::path& dir) {

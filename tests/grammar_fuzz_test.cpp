@@ -1,0 +1,346 @@
+// Seeded mutation-fuzz tests over the project's three text grammars:
+// ExplorationRequest tokens, CampaignSpec tokens, and the axdse-serve-v1
+// wire protocol. For every mutated input the parser must either succeed —
+// and then round-trip losslessly (Parse(ToString()) is a fixed point) — or
+// fail with the documented typed error (std::invalid_argument or
+// serve::ProtocolError). Any other exception, crash, or cross-call state
+// leak is a bug. The mutation stream is driven by a fixed-seed util::Rng so
+// failures replay exactly; when one shows up, log the offending input.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dse/campaign.hpp"
+#include "dse/request.hpp"
+#include "serve/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace axdse {
+namespace {
+
+constexpr std::size_t kIterations = 600;
+
+// Characters the mutators draw from: the grammar's own separators and escape
+// bytes are over-represented on purpose — they sit on the parser's edges.
+char RandomByte(util::Rng& rng) {
+  static const std::string kAlphabet = [] {
+    std::string bytes =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+        "=;%.,@-_ \t+Ee\n\x7f";
+    bytes.push_back('\0');  // NUL via push_back: a literal would truncate
+    return bytes;
+  }();
+  return kAlphabet[rng.PickIndex(kAlphabet.size())];
+}
+
+// One random structural edit. Empty inputs can only grow.
+std::string MutateOnce(std::string s, util::Rng& rng,
+                       const std::vector<std::string>& corpus) {
+  const std::uint64_t op = rng.UniformBelow(8);
+  if (s.empty() && op != 1 && op != 5) return std::string(1, RandomByte(rng));
+  switch (op) {
+    case 0: {  // replace one byte
+      s[rng.PickIndex(s.size())] = RandomByte(rng);
+      return s;
+    }
+    case 1: {  // insert one byte
+      s.insert(s.begin() + static_cast<std::ptrdiff_t>(
+                               rng.UniformBelow(s.size() + 1)),
+               RandomByte(rng));
+      return s;
+    }
+    case 2: {  // delete one byte
+      s.erase(rng.PickIndex(s.size()), 1);
+      return s;
+    }
+    case 3: {  // truncate
+      return s.substr(0, rng.UniformBelow(s.size() + 1));
+    }
+    case 4: {  // duplicate a span in place
+      const std::size_t begin = rng.PickIndex(s.size());
+      const std::size_t len =
+          1 + rng.UniformBelow(std::min<std::size_t>(16, s.size() - begin));
+      return s.insert(begin, s.substr(begin, len));
+    }
+    case 5: {  // splice: our prefix + another corpus entry's suffix
+      const std::string& other = corpus[rng.PickIndex(corpus.size())];
+      return s.substr(0, rng.UniformBelow(s.size() + 1)) +
+             other.substr(rng.UniformBelow(other.size() + 1));
+    }
+    case 6: {  // swap two whitespace-separated tokens
+      std::vector<std::string> tokens;
+      std::size_t pos = 0;
+      while (pos < s.size()) {
+        const std::size_t space = s.find(' ', pos);
+        tokens.push_back(s.substr(pos, space - pos));
+        if (space == std::string::npos) break;
+        pos = space + 1;
+      }
+      if (tokens.size() >= 2) {
+        std::swap(tokens[rng.PickIndex(tokens.size())],
+                  tokens[rng.PickIndex(tokens.size())]);
+        std::string joined;
+        for (const std::string& t : tokens) {
+          if (!joined.empty()) joined += ' ';
+          joined += t;
+        }
+        return joined;
+      }
+      return s;
+    }
+    default: {  // flip the case of one byte
+      char& c = s[rng.PickIndex(s.size())];
+      if (c >= 'a' && c <= 'z')
+        c = static_cast<char>(c - 'a' + 'A');
+      else if (c >= 'A' && c <= 'Z')
+        c = static_cast<char>(c - 'A' + 'a');
+      return s;
+    }
+  }
+}
+
+std::string Mutate(const std::string& seed, util::Rng& rng,
+                   const std::vector<std::string>& corpus) {
+  std::string s = seed;
+  const std::uint64_t edits = 1 + rng.UniformBelow(3);
+  for (std::uint64_t i = 0; i < edits; ++i) s = MutateOnce(s, rng, corpus);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// ExplorationRequest grammar
+// ---------------------------------------------------------------------------
+
+// A random VALID request, exercising every serialized field group including
+// labels that need percent-escaping.
+dse::ExplorationRequest RandomRequest(util::Rng& rng) {
+  static const char* kKernels[] = {"matmul", "fir", "dot", "sobel3x3",
+                                   "kmeans1d"};
+  static const dse::AgentKind kAgents[] = {
+      dse::AgentKind::kQLearning, dse::AgentKind::kSarsa,
+      dse::AgentKind::kExpectedSarsa, dse::AgentKind::kDoubleQ,
+      dse::AgentKind::kQLambda};
+  dse::RequestBuilder builder(kKernels[rng.PickIndex(5)]);
+  builder.Size(2 + rng.UniformBelow(30))
+      .KernelSeed(rng.UniformBelow(100000))
+      .Agent(kAgents[rng.PickIndex(5)])
+      .ActionSpace(rng.Bernoulli(0.5) ? dse::ActionSpaceKind::kFull
+                                      : dse::ActionSpaceKind::kCompact)
+      .MaxSteps(1 + rng.UniformBelow(100000))
+      .RewardCap(rng.UniformReal(1.0, 1e6))
+      .Episodes(1 + rng.UniformBelow(4))
+      .Seeds(1 + rng.UniformBelow(5))
+      .Seed(rng.UniformBelow(1000))
+      .Alpha(rng.UniformReal(0.01, 1.0))
+      .Gamma(rng.UniformReal(0.0, 1.0))
+      .Epsilon(rng.UniformReal(0.5, 1.0), rng.UniformReal(0.0, 0.2),
+               rng.UniformBelow(5000));
+  if (rng.Bernoulli(0.5)) builder.Surrogate();
+  if (rng.Bernoulli(0.5)) builder.SharedCache().CacheCapacity(
+      rng.UniformBelow(4096));
+  if (rng.Bernoulli(0.3)) builder.RecordTrace();
+  if (rng.Bernoulli(0.3)) builder.GreedyRollout(1 + rng.UniformBelow(64));
+  if (rng.Bernoulli(0.3)) builder.CheckpointInterval(rng.UniformBelow(512));
+  if (rng.Bernoulli(0.5))
+    builder.Label("fuzz label %=;\t" +
+                  std::to_string(rng.UniformBelow(1000)));
+  if (rng.Bernoulli(0.3))
+    builder.KernelParam("granularity", rng.Bernoulli(0.5) ? "row" : "all");
+  return builder.Build();
+}
+
+// Parses and enforces the typed-error contract; returns true on success.
+bool ParseRequestChecked(const std::string& input,
+                         dse::ExplorationRequest* out) {
+  try {
+    *out = dse::ExplorationRequest::Parse(input);
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "untyped exception '" << e.what() << "' for input: ["
+                  << input << "]";
+    return false;
+  }
+}
+
+TEST(GrammarFuzz, ExplorationRequestValidInputsRoundTripLosslessly) {
+  util::Rng rng(20230901);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const dse::ExplorationRequest request = RandomRequest(rng);
+    const std::string text = request.ToString();
+    const dse::ExplorationRequest reparsed =
+        dse::ExplorationRequest::Parse(text);
+    EXPECT_EQ(reparsed, request) << "input: [" << text << "]";
+    EXPECT_EQ(reparsed.ToString(), text);
+  }
+}
+
+TEST(GrammarFuzz, ExplorationRequestMutationsParseOrFailTyped) {
+  util::Rng rng(424242);
+  std::vector<std::string> corpus;
+  for (std::size_t i = 0; i < 24; ++i)
+    corpus.push_back(RandomRequest(rng).ToString());
+  const std::string baseline = corpus.front();
+  const dse::ExplorationRequest baseline_request =
+      dse::ExplorationRequest::Parse(baseline);
+
+  for (std::size_t i = 0; i < kIterations; ++i) {
+    const std::string input =
+        Mutate(corpus[rng.PickIndex(corpus.size())], rng, corpus);
+    dse::ExplorationRequest parsed;
+    if (ParseRequestChecked(input, &parsed)) {
+      // Success implies the canonical form is a fixed point.
+      const std::string canonical = parsed.ToString();
+      dse::ExplorationRequest reparsed;
+      ASSERT_TRUE(ParseRequestChecked(canonical, &reparsed))
+          << "canonical form rejected: [" << canonical << "] from input: ["
+          << input << "]";
+      EXPECT_EQ(reparsed, parsed) << "input: [" << input << "]";
+      EXPECT_EQ(reparsed.ToString(), canonical);
+    }
+  }
+  // Parsing (including the failures above) is stateless: a known-good input
+  // still parses to the same value afterwards.
+  EXPECT_EQ(dse::ExplorationRequest::Parse(baseline), baseline_request);
+}
+
+// ---------------------------------------------------------------------------
+// CampaignSpec grammar
+// ---------------------------------------------------------------------------
+
+bool ParseCampaignChecked(const std::string& input, dse::CampaignSpec* out) {
+  try {
+    *out = dse::CampaignSpec::Parse(input);
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "untyped exception '" << e.what() << "' for input: ["
+                  << input << "]";
+    return false;
+  }
+}
+
+TEST(GrammarFuzz, CampaignSpecMutationsParseOrFailTyped) {
+  util::Rng rng(77007);
+  const std::vector<std::string> corpus = {
+      "kernels=matmul@10,matmul@50,fir@100,fir@200 steps=10000 seeds=5",
+      "kernels=dot@32,kmeans1d@40 agents=q-learning,sarsa steps=60 seeds=2 "
+      "seed=1 kernel-seed=2023 reward-cap=1e18",
+      "kernels=sobel3x3@12 action-spaces=full,compact acc-factors=0.4,0.2 "
+      "power-factors=0.9 time-factors=1.1 cache-modes=private,shared",
+      "kernels=matmul kernels.matmul.granularity=row agents=all alpha=0.15 "
+      "gamma=0.95 surrogate=1",
+      "kernels=fir@64 steps=500",
+  };
+  const std::string baseline = corpus.front();
+  const std::string baseline_canonical =
+      dse::CampaignSpec::Parse(baseline).ToString();
+
+  for (std::size_t i = 0; i < kIterations; ++i) {
+    const std::string input =
+        Mutate(corpus[rng.PickIndex(corpus.size())], rng, corpus);
+    dse::CampaignSpec parsed;
+    if (ParseCampaignChecked(input, &parsed)) {
+      const std::string canonical = parsed.ToString();
+      dse::CampaignSpec reparsed;
+      ASSERT_TRUE(ParseCampaignChecked(canonical, &reparsed))
+          << "canonical form rejected: [" << canonical << "] from input: ["
+          << input << "]";
+      EXPECT_EQ(reparsed.ToString(), canonical) << "input: [" << input << "]";
+    }
+  }
+  EXPECT_EQ(dse::CampaignSpec::Parse(baseline).ToString(),
+            baseline_canonical);
+}
+
+// ---------------------------------------------------------------------------
+// axdse-serve-v1 wire protocol
+// ---------------------------------------------------------------------------
+
+TEST(GrammarFuzz, ProtocolCommandLineMutationsParseOrFailTyped) {
+  util::Rng rng(31337);
+  const std::vector<std::string> corpus = {
+      "SUBMIT kernel=matmul size=8 steps=400",
+      "SUBMIT-CAMPAIGN kernels=dot@16 steps=50",
+      "WATCH 1",  "WAIT 12",  "STATUS 7", "RESULTS 3",
+      "CANCEL 2", "LIST",     "DRAIN",    "PING",
+      "watch 1",  "",         " SUBMIT",  "W@TCH 1",
+  };
+  for (std::size_t i = 0; i < kIterations; ++i) {
+    const std::string input =
+        Mutate(corpus[rng.PickIndex(corpus.size())], rng, corpus);
+    try {
+      const serve::CommandLine cmd = serve::ParseCommandLine(input);
+      EXPECT_FALSE(cmd.verb.empty()) << "input: [" << input << "]";
+      for (const char c : cmd.verb)
+        EXPECT_TRUE((c >= 'A' && c <= 'Z') || c == '-')
+            << "verb byte " << static_cast<int>(c) << " from input: ["
+            << input << "]";
+    } catch (const serve::ProtocolError& e) {
+      EXPECT_EQ(e.Code(), "bad-command") << "input: [" << input << "]";
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "untyped exception '" << e.what() << "' for input: ["
+                    << input << "]";
+    }
+  }
+}
+
+TEST(GrammarFuzz, ProtocolJobIdMutationsParseOrFailTyped) {
+  util::Rng rng(90210);
+  const std::vector<std::string> corpus = {
+      "0", "1", "42", "18446744073709551615", "007", "-3", "1e3", "", "9x",
+  };
+  for (std::size_t i = 0; i < kIterations; ++i) {
+    const std::string input =
+        Mutate(corpus[rng.PickIndex(corpus.size())], rng, corpus);
+    try {
+      const std::uint64_t id = serve::ParseJobId(input);
+      // A successfully parsed id survives the wire: format + reparse is the
+      // identity.
+      EXPECT_EQ(serve::ParseJobId(serve::WireUnsigned(id)), id)
+          << "input: [" << input << "]";
+    } catch (const serve::ProtocolError& e) {
+      EXPECT_EQ(e.Code(), "bad-job-id") << "input: [" << input << "]";
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "untyped exception '" << e.what() << "' for input: ["
+                    << input << "]";
+    }
+  }
+}
+
+TEST(GrammarFuzz, JobNameLookupsRoundTripOrThrowTyped) {
+  util::Rng rng(5150);
+  const std::vector<std::string> corpus = {
+      "request", "campaign", "queued",    "running", "suspended",
+      "done",    "failed",   "cancelled", "bogus",   "",
+  };
+  for (std::size_t i = 0; i < kIterations; ++i) {
+    const std::string input =
+        Mutate(corpus[rng.PickIndex(corpus.size())], rng, corpus);
+    try {
+      EXPECT_STREQ(serve::ToString(serve::JobKindFromName(input)),
+                   input.c_str());
+    } catch (const std::invalid_argument&) {
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "untyped exception '" << e.what() << "' for input: ["
+                    << input << "]";
+    }
+    try {
+      EXPECT_STREQ(serve::ToString(serve::JobStateFromName(input)),
+                   input.c_str());
+    } catch (const std::invalid_argument&) {
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "untyped exception '" << e.what() << "' for input: ["
+                    << input << "]";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace axdse

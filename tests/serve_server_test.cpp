@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/test_support.hpp"
 #include "dse/campaign.hpp"
 #include "dse/request.hpp"
 #include "serve/client.hpp"
@@ -38,9 +39,7 @@ namespace fs = std::filesystem;
 using namespace std::chrono_literals;
 
 std::string FreshStateDir(const std::string& name) {
-  const fs::path dir = fs::temp_directory_path() / ("axdse-serve-" + name);
-  fs::remove_all(dir);
-  return dir.string();
+  return testsupport::FreshTempPath("serve-" + name);
 }
 
 ServerOptions TestOptions(const std::string& state_dir) {
@@ -56,12 +55,7 @@ ServerOptions TestOptions(const std::string& state_dir) {
 
 dse::ExplorationRequest QuickRequest(std::size_t steps = 200,
                                      std::size_t seeds = 1) {
-  return dse::RequestBuilder("matmul")
-      .Size(5)
-      .MaxSteps(steps)
-      .Seeds(seeds)
-      .Seed(7)
-      .Build();
+  return testsupport::QuickMatmulRequest(steps, seeds);
 }
 
 /// A job long enough (hundreds of ms) that the test can reliably observe
@@ -70,15 +64,8 @@ dse::ExplorationRequest QuickRequest(std::size_t steps = 200,
 dse::ExplorationRequest LongRequest() { return QuickRequest(300000, 2); }
 
 /// "key=value" field out of a STATUS/STATS payload.
-std::string Field(const std::string& payload, const std::string& key) {
-  const std::string needle = key + "=";
-  std::size_t pos = payload.find(" " + needle);
-  if (pos == std::string::npos) return {};
-  pos += 1 + needle.size();
-  const std::size_t end = payload.find(' ', pos);
-  return payload.substr(pos, end == std::string::npos ? std::string::npos
-                                                      : end - pos);
-}
+using testsupport::PayloadField;
+constexpr auto Field = PayloadField;
 
 /// Polls STATUS until the job reports at least `min_steps` environment
 /// steps (i.e. it is genuinely mid-run). Fails the test on timeout.
@@ -523,6 +510,50 @@ TEST(ServeServer, ResultsBeforeCompletionIsATypedError) {
   } catch (const ProtocolError& e) {
     EXPECT_EQ(e.Code(), "not-done");
   }
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Slow-consumer backpressure
+// ---------------------------------------------------------------------------
+
+// A WATCH subscriber that never reads must not wedge the daemon: once its
+// socket buffer fills, the bounded event send (event_send_timeout_ms) times
+// out, the connection is marked dead and evicted, and every job — including
+// another tenant's — keeps running to completion.
+TEST(ServeServer, StalledWatcherDoesNotWedgeOtherTenants) {
+  ServerOptions options = TestOptions(FreshStateDir("slow-watch"));
+  // One progress event per step makes the event stream (hundreds of
+  // thousands of small lines) vastly exceed any socket buffer, forcing the
+  // send path to actually hit the stalled connection.
+  options.progress_interval = 1;
+  options.event_send_timeout_ms = 200;
+  Server server(std::move(options));
+  server.Start();
+
+  // The stalled subscriber: submits a long job, subscribes, then never
+  // reads another byte.
+  RawClient slow(server.Port());
+  const std::string submitted =
+      slow.RoundTrip("SUBMIT " + QuickRequest(300000, 1).ToString());
+  ASSERT_EQ(submitted.rfind("OK job ", 0), 0u) << submitted;
+  const std::uint64_t slow_id = ParseJobId(submitted.substr(7));
+  ASSERT_EQ(slow.RoundTrip("WATCH " + WireUnsigned(slow_id)),
+            "OK watching " + WireUnsigned(slow_id));
+  // From here on `slow` stops reading; the daemon's event stream backs up
+  // against its socket buffer.
+
+  // A different tenant's job must be unaffected.
+  auto other = Client::Connect("127.0.0.1", server.Port());
+  other.SetTenant("busy-bee");
+  const std::uint64_t other_id = other.Submit(QuickRequest(200, 1));
+  EXPECT_EQ(other.WaitJob(other_id), "done");
+
+  // And the watched job itself still runs to completion (its events are
+  // dropped with the dead connection, not its work).
+  auto observer = Client::Connect("127.0.0.1", server.Port());
+  EXPECT_EQ(observer.WaitJob(slow_id), "done");
+  EXPECT_FALSE(observer.Results(slow_id).empty());
   server.Stop();
 }
 

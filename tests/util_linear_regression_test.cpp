@@ -1,0 +1,191 @@
+// Unit tests for util/linear_regression: exact coefficient recovery, the
+// typed FitStatus taxonomy for every degenerate-input class (the surrogate
+// tier depends on "no usable model" being distinguishable from "a model
+// that predicts NaN"), ridge behavior on singular designs, and the
+// FitLine/FitLineIndexed throwing contract.
+
+#include "util/linear_regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace axdse::util {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// FitLinearModel: the happy path
+// ---------------------------------------------------------------------------
+
+TEST(FitLinearModel, RecoversExactCoefficients) {
+  // y = 2 + 3*a - 0.5*b on a full-rank design.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (double a = 0.0; a < 4.0; a += 1.0) {
+    for (double b = 0.0; b < 3.0; b += 1.0) {
+      rows.push_back({1.0, a, b});
+      y.push_back(2.0 + 3.0 * a - 0.5 * b);
+    }
+  }
+  const LinearModelFit fit = FitLinearModel(rows, y);
+  ASSERT_TRUE(fit.Ok());
+  EXPECT_EQ(fit.status, FitStatus::kOk);
+  EXPECT_EQ(fit.n, rows.size());
+  ASSERT_EQ(fit.coefficients.size(), 3u);
+  EXPECT_NEAR(fit.coefficients[0], 2.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[1], 3.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[2], -0.5, 1e-9);
+  EXPECT_NEAR(fit.Predict({1.0, 2.0, 1.0}), 2.0 + 6.0 - 0.5, 1e-9);
+}
+
+TEST(FitLinearModel, RidgeShrinksButStaysUsable) {
+  std::vector<std::vector<double>> rows = {
+      {1.0, 0.0}, {1.0, 1.0}, {1.0, 2.0}, {1.0, 3.0}};
+  std::vector<double> y = {1.0, 3.0, 5.0, 7.0};
+  const LinearModelFit exact = FitLinearModel(rows, y, 0.0);
+  const LinearModelFit ridged = FitLinearModel(rows, y, 1.0);
+  ASSERT_TRUE(exact.Ok());
+  ASSERT_TRUE(ridged.Ok());
+  EXPECT_NEAR(exact.coefficients[1], 2.0, 1e-9);
+  // Regularization pulls the slope toward zero, never past the OLS value.
+  EXPECT_LT(std::abs(ridged.coefficients[1]), std::abs(exact.coefficients[1]));
+  EXPECT_GT(ridged.coefficients[1], 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// FitLinearModel: every FitStatus failure class
+// ---------------------------------------------------------------------------
+
+TEST(FitLinearModel, TooFewPoints) {
+  // Fewer rows than features: underdetermined.
+  const LinearModelFit fit =
+      FitLinearModel({{1.0, 2.0, 3.0}, {1.0, 3.0, 5.0}}, {1.0, 2.0});
+  EXPECT_EQ(fit.status, FitStatus::kTooFewPoints);
+  EXPECT_FALSE(fit.Ok());
+  EXPECT_TRUE(fit.coefficients.empty());
+}
+
+TEST(FitLinearModel, EmptyInputIsTooFewPoints) {
+  const LinearModelFit fit = FitLinearModel({}, {});
+  EXPECT_EQ(fit.status, FitStatus::kTooFewPoints);
+  EXPECT_TRUE(fit.coefficients.empty());
+}
+
+TEST(FitLinearModel, SizeMismatchRowsVsTargets) {
+  const LinearModelFit fit =
+      FitLinearModel({{1.0}, {2.0}, {3.0}}, {1.0, 2.0});
+  EXPECT_EQ(fit.status, FitStatus::kSizeMismatch);
+  EXPECT_TRUE(fit.coefficients.empty());
+}
+
+TEST(FitLinearModel, SizeMismatchRaggedRows) {
+  const LinearModelFit fit =
+      FitLinearModel({{1.0, 2.0}, {1.0}, {1.0, 4.0}}, {1.0, 2.0, 3.0});
+  EXPECT_EQ(fit.status, FitStatus::kSizeMismatch);
+  EXPECT_TRUE(fit.coefficients.empty());
+}
+
+TEST(FitLinearModel, NonFiniteFeatureOrTarget) {
+  EXPECT_EQ(FitLinearModel({{1.0, kNaN}, {1.0, 2.0}, {1.0, 3.0}},
+                           {1.0, 2.0, 3.0})
+                .status,
+            FitStatus::kNonFinite);
+  EXPECT_EQ(FitLinearModel({{1.0, 1.0}, {1.0, 2.0}, {1.0, 3.0}},
+                           {1.0, kInf, 3.0})
+                .status,
+            FitStatus::kNonFinite);
+}
+
+TEST(FitLinearModel, BadRidgeReportsNonFinite) {
+  const std::vector<std::vector<double>> rows = {{1.0}, {1.0}};
+  EXPECT_EQ(FitLinearModel(rows, {1.0, 2.0}, -1.0).status,
+            FitStatus::kNonFinite);
+  EXPECT_EQ(FitLinearModel(rows, {1.0, 2.0}, kNaN).status,
+            FitStatus::kNonFinite);
+}
+
+TEST(FitLinearModel, SingularDesignWithoutRidge) {
+  // Two identical columns: normal equations are singular at lambda=0 but
+  // solvable with any positive ridge.
+  const std::vector<std::vector<double>> rows = {
+      {1.0, 1.0, 1.0}, {1.0, 2.0, 2.0}, {1.0, 3.0, 3.0}, {1.0, 4.0, 4.0}};
+  const std::vector<double> y = {1.0, 2.0, 3.0, 4.0};
+  const LinearModelFit singular = FitLinearModel(rows, y, 0.0);
+  EXPECT_EQ(singular.status, FitStatus::kSingular);
+  EXPECT_TRUE(singular.coefficients.empty());
+  const LinearModelFit ridged = FitLinearModel(rows, y, 1e-6);
+  EXPECT_TRUE(ridged.Ok());
+}
+
+TEST(FitStatus, NamesAreDistinct) {
+  EXPECT_STREQ(ToString(FitStatus::kOk), "ok");
+  const FitStatus all[] = {FitStatus::kOk, FitStatus::kSizeMismatch,
+                           FitStatus::kTooFewPoints, FitStatus::kNonFinite,
+                           FitStatus::kSingular};
+  for (const FitStatus a : all)
+    for (const FitStatus b : all)
+      if (a != b) {
+        EXPECT_STRNE(ToString(a), ToString(b));
+      }
+}
+
+// ---------------------------------------------------------------------------
+// LinearModelFit::Predict contract
+// ---------------------------------------------------------------------------
+
+TEST(LinearModelFit, PredictOnFailedFitThrows) {
+  const LinearModelFit failed = FitLinearModel({}, {});
+  EXPECT_THROW(failed.Predict({1.0}), std::invalid_argument);
+}
+
+TEST(LinearModelFit, PredictWidthMismatchThrows) {
+  const LinearModelFit fit =
+      FitLinearModel({{1.0, 1.0}, {1.0, 2.0}, {1.0, 3.0}}, {1.0, 2.0, 3.0});
+  ASSERT_TRUE(fit.Ok());
+  EXPECT_THROW(fit.Predict({1.0}), std::invalid_argument);
+  EXPECT_THROW(fit.Predict({1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// FitLine / FitLineIndexed
+// ---------------------------------------------------------------------------
+
+TEST(FitLine, RecoversSlopeAndIntercept) {
+  const LinearFit fit =
+      FitLine({0.0, 1.0, 2.0, 3.0}, {1.0, 3.0, 5.0, 7.0});
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_EQ(fit.n, 4u);
+  EXPECT_NEAR(fit.At(10.0), 21.0, 1e-12);
+}
+
+TEST(FitLine, ConstantXIsFlatLineThroughMeanY) {
+  const LinearFit fit = FitLine({2.0, 2.0, 2.0}, {1.0, 2.0, 6.0});
+  EXPECT_EQ(fit.slope, 0.0);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+}
+
+TEST(FitLine, DegenerateInputsThrow) {
+  EXPECT_THROW(FitLine({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(FitLine({1.0, 2.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(FitLine({1.0, kNaN}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(FitLine({1.0, 2.0}, {kInf, 2.0}), std::invalid_argument);
+}
+
+TEST(FitLineIndexed, MatchesExplicitIndices) {
+  const std::vector<double> y = {5.0, 4.0, 3.5, 2.0};
+  const LinearFit indexed = FitLineIndexed(y);
+  const LinearFit explicit_x = FitLine({0.0, 1.0, 2.0, 3.0}, y);
+  EXPECT_DOUBLE_EQ(indexed.slope, explicit_x.slope);
+  EXPECT_DOUBLE_EQ(indexed.intercept, explicit_x.intercept);
+}
+
+}  // namespace
+}  // namespace axdse::util

@@ -10,6 +10,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/kernel_mirrors.hpp"
 #include "workloads/kmeans_kernel.hpp"
 #include "workloads/registry.hpp"
 #include "workloads/sobel_kernel.hpp"
@@ -17,32 +18,13 @@
 namespace axdse::workloads {
 namespace {
 
+// Scalar references live in the shared test-support library.
+using testsupport::KMeansReference;
+using testsupport::SobelReference;
+
 // ---------------------------------------------------------------------------
 // sobel3x3
 // ---------------------------------------------------------------------------
-
-/// Plain (uninstrumented) Sobel magnitude reference: |Gx| + |Gy| with the
-/// classic [-1 0 1; -2 0 2; -1 0 1] / transpose masks.
-std::vector<double> SobelReference(const SobelKernel& k) {
-  const std::size_t out_rows = k.Height() - 2;
-  const std::size_t out_cols = k.Width() - 2;
-  std::vector<double> out(out_rows * out_cols);
-  const int w[3] = {1, 2, 1};
-  for (std::size_t y = 0; y < out_rows; ++y) {
-    for (std::size_t x = 0; x < out_cols; ++x) {
-      long gx = 0, gy = 0;
-      for (std::size_t i = 0; i < 3; ++i) {
-        gx += w[i] * (static_cast<long>(k.Pixel(y + i, x + 2)) -
-                      static_cast<long>(k.Pixel(y + i, x)));
-        gy += w[i] * (static_cast<long>(k.Pixel(y + 2, x + i)) -
-                      static_cast<long>(k.Pixel(y, x + i)));
-      }
-      out[y * out_cols + x] =
-          static_cast<double>(std::labs(gx) + std::labs(gy));
-    }
-  }
-  return out;
-}
 
 TEST(SobelKernel, ConstructionValidation) {
   EXPECT_THROW(SobelKernel(2, 8, 1, 1), std::invalid_argument);
@@ -116,34 +98,6 @@ TEST(SobelKernel, ApproximationChangesOutputs) {
 // ---------------------------------------------------------------------------
 // kmeans1d
 // ---------------------------------------------------------------------------
-
-/// Plain reference: argmin over exact squared distances, then per-cluster
-/// inertia and count.
-std::vector<double> KMeansReference(const KMeans1DKernel& k) {
-  std::vector<double> out(2 * k.Clusters());
-  std::vector<long long> inertia(k.Clusters(), 0);
-  std::vector<long long> counts(k.Clusters(), 0);
-  for (std::size_t i = 0; i < k.Length(); ++i) {
-    long long best_d = std::numeric_limits<long long>::max();
-    std::size_t best_j = 0;
-    for (std::size_t j = 0; j < k.Clusters(); ++j) {
-      const long long diff =
-          static_cast<long long>(k.Point(i)) - k.Centroid(j);
-      const long long d = diff * diff;
-      if (d < best_d) {
-        best_d = d;
-        best_j = j;
-      }
-    }
-    inertia[best_j] += best_d;
-    ++counts[best_j];
-  }
-  for (std::size_t j = 0; j < k.Clusters(); ++j) {
-    out[2 * j] = static_cast<double>(inertia[j]);
-    out[2 * j + 1] = static_cast<double>(counts[j]);
-  }
-  return out;
-}
 
 TEST(KMeansKernel, ConstructionValidation) {
   EXPECT_THROW(KMeans1DKernel(0, 1, 1), std::invalid_argument);
