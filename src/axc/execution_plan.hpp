@@ -45,13 +45,21 @@ enum class MulOpCode : std::uint8_t {
 };
 
 /// POD adder descriptor: everything DispatchAdd needs, resolved once.
+/// Content equality means "dispatches identically for every operand pair" —
+/// the lane-parallel context merges lanes whose resolved descriptors compare
+/// equal (e.g. a lane whose selected "approximate" adder is the exact one
+/// shares the precise lanes' dedup group).
 struct AddOpDescriptor {
   AddOpCode code = AddOpCode::kExact;
   std::int32_t param = 0;               ///< approx/segment bits or window
   const Adder* fallback = nullptr;      ///< kVirtual only
+
+  friend bool operator==(const AddOpDescriptor&,
+                         const AddOpDescriptor&) noexcept = default;
 };
 
-/// POD multiplier descriptor.
+/// POD multiplier descriptor. Content equality mirrors AddOpDescriptor's:
+/// equal descriptors dispatch identically for every operand pair.
 struct MulOpDescriptor {
   MulOpCode code = MulOpCode::kExact;
   std::int32_t param = 0;               ///< cut column / kept / msb bits
@@ -61,6 +69,9 @@ struct MulOpDescriptor {
   /// u8 MAC loops turn family math into one load. Null for wide operators,
   /// the exact multiplier (a*b is cheaper than a load), and kVirtual.
   const std::uint32_t* table8 = nullptr;
+
+  friend bool operator==(const MulOpDescriptor&,
+                         const MulOpDescriptor&) noexcept = default;
 };
 
 /// A configuration compiled to operators: [0] = the precise operator the

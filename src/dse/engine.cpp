@@ -4,6 +4,7 @@
 #include <atomic>
 #include <exception>
 #include <filesystem>
+#include <iterator>
 #include <limits>
 #include <locale>
 #include <memory>
@@ -446,7 +447,29 @@ BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests,
         out.reward = reward;
         out.kernel_name = kernel->Name();
       } catch (...) {
-        out.error = std::current_exception();
+        // Never swallow a job failure: wrap it with the job's identity (the
+        // batch is rethrown far from the failing request) and nest the
+        // original exception so callers can reach the root cause.
+        const ExplorationRequest& request = requests[job.request_index];
+        const std::string kernel_name =
+            request.kernel_override ? "<override>" : request.kernel;
+        std::string what = "unknown error";
+        try {
+          throw;
+        } catch (const std::exception& e) {
+          what = e.what();
+        } catch (...) {
+        }
+        try {
+          std::throw_with_nested(BatchJobError(
+              "Engine::Run: job failed (request #" +
+                  std::to_string(job.request_index) + ", kernel '" +
+                  kernel_name + "', seed " +
+                  std::to_string(request.seed + job.seed_index) + "): " + what,
+              job.request_index, request.seed + job.seed_index, kernel_name));
+        } catch (...) {
+          out.error = std::current_exception();
+        }
       }
     }
   };
@@ -561,6 +584,37 @@ BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests,
     batch.shared_caches.push_back(
         SharedCacheReport{signature, cache_jobs[signature], cache->Stats()});
   return batch;
+}
+
+std::vector<instrument::Measurement> Engine::Score(
+    const ExplorationRequest& identity,
+    const std::vector<Configuration>& configs, std::size_t lanes) const {
+  identity.Validate();
+  if (!identity.kernel_override && !registry_->Has(identity.kernel))
+    throw std::invalid_argument("Engine::Score: unknown kernel '" +
+                                identity.kernel + "'");
+  std::shared_ptr<const workloads::Kernel> kernel = identity.kernel_override;
+  if (!kernel) kernel = registry_->Create(identity.kernel, identity.params);
+  Evaluator evaluator(*kernel);
+  if (lanes == 0) lanes = instrument::MultiApproxContext::kMaxLanes;
+  std::vector<instrument::Measurement> out;
+  out.reserve(configs.size());
+  if (lanes <= 1) {
+    for (const Configuration& config : configs)
+      out.push_back(evaluator.Evaluate(config));
+    return out;
+  }
+  // MultiEvaluate() flushes at kMaxLanes on its own; smaller widths chunk
+  // here so the lane passes never exceed the caller's bound.
+  for (std::size_t begin = 0; begin < configs.size(); begin += lanes) {
+    const std::size_t end = std::min(configs.size(), begin + lanes);
+    const std::vector<Configuration> chunk(configs.begin() + begin,
+                                           configs.begin() + end);
+    std::vector<instrument::Measurement> part = evaluator.MultiEvaluate(chunk);
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  return out;
 }
 
 RequestResult Engine::RunOne(const ExplorationRequest& request) const {

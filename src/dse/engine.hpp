@@ -20,9 +20,11 @@
 // totals are stable (see CacheUsage::executed_runs).
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -222,6 +224,33 @@ struct BatchResult {
   std::size_t TotalSavedRuns() const noexcept;
 };
 
+/// Failure of one (request, seed) job inside Engine::Run. The engine lets
+/// every worker drain, then rethrows the first failing job's error in job
+/// order (deterministic for any worker count), wrapped in this type with
+/// the original exception nested — catch BatchJobError for the job identity
+/// and std::rethrow_if_nested() to reach the root cause.
+class BatchJobError : public std::runtime_error {
+ public:
+  BatchJobError(const std::string& message, std::size_t request_index,
+                std::uint64_t seed, std::string kernel)
+      : std::runtime_error(message),
+        request_index_(request_index),
+        seed_(seed),
+        kernel_(std::move(kernel)) {}
+
+  /// Index of the failing request in the Run() batch.
+  std::size_t RequestIndex() const noexcept { return request_index_; }
+  /// Absolute agent seed of the failing job (request seed + seed index).
+  std::uint64_t Seed() const noexcept { return seed_; }
+  /// Kernel name of the failing request ("<override>" for instances).
+  const std::string& Kernel() const noexcept { return kernel_; }
+
+ private:
+  std::size_t request_index_ = 0;
+  std::uint64_t seed_ = 0;
+  std::string kernel_;
+};
+
 /// Executes request batches. Stateless between Run() calls; one Engine can
 /// be reused freely. Kernel names resolve against the registry given at
 /// construction (the global one by default).
@@ -273,6 +302,19 @@ class Engine {
 
   /// Convenience: single-request batch.
   RequestResult RunOne(const ExplorationRequest& request) const;
+
+  /// Scores a list of candidate configurations of ONE kernel identity (the
+  /// request names the kernel/size/seed/params; its exploration fields are
+  /// ignored) through a single evaluator, lane-parallel: uncached
+  /// configurations are grouped into lane passes of up to `lanes`
+  /// configurations per kernel traversal (0 = the full
+  /// MultiApproxContext::kMaxLanes width, 1 = the sequential scalar path).
+  /// Measurements come back in input order and are bit-identical to the
+  /// sequential path for any lane width. Throws std::invalid_argument on an
+  /// unknown kernel or a configuration that does not fit the kernel's shape.
+  std::vector<instrument::Measurement> Score(
+      const ExplorationRequest& identity,
+      const std::vector<Configuration>& configs, std::size_t lanes = 0) const;
 
   /// Effective worker count (resolves the 0 = hardware default).
   std::size_t NumWorkers() const noexcept;

@@ -49,9 +49,14 @@ instrument::Measurement Evaluator::Measure(const Configuration& config) {
   context_.Configure(config);
   const std::vector<double> outputs = kernel_->Run(context_);
   ++kernel_runs_;
+  return BuildMeasurement(config, context_.Counts(), outputs);
+}
 
+instrument::Measurement Evaluator::BuildMeasurement(
+    const Configuration& config, const energy::OpCounts& counts,
+    std::span<const double> outputs) const {
   instrument::Measurement m;
-  m.counts = context_.Counts();
+  m.counts = counts;
   m.delta_acc = metrics::MeanAbsoluteError(precise_outputs_, outputs);
   const energy::CostEstimate approx_cost =
       energy_.Cost(m.counts, config.AdderIndex(), config.MultiplierIndex());
@@ -62,6 +67,158 @@ instrument::Measurement Evaluator::Measure(const Configuration& config) {
   m.delta_power_mw = precise_power_mw_ - approx_cost.power_mw;
   m.delta_time_ns = precise_time_ns_ - approx_cost.time_ns;
   return m;
+}
+
+std::vector<instrument::Measurement> Evaluator::RunLanesBatch(
+    const std::vector<Configuration>& pending) {
+  std::vector<instrument::Measurement> measured(pending.size());
+  if (pending.size() == 1) {
+    measured[0] = Measure(pending[0]);
+  } else {
+    if (!multi_context_)
+      multi_context_ = std::make_unique<instrument::MultiApproxContext>(
+          kernel_->Operators(), kernel_->NumVariables());
+    multi_context_->Configure(pending);
+    const std::vector<double> outputs = kernel_->RunLanes(*multi_context_);
+    // KernelRuns() counts per-configuration scoring work (the checkpoint /
+    // determinism invariant), not physical passes.
+    kernel_runs_ += pending.size();
+    const std::size_t out_size = outputs.size() / pending.size();
+    for (std::size_t j = 0; j < pending.size(); ++j)
+      measured[j] = BuildMeasurement(
+          pending[j], multi_context_->Counts(j),
+          std::span<const double>(outputs).subspan(j * out_size, out_size));
+  }
+  for (std::size_t j = 0; j < pending.size(); ++j) {
+    cache_.Insert(pending[j], measured[j]);
+    if (shared_cache_) shared_cache_->Insert(pending[j], measured[j]);
+  }
+  return measured;
+}
+
+std::vector<instrument::Measurement> Evaluator::MultiEvaluate(
+    const std::vector<Configuration>& configs) {
+  std::vector<instrument::Measurement> results(configs.size());
+  // Sequential fallback: the surrogate's skip/observe decisions are coupled
+  // to evaluation order, and a kernel without lane support gains nothing.
+  if (surrogate_ || !kernel_->SupportsLanes()) {
+    for (std::size_t i = 0; i < configs.size(); ++i)
+      results[i] = Evaluate(configs[i]);
+    return results;
+  }
+  std::vector<Configuration> pending;
+  std::vector<std::size_t> pending_idx;
+  pending.reserve(instrument::MultiApproxContext::kMaxLanes);
+  const auto flush = [&] {
+    if (pending.empty()) return;
+    const std::vector<instrument::Measurement> measured =
+        RunLanesBatch(pending);
+    for (std::size_t j = 0; j < pending.size(); ++j)
+      results[pending_idx[j]] = measured[j];
+    pending.clear();
+    pending_idx.clear();
+  };
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const Configuration& config = configs[i];
+    if (!FitsShape(shape_, config))
+      throw std::invalid_argument(
+          "Evaluator::MultiEvaluate: configuration does not match the "
+          "kernel's space (variable count or operator index out of range)");
+    // A repeat of a pending lane must observe that lane's insert first, so
+    // its Lookup below is a private hit exactly as in the sequential path.
+    bool repeat = false;
+    for (const Configuration& p : pending)
+      if (p == config) {
+        repeat = true;
+        break;
+      }
+    if (repeat) flush();
+    if (const auto cached = cache_.Lookup(config); cached.has_value()) {
+      results[i] = *cached;
+      continue;
+    }
+    if (shared_cache_) {
+      if (const auto hit = shared_cache_->Lookup(config); hit.has_value()) {
+        ++shared_hits_;
+        cache_.Insert(config, *hit);
+        results[i] = *hit;
+        continue;
+      }
+    }
+    pending.push_back(config);
+    pending_idx.push_back(i);
+    if (pending.size() == instrument::MultiApproxContext::kMaxLanes) flush();
+  }
+  flush();
+  return results;
+}
+
+std::vector<instrument::Measurement> Evaluator::GroundTruthMany(
+    const std::vector<Configuration>& configs) {
+  std::vector<instrument::Measurement> results(configs.size());
+  if (!kernel_->SupportsLanes()) {
+    for (std::size_t i = 0; i < configs.size(); ++i)
+      results[i] = GroundTruth(configs[i]);
+    return results;
+  }
+  // Drops the surrogate prediction for a freshly ground-truthed
+  // configuration — the scalar GroundTruth()'s epilogue, applied per
+  // configuration in batch order.
+  const auto invalidate = [&](const Configuration& config) {
+    if (surrogate_ && surrogate_->Lookup(config) != nullptr) {
+      surrogate_->Invalidate(config);
+      if (kernel_runs_deferred_ > 0) --kernel_runs_deferred_;
+    }
+  };
+  std::vector<Configuration> pending;
+  std::vector<std::size_t> pending_idx;
+  pending.reserve(instrument::MultiApproxContext::kMaxLanes);
+  const auto flush = [&] {
+    if (pending.empty()) return;
+    const std::vector<instrument::Measurement> measured =
+        RunLanesBatch(pending);
+    for (std::size_t j = 0; j < pending.size(); ++j) {
+      results[pending_idx[j]] = measured[j];
+      invalidate(pending[j]);
+    }
+    pending.clear();
+    pending_idx.clear();
+  };
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const Configuration& config = configs[i];
+    if (!FitsShape(shape_, config))
+      throw std::invalid_argument(
+          "Evaluator::GroundTruthMany: configuration does not match the "
+          "kernel's space");
+    bool repeat = false;
+    for (const Configuration& p : pending)
+      if (p == config) {
+        repeat = true;
+        break;
+      }
+    if (repeat) flush();
+    // A private-cache hit is already ground truth (predictions are memoized
+    // in the surrogate, never in the private memo) — same early return, no
+    // invalidation, as the scalar GroundTruth().
+    if (const auto cached = cache_.Lookup(config); cached.has_value()) {
+      results[i] = *cached;
+      continue;
+    }
+    if (shared_cache_) {
+      if (const auto hit = shared_cache_->Lookup(config); hit.has_value()) {
+        ++shared_hits_;
+        cache_.Insert(config, *hit);
+        results[i] = *hit;
+        invalidate(config);
+        continue;
+      }
+    }
+    pending.push_back(config);
+    pending_idx.push_back(i);
+    if (pending.size() == instrument::MultiApproxContext::kMaxLanes) flush();
+  }
+  flush();
+  return results;
 }
 
 void Evaluator::EnableSurrogate(double acc_threshold,

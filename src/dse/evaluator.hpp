@@ -5,6 +5,7 @@
 // configuration.
 
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "energy/energy_model.hpp"
 #include "instrument/evaluation_cache.hpp"
 #include "instrument/measurement.hpp"
+#include "instrument/multi_approx_context.hpp"
 #include "instrument/shared_evaluation_cache.hpp"
 #include "workloads/kernel.hpp"
 
@@ -46,6 +48,33 @@ class Evaluator {
   /// repeat visits return the same bytes — and IsPredicted() tells them
   /// apart from ground truth.
   instrument::Measurement Evaluate(const Configuration& config);
+
+  /// Scores a batch of sibling configurations, lane-parallel where
+  /// profitable: uncached configurations are collected into groups of up to
+  /// MultiApproxContext::kMaxLanes and scored in ONE kernel pass each, with
+  /// per-lane counts/outputs bit-identical to the scalar path — so every
+  /// returned Measurement, the private-cache contents, and the
+  /// hit/miss/KernelRuns() counters are exactly what the equivalent
+  /// sequential Evaluate() loop would have produced. (KernelRuns() counts
+  /// per-configuration scoring work: a lane pass over k configurations
+  /// counts k, keeping checkpoint/determinism invariants intact.)
+  ///
+  /// Falls back to the sequential loop verbatim when the surrogate tier is
+  /// enabled (its skip/observe decisions are order-coupled) or the kernel
+  /// has no lane support. With a shared cache attached, batch lanes consult
+  /// it up front and publish results with Insert() instead of coordinating
+  /// through FetchOrCompute(); shared-tier statistics were already
+  /// scheduling-dependent and stay that way.
+  std::vector<instrument::Measurement> MultiEvaluate(
+      const std::vector<Configuration>& configs);
+
+  /// GroundTruth() over a batch, lane-parallel where profitable. Safe (and
+  /// useful) with the surrogate enabled: ground-truthing never feeds
+  /// Observe(), so batching preserves the scalar sequence's surrogate
+  /// bookkeeping exactly — predictions are invalidated and
+  /// KernelRunsDeferred() decremented per configuration, in order.
+  std::vector<instrument::Measurement> GroundTruthMany(
+      const std::vector<Configuration>& configs);
 
   /// Enables the surrogate tier (idempotent re-enable is an error). Must be
   /// called on a fresh evaluator, before the first Evaluate(), with the
@@ -169,6 +198,19 @@ class Evaluator {
   /// cache-miss path; increments kernel_runs_).
   instrument::Measurement Measure(const Configuration& config);
 
+  /// Derives a Measurement from one configuration's op counts and outputs
+  /// (shared by the scalar and the lane-parallel compute paths).
+  instrument::Measurement BuildMeasurement(const Configuration& config,
+                                           const energy::OpCounts& counts,
+                                           std::span<const double> outputs) const;
+
+  /// Scores `pending` (1..kMaxLanes distinct uncached configurations) in one
+  /// lane-parallel kernel pass (scalar Measure() for a single lane), inserts
+  /// each measurement into the private — and, when attached, shared — cache
+  /// in lane order, and returns the measurements in the same order.
+  std::vector<instrument::Measurement> RunLanesBatch(
+      const std::vector<Configuration>& pending);
+
   const workloads::Kernel* kernel_;
   energy::EnergyModel energy_;
   instrument::ApproxContext context_;
@@ -183,6 +225,8 @@ class Evaluator {
 
   instrument::EvaluationCache cache_;
   std::shared_ptr<instrument::SharedEvaluationCache> shared_cache_;
+  // Lane-parallel context, built on the first multi-lane batch.
+  std::unique_ptr<instrument::MultiApproxContext> multi_context_;
   std::size_t kernel_runs_ = 0;
   std::size_t shared_hits_ = 0;
   std::unique_ptr<SurrogateModel> surrogate_;

@@ -230,6 +230,32 @@ ExplorationResult Explorer::Finish() {
   // a real measurement. If the run ended on a surrogate-predicted
   // configuration, execute it now (the prediction is dropped, so the
   // exported solution row and the Δacc range reflect ground truth).
+  //
+  // When both valve points need ground truth and no rollout sits between
+  // them, the two runs share one lane pass; GroundTruthMany() preserves the
+  // sequential sequence's caches, counters, and surrogate bookkeeping
+  // exactly, so this is purely a throughput move.
+  // (Equal endpoints fall through: there the sequential sequence resolves
+  // the second valve via the first one's dropped prediction, and the batch
+  // would diverge from it.)
+  if (config_.greedy_rollout_steps == 0 &&
+      evaluator_->IsPredicted(run.result.solution) &&
+      run.result.has_best_feasible &&
+      !(run.result.best_feasible == run.result.solution) &&
+      evaluator_->IsPredicted(run.result.best_feasible)) {
+    const std::vector<instrument::Measurement> truths =
+        evaluator_->GroundTruthMany(
+            {run.result.solution, run.result.best_feasible});
+    run.result.solution_measurement = truths[0];
+    run.result.delta_acc.Update(truths[0].delta_acc);
+    run.result.best_feasible_measurement = truths[1];
+    run.result.delta_acc.Update(truths[1].delta_acc);
+    FillSolutionFields(run.result);
+    ExplorationResult result = std::move(run.result);
+    run_.reset();
+    consumed_ = true;
+    return result;
+  }
   if (evaluator_->IsPredicted(run.result.solution)) {
     run.result.solution_measurement =
         evaluator_->GroundTruth(run.result.solution);

@@ -52,18 +52,36 @@ std::string ApproxSelection::ToString() const {
          " mul=" + std::to_string(multiplier_index_) + " vars=" + vars;
 }
 
+namespace {
+
+// Full 64x64->128 multiply folded hi^lo: one mulx-class instruction mixes
+// every input bit into every output bit, so a single round per word replaces
+// FNV-1a's byte-at-a-time avalanche. Constants are from splitmix64.
+inline std::uint64_t Mulx64(std::uint64_t x, std::uint64_t y) noexcept {
+#if defined(__SIZEOF_INT128__)
+  const unsigned __int128 r =
+      static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(y);
+  return static_cast<std::uint64_t>(r) ^ static_cast<std::uint64_t>(r >> 64);
+#else
+  // Portable 32-bit-limb fallback; weaker hi bits but still a fine hash.
+  const std::uint64_t lo = x * y;
+  const std::uint64_t hi = (x >> 32) * (y >> 32) + (((x & 0xffffffffULL) *
+                                                    (y >> 32)) >>
+                                                   32);
+  return lo ^ hi;
+#endif
+}
+
+}  // namespace
+
 std::size_t ApproxSelection::Hash::operator()(
     const ApproxSelection& s) const noexcept {
-  // FNV-1a over the packed fields; stable within a process run.
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  const auto mix = [&h](std::uint64_t v) {
-    h ^= v;
-    h *= 0x100000001b3ULL;
-  };
-  mix(s.adder_index_);
-  mix(s.multiplier_index_);
-  mix(s.num_variables_);
-  for (const std::uint64_t word : s.mask_) mix(word);
+  // Mulx mixing over the packed fields; stable within a process run.
+  std::uint64_t h = (static_cast<std::uint64_t>(s.adder_index_) << 32) |
+                    s.multiplier_index_;
+  h = Mulx64(h ^ s.num_variables_, 0x9e3779b97f4a7c15ULL);
+  for (const std::uint64_t word : s.mask_)
+    h = Mulx64(h ^ word, 0xbf58476d1ce4e5b9ULL);
   return static_cast<std::size_t>(h);
 }
 

@@ -25,6 +25,7 @@
 #include "axc/execution_plan.hpp"
 #include "energy/energy_model.hpp"
 #include "instrument/approx_selection.hpp"
+#include "instrument/mac_chains.hpp"
 
 namespace axdse::instrument {
 
@@ -130,61 +131,8 @@ class ApproxContext {
     const bool add_approx = AnyApproximated(add_vars);
     counts_.AccumulateMuls(mul_approx, n);
     counts_.AccumulateAdds(add_approx, n);
-    if constexpr (std::is_unsigned_v<A> && std::is_unsigned_v<B> &&
-                  sizeof(A) == 1 && sizeof(B) == 1) {
-      // 8-bit operands: approximate multipliers memoize their full 256x256
-      // domain (MulOpDescriptor::table8), turning the family math into one
-      // load per MAC. Bit-identical by construction.
-      if (const std::uint32_t* table8 = plan_.mul[mul_approx].table8) {
-        assert(acc >= 0);
-        return axc::WithAddOp(plan_.add[add_approx], [&](auto add) {
-          std::uint64_t uacc = static_cast<std::uint64_t>(acc);
-          for (std::size_t i = 0; i < n; ++i) {
-            const std::uint64_t product =
-                table8[(static_cast<std::uint64_t>(a[i * stride_a]) << 8) |
-                       static_cast<std::uint64_t>(b[i * stride_b])];
-            uacc = add(uacc, product);
-          }
-          return static_cast<std::int64_t>(uacc);
-        });
-      }
-    }
-    return axc::WithMulOp(plan_.mul[mul_approx], [&](auto mul) {
-      return axc::WithAddOp(plan_.add[add_approx], [&](auto add) {
-        if constexpr (std::is_unsigned_v<A> && std::is_unsigned_v<B>) {
-          assert(acc >= 0);
-          std::uint64_t uacc = static_cast<std::uint64_t>(acc);
-          if (stride_a == 1 && stride_b == 1) {
-            // Contiguous operands on a separate loop: with the strides
-            // pinned the optimizer can unroll/vectorize (the strided loop
-            // below defeats that).
-            for (std::size_t i = 0; i < n; ++i) {
-              const std::uint64_t product =
-                  mul(static_cast<std::uint64_t>(a[i]),
-                      static_cast<std::uint64_t>(b[i]));
-              uacc = add(uacc, product);
-            }
-            return static_cast<std::int64_t>(uacc);
-          }
-          for (std::size_t i = 0; i < n; ++i) {
-            const std::uint64_t product =
-                mul(static_cast<std::uint64_t>(a[i * stride_a]),
-                    static_cast<std::uint64_t>(b[i * stride_b]));
-            uacc = add(uacc, product);
-          }
-          return static_cast<std::int64_t>(uacc);
-        } else {
-          std::int64_t signed_acc = acc;
-          for (std::size_t i = 0; i < n; ++i) {
-            const std::int64_t product =
-                axc::ops::SignedMul(mul, static_cast<std::int64_t>(a[i * stride_a]),
-                                    static_cast<std::int64_t>(b[i * stride_b]));
-            signed_acc = axc::ops::SignedAdd(add, signed_acc, product);
-          }
-          return signed_acc;
-        }
-      });
-    });
+    return detail::DotChain(plan_.mul[mul_approx], plan_.add[add_approx], acc,
+                            a, stride_a, b, stride_b, n);
   }
 
   /// Batched AXPY: y[i] = Add(y[i], Mul(alpha, x[i])) for i in [0, n) —
@@ -202,20 +150,8 @@ class ApproxContext {
     const bool add_approx = AnyApproximated(add_vars);
     counts_.AccumulateMuls(mul_approx, n);
     counts_.AccumulateAdds(add_approx, n);
-    const bool alpha_neg = alpha < 0;
-    const std::uint64_t alpha_mag = axc::ops::UnsignedMagnitude(alpha);
-    axc::WithMulOp(plan_.mul[mul_approx], [&](auto mul) {
-      axc::WithAddOp(plan_.add[add_approx], [&](auto add) {
-        for (std::size_t i = 0; i < n; ++i) {
-          const std::int64_t xv = static_cast<std::int64_t>(x[i]);
-          const std::uint64_t mag =
-              mul(alpha_mag, axc::ops::UnsignedMagnitude(xv));
-          const std::int64_t product =
-              axc::ops::ApplySign(alpha_neg != (xv < 0), mag);
-          y[i] = axc::ops::SignedAdd(add, y[i], product);
-        }
-      });
-    });
+    detail::AxpyChain(plan_.mul[mul_approx], plan_.add[add_approx], y, x, n,
+                      alpha);
   }
 
   /// Number of kernel variables this context was built for.

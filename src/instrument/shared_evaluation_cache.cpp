@@ -80,12 +80,26 @@ Measurement SharedEvaluationCache::FetchOrCompute(
     bool* computed) {
   Shard& shard = ShardFor(key);
   std::unique_lock<std::mutex> lock(shard.mutex);
+  bool waited = false;
   while (true) {
+    // A computation we were blocked on may have failed: take our share of
+    // its failure record first (so the record drains), but let a published
+    // value win — measurements are pure, an Insert() racing the failure
+    // carries exactly the bytes the failed computation was after.
+    std::exception_ptr pending_error;
+    if (waited) {
+      if (const auto fit = shard.failures.find(key);
+          fit != shard.failures.end()) {
+        pending_error = fit->second.error;
+        if (--fit->second.remaining == 0) shard.failures.erase(fit);
+      }
+    }
     if (const auto it = shard.map.find(key); it != shard.map.end()) {
       ++shard.hits;
       if (computed) *computed = false;
       return it->second;
     }
+    if (pending_error) std::rethrow_exception(pending_error);
     if (capacity_ > 0 && shard.map.size() >= shard.capacity) {
       // The shard is full and entries are never evicted, so this key can
       // never be published: compute without in-flight coordination (waiting
@@ -98,13 +112,22 @@ Measurement SharedEvaluationCache::FetchOrCompute(
       if (computed) *computed = true;
       return value;
     }
-    if (shard.in_flight.count(key) == 0) break;
+    const auto flight = shard.in_flight.find(key);
+    if (flight == shard.in_flight.end()) break;
     // Another thread is computing this key; its publish (or failure) wakes
-    // us and we re-check.
+    // us and we re-check. Register so a failure knows how many blocked
+    // callers expect the error; deregister on wake (the entry may be gone —
+    // or replaced by a later computation's — when the computer finished,
+    // hence the guarded decrement).
+    ++flight->second;
+    waited = true;
     shard.ready.wait(lock);
+    if (const auto after = shard.in_flight.find(key);
+        after != shard.in_flight.end() && after->second > 0)
+      --after->second;
   }
   ++shard.misses;
-  shard.in_flight.insert(key);
+  shard.in_flight.emplace(key, 0);
   lock.unlock();
 
   Measurement value;
@@ -112,7 +135,17 @@ Measurement SharedEvaluationCache::FetchOrCompute(
     value = compute();
   } catch (...) {
     lock.lock();
-    shard.in_flight.erase(key);
+    // Leave the error for every caller currently blocked on this key —
+    // they rethrow it instead of silently recomputing. Callers arriving
+    // from now on find the key released and retry.
+    std::size_t waiters = 0;
+    if (const auto flight = shard.in_flight.find(key);
+        flight != shard.in_flight.end()) {
+      waiters = flight->second;
+      shard.in_flight.erase(flight);
+    }
+    if (waiters > 0)
+      shard.failures[key] = Shard::Failure{std::current_exception(), waiters};
     shard.ready.notify_all();
     throw;
   }
@@ -190,6 +223,7 @@ void SharedEvaluationCache::Clear() {
   for (const auto& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mutex);
     shard->map.clear();
+    shard->failures.clear();
     shard->hits = 0;
     shard->misses = 0;
     shard->inserts = 0;

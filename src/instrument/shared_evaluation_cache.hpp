@@ -23,13 +23,13 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -82,9 +82,13 @@ class SharedEvaluationCache {
   /// Returns the value for `key`, running `compute` to produce it on a miss.
   /// At most one thread computes a given key at a time; concurrent callers
   /// of the same key block until the value is published and then read it as
-  /// a hit. If `compute` throws, the key is released (a blocked caller
-  /// retries the computation) and the exception propagates. `computed`,
-  /// when non-null, is set to whether THIS call ran `compute`.
+  /// a hit. If `compute` throws, the key is released and the exception
+  /// propagates — to the computing caller directly, and to every caller
+  /// already blocked on that key (each rethrows the same exception instead
+  /// of silently recomputing; a value published concurrently by Insert()
+  /// wins over the failure). Callers arriving after the failure retry the
+  /// computation. `computed`, when non-null, is set to whether THIS call ran
+  /// `compute`.
   Measurement FetchOrCompute(const ApproxSelection& key,
                              const std::function<Measurement()>& compute,
                              bool* computed = nullptr);
@@ -124,8 +128,20 @@ class SharedEvaluationCache {
     std::condition_variable ready;
     std::unordered_map<ApproxSelection, Measurement, ApproxSelection::Hash>
         map;
-    /// Keys currently being computed by some FetchOrCompute caller.
-    std::unordered_set<ApproxSelection, ApproxSelection::Hash> in_flight;
+    /// Keys currently being computed by some FetchOrCompute caller, mapped
+    /// to the number of callers blocked waiting on the publish.
+    std::unordered_map<ApproxSelection, std::size_t, ApproxSelection::Hash>
+        in_flight;
+    /// A computation that threw, pending delivery to the `remaining`
+    /// callers that were blocked on it when it failed. Records are consumed
+    /// (and erased once drained) by the woken waiters, so callers arriving
+    /// later retry the computation instead of seeing a stale error.
+    struct Failure {
+      std::exception_ptr error;
+      std::size_t remaining = 0;
+    };
+    std::unordered_map<ApproxSelection, Failure, ApproxSelection::Hash>
+        failures;
     /// This shard's entry bound (0 = unbounded); shard bounds sum to the
     /// cache capacity.
     std::size_t capacity = 0;

@@ -32,19 +32,53 @@ Client Client::Connect(const std::string& host, int port,
   return client;
 }
 
+void Client::RecordEvent(const std::string& payload) {
+  const std::size_t space = payload.find(' ');
+  if (space == std::string::npos) return;
+  std::uint64_t id = 0;
+  try {
+    id = ParseJobId(payload.substr(0, space));
+  } catch (const ProtocolError&) {
+    return;  // not "<id> <detail>" — nothing to track
+  }
+  const std::string detail = payload.substr(space + 1);
+  if (detail.rfind("state ", 0) != 0) return;
+  std::string name = detail.substr(6);
+  std::string rest;
+  if (const std::size_t name_end = name.find(' ');
+      name_end != std::string::npos) {
+    rest = name.substr(name_end + 1);
+    name.resize(name_end);
+  }
+  try {
+    const JobState state = JobStateFromName(name);
+    if (IsTerminal(state) || state == JobState::kSuspended)
+      settled_jobs_.insert(id);
+  } catch (const std::invalid_argument&) {
+  }
+  if (rest.rfind("error=", 0) == 0)
+    last_event_error_ = dse::UnescapeRequestToken(rest.substr(6));
+}
+
 std::string Client::Command(const std::string& line) {
-  if (!socket_.SendAll(line + "\n"))
-    throw std::runtime_error("axdse-client: connection lost while sending");
+  const auto lost = [this](const char* reason) -> ConnectionLostError {
+    std::string message = std::string("connection lost ") + reason;
+    if (!last_event_error_.empty())
+      message += " (last server error: " + last_event_error_ + ")";
+    return ConnectionLostError(message, last_event_error_);
+  };
+  if (!socket_.SendAll(line + "\n")) throw lost("while sending");
   std::string response;
   while (true) {
     const LineReader::Status status = reader_->ReadLine(response);
     if (status == LineReader::Status::kTooLong)
       throw std::runtime_error("axdse-client: oversized response line");
     if (status != LineReader::Status::kLine)
-      throw std::runtime_error(
-          "axdse-client: connection lost while awaiting response");
+      throw lost("while awaiting response");
     if (response.rfind("EVENT ", 0) == 0) {
-      if (on_event_) on_event_(response.substr(6));
+      const std::string payload = response.substr(6);
+      RecordEvent(payload);
+      if (on_event_) on_event_(payload);
       continue;
     }
     if (response == "OK") return {};

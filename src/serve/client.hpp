@@ -9,7 +9,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <unordered_set>
 
 #include "dse/campaign.hpp"
 #include "dse/request.hpp"
@@ -17,6 +19,27 @@
 #include "serve/protocol.hpp"
 
 namespace axdse::serve {
+
+/// The connection dropped mid-conversation (unexpected EOF while awaiting a
+/// response, or a failed send). Carries the last typed server error the
+/// client observed on the event stream, so callers can report WHY the
+/// daemon went away instead of a bare "connection lost".
+class ConnectionLostError : public std::runtime_error {
+ public:
+  ConnectionLostError(const std::string& message,
+                      std::string last_server_error)
+      : std::runtime_error(message),
+        last_server_error_(std::move(last_server_error)) {}
+
+  /// Last "error=..." detail seen on an EVENT line (unescaped); empty when
+  /// the server never reported one.
+  const std::string& LastServerError() const noexcept {
+    return last_server_error_;
+  }
+
+ private:
+  std::string last_server_error_;
+};
 
 class Client {
  public:
@@ -62,12 +85,34 @@ class Client {
   /// Asks the daemon to shut down (drain + exit).
   void RequestShutdown();
 
+  /// True once an EVENT line reported `job_id` settling ("state done",
+  /// "state failed", "state cancelled") or suspending. The server emits
+  /// that event before answering the job's WAIT, so after a WATCH + WAIT
+  /// pair this returning false means the event stream was truncated (the
+  /// daemon died or evicted this watcher) — the caller saw an incomplete
+  /// stream and must not report success.
+  bool SawTerminalEvent(std::uint64_t job_id) const noexcept {
+    return settled_jobs_.count(job_id) != 0;
+  }
+
+  /// Last "error=..." detail observed on any EVENT line (unescaped); empty
+  /// when the server never reported one.
+  const std::string& LastEventError() const noexcept {
+    return last_event_error_;
+  }
+
  private:
   Client(Socket socket, std::size_t max_line_bytes);
+
+  /// Parses "<job-id> <detail>" event payloads for terminal-state and
+  /// error bookkeeping (SawTerminalEvent / LastEventError).
+  void RecordEvent(const std::string& payload);
 
   Socket socket_;
   std::unique_ptr<LineReader> reader_;
   EventHandler on_event_;
+  std::unordered_set<std::uint64_t> settled_jobs_;
+  std::string last_event_error_;
 };
 
 }  // namespace axdse::serve

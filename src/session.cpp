@@ -42,6 +42,12 @@ dse::BatchResult Session::ResumeBatch(
   return engine_.ResumeBatch(requests, directory);
 }
 
+std::vector<instrument::Measurement> Session::Score(
+    const dse::ExplorationRequest& identity,
+    const std::vector<dse::Configuration>& configs, std::size_t lanes) const {
+  return engine_.Score(identity, configs, lanes);
+}
+
 dse::CampaignResult Session::RunCampaign(
     const dse::CampaignSpec& spec, const dse::CampaignOptions& options) const {
   return dse::Campaign(engine_).Run(spec, options);

@@ -64,6 +64,15 @@ class Session {
   dse::BatchResult ExploreBatchShared(
       std::vector<dse::ExplorationRequest> requests) const;
 
+  /// Scores candidate configurations of one kernel identity through a single
+  /// evaluator, lane-parallel (see dse::Engine::Score): up to `lanes`
+  /// configurations per kernel traversal, 0 = full lane width, 1 = the
+  /// sequential scalar path. Bit-identical to sequential evaluation.
+  std::vector<instrument::Measurement> Score(
+      const dse::ExplorationRequest& identity,
+      const std::vector<dse::Configuration>& configs,
+      std::size_t lanes = 0) const;
+
   /// Expands a declarative sweep spec into its request grid and runs it
   /// through the engine in checkpointable chunks (see dse::Campaign).
   /// Results stream into per-kernel Pareto fronts and best-point tables; a

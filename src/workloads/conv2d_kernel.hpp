@@ -33,6 +33,9 @@ class Conv2DKernel final : public Kernel {
     return variables_;
   }
   std::vector<double> Run(instrument::ApproxContext& ctx) const override;
+  bool SupportsLanes() const noexcept override { return true; }
+  std::vector<double> RunLanes(
+      instrument::MultiApproxContext& ctx) const override;
 
   std::size_t VarOfStencil() const noexcept { return row_bands_; }
   std::size_t VarOfAccumulator() const noexcept { return row_bands_ + 1; }

@@ -4,6 +4,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "instrument/multi_approx_context.hpp"
 #include "util/rng.hpp"
 
 namespace axdse::workloads {
@@ -60,6 +61,44 @@ std::vector<double> DctKernel::Run(instrument::ApproxContext& ctx) const {
         const std::int64_t acc = ctx.DotAccumulate(
             0, &temp[u * 8], 1, &dct_q14_[v * 8], 1, 8, {px, cf}, {ac});
         out[b * 64 + u * 8 + v] = static_cast<double>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> DctKernel::RunLanes(
+    instrument::MultiApproxContext& ctx) const {
+  using Lanes = instrument::MultiApproxContext::Lanes;
+  const std::size_t lanes = ctx.NumLanes();
+  const std::size_t out_size = blocks_ * 64;
+  std::vector<double> out(lanes * out_size);
+  const std::size_t px = VarOfPixels();
+  const std::size_t cf = VarOfCoeffs();
+  const std::size_t ac = VarOfAccumulator();
+  Lanes temp[64];
+
+  for (std::size_t b = 0; b < blocks_; ++b) {
+    const std::uint8_t* block = &pixels_[b * 64];
+    for (std::size_t u = 0; u < 8; ++u) {
+      for (std::size_t j = 0; j < 8; ++j) {
+        Lanes acc = ctx.DotAccumulate(0, &dct_q14_[u * 8], 1, &block[j], 8, 8,
+                                      {cf, px}, {ac});
+        // >>14 rescale is wiring (lane-wise, partition preserved).
+        for (std::size_t l = 0; l < lanes; ++l) acc.v[l] >>= 14;
+        temp[u * 8 + j] = acc;
+      }
+    }
+    // Pass 2 reads pass 1's lane-parallel intermediates: the lane-operand
+    // dot groups lanes that agree on both the descriptors and every
+    // element's partition.
+    for (std::size_t u = 0; u < 8; ++u) {
+      for (std::size_t v = 0; v < 8; ++v) {
+        const Lanes acc = ctx.DotAccumulate(0, &temp[u * 8], &dct_q14_[v * 8],
+                                            1, 8, {px, cf}, {ac});
+        for (std::size_t l = 0; l < lanes; ++l)
+          out[l * out_size + b * 64 + u * 8 + v] =
+              static_cast<double>(acc.v[l]);
       }
     }
   }

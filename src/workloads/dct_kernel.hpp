@@ -31,6 +31,9 @@ class DctKernel final : public Kernel {
     return variables_;
   }
   std::vector<double> Run(instrument::ApproxContext& ctx) const override;
+  bool SupportsLanes() const noexcept override { return true; }
+  std::vector<double> RunLanes(
+      instrument::MultiApproxContext& ctx) const override;
 
   std::size_t Blocks() const noexcept { return blocks_; }
   std::size_t VarOfPixels() const noexcept { return 0; }

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "instrument/multi_approx_context.hpp"
 #include "util/rng.hpp"
 
 namespace axdse::workloads {
@@ -36,6 +37,23 @@ std::vector<double> DotProductKernel::Run(
         ctx.DotAccumulate(0, &a_[begin], 1, &b_[begin], 1, end - begin,
                           {VarOfA(), VarOfB()}, {VarOfAccumulator()});
     out[g] = static_cast<double>(acc);
+  }
+  return out;
+}
+
+std::vector<double> DotProductKernel::RunLanes(
+    instrument::MultiApproxContext& ctx) const {
+  const std::size_t lanes = ctx.NumLanes();
+  std::vector<double> out(lanes * blocks_);
+  const std::size_t block_len = a_.size() / blocks_;
+  for (std::size_t g = 0; g < blocks_; ++g) {
+    const std::size_t begin = g * block_len;
+    const std::size_t end = g + 1 == blocks_ ? a_.size() : begin + block_len;
+    const auto acc =
+        ctx.DotAccumulate(0, &a_[begin], 1, &b_[begin], 1, end - begin,
+                          {VarOfA(), VarOfB()}, {VarOfAccumulator()});
+    for (std::size_t l = 0; l < lanes; ++l)
+      out[l * blocks_ + g] = static_cast<double>(acc.v[l]);
   }
   return out;
 }

@@ -26,6 +26,9 @@ class DotProductKernel final : public Kernel {
     return variables_;
   }
   std::vector<double> Run(instrument::ApproxContext& ctx) const override;
+  bool SupportsLanes() const noexcept override { return true; }
+  std::vector<double> RunLanes(
+      instrument::MultiApproxContext& ctx) const override;
 
   std::size_t VarOfA() const noexcept { return 0; }
   std::size_t VarOfB() const noexcept { return 1; }

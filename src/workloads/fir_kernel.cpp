@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "instrument/multi_approx_context.hpp"
 #include "signal/fir_design.hpp"
 #include "signal/noise.hpp"
 #include "signal/quantize.hpp"
@@ -73,6 +74,25 @@ std::vector<double> FirKernel::Run(instrument::ApproxContext& ctx) const {
   std::vector<double> out(x_.size());
   for (std::size_t i = 0; i < x_.size(); ++i)
     out[i] = static_cast<double>(acc[i]);
+  return out;
+}
+
+std::vector<double> FirKernel::RunLanes(
+    instrument::MultiApproxContext& ctx) const {
+  const std::size_t lanes = ctx.NumLanes();
+  // Zero-initialized Lanes are Broadcast(0): all lanes one dedup group.
+  std::vector<instrument::MultiApproxContext::Lanes> acc(x_.size());
+  const std::size_t x_var = VarOfInput();
+  const std::size_t acc_var = VarOfAccumulator();
+  for (std::size_t k = 0; k < h_.size() && k < x_.size(); ++k) {
+    ctx.AxpyAccumulate(acc.data() + k, x_.data(), x_.size() - k,
+                       static_cast<std::int64_t>(h_[k]), {VarOfTap(k), x_var},
+                       {acc_var});
+  }
+  std::vector<double> out(lanes * x_.size());
+  for (std::size_t l = 0; l < lanes; ++l)
+    for (std::size_t i = 0; i < x_.size(); ++i)
+      out[l * x_.size() + i] = static_cast<double>(acc[i].v[l]);
   return out;
 }
 

@@ -49,6 +49,9 @@ class FirKernel final : public Kernel {
     return variables_;
   }
   std::vector<double> Run(instrument::ApproxContext& ctx) const override;
+  bool SupportsLanes() const noexcept override { return true; }
+  std::vector<double> RunLanes(
+      instrument::MultiApproxContext& ctx) const override;
 
   std::size_t NumSamples() const noexcept { return x_.size(); }
   std::size_t Taps() const noexcept { return h_.size(); }

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "instrument/multi_approx_context.hpp"
 #include "signal/noise.hpp"
 #include "signal/quantize.hpp"
 
@@ -62,6 +63,53 @@ std::vector<double> IirKernel::Run(instrument::ApproxContext& ctx) const {
 
     const std::int64_t yn = acc >> 15;  // rescale Q30 -> Q15 (wiring)
     out[n] = static_cast<double>(yn);
+    x2 = x1;
+    x1 = xn;
+    y2 = y1;
+    y1 = yn;
+  }
+  return out;
+}
+
+std::vector<double> IirKernel::RunLanes(
+    instrument::MultiApproxContext& ctx) const {
+  using Lanes = instrument::MultiApproxContext::Lanes;
+  const std::size_t lanes = ctx.NumLanes();
+  std::vector<double> out(lanes * x_.size());
+  // Same loop-invariant decision hoisting as Run(), as per-lane masks.
+  const std::uint64_t ff = ctx.ApproxLaneMask({VarOfFeedForward(), VarOfInput()});
+  const std::uint64_t fb = ctx.ApproxLaneMask({VarOfFeedback(), VarOfAccumulator()});
+  const std::uint64_t ac = ctx.ApproxLaneMask({VarOfAccumulator()});
+  // The -2*, unary minus, and >>15 rescales below are wiring, not counted
+  // ALU ops: applied lane-wise they preserve the dedup partition.
+  const auto lanewise = [&lanes](Lanes x, auto fn) {
+    for (std::size_t l = 0; l < lanes; ++l) x.v[l] = fn(x.v[l]);
+    return x;
+  };
+  Lanes x1 = ctx.Broadcast(0);
+  Lanes x2 = ctx.Broadcast(0);
+  Lanes y1 = ctx.Broadcast(0);  // Q15 feedback state
+  Lanes y2 = ctx.Broadcast(0);
+  for (std::size_t n = 0; n < x_.size(); ++n) {
+    const Lanes xn = ctx.Broadcast(x_[n]);
+    Lanes acc = ctx.Broadcast(0);  // Q30
+    acc = ctx.AddResolved(
+        ac, acc, ctx.MulResolved(ff, ctx.Broadcast(b_q15_[0]), xn));
+    acc = ctx.AddResolved(
+        ac, acc, ctx.MulResolved(ff, ctx.Broadcast(b_q15_[1]), x1));
+    acc = ctx.AddResolved(
+        ac, acc, ctx.MulResolved(ff, ctx.Broadcast(b_q15_[2]), x2));
+    const Lanes fb1 = ctx.MulResolved(fb, ctx.Broadcast(a_q15_[0]), y1);
+    acc = ctx.AddResolved(
+        ac, acc, lanewise(fb1, [](std::int64_t v) { return -2 * v; }));
+    const Lanes fb2 = ctx.MulResolved(fb, ctx.Broadcast(a_q15_[1]), y2);
+    acc = ctx.AddResolved(
+        ac, acc, lanewise(fb2, [](std::int64_t v) { return -v; }));
+
+    const Lanes yn =
+        lanewise(acc, [](std::int64_t v) { return v >> 15; });  // Q30 -> Q15
+    for (std::size_t l = 0; l < lanes; ++l)
+      out[l * x_.size() + n] = static_cast<double>(yn.v[l]);
     x2 = x1;
     x1 = xn;
     y2 = y1;

@@ -32,6 +32,9 @@ class IirKernel final : public Kernel {
     return variables_;
   }
   std::vector<double> Run(instrument::ApproxContext& ctx) const override;
+  bool SupportsLanes() const noexcept override { return true; }
+  std::vector<double> RunLanes(
+      instrument::MultiApproxContext& ctx) const override;
 
   std::size_t NumSamples() const noexcept { return x_.size(); }
   const signal::BiquadCoeffs& Design() const noexcept { return design_; }

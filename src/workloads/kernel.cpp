@@ -4,6 +4,11 @@
 
 namespace axdse::workloads {
 
+std::vector<double> Kernel::RunLanes(instrument::MultiApproxContext&) const {
+  throw std::logic_error("Kernel::RunLanes: '" + Name() +
+                         "' does not support lane-parallel evaluation");
+}
+
 std::size_t Kernel::VariableIndex(const std::string& name) const {
   const auto& vars = Variables();
   for (std::size_t i = 0; i < vars.size(); ++i)

@@ -10,6 +10,10 @@
 #include "axc/catalog.hpp"
 #include "instrument/approx_context.hpp"
 
+namespace axdse::instrument {
+class MultiApproxContext;
+}
+
 namespace axdse::workloads {
 
 /// A named approximable program variable.
@@ -50,6 +54,19 @@ class Kernel {
   /// Executes the kernel under the context's active selection and returns
   /// the outputs (raw integer results widened to double).
   virtual std::vector<double> Run(instrument::ApproxContext& ctx) const = 0;
+
+  /// True when the kernel implements RunLanes(). Built-in kernels do;
+  /// user kernels default to the scalar path.
+  virtual bool SupportsLanes() const noexcept { return false; }
+
+  /// Executes the kernel once for ALL lanes configured on the context and
+  /// returns the outputs lane-major: lane l's Run()-equivalent output
+  /// occupies [l * out_size, (l + 1) * out_size). Implementations must
+  /// produce, per lane, bit-identical values and op counts to Run() under
+  /// the same selection. Default throws std::logic_error (guard with
+  /// SupportsLanes()).
+  virtual std::vector<double> RunLanes(
+      instrument::MultiApproxContext& ctx) const;
 
   /// Creates a context bound to this kernel's operator set and variables
   /// (initially all-precise).

@@ -1,8 +1,10 @@
 #include "workloads/kmeans_kernel.hpp"
 
+#include <array>
 #include <limits>
 #include <stdexcept>
 
+#include "instrument/multi_approx_context.hpp"
 #include "util/rng.hpp"
 
 namespace axdse::workloads {
@@ -79,6 +81,83 @@ std::vector<double> KMeans1DKernel::Run(
         {VarOfDistance()}, {VarOfAccumulator()});
     out[2 * j] = static_cast<double>(inertia);
     out[2 * j + 1] = static_cast<double>(scratch.size());
+  }
+  return out;
+}
+
+std::vector<double> KMeans1DKernel::RunLanes(
+    instrument::MultiApproxContext& ctx) const {
+  using Ctx = instrument::MultiApproxContext;
+  using Lanes = Ctx::Lanes;
+  constexpr std::size_t kMaxLanes = Ctx::kMaxLanes;
+  const std::size_t lanes = ctx.NumLanes();
+  const std::size_t n = points_.size();
+  const std::size_t k = centroids_.size();
+  const std::uint64_t diff_mask =
+      ctx.ApproxLaneMask({VarOfPoints(), VarOfCentroids()});
+  const std::uint64_t dist_mask = ctx.ApproxLaneMask({VarOfDistance()});
+
+  // Pass 1 — assignment per lane. The decision masks are constant across
+  // the n x k loop, so every distance shares one partition P: lanes grouped
+  // under P see identical distances, hence identical assignments.
+  std::vector<std::int64_t> best_diff(n * kMaxLanes);
+  std::vector<std::uint32_t> assign(n * kMaxLanes);
+  Ctx::Partition p{};
+  bool have_p = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::array<std::int64_t, kMaxLanes> best_d;
+    best_d.fill(std::numeric_limits<std::int64_t>::max());
+    std::array<std::uint32_t, kMaxLanes> best_j{};
+    std::array<std::int64_t, kMaxLanes> best_diff_i{};
+    for (std::size_t j = 0; j < k; ++j) {
+      const Lanes diff = ctx.AddResolved(diff_mask, ctx.Broadcast(points_[i]),
+                                         ctx.Broadcast(-centroids_[j]));
+      const Lanes d = ctx.MulResolved(dist_mask, diff, diff);
+      if (!have_p) {
+        p = d.rep;
+        have_p = true;
+      }
+      for (std::size_t l = 0; l < lanes; ++l) {
+        if (d.v[l] < best_d[l]) {
+          best_d[l] = d.v[l];
+          best_j[l] = static_cast<std::uint32_t>(j);
+          best_diff_i[l] = diff.v[l];
+        }
+      }
+    }
+    for (std::size_t l = 0; l < lanes; ++l) {
+      assign[i * kMaxLanes + l] = best_j[l];
+      best_diff[i * kMaxLanes + l] = best_diff_i[l];
+    }
+  }
+
+  // Pass 2 — inertia per cluster: scratch built once per dedup group (its
+  // representative lane), every grouped lane pointing at the same buffer;
+  // the per-lane dot charges each lane its own member count.
+  const std::size_t out_size = 2 * k;
+  std::vector<double> out(lanes * out_size);
+  std::array<std::vector<std::int64_t>, kMaxLanes> scratch;
+  for (std::size_t j = 0; j < k; ++j) {
+    std::array<const std::int64_t*, kMaxLanes> aptr{};
+    std::array<std::size_t, kMaxLanes> alen{};
+    for (std::size_t l = 0; l < lanes; ++l) {
+      if (p[l] != l) continue;
+      scratch[l].clear();
+      for (std::size_t i = 0; i < n; ++i)
+        if (assign[i * kMaxLanes + l] == j)
+          scratch[l].push_back(best_diff[i * kMaxLanes + l]);
+    }
+    for (std::size_t l = 0; l < lanes; ++l) {
+      aptr[l] = scratch[p[l]].data();
+      alen[l] = scratch[p[l]].size();
+    }
+    const Lanes inertia =
+        ctx.DotAccumulate(0, aptr, aptr, alen, p, {VarOfDistance()},
+                          {VarOfAccumulator()});
+    for (std::size_t l = 0; l < lanes; ++l) {
+      out[l * out_size + 2 * j] = static_cast<double>(inertia.v[l]);
+      out[l * out_size + 2 * j + 1] = static_cast<double>(alen[l]);
+    }
   }
   return out;
 }

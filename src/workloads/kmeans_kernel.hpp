@@ -35,6 +35,9 @@ class KMeans1DKernel final : public Kernel {
     return variables_;
   }
   std::vector<double> Run(instrument::ApproxContext& ctx) const override;
+  bool SupportsLanes() const noexcept override { return true; }
+  std::vector<double> RunLanes(
+      instrument::MultiApproxContext& ctx) const override;
 
   std::size_t VarOfPoints() const noexcept { return 0; }
   std::size_t VarOfCentroids() const noexcept { return 1; }

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "instrument/multi_approx_context.hpp"
 #include "util/rng.hpp"
 
 namespace axdse::workloads {
@@ -64,6 +65,27 @@ std::vector<double> MatMulKernel::Run(instrument::ApproxContext& ctx) const {
           ctx.DotAccumulate(0, &a_[i * n_], 1, &bt_[j * n_], 1, n_,
                             {row_var, col_var}, {acc_var});
       out[i * n_ + j] = static_cast<double>(acc);
+    }
+  }
+  return out;
+}
+
+std::vector<double> MatMulKernel::RunLanes(
+    instrument::MultiApproxContext& ctx) const {
+  const std::size_t lanes = ctx.NumLanes();
+  const std::size_t out_size = n_ * n_;
+  std::vector<double> out(lanes * out_size);
+  const std::size_t acc_var = VarOfAccumulator();
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t row_var = VarOfARow(i);
+    for (std::size_t j = 0; j < n_; ++j) {
+      const std::size_t col_var = VarOfBCol(j);
+      // Shared operands + shared zero start: one traversal, one chain per
+      // distinct descriptor pair across the configured lanes.
+      const auto acc = ctx.DotAccumulate(0, &a_[i * n_], 1, &bt_[j * n_], 1,
+                                         n_, {row_var, col_var}, {acc_var});
+      for (std::size_t l = 0; l < lanes; ++l)
+        out[l * out_size + i * n_ + j] = static_cast<double>(acc.v[l]);
     }
   }
   return out;

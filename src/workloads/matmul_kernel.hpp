@@ -41,6 +41,9 @@ class MatMulKernel final : public Kernel {
     return variables_;
   }
   std::vector<double> Run(instrument::ApproxContext& ctx) const override;
+  bool SupportsLanes() const noexcept override { return true; }
+  std::vector<double> RunLanes(
+      instrument::MultiApproxContext& ctx) const override;
 
   std::size_t Size() const noexcept { return n_; }
   MatMulGranularity Granularity() const noexcept { return granularity_; }

@@ -37,6 +37,9 @@ class SobelKernel final : public Kernel {
     return variables_;
   }
   std::vector<double> Run(instrument::ApproxContext& ctx) const override;
+  bool SupportsLanes() const noexcept override { return true; }
+  std::vector<double> RunLanes(
+      instrument::MultiApproxContext& ctx) const override;
 
   std::size_t VarOfKx() const noexcept { return row_bands_; }
   std::size_t VarOfKy() const noexcept { return row_bands_ + 1; }

@@ -165,6 +165,133 @@ TEST(BatchEquivalence, ResolvedOpsMatchPerOpSelectionScan) {
 }
 
 // ---------------------------------------------------------------------------
+// Lane-hostile shapes: the SIMD/multi-lane rewrite must stay bit-identical
+// on exactly the lengths and strides a vectorized loop gets wrong — empty
+// chains, chains shorter than one vector lane width, lengths that are not a
+// multiple of the lane width (remainder handling), non-unit strides, and
+// mixed signed/u8 operand paths. Landed before the rewrite so it gates it.
+// ---------------------------------------------------------------------------
+
+TEST(BatchEquivalence, DotAccumulateLaneHostileLengthsAndStrides) {
+  util::Rng rng(109);
+  // Lengths straddling typical 4/8-wide SIMD lanes, plus the empty chain.
+  const std::size_t lengths[] = {0, 1, 2, 3, 5, 7, 8, 9, 13, 16, 17, 31};
+  for (const auto& set : {axc::EvoApproxCatalog::Instance().MatMulSet(),
+                          axc::EvoApproxCatalog::Instance().FirSet()}) {
+    std::vector<std::uint8_t> a8(128), b8(128);
+    std::vector<std::int32_t> a32(128), b32(128);
+    for (auto& v : a8) v = static_cast<std::uint8_t>(rng.UniformBelow(256));
+    for (auto& v : b8) v = static_cast<std::uint8_t>(rng.UniformBelow(256));
+    for (auto& v : a32)
+      v = static_cast<std::int32_t>(rng.UniformBelow(65536)) - 32768;
+    for (auto& v : b32)
+      v = static_cast<std::int32_t>(rng.UniformBelow(65536)) - 32768;
+    for (int c = 0; c < 12; ++c) {
+      const ApproxSelection sel = RandomSelection(set, 4, rng);
+      ApproxContext batched(set, 4);
+      ApproxContext scalar(set, 4);
+      batched.Configure(sel);
+      scalar.Configure(sel);
+      const std::int64_t init =
+          static_cast<std::int64_t>(rng.UniformBelow(1u << 16));
+      for (const std::size_t n : lengths) {
+        for (const std::size_t stride : {std::size_t{1}, std::size_t{2},
+                                         std::size_t{3}, std::size_t{4}}) {
+          if (n * stride > a8.size()) continue;
+          // u8 path (table8 or unsigned family loop).
+          const std::int64_t got8 = batched.DotAccumulate(
+              init, a8.data(), stride, b8.data(), stride, n, {0, 1}, {2});
+          std::int64_t want8 = init;
+          for (std::size_t i = 0; i < n; ++i)
+            want8 = scalar.Add(
+                want8, scalar.Mul(a8[i * stride], b8[i * stride], {0, 1}),
+                {2});
+          EXPECT_EQ(got8, want8) << set.name << " n=" << n
+                                 << " stride=" << stride << " "
+                                 << sel.ToString();
+          // Signed path at the same hostile shapes.
+          const std::int64_t got32 = batched.DotAccumulate(
+              0, a32.data(), stride, b32.data(), stride, n, {0, 3}, {2});
+          std::int64_t want32 = 0;
+          for (std::size_t i = 0; i < n; ++i)
+            want32 = scalar.Add(
+                want32, scalar.Mul(a32[i * stride], b32[i * stride], {0, 3}),
+                {2});
+          EXPECT_EQ(got32, want32) << set.name << " n=" << n
+                                   << " stride=" << stride << " "
+                                   << sel.ToString();
+        }
+      }
+      ExpectSameCounts(batched.Counts(), scalar.Counts(),
+                       set.name + " hostile-shape counts " + sel.ToString());
+    }
+  }
+}
+
+TEST(BatchEquivalence, DotAccumulateMixedSignedU8Operands) {
+  // One unsigned 8-bit operand against one signed 32-bit operand must take
+  // the signed sign-magnitude path and match the per-op loop exactly.
+  util::Rng rng(113);
+  const auto set = axc::EvoApproxCatalog::Instance().FirSet();
+  std::vector<std::uint8_t> a8(64);
+  std::vector<std::int32_t> b32(64);
+  for (auto& v : a8) v = static_cast<std::uint8_t>(rng.UniformBelow(256));
+  for (auto& v : b32)
+    v = static_cast<std::int32_t>(rng.UniformBelow(65536)) - 32768;
+  for (int c = 0; c < 16; ++c) {
+    const ApproxSelection sel = RandomSelection(set, 4, rng);
+    ApproxContext batched(set, 4);
+    ApproxContext scalar(set, 4);
+    batched.Configure(sel);
+    scalar.Configure(sel);
+    for (const std::size_t n : {std::size_t{0}, std::size_t{3}, std::size_t{7},
+                                std::size_t{9}, std::size_t{64}}) {
+      const std::int64_t got = batched.DotAccumulate(
+          0, a8.data(), 1, b32.data(), 1, n, {0, 1}, {2});
+      std::int64_t want = 0;
+      for (std::size_t i = 0; i < n; ++i)
+        want = scalar.Add(want, scalar.Mul(a8[i], b32[i], {0, 1}), {2});
+      EXPECT_EQ(got, want) << "n=" << n << " " << sel.ToString();
+    }
+    ExpectSameCounts(batched.Counts(), scalar.Counts(),
+                     "mixed-operand counts " + sel.ToString());
+  }
+}
+
+TEST(BatchEquivalence, AxpyAccumulateLaneHostileLengths) {
+  util::Rng rng(127);
+  const auto set = axc::EvoApproxCatalog::Instance().FirSet();
+  std::vector<std::int32_t> x(48);
+  for (auto& v : x)
+    v = static_cast<std::int32_t>(rng.UniformBelow(65536)) - 32768;
+  for (int c = 0; c < 10; ++c) {
+    const ApproxSelection sel = RandomSelection(set, 3, rng);
+    ApproxContext batched(set, 3);
+    ApproxContext scalar(set, 3);
+    batched.Configure(sel);
+    scalar.Configure(sel);
+    const std::int64_t alpha =
+        static_cast<std::int64_t>(rng.UniformBelow(65536)) - 32768;
+    for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{5},
+                                std::size_t{8}, std::size_t{11},
+                                std::size_t{33}}) {
+      std::vector<std::int64_t> y_batched(n), y_scalar(n);
+      for (std::size_t i = 0; i < n; ++i)
+        y_batched[i] = y_scalar[i] =
+            static_cast<std::int64_t>(rng.UniformBelow(1u << 20)) - (1 << 19);
+      batched.AxpyAccumulate(y_batched.data(), x.data(), n, alpha, {0, 1},
+                             {2});
+      for (std::size_t i = 0; i < n; ++i)
+        y_scalar[i] =
+            scalar.Add(y_scalar[i], scalar.Mul(alpha, x[i], {0, 1}), {2});
+      EXPECT_EQ(y_batched, y_scalar) << "n=" << n << " " << sel.ToString();
+    }
+    ExpectSameCounts(batched.Counts(), scalar.Counts(),
+                     "axpy hostile counts " + sel.ToString());
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Kernel level: every registry kernel vs a scalar mirror of its historical
 // per-op implementation, under random selections.
 // ---------------------------------------------------------------------------

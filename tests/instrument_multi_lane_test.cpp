@@ -1,0 +1,240 @@
+// Lane-parallel equivalence: MultiApproxContext must score every configured
+// lane bit-identically to a scalar ApproxContext configured with that lane's
+// selection — outputs AND per-lane OpCounts — for every registry kernel,
+// across lane counts 1..kMaxLanes, with duplicate and near-duplicate
+// selections mixed in so the dedup partitions actually collapse lanes.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "axc/catalog.hpp"
+#include "instrument/approx_context.hpp"
+#include "instrument/multi_approx_context.hpp"
+#include "util/rng.hpp"
+#include "workloads/conv2d_kernel.hpp"
+#include "workloads/dct_kernel.hpp"
+#include "workloads/dot_product_kernel.hpp"
+#include "workloads/fir_kernel.hpp"
+#include "workloads/iir_kernel.hpp"
+#include "workloads/kernel.hpp"
+#include "workloads/kmeans_kernel.hpp"
+#include "workloads/matmul_kernel.hpp"
+#include "workloads/sobel_kernel.hpp"
+
+namespace axdse::instrument {
+namespace {
+
+ApproxSelection RandomSelection(const axc::OperatorSet& set,
+                                std::size_t num_vars, util::Rng& rng) {
+  ApproxSelection sel(num_vars);
+  sel.SetAdderIndex(
+      static_cast<std::uint32_t>(rng.UniformBelow(set.adders.size())));
+  sel.SetMultiplierIndex(
+      static_cast<std::uint32_t>(rng.UniformBelow(set.multipliers.size())));
+  for (std::size_t v = 0; v < num_vars; ++v)
+    if (rng.UniformBelow(2) == 1) sel.SetVariable(v, true);
+  return sel;
+}
+
+/// Lane batches mix fresh random selections with repeats of earlier lanes,
+/// so runs exercise both fully-split and partially-collapsed partitions.
+std::vector<ApproxSelection> RandomLaneBatch(const axc::OperatorSet& set,
+                                             std::size_t num_vars,
+                                             std::size_t lanes,
+                                             util::Rng& rng) {
+  std::vector<ApproxSelection> selections;
+  selections.reserve(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (l > 0 && rng.UniformBelow(4) == 0)
+      selections.push_back(selections[rng.UniformBelow(l)]);
+    else
+      selections.push_back(RandomSelection(set, num_vars, rng));
+  }
+  return selections;
+}
+
+void ExpectSameCounts(const energy::OpCounts& lane,
+                      const energy::OpCounts& scalar,
+                      const std::string& what) {
+  EXPECT_EQ(lane.precise_adds, scalar.precise_adds) << what;
+  EXPECT_EQ(lane.approx_adds, scalar.approx_adds) << what;
+  EXPECT_EQ(lane.precise_muls, scalar.precise_muls) << what;
+  EXPECT_EQ(lane.approx_muls, scalar.approx_muls) << what;
+}
+
+template <class ConcreteKernel>
+void CheckLanesAgainstScalar(const ConcreteKernel& kernel, int cases,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  MultiApproxContext multi(kernel.Operators(), kernel.NumVariables());
+  ApproxContext scalar = kernel.MakeContext();
+  for (int c = 0; c < cases; ++c) {
+    for (const std::size_t lanes :
+         {std::size_t{1}, std::size_t{2}, std::size_t{5},
+          MultiApproxContext::kMaxLanes}) {
+      const std::vector<ApproxSelection> selections = RandomLaneBatch(
+          kernel.Operators(), kernel.NumVariables(), lanes, rng);
+      multi.Configure(selections);
+      const std::vector<double> got = kernel.RunLanes(multi);
+      ASSERT_EQ(got.size() % lanes, 0u) << kernel.Name();
+      const std::size_t out_size = got.size() / lanes;
+      for (std::size_t l = 0; l < lanes; ++l) {
+        scalar.Configure(selections[l]);
+        const std::vector<double> want = kernel.Run(scalar);
+        ASSERT_EQ(want.size(), out_size) << kernel.Name();
+        for (std::size_t i = 0; i < out_size; ++i)
+          ASSERT_EQ(got[l * out_size + i], want[i])
+              << kernel.Name() << " lane=" << l << "/" << lanes
+              << " out=" << i << " " << selections[l].ToString();
+        ExpectSameCounts(multi.Counts(l), scalar.Counts(),
+                         kernel.Name() + " lane " + std::to_string(l) + "/" +
+                             std::to_string(lanes) + " " +
+                             selections[l].ToString());
+      }
+    }
+  }
+}
+
+TEST(MultiLaneEquivalence, ConfigureValidatesLikeScalar) {
+  const auto set = axc::EvoApproxCatalog::Instance().FirSet();
+  MultiApproxContext multi(set, 3);
+  std::vector<ApproxSelection> none;
+  EXPECT_THROW(multi.Configure(none), std::invalid_argument);
+  std::vector<ApproxSelection> too_many(MultiApproxContext::kMaxLanes + 1,
+                                        ApproxSelection(3));
+  EXPECT_THROW(multi.Configure(too_many), std::invalid_argument);
+  std::vector<ApproxSelection> wrong_vars(2, ApproxSelection(4));
+  EXPECT_THROW(multi.Configure(wrong_vars), std::invalid_argument);
+  ApproxSelection bad_adder(3);
+  bad_adder.SetAdderIndex(static_cast<std::uint32_t>(set.adders.size()));
+  EXPECT_THROW(multi.Configure({ApproxSelection(3), bad_adder}),
+               std::invalid_argument);
+  // A failed Configure must not leave the context unusable.
+  multi.Configure({ApproxSelection(3), ApproxSelection(3)});
+  EXPECT_EQ(multi.NumLanes(), 2u);
+}
+
+TEST(MultiLaneEquivalence, ResolvedOpsMatchPerLaneScalarContexts) {
+  util::Rng rng(301);
+  const auto set = axc::EvoApproxCatalog::Instance().FirSet();
+  for (int c = 0; c < 12; ++c) {
+    const std::size_t lanes = 2 + rng.UniformBelow(7);
+    const std::vector<ApproxSelection> selections =
+        RandomLaneBatch(set, 4, lanes, rng);
+    MultiApproxContext multi(set, 4);
+    multi.Configure(selections);
+    std::vector<ApproxContext> scalars;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      scalars.emplace_back(set, 4);
+      scalars.back().Configure(selections[l]);
+    }
+    const std::uint64_t mask = multi.ApproxLaneMask({1, 2});
+    MultiApproxContext::Lanes a = multi.Broadcast(12345);
+    MultiApproxContext::Lanes b = multi.Broadcast(-678);
+    for (int i = 0; i < 40; ++i) {
+      const MultiApproxContext::Lanes sum = multi.AddResolved(mask, a, b);
+      const MultiApproxContext::Lanes product = multi.MulResolved(mask, b, a);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        EXPECT_EQ(sum.v[l], scalars[l].Add(a.v[l], b.v[l], {1, 2}))
+            << "lane " << l;
+        EXPECT_EQ(product.v[l], scalars[l].Mul(b.v[l], a.v[l], {1, 2}))
+            << "lane " << l;
+      }
+      a = sum;
+      b = product;
+      // Wiring transform keeps the magnitudes bounded; lane-wise, so the
+      // partition is preserved.
+      for (std::size_t l = 0; l < MultiApproxContext::kMaxLanes; ++l) {
+        a.v[l] >>= 8;
+        b.v[l] >>= 8;
+      }
+      for (std::size_t l = 0; l < lanes; ++l) {
+        EXPECT_EQ(a.v[l], sum.v[l] >> 8);
+        EXPECT_EQ(b.v[l], product.v[l] >> 8);
+      }
+    }
+    for (std::size_t l = 0; l < lanes; ++l)
+      ExpectSameCounts(multi.Counts(l), scalars[l].Counts(),
+                       "resolved-ops lane " + std::to_string(l));
+  }
+}
+
+TEST(MultiLaneEquivalence, DefaultKernelRejectsLanes) {
+  class NoLanesKernel final : public workloads::Kernel {
+   public:
+    NoLanesKernel()
+        : name_("no-lanes"),
+          variables_({{"x"}}),
+          operators_(axc::EvoApproxCatalog::Instance().FirSet()) {}
+    const std::string& Name() const noexcept override { return name_; }
+    const axc::OperatorSet& Operators() const noexcept override {
+      return operators_;
+    }
+    const std::vector<workloads::VariableInfo>& Variables()
+        const noexcept override {
+      return variables_;
+    }
+    std::vector<double> Run(ApproxContext& ctx) const override {
+      return {static_cast<double>(ctx.Add(1, 2, {0}))};
+    }
+
+   private:
+    std::string name_;
+    std::vector<workloads::VariableInfo> variables_;
+    axc::OperatorSet operators_;
+  };
+  const NoLanesKernel kernel;
+  EXPECT_FALSE(kernel.SupportsLanes());
+  MultiApproxContext multi(kernel.Operators(), kernel.NumVariables());
+  EXPECT_THROW(kernel.RunLanes(multi), std::logic_error);
+}
+
+TEST(MultiLaneEquivalence, MatMulRowColMatchesScalarRuns) {
+  CheckLanesAgainstScalar(
+      workloads::MatMulKernel(8, workloads::MatMulGranularity::kRowCol, 5), 6,
+      311);
+}
+
+TEST(MultiLaneEquivalence, MatMulPerMatrixMatchesScalarRuns) {
+  CheckLanesAgainstScalar(
+      workloads::MatMulKernel(6, workloads::MatMulGranularity::kPerMatrix, 9),
+      6, 313);
+}
+
+TEST(MultiLaneEquivalence, FirMatchesScalarRuns) {
+  CheckLanesAgainstScalar(workloads::FirKernel(60, 5), 6, 317);
+  // Fewer samples than taps: the truncated tap loop must agree too.
+  CheckLanesAgainstScalar(
+      workloads::FirKernel(9, 17, 0.2, workloads::FirGranularity::kPerTap, 5),
+      4, 331);
+}
+
+TEST(MultiLaneEquivalence, IirMatchesScalarRuns) {
+  CheckLanesAgainstScalar(workloads::IirKernel(64, 0.2, 7), 6, 337);
+}
+
+TEST(MultiLaneEquivalence, Conv2DMatchesScalarRuns) {
+  CheckLanesAgainstScalar(workloads::Conv2DKernel(10, 12, 3, 11), 6, 347);
+}
+
+TEST(MultiLaneEquivalence, DctMatchesScalarRuns) {
+  CheckLanesAgainstScalar(workloads::DctKernel(2, 13), 6, 349);
+}
+
+TEST(MultiLaneEquivalence, DotMatchesScalarRuns) {
+  CheckLanesAgainstScalar(workloads::DotProductKernel(48, 5, 17), 6, 353);
+}
+
+TEST(MultiLaneEquivalence, SobelMatchesScalarRuns) {
+  CheckLanesAgainstScalar(workloads::SobelKernel(9, 11, 3, 19), 6, 359);
+}
+
+TEST(MultiLaneEquivalence, KMeansMatchesScalarRuns) {
+  CheckLanesAgainstScalar(workloads::KMeans1DKernel(40, 5, 23), 6, 367);
+}
+
+}  // namespace
+}  // namespace axdse::instrument

@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <exception>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -144,6 +146,63 @@ TEST(SharedEvaluationCache, FetchOrComputeReleasesKeyWhenComputeThrows) {
   cache.FetchOrCompute(KeyOf(6), [] { return ValueOf(6); }, &computed);
   EXPECT_TRUE(computed);
   EXPECT_DOUBLE_EQ(cache.Lookup(KeyOf(6))->delta_acc, ValueOf(6).delta_acc);
+}
+
+TEST(SharedEvaluationCache, FetchOrComputeFailurePropagatesToBlockedWaiters) {
+  // Regression: callers blocked on an in-flight key used to be woken with no
+  // record of the computer's failure and silently recomputed (or, worse, a
+  // bare catch swallowed the error entirely). A waiter that was blocked when
+  // the compute threw must rethrow that same error — without ever running
+  // its own compute.
+  SharedEvaluationCache cache;
+  std::atomic<bool> waiter_launched{false};
+  std::atomic<std::size_t> waiter_compute_runs{0};
+  std::exception_ptr waiter_error;
+
+  std::thread waiter([&] {
+    while (!waiter_launched.load(std::memory_order_acquire)) {
+    }
+    try {
+      cache.FetchOrCompute(KeyOf(8), [&]() -> Measurement {
+        waiter_compute_runs.fetch_add(1, std::memory_order_relaxed);
+        return ValueOf(8);
+      });
+    } catch (...) {
+      waiter_error = std::current_exception();
+    }
+  });
+
+  EXPECT_THROW(
+      cache.FetchOrCompute(KeyOf(8),
+                           [&]() -> Measurement {
+                             // We hold the in-flight slot; release the waiter
+                             // and give it ample time to block on the key
+                             // before failing.
+                             waiter_launched.store(
+                                 true, std::memory_order_release);
+                             std::this_thread::sleep_for(
+                                 std::chrono::milliseconds(200));
+                             throw std::runtime_error("boom");
+                           }),
+      std::runtime_error);
+  waiter.join();
+
+  EXPECT_EQ(waiter_compute_runs.load(), 0u);
+  ASSERT_TRUE(waiter_error);
+  try {
+    std::rethrow_exception(waiter_error);
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  } catch (...) {
+    FAIL() << "waiter saw a different exception type";
+  }
+  // The failure record drains with its waiters; the key is not wedged and
+  // carries no stale error for later arrivals.
+  bool computed = false;
+  const Measurement value =
+      cache.FetchOrCompute(KeyOf(8), [] { return ValueOf(8); }, &computed);
+  EXPECT_TRUE(computed);
+  EXPECT_DOUBLE_EQ(value.delta_acc, ValueOf(8).delta_acc);
 }
 
 // ---------------------------------------------------------------------------

@@ -158,6 +158,8 @@ TEST(ServeServer, WatchStreamsProgressAndStateEvents) {
   }
   EXPECT_TRUE(saw_progress) << "no progress event among " << events.size();
   EXPECT_TRUE(saw_done);
+  // The clean-exit detector: a complete stream marks the job settled.
+  EXPECT_TRUE(client.SawTerminalEvent(id));
   server.Stop();
 }
 
@@ -385,6 +387,49 @@ TEST(ServeServer, FailedJobReportsErrorAndDaemonStaysUp) {
   const std::uint64_t ok = client.Submit(QuickRequest(150, 1));
   EXPECT_EQ(client.WaitJob(ok), "done");
   server.Stop();
+}
+
+TEST(ServeServer, ClientDetectsTruncatedEventStreamAndKeepsLastError) {
+  // Regression: a daemon dying mid-WATCH truncates the event stream, but the
+  // client used to surface nothing actionable — and the CLI exited 0. The
+  // Client must (a) throw ConnectionLostError carrying the last typed server
+  // error it saw, and (b) never report the watched job as settled.
+  //
+  // Modeled with a fake daemon that speaks just enough protocol: it accepts
+  // one connection, streams a progress event and a typed error event, then
+  // drops dead before the terminal state event and before WAIT's OK.
+  Listener listener = Listener::Bind(0);
+  const int port = listener.Port();
+  std::thread fake_daemon([&listener] {
+    Socket conn = listener.Accept();
+    ASSERT_TRUE(conn.Valid());
+    LineReader reader(conn.Fd(), 1 << 16);
+    ASSERT_TRUE(conn.SendAll(std::string("HELLO ") + kProtocolVersion + "\n"));
+    std::string line;
+    ASSERT_EQ(reader.ReadLine(line), LineReader::Status::kLine);  // WATCH 7
+    ASSERT_TRUE(conn.SendAll("OK\n"));
+    ASSERT_EQ(reader.ReadLine(line), LineReader::Status::kLine);  // WAIT 7
+    ASSERT_TRUE(conn.SendAll(
+        "EVENT 7 progress steps=64\n"
+        "EVENT 7 state running error=engine%20worker%20crashed\n"));
+    conn.Close();  // dead before "EVENT 7 state ..." terminal + "OK state ..."
+  });
+
+  auto client = Client::Connect("127.0.0.1", port);
+  client.Watch(7);
+  try {
+    client.WaitJob(7);
+    FAIL() << "expected ConnectionLostError";
+  } catch (const ConnectionLostError& error) {
+    EXPECT_EQ(error.LastServerError(), "engine worker crashed");
+    EXPECT_NE(std::string(error.what())
+                  .find("last server error: engine worker crashed"),
+              std::string::npos)
+        << error.what();
+  }
+  // The stream never delivered job 7's terminal event: not settled.
+  EXPECT_FALSE(client.SawTerminalEvent(7));
+  fake_daemon.join();
 }
 
 // ---------------------------------------------------------------------------

@@ -50,6 +50,18 @@ int Fail(const char* message) {
   return 2;
 }
 
+// The server writes a job's terminal event before WAIT's OK, so a WAIT that
+// returned without the event means the stream was truncated (watcher evicted
+// or daemon died mid-stream) — never report a clean exit for it.
+int FailTruncated(const axdse::serve::Client& client, std::uint64_t job_id) {
+  std::string message = "axdse-client: event stream truncated before job " +
+                        std::to_string(job_id) + " settled";
+  if (!client.LastEventError().empty())
+    message += " (last server error: " + client.LastEventError() + ")";
+  std::fprintf(stderr, "%s\n", message.c_str());
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -97,6 +109,7 @@ int main(int argc, char** argv) {
       client.OnEvent(PrintEvent);
       client.Watch(id);
       const std::string state = client.WaitJob(id);
+      if (!client.SawTerminalEvent(id)) return FailTruncated(client, id);
       std::printf("%s\n", state.c_str());
       return state == "done" ? 0 : 1;
     } else if (command == "results") {
@@ -117,6 +130,7 @@ int main(int argc, char** argv) {
       });
       client.Watch(id);
       const std::string state = client.WaitJob(id);
+      if (!client.SawTerminalEvent(id)) return FailTruncated(client, id);
       if (state != "done") {
         std::fprintf(stderr, "axdse-client: job finished as '%s'\n",
                      state.c_str());
