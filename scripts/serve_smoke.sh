@@ -20,6 +20,11 @@ CLIENT="$BUILD_DIR/tools/axdse-client"
   exit 2
 }
 
+# Every client call retries a refused/dropped connection with backoff: the
+# daemon's listening socket can lag the log line this script polls for, and
+# a fresh restart may briefly refuse — both were ECONNREFUSED flakes.
+client() { "$CLIENT" --connect-retries=10 --connect-backoff-ms=50 "$@"; }
+
 WORK="$(mktemp -d "${TMPDIR:-/tmp}/axdse-serve-smoke.XXXXXX")"
 SERVER_PID=""
 cleanup() {
@@ -50,19 +55,19 @@ start_daemon() {
 
 echo "== reference: uninterrupted campaign =="
 start_daemon "$WORK/ref-state" "$WORK/ref.log"
-REF_ID="$("$CLIENT" --port="$PORT" submit-campaign $CAMPAIGN | awk '{print $2}')"
-"$CLIENT" --port="$PORT" wait "$REF_ID"
-"$CLIENT" --port="$PORT" results "$REF_ID" >"$WORK/reference.json"
-"$CLIENT" --port="$PORT" shutdown
+REF_ID="$(client --port="$PORT" submit-campaign $CAMPAIGN | awk '{print $2}')"
+client --port="$PORT" wait "$REF_ID"
+client --port="$PORT" results "$REF_ID" >"$WORK/reference.json"
+client --port="$PORT" shutdown
 wait "$SERVER_PID"
 SERVER_PID=""
 
 echo "== interrupted: SIGTERM mid-run, then restart =="
 start_daemon "$WORK/drain-state" "$WORK/drain.log"
-JOB_ID="$("$CLIENT" --port="$PORT" submit-campaign $CAMPAIGN | awk '{print $2}')"
+JOB_ID="$(client --port="$PORT" submit-campaign $CAMPAIGN | awk '{print $2}')"
 # Wait until the job is genuinely mid-run (progress counted) before killing.
 for _ in $(seq 1 200); do
-  STATUS="$("$CLIENT" --port="$PORT" status "$JOB_ID")"
+  STATUS="$(client --port="$PORT" status "$JOB_ID")"
   case "$STATUS" in *" steps=0"*) sleep 0.05 ;; *) break ;; esac
 done
 echo "pre-SIGTERM: $STATUS"
@@ -76,10 +81,10 @@ grep -q "draining (signal)" "$WORK/drain.log" || {
 }
 
 start_daemon "$WORK/drain-state" "$WORK/restart.log"
-echo "post-restart: $("$CLIENT" --port="$PORT" status "$JOB_ID")"
-"$CLIENT" --port="$PORT" wait "$JOB_ID"
-"$CLIENT" --port="$PORT" results "$JOB_ID" >"$WORK/resumed.json"
-"$CLIENT" --port="$PORT" shutdown
+echo "post-restart: $(client --port="$PORT" status "$JOB_ID")"
+client --port="$PORT" wait "$JOB_ID"
+client --port="$PORT" results "$JOB_ID" >"$WORK/resumed.json"
+client --port="$PORT" shutdown
 wait "$SERVER_PID"
 SERVER_PID=""
 

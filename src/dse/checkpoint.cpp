@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -10,8 +11,12 @@
 #include <optional>
 #include <sstream>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "rl/state_io.hpp"
 
+#include "util/fault_injection.hpp"
 #include "util/number_format.hpp"
 
 namespace axdse::dse {
@@ -358,35 +363,85 @@ std::vector<std::pair<Configuration, instrument::Measurement>> ReadEntries(
 }  // namespace
 
 // --------------------------------------------------------------------------
-// File IO: atomic write (temp + rename), whole-file read.
+// File IO: durable atomic write (temp + fsync + rename + directory fsync),
+// whole-file read.
 // --------------------------------------------------------------------------
+
+namespace {
+
+/// Writes `length` bytes of `content` to a fresh fd at `temp` and flushes
+/// them to stable storage. Returns false on any IO failure (the caller
+/// unlinks the temp file and raises CheckpointError).
+bool WriteAndSyncFile(const std::filesystem::path& temp,
+                      const std::string& content, std::size_t length) {
+  const int fd = ::open(temp.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  bool ok = true;
+  std::size_t offset = 0;
+  while (offset < length) {
+    const ::ssize_t n = ::write(fd, content.data() + offset, length - offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    offset += static_cast<std::size_t>(n);
+  }
+  // A snapshot is only "committed" once its bytes are on stable storage:
+  // without this fsync a crash after the rename could publish an empty or
+  // truncated file under the final name.
+  if (ok && ::fsync(fd) != 0) ok = false;
+  if (::close(fd) != 0) ok = false;
+  return ok;
+}
+
+/// Flushes a directory entry (the rename) to stable storage; without it a
+/// power cut can forget that the snapshot file exists at all.
+bool SyncDirectory(const std::filesystem::path& directory) {
+  const int fd = ::open(directory.c_str(),
+                        O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
 
 void AtomicWriteCheckpointFile(const std::string& path,
                                const std::string& content, const char* what) {
   namespace fs = std::filesystem;
-  // Unique temp name per write: concurrent saves of the same target (e.g.
-  // duplicate (request, seed) jobs in one batch) must not clobber each
-  // other's temp file — each rename then atomically installs a complete
-  // snapshot and the last writer wins.
+  // Unique temp name per write: concurrent saves of the same target must
+  // not clobber each other's temp file — each rename then atomically
+  // installs a complete snapshot and the last writer wins. The pid keeps
+  // the name unique across PROCESSES too (shard workers racing on one
+  // state directory), the counter within a process (e.g. duplicate
+  // (request, seed) jobs in one batch).
   static std::atomic<std::uint64_t> counter{0};
   try {
     const fs::path target(path);
     if (target.has_parent_path()) fs::create_directories(target.parent_path());
-    const fs::path temp(path + ".tmp" +
+    const fs::path temp(path + ".tmp" + std::to_string(::getpid()) + "." +
                         std::to_string(counter.fetch_add(1)));
     try {
-      {
-        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-        if (!out.good())
-          throw CheckpointError(std::string(what) + ": cannot write " +
-                                temp.string());
-        out << content;
-        out.flush();
-        if (!out.good())
-          throw CheckpointError(std::string(what) + ": write failed for " +
-                                temp.string());
+      // Fault-injection hook: a `:short` action on "checkpoint.write"
+      // truncates this write, modeling the torn file a crash mid-write (or
+      // a missing fsync) would have left visible under the final name.
+      const std::size_t length =
+          util::fault::ShortWriteLength("checkpoint.write", content.size());
+      if (!WriteAndSyncFile(temp, content, length)) {
+        throw CheckpointError(std::string(what) + ": write failed for " +
+                              temp.string());
       }
+      util::fault::Point("checkpoint.before-rename");
       fs::rename(temp, target);
+      util::fault::Point("checkpoint.after-rename");
+      if (!SyncDirectory(target.has_parent_path() ? target.parent_path()
+                                                  : fs::path("."))) {
+        throw CheckpointError(std::string(what) +
+                              ": cannot sync parent directory of " + path);
+      }
     } catch (...) {
       // Never leave a partial temp file behind (e.g. disk full mid-write);
       // the completion cleanup only knows the real snapshot names.

@@ -114,11 +114,15 @@ struct SharedCacheCheckpoint {
   static SharedCacheCheckpoint Load(const std::string& path);
 };
 
-/// Atomically writes `content` to `path` (unique temp file + rename,
-/// parent directories created on demand, partial temp files cleaned up on
-/// failure). Shared by every snapshot writer — job checkpoints, shared-cache
-/// state, campaign chunks — so they cannot diverge on durability protocol.
-/// `what` prefixes CheckpointError messages.
+/// Atomically AND durably writes `content` to `path`: unique temp file,
+/// fsync of the temp fd BEFORE the rename (so the published file can never
+/// be empty or truncated after a crash), rename, then fsync of the parent
+/// directory (so power loss cannot forget the rename). Parent directories
+/// are created on demand; partial temp files are unlinked on failure (e.g.
+/// ENOSPC) before the CheckpointError surfaces. Shared by every snapshot
+/// writer — job checkpoints, shared-cache state, campaign chunks, shard
+/// leases — so they cannot diverge on durability protocol. `what` prefixes
+/// CheckpointError messages.
 void AtomicWriteCheckpointFile(const std::string& path,
                                const std::string& content, const char* what);
 

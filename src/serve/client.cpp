@@ -1,6 +1,10 @@
 #include "serve/client.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <random>
 #include <stdexcept>
+#include <thread>
 
 namespace axdse::serve {
 
@@ -30,6 +34,28 @@ Client Client::Connect(const std::string& host, int port,
     throw ProtocolError("bad-hello",
                         "unsupported server banner '" + banner + "'");
   return client;
+}
+
+Client Client::Connect(const std::string& host, int port,
+                       const ConnectRetry& retry,
+                       std::size_t max_line_bytes) {
+  std::minstd_rand jitter_rng{std::random_device{}()};
+  std::size_t backoff_ms = std::max<std::size_t>(retry.backoff_ms, 1);
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      return Connect(host, port, max_line_bytes);
+    } catch (const ProtocolError&) {
+      throw;  // wrong banner: retrying cannot help
+    } catch (const std::runtime_error&) {
+      if (attempt >= retry.retries) throw;
+    }
+    const std::size_t bounded =
+        std::min(backoff_ms, std::max<std::size_t>(retry.max_backoff_ms, 1));
+    std::uniform_int_distribution<std::size_t> jitter(0, bounded / 2);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(bounded + jitter(jitter_rng)));
+    backoff_ms = bounded * 2;
+  }
 }
 
 void Client::RecordEvent(const std::string& payload) {

@@ -41,6 +41,20 @@ class ConnectionLostError : public std::runtime_error {
   std::string last_server_error_;
 };
 
+/// Connection-retry policy for Client::Connect. The first attempt is
+/// always made; after a connection-level failure (refused, unreachable,
+/// closed before HELLO — the daemon-still-starting cases) up to `retries`
+/// further attempts follow, sleeping backoff_ms, 2*backoff_ms, ... between
+/// them (bounded by max_backoff_ms) plus up to half a period of jitter so
+/// simultaneous clients don't reconnect in lockstep. Protocol-level
+/// failures (a server that answers with the wrong banner) are never
+/// retried — that daemon will not get better.
+struct ConnectRetry {
+  std::size_t retries = 0;            ///< extra attempts after the first
+  std::size_t backoff_ms = 50;        ///< sleep before the first retry
+  std::size_t max_backoff_ms = 2000;  ///< exponential growth bound
+};
+
 class Client {
  public:
   /// Handler for unsolicited EVENT lines; receives "<job-id> <detail>".
@@ -50,6 +64,13 @@ class Client {
   /// version. Throws std::runtime_error on connection failure and
   /// ProtocolError("bad-hello", ...) on a version mismatch.
   static Client Connect(const std::string& host, int port,
+                        std::size_t max_line_bytes = kDefaultMaxLineBytes);
+
+  /// Connect() under a retry policy: connection-level failures are retried
+  /// with bounded exponential backoff and jitter (see ConnectRetry); the
+  /// last failure's error is rethrown when every attempt is exhausted.
+  static Client Connect(const std::string& host, int port,
+                        const ConnectRetry& retry,
                         std::size_t max_line_bytes = kDefaultMaxLineBytes);
 
   Client(Client&&) = default;

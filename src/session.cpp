@@ -53,6 +53,16 @@ dse::CampaignResult Session::RunCampaign(
   return dse::Campaign(engine_).Run(spec, options);
 }
 
+dse::ShardRunReport Session::RunShardedCampaign(
+    const dse::CampaignSpec& spec, const dse::ShardOptions& options) const {
+  return dse::ShardWorker(engine_).Run(spec, options);
+}
+
+dse::CampaignResult Session::MergeShardedCampaign(
+    const std::string& state_directory) {
+  return dse::MergeShardedCampaign(state_directory);
+}
+
 dse::BatchResult Session::ExploreBatchShared(
     std::vector<dse::ExplorationRequest> requests) const {
   for (dse::ExplorationRequest& request : requests)

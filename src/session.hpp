@@ -15,6 +15,7 @@
 
 #include "dse/campaign.hpp"
 #include "dse/engine.hpp"
+#include "dse/shard.hpp"
 
 namespace axdse {
 
@@ -81,6 +82,21 @@ class Session {
   dse::CampaignResult RunCampaign(
       const dse::CampaignSpec& spec,
       const dse::CampaignOptions& options = {}) const;
+
+  /// Runs this process's share of a multi-process campaign: chunks are
+  /// claimed from the shared state directory through crash-safe owner
+  /// leases (see dse::ShardWorker). Any number of processes may point at
+  /// the same directory; once any of them returns with `complete`,
+  /// MergeShardedCampaign yields the byte-identical equivalent of a
+  /// single-process RunCampaign of the same spec and chunk size.
+  dse::ShardRunReport RunShardedCampaign(const dse::CampaignSpec& spec,
+                                         const dse::ShardOptions& options) const;
+
+  /// Folds a completed sharded campaign's state directory into one
+  /// CampaignResult (see dse::MergeShardedCampaign). Throws dse::ShardError
+  /// when the directory is incomplete or foreign.
+  static dse::CampaignResult MergeShardedCampaign(
+      const std::string& state_directory);
 
   /// The underlying batch engine.
   const dse::Engine& Engine() const noexcept { return engine_; }

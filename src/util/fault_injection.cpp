@@ -1,0 +1,156 @@
+#include "util/fault_injection.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace axdse::util::fault {
+
+namespace {
+
+enum class Action { kKill, kDelay, kShort };
+
+struct PointSpec {
+  std::string name;
+  std::uint64_t nth = 1;  // 1-based hit that fires the action
+  Action action = Action::kKill;
+  std::uint64_t delay_ms = 0;
+  std::uint64_t hits = 0;
+};
+
+struct State {
+  std::mutex mutex;
+  std::vector<PointSpec> points;
+};
+
+State& GlobalState() {
+  static State state;
+  return state;
+}
+
+std::atomic<bool> g_armed{false};
+
+std::uint64_t ParseCount(const std::string& text, std::uint64_t fallback) {
+  if (text.empty()) return fallback;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return fallback;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+/// Malformed entries are dropped silently: fault injection is a test
+/// facility and must never take a production process down by itself.
+void ParseSpec(const std::string& spec, std::vector<PointSpec>& out) {
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string entry =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (entry.empty()) continue;
+    PointSpec point;
+    const std::size_t first = entry.find(':');
+    point.name = entry.substr(0, first);
+    if (point.name.empty()) continue;
+    if (first != std::string::npos) {
+      const std::string rest = entry.substr(first + 1);
+      const std::size_t second = rest.find(':');
+      point.nth = ParseCount(rest.substr(0, second), 1);
+      if (second != std::string::npos) {
+        const std::string action = rest.substr(second + 1);
+        if (action == "short") {
+          point.action = Action::kShort;
+        } else if (action.rfind("delay=", 0) == 0) {
+          point.action = Action::kDelay;
+          point.delay_ms = ParseCount(action.substr(6), 0);
+        } else if (action != "kill") {
+          continue;  // unknown action — drop the entry
+        }
+      }
+    }
+    if (point.nth == 0) point.nth = 1;
+    out.push_back(std::move(point));
+  }
+}
+
+void EnsureInitialized() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("AXDSE_FAULT");
+    if (env == nullptr || *env == '\0') return;
+    State& state = GlobalState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    ParseSpec(env, state.points);
+    if (!state.points.empty())
+      g_armed.store(true, std::memory_order_relaxed);
+  });
+}
+
+[[noreturn]] void Die() {
+  // Model SIGKILL at this exact instruction: no unwinding, no atexit, no
+  // stream flushes — exactly what an external `kill -9` leaves behind.
+  ::raise(SIGKILL);
+  std::_Exit(137);  // unreachable unless SIGKILL is somehow masked
+}
+
+}  // namespace
+
+bool Armed() noexcept {
+  EnsureInitialized();
+  return g_armed.load(std::memory_order_relaxed);
+}
+
+void Point(const char* name) noexcept {
+  if (!Armed()) return;
+  std::uint64_t delay_ms = 0;
+  bool kill = false;
+  {
+    State& state = GlobalState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    for (PointSpec& point : state.points) {
+      if (point.action == Action::kShort || point.name != name) continue;
+      if (++point.hits != point.nth) continue;
+      if (point.action == Action::kKill)
+        kill = true;
+      else
+        delay_ms = point.delay_ms;
+    }
+  }
+  if (kill) Die();
+  if (delay_ms != 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+}
+
+std::size_t ShortWriteLength(const char* name,
+                             std::size_t full_length) noexcept {
+  if (!Armed() || full_length == 0) return full_length;
+  State& state = GlobalState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (PointSpec& point : state.points) {
+    if (point.action != Action::kShort || point.name != name) continue;
+    if (++point.hits != point.nth) continue;
+    // Drop at least one byte so the torn file never parses cleanly by luck
+    // of landing on a line boundary with the full content.
+    return full_length / 2;
+  }
+  return full_length;
+}
+
+void SetSpecForTesting(const std::string& spec) {
+  EnsureInitialized();
+  State& state = GlobalState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.points.clear();
+  ParseSpec(spec, state.points);
+  g_armed.store(!state.points.empty(), std::memory_order_relaxed);
+}
+
+}  // namespace axdse::util::fault

@@ -1,0 +1,44 @@
+#pragma once
+// util::fault — deterministic fault injection for crash-safety tests. A
+// process is armed through the AXDSE_FAULT environment variable, a
+// comma-separated list of
+//
+//   <point>:<nth>            kill the process (SIGKILL) at the nth hit of
+//                            the named point — death at an exact instruction
+//                            instead of a timing-dependent external kill
+//   <point>:<nth>:delay=<ms> sleep <ms> at the nth hit (race widening)
+//   <point>:<nth>:short      truncate the nth short-write-capable write
+//                            through that point (models a torn file)
+//
+// e.g. AXDSE_FAULT=shard.executed:2 kills a shard worker the moment it has
+// finished computing its second chunk, before the result document commits.
+// Points are cheap when unarmed: one relaxed atomic load and out. Hit
+// counting is per-point and process-wide (thread-safe), so "nth" is exact
+// even when several worker threads pass the same point.
+
+#include <cstddef>
+#include <string>
+
+namespace axdse::util::fault {
+
+/// True when AXDSE_FAULT armed at least one point in this process.
+bool Armed() noexcept;
+
+/// Crash/delay point. No-op unless AXDSE_FAULT armed `name`; at the nth hit
+/// the process dies via SIGKILL (default action) or sleeps (delay action).
+void Point(const char* name) noexcept;
+
+/// Short-write point: the number of bytes the caller should actually write
+/// out of `full_length`. Returns `full_length` unless AXDSE_FAULT armed a
+/// `:short` action on `name` and this is its nth hit, in which case the
+/// write is truncated (roughly halved, always dropping at least one byte)
+/// to model a crash mid-write that left a torn file behind.
+std::size_t ShortWriteLength(const char* name,
+                             std::size_t full_length) noexcept;
+
+/// Test hook: replaces the armed spec (normally parsed once from
+/// AXDSE_FAULT at first use) and resets every hit counter. An empty spec
+/// disarms. Must not race active Point() calls.
+void SetSpecForTesting(const std::string& spec);
+
+}  // namespace axdse::util::fault

@@ -16,6 +16,7 @@
 
 #include "dse/campaign.hpp"
 #include "dse/request.hpp"
+#include "dse/shard.hpp"
 #include "serve/protocol.hpp"
 #include "util/rng.hpp"
 
@@ -307,6 +308,80 @@ TEST(GrammarFuzz, ProtocolJobIdMutationsParseOrFailTyped) {
           << "input: [" << input << "]";
     } catch (const serve::ProtocolError& e) {
       EXPECT_EQ(e.Code(), "bad-job-id") << "input: [" << input << "]";
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "untyped exception '" << e.what() << "' for input: ["
+                    << input << "]";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shard lease / manifest formats
+// ---------------------------------------------------------------------------
+
+// Mutated lease files (truncated, zero-length, duplicated spans, inflated
+// counters, spliced garbage) must either Deserialize — and then round-trip
+// to a fixed point — or throw the documented ShardError. This is the same
+// corruption family the shard claim path treats as reclaimable; a crash or
+// an untyped exception here would crash a worker instead.
+TEST(GrammarFuzz, ShardLeaseMutationsParseOrFailTyped) {
+  util::Rng rng(424242);
+  std::vector<std::string> corpus;
+  for (const std::uint64_t gen :
+       {std::uint64_t{1}, std::uint64_t{7}, dse::ShardLease::kMaxCounter}) {
+    dse::ShardLease lease;
+    lease.spec_hash = 0x1234abcd5678ef00ULL * gen;
+    lease.chunk_index = static_cast<std::size_t>(gen % 13);
+    lease.owner = gen % 2 ? "worker-1" : "w_2";
+    lease.generation = gen;
+    lease.heartbeat = gen * 3;
+    corpus.push_back(lease.Serialize());
+  }
+  corpus.push_back("");  // zero-length file
+  for (std::size_t i = 0; i < kIterations; ++i) {
+    const std::string input =
+        Mutate(corpus[rng.PickIndex(corpus.size())], rng, corpus);
+    try {
+      const dse::ShardLease parsed = dse::ShardLease::Deserialize(input);
+      const std::string canonical = parsed.Serialize();
+      EXPECT_EQ(dse::ShardLease::Deserialize(canonical).Serialize(),
+                canonical)
+          << "input: [" << input << "]";
+      EXPECT_LE(parsed.generation, dse::ShardLease::kMaxCounter);
+    } catch (const dse::ShardError&) {
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "untyped exception '" << e.what() << "' for input: ["
+                    << input << "]";
+    }
+  }
+}
+
+TEST(GrammarFuzz, ShardManifestMutationsParseOrFailTyped) {
+  util::Rng rng(515151);
+  std::vector<std::string> corpus;
+  {
+    dse::ShardManifest manifest;
+    manifest.spec_text = "kernels=dot@32,kmeans1d@40 steps=60 seeds=2";
+    manifest.chunk_cells = 2;
+    manifest.num_cells = 4;
+    corpus.push_back(manifest.Serialize());
+    manifest.spec_text = "kernels=matmul@10 agents=all steps=120";
+    manifest.chunk_cells = 8;
+    manifest.num_cells = 9;
+    corpus.push_back(manifest.Serialize());
+  }
+  corpus.push_back("");
+  for (std::size_t i = 0; i < kIterations; ++i) {
+    const std::string input =
+        Mutate(corpus[rng.PickIndex(corpus.size())], rng, corpus);
+    try {
+      const dse::ShardManifest parsed =
+          dse::ShardManifest::Deserialize(input);
+      const std::string canonical = parsed.Serialize();
+      EXPECT_EQ(dse::ShardManifest::Deserialize(canonical).Serialize(),
+                canonical)
+          << "input: [" << input << "]";
+    } catch (const dse::ShardError&) {
     } catch (const std::exception& e) {
       ADD_FAILURE() << "untyped exception '" << e.what() << "' for input: ["
                     << input << "]";

@@ -1,7 +1,14 @@
 // axdse-client — command-line client for axdse-serve.
 //
 // Usage:
-//   axdse-client --port N [--host H] [--tenant T] <command> [args...]
+//   axdse-client --port N [--host H] [--tenant T]
+//                [--connect-retries R] [--connect-backoff-ms B]
+//                <command> [args...]
+//
+// --connect-retries R retries a refused/dropped connection up to R extra
+// times with exponential backoff starting at --connect-backoff-ms B
+// (default 50) plus jitter — for scripts that start the daemon and connect
+// immediately.
 //
 // Commands:
 //   ping                         round-trip check
@@ -77,7 +84,12 @@ int main(int argc, char** argv) {
   try {
     const std::string host = args.GetString("host", "127.0.0.1");
     const int port = static_cast<int>(args.GetIntStrict("port", 4711));
-    auto client = axdse::serve::Client::Connect(host, port);
+    axdse::serve::ConnectRetry retry;
+    retry.retries =
+        static_cast<std::size_t>(args.GetIntStrict("connect-retries", 0));
+    retry.backoff_ms = static_cast<std::size_t>(
+        args.GetIntStrict("connect-backoff-ms", 50));
+    auto client = axdse::serve::Client::Connect(host, port, retry);
     const std::string& command = positional[0];
     if (const std::string tenant = args.GetString("tenant", "");
         !tenant.empty())
