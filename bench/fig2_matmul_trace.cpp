@@ -28,8 +28,8 @@ int main(int argc, char** argv) {
           .Build();
 
   Session session;
-  std::printf("Exploring %s (%zu steps max)...\n", request.kernel.c_str(),
-              request.max_steps);
+  std::printf("Exploring %s (%zu steps max)...\n",
+              request.kernel.ToString().c_str(), request.max_steps);
   const dse::RequestResult run = session.Explore(request);
   const dse::ExplorationResult& result = run.runs.front();
 

@@ -12,7 +12,7 @@ int main() {
 
   // 2 kernels x 2 agents x 2 accuracy thresholds, 2 seeds each = 16 runs.
   const dse::CampaignSpec spec = dse::CampaignSpec::Parse(
-      "kernels=dot@48,kmeans1d@64 kernels.dot.blocks=6"
+      "kernels=dot@48{blocks=6},kmeans1d@64"
       " agents=q-learning,sarsa acc-factors=0.4,0.2"
       " steps=400 seeds=2 seed=1 kernel-seed=2023 reward-cap=500");
   std::printf("spec: %s\n", spec.ToString().c_str());

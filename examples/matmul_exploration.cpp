@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   dse::ExplorationRequest pinned = request;
   pinned.kernel_override =
       workloads::KernelRegistry::Global().Create(request.kernel,
-                                                 request.params);
+                                                 request.kernel_seed);
   const auto& ops = pinned.kernel_override->Operators();
 
   Session session;

@@ -23,7 +23,6 @@
 #include "dse/checkpoint.hpp"
 #include "dse/engine.hpp"
 #include "dse/explorer.hpp"
-#include "dse/multi_run.hpp"
 #include "dse/pareto.hpp"
 #include "dse/request.hpp"
 #include "report/campaign.hpp"

@@ -1,7 +1,6 @@
 #include "dse/campaign.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -70,38 +69,6 @@ std::vector<std::string> Tokenize(const std::string& text) {
 
 [[noreturn]] void SpecError(const std::string& message) {
   throw std::invalid_argument("CampaignSpec: " + message);
-}
-
-/// Kernel names double as token keys ("kernels.<name>.<key>="), so they must
-/// stay inside the identifier alphabet.
-void RequireUsableKernelName(const std::string& name) {
-  if (name.empty()) SpecError("kernel entry has an empty name");
-  for (const char c : name) {
-    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_'))
-      SpecError("kernel name '" + name +
-                "' may only contain letters, digits, '-', and '_'");
-  }
-}
-
-/// Parses one kernel-axis entry: "name" or "name@size".
-CampaignKernel ParseKernelEntry(const std::string& entry) {
-  CampaignKernel kernel;
-  const auto at = entry.rfind('@');
-  if (at == std::string::npos) {
-    kernel.name = Decode(entry);
-  } else {
-    kernel.name = Decode(entry.substr(0, at));
-    kernel.size = static_cast<std::size_t>(
-        ParseUnsignedToken(entry.substr(at + 1), "CampaignSpec kernel size"));
-  }
-  RequireUsableKernelName(kernel.name);
-  return kernel;
-}
-
-std::string KernelEntryToken(const CampaignKernel& kernel) {
-  std::string token = EscapeRequestToken(kernel.name);
-  if (kernel.size != 0) token += "@" + std::to_string(kernel.size);
-  return token;
 }
 
 // --- chunk checkpoint line reader ------------------------------------------
@@ -307,6 +274,12 @@ void WriteCell(std::ostream& out, const CampaignCell& cell) {
       WriteConfig(out, run.best_feasible);
     }
     out << "\n";
+    out << "stages " << run.stage_counts.size() << "\n";
+    for (const workloads::StageOpCounts& stage : run.stage_counts)
+      out << "stage " << Encode(stage.stage) << " "
+          << stage.counts.precise_adds << " " << stage.counts.approx_adds
+          << " " << stage.counts.precise_muls << " "
+          << stage.counts.approx_muls << "\n";
   }
 }
 
@@ -418,6 +391,28 @@ CampaignCell ReadCell(LineReader& reader) {
       if (pos != tokens.size())
         ChunkError(reader.Line(), "trailing best fields");
     }
+    {
+      const std::vector<std::string> tokens = reader.Expect("stages");
+      RequireTokenCount(reader, tokens, 1, "stages");
+      const std::size_t num_stages = static_cast<std::size_t>(
+          ParseUnsignedToken(tokens[0], "stages count"));
+      run.stage_counts.reserve(num_stages);
+      for (std::size_t s = 0; s < num_stages; ++s) {
+        const std::vector<std::string> fields = reader.Expect("stage");
+        RequireTokenCount(reader, fields, 5, "stage");
+        workloads::StageOpCounts stage;
+        stage.stage = Decode(fields[0]);
+        stage.counts.precise_adds =
+            ParseUnsignedToken(fields[1], "stage precise_adds");
+        stage.counts.approx_adds =
+            ParseUnsignedToken(fields[2], "stage approx_adds");
+        stage.counts.precise_muls =
+            ParseUnsignedToken(fields[3], "stage precise_muls");
+        stage.counts.approx_muls =
+            ParseUnsignedToken(fields[4], "stage approx_muls");
+        run.stage_counts.push_back(std::move(stage));
+      }
+    }
     cell.runs.push_back(std::move(run));
   }
   return cell;
@@ -434,12 +429,6 @@ std::string Hex16(std::uint64_t value) {
 }
 
 }  // namespace
-
-// --- CampaignKernel ---------------------------------------------------------
-
-std::string CampaignKernel::Display() const {
-  return size == 0 ? name : name + "@" + std::to_string(size);
-}
 
 // --- CampaignSpec -----------------------------------------------------------
 
@@ -475,7 +464,7 @@ std::vector<ExplorationRequest> CampaignSpec::Expand() const {
 
   std::vector<ExplorationRequest> grid;
   grid.reserve(NumCells());
-  for (const CampaignKernel& kernel : kernels) {
+  for (const workloads::KernelSpec& kernel : kernels) {
     for (const AgentKind agent : agent_axis) {
       for (const ActionSpaceKind space : space_axis) {
         for (const double acc : acc_axis) {
@@ -485,10 +474,11 @@ std::vector<ExplorationRequest> CampaignSpec::Expand() const {
                 ExplorationRequest request = base;
                 request.kernel_override.reset();
                 request.explorer_override.reset();
-                request.kernel = kernel.name;
-                request.params.size = kernel.size;
-                for (const auto& [key, value] : kernel.extra)
-                  request.params.extra[key] = value;
+                request.kernel = kernel;
+                // Extras in base.kernel.extra apply campaign-wide; the
+                // entry's own extras win on key collisions.
+                for (const auto& [key, value] : base.kernel.extra)
+                  request.kernel.extra.try_emplace(key, value);
                 request.agent_kind = agent;
                 request.action_space = space;
                 request.thresholds.accuracy_factor = acc;
@@ -496,7 +486,7 @@ std::vector<ExplorationRequest> CampaignSpec::Expand() const {
                 request.thresholds.time_factor = time;
                 request.cache_mode = cache;
                 std::string label =
-                    kernel.Display() + "/" + dse::ToString(agent);
+                    kernel.ToString() + "/" + dse::ToString(agent);
                 if (space_axis.size() > 1)
                   label += std::string("/") + dse::ToString(space);
                 if (acc_axis.size() > 1) label += "/acc=" + ShortestDouble(acc);
@@ -520,13 +510,12 @@ std::vector<ExplorationRequest> CampaignSpec::Expand() const {
 
 void CampaignSpec::Validate() const {
   if (kernels.empty()) SpecError("the kernel axis is empty");
-  for (const CampaignKernel& kernel : kernels) RequireUsableKernelName(kernel.name);
+  for (const workloads::KernelSpec& kernel : kernels)
+    if (kernel.name.empty()) SpecError("kernel entry has an empty name");
   for (std::size_t a = 0; a < kernels.size(); ++a)
     for (std::size_t b = a + 1; b < kernels.size(); ++b)
-      if (kernels[a].name == kernels[b].name &&
-          kernels[a].size == kernels[b].size)
-        SpecError("duplicate kernel entry '" + kernels[a].Display() +
-                  "' (per-kernel overrides could not distinguish them)");
+      if (kernels[a] == kernels[b])
+        SpecError("duplicate kernel entry '" + kernels[a].ToString() + "'");
   const std::vector<ExplorationRequest> grid = Expand();
   std::unordered_set<std::string> seen;
   seen.reserve(grid.size());
@@ -540,15 +529,14 @@ void CampaignSpec::Validate() const {
 std::string CampaignSpec::ToString() const {
   std::ostringstream out;
   out.imbue(std::locale::classic());  // locale-independent numbers
+  // KernelSpec::ToString escapes everything but its own '@'/'{'/'}'/','
+  // structure, so entries embed raw; the commas SplitSpecList splits on are
+  // exactly the top-level entry separators written here.
   out << "kernels=";
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     if (i != 0) out << ",";
-    out << KernelEntryToken(kernels[i]);
+    out << kernels[i].ToString();
   }
-  for (const CampaignKernel& kernel : kernels)
-    for (const auto& [key, value] : kernel.extra)
-      out << " kernels." << KernelEntryToken(kernel) << "."
-          << EscapeRequestToken(key) << "=" << EscapeRequestToken(value);
   auto write_list = [&out](const char* key, const auto& values,
                            const auto& format) {
     if (values.empty()) return;
@@ -575,7 +563,6 @@ std::string CampaignSpec::ToString() const {
 CampaignSpec CampaignSpec::Parse(const std::string& text) {
   CampaignSpec spec;
   std::string base_text;
-  std::vector<std::pair<std::string, std::string>> overrides;  // key, value
   bool saw_kernels = false;
   for (const std::string& token : Tokenize(text)) {
     const auto eq = token.find('=');
@@ -585,11 +572,13 @@ CampaignSpec CampaignSpec::Parse(const std::string& text) {
     const std::string value = token.substr(eq + 1);
     if (key == "kernels") {
       if (value.empty()) SpecError("kernels= list is empty");
-      for (const std::string& entry : SplitOn(value, ','))
-        spec.kernels.push_back(ParseKernelEntry(entry));
+      for (const std::string& entry : workloads::SplitSpecList(value)) {
+        workloads::KernelSpec kernel = workloads::KernelSpec::Parse(entry);
+        if (kernel.name.empty())
+          SpecError("kernel entry '" + entry + "' has an empty name");
+        spec.kernels.push_back(std::move(kernel));
+      }
       saw_kernels = true;
-    } else if (key.rfind("kernels.", 0) == 0) {
-      overrides.emplace_back(key.substr(8), value);
     } else if (key == "agents") {
       if (value == "all") {
         spec.agents = {AgentKind::kQLearning, AgentKind::kSarsa,
@@ -618,24 +607,6 @@ CampaignSpec CampaignSpec::Parse(const std::string& text) {
     }
   }
   if (!saw_kernels) SpecError("missing required kernels= axis");
-  for (const auto& [key, value] : overrides) {
-    const auto dot = key.find('.');
-    if (dot == std::string::npos || dot == 0 || dot + 1 == key.size())
-      SpecError("override 'kernels." + key +
-                "' is not of the form kernels.<kernel>.<key>=<value>");
-    const CampaignKernel target = ParseKernelEntry(key.substr(0, dot));
-    const std::string extra_key = UnescapeRequestToken(key.substr(dot + 1));
-    bool matched = false;
-    for (CampaignKernel& kernel : spec.kernels) {
-      if (kernel.name != target.name) continue;
-      if (target.size != 0 && kernel.size != target.size) continue;
-      kernel.extra[extra_key] = UnescapeRequestToken(value);
-      matched = true;
-    }
-    if (!matched)
-      SpecError("override 'kernels." + key +
-                "' matches no kernel-axis entry");
-  }
   spec.base = ExplorationRequest::Parse(base_text);
   return spec;
 }
@@ -692,6 +663,7 @@ CampaignCell CampaignAggregator::Reduce(const RequestResult& result) {
       reduced.best_feasible = run.best_feasible;
       reduced.best_feasible_measurement = run.best_feasible_measurement;
     }
+    reduced.stage_counts = run.stage_counts;
     reduced.objective = BaselineObjective(
         result.reward, run.has_best_feasible ? run.best_feasible_measurement
                                              : run.solution_measurement);

@@ -31,26 +31,15 @@
 
 namespace axdse::dse {
 
-/// One entry of the kernel axis: registry name, primary size (0 = kernel
-/// default), and extra kernel parameters (from "kernels.<name>.<key>="
-/// override tokens).
-struct CampaignKernel {
-  std::string name;
-  std::size_t size = 0;
-  std::map<std::string, std::string> extra;
-
-  /// Display form used in cell labels: "name" or "name@size".
-  std::string Display() const;
-};
-
 /// Declarative sweep specification. Non-empty axis vectors multiply into
 /// the grid; empty optional axes inherit the base request's single value.
 ///
 /// Token grammar (ToString()/Parse()):
-///   kernels=matmul@10,fir@100,...        (required; name or name@size)
-///   kernels.matmul.granularity=row-col   (per-kernel extra override; the
-///                                         key part may also be name@size
-///                                         to target one entry)
+///   kernels=matmul@10{granularity=row-col},fir@100,...
+///                                        (required; comma-separated
+///                                         workloads::KernelSpec entries —
+///                                         commas inside {...} belong to a
+///                                         spec's extras)
 ///   agents=q-learning,sarsa,...          (optional; default = base agent)
 ///   action-spaces=full,compact           (optional)
 ///   acc-factors=0.4,0.2                  (optional threshold-factor axes)
@@ -58,7 +47,7 @@ struct CampaignKernel {
 ///   cache-modes=private,shared           (optional)
 ///   <any ExplorationRequest token>       (base: steps=, seeds=, alpha=, ...)
 struct CampaignSpec {
-  std::vector<CampaignKernel> kernels;
+  std::vector<workloads::KernelSpec> kernels;
   std::vector<AgentKind> agents;
   std::vector<ActionSpaceKind> action_spaces;
   std::vector<double> acc_factors;
@@ -68,13 +57,14 @@ struct CampaignSpec {
   /// Base request: every field not owned by an axis (steps, seeds, seed,
   /// hyper-parameters, rollout, cache capacity, checkpoint interval, ...).
   /// Its kernel/label/agent/action-space/threshold-factor/cache-mode fields
-  /// act as axis defaults and are overwritten per cell; kernel extras in
-  /// base.params.extra apply to every cell (per-kernel overrides win).
+  /// act as axis defaults and are overwritten per cell; extras in
+  /// base.kernel.extra apply to every cell (the entry's own extras win on
+  /// key collisions).
   ExplorationRequest base;
 
-  /// Checks the axes (kernels present, names usable as token keys, axis
-  /// values valid) and that the expanded grid is well-formed: every cell
-  /// request validates and no two cells are identical.
+  /// Checks the axes (kernels present with non-empty names, axis values
+  /// valid) and that the expanded grid is well-formed: every cell request
+  /// validates and no two cells are identical.
   /// Throws std::invalid_argument.
   void Validate() const;
 
@@ -134,9 +124,10 @@ struct CampaignOptions {
 };
 
 /// One seed-run of a cell, reduced to what campaign reports consume.
-/// NOTE: campaign reports must read only the measurement deltas and the
-/// precise_power_mw/precise_time_ns baselines — chunk snapshots round-trip
-/// exactly those five fields (operation counts are not persisted).
+/// NOTE: campaign reports must read only the measurement deltas, the
+/// precise_power_mw/precise_time_ns baselines, and `stage_counts` — chunk
+/// snapshots round-trip exactly those fields (whole-kernel operation counts
+/// are not persisted).
 struct CampaignSeedRun {
   std::uint64_t seed = 0;
   std::size_t steps = 0;
@@ -159,6 +150,10 @@ struct CampaignSeedRun {
   bool has_best_feasible = false;
   Configuration best_feasible;
   instrument::Measurement best_feasible_measurement;
+
+  /// Per-stage operation counts of the solution (empty for single-stage
+  /// kernels); see workloads::Kernel::StageCounts.
+  std::vector<workloads::StageOpCounts> stage_counts;
 
   /// BaselineObjective of the run's best feasible point (or of the solution
   /// when no feasible point was seen — negative by construction).
@@ -263,8 +258,9 @@ struct CampaignResult {
 /// Uses the checkpoint subsystem's conventions: versioned line-oriented
 /// text, strict parsing (CheckpointError), atomic Save.
 struct CampaignChunkCheckpoint {
-  /// v2 added the surrogate counters to the "cache" and "run" lines.
-  static constexpr unsigned kFormatVersion = 2;
+  /// v2 added the surrogate counters to the "cache" and "run" lines; v3
+  /// carries the KernelSpec request grammar and per-run "stage" lines.
+  static constexpr unsigned kFormatVersion = 3;
 
   /// StableHash64 of CampaignSpec::ToString() — a snapshot loads only into
   /// the campaign that wrote it.

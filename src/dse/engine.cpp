@@ -6,10 +6,8 @@
 #include <filesystem>
 #include <iterator>
 #include <limits>
-#include <locale>
 #include <memory>
 #include <set>
-#include <sstream>
 #include <thread>
 #include <utility>
 
@@ -47,16 +45,11 @@ std::string EscapeSignatureToken(const std::string& text) {
 
 /// Cache identity of a registry request: same string <=> registry Create()
 /// yields behaviorally identical kernels (factories are deterministic in
-/// (name, size, seed, extra)), so their jobs may share measurements.
+/// (spec, seed)). KernelSpec::ToString() is canonical, so the spec string
+/// plus the data seed is the whole identity.
 std::string RegistrySignature(const ExplorationRequest& request) {
-  std::ostringstream out;
-  out.imbue(std::locale::classic());  // locale-independent numbers
-  out << EscapeSignatureToken(request.kernel)
-      << "|size=" << request.params.size << "|seed=" << request.params.seed;
-  for (const auto& [key, value] : request.params.extra)
-    out << "|" << EscapeSignatureToken(key) << "="
-        << EscapeSignatureToken(value);
-  return out.str();
+  return EscapeSignatureToken(request.kernel.ToString()) +
+         "|seed=" + std::to_string(request.kernel_seed);
 }
 
 /// Slot a job writes into; slots are preassigned so the batch outcome does
@@ -173,13 +166,13 @@ BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests,
     request.Validate();
     // Fail fast on unresolvable names — a typo in one request of a large
     // batch must not surface only after every other job has run.
-    if (!request.kernel_override && !registry_->Has(request.kernel)) {
+    if (!request.kernel_override && !registry_->Has(request.kernel.name)) {
       std::string known;
       for (const std::string& name : registry_->Names())
         known += known.empty() ? name : ", " + name;
       throw std::invalid_argument("Engine::Run: unknown kernel '" +
-                                  request.kernel + "' (registered: " + known +
-                                  ")");
+                                  request.kernel.name +
+                                  "' (registered: " + known + ")");
     }
     if (checkpointing && request.kernel_override)
       throw std::invalid_argument(
@@ -295,7 +288,8 @@ BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests,
         // independent.
         std::shared_ptr<const workloads::Kernel> kernel =
             request.kernel_override;
-        if (!kernel) kernel = registry_->Create(request.kernel, request.params);
+        if (!kernel)
+          kernel = registry_->Create(request.kernel, request.kernel_seed);
         // The engine owns the evaluator for exactly the job's lifetime —
         // explorer and environment only ever see a live reference.
         const auto evaluator = std::make_unique<Evaluator>(
@@ -365,6 +359,10 @@ BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests,
                   " belongs to a different job (request/seed mismatch)");
             if (snapshot.finished) {
               out.result = std::move(snapshot.result);
+              // stage_counts is derived data (recomputed from the solution
+              // at Finish()), not part of the snapshot format.
+              out.result.stage_counts =
+                  kernel->StageCounts(out.result.solution);
               done = true;
               if (hooks.on_progress) {
                 // The explorer never ran; report from the restored result.
@@ -452,7 +450,7 @@ BatchResult Engine::Run(const std::vector<ExplorationRequest>& requests,
         // original exception so callers can reach the root cause.
         const ExplorationRequest& request = requests[job.request_index];
         const std::string kernel_name =
-            request.kernel_override ? "<override>" : request.kernel;
+            request.kernel_override ? "<override>" : request.kernel.ToString();
         std::string what = "unknown error";
         try {
           throw;
@@ -590,11 +588,12 @@ std::vector<instrument::Measurement> Engine::Score(
     const ExplorationRequest& identity,
     const std::vector<Configuration>& configs, std::size_t lanes) const {
   identity.Validate();
-  if (!identity.kernel_override && !registry_->Has(identity.kernel))
+  if (!identity.kernel_override && !registry_->Has(identity.kernel.name))
     throw std::invalid_argument("Engine::Score: unknown kernel '" +
-                                identity.kernel + "'");
+                                identity.kernel.name + "'");
   std::shared_ptr<const workloads::Kernel> kernel = identity.kernel_override;
-  if (!kernel) kernel = registry_->Create(identity.kernel, identity.params);
+  if (!kernel)
+    kernel = registry_->Create(identity.kernel, identity.kernel_seed);
   Evaluator evaluator(*kernel);
   if (lanes == 0) lanes = instrument::MultiApproxContext::kMaxLanes;
   std::vector<instrument::Measurement> out;

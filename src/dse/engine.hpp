@@ -185,9 +185,10 @@ struct RequestResult {
 
 /// Final state of one shared cache group after the batch. Jobs share one
 /// cache iff their requests have the same signature: registry requests map
-/// to "kernel|size=S|seed=K[|key=value...]", kernel_override requests to
-/// "override#N" with N the override's first-appearance index in the batch
-/// (stable across worker counts and reruns).
+/// to "<kernel spec>|seed=K" (the canonical KernelSpec string plus the data
+/// seed), kernel_override requests to "override#N" with N the override's
+/// first-appearance index in the batch (stable across worker counts and
+/// reruns).
 struct SharedCacheReport {
   std::string signature;
   /// Jobs that shared this cache (sum of num_seeds over its requests).

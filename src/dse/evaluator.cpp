@@ -4,8 +4,6 @@
 #include <stdexcept>
 #include <utility>
 
-#include "metrics/error_metrics.hpp"
-
 namespace axdse::dse {
 
 Evaluator::Evaluator(
@@ -57,7 +55,7 @@ instrument::Measurement Evaluator::BuildMeasurement(
     std::span<const double> outputs) const {
   instrument::Measurement m;
   m.counts = counts;
-  m.delta_acc = metrics::MeanAbsoluteError(precise_outputs_, outputs);
+  m.delta_acc = kernel_->AccuracyError(precise_outputs_, outputs);
   const energy::CostEstimate approx_cost =
       energy_.Cost(m.counts, config.AdderIndex(), config.MultiplierIndex());
   m.approx_power_mw = approx_cost.power_mw;

@@ -211,6 +211,9 @@ void Explorer::FillSolutionFields(ExplorationResult& result) const {
   result.solution_adder = ops.adders[result.solution.AdderIndex()].type_code;
   result.solution_multiplier =
       ops.multipliers[result.solution.MultiplierIndex()].type_code;
+  // Recomputed (not cached) so a later call always reflects the CURRENT
+  // solution configuration; non-pipeline kernels return an empty vector.
+  result.stage_counts = evaluator_->Kernel().StageCounts(result.solution);
   result.kernel_runs = evaluator_->DistinctEvaluations();
   result.cache_hits = evaluator_->CacheHits();
   result.kernel_runs_executed = evaluator_->KernelRuns();
@@ -461,15 +464,6 @@ void Explorer::ResumeFrom(const Checkpoint& checkpoint) {
   run->trace_cumulative = checkpoint.trace_cumulative;
   run->finished = false;
   run_ = std::move(run);
-}
-
-ExplorationResult ExploreKernel(const workloads::Kernel& kernel,
-                                const ExplorerConfig& config,
-                                const PaperThresholdFactors& factors) {
-  Evaluator evaluator(kernel);
-  const RewardConfig reward = MakePaperRewardConfig(evaluator, factors);
-  Explorer explorer(evaluator, reward, config);
-  return explorer.Explore();
 }
 
 }  // namespace axdse::dse

@@ -145,6 +145,11 @@ struct ExplorationResult {
   bool has_best_feasible = false;
   Configuration best_feasible;
   instrument::Measurement best_feasible_measurement;
+
+  /// Per-stage operation counts of the solution configuration, recomputed
+  /// via workloads::Kernel::StageCounts. Empty for single-stage kernels;
+  /// for pipelines the per-stage sums equal the whole-kernel counts.
+  std::vector<workloads::StageOpCounts> stage_counts;
 };
 
 struct Checkpoint;  // dse/checkpoint.hpp
@@ -240,13 +245,5 @@ class Explorer {
   std::unique_ptr<Run> run_;
   bool consumed_ = false;
 };
-
-/// Convenience wrapper: evaluator + paper thresholds + explorer in one call.
-/// Deprecated: prefer the axdse.hpp facade (Session::Explore with an
-/// ExplorationRequest), which adds kernel-by-name construction, multi-seed
-/// batches, and parallel execution. Kept for source compatibility.
-ExplorationResult ExploreKernel(const workloads::Kernel& kernel,
-                                const ExplorerConfig& config,
-                                const PaperThresholdFactors& factors = {});
 
 }  // namespace axdse::dse

@@ -160,7 +160,7 @@ ActionSpaceKind ActionSpaceFromName(const std::string& name) {
 }
 
 void ExplorationRequest::Validate() const {
-  if (kernel.empty() && !kernel_override)
+  if (kernel.name.empty() && !kernel_override)
     throw std::invalid_argument(
         "ExplorationRequest: kernel name is empty and no kernel instance "
         "was provided");
@@ -215,17 +215,17 @@ ExplorerConfig ExplorationRequest::ToExplorerConfig() const {
 }
 
 std::string ExplorationRequest::DisplayName() const {
-  return label.empty() ? kernel : label;
+  return label.empty() ? kernel.ToString() : label;
 }
 
 std::string ExplorationRequest::ToString() const {
   std::ostringstream out;
   out.imbue(std::locale::classic());  // locale-independent numbers
-  out << "kernel=" << EscapeToken(kernel);
-  out << " size=" << params.size;
-  out << " kernel-seed=" << params.seed;
-  for (const auto& [key, value] : params.extra)
-    out << " kernel." << EscapeToken(key) << "=" << EscapeToken(value);
+  // The spec's own escaping leaves no separators, so the token embeds raw;
+  // Parse splits tokens on the FIRST '=', so '=' inside the extras block is
+  // safe.
+  out << "kernel=" << kernel.ToString();
+  out << " kernel-seed=" << kernel_seed;
   out << " agent=" << dse::ToString(agent_kind);
   out << " action-space=" << dse::ToString(action_space);
   out << " steps=" << max_steps;
@@ -277,17 +277,9 @@ ExplorationRequest ExplorationRequest::Parse(const std::string& text) {
     const std::string key = token.substr(0, eq);
     const std::string value = token.substr(eq + 1);
     if (key == "kernel") {
-      request.kernel = UnescapeToken(value);
-    } else if (key == "size") {
-      request.params.size = static_cast<std::size_t>(ParseUnsigned(key, value));
+      request.kernel = workloads::KernelSpec::Parse(value);
     } else if (key == "kernel-seed") {
-      request.params.seed = ParseUnsigned(key, value);
-    } else if (key.rfind("kernel.", 0) == 0) {
-      const std::string extra_key = UnescapeToken(key.substr(7));
-      if (extra_key.empty())
-        throw std::invalid_argument(
-            "ExplorationRequest::Parse: empty kernel extra key");
-      request.params.extra[extra_key] = UnescapeToken(value);
+      request.kernel_seed = ParseUnsigned(key, value);
     } else if (key == "agent") {
       request.agent_kind = AgentKindFromName(value);
     } else if (key == "action-space") {
@@ -351,8 +343,17 @@ ExplorationRequest ExplorationRequest::Parse(const std::string& text) {
 }
 
 ExplorationRequest ExplorationRequest::FromCli(const util::CliArgs& args) {
+  // The kernel identity is assembled from the convenience flags first: the
+  // positional argument (a full spec string, e.g. "matmul@10{blocks=8}" or
+  // just a name), --kernel=<spec>, --size=N, and --kernel.KEY=VALUE all
+  // fold into one KernelSpec emitted as a single kernel= token.
+  workloads::KernelSpec spec;
+  bool have_spec = false;
+  if (!args.Positional().empty()) {
+    spec = workloads::KernelSpec::Parse(args.Positional()[0]);
+    have_spec = true;
+  }
   std::string text;
-  if (!args.Positional().empty()) text += "kernel=" + args.Positional()[0];
   for (const auto& [key, value] : args.Flags()) {
     if (value.empty()) {
       // The only meaningful bare flags are the booleans: --trace == trace=1,
@@ -366,7 +367,30 @@ ExplorationRequest ExplorationRequest::FromCli(const util::CliArgs& args) {
       throw std::invalid_argument("ExplorationRequest::FromCli: flag --" +
                                   key + " has no value");
     }
+    if (key == "kernel") {
+      spec = workloads::KernelSpec::Parse(value);
+      have_spec = true;
+      continue;
+    }
+    if (key == "size") {
+      spec.size = static_cast<std::size_t>(ParseUnsigned(key, value));
+      have_spec = true;
+      continue;
+    }
+    if (key.rfind("kernel.", 0) == 0) {
+      const std::string extra_key = key.substr(7);
+      if (extra_key.empty())
+        throw std::invalid_argument(
+            "ExplorationRequest::FromCli: empty kernel extra key");
+      spec.extra[extra_key] = value;
+      have_spec = true;
+      continue;
+    }
     text += (text.empty() ? "" : " ") + key + "=" + value;
+  }
+  if (have_spec) {
+    const std::string spec_token = "kernel=" + spec.ToString();
+    text = text.empty() ? spec_token : spec_token + " " + text;
   }
   return Parse(text);
 }
@@ -380,7 +404,7 @@ bool operator!=(const ExplorationRequest& a, const ExplorationRequest& b) {
 }
 
 RequestBuilder::RequestBuilder(std::string kernel) {
-  request_.kernel = std::move(kernel);
+  request_.kernel.name = std::move(kernel);
 }
 
 RequestBuilder::RequestBuilder(
@@ -389,7 +413,12 @@ RequestBuilder::RequestBuilder(
 }
 
 RequestBuilder& RequestBuilder::Kernel(std::string name) {
-  request_.kernel = std::move(name);
+  request_.kernel.name = std::move(name);
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::Spec(workloads::KernelSpec spec) {
+  request_.kernel = std::move(spec);
   return *this;
 }
 
@@ -397,24 +426,24 @@ RequestBuilder& RequestBuilder::KernelInstance(
     std::shared_ptr<const workloads::Kernel> k) {
   if (!k)
     throw std::invalid_argument("RequestBuilder::KernelInstance: null kernel");
-  request_.kernel = k->Name();
+  request_.kernel.name = k->Name();
   request_.kernel_override = std::move(k);
   return *this;
 }
 
 RequestBuilder& RequestBuilder::Size(std::size_t size) {
-  request_.params.size = size;
+  request_.kernel.size = size;
   return *this;
 }
 
 RequestBuilder& RequestBuilder::KernelSeed(std::uint64_t seed) {
-  request_.params.seed = seed;
+  request_.kernel_seed = seed;
   return *this;
 }
 
 RequestBuilder& RequestBuilder::KernelParam(const std::string& key,
                                             std::string value) {
-  request_.params.extra[key] = std::move(value);
+  request_.kernel.extra[key] = std::move(value);
   return *this;
 }
 

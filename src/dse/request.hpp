@@ -60,11 +60,15 @@ ActionSpaceKind ActionSpaceFromName(const std::string& name);
 /// A complete, self-contained exploration job description.
 struct ExplorationRequest {
   // --- What to explore -----------------------------------------------------
-  /// Kernel registry name ("matmul", "fir", ...). May stay empty only when
+  /// The typed kernel identity: registry name, primary size, and extras
+  /// (see workloads::KernelSpec). `kernel.name` may stay empty only when
   /// `kernel_override` is set.
-  std::string kernel;
-  workloads::KernelParams params;
-  /// Display name for reports; DisplayName() falls back to `kernel`.
+  workloads::KernelSpec kernel;
+  /// Seed for the kernel's input-data generation (KernelParams::seed).
+  /// Deliberately outside the spec: the same kernel identity explored under
+  /// different data seeds still groups as one kernel in campaign reports.
+  std::uint64_t kernel_seed = 42;
+  /// Display name for reports; DisplayName() falls back to the spec string.
   std::string label;
 
   // --- How to explore ------------------------------------------------------
@@ -117,9 +121,9 @@ struct ExplorationRequest {
   /// registry. The pointee must stay alive for the duration of the run and
   /// its Run() must be const-thread-safe (all built-ins are).
   std::shared_ptr<const workloads::Kernel> kernel_override;
-  /// Bypasses the request's explorer fields entirely — used by the
-  /// deprecated ExploreKernelMultiSeed shim to preserve caller-built
-  /// ExplorerConfigs verbatim. The engine still overrides the seed per run.
+  /// Bypasses the request's explorer fields entirely, preserving a
+  /// caller-built ExplorerConfig verbatim. The engine still overrides the
+  /// seed per run.
   std::optional<ExplorerConfig> explorer_override;
 
   /// Checks invariants (budget > 0, rates in range, a kernel name or
@@ -131,13 +135,14 @@ struct ExplorationRequest {
   /// (or returns `explorer_override` verbatim when set).
   ExplorerConfig ToExplorerConfig() const;
 
-  /// `label` when set, otherwise `kernel`.
+  /// `label` when set, otherwise the kernel spec string.
   std::string DisplayName() const;
 
   /// Serializes every serializable field as space-separated key=value
-  /// tokens, e.g. "kernel=matmul size=10 ... acc-factor=0.4". Kernel extras
-  /// appear as kernel.KEY=VALUE. Stable field order; doubles use
-  /// shortest-round-trip formatting, so Parse(ToString()) is lossless.
+  /// tokens, e.g. "kernel=matmul@10{granularity=row-col} kernel-seed=42
+  /// ... acc-factor=0.4". The kernel identity is one KernelSpec token (its
+  /// own escaping keeps it free of separators). Stable field order; doubles
+  /// use shortest-round-trip formatting, so Parse(ToString()) is lossless.
   std::string ToString() const;
 
   /// Inverse of ToString(). Accepts whitespace- and/or ';'-separated
@@ -169,6 +174,8 @@ class RequestBuilder {
   explicit RequestBuilder(std::shared_ptr<const workloads::Kernel> kernel);
 
   RequestBuilder& Kernel(std::string name);
+  /// Installs a complete kernel identity in one call.
+  RequestBuilder& Spec(workloads::KernelSpec spec);
   RequestBuilder& KernelInstance(std::shared_ptr<const workloads::Kernel> k);
   RequestBuilder& Size(std::size_t size);
   RequestBuilder& KernelSeed(std::uint64_t seed);

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <sstream>
@@ -693,6 +694,93 @@ CampaignResult MergeShardedCampaign(const std::string& state_directory) {
   result.fronts = aggregator.Fronts();
   result.best = aggregator.Best();
   return result;
+}
+
+// --- status -----------------------------------------------------------------
+
+ShardStatusReport ShardStatus(const std::string& state_directory,
+                              std::chrono::milliseconds probe) {
+  const std::string manifest_path =
+      (fs::path(state_directory) / ShardManifestFileName()).string();
+  const std::optional<std::string> manifest_text =
+      ReadFileIfPossible(manifest_path);
+  if (!manifest_text)
+    throw ShardError("ShardStatus: cannot read manifest " + manifest_path);
+  const ShardManifest manifest = ShardManifest::Deserialize(*manifest_text);
+
+  ShardContext ctx;
+  ctx.options.state_directory = state_directory;
+  try {
+    CampaignSpec spec = CampaignSpec::Parse(manifest.spec_text);
+    spec.Validate();
+    ctx.grid = spec.Expand();
+    ctx.spec_text = spec.ToString();
+  } catch (const std::invalid_argument& e) {
+    throw ShardError(
+        std::string("ShardStatus: manifest spec does not parse: ") +
+        e.what());
+  }
+  if (ctx.grid.size() != manifest.num_cells)
+    throw ShardError(
+        "ShardStatus: manifest cell count does not match its spec");
+  ctx.chunk_cells = manifest.chunk_cells;
+  ctx.num_chunks =
+      (ctx.grid.size() + manifest.chunk_cells - 1) / manifest.chunk_cells;
+  ctx.spec_hash = StableHash64(ctx.spec_text);
+
+  ShardStatusReport report;
+  report.num_chunks = ctx.num_chunks;
+
+  // One read-only pass; claimed leases keep their counters for the probe.
+  std::map<std::size_t, std::pair<std::uint64_t, std::uint64_t>> claimed;
+  for (std::size_t chunk = 0; chunk < ctx.num_chunks; ++chunk) {
+    if (HasValidChunkResult(ctx, chunk)) {
+      ++report.done;
+      continue;
+    }
+    const std::optional<std::string> text =
+        ReadFileIfPossible(ctx.Path(ShardLeaseFileName(chunk)));
+    if (!text) {
+      ++report.unclaimed;
+      continue;
+    }
+    try {
+      const ShardLease lease = ShardLease::Deserialize(*text);
+      claimed.emplace(chunk,
+                      std::make_pair(lease.generation, lease.heartbeat));
+    } catch (const ShardError&) {
+      ++report.stale;  // torn lease: reclaimable work
+    }
+  }
+
+  if (probe.count() > 0 && !claimed.empty()) {
+    // A claimed lease whose (generation, heartbeat) did not move over the
+    // probe window has an owner that stopped heartbeating.
+    std::this_thread::sleep_for(probe);
+    for (const auto& [chunk, counters] : claimed) {
+      const std::optional<std::string> text =
+          ReadFileIfPossible(ctx.Path(ShardLeaseFileName(chunk)));
+      bool alive = false;
+      if (text) {
+        try {
+          const ShardLease lease = ShardLease::Deserialize(*text);
+          alive =
+              std::make_pair(lease.generation, lease.heartbeat) != counters;
+        } catch (const ShardError&) {
+        }
+      } else {
+        // The lease vanished mid-probe: its owner just released it.
+        alive = true;
+      }
+      if (alive)
+        ++report.claimed;
+      else
+        ++report.stale;
+    }
+  } else {
+    report.claimed = claimed.size();
+  }
+  return report;
 }
 
 }  // namespace axdse::dse

@@ -161,6 +161,33 @@ class ShardWorker {
   const Engine* engine_;
 };
 
+/// Read-only snapshot of a shard state directory's progress. Disjoint
+/// per-chunk categories: done + claimed + stale + unclaimed == num_chunks.
+struct ShardStatusReport {
+  std::size_t num_chunks = 0;
+  /// Chunks with a valid result document for this campaign.
+  std::size_t done = 0;
+  /// Chunks with a parsable lease and no result — presumed live.
+  std::size_t claimed = 0;
+  /// Chunks with a torn/unparsable lease, or (when probed) a lease whose
+  /// (generation, heartbeat) did not advance over the probe window.
+  std::size_t stale = 0;
+  /// Chunks with neither a lease nor a result.
+  std::size_t unclaimed = 0;
+  bool Complete() const noexcept { return done == num_chunks; }
+};
+
+/// Scans a shard state directory WITHOUT claiming, writing, or reclaiming
+/// anything — safe to run next to live workers. With `probe` > 0 the
+/// claimed leases are sampled twice, `probe` apart, and ones whose
+/// heartbeat did not advance are reported stale (pick a probe longer than
+/// the workers' heartbeat period, default 2000 ms, to avoid false
+/// positives); with probe == 0 staleness covers only torn lease files.
+/// Throws ShardError when the directory has no usable manifest.
+ShardStatusReport ShardStatus(const std::string& state_directory,
+                              std::chrono::milliseconds probe =
+                                  std::chrono::milliseconds{0});
+
 /// Folds every chunk result document of a completed sharded campaign into
 /// one CampaignResult, in grid order — deterministic regardless of shard
 /// count, interleaving, or crash/reclaim history, so

@@ -1,6 +1,7 @@
 #include "metrics/error_metrics.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace axdse::metrics {
@@ -70,6 +71,14 @@ double WorstCaseError(std::span<const double> exact,
   for (std::size_t i = 0; i < exact.size(); ++i)
     worst = std::max(worst, std::abs(exact[i] - approx[i]));
   return worst;
+}
+
+double Psnr(std::span<const double> reference, std::span<const double> actual,
+            double peak) {
+  if (!(peak > 0.0)) throw std::invalid_argument("Psnr: peak must be > 0");
+  const double mse = MeanSquaredError(reference, actual);
+  if (mse == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(peak * peak / mse);
 }
 
 void ErrorAccumulator::Add(double exact, double approx) noexcept {

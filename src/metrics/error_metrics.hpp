@@ -43,6 +43,13 @@ double ErrorRate(std::span<const double> exact, std::span<const double> approx);
 double WorstCaseError(std::span<const double> exact,
                       std::span<const double> approx);
 
+/// Peak Signal-to-Noise Ratio in dB: 10 * log10(peak^2 / MSE). Returns
+/// +infinity when the signals are identical (MSE == 0). `peak` is the
+/// maximum representable signal value (e.g. 255 for 8-bit images); throws
+/// std::invalid_argument when peak <= 0 or on size mismatch/empty input.
+double Psnr(std::span<const double> reference, std::span<const double> actual,
+            double peak);
+
 /// Streaming accumulator computing all supported metrics in one pass.
 /// Suitable for exhaustive operator characterization where materializing the
 /// full output vectors (2^16 .. 2^64 pairs) is not an option.

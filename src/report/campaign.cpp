@@ -22,6 +22,37 @@ void WritePoint(std::ostream& out, const dse::ParetoPoint& point) {
       << ",\"delta_acc\":" << JsonNum(point.measurement.delta_acc) << "}";
 }
 
+void WriteStages(std::ostream& out,
+                 const std::vector<workloads::StageOpCounts>& stages) {
+  out << "[";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "{\"stage\":\"" << JsonEscape(stages[i].stage)
+        << "\",\"precise_adds\":" << stages[i].counts.precise_adds
+        << ",\"approx_adds\":" << stages[i].counts.approx_adds
+        << ",\"precise_muls\":" << stages[i].counts.precise_muls
+        << ",\"approx_muls\":" << stages[i].counts.approx_muls << "}";
+  }
+  out << "]";
+}
+
+/// Compact one-cell CSV form of the per-stage counts:
+/// "dct=pa:aa:pm:am|quantize=..." — empty for single-stage kernels.
+std::string StageCountsCell(
+    const std::vector<workloads::StageOpCounts>& stages) {
+  std::string cell;
+  for (const workloads::StageOpCounts& stage : stages) {
+    if (!cell.empty()) cell.push_back('|');
+    cell += stage.stage;
+    cell.push_back('=');
+    cell += std::to_string(stage.counts.precise_adds) + ":" +
+            std::to_string(stage.counts.approx_adds) + ":" +
+            std::to_string(stage.counts.precise_muls) + ":" +
+            std::to_string(stage.counts.approx_muls);
+  }
+  return cell;
+}
+
 void WriteCell(std::ostream& out, const dse::CampaignCell& cell) {
   out << "{\"request\":\"" << JsonEscape(cell.request.ToString())
       << "\",\"label\":\"" << JsonEscape(cell.request.DisplayName())
@@ -72,7 +103,10 @@ void WriteCell(std::ostream& out, const dse::CampaignCell& cell) {
         << ",\"kernel_runs\":" << run.kernel_runs
         << ",\"cache_hits\":" << run.cache_hits
         << ",\"surrogate_hits\":" << run.surrogate_hits
-        << ",\"kernel_runs_deferred\":" << run.kernel_runs_deferred << "}";
+        << ",\"kernel_runs_deferred\":" << run.kernel_runs_deferred
+        << ",\"stages\":";
+    WriteStages(out, run.stage_counts);
+    out << "}";
   }
   out << "]}";
 }
@@ -132,7 +166,8 @@ void WriteCampaignCsv(std::ostream& out, const dse::CampaignResult& result) {
                 "cumulative_reward", "delta_power_mw", "delta_time_ns",
                 "delta_acc", "adder", "multiplier", "vars_selected",
                 "num_vars", "feasible", "objective", "kernel_runs",
-                "cache_hits", "surrogate_hits", "kernel_runs_deferred"});
+                "cache_hits", "surrogate_hits", "kernel_runs_deferred",
+                "stage_counts"});
   for (std::size_t c = 0; c < result.cells.size(); ++c) {
     const dse::CampaignCell& cell = result.cells[c];
     for (const dse::CampaignSeedRun& run : cell.runs) {
@@ -153,7 +188,8 @@ void WriteCampaignCsv(std::ostream& out, const dse::CampaignResult& result) {
            std::to_string(run.kernel_runs),
            std::to_string(run.cache_hits),
            std::to_string(run.surrogate_hits),
-           std::to_string(run.kernel_runs_deferred)});
+           std::to_string(run.kernel_runs_deferred),
+           StageCountsCell(run.stage_counts)});
     }
   }
 }

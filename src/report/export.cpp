@@ -78,6 +78,37 @@ void WriteVotes(std::ostream& out,
   out << "}";
 }
 
+void WriteStages(std::ostream& out,
+                 const std::vector<workloads::StageOpCounts>& stages) {
+  out << "[";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "{\"stage\":\"" << JsonEscape(stages[i].stage)
+        << "\",\"precise_adds\":" << stages[i].counts.precise_adds
+        << ",\"approx_adds\":" << stages[i].counts.approx_adds
+        << ",\"precise_muls\":" << stages[i].counts.precise_muls
+        << ",\"approx_muls\":" << stages[i].counts.approx_muls << "}";
+  }
+  out << "]";
+}
+
+/// Compact one-cell CSV form of the per-stage counts:
+/// "dct=pa:aa:pm:am|quantize=..." — empty for single-stage kernels.
+std::string StageCountsCell(
+    const std::vector<workloads::StageOpCounts>& stages) {
+  std::string cell;
+  for (const workloads::StageOpCounts& stage : stages) {
+    if (!cell.empty()) cell.push_back('|');
+    cell += stage.stage;
+    cell.push_back('=');
+    cell += std::to_string(stage.counts.precise_adds) + ":" +
+            std::to_string(stage.counts.approx_adds) + ":" +
+            std::to_string(stage.counts.precise_muls) + ":" +
+            std::to_string(stage.counts.approx_muls);
+  }
+  return cell;
+}
+
 void WriteRun(std::ostream& out, const dse::ExplorationResult& run,
               std::uint64_t seed) {
   const instrument::Measurement& m = run.solution_measurement;
@@ -95,7 +126,10 @@ void WriteRun(std::ostream& out, const dse::ExplorationResult& run,
       << ",\"kernel_runs\":" << run.kernel_runs
       << ",\"cache_hits\":" << run.cache_hits
       << ",\"surrogate_hits\":" << run.surrogate_hits
-      << ",\"kernel_runs_deferred\":" << run.kernel_runs_deferred << "}";
+      << ",\"kernel_runs_deferred\":" << run.kernel_runs_deferred
+      << ",\"stages\":";
+  WriteStages(out, run.stage_counts);
+  out << "}";
 }
 
 void WriteCacheUsage(std::ostream& out, const dse::CacheUsage& cache) {
@@ -121,7 +155,8 @@ void WriteBatchCsv(std::ostream& out, const dse::BatchResult& batch) {
                 "delta_time_ns", "delta_acc", "adder", "multiplier",
                 "vars_selected", "num_vars", "feasible", "kernel_runs",
                 "cache_hits", "surrogate_hits", "kernel_runs_deferred",
-                "cache_mode", "request_executed_runs", "request_saved_runs"});
+                "cache_mode", "request_executed_runs", "request_saved_runs",
+                "stage_counts"});
   for (std::size_t r = 0; r < batch.results.size(); ++r) {
     const dse::RequestResult& result = batch.results[r];
     for (std::size_t s = 0; s < result.runs.size(); ++s) {
@@ -146,7 +181,8 @@ void WriteBatchCsv(std::ostream& out, const dse::BatchResult& batch) {
                     std::to_string(run.kernel_runs_deferred),
                     dse::ToString(result.cache.mode),
                     std::to_string(result.cache.executed_runs),
-                    std::to_string(result.cache.saved_runs)});
+                    std::to_string(result.cache.saved_runs),
+                    StageCountsCell(run.stage_counts)});
     }
   }
 }

@@ -4,7 +4,7 @@
 // (JobKind/JobState). One request or response per line:
 //
 //   server:  HELLO axdse-serve-v1
-//   client:  SUBMIT kernel=matmul size=8 max-steps=400 ...
+//   client:  SUBMIT kernel=matmul@8 max-steps=400 ...
 //   server:  OK job 1
 //   client:  WATCH 1
 //   server:  EVENT 1 progress seed=1 steps=512 reward=12.5

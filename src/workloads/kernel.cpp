@@ -2,11 +2,18 @@
 
 #include <stdexcept>
 
+#include "metrics/error_metrics.hpp"
+
 namespace axdse::workloads {
 
 std::vector<double> Kernel::RunLanes(instrument::MultiApproxContext&) const {
   throw std::logic_error("Kernel::RunLanes: '" + Name() +
                          "' does not support lane-parallel evaluation");
+}
+
+double Kernel::AccuracyError(std::span<const double> precise,
+                             std::span<const double> approx) const {
+  return metrics::MeanAbsoluteError(precise, approx);
 }
 
 std::size_t Kernel::VariableIndex(const std::string& name) const {

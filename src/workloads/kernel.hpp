@@ -4,6 +4,7 @@
 // variables and can be selectively approximated (the paper's "automatic code
 // instrumentation" of the target application).
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,14 @@ namespace axdse::workloads {
 /// A named approximable program variable.
 struct VariableInfo {
   std::string name;
+};
+
+/// Operation counts attributed to one named pipeline stage. Multi-stage
+/// kernels report one entry per stage; the per-stage counts sum to the
+/// whole-kernel totals for the same selection.
+struct StageOpCounts {
+  std::string stage;
+  energy::OpCounts counts;
 };
 
 /// Interface implemented by every benchmark application.
@@ -67,6 +76,25 @@ class Kernel {
   /// SupportsLanes()).
   virtual std::vector<double> RunLanes(
       instrument::MultiApproxContext& ctx) const;
+
+  /// End-to-end quality metric: the accuracy degradation of `approx`
+  /// relative to `precise` (the all-precise golden outputs), as consumed by
+  /// the evaluator's delta_acc. Lower is better; 0 means indistinguishable.
+  /// The default is the paper's Mean Absolute Error (Eq. 2); multi-stage
+  /// kernels override it with application metrics (PSNR gap, top-error).
+  /// Must be deterministic and const-thread-safe like Run().
+  virtual double AccuracyError(std::span<const double> precise,
+                               std::span<const double> approx) const;
+
+  /// Per-stage operation counts under `selection`. Single-stage kernels
+  /// return an empty vector (the default); pipeline kernels replay their
+  /// stages and attribute counts so reports can show where the work — and
+  /// the approximation — lives. Deterministic and const-thread-safe.
+  virtual std::vector<StageOpCounts> StageCounts(
+      const instrument::ApproxSelection& selection) const {
+    (void)selection;
+    return {};
+  }
 
   /// Creates a context bound to this kernel's operator set and variables
   /// (initially all-precise).

@@ -1,0 +1,65 @@
+#pragma once
+// KernelSpec — the one typed kernel identity used everywhere a kernel is
+// named by value: `ExplorationRequest`, `CampaignSpec` grids, registry
+// creation, cache grouping, and report labels. The textual form is
+//
+//   name@size{key=value,key=value,...}
+//
+// with `@size` omitted when size == 0 (use the kernel's default) and the
+// brace block omitted when there are no extras. Keys are emitted in
+// std::map order, so equal specs render to equal strings and the string is
+// a canonical identity. ToString/Parse round-trip losslessly: name, keys,
+// and values are percent-escaped so arbitrary bytes (spaces, '@', braces,
+// commas, '=', ';', newlines) survive embedding in request token streams
+// and campaign comma lists.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace axdse::workloads {
+
+struct KernelSpec {
+  std::string name;
+  /// Primary size parameter; 0 means "kernel default".
+  std::size_t size = 0;
+  /// Kernel-specific extras, e.g. {"granularity","row"}. Canonically ordered.
+  std::map<std::string, std::string> extra;
+
+  KernelSpec() = default;
+  explicit KernelSpec(std::string kernel_name, std::size_t kernel_size = 0)
+      : name(std::move(kernel_name)), size(kernel_size) {}
+
+  /// Canonical textual form (see file comment). Deterministic: equal specs
+  /// produce byte-equal strings.
+  std::string ToString() const;
+
+  /// Inverse of ToString. Accepts any output of ToString plus insignificant
+  /// variants (e.g. explicit `@0`). Throws std::invalid_argument with a
+  /// "KernelSpec:"-prefixed message on malformed input.
+  static KernelSpec Parse(const std::string& text);
+
+  friend bool operator==(const KernelSpec& a, const KernelSpec& b) {
+    return a.name == b.name && a.size == b.size && a.extra == b.extra;
+  }
+  friend bool operator!=(const KernelSpec& a, const KernelSpec& b) {
+    return !(a == b);
+  }
+};
+
+/// Escapes a spec component (name, key, or value) for embedding: '%', all
+/// whitespace, ';', '=', '@', '{', '}', and ',' become %XX.
+std::string EscapeSpecComponent(const std::string& text);
+
+/// Generic %XX decoder (inverse of EscapeSpecComponent). Throws
+/// std::invalid_argument on truncated or non-hex escapes.
+std::string UnescapeSpecComponent(const std::string& text);
+
+/// Splits a comma-separated list of specs at top-level commas only (commas
+/// inside `{...}` belong to the extras block). Used by the campaign
+/// `kernels=` axis. Empty input yields an empty list.
+std::vector<std::string> SplitSpecList(const std::string& text);
+
+}  // namespace axdse::workloads

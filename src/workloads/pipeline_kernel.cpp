@@ -1,0 +1,734 @@
+#include "workloads/pipeline_kernel.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "metrics/error_metrics.hpp"
+#include "util/rng.hpp"
+
+namespace axdse::workloads {
+
+namespace {
+
+using instrument::ApproxContext;
+using instrument::MultiApproxContext;
+using Lanes = MultiApproxContext::Lanes;
+
+/// Applies a pure per-value transform lane-wise (wiring, not counted
+/// arithmetic): equal inputs map to equal outputs, so the dedup partition
+/// is preserved unchanged.
+template <class Fn>
+Lanes Lanewise(std::size_t lanes, Lanes x, Fn fn) {
+  for (std::size_t l = 0; l < lanes; ++l) x.v[l] = fn(x.v[l]);
+  return x;
+}
+
+/// Orthonormal order-8 DCT-II matrix in Q14 (same construction as
+/// DctKernel): C[u][k] = s(u) * cos((2k+1) u pi / 16).
+std::vector<std::int32_t> BuildDctMatrixQ14() {
+  std::vector<std::int32_t> c(64);
+  for (std::size_t u = 0; u < 8; ++u) {
+    const double scale = u == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+    for (std::size_t k = 0; k < 8; ++k) {
+      const double value =
+          scale * std::cos((2.0 * static_cast<double>(k) + 1.0) *
+                           static_cast<double>(u) * std::numbers::pi / 16.0);
+      c[u * 8 + k] = static_cast<std::int32_t>(std::lround(value * 16384.0));
+    }
+  }
+  return c;
+}
+
+// ---- DCT / inverse-DCT stage ----------------------------------------------
+//
+// Forward: Y = (C * X * C^T), pass 1 rescaled by >>14 so pass-1 products
+// stay ~22 bits (the DctKernel wiring); output in Q14 of the pixel scale.
+// Inverse: X = (C^T * Y * C) with >>14 after each pass; expects a
+// pixel-scale input (the quantize stage dequantizes to pixel scale), so MAC
+// products stay in the same range as the forward transform's second pass.
+class DctStage final : public PipelineKernel::Stage {
+ public:
+  DctStage(std::string name, std::size_t blocks, bool inverse)
+      : name_(std::move(name)),
+        blocks_(blocks),
+        inverse_(inverse),
+        vars_({"input", "coeffs", "acc"}),
+        c_q14_(BuildDctMatrixQ14()) {}
+
+  const std::string& StageName() const noexcept override { return name_; }
+  const std::vector<std::string>& LocalVariables() const noexcept override {
+    return vars_;
+  }
+  std::size_t InputSize() const noexcept override { return blocks_ * 64; }
+  std::size_t OutputSize() const noexcept override { return blocks_ * 64; }
+
+  void Run(ApproxContext& ctx, std::size_t base,
+           std::span<const std::int64_t> in,
+           std::span<std::int64_t> out) const override {
+    const std::size_t vin = base, vcf = base + 1, vac = base + 2;
+    std::int64_t temp[64];
+    for (std::size_t b = 0; b < blocks_; ++b) {
+      const std::int64_t* block = &in[b * 64];
+      if (!inverse_) {
+        // Pass 1: T = (C * X) >> 14 — input column j (stride 8) dot DCT
+        // row u (unit stride); input is the first multiplier operand in
+        // both the scalar and the lane path.
+        for (std::size_t u = 0; u < 8; ++u)
+          for (std::size_t j = 0; j < 8; ++j)
+            temp[u * 8 + j] =
+                ctx.DotAccumulate(0, &block[j], 8, &c_q14_[u * 8], 1, 8,
+                                  {vin, vcf}, {vac}) >>
+                14;
+        // Pass 2: Y = T * C^T, output in Q14 — both operands unit stride.
+        for (std::size_t u = 0; u < 8; ++u)
+          for (std::size_t v = 0; v < 8; ++v)
+            out[b * 64 + u * 8 + v] = ctx.DotAccumulate(
+                0, &temp[u * 8], 1, &c_q14_[v * 8], 1, 8, {vin, vcf}, {vac});
+      } else {
+        // Pass 1: T = (C^T * Y) >> 14 — input column v dot C column k
+        // (both stride 8).
+        for (std::size_t k = 0; k < 8; ++k)
+          for (std::size_t v = 0; v < 8; ++v)
+            temp[k * 8 + v] =
+                ctx.DotAccumulate(0, &block[v], 8, &c_q14_[k], 8, 8,
+                                  {vin, vcf}, {vac}) >>
+                14;
+        // Pass 2: X = (T * C) >> 14 — back to pixel scale.
+        for (std::size_t k = 0; k < 8; ++k)
+          for (std::size_t l = 0; l < 8; ++l)
+            out[b * 64 + k * 8 + l] =
+                ctx.DotAccumulate(0, &temp[k * 8], 1, &c_q14_[l], 8, 8,
+                                  {vin, vcf}, {vac}) >>
+                14;
+      }
+    }
+  }
+
+  void RunLanes(MultiApproxContext& ctx, std::size_t base,
+                std::span<const Lanes> in,
+                std::span<Lanes> out) const override {
+    const std::size_t vin = base, vcf = base + 1, vac = base + 2;
+    const std::size_t lanes = ctx.NumLanes();
+    const auto shift14 = [](std::int64_t v) { return v >> 14; };
+    Lanes temp[64];
+    Lanes col[8];
+    for (std::size_t b = 0; b < blocks_; ++b) {
+      const Lanes* block = &in[b * 64];
+      if (!inverse_) {
+        for (std::size_t u = 0; u < 8; ++u)
+          for (std::size_t j = 0; j < 8; ++j) {
+            for (std::size_t k = 0; k < 8; ++k) col[k] = block[k * 8 + j];
+            temp[u * 8 + j] = Lanewise(
+                lanes,
+                ctx.DotAccumulate(0, col, &c_q14_[u * 8], 1, 8, {vin, vcf},
+                                  {vac}),
+                shift14);
+          }
+        for (std::size_t u = 0; u < 8; ++u)
+          for (std::size_t v = 0; v < 8; ++v)
+            out[b * 64 + u * 8 + v] = ctx.DotAccumulate(
+                0, &temp[u * 8], &c_q14_[v * 8], 1, 8, {vin, vcf}, {vac});
+      } else {
+        for (std::size_t k = 0; k < 8; ++k)
+          for (std::size_t v = 0; v < 8; ++v) {
+            for (std::size_t u = 0; u < 8; ++u) col[u] = block[u * 8 + v];
+            temp[k * 8 + v] = Lanewise(
+                lanes,
+                ctx.DotAccumulate(0, col, &c_q14_[k], 8, 8, {vin, vcf},
+                                  {vac}),
+                shift14);
+          }
+        for (std::size_t k = 0; k < 8; ++k)
+          for (std::size_t l = 0; l < 8; ++l)
+            out[b * 64 + k * 8 + l] = Lanewise(
+                lanes,
+                ctx.DotAccumulate(0, &temp[k * 8], &c_q14_[l], 8, 8,
+                                  {vin, vcf}, {vac}),
+                shift14);
+      }
+    }
+  }
+
+ private:
+  std::string name_;
+  std::size_t blocks_;
+  bool inverse_;
+  std::vector<std::string> vars_;
+  std::vector<std::int32_t> c_q14_;
+};
+
+// ---- quantize stage -------------------------------------------------------
+//
+// Uniform mid-tread quantization of pixel-scale DCT coefficients: the Q14
+// input is rescaled to pixel scale (wiring), multiplied by the Q12
+// reciprocal of the step ("quantize.level"), rounded, and dequantized by
+// the step multiply ("quantize.scale"). Output is pixel-scale.
+class QuantizeStage final : public PipelineKernel::Stage {
+ public:
+  QuantizeStage(std::string name, std::size_t size, std::int64_t step)
+      : name_(std::move(name)),
+        size_(size),
+        step_(step),
+        recip_q12_(4096 / step),
+        vars_({"level", "scale"}) {}
+
+  const std::string& StageName() const noexcept override { return name_; }
+  const std::vector<std::string>& LocalVariables() const noexcept override {
+    return vars_;
+  }
+  std::size_t InputSize() const noexcept override { return size_; }
+  std::size_t OutputSize() const noexcept override { return size_; }
+
+  void Run(ApproxContext& ctx, std::size_t base,
+           std::span<const std::int64_t> in,
+           std::span<std::int64_t> out) const override {
+    const std::size_t vlv = base, vsc = base + 1;
+    for (std::size_t i = 0; i < size_; ++i) {
+      const std::int64_t yq = in[i] >> 14;  // Q14 -> pixel scale (wiring)
+      const std::int64_t p = ctx.Mul(yq, recip_q12_, {vlv});
+      const std::int64_t r = ctx.Add(p, std::int64_t{1} << 11, {vlv});
+      const std::int64_t q = r >> 12;  // rounded level (wiring)
+      out[i] = ctx.Mul(q, step_, {vsc});
+    }
+  }
+
+  void RunLanes(MultiApproxContext& ctx, std::size_t base,
+                std::span<const Lanes> in,
+                std::span<Lanes> out) const override {
+    const std::size_t vlv = base, vsc = base + 1;
+    const std::size_t lanes = ctx.NumLanes();
+    const Lanes recip = ctx.Broadcast(recip_q12_);
+    const Lanes half = ctx.Broadcast(std::int64_t{1} << 11);
+    const Lanes step = ctx.Broadcast(step_);
+    for (std::size_t i = 0; i < size_; ++i) {
+      const Lanes yq =
+          Lanewise(lanes, in[i], [](std::int64_t v) { return v >> 14; });
+      const Lanes p = ctx.Mul(yq, recip, {vlv});
+      const Lanes r = ctx.Add(p, half, {vlv});
+      const Lanes q =
+          Lanewise(lanes, r, [](std::int64_t v) { return v >> 12; });
+      out[i] = ctx.Mul(q, step, {vsc});
+    }
+  }
+
+ private:
+  std::string name_;
+  std::size_t size_;
+  std::int64_t step_;
+  std::int64_t recip_q12_;
+  std::vector<std::string> vars_;
+};
+
+// ---- sobel stage ----------------------------------------------------------
+//
+// The SobelKernel gradient math over the pipeline's shared image buffer:
+// Gx/Gy as differences of (1 2 1)-smoothed 3-MACs, |Gx|+|Gy| magnitude.
+class SobelStage final : public PipelineKernel::Stage {
+ public:
+  SobelStage(std::string name, std::size_t height, std::size_t width)
+      : name_(std::move(name)),
+        height_(height),
+        width_(width),
+        smooth_({1, 2, 1}),
+        vars_({"image", "kx", "ky", "acc"}) {}
+
+  const std::string& StageName() const noexcept override { return name_; }
+  const std::vector<std::string>& LocalVariables() const noexcept override {
+    return vars_;
+  }
+  std::size_t InputSize() const noexcept override { return height_ * width_; }
+  std::size_t OutputSize() const noexcept override {
+    return (height_ - 2) * (width_ - 2);
+  }
+
+  void Run(ApproxContext& ctx, std::size_t base,
+           std::span<const std::int64_t> in,
+           std::span<std::int64_t> out) const override {
+    const std::size_t vim = base, vkx = base + 1, vky = base + 2,
+                      vac = base + 3;
+    const std::size_t out_rows = height_ - 2;
+    const std::size_t out_cols = width_ - 2;
+    for (std::size_t y = 0; y < out_rows; ++y) {
+      for (std::size_t x = 0; x < out_cols; ++x) {
+        const std::int64_t gx_pos =
+            ctx.DotAccumulate(0, &in[y * width_ + x + 2], width_,
+                              smooth_.data(), 1, 3, {vim, vkx}, {vac});
+        const std::int64_t gx_neg =
+            ctx.DotAccumulate(0, &in[y * width_ + x], width_, smooth_.data(),
+                              1, 3, {vim, vkx}, {vac});
+        const std::int64_t gx = ctx.Add(gx_pos, -gx_neg, {vac});
+        const std::int64_t gy_pos =
+            ctx.DotAccumulate(0, &in[(y + 2) * width_ + x], 1, smooth_.data(),
+                              1, 3, {vim, vky}, {vac});
+        const std::int64_t gy_neg =
+            ctx.DotAccumulate(0, &in[y * width_ + x], 1, smooth_.data(), 1, 3,
+                              {vim, vky}, {vac});
+        const std::int64_t gy = ctx.Add(gy_pos, -gy_neg, {vac});
+        out[y * out_cols + x] =
+            ctx.Add(gx < 0 ? -gx : gx, gy < 0 ? -gy : gy, {vac});
+      }
+    }
+  }
+
+  void RunLanes(MultiApproxContext& ctx, std::size_t base,
+                std::span<const Lanes> in,
+                std::span<Lanes> out) const override {
+    const std::size_t vim = base, vkx = base + 1, vky = base + 2,
+                      vac = base + 3;
+    const std::size_t lanes = ctx.NumLanes();
+    const std::size_t out_rows = height_ - 2;
+    const std::size_t out_cols = width_ - 2;
+    const auto neg = [](std::int64_t v) { return -v; };
+    const auto abs64 = [](std::int64_t v) { return v < 0 ? -v : v; };
+    Lanes col[3];
+    for (std::size_t y = 0; y < out_rows; ++y) {
+      for (std::size_t x = 0; x < out_cols; ++x) {
+        // Strided column reads gather into a contiguous scratch for the
+        // lane-operand dot (which is unit-stride by contract).
+        for (std::size_t k = 0; k < 3; ++k)
+          col[k] = in[(y + k) * width_ + x + 2];
+        const Lanes gx_pos = ctx.DotAccumulate(0, col, smooth_.data(), 1, 3,
+                                               {vim, vkx}, {vac});
+        for (std::size_t k = 0; k < 3; ++k) col[k] = in[(y + k) * width_ + x];
+        const Lanes gx_neg = ctx.DotAccumulate(0, col, smooth_.data(), 1, 3,
+                                               {vim, vkx}, {vac});
+        const Lanes gx = ctx.Add(gx_pos, Lanewise(lanes, gx_neg, neg), {vac});
+        const Lanes gy_pos =
+            ctx.DotAccumulate(0, &in[(y + 2) * width_ + x], smooth_.data(), 1,
+                              3, {vim, vky}, {vac});
+        const Lanes gy_neg = ctx.DotAccumulate(
+            0, &in[y * width_ + x], smooth_.data(), 1, 3, {vim, vky}, {vac});
+        const Lanes gy = ctx.Add(gy_pos, Lanewise(lanes, gy_neg, neg), {vac});
+        out[y * out_cols + x] = ctx.Add(Lanewise(lanes, gx, abs64),
+                                        Lanewise(lanes, gy, abs64), {vac});
+      }
+    }
+  }
+
+ private:
+  std::string name_;
+  std::size_t height_;
+  std::size_t width_;
+  std::vector<std::int32_t> smooth_;
+  std::vector<std::string> vars_;
+};
+
+// ---- threshold stage ------------------------------------------------------
+//
+// Binarizes gradient magnitudes: the comparison is carried by a counted
+// signed add ("threshold.bias"), the sign test is wiring.
+class ThresholdStage final : public PipelineKernel::Stage {
+ public:
+  ThresholdStage(std::string name, std::size_t size, std::int64_t threshold)
+      : name_(std::move(name)),
+        size_(size),
+        threshold_(threshold),
+        vars_({"bias"}) {}
+
+  const std::string& StageName() const noexcept override { return name_; }
+  const std::vector<std::string>& LocalVariables() const noexcept override {
+    return vars_;
+  }
+  std::size_t InputSize() const noexcept override { return size_; }
+  std::size_t OutputSize() const noexcept override { return size_; }
+
+  void Run(ApproxContext& ctx, std::size_t base,
+           std::span<const std::int64_t> in,
+           std::span<std::int64_t> out) const override {
+    for (std::size_t i = 0; i < size_; ++i) {
+      const std::int64_t d = ctx.Add(in[i], -threshold_, {base});
+      out[i] = d > 0 ? 255 : 0;
+    }
+  }
+
+  void RunLanes(MultiApproxContext& ctx, std::size_t base,
+                std::span<const Lanes> in,
+                std::span<Lanes> out) const override {
+    const std::size_t lanes = ctx.NumLanes();
+    const Lanes bias = ctx.Broadcast(-threshold_);
+    for (std::size_t i = 0; i < size_; ++i) {
+      const Lanes d = ctx.Add(in[i], bias, {base});
+      out[i] = Lanewise(lanes, d,
+                        [](std::int64_t v) { return v > 0 ? 255 : 0; });
+    }
+  }
+
+ private:
+  std::string name_;
+  std::size_t size_;
+  std::int64_t threshold_;
+  std::vector<std::string> vars_;
+};
+
+// ---- conv stage -----------------------------------------------------------
+//
+// Multi-channel 3x3 convolution over the shared image: one seed-generated
+// stencil per output channel, each output the sum of three 3-MAC row dots
+// combined by counted adds. Output is channel-major.
+class ConvStage final : public PipelineKernel::Stage {
+ public:
+  ConvStage(std::string name, std::size_t height, std::size_t width,
+            std::vector<std::int32_t> stencils)
+      : name_(std::move(name)),
+        height_(height),
+        width_(width),
+        channels_(stencils.size() / 9),
+        stencils_(std::move(stencils)),
+        vars_({"image", "stencil", "acc"}) {}
+
+  const std::string& StageName() const noexcept override { return name_; }
+  const std::vector<std::string>& LocalVariables() const noexcept override {
+    return vars_;
+  }
+  std::size_t InputSize() const noexcept override { return height_ * width_; }
+  std::size_t OutputSize() const noexcept override {
+    return channels_ * (height_ - 2) * (width_ - 2);
+  }
+
+  void Run(ApproxContext& ctx, std::size_t base,
+           std::span<const std::int64_t> in,
+           std::span<std::int64_t> out) const override {
+    const std::size_t vim = base, vst = base + 1, vac = base + 2;
+    const std::size_t out_rows = height_ - 2;
+    const std::size_t out_cols = width_ - 2;
+    const std::size_t spatial = out_rows * out_cols;
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const std::int32_t* st = &stencils_[c * 9];
+      for (std::size_t y = 0; y < out_rows; ++y) {
+        for (std::size_t x = 0; x < out_cols; ++x) {
+          std::int64_t rows[3];
+          for (std::size_t dy = 0; dy < 3; ++dy)
+            rows[dy] =
+                ctx.DotAccumulate(0, &in[(y + dy) * width_ + x], 1,
+                                  &st[dy * 3], 1, 3, {vim, vst}, {vac});
+          const std::int64_t s01 = ctx.Add(rows[0], rows[1], {vac});
+          out[c * spatial + y * out_cols + x] = ctx.Add(s01, rows[2], {vac});
+        }
+      }
+    }
+  }
+
+  void RunLanes(MultiApproxContext& ctx, std::size_t base,
+                std::span<const Lanes> in,
+                std::span<Lanes> out) const override {
+    const std::size_t vim = base, vst = base + 1, vac = base + 2;
+    const std::size_t out_rows = height_ - 2;
+    const std::size_t out_cols = width_ - 2;
+    const std::size_t spatial = out_rows * out_cols;
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const std::int32_t* st = &stencils_[c * 9];
+      for (std::size_t y = 0; y < out_rows; ++y) {
+        for (std::size_t x = 0; x < out_cols; ++x) {
+          Lanes rows[3];
+          for (std::size_t dy = 0; dy < 3; ++dy)
+            rows[dy] =
+                ctx.DotAccumulate(0, &in[(y + dy) * width_ + x], &st[dy * 3],
+                                  1, 3, {vim, vst}, {vac});
+          const Lanes s01 = ctx.Add(rows[0], rows[1], {vac});
+          out[c * spatial + y * out_cols + x] = ctx.Add(s01, rows[2], {vac});
+        }
+      }
+    }
+  }
+
+ private:
+  std::string name_;
+  std::size_t height_;
+  std::size_t width_;
+  std::size_t channels_;
+  std::vector<std::int32_t> stencils_;
+  std::vector<std::string> vars_;
+};
+
+// ---- bias stage -----------------------------------------------------------
+class BiasStage final : public PipelineKernel::Stage {
+ public:
+  BiasStage(std::string name, std::size_t spatial,
+            std::vector<std::int64_t> biases)
+      : name_(std::move(name)),
+        spatial_(spatial),
+        biases_(std::move(biases)),
+        vars_({"add"}) {}
+
+  const std::string& StageName() const noexcept override { return name_; }
+  const std::vector<std::string>& LocalVariables() const noexcept override {
+    return vars_;
+  }
+  std::size_t InputSize() const noexcept override {
+    return biases_.size() * spatial_;
+  }
+  std::size_t OutputSize() const noexcept override { return InputSize(); }
+
+  void Run(ApproxContext& ctx, std::size_t base,
+           std::span<const std::int64_t> in,
+           std::span<std::int64_t> out) const override {
+    for (std::size_t c = 0; c < biases_.size(); ++c)
+      for (std::size_t s = 0; s < spatial_; ++s)
+        out[c * spatial_ + s] =
+            ctx.Add(in[c * spatial_ + s], biases_[c], {base});
+  }
+
+  void RunLanes(MultiApproxContext& ctx, std::size_t base,
+                std::span<const Lanes> in,
+                std::span<Lanes> out) const override {
+    for (std::size_t c = 0; c < biases_.size(); ++c) {
+      const Lanes bias = ctx.Broadcast(biases_[c]);
+      for (std::size_t s = 0; s < spatial_; ++s)
+        out[c * spatial_ + s] = ctx.Add(in[c * spatial_ + s], bias, {base});
+    }
+  }
+
+ private:
+  std::string name_;
+  std::size_t spatial_;
+  std::vector<std::int64_t> biases_;
+  std::vector<std::string> vars_;
+};
+
+// ---- relu stage -----------------------------------------------------------
+//
+// max(x, 0) computed as (x + |x|) >> 1 so the gate is a counted add
+// ("relu.gate"); |x| and the halving shift are wiring.
+class ReluStage final : public PipelineKernel::Stage {
+ public:
+  ReluStage(std::string name, std::size_t size)
+      : name_(std::move(name)), size_(size), vars_({"gate"}) {}
+
+  const std::string& StageName() const noexcept override { return name_; }
+  const std::vector<std::string>& LocalVariables() const noexcept override {
+    return vars_;
+  }
+  std::size_t InputSize() const noexcept override { return size_; }
+  std::size_t OutputSize() const noexcept override { return size_; }
+
+  void Run(ApproxContext& ctx, std::size_t base,
+           std::span<const std::int64_t> in,
+           std::span<std::int64_t> out) const override {
+    for (std::size_t i = 0; i < size_; ++i) {
+      const std::int64_t x = in[i];
+      const std::int64_t s = ctx.Add(x, x < 0 ? -x : x, {base});
+      out[i] = s >> 1;
+    }
+  }
+
+  void RunLanes(MultiApproxContext& ctx, std::size_t base,
+                std::span<const Lanes> in,
+                std::span<Lanes> out) const override {
+    const std::size_t lanes = ctx.NumLanes();
+    const auto abs64 = [](std::int64_t v) { return v < 0 ? -v : v; };
+    for (std::size_t i = 0; i < size_; ++i) {
+      const Lanes s = ctx.Add(in[i], Lanewise(lanes, in[i], abs64), {base});
+      out[i] = Lanewise(lanes, s, [](std::int64_t v) { return v >> 1; });
+    }
+  }
+
+ private:
+  std::string name_;
+  std::size_t size_;
+  std::vector<std::string> vars_;
+};
+
+std::vector<std::int64_t> RandomPixels(std::size_t n, util::Rng& rng) {
+  std::vector<std::int64_t> out(n);
+  for (auto& v : out) v = static_cast<std::int64_t>(rng.UniformBelow(256));
+  return out;
+}
+
+}  // namespace
+
+// ---- PipelineKernel -------------------------------------------------------
+
+PipelineKernel::PipelineKernel(std::string name, axc::OperatorSet operators,
+                               std::vector<std::int64_t> source,
+                               std::vector<std::unique_ptr<Stage>> stages,
+                               Scorer scorer)
+    : name_(std::move(name)),
+      operators_(std::move(operators)),
+      source_(std::move(source)),
+      stages_(std::move(stages)),
+      scorer_(std::move(scorer)) {
+  if (stages_.empty())
+    throw std::invalid_argument("PipelineKernel: no stages");
+  if (source_.empty())
+    throw std::invalid_argument("PipelineKernel: empty source");
+  std::set<std::string> stage_names;
+  std::size_t size = source_.size();
+  for (const auto& stage : stages_) {
+    if (!stage) throw std::invalid_argument("PipelineKernel: null stage");
+    if (!stage_names.insert(stage->StageName()).second)
+      throw std::invalid_argument("PipelineKernel: duplicate stage '" +
+                                  stage->StageName() + "'");
+    if (stage->InputSize() != size)
+      throw std::invalid_argument(
+          "PipelineKernel: stage '" + stage->StageName() + "' expects " +
+          std::to_string(stage->InputSize()) + " inputs, gets " +
+          std::to_string(size));
+    size = stage->OutputSize();
+    if (size == 0)
+      throw std::invalid_argument("PipelineKernel: stage '" +
+                                  stage->StageName() + "' has empty output");
+    var_bases_.push_back(variables_.size());
+    for (const std::string& local : stage->LocalVariables())
+      variables_.push_back({stage->StageName() + "." + local});
+  }
+}
+
+std::vector<double> PipelineKernel::Run(instrument::ApproxContext& ctx) const {
+  std::vector<std::int64_t> cur = source_;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    std::vector<std::int64_t> next(stages_[i]->OutputSize());
+    stages_[i]->Run(ctx, var_bases_[i], cur, next);
+    cur = std::move(next);
+  }
+  return std::vector<double>(cur.begin(), cur.end());
+}
+
+std::vector<double> PipelineKernel::RunLanes(
+    instrument::MultiApproxContext& ctx) const {
+  using Lanes = instrument::MultiApproxContext::Lanes;
+  const std::size_t lanes = ctx.NumLanes();
+  std::vector<Lanes> cur(source_.size());
+  for (std::size_t i = 0; i < source_.size(); ++i)
+    cur[i] = ctx.Broadcast(source_[i]);
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    std::vector<Lanes> next(stages_[i]->OutputSize());
+    stages_[i]->RunLanes(ctx, var_bases_[i], cur, next);
+    cur = std::move(next);
+  }
+  std::vector<double> out(lanes * cur.size());
+  for (std::size_t l = 0; l < lanes; ++l)
+    for (std::size_t i = 0; i < cur.size(); ++i)
+      out[l * cur.size() + i] = static_cast<double>(cur[i].v[l]);
+  return out;
+}
+
+double PipelineKernel::AccuracyError(std::span<const double> precise,
+                                     std::span<const double> approx) const {
+  if (scorer_) return scorer_(precise, approx);
+  return Kernel::AccuracyError(precise, approx);
+}
+
+std::vector<StageOpCounts> PipelineKernel::StageCounts(
+    const instrument::ApproxSelection& selection) const {
+  instrument::ApproxContext ctx = MakeContext();
+  ctx.Configure(selection);
+  std::vector<StageOpCounts> out;
+  out.reserve(stages_.size());
+  std::vector<std::int64_t> cur = source_;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    ctx.ResetCounts();
+    std::vector<std::int64_t> next(stages_[i]->OutputSize());
+    stages_[i]->Run(ctx, var_bases_[i], cur, next);
+    out.push_back({stages_[i]->StageName(), ctx.Counts()});
+    cur = std::move(next);
+  }
+  return out;
+}
+
+// ---- built-in pipeline factories ------------------------------------------
+
+std::unique_ptr<Kernel> MakeJpegPathPipeline(const KernelParams& params) {
+  const std::size_t blocks = params.size == 0 ? 2 : params.size;
+  const std::int64_t step = params.GetInt("step", 16);
+  if (step < 2 || step > 256 || (step & (step - 1)) != 0)
+    throw std::invalid_argument(
+        "jpeg-path: step must be a power of two in [2, 256], got " +
+        std::to_string(step));
+  util::Rng rng(params.seed);
+  std::vector<std::int64_t> pixels = RandomPixels(blocks * 64, rng);
+  std::vector<std::unique_ptr<PipelineKernel::Stage>> stages;
+  stages.push_back(std::make_unique<DctStage>("dct", blocks, false));
+  stages.push_back(
+      std::make_unique<QuantizeStage>("quantize", blocks * 64, step));
+  stages.push_back(std::make_unique<DctStage>("idct", blocks, true));
+  // Quality: PSNR of the approximated reconstruction against the precise
+  // one (8-bit peak), reported as the gap below a 100 dB cap so that 0
+  // means indistinguishable and larger means worse — the orientation the
+  // evaluator's delta_acc threshold expects.
+  PipelineKernel::Scorer scorer = [](std::span<const double> precise,
+                                     std::span<const double> approx) {
+    constexpr double kCapDb = 100.0;
+    const double psnr = metrics::Psnr(precise, approx, 255.0);
+    return psnr >= kCapDb ? 0.0 : kCapDb - psnr;
+  };
+  return std::make_unique<PipelineKernel>(
+      "jpeg-path-" + std::to_string(blocks),
+      axc::EvoApproxCatalog::Instance().FirSet(), std::move(pixels),
+      std::move(stages), std::move(scorer));
+}
+
+std::unique_ptr<Kernel> MakeEdgePathPipeline(const KernelParams& params) {
+  const std::size_t height = params.size == 0 ? 12 : params.size;
+  const std::size_t width = static_cast<std::size_t>(
+      params.GetInt("width", static_cast<std::int64_t>(height)));
+  if (height < 3 || width < 3)
+    throw std::invalid_argument("edge-path: image must be at least 3x3");
+  const std::int64_t threshold = params.GetInt("threshold", 512);
+  util::Rng rng(params.seed);
+  std::vector<std::int64_t> image = RandomPixels(height * width, rng);
+  std::vector<std::unique_ptr<PipelineKernel::Stage>> stages;
+  stages.push_back(std::make_unique<SobelStage>("sobel", height, width));
+  stages.push_back(std::make_unique<ThresholdStage>(
+      "threshold", (height - 2) * (width - 2), threshold));
+  return std::make_unique<PipelineKernel>(
+      "edge-path-" + std::to_string(height) + "x" + std::to_string(width),
+      axc::EvoApproxCatalog::Instance().MatMulSet(), std::move(image),
+      std::move(stages));
+}
+
+std::unique_ptr<Kernel> MakeNnLayerPipeline(const KernelParams& params) {
+  const std::size_t height = params.size == 0 ? 12 : params.size;
+  const std::size_t width = static_cast<std::size_t>(
+      params.GetInt("width", static_cast<std::int64_t>(height)));
+  if (height < 3 || width < 3)
+    throw std::invalid_argument("nn-layer: image must be at least 3x3");
+  const std::size_t channels =
+      static_cast<std::size_t>(params.GetInt("channels", 3));
+  if (channels < 2)
+    throw std::invalid_argument("nn-layer: channels must be >= 2 (top-error "
+                                "needs competing channels), got " +
+                                std::to_string(channels));
+  util::Rng rng(params.seed);
+  std::vector<std::int64_t> image = RandomPixels(height * width, rng);
+  std::vector<std::int32_t> stencils(channels * 9);
+  for (auto& w : stencils) w = static_cast<std::int32_t>(rng.UniformBelow(8));
+  std::vector<std::int64_t> biases(channels);
+  for (auto& b : biases)
+    b = static_cast<std::int64_t>(rng.UniformBelow(2049)) - 1024;
+  const std::size_t spatial = (height - 2) * (width - 2);
+  std::vector<std::unique_ptr<PipelineKernel::Stage>> stages;
+  stages.push_back(
+      std::make_unique<ConvStage>("conv", height, width, std::move(stencils)));
+  stages.push_back(
+      std::make_unique<BiasStage>("bias", spatial, std::move(biases)));
+  stages.push_back(
+      std::make_unique<ReluStage>("relu", channels * spatial));
+  // Quality: classification-style top-error — the fraction of spatial
+  // positions whose winning channel (argmax, first-wins ties) changed.
+  PipelineKernel::Scorer scorer = [channels, spatial](
+                                      std::span<const double> precise,
+                                      std::span<const double> approx) {
+    std::size_t wrong = 0;
+    for (std::size_t s = 0; s < spatial; ++s) {
+      std::size_t best_p = 0, best_a = 0;
+      for (std::size_t c = 1; c < channels; ++c) {
+        if (precise[c * spatial + s] > precise[best_p * spatial + s])
+          best_p = c;
+        if (approx[c * spatial + s] > approx[best_a * spatial + s])
+          best_a = c;
+      }
+      if (best_p != best_a) ++wrong;
+    }
+    return static_cast<double>(wrong) / static_cast<double>(spatial);
+  };
+  return std::make_unique<PipelineKernel>(
+      "nn-layer-" + std::to_string(height) + "x" + std::to_string(width) +
+          "x" + std::to_string(channels),
+      axc::EvoApproxCatalog::Instance().MatMulSet(), std::move(image),
+      std::move(stages), std::move(scorer));
+}
+
+}  // namespace axdse::workloads

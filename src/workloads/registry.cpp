@@ -11,6 +11,7 @@
 #include "workloads/iir_kernel.hpp"
 #include "workloads/kmeans_kernel.hpp"
 #include "workloads/matmul_kernel.hpp"
+#include "workloads/pipeline_kernel.hpp"
 #include "workloads/sobel_kernel.hpp"
 
 namespace axdse::workloads {
@@ -93,6 +94,15 @@ std::unique_ptr<Kernel> KernelRegistry::Create(const std::string& name,
                                 name + "' (registered: " + known + ")");
   }
   return factory(params);
+}
+
+std::unique_ptr<Kernel> KernelRegistry::Create(const KernelSpec& spec,
+                                               std::uint64_t seed) const {
+  KernelParams params;
+  params.size = spec.size;
+  params.seed = seed;
+  params.extra = spec.extra;
+  return Create(spec.name, params);
 }
 
 KernelRegistry& KernelRegistry::Global() {
@@ -178,6 +188,10 @@ void RegisterBuiltinKernels(KernelRegistry& registry) {
         static_cast<std::size_t>(p.GetInt("clusters", 4));
     return std::make_unique<KMeans1DKernel>(n, clusters, p.seed);
   });
+
+  registry.Register("jpeg-path", MakeJpegPathPipeline);
+  registry.Register("edge-path", MakeEdgePathPipeline);
+  registry.Register("nn-layer", MakeNnLayerPipeline);
 }
 
 }  // namespace axdse::workloads

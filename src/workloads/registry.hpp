@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "workloads/kernel.hpp"
+#include "workloads/kernel_spec.hpp"
 
 namespace axdse::workloads {
 
@@ -68,6 +69,13 @@ class KernelRegistry {
   std::unique_ptr<Kernel> Create(const std::string& name,
                                  const KernelParams& params = {}) const;
 
+  /// Constructs the kernel a KernelSpec identifies: spec.name looked up in
+  /// the registry, spec.size/spec.extra and `seed` forwarded as
+  /// KernelParams. The spec is the one typed kernel identity used by
+  /// requests, campaigns, and cache grouping.
+  std::unique_ptr<Kernel> Create(const KernelSpec& spec,
+                                 std::uint64_t seed = 42) const;
+
   /// The process-wide registry, preloaded with the built-in benchmarks.
   static KernelRegistry& Global();
 
@@ -90,6 +98,13 @@ class KernelRegistry {
 ///   "sobel3x3" SobelKernel      size = height (default 12);
 ///             extra: width, bands
 ///   "kmeans1d" KMeans1DKernel   size = points (default 96); extra: clusters
+/// and the multi-stage pipelines (see workloads/pipeline_kernel.hpp):
+///   "jpeg-path" dct->quantize->idct   size = 8x8 blocks (default 2);
+///             extra: step
+///   "edge-path" sobel3x3->threshold   size = height (default 12);
+///             extra: width, threshold
+///   "nn-layer"  conv2d->bias->relu    size = height (default 12);
+///             extra: width, channels
 void RegisterBuiltinKernels(KernelRegistry& registry);
 
 }  // namespace axdse::workloads

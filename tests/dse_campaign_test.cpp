@@ -28,8 +28,8 @@ using testsupport::ScopedTempDir;
 /// 2 seeds, 60 steps each (8 explorations, well under a second).
 CampaignSpec SmallSpec() {
   return CampaignSpec::Parse(
-      "kernels=dot@32,kmeans1d@40 kernels.dot@32.blocks=4"
-      " kernels.kmeans1d@40.clusters=3 agents=q-learning,sarsa"
+      "kernels=dot@32{blocks=4},kmeans1d@40{clusters=3}"
+      " agents=q-learning,sarsa"
       " steps=60 seeds=2 seed=1 kernel-seed=2023 reward-cap=1e18");
 }
 
@@ -48,7 +48,7 @@ std::size_t CkptFileCount(const std::string& dir) {
 
 TEST(CampaignSpec, ParseToStringRoundTrip) {
   const std::string text =
-      "kernels=matmul@10,matmul@50,fir@100 kernels.matmul@10.granularity=row-col"
+      "kernels=matmul@10{granularity=row-col},matmul@50,fir@100"
       " agents=q-learning,double-q action-spaces=full,compact"
       " acc-factors=0.4,0.2 cache-modes=private,shared"
       " steps=500 seeds=3 seed=7 alpha=0.2";
@@ -57,7 +57,7 @@ TEST(CampaignSpec, ParseToStringRoundTrip) {
   EXPECT_EQ(spec.kernels[0].name, "matmul");
   EXPECT_EQ(spec.kernels[0].size, 10u);
   EXPECT_EQ(spec.kernels[0].extra.at("granularity"), "row-col");
-  EXPECT_TRUE(spec.kernels[1].extra.empty());  // @50 not targeted
+  EXPECT_TRUE(spec.kernels[1].extra.empty());  // @50 carries no extras
   EXPECT_EQ(spec.agents.size(), 2u);
   EXPECT_EQ(spec.action_spaces.size(), 2u);
   EXPECT_EQ(spec.acc_factors, (std::vector<double>{0.4, 0.2}));
@@ -89,8 +89,12 @@ TEST(CampaignSpec, ParseErrors) {
                std::invalid_argument);
   EXPECT_THROW(CampaignSpec::Parse("kernels=dot cache-modes=psychic"),
                std::invalid_argument);
-  // Override targeting a kernel that is not on the axis.
+  // The pre-KernelSpec per-kernel override grammar is gone; its tokens
+  // fall through to the base parser and fail as unknown keys.
   EXPECT_THROW(CampaignSpec::Parse("kernels=dot kernels.fir.taps=9"),
+               std::invalid_argument);
+  // Malformed spec entry (unterminated extras block).
+  EXPECT_THROW(CampaignSpec::Parse("kernels=dot@32{blocks=4"),
                std::invalid_argument);
   // Unknown base key falls through to ExplorationRequest::Parse.
   EXPECT_THROW(CampaignSpec::Parse("kernels=dot warp-speed=9"),
@@ -119,8 +123,8 @@ TEST(CampaignSpec, ExpandProducesTheCartesianGrid) {
   EXPECT_EQ(grid[1].label, "dot@32/q-learning/acc=0.2");
   EXPECT_EQ(grid[2].label, "dot@32/sarsa/acc=0.4");
   EXPECT_EQ(grid[4].label, "fir@60/q-learning/acc=0.4");
-  EXPECT_EQ(grid[0].kernel, "dot");
-  EXPECT_EQ(grid[0].params.size, 32u);
+  EXPECT_EQ(grid[0].kernel.name, "dot");
+  EXPECT_EQ(grid[0].kernel.size, 32u);
   EXPECT_EQ(grid[1].thresholds.accuracy_factor, 0.2);
   EXPECT_EQ(grid[2].agent_kind, AgentKind::kSarsa);
   // Every cell inherits the base.
@@ -133,17 +137,19 @@ TEST(CampaignSpec, ExpandProducesTheCartesianGrid) {
   EXPECT_EQ(single.Expand()[0].label, "dot/q-learning");
 }
 
-TEST(CampaignSpec, PerKernelOverridesReachTheRequests) {
+TEST(CampaignSpec, PerKernelExtrasReachTheRequests) {
+  // Per-kernel extras live inside each spec entry; extras on the base
+  // `kernel=` token (a name-less spec) apply to every cell, with the
+  // entry's own extras winning on conflict.
   const CampaignSpec spec = CampaignSpec::Parse(
-      "kernels=matmul@10,fir@60 kernels.matmul.granularity=row-col"
-      " kernels.fir.taps=9 kernel.cutoff=0.3 steps=50");
+      "kernels=matmul@10{granularity=row-col},fir@60{taps=9}"
+      " kernel={cutoff=0.3} steps=50");
   const std::vector<ExplorationRequest> grid = spec.Expand();
   ASSERT_EQ(grid.size(), 2u);
-  EXPECT_EQ(grid[0].params.extra.at("granularity"), "row-col");
-  // Base kernel.* extras apply to every cell; overrides are per kernel.
-  EXPECT_EQ(grid[0].params.extra.at("cutoff"), "0.3");
-  EXPECT_EQ(grid[1].params.extra.at("taps"), "9");
-  EXPECT_EQ(grid[1].params.extra.count("granularity"), 0u);
+  EXPECT_EQ(grid[0].kernel.extra.at("granularity"), "row-col");
+  EXPECT_EQ(grid[0].kernel.extra.at("cutoff"), "0.3");
+  EXPECT_EQ(grid[1].kernel.extra.at("taps"), "9");
+  EXPECT_EQ(grid[1].kernel.extra.count("granularity"), 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -160,8 +166,8 @@ TEST(Campaign, RunAggregatesCellsFrontsAndBest) {
   ASSERT_EQ(result.cells.size(), 4u);
   EXPECT_EQ(result.TotalRuns(), spec.NumJobs());
   // Cells arrive in grid order with the generated labels.
-  EXPECT_EQ(result.cells[0].request.label, "dot@32/q-learning");
-  EXPECT_EQ(result.cells[3].request.label, "kmeans1d@40/sarsa");
+  EXPECT_EQ(result.cells[0].request.label, "dot@32{blocks=4}/q-learning");
+  EXPECT_EQ(result.cells[3].request.label, "kmeans1d@40{clusters=3}/sarsa");
 
   // One front and one best entry per kernel, first-appearance order.
   ASSERT_EQ(result.fronts.size(), 2u);

@@ -204,7 +204,7 @@ TEST(CheckpointFormat, SerializeDeserializeSerializeIsIdentity) {
   Explorer explorer(*h.evaluator, h.reward, config);
   explorer.RunSteps(17);
   Checkpoint checkpoint = explorer.Suspend();
-  checkpoint.request = "kernel=matmul size=4";  // identity fields included
+  checkpoint.request = "kernel=matmul@4";  // identity fields included
   checkpoint.seed = 13;
   const std::string first = checkpoint.Serialize();
   const std::string second = Checkpoint::Deserialize(first).Serialize();
@@ -240,11 +240,11 @@ TEST(CheckpointFormat, LoadOfMissingFileThrows) {
 }
 
 TEST(CheckpointFormat, JobFileNamesAreStableAndDistinct) {
-  const std::string a = JobCheckpointFileName("kernel=matmul size=4", 3);
-  EXPECT_EQ(a, JobCheckpointFileName("kernel=matmul size=4", 3));
-  EXPECT_NE(a, JobCheckpointFileName("kernel=matmul size=4", 4));
-  EXPECT_NE(a, JobCheckpointFileName("kernel=matmul size=5", 3));
-  EXPECT_NE(JobCheckpointFileName("kernel=fir size=24", 1),
+  const std::string a = JobCheckpointFileName("kernel=matmul@4", 3);
+  EXPECT_EQ(a, JobCheckpointFileName("kernel=matmul@4", 3));
+  EXPECT_NE(a, JobCheckpointFileName("kernel=matmul@4", 4));
+  EXPECT_NE(a, JobCheckpointFileName("kernel=matmul@5", 3));
+  EXPECT_NE(JobCheckpointFileName("kernel=fir@24", 1),
             CacheCheckpointFileName("fir|size=24|seed=7"));
 }
 
@@ -475,7 +475,7 @@ std::string PinnedCheckpointBytes() {
   Explorer explorer(evaluator, reward, config);
   explorer.RunSteps(10);
   Checkpoint checkpoint = explorer.Suspend();
-  checkpoint.request = "kernel=matmul size=5 kernel-seed=2023";
+  checkpoint.request = "kernel=matmul@5 kernel-seed=2023";
   checkpoint.seed = 1;
   return checkpoint.Serialize();
 }

@@ -1,36 +1,47 @@
-// Tests for dse/multi_run: aggregation correctness and determinism.
-
-#include "dse/multi_run.hpp"
+// Tests for the Engine's multi-seed aggregation (RequestResult summaries,
+// operator votes, determinism) — the aggregates formerly exercised through
+// the deleted multi_run shim, now driven through the facade surface.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+
+#include "dse/engine.hpp"
 #include "workloads/dot_product_kernel.hpp"
 
 namespace axdse::dse {
 namespace {
 
-ExplorerConfig FastConfig() {
-  ExplorerConfig config;
-  config.max_steps = 400;
-  config.max_cumulative_reward = 1e18;
-  config.agent.epsilon = rl::EpsilonSchedule::Linear(1.0, 0.05, 250);
-  config.seed = 100;
-  return config;
+std::shared_ptr<const workloads::Kernel> TestKernel() {
+  return std::make_shared<workloads::DotProductKernel>(64, 4, 7);
 }
 
-TEST(MultiRun, RunsRequestedSeedCount) {
-  const workloads::DotProductKernel kernel(64, 4, 7);
-  const MultiRunResult result =
-      ExploreKernelMultiSeed(kernel, FastConfig(), 4);
+ExplorationRequest FastRequest(std::size_t num_seeds) {
+  return RequestBuilder(TestKernel())
+      .MaxSteps(400)
+      .RewardCap(1e18)
+      .Epsilon(1.0, 0.05, 250)
+      .Seed(100)
+      .Seeds(num_seeds)
+      .RecordTrace(false)
+      .Build();
+}
+
+RequestResult RunFast(std::size_t num_seeds) {
+  const Engine engine;
+  return engine.RunOne(FastRequest(num_seeds));
+}
+
+TEST(EngineAggregate, RunsRequestedSeedCount) {
+  const RequestResult result = RunFast(4);
   EXPECT_EQ(result.runs.size(), 4u);
   EXPECT_EQ(result.solution_delta_power.count, 4u);
   EXPECT_EQ(result.steps.count, 4u);
 }
 
-TEST(MultiRun, SummariesMatchPerRunData) {
-  const workloads::DotProductKernel kernel(64, 4, 7);
-  const MultiRunResult result =
-      ExploreKernelMultiSeed(kernel, FastConfig(), 5);
+TEST(EngineAggregate, SummariesMatchPerRunData) {
+  const RequestResult result = RunFast(5);
   double sum = 0.0;
   double min = 1e300;
   double max = -1e300;
@@ -45,10 +56,8 @@ TEST(MultiRun, SummariesMatchPerRunData) {
   EXPECT_DOUBLE_EQ(result.solution_delta_power.max, max);
 }
 
-TEST(MultiRun, VotesSumToSeedCount) {
-  const workloads::DotProductKernel kernel(64, 4, 7);
-  const MultiRunResult result =
-      ExploreKernelMultiSeed(kernel, FastConfig(), 6);
+TEST(EngineAggregate, VotesSumToSeedCount) {
+  const RequestResult result = RunFast(6);
   std::size_t adder_total = 0;
   for (const auto& [name, count] : result.adder_votes) adder_total += count;
   std::size_t mul_total = 0;
@@ -61,10 +70,8 @@ TEST(MultiRun, VotesSumToSeedCount) {
   EXPECT_GE(result.adder_votes.at(result.ModalAdder()), 1u);
 }
 
-TEST(MultiRun, SeedsActuallyDiffer) {
-  const workloads::DotProductKernel kernel(64, 4, 7);
-  const MultiRunResult result =
-      ExploreKernelMultiSeed(kernel, FastConfig(), 4);
+TEST(EngineAggregate, SeedsActuallyDiffer) {
+  const RequestResult result = RunFast(4);
   // At least the reward sequences must differ between seeds.
   bool any_difference = false;
   for (std::size_t i = 1; i < result.runs.size(); ++i)
@@ -73,34 +80,28 @@ TEST(MultiRun, SeedsActuallyDiffer) {
   EXPECT_TRUE(any_difference);
 }
 
-TEST(MultiRun, DeterministicAggregate) {
-  const workloads::DotProductKernel kernel(64, 4, 7);
-  const MultiRunResult a = ExploreKernelMultiSeed(kernel, FastConfig(), 3);
-  const MultiRunResult b = ExploreKernelMultiSeed(kernel, FastConfig(), 3);
+TEST(EngineAggregate, DeterministicAggregate) {
+  const RequestResult a = RunFast(3);
+  const RequestResult b = RunFast(3);
   EXPECT_DOUBLE_EQ(a.solution_delta_power.mean, b.solution_delta_power.mean);
   EXPECT_DOUBLE_EQ(a.solution_delta_acc.stddev, b.solution_delta_acc.stddev);
   EXPECT_EQ(a.ModalAdder(), b.ModalAdder());
 }
 
-TEST(MultiRun, FeasibleFractionInUnitRange) {
-  const workloads::DotProductKernel kernel(64, 4, 7);
-  const MultiRunResult result =
-      ExploreKernelMultiSeed(kernel, FastConfig(), 4);
+TEST(EngineAggregate, FeasibleFractionInUnitRange) {
+  const RequestResult result = RunFast(4);
   EXPECT_GE(result.feasible_fraction, 0.0);
   EXPECT_LE(result.feasible_fraction, 1.0);
 }
 
-TEST(MultiRun, TracesDroppedForMemory) {
-  const workloads::DotProductKernel kernel(64, 4, 7);
-  const MultiRunResult result =
-      ExploreKernelMultiSeed(kernel, FastConfig(), 2);
+TEST(EngineAggregate, TracesDroppedForMemory) {
+  const RequestResult result = RunFast(2);
   for (const ExplorationResult& run : result.runs)
     EXPECT_TRUE(run.trace.empty());
 }
 
-TEST(MultiRun, RejectsZeroSeeds) {
-  const workloads::DotProductKernel kernel(64, 4, 7);
-  EXPECT_THROW(ExploreKernelMultiSeed(kernel, FastConfig(), 0),
+TEST(EngineAggregate, RejectsZeroSeeds) {
+  EXPECT_THROW(RequestBuilder(TestKernel()).Seeds(0).Build(),
                std::invalid_argument);
 }
 

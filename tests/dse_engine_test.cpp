@@ -57,12 +57,15 @@ TEST(Engine, WorkerCountDoesNotChangeResults) {
   EXPECT_EQ(report::BatchCsv(serial), report::BatchCsv(parallel));
 }
 
-TEST(Engine, MatchesTheSerialExploreKernelPath) {
+TEST(Engine, MatchesTheSerialExplorerPath) {
   const ExplorationRequest request = FastRequest(5);
   // The serial path, by hand: same kernel parameters, same lowered config.
   const workloads::DotProductKernel kernel(64, 4, 7);
-  const ExplorationResult serial =
-      ExploreKernel(kernel, request.ToExplorerConfig(), request.thresholds);
+  Evaluator evaluator(kernel);
+  const RewardConfig reward =
+      MakePaperRewardConfig(evaluator, request.thresholds);
+  Explorer explorer(evaluator, reward, request.ToExplorerConfig());
+  const ExplorationResult serial = explorer.Explore();
 
   const RequestResult engine_result =
       Engine(EngineOptions{2}).RunOne(request);
@@ -127,7 +130,7 @@ TEST(Engine, UnknownKernelNameFailsFastBeforeAnyJobRuns) {
   // The bad request sits behind a valid one; the error must surface without
   // the valid request's exploration having to run first (fail-fast).
   ExplorationRequest bad = FastRequest(1);
-  bad.kernel = "not-a-kernel";
+  bad.kernel.name = "not-a-kernel";
   try {
     Engine(EngineOptions{2}).Run({FastRequest(2), bad});
     FAIL() << "expected std::invalid_argument";

@@ -22,6 +22,15 @@ ExplorerConfig FastConfig(std::uint64_t seed = 1) {
   return config;
 }
 
+/// One exploration with the paper's default reward recipe.
+ExplorationResult Explore(const workloads::Kernel& kernel,
+                          const ExplorerConfig& config) {
+  Evaluator evaluator(kernel);
+  const RewardConfig reward = MakePaperRewardConfig(evaluator);
+  Explorer explorer(evaluator, reward, config);
+  return explorer.Explore();
+}
+
 TEST(MakeAgentFactory, ProducesEveryKind) {
   const rl::AgentConfig config;
   EXPECT_EQ(MakeAgent(AgentKind::kQLearning, 4, config, 0.8, 1)->Name(),
@@ -50,7 +59,7 @@ TEST(ExplorerExtended, EveryAgentKindExploresTheDse) {
         AgentKind::kDoubleQ, AgentKind::kQLambda}) {
     ExplorerConfig config = FastConfig();
     config.agent_kind = kind;
-    const ExplorationResult result = ExploreKernel(kernel, config);
+    const ExplorationResult result = Explore(kernel, config);
     EXPECT_GT(result.steps, 0u) << ToString(kind);
     EXPECT_EQ(result.rewards.size(), result.steps) << ToString(kind);
   }
@@ -61,7 +70,7 @@ TEST(ExplorerExtended, MultiEpisodeAccumulatesSteps) {
   ExplorerConfig config = FastConfig();
   config.max_steps = 300;
   config.episodes = 3;
-  const ExplorationResult result = ExploreKernel(kernel, config);
+  const ExplorationResult result = Explore(kernel, config);
   EXPECT_EQ(result.episodes, 3u);
   EXPECT_GT(result.steps, 300u);  // more than one episode's worth
   EXPECT_LE(result.steps, 900u);
@@ -147,8 +156,8 @@ TEST(ExplorerExtended, MultiEpisodeReproducible) {
   ExplorerConfig config = FastConfig(21);
   config.episodes = 2;
   config.max_steps = 200;
-  const ExplorationResult a = ExploreKernel(kernel, config);
-  const ExplorationResult b = ExploreKernel(kernel, config);
+  const ExplorationResult a = Explore(kernel, config);
+  const ExplorationResult b = Explore(kernel, config);
   EXPECT_EQ(a.rewards, b.rewards);
   EXPECT_EQ(a.solution, b.solution);
 }
@@ -158,8 +167,8 @@ TEST(ExplorerExtended, DifferentAgentsExploreDifferently) {
   ExplorerConfig q_config = FastConfig(31);
   ExplorerConfig sarsa_config = FastConfig(31);
   sarsa_config.agent_kind = AgentKind::kSarsa;
-  const ExplorationResult a = ExploreKernel(kernel, q_config);
-  const ExplorationResult b = ExploreKernel(kernel, sarsa_config);
+  const ExplorationResult a = Explore(kernel, q_config);
+  const ExplorationResult b = Explore(kernel, sarsa_config);
   EXPECT_NE(a.rewards, b.rewards);
 }
 

@@ -22,6 +22,15 @@ ExplorerConfig FastExplorer(std::uint64_t seed = 1) {
   return config;
 }
 
+/// One exploration with the paper's default reward recipe.
+ExplorationResult Explore(const workloads::Kernel& kernel,
+                          const ExplorerConfig& config) {
+  Evaluator evaluator(kernel);
+  const RewardConfig reward = MakePaperRewardConfig(evaluator);
+  Explorer explorer(evaluator, reward, config);
+  return explorer.Explore();
+}
+
 TEST(ObjectiveRange, UpdateTracksMinAndMax) {
   ObjectiveRange range;
   range.Update(3.0);
@@ -50,7 +59,7 @@ TEST(ObjectiveRange, UpdateIgnoresNaN) {
 
 TEST(Explorer, RunsAndProducesConsistentResult) {
   const workloads::DotProductKernel kernel(64, 4, 7);
-  const ExplorationResult result = ExploreKernel(kernel, FastExplorer());
+  const ExplorationResult result = Explore(kernel, FastExplorer());
   EXPECT_GT(result.steps, 0u);
   EXPECT_LE(result.steps, 1500u);
   EXPECT_EQ(result.trace.size(), result.steps);
@@ -61,7 +70,7 @@ TEST(Explorer, RunsAndProducesConsistentResult) {
 
 TEST(Explorer, RangesBracketSolution) {
   const workloads::DotProductKernel kernel(64, 4, 7);
-  const ExplorationResult result = ExploreKernel(kernel, FastExplorer());
+  const ExplorationResult result = Explore(kernel, FastExplorer());
   EXPECT_LE(result.delta_power.min,
             result.solution_measurement.delta_power_mw);
   EXPECT_GE(result.delta_power.max,
@@ -74,7 +83,7 @@ TEST(Explorer, RangesBracketSolution) {
 
 TEST(Explorer, TraceIsInternallyConsistent) {
   const workloads::DotProductKernel kernel(64, 4, 7);
-  const ExplorationResult result = ExploreKernel(kernel, FastExplorer());
+  const ExplorationResult result = Explore(kernel, FastExplorer());
   double cumulative = 0.0;
   for (std::size_t i = 0; i < result.trace.size(); ++i) {
     const StepRecord& r = result.trace[i];
@@ -89,8 +98,8 @@ TEST(Explorer, TraceIsInternallyConsistent) {
 
 TEST(Explorer, ReproducibleUnderSameSeed) {
   const workloads::DotProductKernel kernel(64, 4, 7);
-  const ExplorationResult a = ExploreKernel(kernel, FastExplorer(5));
-  const ExplorationResult b = ExploreKernel(kernel, FastExplorer(5));
+  const ExplorationResult a = Explore(kernel, FastExplorer(5));
+  const ExplorationResult b = Explore(kernel, FastExplorer(5));
   EXPECT_EQ(a.steps, b.steps);
   EXPECT_EQ(a.solution, b.solution);
   EXPECT_EQ(a.rewards, b.rewards);
@@ -99,14 +108,14 @@ TEST(Explorer, ReproducibleUnderSameSeed) {
 
 TEST(Explorer, DifferentSeedsExploreDifferently) {
   const workloads::DotProductKernel kernel(64, 4, 7);
-  const ExplorationResult a = ExploreKernel(kernel, FastExplorer(1));
-  const ExplorationResult b = ExploreKernel(kernel, FastExplorer(2));
+  const ExplorationResult a = Explore(kernel, FastExplorer(1));
+  const ExplorationResult b = Explore(kernel, FastExplorer(2));
   EXPECT_NE(a.rewards, b.rewards);
 }
 
 TEST(Explorer, StopsForOneOfThePaperReasons) {
   const workloads::DotProductKernel kernel(64, 4, 7);
-  const ExplorationResult result = ExploreKernel(kernel, FastExplorer());
+  const ExplorationResult result = Explore(kernel, FastExplorer());
   const bool valid = result.stop_reason == rl::StopReason::kTerminated ||
                      result.stop_reason == rl::StopReason::kRewardCap ||
                      result.stop_reason == rl::StopReason::kStepLimit;
@@ -118,7 +127,7 @@ TEST(Explorer, RewardCapStopsEarly) {
   const workloads::DotProductKernel kernel(64, 4, 7);
   ExplorerConfig config = FastExplorer();
   config.max_cumulative_reward = 3.0;
-  const ExplorationResult result = ExploreKernel(kernel, config);
+  const ExplorationResult result = Explore(kernel, config);
   if (result.stop_reason == rl::StopReason::kRewardCap) {
     EXPECT_LT(result.steps, config.max_steps);
   }
@@ -126,7 +135,7 @@ TEST(Explorer, RewardCapStopsEarly) {
 
 TEST(Explorer, CacheMakesRevisitsFree) {
   const workloads::DotProductKernel kernel(64, 4, 7);
-  const ExplorationResult result = ExploreKernel(kernel, FastExplorer());
+  const ExplorationResult result = Explore(kernel, FastExplorer());
   // Visited states form a tiny space (6*6*8); most steps must be cache hits.
   EXPECT_LT(result.kernel_runs, result.steps);
   EXPECT_GT(result.cache_hits, 0u);
@@ -136,7 +145,7 @@ TEST(Explorer, RecordTraceOffSkipsTrace) {
   const workloads::DotProductKernel kernel(64, 4, 7);
   ExplorerConfig config = FastExplorer();
   config.record_trace = false;
-  const ExplorationResult result = ExploreKernel(kernel, config);
+  const ExplorationResult result = Explore(kernel, config);
   EXPECT_TRUE(result.trace.empty());
   EXPECT_FALSE(result.rewards.empty());  // rewards always kept (Figure 4)
 }
@@ -157,13 +166,13 @@ TEST(Explorer, CompactActionSpaceAlsoRuns) {
   const workloads::DotProductKernel kernel(64, 4, 7);
   ExplorerConfig config = FastExplorer();
   config.action_space = ActionSpaceKind::kCompact;
-  const ExplorationResult result = ExploreKernel(kernel, config);
+  const ExplorationResult result = Explore(kernel, config);
   EXPECT_GT(result.steps, 0u);
 }
 
 TEST(Explorer, SolutionOperatorNamesComeFromCatalog) {
   const workloads::DotProductKernel kernel(64, 4, 7);
-  const ExplorationResult result = ExploreKernel(kernel, FastExplorer());
+  const ExplorationResult result = Explore(kernel, FastExplorer());
   const auto& ops = kernel.Operators();
   EXPECT_EQ(result.solution_adder,
             ops.adders[result.solution.AdderIndex()].type_code);

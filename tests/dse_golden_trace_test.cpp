@@ -1,6 +1,7 @@
 // Golden-trace regression tests: the first 25 StepRecords of fixed, seeded
 // explorations are pinned to checked-in fixtures — matmul (the paper's
-// benchmark) plus the campaign workloads sobel3x3 and kmeans1d. Evaluator /
+// benchmark), the campaign workloads sobel3x3 and kmeans1d, and the three
+// multi-stage pipelines (jpeg-path, edge-path, nn-layer). Evaluator /
 // cache / engine refactors are free to change HOW configurations are
 // measured, but any change to WHAT the paper pipeline observes (actions
 // taken, rewards granted, measurements returned) must show up here as an
@@ -109,6 +110,11 @@ void CheckPinnedCase(const PinnedCase& pinned) {
 constexpr PinnedCase kMatmul{"matmul_trace_seed1.txt", "matmul", 5};
 constexpr PinnedCase kSobel{"sobel3x3_trace_seed1.txt", "sobel3x3", 8};
 constexpr PinnedCase kKMeans{"kmeans1d_trace_seed1.txt", "kmeans1d", 48};
+// The multi-stage pipelines: their stage-scoped variable spaces and
+// end-to-end quality metrics (PSNR gap, top-error) feed the same RL loop.
+constexpr PinnedCase kJpegPath{"jpeg_path_trace_seed1.txt", "jpeg-path", 1};
+constexpr PinnedCase kEdgePath{"edge_path_trace_seed1.txt", "edge-path", 8};
+constexpr PinnedCase kNnLayer{"nn_layer_trace_seed1.txt", "nn-layer", 7};
 
 TEST(GoldenTrace, First25MatmulStepsMatchCheckedInFixture) {
   CheckPinnedCase(kMatmul);
@@ -122,9 +128,22 @@ TEST(GoldenTrace, First25KMeansStepsMatchCheckedInFixture) {
   CheckPinnedCase(kKMeans);
 }
 
+TEST(GoldenTrace, First25JpegPathStepsMatchCheckedInFixture) {
+  CheckPinnedCase(kJpegPath);
+}
+
+TEST(GoldenTrace, First25EdgePathStepsMatchCheckedInFixture) {
+  CheckPinnedCase(kEdgePath);
+}
+
+TEST(GoldenTrace, First25NnLayerStepsMatchCheckedInFixture) {
+  CheckPinnedCase(kNnLayer);
+}
+
 TEST(GoldenTrace, SharedCacheReproducesTheGoldenTracesExactly) {
   // The cache-mode contract applied to the pinned fixtures themselves.
-  for (const PinnedCase& pinned : {kMatmul, kSobel, kKMeans})
+  for (const PinnedCase& pinned :
+       {kMatmul, kSobel, kKMeans, kJpegPath, kEdgePath, kNnLayer})
     EXPECT_EQ(RunPinnedExploration(pinned, CacheMode::kShared),
               RunPinnedExploration(pinned, CacheMode::kPrivate));
 }

@@ -206,7 +206,7 @@ TEST(EngineScore, SameBytesForEveryLaneWidth) {
 
 TEST(EngineScore, UnknownKernelThrows) {
   ExplorationRequest identity = QuickMatmulRequest();
-  identity.kernel = "not-a-kernel";
+  identity.kernel.name = "not-a-kernel";
   EXPECT_THROW(Engine().Score(identity, {}), std::invalid_argument);
 }
 

@@ -44,10 +44,10 @@ TEST(RequestBuilder, FluentConstruction) {
                                          .Epsilon(0.9, 0.1, 1000)
                                          .AccuracyFactor(0.3)
                                          .Build();
-  EXPECT_EQ(request.kernel, "matmul");
-  EXPECT_EQ(request.params.size, 16u);
-  EXPECT_EQ(request.params.seed, 2023u);
-  EXPECT_EQ(request.params.extra.at("granularity"), "row-col");
+  EXPECT_EQ(request.kernel.name, "matmul");
+  EXPECT_EQ(request.kernel.size, 16u);
+  EXPECT_EQ(request.kernel_seed, 2023u);
+  EXPECT_EQ(request.kernel.extra.at("granularity"), "row-col");
   EXPECT_EQ(request.DisplayName(), "MatMul 16x16");
   EXPECT_EQ(request.agent_kind, AgentKind::kSarsa);
   EXPECT_EQ(request.action_space, ActionSpaceKind::kCompact);
@@ -96,7 +96,7 @@ TEST(ExplorationRequest, StringRoundTripIsLossless) {
       ExplorationRequest::Parse(request.ToString());
   EXPECT_EQ(parsed, request);
   EXPECT_EQ(parsed.label, "FIR low pass; 21 taps");
-  EXPECT_EQ(parsed.params.extra.at("taps"), "21");
+  EXPECT_EQ(parsed.kernel.extra.at("taps"), "21");
   EXPECT_EQ(parsed.checkpoint_interval, 2500u);
   // Round-trip is a fixed point.
   EXPECT_EQ(parsed.ToString(), request.ToString());
@@ -111,16 +111,16 @@ TEST(ExplorationRequest, FreeTextFieldsRoundTripWithSeparators) {
                                    .Build();
   const ExplorationRequest parsed =
       ExplorationRequest::Parse(request.ToString());
-  EXPECT_EQ(parsed.kernel, "my kernel; v2");
-  EXPECT_EQ(parsed.params.extra.at("note"), "a b=c;d%e");
-  EXPECT_EQ(parsed.params.extra.at("k =;"), "plain");
+  EXPECT_EQ(parsed.kernel.name, "my kernel; v2");
+  EXPECT_EQ(parsed.kernel.extra.at("note"), "a b=c;d%e");
+  EXPECT_EQ(parsed.kernel.extra.at("k =;"), "plain");
   EXPECT_EQ(parsed, request);
 }
 
 TEST(ExplorationRequest, ParseAcceptsSemicolonsAndRejectsJunk) {
   const ExplorationRequest request =
       ExplorationRequest::Parse("kernel=dot; steps=500; seeds=2");
-  EXPECT_EQ(request.kernel, "dot");
+  EXPECT_EQ(request.kernel.name, "dot");
   EXPECT_EQ(request.max_steps, 500u);
   EXPECT_EQ(request.num_seeds, 2u);
   EXPECT_THROW(ExplorationRequest::Parse("kernel=dot frobnicate=1"),
@@ -132,17 +132,34 @@ TEST(ExplorationRequest, ParseAcceptsSemicolonsAndRejectsJunk) {
                std::invalid_argument);
 }
 
+TEST(ExplorationRequest, KernelSpecTokenCarriesSizeAndExtras) {
+  const ExplorationRequest request = ExplorationRequest::Parse(
+      "kernel=matmul@12{granularity=row-col} kernel-seed=9 steps=100");
+  EXPECT_EQ(request.kernel.name, "matmul");
+  EXPECT_EQ(request.kernel.size, 12u);
+  EXPECT_EQ(request.kernel.extra.at("granularity"), "row-col");
+  EXPECT_EQ(request.kernel_seed, 9u);
+}
+
+TEST(ExplorationRequest, OldKernelGrammarIsRejected) {
+  // The pre-KernelSpec tokens must fail loudly, not silently no-op.
+  EXPECT_THROW(ExplorationRequest::Parse("kernel=dot size=64"),
+               std::invalid_argument);
+  EXPECT_THROW(ExplorationRequest::Parse("kernel=dot kernel.blocks=8"),
+               std::invalid_argument);
+}
+
 TEST(ExplorationRequest, FromCliMapsFlagsAndPositional) {
   const char* argv[] = {"bench",          "dot",         "--steps=800",
                         "--seeds=3",      "--alpha=0.2", "--kernel.blocks=8",
                         "--agent=sarsa"};
   const util::CliArgs args(7, argv);
   const ExplorationRequest request = ExplorationRequest::FromCli(args);
-  EXPECT_EQ(request.kernel, "dot");
+  EXPECT_EQ(request.kernel.name, "dot");
   EXPECT_EQ(request.max_steps, 800u);
   EXPECT_EQ(request.num_seeds, 3u);
   EXPECT_DOUBLE_EQ(request.alpha, 0.2);
-  EXPECT_EQ(request.params.extra.at("blocks"), "8");
+  EXPECT_EQ(request.kernel.extra.at("blocks"), "8");
   EXPECT_EQ(request.agent_kind, AgentKind::kSarsa);
 }
 

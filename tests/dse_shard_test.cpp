@@ -10,6 +10,7 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,8 +32,8 @@ using testsupport::ScopedTempDir;
 /// 2 kernels x 2 agents, 2 seeds, 60 steps: 4 grid cells, sub-second.
 CampaignSpec SmallSpec() {
   return CampaignSpec::Parse(
-      "kernels=dot@32,kmeans1d@40 kernels.dot@32.blocks=4"
-      " kernels.kmeans1d@40.clusters=3 agents=q-learning,sarsa"
+      "kernels=dot@32{blocks=4},kmeans1d@40{clusters=3}"
+      " agents=q-learning,sarsa"
       " steps=60 seeds=2 seed=1 kernel-seed=2023 reward-cap=1e18");
 }
 
@@ -406,6 +407,83 @@ TEST(ShardWorker, InvalidOptionsAreTypedErrors) {
   ShardOptions bad_ttl = QuickShardOptions(dir.Str(), "ok");
   bad_ttl.lease_ttl = std::chrono::milliseconds(0);
   EXPECT_THROW(ShardWorker(engine).Run(spec, bad_ttl), ShardError);
+}
+
+// ---------------------------------------------------------------------------
+// Read-only status
+// ---------------------------------------------------------------------------
+
+TEST(ShardStatus, MissingManifestIsTypedError) {
+  ScopedTempDir dir("shard-status-missing");
+  EXPECT_THROW(ShardStatus(dir.Str()), ShardError);
+}
+
+TEST(ShardStatus, CategorizesEveryChunkDisjointly) {
+  const CampaignSpec spec = SmallSpec();
+  ScopedTempDir dir("shard-status-mixed");
+  const Engine engine;
+  // One chunk done, three untouched.
+  ShardOptions options = QuickShardOptions(dir.Str(), "starter");
+  options.max_chunks = 1;
+  options.wait_for_completion = false;
+  ASSERT_EQ(ShardWorker(engine).Run(spec, options).chunks_executed, 1u);
+
+  // Dress two of the pending chunks: one dead peer's parsable lease, one
+  // torn lease; the remaining chunk stays unclaimed.
+  std::vector<std::size_t> pending;
+  for (std::size_t chunk = 0; chunk < 4; ++chunk)
+    if (!fs::exists(PathIn(dir.Str(), ShardChunkResultFileName(chunk))))
+      pending.push_back(chunk);
+  ASSERT_EQ(pending.size(), 3u);
+  ShardLease ghost;
+  ghost.spec_hash = StableHash64(spec.ToString());
+  ghost.chunk_index = pending[0];
+  ghost.owner = "ghost";
+  ghost.generation = 2;
+  ghost.heartbeat = 57;
+  WriteRaw(PathIn(dir.Str(), ShardLeaseFileName(pending[0])),
+           ghost.Serialize());
+  WriteRaw(PathIn(dir.Str(), ShardLeaseFileName(pending[1])), "torn");
+
+  // Instant scan: the parsable lease is presumed live.
+  const ShardStatusReport instant = ShardStatus(dir.Str());
+  EXPECT_EQ(instant.num_chunks, 4u);
+  EXPECT_EQ(instant.done, 1u);
+  EXPECT_EQ(instant.claimed, 1u);
+  EXPECT_EQ(instant.stale, 1u);
+  EXPECT_EQ(instant.unclaimed, 1u);
+  EXPECT_FALSE(instant.Complete());
+
+  // Probed scan: the ghost's heartbeat never advances, so it turns stale.
+  const ShardStatusReport probed =
+      ShardStatus(dir.Str(), std::chrono::milliseconds(50));
+  EXPECT_EQ(probed.done, 1u);
+  EXPECT_EQ(probed.claimed, 0u);
+  EXPECT_EQ(probed.stale, 2u);
+  EXPECT_EQ(probed.unclaimed, 1u);
+
+  // Status is strictly read-only: the ghost lease survives byte-identical
+  // and no chunk was claimed or reclaimed behind the workers' backs.
+  std::ifstream in(PathIn(dir.Str(), ShardLeaseFileName(pending[0])),
+                   std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes, ghost.Serialize());
+  EXPECT_FALSE(
+      fs::exists(PathIn(dir.Str(), ShardLeaseFileName(pending[2]))));
+}
+
+TEST(ShardStatus, CompleteDirectoryReportsAllDone) {
+  const CampaignSpec spec = SmallSpec();
+  ScopedTempDir dir("shard-status-done");
+  const Engine engine;
+  ASSERT_TRUE(
+      ShardWorker(engine).Run(spec, QuickShardOptions(dir.Str(), "solo"))
+          .complete);
+  const ShardStatusReport status = ShardStatus(dir.Str());
+  EXPECT_EQ(status.done, 4u);
+  EXPECT_EQ(status.claimed + status.stale + status.unclaimed, 0u);
+  EXPECT_TRUE(status.Complete());
 }
 
 TEST(MergeShardedCampaign, MissingStateIsTypedError) {

@@ -19,6 +19,7 @@
 #include "dse/shard.hpp"
 #include "serve/protocol.hpp"
 #include "util/rng.hpp"
+#include "workloads/kernel_spec.hpp"
 
 namespace axdse {
 namespace {
@@ -235,8 +236,8 @@ TEST(GrammarFuzz, CampaignSpecMutationsParseOrFailTyped) {
       "seed=1 kernel-seed=2023 reward-cap=1e18",
       "kernels=sobel3x3@12 action-spaces=full,compact acc-factors=0.4,0.2 "
       "power-factors=0.9 time-factors=1.1 cache-modes=private,shared",
-      "kernels=matmul kernels.matmul.granularity=row agents=all alpha=0.15 "
-      "gamma=0.95 surrogate=1",
+      "kernels=matmul{granularity=row-col} kernel={cutoff=0.3} agents=all "
+      "alpha=0.15 gamma=0.95 surrogate=1",
       "kernels=fir@64 steps=500",
   };
   const std::string baseline = corpus.front();
@@ -261,13 +262,109 @@ TEST(GrammarFuzz, CampaignSpecMutationsParseOrFailTyped) {
 }
 
 // ---------------------------------------------------------------------------
+// KernelSpec grammar: name@size{key=value,...}
+// ---------------------------------------------------------------------------
+
+// A random VALID spec whose components need every escape in the set:
+// '%', whitespace, ';', '=', '@', braces, and commas.
+workloads::KernelSpec RandomKernelSpec(util::Rng& rng) {
+  static const char* kNames[] = {"matmul", "fir",       "jpeg-path",
+                                 "a b",    "x@y{z,w}",  "100%"};
+  workloads::KernelSpec spec(kNames[rng.PickIndex(6)], rng.UniformBelow(512));
+  const std::uint64_t extras = rng.UniformBelow(4);
+  for (std::uint64_t e = 0; e < extras; ++e) {
+    static const char* kKeys[] = {"granularity", "k=v", "odd key", "taps"};
+    static const char* kValues[] = {"row-col", "{nested}", "a,b;c", "33"};
+    spec.extra[kKeys[rng.PickIndex(4)]] = kValues[rng.PickIndex(4)];
+  }
+  return spec;
+}
+
+TEST(GrammarFuzz, KernelSpecValidSpecsRoundTripLosslessly) {
+  util::Rng rng(60606);
+  for (std::size_t i = 0; i < 300; ++i) {
+    const workloads::KernelSpec spec = RandomKernelSpec(rng);
+    const std::string text = spec.ToString();
+    const workloads::KernelSpec reparsed = workloads::KernelSpec::Parse(text);
+    EXPECT_EQ(reparsed, spec) << "text: [" << text << "]";
+    EXPECT_EQ(reparsed.ToString(), text);
+  }
+}
+
+TEST(GrammarFuzz, KernelSpecKnownMalformedInputsFailTyped) {
+  for (const char* input :
+       {"matmul@", "matmul@x", "matmul@-5", "matmul@5x", "dot{blocks=4",
+        "dot{blocks}", "dot{=4}", "dot{blocks=4}trailing", "dot}",
+        "a%zqb", "a%", "a%f", "fir@@8", "fir@8{a=1,,b=2}", "fir@8{,}"}) {
+    EXPECT_THROW(workloads::KernelSpec::Parse(input), std::invalid_argument)
+        << "input: [" << input << "]";
+  }
+  // The empty spec is valid (empty name, default size): campaigns use a
+  // name-less "{k=v}" token to carry base extras.
+  EXPECT_EQ(workloads::KernelSpec::Parse("").name, "");
+  EXPECT_EQ(workloads::KernelSpec::Parse("{cutoff=0.3}").extra.at("cutoff"),
+            "0.3");
+}
+
+TEST(GrammarFuzz, KernelSpecMutationsParseOrFailTyped) {
+  util::Rng rng(80808);
+  std::vector<std::string> corpus;
+  for (std::size_t i = 0; i < 16; ++i)
+    corpus.push_back(RandomKernelSpec(rng).ToString());
+  corpus.push_back("");
+  for (std::size_t i = 0; i < kIterations; ++i) {
+    const std::string input =
+        Mutate(corpus[rng.PickIndex(corpus.size())], rng, corpus);
+    try {
+      const workloads::KernelSpec parsed =
+          workloads::KernelSpec::Parse(input);
+      const std::string canonical = parsed.ToString();
+      EXPECT_EQ(workloads::KernelSpec::Parse(canonical), parsed)
+          << "input: [" << input << "]";
+      EXPECT_EQ(workloads::KernelSpec::Parse(canonical).ToString(), canonical)
+          << "input: [" << input << "]";
+    } catch (const std::invalid_argument&) {
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "untyped exception '" << e.what() << "' for input: ["
+                    << input << "]";
+    }
+  }
+}
+
+TEST(GrammarFuzz, SplitSpecListRespectsBraceDepthUnderMutation) {
+  util::Rng rng(90909);
+  const std::vector<std::string> corpus = {
+      "dot@32{blocks=4},kmeans1d@40{clusters=3}",
+      "matmul@10{granularity=row-col},fir@100,iir",
+      "jpeg-path@2{step=16},edge-path@8{width=9,threshold=512}",
+      "",
+  };
+  for (std::size_t i = 0; i < kIterations; ++i) {
+    const std::string input =
+        Mutate(corpus[rng.PickIndex(corpus.size())], rng, corpus);
+    // SplitSpecList never throws; it only splits. Joining the pieces back
+    // with commas must reproduce the input byte-for-byte.
+    const std::vector<std::string> parts = workloads::SplitSpecList(input);
+    std::string joined;
+    for (std::size_t p = 0; p < parts.size(); ++p) {
+      if (p > 0) joined += ',';
+      joined += parts[p];
+    }
+    if (input.empty())
+      EXPECT_TRUE(parts.empty());
+    else
+      EXPECT_EQ(joined, input) << "input: [" << input << "]";
+  }
+}
+
+// ---------------------------------------------------------------------------
 // axdse-serve-v1 wire protocol
 // ---------------------------------------------------------------------------
 
 TEST(GrammarFuzz, ProtocolCommandLineMutationsParseOrFailTyped) {
   util::Rng rng(31337);
   const std::vector<std::string> corpus = {
-      "SUBMIT kernel=matmul size=8 steps=400",
+      "SUBMIT kernel=matmul@8 steps=400",
       "SUBMIT-CAMPAIGN kernels=dot@16 steps=50",
       "WATCH 1",  "WAIT 12",  "STATUS 7", "RESULTS 3",
       "CANCEL 2", "LIST",     "DRAIN",    "PING",

@@ -15,6 +15,15 @@
 namespace axdse {
 namespace {
 
+/// One exploration with the paper's default reward recipe.
+dse::ExplorationResult Explore(const workloads::Kernel& kernel,
+                               const dse::ExplorerConfig& config) {
+  dse::Evaluator evaluator(kernel);
+  const dse::RewardConfig reward = dse::MakePaperRewardConfig(evaluator);
+  dse::Explorer explorer(evaluator, reward, config);
+  return explorer.Explore();
+}
+
 dse::ExplorerConfig PaperScaledConfig(std::uint64_t seed) {
   dse::ExplorerConfig config;
   config.max_steps = 3000;  // scaled from the paper's 10,000 for test speed
@@ -108,8 +117,8 @@ TEST(Integration, FullTable3PipelineRendersForTwoBenchmarks) {
   config.max_steps = 800;
 
   std::vector<report::Table3Column> columns;
-  columns.push_back({"MatMul 6x6", dse::ExploreKernel(matmul, config)});
-  columns.push_back({"FIR 50", dse::ExploreKernel(fir, config)});
+  columns.push_back({"MatMul 6x6", Explore(matmul, config)});
+  columns.push_back({"FIR 50", Explore(fir, config)});
   const std::string table = report::RenderTable3(columns);
   EXPECT_NE(table.find("MatMul 6x6"), std::string::npos);
   EXPECT_NE(table.find("FIR 50"), std::string::npos);
@@ -141,9 +150,9 @@ TEST(Integration, SameSeedSameTable) {
   dse::ExplorerConfig config = PaperScaledConfig(4);
   config.max_steps = 600;
   const std::string a =
-      report::RenderTable3({{"m", dse::ExploreKernel(kernel, config)}});
+      report::RenderTable3({{"m", Explore(kernel, config)}});
   const std::string b =
-      report::RenderTable3({{"m", dse::ExploreKernel(kernel, config)}});
+      report::RenderTable3({{"m", Explore(kernel, config)}});
   EXPECT_EQ(a, b);
 }
 

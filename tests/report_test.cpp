@@ -19,7 +19,10 @@ dse::ExplorationResult SmallExploration() {
   config.max_cumulative_reward = 100.0;
   config.agent.epsilon = rl::EpsilonSchedule::Linear(1.0, 0.05, 200);
   config.seed = 3;
-  return dse::ExploreKernel(kernel, config);
+  dse::Evaluator evaluator(kernel);
+  const dse::RewardConfig reward = dse::MakePaperRewardConfig(evaluator);
+  dse::Explorer explorer(evaluator, reward, config);
+  return explorer.Explore();
 }
 
 TEST(Tables, AdderTableContainsAllRows) {

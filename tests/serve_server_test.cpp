@@ -168,7 +168,8 @@ TEST(ServeServer, CampaignStreamsChunkAndParetoEvents) {
   server.Start();
 
   dse::CampaignSpec spec;
-  spec.kernels = {{"matmul", 5, {}}, {"fir", 40, {}}};
+  spec.kernels = {workloads::KernelSpec("matmul", 5),
+                  workloads::KernelSpec("fir", 40)};
   spec.base = QuickRequest(50000, 1);
   auto client = Client::Connect("127.0.0.1", server.Port());
   std::vector<std::string> events;
@@ -242,7 +243,8 @@ TEST(ServeServer, DrainAndRestartYieldByteIdenticalRequestResults) {
 
 TEST(ServeServer, DrainAndRestartYieldByteIdenticalCampaignResults) {
   dse::CampaignSpec spec;
-  spec.kernels = {{"matmul", 5, {}}, {"fir", 40, {}}};
+  spec.kernels = {workloads::KernelSpec("matmul", 5),
+                  workloads::KernelSpec("fir", 40)};
   spec.base = QuickRequest(50000, 1);
 
   std::string uninterrupted;

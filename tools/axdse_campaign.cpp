@@ -5,6 +5,7 @@
 // Usage:
 //   axdse-campaign run   [options] <spec tokens...>
 //   axdse-campaign shard --shard-dir D --worker-id W [options] <spec...>
+//   axdse-campaign shard status --shard-dir D [--probe-ms N]
 //   axdse-campaign merge --shard-dir D [options]
 //
 // Common options:
@@ -31,9 +32,17 @@
 //   --no-wait              return when nothing is claimable instead of
 //                          polling until every chunk is done
 //
+// shard status options:
+//   --shard-dir D          state directory to inspect (required)
+//   --probe-ms N           sample claimed leases twice, N ms apart, and
+//                          report ones whose heartbeat did not advance as
+//                          stale (default 3000; 0 = single instant scan).
+//                          Read-only: never claims, writes, or reclaims.
+//
 // A shard worker exits 0 when the campaign is complete, 3 when it returned
-// with work still pending (--no-wait / --max-chunks). merge exits non-zero
-// until every chunk has a result document.
+// with work still pending (--no-wait / --max-chunks); `shard status` uses
+// the same convention (0 complete, 3 pending). merge exits non-zero until
+// every chunk has a result document.
 //
 // Spec tokens are the CampaignSpec grammar, e.g.:
 //   axdse-campaign run --json - kernels=matmul@10,fir@100 agents=all
@@ -47,6 +56,7 @@
 #include <string>
 #include <vector>
 
+#include "dse/shard.hpp"
 #include "report/campaign.hpp"
 #include "session.hpp"
 #include "util/cli.hpp"
@@ -106,6 +116,7 @@ int main(int argc, char** argv) {
         "                     [--checkpoint-interval N] [--max-chunks N]\n"
         "                     [--lease-ttl-ms N] [--heartbeat-ms N]\n"
         "                     [--poll-ms N] [--no-wait] <spec tokens...>\n"
+        "axdse-campaign shard status --shard-dir D [--probe-ms N]\n"
         "axdse-campaign merge --shard-dir D [--json F] [--csv F] "
         "[--summary]");
     return positional.empty() && !args.Has("help") ? 2 : 0;
@@ -129,6 +140,22 @@ int main(int argc, char** argv) {
       const auto result = session.RunCampaign(spec, options);
       EmitReports(args, result);
       return result.Complete() ? 0 : 3;
+    }
+    if (command == "shard" && positional.size() >= 2 &&
+        positional[1] == "status") {
+      if (positional.size() != 2)
+        return Fail("shard status takes only flags");
+      const std::string directory = args.GetString("shard-dir", "");
+      if (directory.empty()) return Fail("shard status needs --shard-dir");
+      const auto probe =
+          std::chrono::milliseconds(args.GetIntStrict("probe-ms", 3000));
+      const auto status = axdse::dse::ShardStatus(directory, probe);
+      std::printf(
+          "chunks total=%zu done=%zu claimed=%zu stale=%zu unclaimed=%zu "
+          "complete=%s\n",
+          status.num_chunks, status.done, status.claimed, status.stale,
+          status.unclaimed, status.Complete() ? "true" : "false");
+      return status.Complete() ? 0 : 3;
     }
     if (command == "shard") {
       if (positional.size() < 2) return Fail("shard needs a campaign spec");

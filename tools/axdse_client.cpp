@@ -25,7 +25,7 @@
 //
 // Request/spec tokens are the key=value grammar of
 // ExplorationRequest::ToString / CampaignSpec::ToString, e.g.:
-//   axdse-client --port 4711 run kernel=matmul size=8 steps=500 seeds=2
+//   axdse-client --port 4711 run kernel=matmul@8 steps=500 seeds=2
 
 #include <cstdio>
 #include <exception>
